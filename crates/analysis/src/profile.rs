@@ -1,0 +1,156 @@
+//! Per-level geometry statistics of a tree.
+
+use sqda_rstar::{Node, RStarError, RStarTree};
+use sqda_storage::PageStore;
+
+/// Statistics of one tree level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelProfile {
+    /// The level (0 = leaves).
+    pub level: u32,
+    /// Number of nodes on the level.
+    pub nodes: u64,
+    /// Mean MBR side length per dimension over the level's nodes.
+    pub mean_extent: Vec<f64>,
+}
+
+/// Geometry profile of a whole tree, the input to the selectivity
+/// estimators.
+///
+/// Only aggregate statistics are retained — the estimators deliberately
+/// work from O(height) numbers, the same information a query optimizer
+/// would keep in a catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeProfile {
+    /// Dimensionality.
+    pub dim: usize,
+    /// Indexed objects.
+    pub num_objects: u64,
+    /// The data-space bounding box side lengths (root MBR extents).
+    pub space_extent: Vec<f64>,
+    /// Per-level statistics, `[0]` = leaves, last = root level.
+    pub levels: Vec<LevelProfile>,
+}
+
+impl TreeProfile {
+    /// Extracts the profile by one full traversal.
+    pub fn measure<S: PageStore>(tree: &RStarTree<S>) -> Result<Self, RStarError> {
+        let dim = tree.dim();
+        let height = tree.height() as usize;
+        let mut nodes = vec![0u64; height];
+        let mut extent_sums = vec![vec![0.0f64; dim]; height];
+        let mut stack = vec![tree.root_page()];
+        let mut space_extent = vec![0.0; dim];
+        while let Some(page) = stack.pop() {
+            let node = tree.read_node(page)?;
+            let level = node.level() as usize;
+            nodes[level] += 1;
+            if let Some(mbr) = node.mbr() {
+                for (d, sum) in extent_sums[level].iter_mut().enumerate() {
+                    *sum += mbr.extent(d);
+                }
+                if page == tree.root_page() {
+                    space_extent = (0..dim).map(|d| mbr.extent(d)).collect();
+                }
+            }
+            if let Node::Internal { entries, .. } = node {
+                stack.extend(entries.iter().map(|e| e.child));
+            }
+        }
+        let levels = (0..height)
+            .map(|l| LevelProfile {
+                level: l as u32,
+                nodes: nodes[l],
+                mean_extent: extent_sums[l]
+                    .iter()
+                    .map(|s| if nodes[l] == 0 { 0.0 } else { s / nodes[l] as f64 })
+                    .collect(),
+            })
+            .collect();
+        Ok(Self {
+            dim,
+            num_objects: tree.num_objects(),
+            space_extent,
+            levels,
+        })
+    }
+
+    /// The data density (objects per unit volume of the data space).
+    /// `None` when the space has zero volume (degenerate data).
+    pub fn density(&self) -> Option<f64> {
+        let volume: f64 = self.space_extent.iter().product();
+        if volume <= 0.0 {
+            None
+        } else {
+            Some(self.num_objects as f64 / volume)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sqda_geom::Point;
+    use sqda_rstar::decluster::ProximityIndex;
+    use sqda_rstar::RStarConfig;
+    use sqda_storage::ArrayStore;
+    use std::sync::Arc;
+
+    fn build(n: usize, dim: usize) -> RStarTree<ArrayStore> {
+        let store = Arc::new(ArrayStore::new(4, 1449, 1));
+        let mut tree = RStarTree::create(
+            store,
+            RStarConfig::new(dim).with_max_entries(16),
+            Box::new(ProximityIndex),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for i in 0..n {
+            let p = Point::new((0..dim).map(|_| rng.gen::<f64>()).collect());
+            tree.insert(p, i as u64).unwrap();
+        }
+        tree
+    }
+
+    #[test]
+    fn profile_structure() {
+        let tree = build(3000, 2);
+        let p = TreeProfile::measure(&tree).unwrap();
+        assert_eq!(p.dim, 2);
+        assert_eq!(p.num_objects, 3000);
+        assert_eq!(p.levels.len(), tree.height() as usize);
+        // One root; node counts decrease with level.
+        assert_eq!(p.levels.last().unwrap().nodes, 1);
+        for w in p.levels.windows(2) {
+            assert!(w[0].nodes >= w[1].nodes);
+        }
+        // Leaf MBRs are smaller than the root MBR.
+        let leaf = &p.levels[0];
+        for d in 0..2 {
+            assert!(leaf.mean_extent[d] < p.space_extent[d]);
+            assert!(leaf.mean_extent[d] > 0.0);
+        }
+        // Uniform unit-cube data: density ≈ n.
+        let density = p.density().unwrap();
+        assert!(density > 2500.0 && density < 3700.0, "density {density}");
+    }
+
+    #[test]
+    fn degenerate_space_density() {
+        // All points identical: zero-volume space.
+        let store = Arc::new(ArrayStore::new(2, 100, 3));
+        let mut tree = RStarTree::create(
+            store,
+            RStarConfig::new(2).with_max_entries(8),
+            Box::new(ProximityIndex),
+        )
+        .unwrap();
+        for i in 0..50 {
+            tree.insert(Point::new(vec![1.0, 1.0]), i).unwrap();
+        }
+        let p = TreeProfile::measure(&tree).unwrap();
+        assert_eq!(p.density(), None);
+    }
+}

@@ -1,0 +1,160 @@
+//! Expected node accesses for similarity queries.
+//!
+//! Classic R-tree analysis (Kamel–Faloutsos, Pagel et al.): a query
+//! region intersects a node iff the query's center falls inside the
+//! node's MBR extended by the query radius (a Minkowski sum). For query
+//! centers following the data distribution over a space of extent `W_d`
+//! per dimension, a node with mean extents `s_d` is visited with
+//! probability ≈ `Π_d min(1, (s_d + 2r) / W_d)`, giving
+//!
+//! ```text
+//! E[accesses] = Σ_levels  nodes(level) · Π_d min(1, (s_d(level) + 2r) / W_d)
+//! ```
+//!
+//! k-NN queries are mapped to range queries through the expected k-NN
+//! radius under local uniformity: the sphere around the query point that
+//! is expected to contain `k` of the `n` objects.
+
+use crate::TreeProfile;
+
+/// Expected node accesses for a similarity range query of radius
+/// `radius` (uniformity assumptions as per module docs). The root is
+/// always accessed.
+pub fn expected_range_accesses(profile: &TreeProfile, radius: f64) -> f64 {
+    assert!(radius >= 0.0, "radius must be non-negative");
+    let mut total = 0.0;
+    for level in &profile.levels {
+        let mut p = 1.0f64;
+        for d in 0..profile.dim {
+            let w = profile.space_extent[d];
+            if w <= 0.0 {
+                // Degenerate dimension: every query hits it.
+                continue;
+            }
+            let reach = (level.mean_extent[d] + 2.0 * radius) / w;
+            p *= reach.min(1.0);
+        }
+        total += level.nodes as f64 * p;
+    }
+    // The root is read unconditionally.
+    total.max(1.0)
+}
+
+/// Volume of the unit d-ball, `V_d = π^(d/2) / Γ(d/2 + 1)`.
+fn unit_ball_volume(dim: usize) -> f64 {
+    // Recurrence V_d = V_{d-2} · 2π/d with V_0 = 1, V_1 = 2 avoids Γ.
+    match dim {
+        0 => 1.0,
+        1 => 2.0,
+        _ => unit_ball_volume(dim - 2) * std::f64::consts::TAU / dim as f64,
+    }
+}
+
+/// Expected distance to the k-th nearest neighbour of a query point
+/// drawn from the data distribution, assuming local uniformity with the
+/// global density: the radius whose ball is expected to hold `k` points.
+///
+/// Returns `None` for degenerate (zero-volume) data spaces.
+pub fn expected_knn_radius(profile: &TreeProfile, k: usize) -> Option<f64> {
+    let density = profile.density()?;
+    if density <= 0.0 {
+        return None;
+    }
+    let v_d = unit_ball_volume(profile.dim);
+    // k = density · V_d · r^dim  ⇒  r = (k / (density · V_d))^(1/dim)
+    Some((k as f64 / (density * v_d)).powf(1.0 / profile.dim as f64))
+}
+
+/// Expected node accesses for a k-NN query: the weak-optimal access
+/// count (nodes intersecting the final k-NN sphere), i.e. an estimate of
+/// WOPTSS's I/O. Real algorithms access this many nodes or more.
+pub fn expected_knn_accesses(profile: &TreeProfile, k: usize) -> Option<f64> {
+    let r = expected_knn_radius(profile, k)?;
+    Some(expected_range_accesses(profile, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LevelProfile;
+
+    fn uniform_profile(n: u64, dim: usize, leaves: u64, leaf_extent: f64) -> TreeProfile {
+        TreeProfile {
+            dim,
+            num_objects: n,
+            space_extent: vec![1.0; dim],
+            levels: vec![
+                LevelProfile {
+                    level: 0,
+                    nodes: leaves,
+                    mean_extent: vec![leaf_extent; dim],
+                },
+                LevelProfile {
+                    level: 1,
+                    nodes: 1,
+                    mean_extent: vec![1.0; dim],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn unit_ball_volumes() {
+        assert!((unit_ball_volume(1) - 2.0).abs() < 1e-12);
+        assert!((unit_ball_volume(2) - std::f64::consts::PI).abs() < 1e-12);
+        assert!((unit_ball_volume(3) - 4.18879).abs() < 1e-4);
+        assert!((unit_ball_volume(4) - 4.93480).abs() < 1e-4);
+    }
+
+    #[test]
+    fn zero_radius_visits_overlap_path() {
+        // A point query visits each level in proportion to node extents.
+        let p = uniform_profile(10_000, 2, 100, 0.1);
+        let e = expected_range_accesses(&p, 0.0);
+        // 100 leaves × 0.01 + root = 1 + 1 = 2.
+        assert!((e - 2.0).abs() < 1e-9, "{e}");
+    }
+
+    #[test]
+    fn accesses_grow_with_radius_and_saturate() {
+        let p = uniform_profile(10_000, 2, 100, 0.1);
+        let mut prev = 0.0;
+        for r in [0.0, 0.05, 0.1, 0.2, 0.5, 2.0] {
+            let e = expected_range_accesses(&p, r);
+            assert!(e >= prev);
+            prev = e;
+        }
+        // Huge radius: everything is read.
+        assert!((prev - 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knn_radius_scales_with_k() {
+        let p = uniform_profile(10_000, 2, 100, 0.1);
+        let r1 = expected_knn_radius(&p, 1).unwrap();
+        let r100 = expected_knn_radius(&p, 100).unwrap();
+        // In 2-d, radius grows as sqrt(k).
+        assert!((r100 / r1 - 10.0).abs() < 1e-6);
+        // Sanity: ball of radius r1 holds ~1 of 10k points.
+        let expect = 10_000.0 * std::f64::consts::PI * r1 * r1;
+        assert!((expect - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knn_accesses_monotone_in_k() {
+        let p = uniform_profile(50_000, 3, 500, 0.08);
+        let mut prev = 0.0;
+        for k in [1, 10, 100, 1000] {
+            let e = expected_knn_accesses(&p, k).unwrap();
+            assert!(e >= prev, "k={k}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_radius_panics() {
+        let p = uniform_profile(100, 2, 10, 0.1);
+        expected_range_accesses(&p, -1.0);
+    }
+}

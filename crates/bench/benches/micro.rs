@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks for the hot paths: distance metrics, node
+//! codec, R\*-tree insertion and the four search algorithms.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqda_bench::build_tree;
+use sqda_core::{exec::run_query, AlgorithmKind};
+use sqda_datasets::{california_like, gaussian};
+use sqda_geom::{Point, Rect};
+use sqda_rstar::decluster::ProximityIndex;
+use sqda_rstar::{codec, Node, RStarConfig, RStarTree};
+use sqda_storage::{ArrayStore, PageId};
+use std::sync::Arc;
+
+fn bench_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distances");
+    for dim in [2usize, 10] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Point::new((0..dim).map(|_| rng.gen::<f64>()).collect());
+        let lo: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>()).collect();
+        let hi: Vec<f64> = lo.iter().map(|l| l + rng.gen::<f64>()).collect();
+        let r = Rect::new(lo, hi).unwrap();
+        group.bench_with_input(BenchmarkId::new("min_dist_sq", dim), &dim, |b, _| {
+            b.iter(|| black_box(r.min_dist_sq(black_box(&p))))
+        });
+        group.bench_with_input(BenchmarkId::new("min_max_dist_sq", dim), &dim, |b, _| {
+            b.iter(|| black_box(r.min_max_dist_sq(black_box(&p))))
+        });
+        group.bench_with_input(BenchmarkId::new("max_dist_sq", dim), &dim, |b, _| {
+            b.iter(|| black_box(r.max_dist_sq(black_box(&p))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let dim = 2;
+    let cfg = RStarConfig::new(dim);
+    let node = Node::Leaf {
+        entries: (0..cfg.max_leaf_entries)
+            .map(|i| {
+                sqda_rstar::LeafEntry::new(
+                    Point::new(vec![i as f64, -(i as f64)]),
+                    sqda_rstar::ObjectId(i as u64),
+                )
+            })
+            .collect(),
+    };
+    group.bench_function("encode_full_leaf_2d", |b| {
+        b.iter(|| black_box(codec::encode_node(black_box(&node), dim)))
+    });
+    let bytes = codec::encode_node(&node, dim);
+    group.bench_function("decode_full_leaf_2d", |b| {
+        b.iter(|| {
+            black_box(
+                codec::decode_node(black_box(bytes.clone()), dim, PageId::from_raw(0)).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rstar_insert");
+    group.sample_size(10);
+    group.bench_function("insert_10k_2d", |b| {
+        let points: Vec<Point> = {
+            let mut rng = StdRng::seed_from_u64(2);
+            (0..10_000)
+                .map(|_| Point::new(vec![rng.gen(), rng.gen()]))
+                .collect()
+        };
+        b.iter(|| {
+            let store = Arc::new(ArrayStore::new(10, 1449, 3));
+            let mut tree =
+                RStarTree::create(store, RStarConfig::new(2), Box::new(ProximityIndex)).unwrap();
+            for (i, p) in points.iter().enumerate() {
+                tree.insert(p.clone(), i as u64).unwrap();
+            }
+            black_box(tree.height())
+        })
+    });
+    group.finish();
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn_algorithms");
+    let dataset = california_like(20_000, 4);
+    let tree = build_tree(&dataset, 10, 5);
+    let queries = dataset.sample_queries(16, 6);
+    for kind in AlgorithmKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("k20_cp20k", kind.name()),
+            &kind,
+            |b, &kind| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    let mut algo = kind.build(&tree, q.clone(), 20).unwrap();
+                    black_box(run_query(&tree, algo.as_mut()).unwrap().nodes_visited)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sequential_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequential_knn");
+    let dataset = gaussian(20_000, 5, 7);
+    let tree = build_tree(&dataset, 10, 8);
+    let queries = dataset.sample_queries(16, 9);
+    for k in [1usize, 10, 100] {
+        group.bench_with_input(BenchmarkId::new("best_first", k), &k, |b, &k| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(tree.knn(q, k).unwrap().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_distances,
+    bench_codec,
+    bench_insert,
+    bench_algorithms,
+    bench_sequential_knn
+);
+criterion_main!(benches);

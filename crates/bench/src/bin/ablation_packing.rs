@@ -1,0 +1,73 @@
+//! Ablation 4 — tree construction strategies: incremental R\* insertion
+//! (the paper's dynamic setting) vs STR, Morton-curve, and Hilbert-curve
+//! packed bulk loads, compared on tree quality and CRSS performance.
+
+use sqda_bench::{
+    build_tree, experiment_page_size, f2, f4, simulate, ExpOptions, ResultsTable,
+};
+use sqda_core::AlgorithmKind;
+use sqda_datasets::california_like;
+use sqda_rstar::decluster::ProximityIndex;
+use sqda_rstar::{PackingOrder, RStarConfig, RStarTree};
+use sqda_storage::{ArrayStore, PageStore};
+use std::sync::Arc;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let dataset = california_like(opts.population(62_173), 2201);
+    let queries = dataset.sample_queries(opts.queries(), 2211);
+    let k = 20;
+    let page = experiment_page_size(dataset.dim);
+    let mut table = ResultsTable::new(
+        format!(
+            "Ablation — construction strategies (set: {}, n={}, disks: 10, k={k}, λ=5)",
+            dataset.name,
+            dataset.len()
+        ),
+        &["construction", "nodes", "avg fill", "CRSS resp (s)"],
+    );
+
+    // Incremental baseline.
+    let inc = build_tree(&dataset, 10, 2210);
+    let stats = inc.stats().expect("stats");
+    let r = simulate(&inc, &queries, k, 5.0, AlgorithmKind::Crss, 2212);
+    table.row(vec![
+        "incremental-R*".into(),
+        stats.total_nodes().to_string(),
+        f2(stats.avg_fill),
+        f4(r.mean_response_s),
+    ]);
+
+    for (label, order) in [
+        ("bulk-STR", PackingOrder::Str),
+        ("bulk-Morton", PackingOrder::Morton),
+        ("bulk-Hilbert", PackingOrder::Hilbert),
+    ] {
+        let store = Arc::new(ArrayStore::with_page_size(10, 1449, page, 2213));
+        let tree = RStarTree::bulk_load_ordered(
+            store,
+            RStarConfig::with_page_size(dataset.dim, page),
+            Box::new(ProximityIndex),
+            dataset
+                .points
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, p)| (p, i as u64))
+                .collect(),
+            order,
+        )
+        .expect("bulk load");
+        tree.store().reset_stats();
+        let stats = tree.stats().expect("stats");
+        let r = simulate(&tree, &queries, k, 5.0, AlgorithmKind::Crss, 2212);
+        table.row(vec![
+            label.into(),
+            stats.total_nodes().to_string(),
+            f2(stats.avg_fill),
+            f4(r.mean_response_s),
+        ]);
+    }
+    table.print();
+    table.write_csv(&opts.out_dir, "ablation_packing");
+}

@@ -1,0 +1,61 @@
+//! Ablation 3 — node split policies (paper §2.1): the R\* margin/overlap
+//! split vs Guttman's quadratic and linear splits, measured by tree
+//! quality and CRSS similarity-search performance on the same data.
+
+use sqda_bench::{experiment_page_size, f2, f4, simulate, ExpOptions, ResultsTable};
+use sqda_core::AlgorithmKind;
+use sqda_datasets::california_like;
+use sqda_rstar::decluster::ProximityIndex;
+use sqda_rstar::{RStarConfig, RStarTree, SplitPolicy};
+use sqda_storage::{ArrayStore, PageStore};
+use std::sync::Arc;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let dataset = california_like(opts.population(62_173), 1901);
+    let queries = dataset.sample_queries(opts.queries(), 1911);
+    let k = 20;
+    let page = experiment_page_size(dataset.dim);
+    let mut table = ResultsTable::new(
+        format!(
+            "Ablation — split policies (set: {}, n={}, disks: 10, k={k}, λ=5)",
+            dataset.name,
+            dataset.len()
+        ),
+        &[
+            "policy",
+            "nodes",
+            "avg fill",
+            "CRSS nodes/query",
+            "CRSS resp (s)",
+        ],
+    );
+    for policy in [
+        SplitPolicy::RStar,
+        SplitPolicy::GuttmanQuadratic,
+        SplitPolicy::GuttmanLinear,
+    ] {
+        let store = Arc::new(ArrayStore::with_page_size(10, 1449, page, 1910));
+        let mut tree = RStarTree::create(
+            store,
+            RStarConfig::with_page_size(dataset.dim, page).with_split_policy(policy),
+            Box::new(ProximityIndex),
+        )
+        .expect("create tree");
+        for (i, p) in dataset.points.iter().enumerate() {
+            tree.insert(p.clone(), i as u64).expect("insert");
+        }
+        tree.store().reset_stats();
+        let stats = tree.stats().expect("stats");
+        let report = simulate(&tree, &queries, k, 5.0, AlgorithmKind::Crss, 1912);
+        table.row(vec![
+            policy.name().to_string(),
+            stats.total_nodes().to_string(),
+            f2(stats.avg_fill),
+            f2(report.mean_nodes_per_query),
+            f4(report.mean_response_s),
+        ]);
+    }
+    table.print();
+    table.write_csv(&opts.out_dir, "ablation_split_policy");
+}

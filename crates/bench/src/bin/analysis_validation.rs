@@ -1,0 +1,86 @@
+//! Extension — analytical model validation (the paper's future-work item
+//! "estimating the response time of a query" by analysis).
+//!
+//! Predicted vs. measured, side by side: expected WOPTSS node accesses
+//! from the Minkowski-sum selectivity model, and mean CRSS response time
+//! from the M/M/1-style queueing model, against the logical executor and
+//! the event-driven simulator respectively.
+
+use sqda_analysis::{
+    estimate_response, expected_knn_accesses, QueryIoProfile, TreeProfile,
+};
+use sqda_bench::{build_tree, f2, f4, mean_nodes, simulate, ExpOptions, ResultsTable};
+use sqda_core::{exec::run_query, AlgorithmKind};
+use sqda_datasets::uniform;
+use sqda_simkernel::SystemParams;
+use sqda_storage::PageStore;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let dataset = uniform(opts.population(50_000), 2, 2001);
+    let tree = build_tree(&dataset, 10, 2010);
+    let queries = dataset.sample_queries(opts.queries(), 2011);
+    let profile = TreeProfile::measure(&tree).expect("profile");
+
+    // Part 1: node-access prediction vs WOPTSS measurement.
+    let mut t1 = ResultsTable::new(
+        format!(
+            "Analysis — predicted vs measured node accesses (set: {}, n={})",
+            dataset.name,
+            dataset.len()
+        ),
+        &["k", "predicted", "measured (WOPTSS)", "ratio"],
+    );
+    for k in [1usize, 10, 50, 100, 400] {
+        let predicted = expected_knn_accesses(&profile, k).expect("non-degenerate");
+        let measured = mean_nodes(&tree, &queries, k, AlgorithmKind::Woptss);
+        t1.row(vec![
+            k.to_string(),
+            f2(predicted),
+            f2(measured),
+            f2(predicted / measured),
+        ]);
+    }
+    t1.print();
+    t1.write_csv(&opts.out_dir, "analysis_node_accesses");
+
+    // Part 2: response-time prediction vs simulation.
+    let params = SystemParams::with_disks(tree.store().num_disks());
+    let k = 20;
+    let mut accesses = 0.0;
+    let mut batches = 0.0;
+    for q in &queries {
+        let mut algo = AlgorithmKind::Crss.build(&tree, q.clone(), k).expect("algo");
+        let run = run_query(&tree, algo.as_mut()).expect("query");
+        accesses += run.nodes_visited as f64;
+        batches += run.batches as f64;
+    }
+    let io = QueryIoProfile {
+        accesses: accesses / queries.len() as f64,
+        batches: batches / queries.len() as f64,
+    };
+    let mut t2 = ResultsTable::new(
+        format!(
+            "Analysis — predicted vs simulated CRSS response (k={k}, A={:.1}, B={:.1})",
+            io.accesses, io.batches
+        ),
+        &["lambda", "rho", "predicted (s)", "simulated (s)", "ratio"],
+    );
+    for lambda in [1.0f64, 2.0, 5.0, 10.0, 20.0] {
+        let est = estimate_response(&params, io, lambda);
+        let simulated = simulate(&tree, &queries, k, lambda, AlgorithmKind::Crss, 2012);
+        let (pred_str, ratio_str) = match est.response_s {
+            Some(p) => (f4(p), f2(p / simulated.mean_response_s)),
+            None => ("unstable".into(), "—".into()),
+        };
+        t2.row(vec![
+            format!("{lambda}"),
+            f2(est.utilization),
+            pred_str,
+            f4(simulated.mean_response_s),
+            ratio_str,
+        ]);
+    }
+    t2.print();
+    t2.write_csv(&opts.out_dir, "analysis_response_time");
+}

@@ -1,0 +1,121 @@
+//! Extensions — the paper's "future research" directions, measured:
+//!
+//! 1. **Shadowed disks** (RAID-1 read balancing): every page has a
+//!    replica half the array away; reads go to whichever copy frees
+//!    first.
+//! 2. **Shared-memory multiprocessor**: 1 vs 2 vs 4 CPUs with
+//!    least-loaded batch dispatch.
+//! 3. **Bulk-loaded vs incrementally built tree**: how much query I/O
+//!    the dynamic R\*-tree gives up against a full reorganization (which
+//!    the paper rules out for operational reasons).
+
+use sqda_bench::{build_tree, experiment_page_size, f2, f4, simulate, ExpOptions, ResultsTable};
+use sqda_core::{AlgorithmKind, Simulation, Workload};
+use sqda_datasets::gaussian;
+use sqda_rstar::decluster::ProximityIndex;
+use sqda_rstar::{RStarConfig, RStarTree};
+use sqda_simkernel::SystemParams;
+use sqda_storage::{ArrayStore, PageStore};
+use std::sync::Arc;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let dataset = gaussian(opts.population(50_000), 5, 1801);
+    let tree = build_tree(&dataset, 10, 1810);
+    let queries = dataset.sample_queries(opts.queries(), 1811);
+    let k = 20;
+
+    // --- Extension 1: shadowed disks ---
+    let mut t1 = ResultsTable::new(
+        "Extension — shadowed (mirrored) disks, CRSS, 10 disks, k=20",
+        &["lambda", "RAID-0 resp (s)", "mirrored resp (s)", "improvement"],
+    );
+    for lambda in [1.0f64, 5.0, 10.0, 20.0] {
+        let w = Workload::poisson(queries.clone(), k, lambda, 1812);
+        let plain = Simulation::new(&tree, SystemParams::with_disks(10))
+            .run(AlgorithmKind::Crss, &w, 1813)
+            .expect("simulation");
+        let mirrored = Simulation::new(
+            &tree,
+            SystemParams {
+                mirrored_reads: true,
+                ..SystemParams::with_disks(10)
+            },
+        )
+        .run(AlgorithmKind::Crss, &w, 1813)
+        .expect("simulation");
+        t1.row(vec![
+            format!("{lambda}"),
+            f4(plain.mean_response_s),
+            f4(mirrored.mean_response_s),
+            format!(
+                "{:.1}%",
+                (1.0 - mirrored.mean_response_s / plain.mean_response_s) * 100.0
+            ),
+        ]);
+    }
+    t1.print();
+    t1.write_csv(&opts.out_dir, "ext_mirrored_disks");
+
+    // --- Extension 2: multiprocessor front end ---
+    let mut t2 = ResultsTable::new(
+        "Extension — number of processors (CPU-bound regime, FPSS, λ=10)",
+        &["cpus", "mean resp (s)", "cpu util"],
+    );
+    let w = Workload::poisson(queries.clone(), k, 10.0, 1814);
+    for cpus in [1u32, 2, 4, 8] {
+        let params = SystemParams {
+            num_cpus: cpus,
+            cpu_mips: 0.05, // scaled down so the CPU is the bottleneck
+            ..SystemParams::with_disks(10)
+        };
+        let r = Simulation::new(&tree, params)
+            .run(AlgorithmKind::Fpss, &w, 1815)
+            .expect("simulation");
+        t2.row(vec![
+            cpus.to_string(),
+            f4(r.mean_response_s),
+            format!("{:.1}%", r.cpu_utilization * 100.0),
+        ]);
+    }
+    t2.print();
+    t2.write_csv(&opts.out_dir, "ext_multiprocessor");
+
+    // --- Extension 3: bulk-loaded baseline ---
+    let bulk_store = Arc::new(ArrayStore::with_page_size(
+        10,
+        1449,
+        experiment_page_size(dataset.dim),
+        1816,
+    ));
+    let bulk_tree = RStarTree::bulk_load(
+        bulk_store,
+        RStarConfig::with_page_size(dataset.dim, experiment_page_size(dataset.dim)),
+        Box::new(ProximityIndex),
+        dataset
+            .points
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, p)| (p, i as u64))
+            .collect(),
+    )
+    .expect("bulk load");
+    bulk_tree.store().reset_stats();
+    let mut t3 = ResultsTable::new(
+        "Extension — incremental R*-tree vs STR bulk-loaded tree (CRSS, λ=5, k=20)",
+        &["tree", "nodes", "avg fill", "mean resp (s)"],
+    );
+    for (label, t) in [("incremental", &tree), ("bulk-loaded", &bulk_tree)] {
+        let stats = t.stats().expect("stats");
+        let r = simulate(t, &queries, k, 5.0, AlgorithmKind::Crss, 1817);
+        t3.row(vec![
+            label.to_string(),
+            stats.total_nodes().to_string(),
+            f2(stats.avg_fill),
+            f4(r.mean_response_s),
+        ]);
+    }
+    t3.print();
+    t3.write_csv(&opts.out_dir, "ext_bulk_vs_incremental");
+}

@@ -1,0 +1,91 @@
+//! Extension — CRSS over the SS-tree (the paper's future-work item:
+//! "the application of the algorithm on other access methods for
+//! similarity search, like SS-tree ...").
+//!
+//! The same data, the same array, the same algorithms — only the access
+//! method changes: MBRs (R\*-tree) vs bounding spheres (SS-tree, with
+//! nearly double the directory fan-out but no MINMAXDIST guarantee).
+
+use sqda_bench::{build_tree, experiment_page_size, f2, f4, ExpOptions, ResultsTable};
+use sqda_core::{exec::run_query, AccessMethod, AlgorithmKind, Simulation, Workload};
+use sqda_datasets::{gaussian, Dataset};
+use sqda_simkernel::SystemParams;
+use sqda_sstree::{SsConfig, SsTree};
+use sqda_storage::{ArrayStore, PageStore};
+use std::sync::Arc;
+
+fn build_sstree(dataset: &Dataset, disks: u32, seed: u64) -> SsTree<ArrayStore> {
+    let page = experiment_page_size(dataset.dim);
+    let store = Arc::new(ArrayStore::with_page_size(disks, 1449, page, seed));
+    let mut tree = SsTree::create(store, SsConfig::with_page_size(dataset.dim, page))
+        .expect("create SS-tree");
+    for (i, p) in dataset.points.iter().enumerate() {
+        tree.insert(p.clone(), i as u64).expect("insert");
+    }
+    tree.store().reset_stats();
+    tree
+}
+
+fn measure(
+    am: &dyn AccessMethod,
+    queries: &[sqda_geom::Point],
+    k: usize,
+) -> (f64, f64, f64) {
+    let mut crss_nodes = 0u64;
+    let mut bbss_nodes = 0u64;
+    for q in queries {
+        let mut crss = AlgorithmKind::Crss.build(am, q.clone(), k).expect("algo");
+        crss_nodes += run_query(am, crss.as_mut()).expect("query").nodes_visited;
+        let mut bbss = AlgorithmKind::Bbss.build(am, q.clone(), k).expect("algo");
+        bbss_nodes += run_query(am, bbss.as_mut()).expect("query").nodes_visited;
+    }
+    let sim = Simulation::new(am, SystemParams::with_disks(am.num_disks()));
+    let w = Workload::poisson(queries.to_vec(), k, 5.0, 2301);
+    let resp = sim
+        .run(AlgorithmKind::Crss, &w, 2302)
+        .expect("simulation")
+        .mean_response_s;
+    let n = queries.len() as f64;
+    (crss_nodes as f64 / n, bbss_nodes as f64 / n, resp)
+}
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let k = 20;
+    let mut table = ResultsTable::new(
+        format!("Extension — R*-tree vs SS-tree under CRSS (k={k}, λ=5, 10 disks)"),
+        &[
+            "dataset",
+            "index",
+            "CRSS nodes",
+            "BBSS nodes",
+            "CRSS resp (s)",
+        ],
+    );
+    for dim in [2usize, 5, 10] {
+        let dataset = gaussian(opts.population(50_000), dim, 2300 + dim as u64);
+        let queries = dataset.sample_queries(opts.queries(), 2310);
+
+        let rstar = build_tree(&dataset, 10, 2311);
+        let (cn, bn, resp) = measure(&rstar, &queries, k);
+        table.row(vec![
+            dataset.name.clone(),
+            "R*-tree".into(),
+            f2(cn),
+            f2(bn),
+            f4(resp),
+        ]);
+
+        let sstree = build_sstree(&dataset, 10, 2311);
+        let (cn, bn, resp) = measure(&sstree, &queries, k);
+        table.row(vec![
+            dataset.name.clone(),
+            "SS-tree".into(),
+            f2(cn),
+            f2(bn),
+            f4(resp),
+        ]);
+    }
+    table.print();
+    table.write_csv(&opts.out_dir, "ext_sstree");
+}

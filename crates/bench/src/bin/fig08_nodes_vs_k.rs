@@ -1,0 +1,44 @@
+//! Figure 8: number of visited nodes vs. query size (k = 1..700) on the
+//! 2-d real-data stand-ins (California Places, Long Beach), 10 disks.
+//!
+//! Paper shape: BBSS visits fewest nodes for small k but deteriorates as
+//! k grows; CRSS overtakes it past a crossover; FPSS visits the most;
+//! WOPTSS is the floor.
+
+use sqda_bench::{build_tree, f2, mean_nodes, ExpOptions, ResultsTable};
+use sqda_core::AlgorithmKind;
+use sqda_datasets::{california_like, long_beach_like, CP_CARDINALITY, LB_CARDINALITY};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let ks: &[usize] = if opts.quick {
+        &[1, 100, 400, 700]
+    } else {
+        &[1, 50, 100, 200, 300, 400, 500, 600, 700]
+    };
+    let datasets = [
+        california_like(opts.population(CP_CARDINALITY), 801),
+        long_beach_like(opts.population(LB_CARDINALITY), 802),
+    ];
+    for dataset in datasets {
+        let tree = build_tree(&dataset, 10, 810);
+        let queries = dataset.sample_queries(opts.queries(), 811);
+        let mut table = ResultsTable::new(
+            format!(
+                "Figure 8 — visited nodes vs k (set: {}, n={}, disks: 10)",
+                dataset.name,
+                dataset.len()
+            ),
+            &["k", "BBSS", "FPSS", "CRSS", "WOPTSS"],
+        );
+        for &k in ks {
+            let mut row = vec![k.to_string()];
+            for kind in AlgorithmKind::ALL {
+                row.push(f2(mean_nodes(&tree, &queries, k, kind)));
+            }
+            table.row(row);
+        }
+        table.print();
+        table.write_csv(&opts.out_dir, &format!("fig08_{}", dataset.name));
+    }
+}

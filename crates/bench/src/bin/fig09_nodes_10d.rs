@@ -1,0 +1,48 @@
+//! Figure 9: visited nodes (normalized to WOPTSS) vs. query size for
+//! synthetic 10-d data (Gaussian n=60,030 and Uniform n=60,000), 10
+//! disks.
+//!
+//! Paper shape: in high dimensions MBR overlap grows, BBSS's D_min-guided
+//! descent degrades with k, and CRSS stays closest to the WOPTSS floor
+//! (ratios within a few percent).
+
+use sqda_bench::{build_tree, mean_nodes, ExpOptions, ResultsTable};
+use sqda_core::AlgorithmKind;
+use sqda_datasets::{gaussian, uniform};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let ks: &[usize] = if opts.quick {
+        &[1, 200, 700]
+    } else {
+        &[1, 50, 100, 200, 300, 400, 500, 600, 700]
+    };
+    let datasets = [
+        gaussian(opts.population(60_030), 10, 901),
+        uniform(opts.population(60_000), 10, 902),
+    ];
+    for dataset in datasets {
+        let tree = build_tree(&dataset, 10, 910);
+        let queries = dataset.sample_queries(opts.queries(), 911);
+        let mut table = ResultsTable::new(
+            format!(
+                "Figure 9 — visited nodes normalized to WOPTSS (set: {}, n={}, 10-d, disks: 10)",
+                dataset.name,
+                dataset.len()
+            ),
+            &["k", "BBSS/WOPTSS", "FPSS/WOPTSS", "CRSS/WOPTSS", "WOPTSS(abs)"],
+        );
+        for &k in ks {
+            let wopt = mean_nodes(&tree, &queries, k, AlgorithmKind::Woptss);
+            let mut row = vec![k.to_string()];
+            for kind in AlgorithmKind::REAL {
+                let nodes = mean_nodes(&tree, &queries, k, kind);
+                row.push(format!("{:.4}", nodes / wopt));
+            }
+            row.push(format!("{wopt:.2}"));
+            table.row(row);
+        }
+        table.print();
+        table.write_csv(&opts.out_dir, &format!("fig09_{}", dataset.name));
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 10: mean response time (s) vs. query arrival rate λ.
+//!
+//! Left graph: Long Beach stand-in, 5 disks, k = 10, λ = 1..10.
+//! Right graph: California stand-in, 10 disks, k = 100, λ = 1..20.
+//!
+//! Paper shape: FPSS is the most load-sensitive (no control over fetched
+//! pages); for small loads and many disks it can be marginally better
+//! than CRSS, but degrades fastest as λ grows; WOPTSS is the floor.
+
+use sqda_bench::{build_tree, f4, simulate, ExpOptions, ResultsTable};
+use sqda_core::AlgorithmKind;
+use sqda_datasets::{california_like, long_beach_like, CP_CARDINALITY, LB_CARDINALITY};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    struct Config {
+        dataset: sqda_datasets::Dataset,
+        disks: u32,
+        k: usize,
+        lambdas: Vec<f64>,
+    }
+    let configs = [
+        Config {
+            dataset: long_beach_like(opts.population(LB_CARDINALITY), 1001),
+            disks: 5,
+            k: 10,
+            lambdas: if opts.quick {
+                vec![1.0, 5.0, 10.0]
+            } else {
+                vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+            },
+        },
+        Config {
+            dataset: california_like(opts.population(CP_CARDINALITY), 1002),
+            disks: 10,
+            k: 100,
+            lambdas: if opts.quick {
+                vec![1.0, 10.0, 20.0]
+            } else {
+                vec![1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0]
+            },
+        },
+    ];
+    for cfg in configs {
+        let tree = build_tree(&cfg.dataset, cfg.disks, 1010);
+        let queries = cfg.dataset.sample_queries(opts.queries(), 1011);
+        let mut table = ResultsTable::new(
+            format!(
+                "Figure 10 — response time (s) vs λ (set: {}, n={}, disks: {}, k={})",
+                cfg.dataset.name,
+                cfg.dataset.len(),
+                cfg.disks,
+                cfg.k
+            ),
+            &["lambda", "BBSS", "FPSS", "CRSS", "WOPTSS"],
+        );
+        for &lambda in &cfg.lambdas {
+            let mut row = vec![format!("{lambda}")];
+            for kind in AlgorithmKind::ALL {
+                let report = simulate(&tree, &queries, cfg.k, lambda, kind, 1012);
+                row.push(f4(report.mean_response_s));
+            }
+            table.row(row);
+        }
+        table.print();
+        table.write_csv(
+            &opts.out_dir,
+            &format!("fig10_{}_{}disks", cfg.dataset.name, cfg.disks),
+        );
+    }
+}

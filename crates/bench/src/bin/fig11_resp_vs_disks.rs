@@ -1,0 +1,53 @@
+//! Figure 11: response time normalized to WOPTSS vs. number of disks
+//! (5–30), Gaussian 50,000 points, 5-d, λ = 5 queries/s, k = 10 and
+//! k = 100.
+//!
+//! Paper shape: CRSS's speed-up with added disks is far better than
+//! BBSS's — CRSS lands 2–4× faster than BBSS and about 2× the WOPTSS
+//! floor. (FPSS is dropped from this figure in the paper due to its load
+//! sensitivity; we keep it in the CSV for completeness.)
+
+use sqda_bench::{build_tree, f2, f4, simulate, ExpOptions, ResultsTable};
+use sqda_core::AlgorithmKind;
+use sqda_datasets::gaussian;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let disk_counts: &[u32] = if opts.quick {
+        &[5, 15, 30]
+    } else {
+        &[5, 10, 15, 20, 25, 30]
+    };
+    let dataset = gaussian(opts.population(50_000), 5, 1101);
+    for k in [10usize, 100] {
+        let mut table = ResultsTable::new(
+            format!(
+                "Figure 11 — response time normalized to WOPTSS vs #disks (set: {}, n={}, 5-d, k={}, λ=5)",
+                dataset.name,
+                dataset.len(),
+                k
+            ),
+            &[
+                "disks",
+                "BBSS/WOPTSS",
+                "FPSS/WOPTSS",
+                "CRSS/WOPTSS",
+                "WOPTSS(s)",
+            ],
+        );
+        for &disks in disk_counts {
+            let tree = build_tree(&dataset, disks, 1110 + disks as u64);
+            let queries = dataset.sample_queries(opts.queries(), 1111);
+            let wopt = simulate(&tree, &queries, k, 5.0, AlgorithmKind::Woptss, 1112);
+            let mut row = vec![disks.to_string()];
+            for kind in AlgorithmKind::REAL {
+                let r = simulate(&tree, &queries, k, 5.0, kind, 1112);
+                row.push(f2(r.mean_response_s / wopt.mean_response_s));
+            }
+            row.push(f4(wopt.mean_response_s));
+            table.row(row);
+        }
+        table.print();
+        table.write_csv(&opts.out_dir, &format!("fig11_k{k}"));
+    }
+}

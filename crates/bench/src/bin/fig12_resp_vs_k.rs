@@ -1,0 +1,50 @@
+//! Figure 12: response time normalized to WOPTSS vs. number of nearest
+//! neighbours (1–100), Uniform 80,000 points, 5-d, 10 disks, at λ = 1
+//! (left) and λ = 20 (right) queries/s.
+//!
+//! Paper shape: CRSS is the best real algorithm across the whole k range,
+//! outperforming BBSS by 3–4×.
+
+use sqda_bench::{build_tree, f2, f4, simulate, ExpOptions, ResultsTable};
+use sqda_core::AlgorithmKind;
+use sqda_datasets::uniform;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let ks: &[usize] = if opts.quick {
+        &[1, 40, 100]
+    } else {
+        &[1, 10, 20, 40, 60, 80, 100]
+    };
+    let dataset = uniform(opts.population(80_000), 5, 1201);
+    let tree = build_tree(&dataset, 10, 1210);
+    let queries = dataset.sample_queries(opts.queries(), 1211);
+    for lambda in [1.0f64, 20.0] {
+        let mut table = ResultsTable::new(
+            format!(
+                "Figure 12 — response time normalized to WOPTSS vs k (set: {}, n={}, 5-d, disks: 10, λ={lambda})",
+                dataset.name,
+                dataset.len()
+            ),
+            &[
+                "k",
+                "BBSS/WOPTSS",
+                "FPSS/WOPTSS",
+                "CRSS/WOPTSS",
+                "WOPTSS(s)",
+            ],
+        );
+        for &k in ks {
+            let wopt = simulate(&tree, &queries, k, lambda, AlgorithmKind::Woptss, 1212);
+            let mut row = vec![k.to_string()];
+            for kind in AlgorithmKind::REAL {
+                let r = simulate(&tree, &queries, k, lambda, kind, 1212);
+                row.push(f2(r.mean_response_s / wopt.mean_response_s));
+            }
+            row.push(f4(wopt.mean_response_s));
+            table.row(row);
+        }
+        table.print();
+        table.write_csv(&opts.out_dir, &format!("fig12_lambda{lambda}"));
+    }
+}

@@ -1,0 +1,33 @@
+//! Diagnostic: batch-size profile of each algorithm (not part of the
+//! paper's experiment set; used to understand parallelism exploitation).
+
+use sqda_bench::{build_tree, ExpOptions};
+use sqda_core::{exec::run_query, AlgorithmKind};
+use sqda_datasets::gaussian;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let dataset = gaussian(opts.population(20_000), 5, 1301 + 20_000);
+    let tree = build_tree(&dataset, 10, 1320);
+    let queries = dataset.sample_queries(30, 1311);
+    for kind in AlgorithmKind::ALL {
+        let mut nodes = 0u64;
+        let mut batches = 0u64;
+        let mut maxb = 0usize;
+        for q in &queries {
+            let mut algo = kind.build(&tree, q.clone(), 20).unwrap();
+            let run = run_query(&tree, algo.as_mut()).unwrap();
+            nodes += run.nodes_visited;
+            batches += run.batches;
+            maxb = maxb.max(run.max_batch);
+        }
+        println!(
+            "{:<8} nodes/query {:6.1}  batches/query {:6.1}  mean batch {:4.2}  max batch {}",
+            kind.name(),
+            nodes as f64 / queries.len() as f64,
+            batches as f64 / queries.len() as f64,
+            nodes as f64 / batches as f64,
+            maxb
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Runs every experiment binary in sequence (same process), producing
+//! the full set of tables and CSVs. Pass `--quick` for a fast smoke run.
+//!
+//! ```text
+//! cargo run --release -p sqda-bench --bin run_all_experiments [-- --quick]
+//! ```
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig08_nodes_vs_k",
+    "fig09_nodes_10d",
+    "fig10_resp_vs_lambda",
+    "fig11_resp_vs_disks",
+    "fig12_resp_vs_k",
+    "table3_scaleup_population",
+    "table4_scaleup_k",
+    "table5_summary",
+    "ablation_declustering",
+    "ablation_crss_bound",
+    "ablation_split_policy",
+    "ablation_packing",
+    "ext_future_work",
+    "ext_tighter_threshold",
+    "ext_sstree",
+    "analysis_validation",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut failed = Vec::new();
+    for exp in EXPERIMENTS {
+        println!("\n########## {exp} ##########");
+        let path = exe_dir.join(exp);
+        let status = Command::new(&path)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            eprintln!("experiment {exp} FAILED: {status}");
+            failed.push(*exp);
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall {} experiments completed", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nFAILED experiments: {failed:?}");
+        std::process::exit(1);
+    }
+}

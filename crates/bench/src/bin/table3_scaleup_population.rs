@@ -1,0 +1,48 @@
+//! Table 3: scalability with respect to population growth — response
+//! time (s) as population and disks grow together.
+//!
+//! Gaussian, 5-d, k = 20, λ = 5 queries/s.
+//!
+//! | population | disks |
+//! |-----------:|------:|
+//! |     10,000 |     5 |
+//! |     20,000 |    10 |
+//! |     40,000 |    20 |
+//! |     80,000 |    40 |
+//!
+//! Paper shape: CRSS stays flat (good scale-up) and is ~4× faster than
+//! BBSS on average; BBSS *degrades* as the system grows because it cannot
+//! use the added disks within a query.
+
+use sqda_bench::{build_tree, f4, simulate, ExpOptions, ResultsTable};
+use sqda_core::AlgorithmKind;
+use sqda_datasets::gaussian;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let steps: &[(usize, u32)] = &[(10_000, 5), (20_000, 10), (40_000, 20), (80_000, 40)];
+    let k = 20;
+    let lambda = 5.0;
+    let mut table = ResultsTable::new(
+        format!("Table 3 — scale-up with population (gaussian, 5-d, k={k}, λ={lambda})"),
+        &["population", "disks", "BBSS", "CRSS", "WOPTSS", "FPSS"],
+    );
+    for &(pop, disks) in steps {
+        let dataset = gaussian(opts.population(pop), 5, 1301 + pop as u64);
+        let tree = build_tree(&dataset, disks, 1310 + disks as u64);
+        let queries = dataset.sample_queries(opts.queries(), 1311);
+        let mut row = vec![dataset.len().to_string(), disks.to_string()];
+        for kind in [
+            AlgorithmKind::Bbss,
+            AlgorithmKind::Crss,
+            AlgorithmKind::Woptss,
+            AlgorithmKind::Fpss,
+        ] {
+            let r = simulate(&tree, &queries, k, lambda, kind, 1312);
+            row.push(f4(r.mean_response_s));
+        }
+        table.row(row);
+    }
+    table.print();
+    table.write_csv(&opts.out_dir, "table3_scaleup_population");
+}

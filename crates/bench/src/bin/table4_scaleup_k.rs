@@ -1,0 +1,48 @@
+//! Table 4: scalability with respect to query size growth — response
+//! time (s) as k and disks grow together.
+//!
+//! Gaussian, 5-d, population 80,000, λ = 5 queries/s.
+//!
+//! | k  | disks |
+//! |---:|------:|
+//! | 10 |     5 |
+//! | 20 |    10 |
+//! | 40 |    20 |
+//! | 80 |    40 |
+//!
+//! Paper shape: CRSS is stable and ~4× faster than BBSS on average.
+
+use sqda_bench::{build_tree, f4, simulate, ExpOptions, ResultsTable};
+use sqda_core::AlgorithmKind;
+use sqda_datasets::gaussian;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let steps: &[(usize, u32)] = &[(10, 5), (20, 10), (40, 20), (80, 40)];
+    let lambda = 5.0;
+    let dataset = gaussian(opts.population(80_000), 5, 1401);
+    let mut table = ResultsTable::new(
+        format!(
+            "Table 4 — scale-up with query size (gaussian, 5-d, n={}, λ={lambda})",
+            dataset.len()
+        ),
+        &["k", "disks", "BBSS", "CRSS", "WOPTSS", "FPSS"],
+    );
+    for &(k, disks) in steps {
+        let tree = build_tree(&dataset, disks, 1410 + disks as u64);
+        let queries = dataset.sample_queries(opts.queries(), 1411);
+        let mut row = vec![k.to_string(), disks.to_string()];
+        for kind in [
+            AlgorithmKind::Bbss,
+            AlgorithmKind::Crss,
+            AlgorithmKind::Woptss,
+            AlgorithmKind::Fpss,
+        ] {
+            let r = simulate(&tree, &queries, k, lambda, kind, 1412);
+            row.push(f4(r.mean_response_s));
+        }
+        table.row(row);
+    }
+    table.print();
+    table.write_csv(&opts.out_dir, "table4_scaleup_k");
+}

@@ -1,0 +1,301 @@
+//! The CLI command handlers.
+
+use crate::args::{parse_point, Args};
+use crate::meta::TreeMeta;
+use sqda_analysis::{estimate_response, expected_knn_accesses, QueryIoProfile, TreeProfile};
+use sqda_core::{exec::run_query, AlgorithmKind, Simulation, Workload};
+use sqda_datasets::Dataset;
+use sqda_geom::Point;
+use sqda_rstar::decluster::{
+    AreaBalance, DataBalance, Declusterer, ProximityIndex, RandomAssign, RoundRobin,
+};
+use sqda_rstar::{RStarConfig, RStarTree, SplitPolicy};
+use sqda_simkernel::SystemParams;
+use sqda_storage::{FileStore, PageId, PageStore};
+use std::error::Error;
+use std::path::Path;
+use std::sync::Arc;
+
+type CmdResult = Result<(), Box<dyn Error + Send + Sync>>;
+
+fn declusterer_by_name(name: &str, seed: u64) -> Result<Box<dyn Declusterer>, Box<dyn Error + Send + Sync>> {
+    Ok(match name {
+        "pi" | "proximity-index" => Box::new(ProximityIndex),
+        "rr" | "round-robin" => Box::new(RoundRobin::new()),
+        "random" => Box::new(RandomAssign::new(seed)),
+        "data" | "data-balance" => Box::new(DataBalance),
+        "area" | "area-balance" => Box::new(AreaBalance),
+        other => return Err(format!("unknown declusterer {other:?}").into()),
+    })
+}
+
+fn split_by_name(name: &str) -> Result<SplitPolicy, Box<dyn Error + Send + Sync>> {
+    Ok(match name {
+        "rstar" => SplitPolicy::RStar,
+        "quadratic" => SplitPolicy::GuttmanQuadratic,
+        "linear" => SplitPolicy::GuttmanLinear,
+        other => return Err(format!("unknown split policy {other:?}").into()),
+    })
+}
+
+fn algo_by_name(name: &str) -> Result<AlgorithmKind, Box<dyn Error + Send + Sync>> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "bbss" => AlgorithmKind::Bbss,
+        "fpss" => AlgorithmKind::Fpss,
+        "crss" => AlgorithmKind::Crss,
+        "woptss" => AlgorithmKind::Woptss,
+        other => return Err(format!("unknown algorithm {other:?}").into()),
+    })
+}
+
+fn open_tree(store_dir: &str) -> Result<(RStarTree<FileStore>, TreeMeta), Box<dyn Error + Send + Sync>> {
+    let dir = Path::new(store_dir);
+    let meta = TreeMeta::load(dir)?;
+    let store = Arc::new(FileStore::open(dir)?);
+    let tree = RStarTree::attach(
+        store,
+        RStarConfig::with_page_size(meta.dim, meta.page_size),
+        Box::new(ProximityIndex),
+        PageId::from_raw(meta.root),
+    )?;
+    Ok((tree, meta))
+}
+
+/// `sqda generate`
+pub fn generate(args: &Args) -> CmdResult {
+    let kind = args.required("kind")?.to_string();
+    let n: usize = args.required_parsed("n")?;
+    let dim: usize = args.get_or("dim", 2)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let out = args.required("out")?.to_string();
+    let dataset = match kind.as_str() {
+        "uniform" => sqda_datasets::uniform(n, dim, seed),
+        "gaussian" => sqda_datasets::gaussian(n, dim, seed),
+        "california" => sqda_datasets::california_like(n, seed),
+        "longbeach" => sqda_datasets::long_beach_like(n, seed),
+        other => return Err(format!("unknown dataset kind {other:?}").into()),
+    };
+    dataset.write_csv(Path::new(&out))?;
+    println!(
+        "wrote {} {}-d points ({}) to {out}",
+        dataset.len(),
+        dataset.dim,
+        dataset.name
+    );
+    Ok(())
+}
+
+/// `sqda build`
+pub fn build(args: &Args) -> CmdResult {
+    let input = args.required("input")?.to_string();
+    let store_dir = args.required("store")?.to_string();
+    let disks: u32 = args.get_or("disks", 10)?;
+    let page_size: usize = args.get_or("page-size", 4096)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let decluster_name = args.get("decluster").unwrap_or("pi").to_string();
+    let split = split_by_name(args.get("split").unwrap_or("rstar"))?;
+    let bulk = args.flag("bulk");
+
+    let dataset = Dataset::read_csv("input", Path::new(&input))?;
+    if dataset.is_empty() {
+        return Err("input dataset is empty".into());
+    }
+    let declusterer = declusterer_by_name(&decluster_name, seed)?;
+    let store = Arc::new(FileStore::create(
+        Path::new(&store_dir),
+        disks,
+        1449,
+        page_size,
+        seed,
+    )?);
+    let config = RStarConfig::with_page_size(dataset.dim, page_size).with_split_policy(split);
+    let start = std::time::Instant::now();
+    let tree = if bulk {
+        RStarTree::bulk_load(
+            store.clone(),
+            config,
+            declusterer,
+            dataset
+                .points
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, p)| (p, i as u64))
+                .collect(),
+        )?
+    } else {
+        let mut tree = RStarTree::create(store.clone(), config, declusterer)?;
+        for (i, p) in dataset.points.iter().enumerate() {
+            tree.insert(p.clone(), i as u64)?;
+        }
+        tree
+    };
+    store.sync()?;
+    TreeMeta {
+        root: tree.root_page().as_raw(),
+        dim: dataset.dim,
+        page_size,
+        decluster: decluster_name,
+    }
+    .save(Path::new(&store_dir))?;
+    let stats = tree.stats()?;
+    println!(
+        "built {} tree: {} objects, height {}, {} nodes, avg fill {:.2}, {} disks, in {:.1?}",
+        if bulk { "bulk-loaded" } else { "incremental" },
+        tree.num_objects(),
+        tree.height(),
+        stats.total_nodes(),
+        stats.avg_fill,
+        disks,
+        start.elapsed()
+    );
+    Ok(())
+}
+
+/// `sqda query`
+pub fn query(args: &Args) -> CmdResult {
+    let (tree, _) = open_tree(args.required("store")?)?;
+    let coords = parse_point(args.required("point")?)?;
+    let k: usize = args.get_or("k", 10)?;
+    let kind = algo_by_name(args.get("algo").unwrap_or("crss"))?;
+    let point = Point::try_new(coords)?;
+    let mut algo = kind.build(&tree, point, k)?;
+    let run = run_query(&tree, algo.as_mut())?;
+    println!(
+        "{} found {} neighbours in {} node reads ({} batches, max batch {}):",
+        kind.name(),
+        run.results.len(),
+        run.nodes_visited,
+        run.batches,
+        run.max_batch
+    );
+    for n in &run.results {
+        println!("  {}  {}  distance {:.6}", n.object, n.point, n.dist());
+    }
+    Ok(())
+}
+
+/// `sqda range`
+pub fn range(args: &Args) -> CmdResult {
+    let (tree, _) = open_tree(args.required("store")?)?;
+    let coords = parse_point(args.required("point")?)?;
+    let radius: f64 = args.required_parsed("radius")?;
+    let point = Point::try_new(coords)?;
+    let hits = tree.range_query(&point, radius)?;
+    println!("{} objects within {radius} of {point}:", hits.len());
+    for e in hits.iter().take(20) {
+        println!("  {}  {}", e.object, e.point);
+    }
+    if hits.len() > 20 {
+        println!("  ... and {} more", hits.len() - 20);
+    }
+    Ok(())
+}
+
+/// `sqda stats`
+pub fn stats(args: &Args) -> CmdResult {
+    let (tree, meta) = open_tree(args.required("store")?)?;
+    let stats = tree.stats()?;
+    println!("dimensionality : {}", tree.dim());
+    println!("objects        : {}", tree.num_objects());
+    println!("height         : {}", stats.height);
+    println!("nodes          : {}", stats.total_nodes());
+    println!("nodes per level: {:?}", stats.nodes_per_level);
+    println!("avg fill       : {:.3}", stats.avg_fill);
+    println!("pages per disk : {:?}", stats.pages_per_disk);
+    println!("page size      : {}", meta.page_size);
+    println!("declusterer    : {}", meta.decluster);
+    match tree.validate()? {
+        Ok(()) => println!("invariants     : OK"),
+        Err(e) => println!("invariants     : VIOLATED — {e}"),
+    }
+    Ok(())
+}
+
+/// `sqda simulate`
+pub fn simulate(args: &Args) -> CmdResult {
+    let (tree, _) = open_tree(args.required("store")?)?;
+    let k: usize = args.get_or("k", 10)?;
+    let lambda: f64 = args.get_or("lambda", 5.0)?;
+    let num_queries: usize = args.get_or("queries", 100)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let kind = algo_by_name(args.get("algo").unwrap_or("crss"))?;
+    let params = SystemParams {
+        mirrored_reads: args.flag("mirrored"),
+        num_cpus: args.get_or("cpus", 1)?,
+        ..SystemParams::with_disks(tree.store().num_disks())
+    };
+    // Queries follow the data distribution: sample indexed points.
+    let sample = sample_data_points(&tree, num_queries, seed)?;
+    let workload = Workload::poisson(sample, k, lambda, seed ^ 0xABCD);
+    let report = Simulation::new(&tree, params).run(kind, &workload, seed ^ 0x1234)?;
+    println!("algorithm        : {}", report.algorithm);
+    println!("queries          : {}", report.completed);
+    println!("mean response    : {:.4} s", report.mean_response_s);
+    println!("p95 response     : {:.4} s", report.p95_response_s);
+    println!("max response     : {:.4} s", report.max_response_s);
+    println!("nodes per query  : {:.1}", report.mean_nodes_per_query);
+    println!("disk utilization : {:.1}%", report.mean_disk_utilization * 100.0);
+    println!("bus utilization  : {:.1}%", report.bus_utilization * 100.0);
+    println!("cpu utilization  : {:.1}%", report.cpu_utilization * 100.0);
+    Ok(())
+}
+
+/// `sqda estimate`
+pub fn estimate(args: &Args) -> CmdResult {
+    let (tree, _) = open_tree(args.required("store")?)?;
+    let k: usize = args.get_or("k", 10)?;
+    let lambda: f64 = args.get_or("lambda", 5.0)?;
+    let profile = TreeProfile::measure(&tree)?;
+    let Some(accesses) = expected_knn_accesses(&profile, k) else {
+        return Err("degenerate data space; no analytical estimate".into());
+    };
+    let params = SystemParams::with_disks(tree.store().num_disks());
+    let u = params.num_disks as f64;
+    let io = QueryIoProfile {
+        accesses,
+        batches: (accesses / u).max(tree.height() as f64),
+    };
+    let est = estimate_response(&params, io, lambda);
+    println!("expected node accesses : {accesses:.1} (weak-optimal)");
+    println!("assumed batches        : {:.1}", io.batches);
+    println!("disk utilization ρ     : {:.3}", est.utilization);
+    match est.response_s {
+        Some(r) => println!("predicted response     : {r:.4} s"),
+        None => println!("predicted response     : UNSTABLE (ρ ≥ 1)"),
+    }
+    Ok(())
+}
+
+/// Samples query points from the indexed data (window queries over random
+/// leaf pages keep this O(sample) instead of a full scan).
+fn sample_data_points<S: PageStore>(
+    tree: &RStarTree<S>,
+    n: usize,
+    seed: u64,
+) -> Result<Vec<Point>, Box<dyn Error + Send + Sync>> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    // Walk random root-to-leaf paths.
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut page = tree.root_page();
+        loop {
+            let node = tree.read_node(page)?;
+            match node {
+                sqda_rstar::Node::Leaf { entries } => {
+                    if entries.is_empty() {
+                        return Err("tree is empty".into());
+                    }
+                    let e = &entries[rng.gen_range(0..entries.len())];
+                    out.push(e.point.clone());
+                    break;
+                }
+                sqda_rstar::Node::Internal { entries, .. } => {
+                    page = entries[rng.gen_range(0..entries.len())].child;
+                }
+            }
+        }
+    }
+    Ok(out)
+}

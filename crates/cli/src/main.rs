@@ -1,0 +1,81 @@
+//! `sqda` — command-line interface to the similarity-query system.
+//!
+//! ```text
+//! sqda generate --kind california --n 62173 --out places.csv
+//! sqda build    --input places.csv --store ./mystore --disks 10
+//! sqda query    --store ./mystore --point 0.42,0.37 --k 5 --algo crss
+//! sqda range    --store ./mystore --point 0.42,0.37 --radius 0.01
+//! sqda stats    --store ./mystore
+//! sqda simulate --store ./mystore --k 10 --lambda 5 --queries 100
+//! sqda estimate --store ./mystore --k 10 --lambda 5
+//! ```
+
+mod args;
+mod commands;
+mod meta;
+
+use args::Args;
+
+const HELP: &str = "\
+sqda — similarity query processing using disk arrays
+
+USAGE: sqda <command> [--option value ...]
+
+COMMANDS:
+  generate   synthesize a dataset CSV
+             --kind uniform|gaussian|california|longbeach  --n <count>
+             [--dim <d>=2] [--seed <s>=0] --out <file.csv>
+  build      build a persistent declustered R*-tree from a CSV
+             --input <file.csv> --store <dir> [--disks <n>=10]
+             [--page-size <bytes>=4096] [--decluster pi|rr|random|data|area]
+             [--split rstar|quadratic|linear] [--bulk] [--seed <s>=0]
+  query      k nearest neighbours
+             --store <dir> --point <x,y,...> [--k <k>=10]
+             [--algo bbss|fpss|crss|woptss=crss]
+  range      similarity range query
+             --store <dir> --point <x,y,...> --radius <r>
+  stats      tree statistics
+             --store <dir>
+  simulate   multi-user response-time simulation on the modelled array
+             --store <dir> [--k <k>=10] [--lambda <q/s>=5]
+             [--queries <n>=100] [--algo ...=crss] [--seed <s>=0]
+             [--mirrored] [--cpus <n>=1]
+  estimate   analytical response-time prediction (no simulation)
+             --store <dir> [--k <k>=10] [--lambda <q/s>=5]
+  help       this text
+";
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
+        print!("{HELP}");
+        return;
+    }
+    let args = match Args::parse(argv, &["bulk", "mirrored"]) {
+        Ok(a) => a,
+        Err(e) => fail(&e),
+    };
+    let result = match args.command.as_str() {
+        "generate" => commands::generate(&args),
+        "build" => commands::build(&args),
+        "query" => commands::query(&args),
+        "range" => commands::range(&args),
+        "stats" => commands::stats(&args),
+        "simulate" => commands::simulate(&args),
+        "estimate" => commands::estimate(&args),
+        other => {
+            eprintln!("unknown command {other:?}\n");
+            print!("{HELP}");
+            std::process::exit(2);
+        }
+    };
+    let result = result.and_then(|()| args.finish().map_err(Into::into));
+    if let Err(e) = result {
+        fail(e.as_ref());
+    }
+}
+
+fn fail(e: &dyn std::fmt::Display) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(1);
+}

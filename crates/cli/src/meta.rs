@@ -1,0 +1,88 @@
+//! The `tree.meta` sidecar file: everything needed to reopen a persisted
+//! tree (the `FileStore` superblock holds page placements; this file
+//! holds the tree-level metadata).
+
+use std::path::Path;
+
+/// Tree metadata persisted next to the store files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeMeta {
+    /// Root page id (raw).
+    pub root: u64,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Page size in bytes.
+    pub page_size: usize,
+    /// Declustering heuristic name (for display; reopening uses PI for
+    /// future splits unless overridden).
+    pub decluster: String,
+}
+
+impl TreeMeta {
+    /// Writes the sidecar as simple `key=value` lines.
+    pub fn save(&self, store_dir: &Path) -> std::io::Result<()> {
+        let body = format!(
+            "root={}\ndim={}\npage_size={}\ndecluster={}\n",
+            self.root, self.dim, self.page_size, self.decluster
+        );
+        std::fs::write(store_dir.join("tree.meta"), body)
+    }
+
+    /// Reads the sidecar.
+    pub fn load(store_dir: &Path) -> std::io::Result<Self> {
+        let body = std::fs::read_to_string(store_dir.join("tree.meta"))?;
+        let mut root = None;
+        let mut dim = None;
+        let mut page_size = None;
+        let mut decluster = String::from("proximity-index");
+        for line in body.lines() {
+            let Some((k, v)) = line.split_once('=') else {
+                continue;
+            };
+            match k {
+                "root" => root = v.parse().ok(),
+                "dim" => dim = v.parse().ok(),
+                "page_size" => page_size = v.parse().ok(),
+                "decluster" => decluster = v.to_string(),
+                _ => {}
+            }
+        }
+        let missing =
+            |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+        Ok(Self {
+            root: root.ok_or_else(|| missing("tree.meta: missing root"))?,
+            dim: dim.ok_or_else(|| missing("tree.meta: missing dim"))?,
+            page_size: page_size.ok_or_else(|| missing("tree.meta: missing page_size"))?,
+            decluster,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let dir = std::env::temp_dir().join(format!("sqda-meta-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = TreeMeta {
+            root: 42,
+            dim: 5,
+            page_size: 2048,
+            decluster: "round-robin".into(),
+        };
+        m.save(&dir).unwrap();
+        assert_eq!(TreeMeta::load(&dir).unwrap(), m);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_incomplete() {
+        let dir = std::env::temp_dir().join(format!("sqda-meta-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("tree.meta"), "dim=2\n").unwrap();
+        assert!(TreeMeta::load(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

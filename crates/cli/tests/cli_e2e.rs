@@ -1,0 +1,177 @@
+//! End-to-end tests of the `sqda` binary: generate → build → query →
+//! stats → simulate → estimate, through real process invocations.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn sqda(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sqda"))
+        .args(args)
+        .output()
+        .expect("launch sqda")
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sqda-cli-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn stdout(o: &Output) -> String {
+    assert!(
+        o.status.success(),
+        "command failed: {}\n{}",
+        String::from_utf8_lossy(&o.stderr),
+        String::from_utf8_lossy(&o.stdout)
+    );
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+#[test]
+fn full_workflow() {
+    let dir = workdir("workflow");
+    let csv = dir.join("points.csv");
+    let store = dir.join("store");
+
+    // generate
+    let out = stdout(&sqda(&[
+        "generate",
+        "--kind",
+        "california",
+        "--n",
+        "3000",
+        "--seed",
+        "7",
+        "--out",
+        csv.to_str().unwrap(),
+    ]));
+    assert!(out.contains("3000"), "{out}");
+
+    // build
+    let out = stdout(&sqda(&[
+        "build",
+        "--input",
+        csv.to_str().unwrap(),
+        "--store",
+        store.to_str().unwrap(),
+        "--disks",
+        "4",
+        "--page-size",
+        "1024",
+    ]));
+    assert!(out.contains("3000 objects"), "{out}");
+
+    // stats
+    let out = stdout(&sqda(&["stats", "--store", store.to_str().unwrap()]));
+    assert!(out.contains("invariants     : OK"), "{out}");
+    assert!(out.contains("objects        : 3000"), "{out}");
+
+    // query
+    let out = stdout(&sqda(&[
+        "query",
+        "--store",
+        store.to_str().unwrap(),
+        "--point",
+        "0.5,0.5",
+        "--k",
+        "5",
+        "--algo",
+        "crss",
+    ]));
+    assert!(out.contains("CRSS found 5 neighbours"), "{out}");
+
+    // range
+    let out = stdout(&sqda(&[
+        "range",
+        "--store",
+        store.to_str().unwrap(),
+        "--point",
+        "0.5,0.5",
+        "--radius",
+        "0.05",
+    ]));
+    assert!(out.contains("objects within 0.05"), "{out}");
+
+    // simulate (small workload to stay fast)
+    let out = stdout(&sqda(&[
+        "simulate",
+        "--store",
+        store.to_str().unwrap(),
+        "--k",
+        "5",
+        "--lambda",
+        "5",
+        "--queries",
+        "10",
+    ]));
+    assert!(out.contains("mean response"), "{out}");
+    assert!(out.contains("queries          : 10"), "{out}");
+
+    // estimate
+    let out = stdout(&sqda(&[
+        "estimate",
+        "--store",
+        store.to_str().unwrap(),
+        "--k",
+        "5",
+        "--lambda",
+        "5",
+    ]));
+    assert!(out.contains("predicted response"), "{out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bulk_build_and_all_algorithms() {
+    let dir = workdir("bulk");
+    let csv = dir.join("u.csv");
+    let store = dir.join("store");
+    stdout(&sqda(&[
+        "generate", "--kind", "uniform", "--n", "2000", "--dim", "3", "--out",
+        csv.to_str().unwrap(),
+    ]));
+    let out = stdout(&sqda(&[
+        "build",
+        "--input",
+        csv.to_str().unwrap(),
+        "--store",
+        store.to_str().unwrap(),
+        "--disks",
+        "3",
+        "--bulk",
+        "--decluster",
+        "rr",
+        "--split",
+        "quadratic",
+    ]));
+    assert!(out.contains("bulk-loaded"), "{out}");
+    for algo in ["bbss", "fpss", "crss", "woptss"] {
+        let out = stdout(&sqda(&[
+            "query",
+            "--store",
+            store.to_str().unwrap(),
+            "--point",
+            "0.5,0.5,0.5",
+            "--k",
+            "3",
+            "--algo",
+            algo,
+        ]));
+        assert!(out.contains("found 3 neighbours"), "{algo}: {out}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn helpful_errors() {
+    let o = sqda(&["query", "--store", "/nonexistent-sqda-store"]);
+    assert!(!o.status.success());
+    let o = sqda(&["frobnicate"]);
+    assert!(!o.status.success());
+    let o = sqda(&["generate", "--kind", "uniform", "--n", "10", "--out", "/tmp/x.csv", "--bogus", "1"]);
+    assert!(!o.status.success());
+    let help = sqda(&["help"]);
+    assert!(String::from_utf8_lossy(&help.stdout).contains("USAGE"));
+}

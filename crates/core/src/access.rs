@@ -1,0 +1,230 @@
+//! The access-method abstraction.
+//!
+//! The paper notes (Section 1) that the proposed similarity-search
+//! algorithm "supports all variants of the R-tree family as well as
+//! TV-trees, SS-trees, X-trees and SR-trees, with some modifications".
+//! This module is that claim made concrete: the algorithms only ever see
+//! [`IndexNode`]s — leaves of `(point, object-id)` pairs and directories
+//! of count-annotated bounding [`Region`]s — so any hierarchical,
+//! declustered access method that can serve this view runs BBSS, FPSS,
+//! CRSS and WOPTSS unchanged. `sqda-rstar` (rectangles) and
+//! `sqda-sstree` (spheres) both implement it.
+
+use sqda_geom::{Point, Region};
+use sqda_storage::{PageId, Placement};
+
+/// Errors surfaced through the access-method boundary.
+pub type AmError = Box<dyn std::error::Error + Send + Sync>;
+
+/// One directory entry: a bounding region over a child subtree, annotated
+/// with the number of data objects below it (the count augmentation every
+/// supported access method must provide — Lemma 1 depends on it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionEntry {
+    /// The bounding region.
+    pub region: Region,
+    /// The child page.
+    pub child: PageId,
+    /// Data objects in the child subtree.
+    pub count: u64,
+}
+
+/// A decoded index node, as the search algorithms see it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexNode {
+    /// A leaf: data points with raw object ids.
+    Leaf(Vec<(Point, u64)>),
+    /// A directory node.
+    Internal(Vec<RegionEntry>),
+}
+
+impl IndexNode {
+    /// `true` for leaves.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, IndexNode::Leaf(_))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            IndexNode::Leaf(e) => e.len(),
+            IndexNode::Internal(e) => e.len(),
+        }
+    }
+
+    /// `true` when the node has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A declustered hierarchical index the similarity-search algorithms can
+/// run over.
+pub trait AccessMethod: Send + Sync {
+    /// The root page.
+    fn root_page(&self) -> PageId;
+
+    /// Number of disks in the backing array (CRSS's activation bound).
+    fn num_disks(&self) -> u32;
+
+    /// Reads and decodes one node.
+    fn read_index_node(&self, page: PageId) -> Result<IndexNode, AmError>;
+
+    /// Physical placement of a page (the simulator's timing input).
+    fn placement(&self, page: PageId) -> Result<Placement, AmError>;
+}
+
+impl<S: sqda_storage::PageStore> AccessMethod for sqda_rstar::RStarTree<S> {
+    fn root_page(&self) -> PageId {
+        sqda_rstar::RStarTree::root_page(self)
+    }
+
+    fn num_disks(&self) -> u32 {
+        self.store().num_disks()
+    }
+
+    fn read_index_node(&self, page: PageId) -> Result<IndexNode, AmError> {
+        let node = self.read_node(page).map_err(Box::new)?;
+        Ok(match node {
+            sqda_rstar::Node::Leaf { entries } => IndexNode::Leaf(
+                entries
+                    .into_iter()
+                    .map(|e| (e.point, e.object.0))
+                    .collect(),
+            ),
+            sqda_rstar::Node::Internal { entries, .. } => IndexNode::Internal(
+                entries
+                    .into_iter()
+                    .map(|e| RegionEntry {
+                        region: Region::Rect(e.mbr),
+                        child: e.child,
+                        count: e.count,
+                    })
+                    .collect(),
+            ),
+        })
+    }
+
+    fn placement(&self, page: PageId) -> Result<Placement, AmError> {
+        Ok(self.store().placement(page).map_err(Box::new)?)
+    }
+}
+
+/// Generic best-first k-NN over any access method (Hjaltason–Samet).
+/// Used as the WOPTSS oracle and for ground truth; visits nodes in
+/// increasing `D_min` order.
+pub fn best_first_knn(
+    am: &(impl AccessMethod + ?Sized),
+    center: &Point,
+    k: usize,
+) -> Result<Vec<sqda_rstar::Neighbor>, AmError> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    enum Item {
+        Node(f64, PageId),
+        Object(f64, Point, u64),
+    }
+    impl Item {
+        fn key(&self) -> (f64, u8) {
+            match self {
+                Item::Object(d, ..) => (*d, 0),
+                Item::Node(d, _) => (*d, 1),
+            }
+        }
+    }
+    impl PartialEq for Item {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == Ordering::Equal
+        }
+    }
+    impl Eq for Item {}
+    impl PartialOrd for Item {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Item {
+        fn cmp(&self, other: &Self) -> Ordering {
+            let (da, ta) = self.key();
+            let (db, tb) = other.key();
+            db.partial_cmp(&da)
+                .expect("finite distances")
+                .then(tb.cmp(&ta))
+        }
+    }
+
+    let mut out = Vec::new();
+    if k == 0 {
+        return Ok(out);
+    }
+    let mut heap = BinaryHeap::new();
+    heap.push(Item::Node(0.0, am.root_page()));
+    while let Some(item) = heap.pop() {
+        match item {
+            Item::Object(dist_sq, point, id) => {
+                out.push(sqda_rstar::Neighbor {
+                    object: sqda_rstar::ObjectId(id),
+                    point,
+                    dist_sq,
+                });
+                if out.len() == k {
+                    break;
+                }
+            }
+            Item::Node(_, page) => match am.read_index_node(page)? {
+                IndexNode::Leaf(entries) => {
+                    for (point, id) in entries {
+                        let d = center.dist_sq(&point);
+                        heap.push(Item::Object(d, point, id));
+                    }
+                }
+                IndexNode::Internal(entries) => {
+                    for e in entries {
+                        heap.push(Item::Node(e.region.min_dist_sq(center), e.child));
+                    }
+                }
+            },
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqda_rstar::decluster::ProximityIndex;
+    use sqda_rstar::{RStarConfig, RStarTree};
+    use sqda_storage::ArrayStore;
+    use std::sync::Arc;
+
+    #[test]
+    fn rstar_tree_serves_index_nodes() {
+        let store = Arc::new(ArrayStore::new(4, 100, 1));
+        let mut tree = RStarTree::create(
+            store,
+            RStarConfig::new(2).with_max_entries(4),
+            Box::new(ProximityIndex),
+        )
+        .unwrap();
+        for i in 0..40u64 {
+            tree.insert(Point::new(vec![i as f64, (i * 3 % 11) as f64]), i)
+                .unwrap();
+        }
+        let root = AccessMethod::read_index_node(&tree, AccessMethod::root_page(&tree)).unwrap();
+        assert!(!root.is_leaf());
+        assert!(!root.is_empty());
+        if let IndexNode::Internal(entries) = &root {
+            let total: u64 = entries.iter().map(|e| e.count).sum();
+            assert_eq!(total, 40);
+        }
+        // Generic best-first equals the tree's own knn.
+        let q = Point::new(vec![5.0, 5.0]);
+        let generic = best_first_knn(&tree, &q, 7).unwrap();
+        let native = tree.knn(&q, 7).unwrap();
+        assert_eq!(generic.len(), native.len());
+        for (g, n) in generic.iter().zip(native.iter()) {
+            assert_eq!(g.dist_sq, n.dist_sq);
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! The batch state-machine abstraction shared by all four algorithms.
+
+use crate::access::{AccessMethod, AmError, IndexNode};
+use sqda_geom::Point;
+use sqda_rstar::{Neighbor, ObjectId};
+use sqda_storage::PageId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What a similarity-search algorithm wants to do next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// Fetch these pages from the disk array. Pages on different disks
+    /// are serviced in parallel; the executor delivers the whole batch.
+    Fetch(Vec<PageId>),
+    /// The k best answers are final.
+    Done,
+}
+
+/// Outcome of processing one batch of fetched nodes.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// The next step.
+    pub next: Step,
+    /// CPU instructions charged for this batch under the paper's cost
+    /// model (`2·N` scan + `3·M·log₂M` sort); consumed by the simulator.
+    pub cpu_instructions: u64,
+}
+
+/// A k-NN algorithm expressed as a batch state machine.
+///
+/// Protocol: call [`SimilaritySearch::start`] once, fetch the requested
+/// pages, call [`SimilaritySearch::on_fetched`] with the decoded nodes,
+/// repeat until [`Step::Done`], then read
+/// [`SimilaritySearch::results`].
+pub trait SimilaritySearch {
+    /// Begins the query; returns the first fetch batch (the root page).
+    fn start(&mut self) -> Step;
+
+    /// Consumes one fetched batch (same order as requested) and decides
+    /// what to do next.
+    fn on_fetched(&mut self, nodes: Vec<(PageId, IndexNode)>) -> BatchResult;
+
+    /// The answers, sorted by increasing distance. Complete only after
+    /// `Done`.
+    fn results(&self) -> Vec<Neighbor>;
+
+    /// The algorithm's display name.
+    fn name(&self) -> &'static str;
+}
+
+/// Bounded max-heap of the k best (closest) objects seen so far.
+///
+/// `D_k` — the distance to the current k-th nearest neighbour — is the
+/// pruning radius every algorithm shares: it is infinite until k objects
+/// have been seen and only shrinks afterwards.
+#[derive(Debug)]
+pub struct KBest {
+    k: usize,
+    heap: BinaryHeap<KBestItem>,
+}
+
+#[derive(Debug)]
+struct KBestItem(Neighbor);
+
+impl PartialEq for KBestItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for KBestItem {}
+impl PartialOrd for KBestItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for KBestItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .dist_sq
+            .partial_cmp(&other.0.dist_sq)
+            .expect("distances are finite")
+            // Deterministic tie-breaking across algorithms: larger object
+            // id counts as "farther" so the retained set is unique.
+            .then(self.0.object.cmp(&other.0.object))
+    }
+}
+
+impl KBest {
+    /// Creates an empty collector for the `k` nearest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offers a candidate object.
+    pub fn offer(&mut self, object: ObjectId, point: Point, dist_sq: f64) {
+        let neighbor = Neighbor {
+            object,
+            point,
+            dist_sq,
+        };
+        if self.heap.len() < self.k {
+            self.heap.push(KBestItem(neighbor));
+        } else if let Some(worst) = self.heap.peek() {
+            let item = KBestItem(neighbor);
+            if item.cmp(worst) == Ordering::Less {
+                self.heap.pop();
+                self.heap.push(item);
+            }
+        }
+    }
+
+    /// Squared distance to the current k-th best, or infinity while fewer
+    /// than k objects have been seen.
+    pub fn dk_sq(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.heap.peek().map(|i| i.0.dist_sq).unwrap_or(f64::INFINITY)
+        }
+    }
+
+    /// Number of answers collected so far.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no answers have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The answers in increasing-distance order.
+    pub fn to_sorted(&self) -> Vec<Neighbor> {
+        let mut v: Vec<Neighbor> = self.heap.iter().map(|i| i.0.clone()).collect();
+        v.sort_by(|a, b| {
+            a.dist_sq
+                .partial_cmp(&b.dist_sq)
+                .expect("finite")
+                .then(a.object.cmp(&b.object))
+        });
+        v
+    }
+}
+
+/// Which of the four algorithms to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmKind {
+    /// Branch-and-bound (Roussopoulos et al.), depth-first.
+    Bbss,
+    /// Full-parallel breadth-first search.
+    Fpss,
+    /// Candidate-reduction search (the paper's proposal).
+    Crss,
+    /// The weak-optimal oracle (requires precomputing the true `D_k`).
+    Woptss,
+}
+
+impl AlgorithmKind {
+    /// All four algorithms, in the paper's presentation order.
+    pub const ALL: [AlgorithmKind; 4] = [
+        AlgorithmKind::Bbss,
+        AlgorithmKind::Fpss,
+        AlgorithmKind::Crss,
+        AlgorithmKind::Woptss,
+    ];
+
+    /// The three *real* (non-oracle) algorithms.
+    pub const REAL: [AlgorithmKind; 3] = [
+        AlgorithmKind::Bbss,
+        AlgorithmKind::Fpss,
+        AlgorithmKind::Crss,
+    ];
+
+    /// Display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmKind::Bbss => "BBSS",
+            AlgorithmKind::Fpss => "FPSS",
+            AlgorithmKind::Crss => "CRSS",
+            AlgorithmKind::Woptss => "WOPTSS",
+        }
+    }
+
+    /// Builds an instance for one query over any [`AccessMethod`].
+    ///
+    /// For [`AlgorithmKind::Woptss`] this computes the true k-NN distance
+    /// through the sequential best-first search first (the oracle's
+    /// foreknowledge); that preparatory work is *not* billed to the
+    /// query.
+    pub fn build(
+        self,
+        am: &(impl AccessMethod + ?Sized),
+        query: Point,
+        k: usize,
+    ) -> Result<Box<dyn SimilaritySearch>, AmError> {
+        Ok(match self {
+            AlgorithmKind::Bbss => Box::new(crate::Bbss::new(am, query, k)),
+            AlgorithmKind::Fpss => Box::new(crate::Fpss::new(am, query, k)),
+            AlgorithmKind::Crss => Box::new(crate::Crss::new(am, query, k)),
+            AlgorithmKind::Woptss => Box::new(crate::Woptss::new(am, query, k)?),
+        })
+    }
+}
+
+impl std::fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn offer(kb: &mut KBest, id: u64, d: f64) {
+        kb.offer(ObjectId(id), Point::new(vec![0.0]), d);
+    }
+
+    #[test]
+    fn kbest_tracks_k_smallest() {
+        let mut kb = KBest::new(3);
+        assert_eq!(kb.dk_sq(), f64::INFINITY);
+        for (id, d) in [(0, 5.0), (1, 1.0), (2, 9.0), (3, 0.5), (4, 4.0)] {
+            offer(&mut kb, id, d);
+        }
+        assert_eq!(kb.len(), 3);
+        assert_eq!(kb.dk_sq(), 4.0);
+        let sorted = kb.to_sorted();
+        let ids: Vec<u64> = sorted.iter().map(|n| n.object.0).collect();
+        assert_eq!(ids, vec![3, 1, 4]);
+    }
+
+    #[test]
+    fn kbest_dk_infinite_until_full() {
+        let mut kb = KBest::new(5);
+        offer(&mut kb, 0, 1.0);
+        offer(&mut kb, 1, 2.0);
+        assert_eq!(kb.dk_sq(), f64::INFINITY);
+        for i in 2..5 {
+            offer(&mut kb, i, i as f64);
+        }
+        assert_eq!(kb.dk_sq(), 4.0);
+    }
+
+    #[test]
+    fn kbest_ties_break_by_object_id() {
+        let mut a = KBest::new(2);
+        let mut b = KBest::new(2);
+        // Same candidates, different arrival order.
+        for (id, d) in [(7, 1.0), (3, 1.0), (5, 1.0)] {
+            offer(&mut a, id, d);
+        }
+        for (id, d) in [(5, 1.0), (7, 1.0), (3, 1.0)] {
+            offer(&mut b, id, d);
+        }
+        let ids = |kb: &KBest| kb.to_sorted().iter().map(|n| n.object.0).collect::<Vec<_>>();
+        assert_eq!(ids(&a), ids(&b));
+        assert_eq!(ids(&a), vec![3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn kbest_zero_k_panics() {
+        let _ = KBest::new(0);
+    }
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(AlgorithmKind::Crss.to_string(), "CRSS");
+        assert_eq!(AlgorithmKind::ALL.len(), 4);
+        assert_eq!(AlgorithmKind::REAL.len(), 3);
+    }
+}

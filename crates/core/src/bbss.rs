@@ -1,0 +1,113 @@
+//! BBSS — Branch-and-Bound Similarity Search (Section 3.1).
+//!
+//! The Roussopoulos–Kelley–Vincent nearest-neighbour algorithm, restated
+//! as a batch machine that requests **one node per batch**: a depth-first
+//! traversal in `D_min` order, pruning branches whose `D_min` exceeds the
+//! distance to the current k-th best object. On a disk array it exploits
+//! no intra-query parallelism — the paper's motivation for CRSS.
+
+use crate::access::{AccessMethod, IndexNode};
+use crate::algo::{BatchResult, KBest, SimilaritySearch, Step};
+use sqda_geom::Point;
+use sqda_rstar::{Neighbor, ObjectId};
+use sqda_simkernel::cpu_instructions_for_batch;
+use sqda_storage::PageId;
+
+/// A deferred branch on the DFS stack.
+#[derive(Debug, Clone)]
+struct Branch {
+    page: PageId,
+    d_min_sq: f64,
+}
+
+/// The branch-and-bound (depth-first) similarity search.
+pub struct Bbss {
+    query: Point,
+    kbest: KBest,
+    root: PageId,
+    /// DFS stack; the most promising branch (smallest `D_min`) on top.
+    stack: Vec<Branch>,
+}
+
+impl Bbss {
+    /// Prepares a BBSS run for `k` neighbours of `query`.
+    pub fn new(am: &(impl AccessMethod + ?Sized), query: Point, k: usize) -> Self {
+        Self {
+            query,
+            kbest: KBest::new(k),
+            root: am.root_page(),
+            stack: Vec::new(),
+        }
+    }
+
+    /// Pops the next branch still intersecting the query sphere.
+    fn next_step(&mut self) -> Step {
+        let dk_sq = self.kbest.dk_sq();
+        while let Some(branch) = self.stack.pop() {
+            if branch.d_min_sq <= dk_sq {
+                return Step::Fetch(vec![branch.page]);
+            }
+            // Pruned by Rule 3: cannot contain a better answer.
+        }
+        Step::Done
+    }
+}
+
+impl SimilaritySearch for Bbss {
+    fn start(&mut self) -> Step {
+        Step::Fetch(vec![self.root])
+    }
+
+    fn on_fetched(&mut self, nodes: Vec<(PageId, IndexNode)>) -> BatchResult {
+        debug_assert_eq!(nodes.len(), 1, "BBSS fetches one node at a time");
+        let mut scanned = 0u64;
+        let mut sorted = 0u64;
+        for (_, node) in nodes {
+            match node {
+                IndexNode::Leaf(entries) => {
+                    scanned += entries.len() as u64;
+                    for (point, id) in entries {
+                        let d = self.query.dist_sq(&point);
+                        self.kbest.offer(ObjectId(id), point, d);
+                    }
+                }
+                IndexNode::Internal(entries) => {
+                    scanned += entries.len() as u64;
+                    let dk_sq = self.kbest.dk_sq();
+                    // Build the active branch list in D_min order (the
+                    // ordering Roussopoulos et al. recommend), pruning
+                    // branches already outside the query sphere (Rule 1/3).
+                    let mut branches: Vec<Branch> = entries
+                        .iter()
+                        .map(|e| Branch {
+                            page: e.child,
+                            d_min_sq: e.region.min_dist_sq(&self.query),
+                        })
+                        .filter(|b| b.d_min_sq <= dk_sq)
+                        .collect();
+                    sorted += branches.len() as u64;
+                    // Push in decreasing D_min order so the smallest ends
+                    // on top of the DFS stack.
+                    branches.sort_by(|a, b| {
+                        b.d_min_sq
+                            .partial_cmp(&a.d_min_sq)
+                            .expect("distances are finite")
+                    });
+                    self.stack.extend(branches);
+                }
+            }
+        }
+        BatchResult {
+            next: self.next_step(),
+            cpu_instructions: cpu_instructions_for_batch(scanned, sorted),
+        }
+    }
+
+    fn results(&self) -> Vec<Neighbor> {
+        self.kbest.to_sorted()
+    }
+
+    fn name(&self) -> &'static str {
+        "BBSS"
+    }
+}

@@ -1,0 +1,232 @@
+//! CRSS — Candidate Reduction Similarity Search (Section 3.3, the
+//! paper's contribution).
+//!
+//! CRSS interpolates between BBSS (pure depth-first, one page at a time)
+//! and FPSS (pure breadth-first, everything at once):
+//!
+//! * A **threshold distance** `D_th` is derived from the per-entry
+//!   subtree object counts (Lemma 1) before any data page is read, and
+//!   later tightened to the distance `D_k` of the k-th best object seen.
+//! * The **candidate reduction criterion** splits each batch of fetched
+//!   MBRs three ways: reject (`D_th < D_min`), activate (`D_th > D_mm`),
+//!   or save for later.
+//! * Saved candidates go on a **candidate stack**, one *run* per batch,
+//!   each run ordered by `D_min` and separated by guards: because the
+//!   granularity of MBRs improves towards the leaves, deeper (newer) runs
+//!   are always inspected first, and within a run the first candidate
+//!   that misses the query sphere rejects the entire remainder of the
+//!   run.
+//! * The activation list is bounded: at least enough branches to
+//!   guarantee `k` objects (`l`), at most one page per disk (`u`), so
+//!   parallelism is exploited without flooding the array.
+//!
+//! Operating modes (per the paper's pseudo-code): ADAPTIVE from the root
+//! until the leaf level is first reached (threshold adapts per level),
+//! UPDATE whenever leaves are processed (the best-k array updates),
+//! NORMAL for internal nodes afterwards, TERMINATE when the stack is
+//! exhausted.
+
+use crate::access::{AccessMethod, IndexNode};
+use crate::algo::{BatchResult, KBest, SimilaritySearch, Step};
+use crate::threshold::{lemma1_threshold_sq, reduce_candidates, Candidate};
+use sqda_geom::Point;
+use sqda_rstar::{Neighbor, ObjectId};
+use sqda_simkernel::cpu_instructions_for_batch;
+use sqda_storage::PageId;
+
+/// The operating mode of the CRSS state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Descending from the root; leaf level not reached yet.
+    Adaptive,
+    /// Steady state: internal nodes after the first leaf batch.
+    Normal,
+    /// No candidates remain.
+    Terminate,
+}
+
+/// The candidate-reduction similarity search.
+pub struct Crss {
+    query: Point,
+    k: usize,
+    /// Activation upper bound `u` = number of disks in the array.
+    u: usize,
+    kbest: KBest,
+    root: PageId,
+    /// Current squared threshold distance `D_th²` (only ever shrinks).
+    d_th_sq: f64,
+    /// The candidate stack: each element is a run, ordered by increasing
+    /// `D_min`. Guards are implicit in the run boundaries.
+    stack: Vec<Vec<Candidate>>,
+    mode: Mode,
+    /// Extension beyond the paper: also bound `D_th` by the k-th smallest
+    /// MINMAXDIST of each adaptive-phase wavefront.
+    minmax_threshold: bool,
+}
+
+impl Crss {
+    /// Prepares a CRSS run for `k` neighbours of `query`. The activation
+    /// bound is taken from the array's disk count.
+    pub fn new(am: &(impl AccessMethod + ?Sized), query: Point, k: usize) -> Self {
+        let u = am.num_disks() as usize;
+        Self::with_activation_bound(am, query, k, u)
+    }
+
+    /// Prepares a CRSS run with an explicit activation bound `u` (used by
+    /// the ablation experiments; the paper fixes `u = NumOfDisks`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is zero.
+    pub fn with_activation_bound(
+        am: &(impl AccessMethod + ?Sized),
+        query: Point,
+        k: usize,
+        u: usize,
+    ) -> Self {
+        assert!(u >= 1, "activation bound must be at least 1");
+        Self {
+            query,
+            k,
+            u,
+            kbest: KBest::new(k),
+            root: am.root_page(),
+            d_th_sq: f64::INFINITY,
+            stack: Vec::new(),
+            mode: Mode::Adaptive,
+            minmax_threshold: false,
+        }
+    }
+
+    /// Enables the MINMAXDIST threshold tightening (an extension beyond
+    /// the paper; see [`crate::threshold::minmax_threshold_sq`]). Answers
+    /// are unchanged; node accesses can only shrink.
+    pub fn with_minmax_threshold(mut self) -> Self {
+        self.minmax_threshold = true;
+        self
+    }
+
+    /// Tightens the threshold with the current `D_k` when k objects have
+    /// been seen.
+    fn absorb_dk(&mut self) {
+        let dk = self.kbest.dk_sq();
+        if dk < self.d_th_sq {
+            self.d_th_sq = dk;
+        }
+    }
+
+    /// Pops candidate runs until one yields an activation list, applying
+    /// the guard optimization within each run.
+    fn next_from_stack(&mut self) -> Step {
+        while let Some(run) = self.stack.pop() {
+            // Guard elimination: the run is ordered by increasing D_min,
+            // so the first miss rejects the remainder of the run.
+            let mut survivors = Vec::with_capacity(run.len());
+            for c in run {
+                if c.d_min_sq > self.d_th_sq {
+                    break;
+                }
+                survivors.push(c);
+            }
+            if survivors.is_empty() {
+                continue;
+            }
+            let (active, saved) =
+                reduce_candidates(survivors, self.d_th_sq, self.k as u64, self.u);
+            if !saved.is_empty() {
+                self.stack.push(saved);
+            }
+            // With k ≥ 1 the lower-bound promotion in `reduce_candidates`
+            // always activates at least one surviving candidate.
+            debug_assert!(!active.is_empty());
+            return Step::Fetch(active.into_iter().map(|c| c.page).collect());
+        }
+        self.mode = Mode::Terminate;
+        Step::Done
+    }
+}
+
+impl SimilaritySearch for Crss {
+    fn start(&mut self) -> Step {
+        Step::Fetch(vec![self.root])
+    }
+
+    fn on_fetched(&mut self, nodes: Vec<(PageId, IndexNode)>) -> BatchResult {
+        let mut scanned = 0u64;
+        let mut sorted = 0u64;
+        // Fetched batches are level-uniform (activation lists never mix
+        // levels), so inspect the first node.
+        let leaf_batch = nodes.first().map(|(_, n)| n.is_leaf()).unwrap_or(true);
+
+        let next = if leaf_batch {
+            // UPDATE mode: data objects refine the best-k array.
+            for (_, node) in nodes {
+                let IndexNode::Leaf(entries) = node else {
+                    unreachable!("level-uniform batch")
+                };
+                scanned += entries.len() as u64;
+                for (point, id) in entries {
+                    let d = self.query.dist_sq(&point);
+                    self.kbest.offer(ObjectId(id), point, d);
+                }
+            }
+            self.absorb_dk();
+            if self.mode == Mode::Adaptive {
+                self.mode = Mode::Normal;
+            }
+            self.next_from_stack()
+        } else {
+            let mut candidates: Vec<Candidate> = Vec::new();
+            for (_, node) in nodes {
+                let IndexNode::Internal(entries) = node else {
+                    unreachable!("level-uniform batch")
+                };
+                scanned += entries.len() as u64;
+                candidates
+                    .extend(entries.iter().map(|e| Candidate::from_entry(e, &self.query)));
+            }
+            if self.mode == Mode::Adaptive {
+                // Adapt the threshold from this level's counts (Lemma 1).
+                if let Some(th) = lemma1_threshold_sq(&candidates, self.k as u64) {
+                    if th < self.d_th_sq {
+                        self.d_th_sq = th;
+                    }
+                }
+                if self.minmax_threshold {
+                    if let Some(th) =
+                        crate::threshold::minmax_threshold_sq(&candidates, self.k as u64)
+                    {
+                        if th < self.d_th_sq {
+                            self.d_th_sq = th;
+                        }
+                    }
+                }
+            }
+            self.absorb_dk();
+            let (active, saved) =
+                reduce_candidates(candidates, self.d_th_sq, self.k as u64, self.u);
+            sorted += (active.len() + saved.len()) as u64;
+            if !saved.is_empty() {
+                self.stack.push(saved);
+            }
+            if active.is_empty() {
+                self.next_from_stack()
+            } else {
+                Step::Fetch(active.into_iter().map(|c| c.page).collect())
+            }
+        };
+
+        BatchResult {
+            next,
+            cpu_instructions: cpu_instructions_for_batch(scanned, sorted),
+        }
+    }
+
+    fn results(&self) -> Vec<Neighbor> {
+        self.kbest.to_sorted()
+    }
+
+    fn name(&self) -> &'static str {
+        "CRSS"
+    }
+}

@@ -1,0 +1,57 @@
+//! The logical executor: runs one query to completion, counting node
+//! accesses (the effectiveness metric of Figures 8–9).
+
+use crate::access::{AccessMethod, AmError};
+use crate::algo::{SimilaritySearch, Step};
+use sqda_rstar::Neighbor;
+
+/// The outcome of one logically executed query.
+#[derive(Debug, Clone)]
+pub struct QueryRun {
+    /// The k answers, sorted by increasing distance.
+    pub results: Vec<Neighbor>,
+    /// Total nodes (pages) fetched, including the root.
+    pub nodes_visited: u64,
+    /// Number of fetch batches (round trips to the array).
+    pub batches: u64,
+    /// Largest single batch (peak intra-query parallelism demand).
+    pub max_batch: usize,
+    /// CPU instructions accumulated under the paper's cost model.
+    pub cpu_instructions: u64,
+}
+
+/// Runs `algo` against any access method until completion.
+///
+/// Batches are fetched atomically: the algorithm receives all requested
+/// nodes at once, exactly as the disk array would deliver them (order
+/// within a batch is preserved but carries no timing meaning here).
+pub fn run_query(
+    am: &(impl AccessMethod + ?Sized),
+    algo: &mut dyn SimilaritySearch,
+) -> Result<QueryRun, AmError> {
+    let mut step = algo.start();
+    let mut nodes_visited = 0u64;
+    let mut batches = 0u64;
+    let mut max_batch = 0usize;
+    let mut cpu_instructions = 0u64;
+    while let Step::Fetch(pages) = step {
+        assert!(!pages.is_empty(), "{}: empty fetch batch", algo.name());
+        nodes_visited += pages.len() as u64;
+        batches += 1;
+        max_batch = max_batch.max(pages.len());
+        let mut batch = Vec::with_capacity(pages.len());
+        for page in pages {
+            batch.push((page, am.read_index_node(page)?));
+        }
+        let result = algo.on_fetched(batch);
+        cpu_instructions += result.cpu_instructions;
+        step = result.next;
+    }
+    Ok(QueryRun {
+        results: algo.results(),
+        nodes_visited,
+        batches,
+        max_batch,
+        cpu_instructions,
+    })
+}

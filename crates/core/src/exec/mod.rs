@@ -1,0 +1,8 @@
+//! Executors: run the batch state machines either logically (counting
+//! node accesses) or under the full event-driven disk-array timing model.
+
+mod logical;
+mod sim;
+
+pub use logical::{run_query, QueryRun};
+pub use sim::{Simulation, SimulationReport};

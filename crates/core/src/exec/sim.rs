@@ -1,0 +1,270 @@
+//! The simulated executor: the event-driven queueing network of
+//! Section 4.1 (Figure 7) driving the algorithm state machines.
+//!
+//! Each query session cycles through: CPU processing → page requests to
+//! per-disk FCFS queues → page transfers over the shared bus → next CPU
+//! step, until its algorithm reports `Done`. Query arrivals follow the
+//! workload's (Poisson) schedule. Response time is measured from arrival
+//! to completion, averaged over all queries — the paper's primary metric
+//! for the multi-user experiments (Figures 10–12, Tables 3–4).
+
+use crate::access::{AccessMethod, AmError, IndexNode};
+use crate::algo::{AlgorithmKind, SimilaritySearch, Step};
+use crate::workload::Workload;
+use sqda_simkernel::{Bus, Cpu, Disk, EventQueue, SampleStats, SimTime, SystemParams};
+use sqda_storage::PageId;
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationReport {
+    /// Which algorithm ran.
+    pub algorithm: &'static str,
+    /// Queries completed (always the full workload).
+    pub completed: usize,
+    /// Mean response time in seconds (the paper's headline metric).
+    pub mean_response_s: f64,
+    /// Standard deviation of response times.
+    pub std_response_s: f64,
+    /// Maximum response time observed.
+    pub max_response_s: f64,
+    /// 95th-percentile response time.
+    pub p95_response_s: f64,
+    /// Mean nodes fetched per query.
+    pub mean_nodes_per_query: f64,
+    /// Mean utilization across disks over the simulated horizon.
+    pub mean_disk_utilization: f64,
+    /// Bus utilization over the simulated horizon.
+    pub bus_utilization: f64,
+    /// CPU utilization over the simulated horizon.
+    pub cpu_utilization: f64,
+    /// Time the last query completed.
+    pub makespan_s: f64,
+}
+
+/// Index of the CPU that frees up first (least-loaded dispatch).
+fn least_busy_cpu(cpus: &[Cpu]) -> usize {
+    cpus.iter()
+        .enumerate()
+        .min_by_key(|(_, c)| c.busy_until())
+        .map(|(i, _)| i)
+        .expect("at least one CPU")
+}
+
+enum Event {
+    Arrive(usize),
+    DiskDone { q: usize, page: PageId },
+    BusDone { q: usize, page: PageId },
+    CpuDone { q: usize },
+}
+
+struct Session {
+    algo: Box<dyn SimilaritySearch>,
+    arrival: SimTime,
+    outstanding: usize,
+    fetched: Vec<(PageId, IndexNode)>,
+    pending: Option<Step>,
+    nodes_visited: u64,
+    finished_at: Option<SimTime>,
+}
+
+/// An event-driven simulation of the disk-array system executing one
+/// workload with one algorithm over any access method.
+pub struct Simulation<'t, A: AccessMethod + ?Sized> {
+    am: &'t A,
+    params: SystemParams,
+}
+
+impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
+    /// Creates a simulation over an access method with the given system
+    /// parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.num_disks` disagrees with the array backing the
+    /// index — its pages are placed on that array.
+    pub fn new(am: &'t A, params: SystemParams) -> Self {
+        assert_eq!(
+            params.num_disks,
+            am.num_disks(),
+            "simulation disk count must match the store the tree lives on"
+        );
+        Self { am, params }
+    }
+
+    /// Runs `workload` under `kind`, returning aggregate statistics.
+    ///
+    /// `seed` drives the stochastic parts of the timing model (rotational
+    /// latencies); the workload carries its own arrival schedule.
+    pub fn run(
+        &self,
+        kind: AlgorithmKind,
+        workload: &Workload,
+        seed: u64,
+    ) -> Result<SimulationReport, AmError> {
+        let mut factory = |point: sqda_geom::Point, k: usize| kind.build(self.am, point, k);
+        self.run_with_fallible(&mut factory, kind.name(), workload, seed)
+    }
+
+    /// Runs `workload` with algorithm instances produced by `factory`
+    /// (used for parameter sweeps like the CRSS activation-bound
+    /// ablation, where [`AlgorithmKind`] cannot carry the parameter).
+    pub fn run_with<F>(
+        &self,
+        mut factory: F,
+        name: &'static str,
+        workload: &Workload,
+        seed: u64,
+    ) -> Result<SimulationReport, AmError>
+    where
+        F: FnMut(sqda_geom::Point, usize) -> Box<dyn SimilaritySearch>,
+    {
+        let mut fallible =
+            |point: sqda_geom::Point, k: usize| -> Result<Box<dyn SimilaritySearch>, AmError> {
+                Ok(factory(point, k))
+            };
+        self.run_with_fallible(&mut fallible, name, workload, seed)
+    }
+
+    fn run_with_fallible(
+        &self,
+        factory: &mut dyn FnMut(
+            sqda_geom::Point,
+            usize,
+        ) -> Result<Box<dyn SimilaritySearch>, AmError>,
+        name: &'static str,
+        workload: &Workload,
+        seed: u64,
+    ) -> Result<SimulationReport, AmError> {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let mut disks: Vec<Disk> = (0..self.params.num_disks)
+            .map(|_| Disk::new(self.params.disk.clone()))
+            .collect();
+        let mut bus = Bus::new(self.params.bus_transfer());
+        let mut cpus: Vec<Cpu> = (0..self.params.num_cpus.max(1))
+            .map(|_| Cpu::new(self.params.cpu_mips))
+            .collect();
+        let mut events: EventQueue<Event> = EventQueue::new();
+
+        // Build one session per query. Oracle preparation (WOPTSS) happens
+        // here, outside simulated time.
+        let mut sessions: Vec<Session> = Vec::with_capacity(workload.queries.len());
+        for wq in &workload.queries {
+            let algo = factory(wq.point.clone(), wq.k)?;
+            sessions.push(Session {
+                algo,
+                arrival: wq.arrival,
+                outstanding: 0,
+                fetched: Vec::new(),
+                pending: None,
+                nodes_visited: 0,
+                finished_at: None,
+            });
+            events.schedule(wq.arrival, Event::Arrive(sessions.len() - 1));
+        }
+
+        let mut response_times = SampleStats::new();
+        let mut total_nodes = 0u64;
+        let mut makespan = SimTime::ZERO;
+
+        while let Some((now, event)) = events.pop() {
+            match event {
+                Event::Arrive(q) => {
+                    // Per the paper, a new query enters the system
+                    // immediately; it pays the fixed startup cost on the
+                    // CPU, then issues its first request (the root page).
+                    let step = sessions[q].algo.start();
+                    sessions[q].pending = Some(step);
+                    let c = least_busy_cpu(&cpus);
+                    let done = cpus[c].submit_duration(now, self.params.query_startup());
+                    events.schedule(done, Event::CpuDone { q });
+                }
+                Event::CpuDone { q } => {
+                    let step = sessions[q]
+                        .pending
+                        .take()
+                        .expect("CPU completion without a pending step");
+                    match step {
+                        Step::Fetch(pages) => {
+                            assert!(!pages.is_empty(), "empty fetch batch");
+                            sessions[q].outstanding = pages.len();
+                            sessions[q].nodes_visited += pages.len() as u64;
+                            for page in pages {
+                                let placement = self.am.placement(page)?;
+                                let mut disk = placement.disk.index();
+                                if self.params.mirrored_reads {
+                                    // Shadowed disks: the replica lives
+                                    // half the array away; serve the read
+                                    // from whichever copy frees up first.
+                                    let partner = (disk
+                                        + self.params.num_disks as usize / 2)
+                                        % self.params.num_disks as usize;
+                                    if disks[partner].busy_until() < disks[disk].busy_until() {
+                                        disk = partner;
+                                    }
+                                }
+                                let done =
+                                    disks[disk].submit(now, placement.cylinder, &mut rng);
+                                events.schedule(done, Event::DiskDone { q, page });
+                            }
+                        }
+                        Step::Done => {
+                            let resp = now - sessions[q].arrival;
+                            response_times.push(resp.as_secs_f64());
+                            sessions[q].finished_at = Some(now);
+                            total_nodes += sessions[q].nodes_visited;
+                            makespan = makespan.max(now);
+                        }
+                    }
+                }
+                Event::DiskDone { q, page } => {
+                    let done = bus.submit(now);
+                    events.schedule(done, Event::BusDone { q, page });
+                }
+                Event::BusDone { q, page } => {
+                    let node = self.am.read_index_node(page)?;
+                    let session = &mut sessions[q];
+                    session.fetched.push((page, node));
+                    session.outstanding -= 1;
+                    if session.outstanding == 0 {
+                        let batch = std::mem::take(&mut session.fetched);
+                        let result = session.algo.on_fetched(batch);
+                        session.pending = Some(result.next);
+                        let c = least_busy_cpu(&cpus);
+                        let done = cpus[c].submit(now, result.cpu_instructions);
+                        events.schedule(done, Event::CpuDone { q });
+                    }
+                }
+            }
+        }
+
+        debug_assert!(
+            sessions.iter().all(|s| s.finished_at.is_some()),
+            "all queries must complete"
+        );
+        let n = sessions.len();
+        let horizon = makespan;
+        let mean_disk_utilization = if disks.is_empty() {
+            0.0
+        } else {
+            disks.iter().map(|d| d.utilization(horizon)).sum::<f64>() / disks.len() as f64
+        };
+        Ok(SimulationReport {
+            algorithm: name,
+            completed: n,
+            mean_response_s: response_times.mean(),
+            std_response_s: response_times.std_dev(),
+            max_response_s: response_times.max(),
+            p95_response_s: response_times.percentile(95.0),
+            mean_nodes_per_query: if n == 0 {
+                0.0
+            } else {
+                total_nodes as f64 / n as f64
+            },
+            mean_disk_utilization,
+            bus_utilization: bus.utilization(horizon),
+            cpu_utilization: cpus.iter().map(|c| c.utilization(horizon)).sum::<f64>()
+                / cpus.len() as f64,
+            makespan_s: makespan.as_secs_f64(),
+        })
+    }
+}

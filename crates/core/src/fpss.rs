@@ -1,0 +1,113 @@
+//! FPSS — Full-Parallel Similarity Search (Section 3.2).
+//!
+//! Breadth-first descent that activates **every** candidate region
+//! intersecting the current query sphere, maximizing intra-query
+//! parallelism. The query sphere radius is the Lemma-1 threshold (from
+//! the subtree object counts) until real objects are seen. FPSS is "very
+//! optimistic with respect to the usefulness of a node": it has no upper
+//! bound on the number of pages fetched per step, which is exactly the
+//! weakness the experiments expose under load.
+
+use crate::access::{AccessMethod, IndexNode};
+use crate::algo::{BatchResult, KBest, SimilaritySearch, Step};
+use crate::threshold::{lemma1_threshold_sq, Candidate};
+use sqda_geom::Point;
+use sqda_rstar::{Neighbor, ObjectId};
+use sqda_simkernel::cpu_instructions_for_batch;
+use sqda_storage::PageId;
+
+/// The full-parallel (breadth-first) similarity search.
+pub struct Fpss {
+    query: Point,
+    k: usize,
+    kbest: KBest,
+    root: PageId,
+    /// Smallest threshold seen so far (squared); pruning radius.
+    d_th_sq: f64,
+}
+
+impl Fpss {
+    /// Prepares an FPSS run for `k` neighbours of `query`.
+    pub fn new(am: &(impl AccessMethod + ?Sized), query: Point, k: usize) -> Self {
+        Self {
+            query,
+            k,
+            kbest: KBest::new(k),
+            root: am.root_page(),
+            d_th_sq: f64::INFINITY,
+        }
+    }
+}
+
+impl SimilaritySearch for Fpss {
+    fn start(&mut self) -> Step {
+        Step::Fetch(vec![self.root])
+    }
+
+    fn on_fetched(&mut self, nodes: Vec<(PageId, IndexNode)>) -> BatchResult {
+        let mut scanned = 0u64;
+        // The BFS wavefront is level-uniform: either all leaves or all
+        // internal nodes.
+        let leaf_level = nodes.first().map(|(_, n)| n.is_leaf()).unwrap_or(true);
+        if leaf_level {
+            for (_, node) in nodes {
+                let IndexNode::Leaf(entries) = node else {
+                    unreachable!("mixed BFS wavefront")
+                };
+                scanned += entries.len() as u64;
+                for (point, id) in entries {
+                    let d = self.query.dist_sq(&point);
+                    self.kbest.offer(ObjectId(id), point, d);
+                }
+            }
+            return BatchResult {
+                next: Step::Done,
+                cpu_instructions: cpu_instructions_for_batch(scanned, 0),
+            };
+        }
+
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for (_, node) in nodes {
+            let IndexNode::Internal(entries) = node else {
+                unreachable!("mixed BFS wavefront")
+            };
+            scanned += entries.len() as u64;
+            candidates.extend(entries.iter().map(|e| Candidate::from_entry(e, &self.query)));
+        }
+        // Adapt the threshold over the whole wavefront.
+        if let Some(th) = lemma1_threshold_sq(&candidates, self.k as u64) {
+            if th < self.d_th_sq {
+                self.d_th_sq = th;
+            }
+        }
+        // Activate everything intersecting the sphere — no upper bound.
+        let mut survivors: Vec<Candidate> = candidates
+            .into_iter()
+            .filter(|c| c.d_min_sq <= self.d_th_sq)
+            .collect();
+        survivors.sort_by(|a, b| {
+            a.d_min_sq
+                .partial_cmp(&b.d_min_sq)
+                .expect("distances are finite")
+        });
+        let sorted = survivors.len() as u64;
+        let pages: Vec<PageId> = survivors.into_iter().map(|c| c.page).collect();
+        let next = if pages.is_empty() {
+            Step::Done
+        } else {
+            Step::Fetch(pages)
+        };
+        BatchResult {
+            next,
+            cpu_instructions: cpu_instructions_for_batch(scanned, sorted),
+        }
+    }
+
+    fn results(&self) -> Vec<Neighbor> {
+        self.kbest.to_sorted()
+    }
+
+    fn name(&self) -> &'static str {
+        "FPSS"
+    }
+}

@@ -1,0 +1,315 @@
+//! Lemma 1 (the count-based threshold distance) and the candidate
+//! reduction criterion of Section 3.3.
+
+use crate::access::RegionEntry;
+use sqda_geom::{Point, Region};
+use sqda_storage::PageId;
+
+/// A candidate branch: a directory entry annotated with its distances
+/// from the query point. Distances are squared throughout.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The child page the branch points to.
+    pub page: PageId,
+    /// The branch's bounding region.
+    pub region: Region,
+    /// Objects in the subtree (from the count-augmented entry).
+    pub count: u64,
+    /// `D_min²` from the query point.
+    pub d_min_sq: f64,
+    /// `D_mm²` (MINMAXDIST for MBRs, `D_max` for spheres) from the query
+    /// point.
+    pub d_mm_sq: f64,
+    /// `D_max²` from the query point.
+    pub d_max_sq: f64,
+}
+
+impl Candidate {
+    /// Builds a candidate from a directory entry.
+    pub fn from_entry(entry: &RegionEntry, query: &Point) -> Self {
+        Self {
+            page: entry.child,
+            count: entry.count,
+            d_min_sq: entry.region.min_dist_sq(query),
+            d_mm_sq: entry.region.min_max_dist_sq(query),
+            d_max_sq: entry.region.max_dist_sq(query),
+            region: entry.region.clone(),
+        }
+    }
+}
+
+/// Lemma 1: the squared threshold distance `D_th²`.
+///
+/// Sort the candidate MBRs by `D_max` ascending and accumulate their
+/// object counts; the sphere of radius `D_max(P_q, R_x)` around the query
+/// point — where `x` is the first position at which the accumulated count
+/// reaches `k` — is guaranteed to contain at least `k` objects, because
+/// the MBRs `R_1..R_x` lie entirely inside it. Hence all `k` nearest
+/// neighbours are within that radius.
+///
+/// Returns `None` when the candidates hold fewer than `k` objects in
+/// total (then no finite bound exists yet and the caller must keep every
+/// branch).
+pub fn lemma1_threshold_sq(candidates: &[Candidate], k: u64) -> Option<f64> {
+    if k == 0 {
+        return Some(0.0);
+    }
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by(|&a, &b| {
+        candidates[a]
+            .d_max_sq
+            .partial_cmp(&candidates[b].d_max_sq)
+            .expect("distances are finite")
+    });
+    let mut acc = 0u64;
+    for idx in order {
+        acc += candidates[idx].count;
+        if acc >= k {
+            return Some(candidates[idx].d_max_sq);
+        }
+    }
+    None
+}
+
+/// A tighter threshold from MINMAXDIST (an extension beyond the paper):
+/// each MBR guarantees at least one object within its `D_mm`, and sibling
+/// MBRs bound disjoint subtrees, so the k-th smallest `D_mm` among ≥ k
+/// candidates also upper-bounds `D_k`. Combined with Lemma 1 via `min`,
+/// this can only shrink the threshold — the `ext_tighter_threshold`
+/// experiment measures by how much.
+///
+/// Returns `None` when fewer than `k` candidate MBRs exist (the guarantee
+/// needs k distinct subtrees). `k = 0` yields `Some(0.0)`.
+pub fn minmax_threshold_sq(candidates: &[Candidate], k: u64) -> Option<f64> {
+    if k == 0 {
+        return Some(0.0);
+    }
+    let k = k as usize;
+    if candidates.len() < k {
+        return None;
+    }
+    let mut dmms: Vec<f64> = candidates.iter().map(|c| c.d_mm_sq).collect();
+    dmms.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+    Some(dmms[k - 1])
+}
+
+/// The verdict of the candidate reduction criterion for one MBR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// `D_th < D_min`: the branch cannot contain an answer — discard.
+    Reject,
+    /// `D_th > D_mm`: the branch is guaranteed useful — fetch now.
+    Activate,
+    /// Between the bounds: defer on the candidate stack.
+    Save,
+}
+
+/// Applies the candidate reduction criterion (Section 3.3) to one
+/// candidate given the squared threshold `d_th_sq`:
+///
+/// * reject if `D_th < D_min` (no intersection with the query sphere),
+/// * activate if `D_th > D_mm` (an object is guaranteed within `D_th`),
+/// * save otherwise.
+pub fn classify(candidate: &Candidate, d_th_sq: f64) -> Verdict {
+    if d_th_sq < candidate.d_min_sq {
+        Verdict::Reject
+    } else if d_th_sq > candidate.d_mm_sq {
+        Verdict::Activate
+    } else {
+        Verdict::Save
+    }
+}
+
+/// Splits candidates into (activated, saved) lists under the criterion
+/// and the CRSS activation bounds.
+///
+/// The criterion first rejects branches outside the query sphere
+/// (`D_th < D_min`). Surviving branches are prioritized: guaranteed
+/// useful ones (`D_th > D_mm`) first, doubtful ones after, each group by
+/// increasing `D_min`. The activation list takes candidates in that
+/// priority order up to the **upper bound `u`** (one page per disk —
+/// "we never allow the activation of more than u = NumOfDisks
+/// elements"); the overflow is saved for the candidate stack. The
+/// paper's **lower bound `l`** (activate at least enough branches to
+/// guarantee `k` objects) is subsumed: the list is filled to `u ≥ l`
+/// whenever enough survivors exist, which is exactly how CRSS "exploits
+/// parallelism up to a point" while the threshold keeps the wavefront
+/// from exploding the way FPSS's does.
+///
+/// Both returned lists are sorted by increasing `D_min`; the saved list
+/// is ready to be pushed as a candidate run (the *caller* pushes in
+/// decreasing-`D_min` order so the most promising candidate ends on top
+/// of the stack).
+pub fn reduce_candidates(
+    mut candidates: Vec<Candidate>,
+    d_th_sq: f64,
+    k: u64,
+    u: usize,
+) -> (Vec<Candidate>, Vec<Candidate>) {
+    debug_assert!(u >= 1);
+    let _ = k; // `l ≤ u` always holds once the list is filled to `u`.
+    candidates.retain(|c| classify(c, d_th_sq) != Verdict::Reject);
+    candidates.sort_by(|a, b| {
+        let class_a = classify(a, d_th_sq) == Verdict::Save;
+        let class_b = classify(b, d_th_sq) == Verdict::Save;
+        class_a.cmp(&class_b).then(
+            a.d_min_sq
+                .partial_cmp(&b.d_min_sq)
+                .expect("distances are finite"),
+        )
+    });
+    let saved: Vec<Candidate> = candidates.split_off(candidates.len().min(u));
+    let mut active = candidates;
+    active.sort_by(|a, b| {
+        a.d_min_sq
+            .partial_cmp(&b.d_min_sq)
+            .expect("distances are finite")
+    });
+    let mut saved = saved;
+    saved.sort_by(|a, b| {
+        a.d_min_sq
+            .partial_cmp(&b.d_min_sq)
+            .expect("distances are finite")
+    });
+    (active, saved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(page: u64, count: u64, d_min: f64, d_mm: f64, d_max: f64) -> Candidate {
+        Candidate {
+            page: PageId::from_raw(page),
+            region: Region::Rect(sqda_geom::Rect::new(vec![0.0], vec![1.0]).unwrap()),
+            count,
+            d_min_sq: d_min,
+            d_mm_sq: d_mm,
+            d_max_sq: d_max,
+        }
+    }
+
+    #[test]
+    fn lemma1_accumulates_counts() {
+        let cs = vec![
+            cand(1, 3, 0.0, 1.0, 4.0),
+            cand(2, 5, 1.0, 2.0, 9.0),
+            cand(3, 10, 2.0, 3.0, 16.0),
+        ];
+        // k=3: first MBR (smallest Dmax) suffices.
+        assert_eq!(lemma1_threshold_sq(&cs, 3), Some(4.0));
+        // k=4: need the second.
+        assert_eq!(lemma1_threshold_sq(&cs, 4), Some(9.0));
+        // k=8: need the second (3+5=8).
+        assert_eq!(lemma1_threshold_sq(&cs, 8), Some(9.0));
+        // k=9: need the third.
+        assert_eq!(lemma1_threshold_sq(&cs, 9), Some(16.0));
+        // k beyond total: no bound.
+        assert_eq!(lemma1_threshold_sq(&cs, 100), None);
+    }
+
+    #[test]
+    fn lemma1_sorts_by_dmax_not_input_order() {
+        let cs = vec![cand(1, 5, 0.0, 1.0, 100.0), cand(2, 5, 0.0, 1.0, 1.0)];
+        assert_eq!(lemma1_threshold_sq(&cs, 5), Some(1.0));
+    }
+
+    #[test]
+    fn lemma1_empty_and_zero_k() {
+        assert_eq!(lemma1_threshold_sq(&[], 1), None);
+        assert_eq!(lemma1_threshold_sq(&[], 0), Some(0.0));
+    }
+
+    #[test]
+    fn minmax_threshold_kth_smallest() {
+        let cs = vec![
+            cand(1, 9, 0.0, 4.0, 100.0),
+            cand(2, 9, 0.0, 1.0, 100.0),
+            cand(3, 9, 0.0, 9.0, 100.0),
+        ];
+        assert_eq!(minmax_threshold_sq(&cs, 1), Some(1.0));
+        assert_eq!(minmax_threshold_sq(&cs, 2), Some(4.0));
+        assert_eq!(minmax_threshold_sq(&cs, 3), Some(9.0));
+        // Needs k distinct MBRs regardless of counts.
+        assert_eq!(minmax_threshold_sq(&cs, 4), None);
+        assert_eq!(minmax_threshold_sq(&cs, 0), Some(0.0));
+        assert_eq!(minmax_threshold_sq(&[], 1), None);
+    }
+
+    #[test]
+    fn minmax_can_tighten_lemma1() {
+        // Large counts make Lemma 1 pick the first Dmax; MINMAXDIST can
+        // still be far smaller.
+        let cs = vec![
+            cand(1, 100, 0.0, 0.5, 50.0),
+            cand(2, 100, 0.0, 0.6, 60.0),
+        ];
+        let lemma = lemma1_threshold_sq(&cs, 2).unwrap();
+        let mm = minmax_threshold_sq(&cs, 2).unwrap();
+        assert!(mm < lemma, "mm {mm} vs lemma {lemma}");
+    }
+
+    #[test]
+    fn criterion_thresholds() {
+        let c = cand(1, 1, 4.0, 9.0, 16.0);
+        assert_eq!(classify(&c, 3.0), Verdict::Reject); // Dth < Dmin
+        assert_eq!(classify(&c, 4.0), Verdict::Save); // Dmin ≤ Dth ≤ Dmm
+        assert_eq!(classify(&c, 9.0), Verdict::Save);
+        assert_eq!(classify(&c, 9.5), Verdict::Activate); // Dth > Dmm
+    }
+
+    #[test]
+    fn reduce_rejects_outside_sphere_and_fills_to_u() {
+        let cs = vec![
+            cand(1, 2, 0.0, 0.5, 1.0),  // guaranteed useful (Dth 2 > Dmm .5)
+            cand(2, 2, 1.5, 3.0, 5.0),  // doubtful, still intersects
+            cand(3, 2, 4.0, 6.0, 9.0),  // reject (Dmin 4 > Dth 2)
+        ];
+        let (active, saved) = reduce_candidates(cs, 2.0, 2, 10);
+        // Both survivors fit within u=10 pages: full parallel activation.
+        assert_eq!(active.len(), 2);
+        assert!(active.iter().any(|c| c.page == PageId::from_raw(1)));
+        assert!(active.iter().any(|c| c.page == PageId::from_raw(2)));
+        assert!(saved.is_empty());
+    }
+
+    #[test]
+    fn reduce_prioritizes_guaranteed_useful_branches() {
+        // With u=1 only one branch activates; the guaranteed-useful one
+        // wins even though a doubtful one has smaller D_min.
+        let cs = vec![
+            cand(1, 2, 0.1, 5.0, 9.0), // doubtful (Dth 4 < Dmm 5)
+            cand(2, 2, 0.3, 3.0, 9.0), // guaranteed (Dth 4 > Dmm 3)
+        ];
+        let (active, saved) = reduce_candidates(cs, 4.0, 3, 1);
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].page, PageId::from_raw(2));
+        assert_eq!(saved.len(), 1);
+        assert_eq!(saved[0].page, PageId::from_raw(1));
+    }
+
+    #[test]
+    fn reduce_clamps_to_disk_count() {
+        let cs: Vec<Candidate> = (0..8)
+            .map(|i| cand(i, 10, i as f64 * 0.01, 0.5, 1.0)) // all activate
+            .collect();
+        let (active, saved) = reduce_candidates(cs, 2.0, 5, 3);
+        assert_eq!(active.len(), 3);
+        assert_eq!(saved.len(), 5);
+        // The three best by D_min were kept.
+        let pages: Vec<u64> = active.iter().map(|c| c.page.as_raw()).collect();
+        assert_eq!(pages, vec![0, 1, 2]);
+        // Saved stays sorted by D_min.
+        for w in saved.windows(2) {
+            assert!(w[0].d_min_sq <= w[1].d_min_sq);
+        }
+    }
+
+    #[test]
+    fn reduce_with_insufficient_candidates() {
+        let cs = vec![cand(1, 1, 0.0, 0.5, 1.0)];
+        let (active, saved) = reduce_candidates(cs, 2.0, 10, 4);
+        assert_eq!(active.len(), 1);
+        assert!(saved.is_empty());
+    }
+}

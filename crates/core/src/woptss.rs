@@ -1,0 +1,107 @@
+//! WOPTSS — the hypothetical Weak-OPTimal Similarity Search
+//! (Section 3.4).
+//!
+//! A weak-optimal algorithm touches exactly the nodes intersected by the
+//! sphere centered at the query point with radius `D_k`, the distance to
+//! the k-th nearest neighbour — a radius no real algorithm can know in
+//! advance. WOPTSS obtains `D_k` from the sequential best-first search
+//! at construction time (the oracle step, not billed to the query), then
+//! fetches every relevant node level by level with full parallelism. Its
+//! node count and response time are the lower bounds the real algorithms
+//! are measured against (Theorem 2 shows none of them attains it).
+
+use crate::access::{best_first_knn, AccessMethod, AmError, IndexNode};
+use crate::algo::{BatchResult, KBest, SimilaritySearch, Step};
+use sqda_geom::Point;
+use sqda_rstar::{Neighbor, ObjectId};
+use sqda_simkernel::cpu_instructions_for_batch;
+use sqda_storage::PageId;
+
+/// The weak-optimal oracle search.
+pub struct Woptss {
+    query: Point,
+    kbest: KBest,
+    root: PageId,
+    /// The oracle radius: squared distance to the true k-th neighbour.
+    dk_sq: f64,
+}
+
+impl Woptss {
+    /// Prepares a WOPTSS run, precomputing the true `D_k` via the
+    /// sequential best-first search (the oracle's foreknowledge).
+    pub fn new(
+        am: &(impl AccessMethod + ?Sized),
+        query: Point,
+        k: usize,
+    ) -> Result<Self, AmError> {
+        let truth = best_first_knn(am, &query, k)?;
+        // Fewer than k objects in the tree: every node is "relevant"
+        // (the query must return the whole database).
+        let dk_sq = if truth.len() < k {
+            f64::INFINITY
+        } else {
+            truth.last().map(|n| n.dist_sq).unwrap_or(f64::INFINITY)
+        };
+        Ok(Self {
+            query,
+            kbest: KBest::new(k),
+            root: am.root_page(),
+            dk_sq,
+        })
+    }
+
+    /// The oracle radius (squared). Exposed for experiments that need the
+    /// answer sphere (e.g. plotting pruning effectiveness).
+    pub fn oracle_radius_sq(&self) -> f64 {
+        self.dk_sq
+    }
+}
+
+impl SimilaritySearch for Woptss {
+    fn start(&mut self) -> Step {
+        Step::Fetch(vec![self.root])
+    }
+
+    fn on_fetched(&mut self, nodes: Vec<(PageId, IndexNode)>) -> BatchResult {
+        let mut scanned = 0u64;
+        let mut pages: Vec<PageId> = Vec::new();
+        for (_, node) in nodes {
+            match node {
+                IndexNode::Leaf(entries) => {
+                    scanned += entries.len() as u64;
+                    for (point, id) in entries {
+                        let d = self.query.dist_sq(&point);
+                        self.kbest.offer(ObjectId(id), point, d);
+                    }
+                }
+                IndexNode::Internal(entries) => {
+                    scanned += entries.len() as u64;
+                    pages.extend(
+                        entries
+                            .iter()
+                            .filter(|e| e.region.min_dist_sq(&self.query) <= self.dk_sq)
+                            .map(|e| e.child),
+                    );
+                }
+            }
+        }
+        let sorted = pages.len() as u64;
+        let next = if pages.is_empty() {
+            Step::Done
+        } else {
+            Step::Fetch(pages)
+        };
+        BatchResult {
+            next,
+            cpu_instructions: cpu_instructions_for_batch(scanned, sorted),
+        }
+    }
+
+    fn results(&self) -> Vec<Neighbor> {
+        self.kbest.to_sorted()
+    }
+
+    fn name(&self) -> &'static str {
+        "WOPTSS"
+    }
+}

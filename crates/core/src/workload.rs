@@ -1,0 +1,100 @@
+//! Multi-user query workloads with Poisson arrivals.
+
+use sqda_geom::Point;
+use sqda_simkernel::{PoissonArrivals, SimTime};
+
+/// One query of a workload: when it arrives, where it asks, how many
+/// neighbours it wants.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// The query point.
+    pub point: Point,
+    /// Number of nearest neighbours requested.
+    pub k: usize,
+}
+
+/// A time-ordered stream of queries for the simulated executor.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The queries, in non-decreasing arrival order.
+    pub queries: Vec<WorkloadQuery>,
+}
+
+impl Workload {
+    /// Builds a Poisson workload: the given query points arrive at rate
+    /// `lambda` per second, all asking for `k` neighbours (the paper's
+    /// setup: 100 queries, λ varied per experiment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not positive or `k` is zero.
+    pub fn poisson(points: Vec<Point>, k: usize, lambda: f64, seed: u64) -> Self {
+        assert!(k > 0, "k must be positive");
+        let mut arrivals = PoissonArrivals::new(lambda);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let queries = points
+            .into_iter()
+            .map(|point| WorkloadQuery {
+                arrival: arrivals.next_arrival(&mut rng),
+                point,
+                k,
+            })
+            .collect();
+        Self { queries }
+    }
+
+    /// A single query arriving at time zero (for single-user latency
+    /// measurements).
+    pub fn single(point: Point, k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            queries: vec![WorkloadQuery {
+                arrival: SimTime::ZERO,
+                point,
+                k,
+            }],
+        }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_workload_ordered() {
+        let points: Vec<Point> = (0..50).map(|i| Point::new(vec![i as f64])).collect();
+        let w = Workload::poisson(points, 5, 10.0, 3);
+        assert_eq!(w.len(), 50);
+        for pair in w.queries.windows(2) {
+            assert!(pair[0].arrival <= pair[1].arrival);
+        }
+        assert!(w.queries.iter().all(|q| q.k == 5));
+    }
+
+    #[test]
+    fn single_workload() {
+        let w = Workload::single(Point::new(vec![1.0, 2.0]), 3);
+        assert_eq!(w.len(), 1);
+        assert!(!w.is_empty());
+        assert_eq!(w.queries[0].arrival, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        Workload::single(Point::new(vec![0.0]), 0);
+    }
+}

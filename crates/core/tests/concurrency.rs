@@ -1,0 +1,57 @@
+//! Concurrent read-only queries over a shared tree: the inter-query
+//! parallelism the disk array exists to serve, exercised with real
+//! threads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqda_core::{exec::run_query, AlgorithmKind};
+use sqda_geom::Point;
+use sqda_rstar::decluster::ProximityIndex;
+use sqda_rstar::{RStarConfig, RStarTree};
+use sqda_storage::ArrayStore;
+use std::sync::Arc;
+
+#[test]
+fn parallel_queries_from_many_threads() {
+    let store = Arc::new(ArrayStore::new(8, 1449, 3));
+    let mut tree = RStarTree::create(
+        store,
+        RStarConfig::new(2).with_max_entries(16),
+        Box::new(ProximityIndex),
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    let points: Vec<Point> = (0..5000)
+        .map(|_| Point::new(vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]))
+        .collect();
+    for (i, p) in points.iter().enumerate() {
+        tree.insert(p.clone(), i as u64).unwrap();
+    }
+    let tree = Arc::new(tree);
+    let points = Arc::new(points);
+
+    std::thread::scope(|scope| {
+        for t in 0..8u64 {
+            let tree = Arc::clone(&tree);
+            let points = Arc::clone(&points);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(100 + t);
+                for _ in 0..25 {
+                    let q = Point::new(vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]);
+                    let k = rng.gen_range(1..30);
+                    let kind = AlgorithmKind::ALL[rng.gen_range(0..4)];
+                    let mut algo = kind.build(tree.as_ref(), q.clone(), k).unwrap();
+                    let run = run_query(tree.as_ref(), algo.as_mut()).unwrap();
+                    // Verify against brute force inside the thread.
+                    let mut want: Vec<f64> = points.iter().map(|p| q.dist_sq(p)).collect();
+                    want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    want.truncate(k);
+                    assert_eq!(run.results.len(), want.len());
+                    for (g, w) in run.results.iter().zip(want.iter()) {
+                        assert!((g.dist_sq - w).abs() < 1e-9, "{kind} mismatch");
+                    }
+                }
+            });
+        }
+    });
+}

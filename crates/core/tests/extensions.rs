@@ -1,0 +1,123 @@
+//! Tests of the future-work extensions: shadowed (mirrored) disks and
+//! multiprocessor configurations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqda_core::{AlgorithmKind, Simulation, Workload};
+use sqda_geom::Point;
+use sqda_rstar::decluster::ProximityIndex;
+use sqda_rstar::{RStarConfig, RStarTree};
+use sqda_simkernel::SystemParams;
+use sqda_storage::ArrayStore;
+use std::sync::Arc;
+
+fn build_tree(n: usize, disks: u32, seed: u64) -> RStarTree<ArrayStore> {
+    let store = Arc::new(ArrayStore::new(disks, 1449, seed));
+    let mut tree = RStarTree::create(
+        store,
+        RStarConfig::new(2).with_max_entries(16),
+        Box::new(ProximityIndex),
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..n {
+        let p = Point::new(vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]);
+        tree.insert(p, i as u64).unwrap();
+    }
+    tree
+}
+
+fn queries(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]))
+        .collect()
+}
+
+#[test]
+fn mirrored_reads_never_slower() {
+    let tree = build_tree(4000, 10, 1);
+    let w = Workload::poisson(queries(50, 2), 20, 10.0, 3);
+    let plain = Simulation::new(&tree, SystemParams::with_disks(10))
+        .run(AlgorithmKind::Crss, &w, 4)
+        .unwrap();
+    let mirrored = Simulation::new(
+        &tree,
+        SystemParams {
+            mirrored_reads: true,
+            ..SystemParams::with_disks(10)
+        },
+    )
+    .run(AlgorithmKind::Crss, &w, 4)
+    .unwrap();
+    // Shadowing lets hot disks offload reads; mean response must improve
+    // (or at worst stay put — assert a generous bound).
+    assert!(
+        mirrored.mean_response_s <= plain.mean_response_s * 1.02,
+        "mirrored {} vs plain {}",
+        mirrored.mean_response_s,
+        plain.mean_response_s
+    );
+    assert_eq!(mirrored.completed, 50);
+}
+
+#[test]
+fn mirrored_reads_same_answers() {
+    // Mirroring is a timing-only change: node counts stay identical.
+    let tree = build_tree(2000, 6, 5);
+    let w = Workload::poisson(queries(20, 6), 10, 5.0, 7);
+    for kind in AlgorithmKind::ALL {
+        let plain = Simulation::new(&tree, SystemParams::with_disks(6))
+            .run(kind, &w, 8)
+            .unwrap();
+        let mirrored = Simulation::new(
+            &tree,
+            SystemParams {
+                mirrored_reads: true,
+                ..SystemParams::with_disks(6)
+            },
+        )
+        .run(kind, &w, 8)
+        .unwrap();
+        assert_eq!(
+            plain.mean_nodes_per_query, mirrored.mean_nodes_per_query,
+            "{kind}"
+        );
+    }
+}
+
+#[test]
+fn extra_cpus_help_under_cpu_pressure() {
+    // Make the CPU the bottleneck by slowing it drastically.
+    let tree = build_tree(4000, 10, 9);
+    let w = Workload::poisson(queries(50, 10), 50, 20.0, 11);
+    let slow = SystemParams {
+        cpu_mips: 0.01, // a ~2k-instruction batch takes ~0.2 s
+        ..SystemParams::with_disks(10)
+    };
+    let one = Simulation::new(&tree, slow.clone())
+        .run(AlgorithmKind::Fpss, &w, 12)
+        .unwrap();
+    let four = Simulation::new(
+        &tree,
+        SystemParams {
+            num_cpus: 4,
+            ..slow
+        },
+    )
+    .run(AlgorithmKind::Fpss, &w, 12)
+    .unwrap();
+    assert!(
+        four.mean_response_s < one.mean_response_s,
+        "4 CPUs {} >= 1 CPU {}",
+        four.mean_response_s,
+        one.mean_response_s
+    );
+}
+
+#[test]
+fn single_cpu_default_matches_paper_config() {
+    let p = SystemParams::default();
+    assert_eq!(p.num_cpus, 1);
+    assert!(!p.mirrored_reads);
+}

@@ -1,0 +1,83 @@
+//! The MINMAXDIST threshold extension: identical answers, never more
+//! node accesses than stock CRSS.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqda_core::{exec::run_query, Crss};
+use sqda_geom::Point;
+use sqda_rstar::decluster::ProximityIndex;
+use sqda_rstar::{RStarConfig, RStarTree};
+use sqda_storage::ArrayStore;
+use std::sync::Arc;
+
+fn build(n: usize, dim: usize, seed: u64) -> RStarTree<ArrayStore> {
+    let store = Arc::new(ArrayStore::new(10, 1449, seed));
+    let mut tree = RStarTree::create(
+        store,
+        RStarConfig::new(dim).with_max_entries(16),
+        Box::new(ProximityIndex),
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..n {
+        let p = Point::new((0..dim).map(|_| rng.gen::<f64>()).collect());
+        tree.insert(p, i as u64).unwrap();
+    }
+    tree
+}
+
+#[test]
+fn same_answers_never_more_nodes() {
+    let tree = build(5000, 2, 1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut stock_total = 0u64;
+    let mut tight_total = 0u64;
+    for _ in 0..30 {
+        let q = Point::new(vec![rng.gen(), rng.gen()]);
+        for k in [1usize, 10, 50] {
+            let mut stock = Crss::new(&tree, q.clone(), k);
+            let mut tight = Crss::new(&tree, q.clone(), k).with_minmax_threshold();
+            let rs = run_query(&tree, &mut stock).unwrap();
+            let rt = run_query(&tree, &mut tight).unwrap();
+            let ds: Vec<f64> = rs.results.iter().map(|n| n.dist_sq).collect();
+            let dt: Vec<f64> = rt.results.iter().map(|n| n.dist_sq).collect();
+            assert_eq!(ds, dt, "answers differ at k={k}");
+            stock_total += rs.nodes_visited;
+            tight_total += rt.nodes_visited;
+        }
+    }
+    assert!(
+        tight_total <= stock_total,
+        "tighter threshold read more nodes: {tight_total} vs {stock_total}"
+    );
+}
+
+#[test]
+fn tighter_in_high_dimensions_too() {
+    // A smaller threshold changes the traversal (different activation
+    // sets discover D_k along different paths), so improvement is
+    // guaranteed only in aggregate, not per query.
+    let tree = build(3000, 6, 3);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut stock_total = 0u64;
+    let mut tight_total = 0u64;
+    for _ in 0..20 {
+        let q = Point::new((0..6).map(|_| rng.gen::<f64>()).collect());
+        for k in [5usize, 25] {
+            let mut stock = Crss::new(&tree, q.clone(), k);
+            let mut tight = Crss::new(&tree, q.clone(), k).with_minmax_threshold();
+            let rs = run_query(&tree, &mut stock).unwrap();
+            let rt = run_query(&tree, &mut tight).unwrap();
+            assert_eq!(
+                rs.results.iter().map(|n| n.object).collect::<Vec<_>>(),
+                rt.results.iter().map(|n| n.object).collect::<Vec<_>>()
+            );
+            stock_total += rs.nodes_visited;
+            tight_total += rt.nodes_visited;
+        }
+    }
+    assert!(
+        tight_total <= stock_total,
+        "aggregate regression: {tight_total} vs {stock_total}"
+    );
+}

@@ -1,0 +1,179 @@
+//! The `Dataset` container and CSV round-tripping.
+
+use sqda_geom::Point;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// A named collection of points with uniform dimensionality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Human-readable name (appears in experiment output).
+    pub name: String,
+    /// Dimensionality of every point.
+    pub dim: usize,
+    /// The data points.
+    pub points: Vec<Point>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating dimensional consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point has a different dimensionality than `dim`.
+    pub fn new(name: impl Into<String>, dim: usize, points: Vec<Point>) -> Self {
+        let name = name.into();
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(
+                p.dim(),
+                dim,
+                "point {i} of dataset {name} has dimension {} (expected {dim})",
+                p.dim()
+            );
+        }
+        Self { name, dim, points }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the dataset has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Draws `n` query points from the data distribution: uniformly
+    /// sampled data points, each perturbed by a small jitter so queries
+    /// rarely coincide exactly with an indexed object.
+    pub fn sample_queries(&self, n: usize, seed: u64) -> Vec<Point> {
+        crate::queries::sample_queries(self, n, seed)
+    }
+
+    /// The bounding box of the data, as (lo, hi) coordinate vectors.
+    /// Returns `None` for an empty dataset.
+    pub fn bounds(&self) -> Option<(Vec<f64>, Vec<f64>)> {
+        let first = self.points.first()?;
+        let mut lo = first.coords().to_vec();
+        let mut hi = lo.clone();
+        for p in &self.points[1..] {
+            for (d, &c) in p.coords().iter().enumerate() {
+                if c < lo[d] {
+                    lo[d] = c;
+                }
+                if c > hi[d] {
+                    hi[d] = c;
+                }
+            }
+        }
+        Some((lo, hi))
+    }
+
+    /// Writes the points as CSV (one point per line, comma-separated
+    /// coordinates).
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut w = BufWriter::new(file);
+        for p in &self.points {
+            let line: Vec<String> = p.coords().iter().map(|c| c.to_string()).collect();
+            writeln!(w, "{}", line.join(","))?;
+        }
+        w.flush()
+    }
+
+    /// Reads points from CSV written by [`Dataset::write_csv`].
+    pub fn read_csv(name: impl Into<String>, path: &Path) -> std::io::Result<Self> {
+        let file = std::fs::File::open(path)?;
+        let reader = std::io::BufReader::new(file);
+        let mut points = Vec::new();
+        let mut dim = 0usize;
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let coords: Result<Vec<f64>, _> =
+                line.split(',').map(|s| s.trim().parse::<f64>()).collect();
+            let coords = coords.map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("line {}: {e}", lineno + 1),
+                )
+            })?;
+            if dim == 0 {
+                dim = coords.len();
+            } else if coords.len() != dim {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("line {}: expected {dim} coordinates", lineno + 1),
+                ));
+            }
+            points.push(Point::new(coords));
+        }
+        Ok(Self::new(name, dim.max(1), points))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::new(
+            "sample",
+            2,
+            vec![
+                Point::new(vec![0.0, 1.0]),
+                Point::new(vec![2.5, -3.0]),
+                Point::new(vec![-1.0, 4.0]),
+            ],
+        )
+    }
+
+    #[test]
+    fn bounds_cover_all_points() {
+        let (lo, hi) = sample().bounds().unwrap();
+        assert_eq!(lo, vec![-1.0, -3.0]);
+        assert_eq!(hi, vec![2.5, 4.0]);
+    }
+
+    #[test]
+    fn empty_dataset_bounds() {
+        let d = Dataset::new("empty", 2, vec![]);
+        assert!(d.bounds().is_none());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn mixed_dimension_panics() {
+        Dataset::new(
+            "bad",
+            2,
+            vec![Point::new(vec![0.0, 1.0]), Point::new(vec![1.0])],
+        );
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let d = sample();
+        let dir = std::env::temp_dir().join("sqda-datasets-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.csv");
+        d.write_csv(&path).unwrap();
+        let back = Dataset::read_csv("sample", &path).unwrap();
+        assert_eq!(d, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        let dir = std::env::temp_dir().join("sqda-datasets-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.csv");
+        std::fs::write(&path, "1.0,2.0\nnot,a,number\n").unwrap();
+        assert!(Dataset::read_csv("bad", &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,68 @@
+//! Query-point sampling.
+
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqda_geom::Point;
+
+/// Draws `n` query points from the data distribution: a uniformly chosen
+/// data point perturbed by a jitter of 1% of the data extent per
+/// dimension. Queries follow the data distribution — on skewed data,
+/// uniformly random queries would land in empty space and measure nothing
+/// interesting.
+pub(crate) fn sample_queries(dataset: &Dataset, n: usize, seed: u64) -> Vec<Point> {
+    assert!(!dataset.is_empty(), "cannot sample queries from empty data");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (lo, hi) = dataset.bounds().expect("non-empty dataset");
+    let jitter: Vec<f64> = lo
+        .iter()
+        .zip(hi.iter())
+        .map(|(l, h)| (h - l).max(f64::MIN_POSITIVE) * 0.01)
+        .collect();
+    (0..n)
+        .map(|_| {
+            let base = &dataset.points[rng.gen_range(0..dataset.points.len())];
+            Point::new(
+                base.coords()
+                    .iter()
+                    .zip(jitter.iter())
+                    .map(|(c, j)| c + rng.gen_range(-*j..=*j))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::uniform;
+
+    #[test]
+    fn queries_follow_data() {
+        let d = uniform(1000, 2, 1);
+        let qs = d.sample_queries(50, 9);
+        assert_eq!(qs.len(), 50);
+        for q in &qs {
+            assert_eq!(q.dim(), 2);
+            // Within data bounds plus jitter.
+            for c in q.coords() {
+                assert!(*c > -0.02 && *c < 1.02);
+            }
+        }
+    }
+
+    #[test]
+    fn queries_deterministic_per_seed() {
+        let d = uniform(100, 3, 2);
+        assert_eq!(d.sample_queries(10, 5), d.sample_queries(10, 5));
+        assert_ne!(d.sample_queries(10, 5), d.sample_queries(10, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_dataset_panics() {
+        let d = Dataset::new("empty", 2, vec![]);
+        d.sample_queries(1, 0);
+    }
+}

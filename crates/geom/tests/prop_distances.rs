@@ -1,0 +1,161 @@
+//! Property-based tests for the point-to-MBR distance metrics.
+//!
+//! These invariants are exactly what the pruning rules of the paper's
+//! algorithms rely on: if any of them were violated, the k-NN search could
+//! prune a subtree containing a true nearest neighbour.
+
+use proptest::prelude::*;
+use sqda_geom::{Point, Rect, Sphere};
+
+/// Strategy: a dimension count and a pair (rect, point) in that dimension.
+fn rect_and_point(max_dim: usize) -> impl Strategy<Value = (Rect, Point)> {
+    (1..=max_dim).prop_flat_map(|dim| {
+        let coord = -1000.0..1000.0f64;
+        let extent = 0.0..500.0f64;
+        (
+            proptest::collection::vec((coord.clone(), extent), dim),
+            proptest::collection::vec(-1500.0..1500.0f64, dim),
+        )
+            .prop_map(|(corners, pcoords)| {
+                let lo: Vec<f64> = corners.iter().map(|(l, _)| *l).collect();
+                let hi: Vec<f64> = corners.iter().map(|(l, e)| l + e).collect();
+                (Rect::new(lo, hi).unwrap(), Point::new(pcoords))
+            })
+    })
+}
+
+/// Sample points inside a rect on a per-dimension grid of fractions.
+fn sample_points_inside(r: &Rect) -> Vec<Point> {
+    let fractions = [0.0, 0.25, 0.5, 0.75, 1.0];
+    // A full grid is exponential; instead take "diagonal" samples plus
+    // per-dimension extreme variations.
+    let mut pts = Vec::new();
+    for f in fractions {
+        let coords: Vec<f64> = (0..r.dim())
+            .map(|d| r.lo()[d] + f * (r.hi()[d] - r.lo()[d]))
+            .collect();
+        pts.push(Point::new(coords));
+    }
+    for d in 0..r.dim() {
+        for f in [0.0, 1.0] {
+            let coords: Vec<f64> = (0..r.dim())
+                .map(|j| {
+                    if j == d {
+                        r.lo()[j] + f * (r.hi()[j] - r.lo()[j])
+                    } else {
+                        (r.lo()[j] + r.hi()[j]) / 2.0
+                    }
+                })
+                .collect();
+            pts.push(Point::new(coords));
+        }
+    }
+    pts
+}
+
+proptest! {
+    /// D_min ≤ D_mm ≤ D_max for every point/rect pair.
+    #[test]
+    fn metric_ordering((r, p) in rect_and_point(8)) {
+        let dmin = r.min_dist_sq(&p);
+        let dmm = r.min_max_dist_sq(&p);
+        let dmax = r.max_dist_sq(&p);
+        prop_assert!(dmin <= dmm * (1.0 + 1e-12) + 1e-9);
+        prop_assert!(dmm <= dmax * (1.0 + 1e-12) + 1e-9);
+    }
+
+    /// D_min is a lower bound on the distance to any point inside the MBR,
+    /// and D_max an upper bound.
+    #[test]
+    fn min_max_bound_interior_points((r, p) in rect_and_point(6)) {
+        let dmin = r.min_dist_sq(&p);
+        let dmax = r.max_dist_sq(&p);
+        for q in sample_points_inside(&r) {
+            let d = p.dist_sq(&q);
+            prop_assert!(d + 1e-9 >= dmin, "interior point closer than Dmin");
+            prop_assert!(d <= dmax + 1e-9, "interior point farther than Dmax");
+        }
+    }
+
+    /// For a point inside the rectangle D_min is exactly zero.
+    #[test]
+    fn mindist_zero_inside((r, _) in rect_and_point(6)) {
+        let c = r.center();
+        prop_assert_eq!(r.min_dist_sq(&c), 0.0);
+    }
+
+    /// MINMAXDIST guarantee: there is a face-point of the MBR at distance
+    /// ≤ D_mm. We verify against the construction: for the minimizing
+    /// dimension there is a vertex combination realizing the value.
+    #[test]
+    fn minmaxdist_is_realized_by_a_vertex((r, p) in rect_and_point(5)) {
+        let dmm = r.min_max_dist_sq(&p);
+        // Enumerate all vertices; for each dimension k, the candidate is
+        // nearest face along k + farthest corner elsewhere. The realized
+        // value must equal the distance to an actual boundary point.
+        let n = r.dim();
+        let mut best = f64::INFINITY;
+        for k in 0..n {
+            let mut coords = vec![0.0; n];
+            for (d, coord) in coords.iter_mut().enumerate() {
+                let c = p.coord(d);
+                let mid = (r.lo()[d] + r.hi()[d]) / 2.0;
+                *coord = if d == k {
+                    // nearer face
+                    if c <= mid { r.lo()[d] } else { r.hi()[d] }
+                } else {
+                    // farther face
+                    if c >= mid { r.lo()[d] } else { r.hi()[d] }
+                };
+            }
+            best = best.min(p.dist_sq(&Point::new(coords)));
+        }
+        prop_assert!((dmm - best).abs() <= 1e-6 * (1.0 + best),
+            "Dmm {} != realized {}", dmm, best);
+    }
+
+    /// Union contains both operands; intersection is symmetric.
+    #[test]
+    fn union_contains_operands((r, p) in rect_and_point(6)) {
+        let other = Rect::from_point(&p);
+        let u = r.union(&other);
+        prop_assert!(u.contains_rect(&r));
+        prop_assert!(u.contains_rect(&other));
+        prop_assert!(u.area() + 1e-9 >= r.area());
+        prop_assert_eq!(r.intersects(&other), other.intersects(&r));
+    }
+
+    /// Sphere-rect intersection agrees with Dmin; containment with Dmax.
+    #[test]
+    fn sphere_predicates_consistent((r, p) in rect_and_point(6), radius in 0.0..2000.0f64) {
+        let s = Sphere::new(p.clone(), radius);
+        prop_assert_eq!(s.intersects_rect(&r), r.min_dist_sq(&p) <= radius * radius);
+        prop_assert_eq!(s.contains_rect(&r), r.max_dist_sq(&p) <= radius * radius);
+        if s.contains_rect(&r) {
+            prop_assert!(s.intersects_rect(&r));
+        }
+    }
+
+    /// Enlargement is non-negative and zero when the rect already contains
+    /// the other.
+    #[test]
+    fn enlargement_properties((r, p) in rect_and_point(6)) {
+        let pr = Rect::from_point(&p);
+        let e = r.enlargement(&pr);
+        prop_assert!(e >= -1e-9);
+        if r.contains_point(&p) {
+            prop_assert!(e.abs() <= 1e-9);
+        }
+    }
+
+    /// Euclidean distance satisfies the triangle inequality.
+    #[test]
+    fn triangle_inequality(
+        a in proptest::collection::vec(-100.0..100.0f64, 4),
+        b in proptest::collection::vec(-100.0..100.0f64, 4),
+        c in proptest::collection::vec(-100.0..100.0f64, 4),
+    ) {
+        let (pa, pb, pc) = (Point::new(a), Point::new(b), Point::new(c));
+        prop_assert!(pa.dist(&pc) <= pa.dist(&pb) + pb.dist(&pc) + 1e-9);
+    }
+}

@@ -1,0 +1,299 @@
+//! Binary on-page node format.
+//!
+//! Every node is serialized into one fixed-size page:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "RSTN"
+//! 4       1     format version (1)
+//! 5       1     node type (0 = leaf, 1 = internal)
+//! 6       2     dimensionality
+//! 8       4     level
+//! 12      4     number of entries
+//! 16      ...   entries
+//! ```
+//!
+//! Internal entry: `2·dim` little-endian `f64` MBR corners (lo then hi),
+//! `u64` child page id, `u64` subtree object count.
+//! Leaf entry: `dim` `f64` coordinates, `u64` object id.
+
+use crate::entry::{InternalEntry, LeafEntry, ObjectId};
+use crate::node::Node;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sqda_geom::{Point, Rect};
+use sqda_storage::{PageId, StorageError};
+
+/// Size of the fixed node header in bytes.
+pub const HEADER_SIZE: usize = 16;
+
+const MAGIC: &[u8; 4] = b"RSTN";
+const VERSION: u8 = 1;
+const TYPE_LEAF: u8 = 0;
+const TYPE_INTERNAL: u8 = 1;
+
+/// Bytes one internal entry occupies for dimensionality `dim`.
+pub const fn internal_entry_size(dim: usize) -> usize {
+    2 * dim * 8 + 8 + 8
+}
+
+/// Bytes one leaf entry occupies for dimensionality `dim`.
+pub const fn leaf_entry_size(dim: usize) -> usize {
+    dim * 8 + 8
+}
+
+/// Serializes a node into page bytes.
+///
+/// # Panics
+///
+/// Panics if an entry's dimensionality disagrees with `dim` — that is a
+/// programming error upstream, not a recoverable condition.
+pub fn encode_node(node: &Node, dim: usize) -> Bytes {
+    let (ty, level, n) = match node {
+        Node::Leaf { entries } => (TYPE_LEAF, 0u32, entries.len()),
+        Node::Internal { level, entries } => (TYPE_INTERNAL, *level, entries.len()),
+    };
+    let body = match node {
+        Node::Leaf { .. } => n * leaf_entry_size(dim),
+        Node::Internal { .. } => n * internal_entry_size(dim),
+    };
+    let mut buf = BytesMut::with_capacity(HEADER_SIZE + body);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(ty);
+    buf.put_u16_le(dim as u16);
+    buf.put_u32_le(level);
+    buf.put_u32_le(n as u32);
+    match node {
+        Node::Leaf { entries } => {
+            for e in entries {
+                assert_eq!(e.point.dim(), dim, "leaf entry dimension mismatch");
+                for c in e.point.coords() {
+                    buf.put_f64_le(*c);
+                }
+                buf.put_u64_le(e.object.0);
+            }
+        }
+        Node::Internal { entries, .. } => {
+            for e in entries {
+                assert_eq!(e.mbr.dim(), dim, "internal entry dimension mismatch");
+                for c in e.mbr.lo() {
+                    buf.put_f64_le(*c);
+                }
+                for c in e.mbr.hi() {
+                    buf.put_f64_le(*c);
+                }
+                buf.put_u64_le(e.child.as_raw());
+                buf.put_u64_le(e.count);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+fn corrupt(page: PageId, detail: impl Into<String>) -> StorageError {
+    StorageError::CorruptPage {
+        page,
+        detail: detail.into(),
+    }
+}
+
+/// Deserializes page bytes into a node.
+///
+/// `page` is used only for error reporting. Validates magic, version,
+/// dimensionality and length.
+pub fn decode_node(mut data: Bytes, dim: usize, page: PageId) -> Result<Node, StorageError> {
+    if data.len() < HEADER_SIZE {
+        return Err(corrupt(page, format!("short page: {} bytes", data.len())));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(corrupt(page, "bad magic"));
+    }
+    let version = data.get_u8();
+    if version != VERSION {
+        return Err(corrupt(page, format!("unsupported version {version}")));
+    }
+    let ty = data.get_u8();
+    let file_dim = data.get_u16_le() as usize;
+    if file_dim != dim {
+        return Err(corrupt(
+            page,
+            format!("dimension mismatch: page has {file_dim}, tree expects {dim}"),
+        ));
+    }
+    let level = data.get_u32_le();
+    let n = data.get_u32_le() as usize;
+    match ty {
+        TYPE_LEAF => {
+            if level != 0 {
+                return Err(corrupt(page, format!("leaf with level {level}")));
+            }
+            if data.remaining() < n * leaf_entry_size(dim) {
+                return Err(corrupt(page, "truncated leaf entries"));
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let coords: Vec<f64> = (0..dim).map(|_| data.get_f64_le()).collect();
+                let object = ObjectId(data.get_u64_le());
+                entries.push(LeafEntry::new(Point::new(coords), object));
+            }
+            Ok(Node::Leaf { entries })
+        }
+        TYPE_INTERNAL => {
+            if level == 0 {
+                return Err(corrupt(page, "internal node with level 0"));
+            }
+            if data.remaining() < n * internal_entry_size(dim) {
+                return Err(corrupt(page, "truncated internal entries"));
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let lo: Vec<f64> = (0..dim).map(|_| data.get_f64_le()).collect();
+                let hi: Vec<f64> = (0..dim).map(|_| data.get_f64_le()).collect();
+                let child = PageId::from_raw(data.get_u64_le());
+                let count = data.get_u64_le();
+                let mbr = Rect::new(lo, hi)
+                    .map_err(|e| corrupt(page, format!("bad MBR: {e}")))?;
+                entries.push(InternalEntry::new(mbr, child, count));
+            }
+            Ok(Node::Internal { level, entries })
+        }
+        other => Err(corrupt(page, format!("unknown node type {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page() -> PageId {
+        PageId::from_raw(9)
+    }
+
+    fn sample_leaf(dim: usize, n: usize) -> Node {
+        Node::Leaf {
+            entries: (0..n)
+                .map(|i| {
+                    LeafEntry::new(
+                        Point::new((0..dim).map(|d| (i * dim + d) as f64 * 0.5).collect()),
+                        ObjectId(i as u64 * 3),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn sample_internal(dim: usize, n: usize) -> Node {
+        Node::Internal {
+            level: 2,
+            entries: (0..n)
+                .map(|i| {
+                    let lo: Vec<f64> = (0..dim).map(|d| (i + d) as f64).collect();
+                    let hi: Vec<f64> = lo.iter().map(|c| c + 1.5).collect();
+                    InternalEntry::new(
+                        Rect::new(lo, hi).unwrap(),
+                        PageId::from_raw(100 + i as u64),
+                        (i as u64 + 1) * 7,
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        for dim in [1, 2, 5, 10] {
+            let node = sample_leaf(dim, 13);
+            let bytes = encode_node(&node, dim);
+            let back = decode_node(bytes, dim, page()).unwrap();
+            assert_eq!(node, back);
+        }
+    }
+
+    #[test]
+    fn internal_roundtrip() {
+        for dim in [1, 2, 5, 10] {
+            let node = sample_internal(dim, 7);
+            let bytes = encode_node(&node, dim);
+            let back = decode_node(bytes, dim, page()).unwrap();
+            assert_eq!(node, back);
+        }
+    }
+
+    #[test]
+    fn empty_leaf_roundtrip() {
+        let node = Node::empty_leaf();
+        let back = decode_node(encode_node(&node, 3), 3, page()).unwrap();
+        assert_eq!(node, back);
+    }
+
+    #[test]
+    fn encoded_size_matches_formula() {
+        let dim = 4;
+        let node = sample_leaf(dim, 10);
+        assert_eq!(
+            encode_node(&node, dim).len(),
+            HEADER_SIZE + 10 * leaf_entry_size(dim)
+        );
+        let node = sample_internal(dim, 10);
+        assert_eq!(
+            encode_node(&node, dim).len(),
+            HEADER_SIZE + 10 * internal_entry_size(dim)
+        );
+    }
+
+    #[test]
+    fn full_2d_page_fits() {
+        // A node at exactly max capacity must fit in the page.
+        let cfg = crate::RStarConfig::new(2);
+        let node = sample_leaf(2, cfg.max_leaf_entries);
+        assert!(encode_node(&node, 2).len() <= cfg.page_size);
+        let node = sample_internal(2, cfg.max_internal_entries);
+        assert!(encode_node(&node, 2).len() <= cfg.page_size);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut b = encode_node(&sample_leaf(2, 1), 2).to_vec();
+        b[0] = b'X';
+        let err = decode_node(Bytes::from(b), 2, page()).unwrap_err();
+        assert!(matches!(err, StorageError::CorruptPage { .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut b = encode_node(&sample_leaf(2, 1), 2).to_vec();
+        b[4] = 99;
+        assert!(decode_node(Bytes::from(b), 2, page()).is_err());
+    }
+
+    #[test]
+    fn rejects_dim_mismatch() {
+        let b = encode_node(&sample_leaf(3, 2), 3);
+        assert!(decode_node(b, 2, page()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let b = encode_node(&sample_internal(2, 5), 2);
+        let truncated = b.slice(0..b.len() - 10);
+        assert!(decode_node(truncated, 2, page()).is_err());
+        let short = b.slice(0..8);
+        assert!(decode_node(short, 2, page()).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_type() {
+        let mut b = encode_node(&sample_leaf(2, 0), 2).to_vec();
+        b[5] = 7;
+        assert!(decode_node(Bytes::from(b), 2, page()).is_err());
+    }
+
+    #[test]
+    fn rejects_leaf_with_nonzero_level() {
+        let mut b = encode_node(&sample_leaf(2, 0), 2).to_vec();
+        b[8] = 1; // level byte
+        assert!(decode_node(Bytes::from(b), 2, page()).is_err());
+    }
+}

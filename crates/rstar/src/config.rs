@@ -1,0 +1,176 @@
+//! Tree configuration and node-capacity computation.
+
+use crate::codec;
+use crate::split_policy::SplitPolicy;
+
+/// Configuration of an R\*-tree.
+///
+/// Node capacities are derived from the page size and dimensionality so
+/// that every node fits in exactly one disk page, but they can be
+/// overridden (smaller) to force deep trees in tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RStarConfig {
+    /// Dimensionality of the indexed points.
+    pub dim: usize,
+    /// Page size the nodes must fit in, bytes.
+    pub page_size: usize,
+    /// Maximum entries in an internal node.
+    pub max_internal_entries: usize,
+    /// Maximum entries in a leaf node.
+    pub max_leaf_entries: usize,
+    /// Minimum fill fraction (R\*: 40%).
+    pub min_fill_fraction: f64,
+    /// Fraction of entries removed on forced reinsertion (R\*: 30%).
+    pub reinsert_fraction: f64,
+    /// Which algorithm splits overflowing nodes (default: the R\* split).
+    pub split_policy: SplitPolicy,
+}
+
+impl RStarConfig {
+    /// Creates a configuration for `dim`-dimensional points with the
+    /// default 4 KiB page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is 0 or the page is too small to hold even a
+    /// handful of entries.
+    pub fn new(dim: usize) -> Self {
+        Self::with_page_size(dim, sqda_storage::DEFAULT_PAGE_SIZE)
+    }
+
+    /// Creates a configuration with an explicit page size.
+    pub fn with_page_size(dim: usize, page_size: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        let max_internal = (page_size - codec::HEADER_SIZE) / codec::internal_entry_size(dim);
+        let max_leaf = (page_size - codec::HEADER_SIZE) / codec::leaf_entry_size(dim);
+        assert!(
+            max_internal >= 4 && max_leaf >= 4,
+            "page size {page_size} too small for {dim}-d nodes"
+        );
+        Self {
+            dim,
+            page_size,
+            max_internal_entries: max_internal,
+            max_leaf_entries: max_leaf,
+            min_fill_fraction: 0.4,
+            reinsert_fraction: 0.3,
+            split_policy: SplitPolicy::default(),
+        }
+    }
+
+    /// Selects the node-split policy (default: [`SplitPolicy::RStar`]).
+    pub fn with_split_policy(mut self, policy: SplitPolicy) -> Self {
+        self.split_policy = policy;
+        self
+    }
+
+    /// Caps both node capacities at `max` (for tests that need deep trees
+    /// from few points). The capacities stay within what the page can
+    /// hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max < 4`: R\*-tree splits need at least 4 entries.
+    pub fn with_max_entries(mut self, max: usize) -> Self {
+        assert!(max >= 4, "nodes need at least 4 entries to split");
+        self.max_internal_entries = self.max_internal_entries.min(max);
+        self.max_leaf_entries = self.max_leaf_entries.min(max);
+        self
+    }
+
+    /// Minimum entries in an internal node.
+    pub fn min_internal_entries(&self) -> usize {
+        min_fill(self.max_internal_entries, self.min_fill_fraction)
+    }
+
+    /// Minimum entries in a leaf node.
+    pub fn min_leaf_entries(&self) -> usize {
+        min_fill(self.max_leaf_entries, self.min_fill_fraction)
+    }
+
+    /// Number of entries evicted by forced reinsertion of an internal
+    /// node.
+    pub fn internal_reinsert_count(&self) -> usize {
+        reinsert_count(self.max_internal_entries, self.reinsert_fraction)
+    }
+
+    /// Number of entries evicted by forced reinsertion of a leaf node.
+    pub fn leaf_reinsert_count(&self) -> usize {
+        reinsert_count(self.max_leaf_entries, self.reinsert_fraction)
+    }
+}
+
+fn min_fill(max: usize, fraction: f64) -> usize {
+    // At least 2 so splits produce non-degenerate nodes; at most max/2 so
+    // a split of max+1 entries can satisfy both halves.
+    (((max as f64) * fraction).round() as usize).clamp(2, max / 2)
+}
+
+fn reinsert_count(max: usize, fraction: f64) -> usize {
+    // At least 1, and leave at least min_fill entries in the node.
+    (((max as f64) * fraction).round() as usize).clamp(1, max.saturating_sub(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_for_2d_default_page() {
+        let c = RStarConfig::new(2);
+        // internal entry: 2*2*8 + 8 + 8 = 48; (4096-16)/48 = 85
+        assert_eq!(c.max_internal_entries, 85);
+        // leaf entry: 2*8 + 8 = 24; (4096-16)/24 = 170
+        assert_eq!(c.max_leaf_entries, 170);
+        assert_eq!(c.min_internal_entries(), 34);
+        assert_eq!(c.min_leaf_entries(), 68);
+    }
+
+    #[test]
+    fn capacities_for_10d() {
+        let c = RStarConfig::new(10);
+        // internal entry: 2*10*8 + 16 = 176; (4096-16)/176 = 23
+        assert_eq!(c.max_internal_entries, 23);
+        // leaf entry: 80 + 8 = 88; (4096-16)/88 = 46
+        assert_eq!(c.max_leaf_entries, 46);
+    }
+
+    #[test]
+    fn override_caps_for_tests() {
+        let c = RStarConfig::new(2).with_max_entries(4);
+        assert_eq!(c.max_internal_entries, 4);
+        assert_eq!(c.max_leaf_entries, 4);
+        assert_eq!(c.min_internal_entries(), 2);
+        assert_eq!(c.leaf_reinsert_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn tiny_override_panics() {
+        let _ = RStarConfig::new(2).with_max_entries(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_page_panics() {
+        let _ = RStarConfig::with_page_size(10, 64);
+    }
+
+    #[test]
+    fn min_fill_leaves_room_for_split() {
+        for max in [4usize, 5, 10, 23, 85, 170] {
+            let m = min_fill(max, 0.4);
+            // A node with max+1 entries must split into two nodes of ≥ m.
+            assert!(2 * m <= max + 1, "max={max} m={m}");
+            assert!(m >= 2);
+        }
+    }
+
+    #[test]
+    fn reinsert_count_reasonable() {
+        let c = RStarConfig::new(2);
+        let p = c.leaf_reinsert_count();
+        assert_eq!(p, (170.0f64 * 0.3).round() as usize);
+        assert!(p < c.max_leaf_entries);
+    }
+}

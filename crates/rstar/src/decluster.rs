@@ -1,0 +1,388 @@
+//! Declustering heuristics: which disk should a newly created node go to?
+//!
+//! When an insertion splits a node, the new page must be placed on one of
+//! the array's disks. A good placement stores nodes that are likely to be
+//! fetched by the *same* query on *different* disks, so the fetches can
+//! proceed in parallel. The paper (Section 2.2) compares the known
+//! heuristics and adopts the **Proximity Index** of Kamel & Faloutsos
+//! (*Parallel R-trees*, SIGMOD'92): assign the new node to the disk whose
+//! resident sibling nodes are least proximal to the new node's MBR.
+//!
+//! All heuristics receive the same [`DeclusterContext`] so they can be
+//! swapped freely; the ablation experiment `ablation_declustering`
+//! compares them empirically.
+
+use sqda_geom::Rect;
+use sqda_storage::DiskId;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Information available when placing a newly split node.
+pub struct DeclusterContext<'a> {
+    /// MBR of the newly created node.
+    pub new_mbr: &'a Rect,
+    /// The sibling nodes under the same parent: their MBRs and disks.
+    /// This includes the split partner that kept the old page.
+    pub siblings: &'a [(Rect, DiskId)],
+    /// Total pages currently allocated per disk (index = disk).
+    pub pages_per_disk: &'a [usize],
+    /// Number of disks in the array.
+    pub num_disks: u32,
+}
+
+/// A strategy assigning newly created tree nodes to disks.
+pub trait Declusterer: Send + Sync {
+    /// Chooses the disk for the new node.
+    fn assign_disk(&self, ctx: &DeclusterContext<'_>) -> DiskId;
+
+    /// Human-readable name (used by the ablation harness).
+    fn name(&self) -> &'static str;
+}
+
+/// Cyclic assignment: disk `i+1` follows disk `i` regardless of geometry.
+pub struct RoundRobin {
+    next: AtomicU64,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin assigner starting at disk 0.
+    pub fn new() -> Self {
+        Self {
+            next: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Default for RoundRobin {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Declusterer for RoundRobin {
+    fn assign_disk(&self, ctx: &DeclusterContext<'_>) -> DiskId {
+        let n = self.next.fetch_add(1, Ordering::Relaxed);
+        DiskId((n % ctx.num_disks as u64) as u32)
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Uniform random assignment.
+pub struct RandomAssign {
+    rng: Mutex<StdRng>,
+}
+
+impl RandomAssign {
+    /// Creates a random assigner with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+}
+
+impl Declusterer for RandomAssign {
+    fn assign_disk(&self, ctx: &DeclusterContext<'_>) -> DiskId {
+        DiskId(self.rng.lock().gen_range(0..ctx.num_disks))
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Data balance: the disk currently holding the fewest pages.
+pub struct DataBalance;
+
+impl Declusterer for DataBalance {
+    fn assign_disk(&self, ctx: &DeclusterContext<'_>) -> DiskId {
+        let disk = ctx
+            .pages_per_disk
+            .iter()
+            .enumerate()
+            .take(ctx.num_disks as usize)
+            .min_by_key(|(_, &pages)| pages)
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0);
+        DiskId(disk)
+    }
+
+    fn name(&self) -> &'static str {
+        "data-balance"
+    }
+}
+
+/// Area balance: the disk whose resident *sibling* nodes cover the least
+/// total area, spreading large (frequently hit) nodes across disks.
+pub struct AreaBalance;
+
+impl Declusterer for AreaBalance {
+    fn assign_disk(&self, ctx: &DeclusterContext<'_>) -> DiskId {
+        let mut area = vec![0.0f64; ctx.num_disks as usize];
+        for (mbr, disk) in ctx.siblings {
+            if disk.index() < area.len() {
+                area[disk.index()] += mbr.area();
+            }
+        }
+        let disk = area
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("areas are finite"))
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0);
+        DiskId(disk)
+    }
+
+    fn name(&self) -> &'static str {
+        "area-balance"
+    }
+}
+
+/// Proximity-Index declustering (Kamel & Faloutsos).
+///
+/// For every candidate disk, sums the proximity between the new node's MBR
+/// and each sibling MBR already resident on that disk, then picks the disk
+/// with the smallest sum (ties broken by fewest sibling pages, then lowest
+/// disk id, for determinism).
+///
+/// Proximity between two MBRs is measured as the volume of overlap after
+/// extending both rectangles by `ε` in every dimension (a Minkowski sum),
+/// normalized per dimension. Two rectangles that overlap or nearly touch —
+/// exactly the pairs a similarity query tends to fetch together — score
+/// high; distant rectangles score zero. `ε` is chosen per decision as the
+/// average sibling extent, which adapts the notion of "near" to the local
+/// granularity of the tree level, mirroring the intent of the original
+/// probabilistic proximity index.
+pub struct ProximityIndex;
+
+impl ProximityIndex {
+    /// Proximity of two rectangles given the extension radius `eps`.
+    fn proximity(a: &Rect, b: &Rect, eps: f64) -> f64 {
+        debug_assert_eq!(a.dim(), b.dim());
+        let mut prox = 1.0;
+        for d in 0..a.dim() {
+            let lo = (a.lo()[d] - eps).max(b.lo()[d] - eps);
+            let hi = (a.hi()[d] + eps).min(b.hi()[d] + eps);
+            let overlap = hi - lo;
+            if overlap <= 0.0 {
+                return 0.0;
+            }
+            // Normalize by the extended extents so thin dimensions do not
+            // dominate.
+            let norm = (a.extent(d) + b.extent(d)) / 2.0 + 2.0 * eps;
+            prox *= overlap / norm;
+        }
+        prox
+    }
+
+    /// The adaptive extension radius: mean sibling extent per dimension.
+    fn epsilon(new_mbr: &Rect, siblings: &[(Rect, DiskId)]) -> f64 {
+        let dim = new_mbr.dim();
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for (mbr, _) in siblings {
+            for d in 0..dim {
+                total += mbr.extent(d);
+            }
+            n += dim;
+        }
+        for d in 0..dim {
+            total += new_mbr.extent(d);
+        }
+        n += dim;
+        let mean = total / n as f64;
+        // Half the mean extent: "near" means within about half a node.
+        (mean / 2.0).max(f64::MIN_POSITIVE)
+    }
+}
+
+impl Declusterer for ProximityIndex {
+    fn assign_disk(&self, ctx: &DeclusterContext<'_>) -> DiskId {
+        let num = ctx.num_disks as usize;
+        let eps = Self::epsilon(ctx.new_mbr, ctx.siblings);
+        let mut prox_sum = vec![0.0f64; num];
+        let mut sib_count = vec![0usize; num];
+        for (mbr, disk) in ctx.siblings {
+            if disk.index() < num {
+                prox_sum[disk.index()] += Self::proximity(ctx.new_mbr, mbr, eps);
+                sib_count[disk.index()] += 1;
+            }
+        }
+        let best = (0..num)
+            .min_by(|&a, &b| {
+                prox_sum[a]
+                    .partial_cmp(&prox_sum[b])
+                    .expect("proximities are finite")
+                    .then(sib_count[a].cmp(&sib_count[b]))
+                    // Secondary criterion per Kamel & Faloutsos: when the
+                    // geometric scores tie, keep the array data-balanced.
+                    .then_with(|| {
+                        let pa = ctx.pages_per_disk.get(a).copied().unwrap_or(0);
+                        let pb = ctx.pages_per_disk.get(b).copied().unwrap_or(0);
+                        pa.cmp(&pb)
+                    })
+                    .then(a.cmp(&b))
+            })
+            .unwrap_or(0);
+        DiskId(best as u32)
+    }
+
+    fn name(&self) -> &'static str {
+        "proximity-index"
+    }
+}
+
+/// Returns every built-in heuristic (for the ablation experiment).
+pub fn all_heuristics(seed: u64) -> Vec<Box<dyn Declusterer>> {
+    vec![
+        Box::new(ProximityIndex),
+        Box::new(RoundRobin::new()),
+        Box::new(RandomAssign::new(seed)),
+        Box::new(DataBalance),
+        Box::new(AreaBalance),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(lo: &[f64], hi: &[f64]) -> Rect {
+        Rect::new(lo.to_vec(), hi.to_vec()).unwrap()
+    }
+
+    fn ctx<'a>(
+        new_mbr: &'a Rect,
+        siblings: &'a [(Rect, DiskId)],
+        pages: &'a [usize],
+    ) -> DeclusterContext<'a> {
+        DeclusterContext {
+            new_mbr,
+            siblings,
+            pages_per_disk: pages,
+            num_disks: pages.len() as u32,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let rr = RoundRobin::new();
+        let m = rect(&[0.0], &[1.0]);
+        let pages = [0usize; 3];
+        let c = ctx(&m, &[], &pages);
+        assert_eq!(rr.assign_disk(&c), DiskId(0));
+        assert_eq!(rr.assign_disk(&c), DiskId(1));
+        assert_eq!(rr.assign_disk(&c), DiskId(2));
+        assert_eq!(rr.assign_disk(&c), DiskId(0));
+    }
+
+    #[test]
+    fn random_stays_in_range_and_is_seeded() {
+        let m = rect(&[0.0], &[1.0]);
+        let pages = [0usize; 5];
+        let c = ctx(&m, &[], &pages);
+        let draw = |seed| {
+            let r = RandomAssign::new(seed);
+            (0..20).map(|_| r.assign_disk(&c).0).collect::<Vec<_>>()
+        };
+        let a = draw(1);
+        assert!(a.iter().all(|&d| d < 5));
+        assert_eq!(a, draw(1));
+    }
+
+    #[test]
+    fn data_balance_picks_emptiest() {
+        let m = rect(&[0.0], &[1.0]);
+        let pages = [5usize, 2, 7];
+        let c = ctx(&m, &[], &pages);
+        assert_eq!(DataBalance.assign_disk(&c), DiskId(1));
+    }
+
+    #[test]
+    fn area_balance_picks_least_covered() {
+        let m = rect(&[0.0, 0.0], &[1.0, 1.0]);
+        let siblings = vec![
+            (rect(&[0.0, 0.0], &[10.0, 10.0]), DiskId(0)), // area 100
+            (rect(&[0.0, 0.0], &[1.0, 1.0]), DiskId(1)),   // area 1
+        ];
+        let pages = [1usize, 1, 0];
+        let c = ctx(&m, &siblings, &pages);
+        // Disk 2 has no area at all.
+        assert_eq!(AreaBalance.assign_disk(&c), DiskId(2));
+    }
+
+    #[test]
+    fn proximity_overlapping_beats_distant() {
+        let eps = 0.5;
+        let a = rect(&[0.0, 0.0], &[2.0, 2.0]);
+        let near = rect(&[1.0, 1.0], &[3.0, 3.0]);
+        let far = rect(&[50.0, 50.0], &[52.0, 52.0]);
+        assert!(ProximityIndex::proximity(&a, &near, eps) > 0.0);
+        assert_eq!(ProximityIndex::proximity(&a, &far, eps), 0.0);
+    }
+
+    #[test]
+    fn proximity_decreases_with_distance() {
+        let eps = 2.0;
+        let a = rect(&[0.0], &[1.0]);
+        let close = rect(&[1.5, ], &[2.5]);
+        let farther = rect(&[3.0], &[4.0]);
+        let p_close = ProximityIndex::proximity(&a, &close, eps);
+        let p_far = ProximityIndex::proximity(&a, &farther, eps);
+        assert!(p_close > p_far, "{p_close} <= {p_far}");
+    }
+
+    #[test]
+    fn proximity_index_avoids_disk_with_near_sibling() {
+        let new = rect(&[0.0, 0.0], &[1.0, 1.0]);
+        let siblings = vec![
+            (rect(&[0.5, 0.5], &[1.5, 1.5]), DiskId(0)), // overlaps new
+            (rect(&[90.0, 90.0], &[91.0, 91.0]), DiskId(1)), // far away
+        ];
+        let pages = [1usize, 1];
+        let c = ctx(&new, &siblings, &pages);
+        assert_eq!(ProximityIndex.assign_disk(&c), DiskId(1));
+    }
+
+    #[test]
+    fn proximity_index_spreads_to_empty_disk() {
+        let new = rect(&[0.0, 0.0], &[1.0, 1.0]);
+        let siblings = vec![
+            (rect(&[0.2, 0.2], &[0.8, 0.8]), DiskId(0)),
+            (rect(&[0.1, 0.1], &[0.9, 0.9]), DiskId(1)),
+        ];
+        let pages = [1usize, 1, 0];
+        let c = ctx(&new, &siblings, &pages);
+        assert_eq!(ProximityIndex.assign_disk(&c), DiskId(2));
+    }
+
+    #[test]
+    fn proximity_index_no_siblings_deterministic() {
+        let new = rect(&[0.0], &[1.0]);
+        let pages = [0usize; 4];
+        let c = ctx(&new, &[], &pages);
+        assert_eq!(ProximityIndex.assign_disk(&c), DiskId(0));
+    }
+
+    #[test]
+    fn all_heuristics_listed() {
+        let hs = all_heuristics(0);
+        let names: Vec<_> = hs.iter().map(|h| h.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "proximity-index",
+                "round-robin",
+                "random",
+                "data-balance",
+                "area-balance"
+            ]
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! Deletion: FindLeaf + CondenseTree with orphan reinsertion.
+
+use crate::entry::ObjectId;
+use crate::insert::{insert_at_level, propagate_up, EntryToInsert};
+use crate::node::Node;
+use crate::tree::{RStarTree, Result};
+use sqda_geom::Point;
+use sqda_storage::{PageId, PageStore};
+
+/// Deletes one `(point, object)` pair. Returns `false` if not present.
+pub(crate) fn delete_object<S: PageStore>(
+    tree: &mut RStarTree<S>,
+    point: &Point,
+    object: ObjectId,
+) -> Result<bool> {
+    // FindLeaf: DFS into every subtree whose MBR contains the point.
+    let Some(path) = find_leaf(tree, tree.root, point, object)? else {
+        return Ok(false);
+    };
+
+    // Remove the entry from the leaf.
+    let leaf_page = path.last().expect("path reaches a leaf").0;
+    let mut leaf = tree.read_node(leaf_page)?;
+    match &mut leaf {
+        Node::Leaf { entries } => {
+            let idx = entries
+                .iter()
+                .position(|e| e.object == object && e.point == *point)
+                .expect("find_leaf located the entry");
+            entries.remove(idx);
+        }
+        Node::Internal { .. } => unreachable!("path ends at a leaf"),
+    }
+    tree.write_node(leaf_page, &leaf)?;
+
+    // CondenseTree: walk upward; underfull non-root nodes are dissolved
+    // and their entries reinserted.
+    let mut orphans: Vec<(u32, EntryToInsert)> = Vec::new();
+    let mut path = path;
+    loop {
+        let (page, _) = *path.last().expect("path non-empty");
+        let node = tree.read_node(page)?;
+        let is_root = page == tree.root;
+        let min = if node.is_leaf() {
+            tree.config.min_leaf_entries()
+        } else {
+            tree.config.min_internal_entries()
+        };
+        if !is_root && node.len() < min {
+            // Dissolve: remove from parent, orphan the entries.
+            let level = node.level();
+            match node {
+                Node::Leaf { entries } => {
+                    orphans.extend(entries.into_iter().map(|e| (level, EntryToInsert::Leaf(e))));
+                }
+                Node::Internal { entries, .. } => {
+                    orphans.extend(
+                        entries
+                            .into_iter()
+                            .map(|e| (level, EntryToInsert::Internal(e))),
+                    );
+                }
+            }
+            let (_, idx_opt) = path.pop().expect("non-root has a parent step");
+            let idx = idx_opt.expect("non-root step has parent index");
+            let parent_page = path.last().expect("parent exists").0;
+            let mut parent = tree.read_node(parent_page)?;
+            match &mut parent {
+                Node::Internal { entries, .. } => {
+                    entries.remove(idx);
+                }
+                Node::Leaf { .. } => unreachable!("parents are internal"),
+            }
+            tree.write_node(parent_page, &parent)?;
+            tree.store.free(page)?;
+            // Parent indices of deeper path steps are now stale, but the
+            // loop only ever looks at the tail of the path, which we just
+            // rebuilt. Continue condensing at the parent.
+            continue;
+        }
+        // Node is healthy (or root): refresh ancestors' MBRs/counts.
+        if !is_root {
+            propagate_up(tree, &path)?;
+        }
+        break;
+    }
+
+    // Shrink the root while it is an internal node with a single child.
+    loop {
+        let root = tree.read_node(tree.root)?;
+        match root {
+            Node::Internal { ref entries, .. } if entries.len() == 1 && tree.height > 1 => {
+                let old_root = tree.root;
+                tree.root = entries[0].child;
+                tree.height -= 1;
+                tree.store.free(old_root)?;
+            }
+            Node::Internal { ref entries, .. } if entries.is_empty() => {
+                // All objects deleted through condense: reset to empty leaf.
+                let old_root = tree.root;
+                let leaf = Node::empty_leaf();
+                let page = tree.store.allocate(sqda_storage::DiskId(0))?;
+                tree.write_node(page, &leaf)?;
+                tree.root = page;
+                tree.height = 1;
+                tree.store.free(old_root)?;
+            }
+            _ => break,
+        }
+    }
+
+    // Reinsert orphans at their original levels. Entries from a dissolved
+    // node at level L must land in a node at level L again. Forced
+    // reinsertion stays enabled per reinsert (fresh overflow budget), as
+    // each orphan is an independent logical insertion.
+    // Reinsert shallow (leaf) entries last so the tree has regained
+    // height before internal orphans need deep targets.
+    orphans.sort_by_key(|(level, _)| std::cmp::Reverse(*level));
+    for (level, entry) in orphans {
+        if level > tree.root_level() {
+            // The tree shrank below the orphan's level; its subtree cannot
+            // be grafted back as a single entry. Flatten it to leaf
+            // entries and reinsert those.
+            if let EntryToInsert::Internal(e) = entry {
+                let leaves = collect_and_free_subtree(tree, e.child)?;
+                for le in leaves {
+                    let mut overflow_done = vec![false; tree.height as usize];
+                    insert_at_level(tree, EntryToInsert::Leaf(le), 0, &mut overflow_done)?;
+                }
+            } else {
+                unreachable!("leaf orphans always fit (level 0)");
+            }
+        } else {
+            let mut overflow_done = vec![false; tree.height as usize];
+            insert_at_level(tree, entry, level, &mut overflow_done)?;
+        }
+    }
+
+    tree.num_objects -= 1;
+    Ok(true)
+}
+
+/// Collects all leaf entries under `page`, freeing the subtree's pages.
+fn collect_and_free_subtree<S: PageStore>(
+    tree: &RStarTree<S>,
+    page: PageId,
+) -> Result<Vec<crate::entry::LeafEntry>> {
+    let mut out = Vec::new();
+    let mut stack = vec![page];
+    while let Some(p) = stack.pop() {
+        let node = tree.read_node(p)?;
+        match node {
+            Node::Leaf { entries } => out.extend(entries),
+            Node::Internal { entries, .. } => {
+                stack.extend(entries.iter().map(|e| e.child));
+            }
+        }
+        tree.store.free(p)?;
+    }
+    Ok(out)
+}
+
+/// A root-to-leaf path as `(page, index_in_parent)` steps.
+type LeafPath = Vec<(PageId, Option<usize>)>;
+
+/// DFS for the leaf containing `(point, object)`. Returns the path from
+/// root to leaf.
+fn find_leaf<S: PageStore>(
+    tree: &RStarTree<S>,
+    page: PageId,
+    point: &Point,
+    object: ObjectId,
+) -> Result<Option<LeafPath>> {
+    fn rec<S: PageStore>(
+        tree: &RStarTree<S>,
+        page: PageId,
+        point: &Point,
+        object: ObjectId,
+        path: &mut Vec<(PageId, Option<usize>)>,
+    ) -> Result<bool> {
+        let node = tree.read_node(page)?;
+        match node {
+            Node::Leaf { entries } => Ok(entries
+                .iter()
+                .any(|e| e.object == object && e.point == *point)),
+            Node::Internal { entries, .. } => {
+                for (i, e) in entries.iter().enumerate() {
+                    if e.mbr.contains_point(point) {
+                        path.push((e.child, Some(i)));
+                        if rec(tree, e.child, point, object, path)? {
+                            return Ok(true);
+                        }
+                        path.pop();
+                    }
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    let mut path = vec![(page, None)];
+    if rec(tree, page, point, object, &mut path)? {
+        Ok(Some(path))
+    } else {
+        Ok(None)
+    }
+}

@@ -1,0 +1,380 @@
+//! R\*-tree insertion: ChooseSubtree, OverflowTreatment (forced
+//! reinsertion), split propagation and count maintenance.
+
+use crate::entry::{InternalEntry, LeafEntry};
+use crate::node::Node;
+use crate::split::reinsert_victims;
+use crate::tree::{RStarTree, Result};
+use sqda_geom::Rect;
+use sqda_storage::{PageId, PageStore};
+
+/// An entry to (re)insert, at leaf or internal level.
+pub(crate) enum EntryToInsert {
+    Leaf(LeafEntry),
+    Internal(InternalEntry),
+}
+
+impl EntryToInsert {
+    pub(crate) fn mbr(&self) -> Rect {
+        match self {
+            EntryToInsert::Leaf(e) => e.mbr(),
+            EntryToInsert::Internal(e) => e.mbr.clone(),
+        }
+    }
+
+}
+
+/// One step of a root-to-node path.
+#[derive(Debug, Clone, Copy)]
+struct PathStep {
+    page: PageId,
+    /// This node's entry index within its parent (`None` for the root).
+    index_in_parent: Option<usize>,
+}
+
+/// Inserts one data object (public entry point, called from
+/// [`RStarTree::insert`]).
+pub(crate) fn insert_object<S: PageStore>(
+    tree: &mut RStarTree<S>,
+    entry: LeafEntry,
+) -> Result<()> {
+    let mut overflow_done = vec![false; tree.height as usize];
+    insert_at_level(tree, EntryToInsert::Leaf(entry), 0, &mut overflow_done)?;
+    tree.num_objects += 1;
+    Ok(())
+}
+
+/// Inserts an entry into a node at `target_level`, handling overflow by
+/// forced reinsertion (once per level per logical insertion) or splitting.
+pub(crate) fn insert_at_level<S: PageStore>(
+    tree: &mut RStarTree<S>,
+    entry: EntryToInsert,
+    target_level: u32,
+    overflow_done: &mut Vec<bool>,
+) -> Result<()> {
+    if overflow_done.len() < tree.height as usize {
+        overflow_done.resize(tree.height as usize, false);
+    }
+    let path = choose_path(tree, &entry.mbr(), target_level)?;
+    let mut path_idx = path.len() - 1;
+    let mut page = path[path_idx].page;
+    let mut node = tree.read_node(page)?;
+    add_entry(&mut node, entry);
+    let mut level = target_level;
+
+    loop {
+        let max = node_capacity(tree, &node);
+        if node.len() <= max {
+            tree.write_node(page, &node)?;
+            propagate_up(tree, &path[..=path_idx])?;
+            return Ok(());
+        }
+
+        let is_root = page == tree.root;
+        if !is_root && !overflow_done[level as usize] {
+            // OverflowTreatment: forced reinsertion, once per level.
+            overflow_done[level as usize] = true;
+            let p = if node.is_leaf() {
+                tree.config.leaf_reinsert_count()
+            } else {
+                tree.config.internal_reinsert_count()
+            };
+            let removed = evict_entries(&mut node, p);
+            tree.write_node(page, &node)?;
+            propagate_up(tree, &path[..=path_idx])?;
+            // Close reinsert: victims come in decreasing distance order;
+            // reinsert starting from the closest.
+            for e in removed.into_iter().rev() {
+                insert_at_level(tree, e, level, overflow_done)?;
+            }
+            return Ok(());
+        }
+
+        // Split.
+        let (keep, moved) = split_node(tree, &node);
+        let parent_siblings = if is_root {
+            Vec::new()
+        } else {
+            sibling_disks(tree, path[path_idx - 1].page)?
+        };
+        let new_mbr = moved.mbr().expect("split group is non-empty");
+        let new_page = tree.allocate_declustered(&new_mbr, &parent_siblings)?;
+        tree.write_node(page, &keep)?;
+        tree.write_node(new_page, &moved)?;
+
+        let keep_entry = InternalEntry::new(
+            keep.mbr().expect("split group is non-empty"),
+            page,
+            keep.object_count(),
+        );
+        let moved_entry = InternalEntry::new(new_mbr, new_page, moved.object_count());
+
+        if is_root {
+            // Grow the tree: a new root above the two halves.
+            let new_level = level + 1;
+            let root_node = Node::Internal {
+                level: new_level,
+                entries: vec![keep_entry, moved_entry],
+            };
+            let root_mbr = root_node.mbr().expect("root has entries");
+            let root_page = tree.allocate_declustered(&root_mbr, &[])?;
+            tree.write_node(root_page, &root_node)?;
+            tree.root = root_page;
+            tree.height += 1;
+            overflow_done.resize(tree.height as usize, false);
+            return Ok(());
+        }
+
+        // Update the parent: refresh this node's entry, add the new one.
+        path_idx -= 1;
+        page = path[path_idx].page;
+        let child_idx = path[path_idx + 1]
+            .index_in_parent
+            .expect("non-root path step has a parent index");
+        node = tree.read_node(page)?;
+        match &mut node {
+            Node::Internal { entries, .. } => {
+                entries[child_idx] = keep_entry;
+                entries.push(moved_entry);
+            }
+            Node::Leaf { .. } => unreachable!("parent of a split node is internal"),
+        }
+        level += 1;
+    }
+}
+
+/// Descends from the root to a node at `target_level`, applying the R\*
+/// ChooseSubtree rule at every step.
+fn choose_path<S: PageStore>(
+    tree: &RStarTree<S>,
+    mbr: &Rect,
+    target_level: u32,
+) -> Result<Vec<PathStep>> {
+    let mut path = vec![PathStep {
+        page: tree.root,
+        index_in_parent: None,
+    }];
+    let mut page = tree.root;
+    let mut node = tree.read_node(page)?;
+    debug_assert!(
+        target_level <= node.level(),
+        "target level {target_level} above root level {}",
+        node.level()
+    );
+    while node.level() > target_level {
+        let entries = node.internal_entries();
+        let idx = choose_subtree(entries, mbr, node.level());
+        page = entries[idx].child;
+        path.push(PathStep {
+            page,
+            index_in_parent: Some(idx),
+        });
+        node = tree.read_node(page)?;
+    }
+    Ok(path)
+}
+
+/// The R\* ChooseSubtree rule. `node_level` is the level of the node whose
+/// entries we are choosing among (children live at `node_level - 1`).
+///
+/// * Children are leaves → minimize overlap enlargement, ties by area
+///   enlargement then area. Following the R\* paper, when the node is
+///   large the overlap test only considers the 32 entries with the least
+///   area enlargement.
+/// * Otherwise → minimize area enlargement, ties by area.
+fn choose_subtree(entries: &[InternalEntry], mbr: &Rect, node_level: u32) -> usize {
+    debug_assert!(!entries.is_empty());
+    if node_level == 1 {
+        // Children are leaves: overlap-enlargement rule.
+        const CANDIDATES: usize = 32;
+        let mut by_area_enlargement: Vec<usize> = (0..entries.len()).collect();
+        if entries.len() > CANDIDATES {
+            by_area_enlargement.sort_by(|&a, &b| {
+                let ea = entries[a].mbr.enlargement(mbr);
+                let eb = entries[b].mbr.enlargement(mbr);
+                ea.partial_cmp(&eb).expect("finite").then(a.cmp(&b))
+            });
+            by_area_enlargement.truncate(CANDIDATES);
+        }
+        let mut best = by_area_enlargement[0];
+        let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for &i in &by_area_enlargement {
+            let enlarged = entries[i].mbr.union(mbr);
+            let mut overlap_delta = 0.0;
+            for (j, other) in entries.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                overlap_delta += enlarged.intersection_area(&other.mbr)
+                    - entries[i].mbr.intersection_area(&other.mbr);
+            }
+            let key = (
+                overlap_delta,
+                entries[i].mbr.enlargement(mbr),
+                entries[i].mbr.area(),
+            );
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    } else {
+        let mut best = 0;
+        let mut best_key = (f64::INFINITY, f64::INFINITY);
+        for (i, e) in entries.iter().enumerate() {
+            let key = (e.mbr.enlargement(mbr), e.mbr.area());
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Adds an entry to a node.
+///
+/// # Panics
+///
+/// Panics if the entry kind does not match the node kind.
+fn add_entry(node: &mut Node, entry: EntryToInsert) {
+    match (node, entry) {
+        (Node::Leaf { entries }, EntryToInsert::Leaf(e)) => entries.push(e),
+        (Node::Internal { entries, .. }, EntryToInsert::Internal(e)) => entries.push(e),
+        _ => panic!("entry kind does not match node kind"),
+    }
+}
+
+fn node_capacity<S: PageStore>(tree: &RStarTree<S>, node: &Node) -> usize {
+    if node.is_leaf() {
+        tree.config.max_leaf_entries
+    } else {
+        tree.config.max_internal_entries
+    }
+}
+
+/// Removes the `p` reinsertion victims from the node, returning them in
+/// decreasing center-distance order.
+fn evict_entries(node: &mut Node, p: usize) -> Vec<EntryToInsert> {
+    let mbrs: Vec<Rect> = match node {
+        Node::Leaf { entries } => entries.iter().map(|e| e.mbr()).collect(),
+        Node::Internal { entries, .. } => entries.iter().map(|e| e.mbr.clone()).collect(),
+    };
+    let victims = reinsert_victims(&mbrs, p);
+    // Remove by descending index so earlier removals don't shift later ones.
+    let mut sorted = victims.clone();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut removed_by_index: Vec<(usize, EntryToInsert)> = Vec::with_capacity(p);
+    for idx in sorted {
+        let e = match node {
+            Node::Leaf { entries } => EntryToInsert::Leaf(entries.swap_remove(idx)),
+            Node::Internal { entries, .. } => {
+                EntryToInsert::Internal(entries.swap_remove(idx))
+            }
+        };
+        removed_by_index.push((idx, e));
+    }
+    // Restore the original (decreasing-distance) victim order.
+    let mut out: Vec<Option<EntryToInsert>> = Vec::new();
+    out.resize_with(victims.len(), || None);
+    for (idx, e) in removed_by_index {
+        let pos = victims.iter().position(|&v| v == idx).expect("victim index");
+        out[pos] = Some(e);
+    }
+    out.into_iter().map(|e| e.expect("all victims placed")).collect()
+}
+
+/// Splits an overflowing node, returning `(keep, moved)` nodes.
+fn split_node<S: PageStore>(tree: &RStarTree<S>, node: &Node) -> (Node, Node) {
+    let m = if node.is_leaf() {
+        tree.config.min_leaf_entries()
+    } else {
+        tree.config.min_internal_entries()
+    };
+    let policy = tree.config.split_policy;
+    match node {
+        Node::Leaf { entries } => {
+            let mbrs: Vec<Rect> = entries.iter().map(|e| e.mbr()).collect();
+            let split = policy.split(&mbrs, m);
+            let pick = |idx: &[usize]| Node::Leaf {
+                entries: idx.iter().map(|&i| entries[i].clone()).collect(),
+            };
+            (pick(&split.group1), pick(&split.group2))
+        }
+        Node::Internal { level, entries } => {
+            let mbrs: Vec<Rect> = entries.iter().map(|e| e.mbr.clone()).collect();
+            let split = policy.split(&mbrs, m);
+            let pick = |idx: &[usize]| Node::Internal {
+                level: *level,
+                entries: idx.iter().map(|&i| entries[i].clone()).collect(),
+            };
+            (pick(&split.group1), pick(&split.group2))
+        }
+    }
+}
+
+/// The MBRs and hosting disks of a node's entries (context for the
+/// declustering heuristic).
+fn sibling_disks<S: PageStore>(
+    tree: &RStarTree<S>,
+    parent_page: PageId,
+) -> Result<Vec<(Rect, sqda_storage::DiskId)>> {
+    let parent = tree.read_node(parent_page)?;
+    let mut out = Vec::with_capacity(parent.len());
+    for e in parent.internal_entries() {
+        let placement = tree.store.placement(e.child)?;
+        out.push((e.mbr.clone(), placement.disk));
+    }
+    Ok(out)
+}
+
+/// Recomputes MBRs and subtree counts along a root-to-node path, bottom
+/// up, after the node at the end of the path has been written.
+pub(crate) fn propagate_up<S: PageStore, P: PathStepLike>(
+    tree: &RStarTree<S>,
+    path: &[P],
+) -> Result<()> {
+    for i in (1..path.len()).rev() {
+        let child = tree.read_node(path[i].page())?;
+        let parent_page = path[i - 1].page();
+        let mut parent = tree.read_node(parent_page)?;
+        let idx = path[i].index_in_parent().expect("non-root step");
+        match &mut parent {
+            Node::Internal { entries, .. } => {
+                let e = &mut entries[idx];
+                debug_assert_eq!(e.child, path[i].page());
+                e.mbr = child.mbr().expect("tree nodes below the root are non-empty");
+                e.count = child.object_count();
+            }
+            Node::Leaf { .. } => unreachable!("path interior nodes are internal"),
+        }
+        tree.write_node(parent_page, &parent)?;
+    }
+    Ok(())
+}
+
+/// Minimal view of a path step, so `propagate_up` is reusable by the
+/// deletion code which builds its own path representation.
+pub(crate) trait PathStepLike {
+    fn page(&self) -> PageId;
+    fn index_in_parent(&self) -> Option<usize>;
+}
+
+impl PathStepLike for PathStep {
+    fn page(&self) -> PageId {
+        self.page
+    }
+    fn index_in_parent(&self) -> Option<usize> {
+        self.index_in_parent
+    }
+}
+
+impl PathStepLike for (PageId, Option<usize>) {
+    fn page(&self) -> PageId {
+        self.0
+    }
+    fn index_in_parent(&self) -> Option<usize> {
+        self.1
+    }
+}

@@ -1,0 +1,73 @@
+//! A declustered (parallel) R\*-tree over a disk-array page store.
+//!
+//! This crate implements the access method of the SIGMOD'98 paper
+//! *"Similarity Query Processing Using Disk Arrays"*: an R\*-tree
+//! ([Beckmann et al., SIGMOD'90]) whose nodes are distributed over the
+//! disks of a RAID-0 array, in the style of the multiplexed/parallel
+//! R-tree of Kamel & Faloutsos (SIGMOD'92). Two modifications distinguish
+//! it from a textbook R\*-tree:
+//!
+//! 1. **Per-entry subtree object counts.** Every internal entry records how
+//!    many data objects its subtree contains. The CRSS/FPSS algorithms use
+//!    these counts to compute the Lemma-1 threshold distance before any
+//!    data page has been fetched.
+//! 2. **Declustered page placement.** When a node splits, the newly
+//!    created page is assigned to a disk by a pluggable
+//!    [`Declusterer`]; the default is the Proximity-Index heuristic, which
+//!    places a new node on the disk whose resident sibling nodes are
+//!    *least proximal* to it, so that nodes likely to be fetched by the
+//!    same query live on different disks.
+//!
+//! Nodes occupy exactly one page each and are stored through the
+//! [`sqda_storage::PageStore`] abstraction in a compact binary format, so
+//! the same tree can be driven by the logical executor (counting node
+//! accesses) or by the event-driven disk-array simulator (measuring
+//! response times).
+//!
+//! # Example
+//!
+//! ```
+//! use sqda_rstar::{RStarTree, RStarConfig, decluster::RoundRobin};
+//! use sqda_storage::ArrayStore;
+//! use sqda_geom::Point;
+//! use std::sync::Arc;
+//!
+//! let store = Arc::new(ArrayStore::new(4, 1449, 42));
+//! let mut tree = RStarTree::create(
+//!     store,
+//!     RStarConfig::new(2),
+//!     Box::new(RoundRobin::new()),
+//! ).unwrap();
+//! for i in 0..1000 {
+//!     let x = (i % 37) as f64;
+//!     let y = (i % 61) as f64;
+//!     tree.insert(Point::new(vec![x, y]), i).unwrap();
+//! }
+//! let nearest = tree.knn(&Point::new(vec![5.0, 5.0]), 3).unwrap();
+//! assert_eq!(nearest.len(), 3);
+//! ```
+
+mod bulk;
+pub mod codec;
+pub mod config;
+pub mod sfc;
+pub mod decluster;
+mod delete;
+pub mod entry;
+mod insert;
+pub mod node;
+pub mod query;
+mod split;
+pub mod split_policy;
+pub mod tree;
+pub mod validate;
+
+pub use config::RStarConfig;
+pub use decluster::Declusterer;
+pub use entry::{InternalEntry, LeafEntry, ObjectId};
+pub use node::Node;
+pub use bulk::PackingOrder;
+pub use query::knn::Neighbor;
+pub use split_policy::SplitPolicy;
+pub use tree::{RStarError, RStarTree, TreeStats};
+pub use validate::ValidationError;

@@ -1,0 +1,170 @@
+//! Tree nodes.
+
+use crate::entry::{InternalEntry, LeafEntry};
+use sqda_geom::Rect;
+
+/// One R\*-tree node. Each node occupies exactly one disk page.
+///
+/// `level` is 0 for leaves and increases towards the root; the paper's
+/// CRSS algorithm switches between its ADAPTIVE/NORMAL/UPDATE modes based
+/// on whether the nodes just fetched are leaves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// An internal (directory) node at level ≥ 1.
+    Internal {
+        /// Height of this node above the leaf level (≥ 1).
+        level: u32,
+        /// Child entries.
+        entries: Vec<InternalEntry>,
+    },
+    /// A leaf node (level 0) holding data points.
+    Leaf {
+        /// Data entries.
+        entries: Vec<LeafEntry>,
+    },
+}
+
+impl Node {
+    /// Creates an empty leaf.
+    pub fn empty_leaf() -> Self {
+        Node::Leaf {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The node's level (0 = leaf).
+    pub fn level(&self) -> u32 {
+        match self {
+            Node::Internal { level, .. } => *level,
+            Node::Leaf { .. } => 0,
+        }
+    }
+
+    /// `true` for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// Number of entries in the node.
+    pub fn len(&self) -> usize {
+        match self {
+            Node::Internal { entries, .. } => entries.len(),
+            Node::Leaf { entries } => entries.len(),
+        }
+    }
+
+    /// `true` when the node has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The MBR enclosing all entries; `None` for an empty node.
+    pub fn mbr(&self) -> Option<Rect> {
+        match self {
+            Node::Internal { entries, .. } => {
+                Rect::union_all(entries.iter().map(|e| &e.mbr))
+            }
+            Node::Leaf { entries } => {
+                let mut it = entries.iter();
+                let first = Rect::from_point(&it.next()?.point);
+                Some(it.fold(first, |mut acc, e| {
+                    acc.union_in_place(&Rect::from_point(&e.point));
+                    acc
+                }))
+            }
+        }
+    }
+
+    /// Total number of data objects under this node (the subtree count
+    /// the parent entry must carry).
+    pub fn object_count(&self) -> u64 {
+        match self {
+            Node::Internal { entries, .. } => entries.iter().map(|e| e.count).sum(),
+            Node::Leaf { entries } => entries.len() as u64,
+        }
+    }
+
+    /// The internal entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a leaf node.
+    pub fn internal_entries(&self) -> &[InternalEntry] {
+        match self {
+            Node::Internal { entries, .. } => entries,
+            Node::Leaf { .. } => panic!("internal_entries() on a leaf node"),
+        }
+    }
+
+    /// The leaf entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an internal node.
+    pub fn leaf_entries(&self) -> &[LeafEntry] {
+        match self {
+            Node::Leaf { entries } => entries,
+            Node::Internal { .. } => panic!("leaf_entries() on an internal node"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::ObjectId;
+    use sqda_geom::Point;
+    use sqda_storage::PageId;
+
+    fn leaf_with(points: &[(f64, f64)]) -> Node {
+        Node::Leaf {
+            entries: points
+                .iter()
+                .enumerate()
+                .map(|(i, (x, y))| LeafEntry::new(Point::new(vec![*x, *y]), ObjectId(i as u64)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn empty_leaf_properties() {
+        let n = Node::empty_leaf();
+        assert!(n.is_leaf());
+        assert!(n.is_empty());
+        assert_eq!(n.level(), 0);
+        assert_eq!(n.mbr(), None);
+        assert_eq!(n.object_count(), 0);
+    }
+
+    #[test]
+    fn leaf_mbr_and_count() {
+        let n = leaf_with(&[(0.0, 0.0), (2.0, 3.0), (-1.0, 1.0)]);
+        let mbr = n.mbr().unwrap();
+        assert_eq!(mbr.lo(), &[-1.0, 0.0]);
+        assert_eq!(mbr.hi(), &[2.0, 3.0]);
+        assert_eq!(n.object_count(), 3);
+        assert_eq!(n.len(), 3);
+    }
+
+    #[test]
+    fn internal_count_sums_children() {
+        let r = Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+        let n = Node::Internal {
+            level: 1,
+            entries: vec![
+                InternalEntry::new(r.clone(), PageId::from_raw(1), 10),
+                InternalEntry::new(r.clone(), PageId::from_raw(2), 32),
+            ],
+        };
+        assert_eq!(n.object_count(), 42);
+        assert_eq!(n.level(), 1);
+        assert!(!n.is_leaf());
+        assert_eq!(n.internal_entries().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "on a leaf node")]
+    fn wrong_accessor_panics() {
+        let _ = Node::empty_leaf().internal_entries();
+    }
+}

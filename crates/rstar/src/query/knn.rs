@@ -1,0 +1,222 @@
+//! Optimal sequential k-NN search (best-first / Hjaltason–Samet).
+//!
+//! This is the reference single-disk algorithm: it visits nodes in
+//! increasing `D_min` order and provably reads exactly the nodes whose
+//! `D_min` is below the final k-NN distance — the sequential analogue of
+//! the paper's WOPTSS lower bound. The experiments use it both for ground
+//! truth and to derive the oracle radius `D_k` that WOPTSS needs.
+
+use crate::entry::ObjectId;
+use crate::node::Node;
+use crate::tree::{RStarTree, Result};
+use sqda_geom::Point;
+use sqda_storage::{PageId, PageStore};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One k-NN answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Neighbor {
+    /// The object found.
+    pub object: ObjectId,
+    /// Its point.
+    pub point: Point,
+    /// Squared Euclidean distance from the query point.
+    pub dist_sq: f64,
+}
+
+impl Neighbor {
+    /// Euclidean distance from the query point.
+    pub fn dist(&self) -> f64 {
+        self.dist_sq.sqrt()
+    }
+}
+
+/// Priority-queue element: either a node to expand or a candidate object.
+enum QueueItem {
+    Node { dist_sq: f64, page: PageId },
+    Object { dist_sq: f64, neighbor: Neighbor },
+}
+
+impl QueueItem {
+    fn dist_sq(&self) -> f64 {
+        match self {
+            QueueItem::Node { dist_sq, .. } | QueueItem::Object { dist_sq, .. } => *dist_sq,
+        }
+    }
+
+    /// Objects sort before nodes at equal distance so a result at distance
+    /// `d` is emitted before expanding a node that can only yield ≥ `d`.
+    fn tier(&self) -> u8 {
+        match self {
+            QueueItem::Object { .. } => 0,
+            QueueItem::Node { .. } => 1,
+        }
+    }
+}
+
+impl PartialEq for QueueItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for QueueItem {}
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for min-by-distance.
+        other
+            .dist_sq()
+            .partial_cmp(&self.dist_sq())
+            .expect("distances are finite")
+            .then(other.tier().cmp(&self.tier()))
+    }
+}
+
+/// Best-first k-NN; returns up to `k` neighbours ordered by increasing
+/// distance.
+pub(crate) fn knn<S: PageStore>(
+    tree: &RStarTree<S>,
+    center: &Point,
+    k: usize,
+) -> Result<Vec<Neighbor>> {
+    Ok(knn_with_stats(tree, center, k)?.0)
+}
+
+/// A lazy nearest-neighbour stream: yields neighbours in increasing
+/// distance order, reading tree nodes only as needed. Useful when the
+/// caller does not know `k` in advance (e.g. "closest facility matching a
+/// post-filter").
+///
+/// Created by [`crate::RStarTree::nn_iter`]. Errors during traversal end
+/// the stream after yielding the error once.
+pub struct NnIter<'t, S: PageStore> {
+    tree: &'t crate::RStarTree<S>,
+    center: Point,
+    heap: BinaryHeap<QueueItem>,
+    failed: bool,
+}
+
+impl<'t, S: PageStore> NnIter<'t, S> {
+    pub(crate) fn new(tree: &'t crate::RStarTree<S>, center: Point) -> Self {
+        let mut heap = BinaryHeap::new();
+        heap.push(QueueItem::Node {
+            dist_sq: 0.0,
+            page: tree.root_page(),
+        });
+        Self {
+            tree,
+            center,
+            heap,
+            failed: false,
+        }
+    }
+}
+
+impl<'t, S: PageStore> Iterator for NnIter<'t, S> {
+    type Item = Result<Neighbor>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        while let Some(item) = self.heap.pop() {
+            match item {
+                QueueItem::Object { neighbor, .. } => return Some(Ok(neighbor)),
+                QueueItem::Node { page, .. } => {
+                    let node = match self.tree.read_node(page) {
+                        Ok(n) => n,
+                        Err(e) => {
+                            self.failed = true;
+                            return Some(Err(e));
+                        }
+                    };
+                    match node {
+                        Node::Leaf { entries } => {
+                            for e in entries {
+                                let dist_sq = self.center.dist_sq(&e.point);
+                                self.heap.push(QueueItem::Object {
+                                    dist_sq,
+                                    neighbor: Neighbor {
+                                        object: e.object,
+                                        point: e.point,
+                                        dist_sq,
+                                    },
+                                });
+                            }
+                        }
+                        Node::Internal { entries, .. } => {
+                            for e in entries {
+                                self.heap.push(QueueItem::Node {
+                                    dist_sq: e.mbr.min_dist_sq(&self.center),
+                                    page: e.child,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Best-first k-NN that also reports the number of nodes read.
+pub fn knn_with_stats<S: PageStore>(
+    tree: &RStarTree<S>,
+    center: &Point,
+    k: usize,
+) -> Result<(Vec<Neighbor>, u64)> {
+    let mut out = Vec::with_capacity(k.min(64));
+    if k == 0 {
+        return Ok((out, 0));
+    }
+    let mut heap = BinaryHeap::new();
+    heap.push(QueueItem::Node {
+        dist_sq: 0.0,
+        page: tree.root_page(),
+    });
+    let mut nodes_read = 0u64;
+    while let Some(item) = heap.pop() {
+        match item {
+            QueueItem::Object { neighbor, .. } => {
+                out.push(neighbor);
+                if out.len() == k {
+                    break;
+                }
+            }
+            QueueItem::Node { page, .. } => {
+                nodes_read += 1;
+                let node = tree.read_node(page)?;
+                match node {
+                    Node::Leaf { entries } => {
+                        for e in entries {
+                            let dist_sq = center.dist_sq(&e.point);
+                            heap.push(QueueItem::Object {
+                                dist_sq,
+                                neighbor: Neighbor {
+                                    object: e.object,
+                                    point: e.point,
+                                    dist_sq,
+                                },
+                            });
+                        }
+                    }
+                    Node::Internal { entries, .. } => {
+                        for e in entries {
+                            heap.push(QueueItem::Node {
+                                dist_sq: e.mbr.min_dist_sq(center),
+                                page: e.child,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok((out, nodes_read))
+}

@@ -1,0 +1,5 @@
+//! Read-only queries over the tree: range/window queries and the optimal
+//! sequential k-NN search.
+
+pub mod knn;
+pub mod range;

@@ -1,0 +1,70 @@
+//! Similarity range queries and rectangular window queries.
+
+use crate::entry::LeafEntry;
+use crate::node::Node;
+use crate::tree::{RStarTree, Result};
+use sqda_geom::{Point, Rect, Sphere};
+use sqda_storage::PageStore;
+
+/// All objects within `radius` of `center` (Definition 1 of the paper:
+/// `dist(P_q, x_j) ≤ ε` under the Euclidean metric).
+pub(crate) fn range_query<S: PageStore>(
+    tree: &RStarTree<S>,
+    center: &Point,
+    radius: f64,
+) -> Result<Vec<LeafEntry>> {
+    let sphere = Sphere::new(center.clone(), radius);
+    let mut out = Vec::new();
+    let mut stack = vec![tree.root_page()];
+    while let Some(page) = stack.pop() {
+        let node = tree.read_node(page)?;
+        match node {
+            Node::Leaf { entries } => {
+                out.extend(
+                    entries
+                        .into_iter()
+                        .filter(|e| sphere.contains_point(&e.point)),
+                );
+            }
+            Node::Internal { entries, .. } => {
+                stack.extend(
+                    entries
+                        .iter()
+                        .filter(|e| sphere.intersects_rect(&e.mbr))
+                        .map(|e| e.child),
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// All objects whose point lies in `window`.
+pub(crate) fn window_query<S: PageStore>(
+    tree: &RStarTree<S>,
+    window: &Rect,
+) -> Result<Vec<LeafEntry>> {
+    let mut out = Vec::new();
+    let mut stack = vec![tree.root_page()];
+    while let Some(page) = stack.pop() {
+        let node = tree.read_node(page)?;
+        match node {
+            Node::Leaf { entries } => {
+                out.extend(
+                    entries
+                        .into_iter()
+                        .filter(|e| window.contains_point(&e.point)),
+                );
+            }
+            Node::Internal { entries, .. } => {
+                stack.extend(
+                    entries
+                        .iter()
+                        .filter(|e| window.intersects(&e.mbr))
+                        .map(|e| e.child),
+                );
+            }
+        }
+    }
+    Ok(out)
+}

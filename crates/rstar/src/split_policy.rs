@@ -1,0 +1,302 @@
+//! Alternative node-split policies.
+//!
+//! Section 2.1 of the paper surveys the split policies of the R-tree
+//! family: Guttman's exponential, quadratic and linear splits, and the
+//! margin/overlap-driven R\* split the paper adopts. This module provides
+//! the classic Guttman policies behind a common [`SplitPolicy`] enum so
+//! their effect on similarity-search performance can be measured (the
+//! `ablation_split_policy` experiment); the exponential split is omitted
+//! as it is O(2^M) and of historical interest only.
+
+use crate::split::SplitResult;
+use sqda_geom::Rect;
+
+/// Which algorithm splits an overflowing node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitPolicy {
+    /// The R\*-tree split: axis by minimum margin sum, distribution by
+    /// minimum overlap (Beckmann et al.). The paper's choice.
+    #[default]
+    RStar,
+    /// Guttman's quadratic split: seeds = the pair wasting the most area
+    /// together; entries assigned by maximal area-preference difference.
+    GuttmanQuadratic,
+    /// Guttman's linear split: seeds = the pair with the greatest
+    /// normalized separation along any axis; remaining entries assigned
+    /// by least enlargement.
+    GuttmanLinear,
+}
+
+impl SplitPolicy {
+    /// Splits `mbrs` into two groups of at least `m` entries each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mbrs.len() < 2 * m` or `m == 0`.
+    pub fn split(self, mbrs: &[Rect], m: usize) -> SplitResult {
+        match self {
+            SplitPolicy::RStar => crate::split::rstar_split(mbrs, m),
+            SplitPolicy::GuttmanQuadratic => quadratic_split(mbrs, m),
+            SplitPolicy::GuttmanLinear => linear_split(mbrs, m),
+        }
+    }
+
+    /// Short name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SplitPolicy::RStar => "rstar",
+            SplitPolicy::GuttmanQuadratic => "quadratic",
+            SplitPolicy::GuttmanLinear => "linear",
+        }
+    }
+}
+
+fn validate(mbrs: &[Rect], m: usize) {
+    assert!(m >= 1, "minimum fill must be at least 1");
+    assert!(
+        mbrs.len() >= 2 * m,
+        "cannot split {} entries with minimum fill {m}",
+        mbrs.len()
+    );
+}
+
+/// Guttman's PickSeeds (quadratic): the pair whose covering rectangle
+/// wastes the most area.
+fn quadratic_seeds(mbrs: &[Rect]) -> (usize, usize) {
+    let mut worst = (0usize, 1usize);
+    let mut worst_waste = f64::NEG_INFINITY;
+    for i in 0..mbrs.len() {
+        for j in (i + 1)..mbrs.len() {
+            let waste = mbrs[i].union(&mbrs[j]).area() - mbrs[i].area() - mbrs[j].area();
+            if waste > worst_waste {
+                worst_waste = waste;
+                worst = (i, j);
+            }
+        }
+    }
+    worst
+}
+
+/// Guttman's quadratic split.
+fn quadratic_split(mbrs: &[Rect], m: usize) -> SplitResult {
+    validate(mbrs, m);
+    let n = mbrs.len();
+    let (s1, s2) = quadratic_seeds(mbrs);
+    let mut g1 = vec![s1];
+    let mut g2 = vec![s2];
+    let mut bb1 = mbrs[s1].clone();
+    let mut bb2 = mbrs[s2].clone();
+    let mut remaining: Vec<usize> = (0..n).filter(|&i| i != s1 && i != s2).collect();
+
+    while !remaining.is_empty() {
+        // Force-assign when one group must take everything left to make
+        // its minimum.
+        if g1.len() + remaining.len() == m {
+            for i in remaining.drain(..) {
+                bb1.union_in_place(&mbrs[i]);
+                g1.push(i);
+            }
+            break;
+        }
+        if g2.len() + remaining.len() == m {
+            for i in remaining.drain(..) {
+                bb2.union_in_place(&mbrs[i]);
+                g2.push(i);
+            }
+            break;
+        }
+        // PickNext: the entry with the greatest preference difference.
+        let (pos, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(pos, &i)| {
+                let d1 = bb1.enlargement(&mbrs[i]);
+                let d2 = bb2.enlargement(&mbrs[i]);
+                (pos, (d1 - d2).abs())
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("remaining non-empty");
+        let i = remaining.swap_remove(pos);
+        let d1 = bb1.enlargement(&mbrs[i]);
+        let d2 = bb2.enlargement(&mbrs[i]);
+        // Ties: smaller area, then fewer entries.
+        let to_g1 = match d1.partial_cmp(&d2).expect("finite") {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => {
+                (bb1.area(), g1.len()) <= (bb2.area(), g2.len())
+            }
+        };
+        if to_g1 {
+            bb1.union_in_place(&mbrs[i]);
+            g1.push(i);
+        } else {
+            bb2.union_in_place(&mbrs[i]);
+            g2.push(i);
+        }
+    }
+    SplitResult {
+        group1: g1,
+        group2: g2,
+    }
+}
+
+/// Guttman's linear PickSeeds: greatest normalized separation.
+fn linear_seeds(mbrs: &[Rect]) -> (usize, usize) {
+    let dim = mbrs[0].dim();
+    let mut best = (0usize, 1usize);
+    let mut best_sep = f64::NEG_INFINITY;
+    for d in 0..dim {
+        // Entry with the highest low side and entry with the lowest high
+        // side.
+        let (mut hi_lo_idx, mut lo_hi_idx) = (0usize, 0usize);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (i, r) in mbrs.iter().enumerate() {
+            if r.lo()[d] > mbrs[hi_lo_idx].lo()[d] {
+                hi_lo_idx = i;
+            }
+            if r.hi()[d] < mbrs[lo_hi_idx].hi()[d] {
+                lo_hi_idx = i;
+            }
+            lo = lo.min(r.lo()[d]);
+            hi = hi.max(r.hi()[d]);
+        }
+        let width = (hi - lo).max(f64::MIN_POSITIVE);
+        let sep = (mbrs[hi_lo_idx].lo()[d] - mbrs[lo_hi_idx].hi()[d]) / width;
+        if sep > best_sep && hi_lo_idx != lo_hi_idx {
+            best_sep = sep;
+            best = (lo_hi_idx, hi_lo_idx);
+        }
+    }
+    best
+}
+
+/// Guttman's linear split.
+fn linear_split(mbrs: &[Rect], m: usize) -> SplitResult {
+    validate(mbrs, m);
+    let n = mbrs.len();
+    let (s1, s2) = linear_seeds(mbrs);
+    let mut g1 = vec![s1];
+    let mut g2 = vec![s2];
+    let mut bb1 = mbrs[s1].clone();
+    let mut bb2 = mbrs[s2].clone();
+    #[allow(clippy::needless_range_loop)] // index arithmetic below needs `i`
+    for i in 0..n {
+        if i == s1 || i == s2 {
+            continue;
+        }
+        let left = n - 1 - g1.len() - g2.len() + 1; // including i
+        if g1.len() + left == m {
+            bb1.union_in_place(&mbrs[i]);
+            g1.push(i);
+            continue;
+        }
+        if g2.len() + left == m {
+            bb2.union_in_place(&mbrs[i]);
+            g2.push(i);
+            continue;
+        }
+        let d1 = bb1.enlargement(&mbrs[i]);
+        let d2 = bb2.enlargement(&mbrs[i]);
+        if (d1, bb1.area(), g1.len()) <= (d2, bb2.area(), g2.len()) {
+            bb1.union_in_place(&mbrs[i]);
+            g1.push(i);
+        } else {
+            bb2.union_in_place(&mbrs[i]);
+            g2.push(i);
+        }
+    }
+    SplitResult {
+        group1: g1,
+        group2: g2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, y: f64) -> Rect {
+        Rect::new(vec![x, y], vec![x, y]).unwrap()
+    }
+
+    fn check_split(policy: SplitPolicy, mbrs: &[Rect], m: usize) {
+        let r = policy.split(mbrs, m);
+        assert!(r.group1.len() >= m, "{policy:?}: g1 {} < {m}", r.group1.len());
+        assert!(r.group2.len() >= m, "{policy:?}: g2 {} < {m}", r.group2.len());
+        let mut all: Vec<usize> = r.group1.iter().chain(&r.group2).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..mbrs.len()).collect::<Vec<_>>(), "{policy:?}");
+    }
+
+    #[test]
+    fn all_policies_satisfy_fill_invariants() {
+        let mbrs: Vec<Rect> = (0..13)
+            .map(|i| pt((i * 7 % 13) as f64, (i * 5 % 11) as f64))
+            .collect();
+        for policy in [
+            SplitPolicy::RStar,
+            SplitPolicy::GuttmanQuadratic,
+            SplitPolicy::GuttmanLinear,
+        ] {
+            for m in [1usize, 3, 5, 6] {
+                check_split(policy, &mbrs, m);
+            }
+        }
+    }
+
+    #[test]
+    fn quadratic_separates_clusters() {
+        // Two 2-d clusters with real spread (degenerate collinear layouts
+        // give the area heuristic no signal, by design).
+        let mut mbrs = Vec::new();
+        for i in 0..5 {
+            mbrs.push(pt(i as f64 * 0.3, (i % 2) as f64));
+            mbrs.push(pt(100.0 + i as f64 * 0.3, (i % 3) as f64));
+        }
+        let r = quadratic_split(&mbrs, 3);
+        let g1_near = r.group1.iter().filter(|&&i| mbrs[i].lo()[0] < 50.0).count();
+        // One group must be entirely one cluster.
+        assert!(
+            g1_near == 0 || g1_near == r.group1.len(),
+            "group1 mixes clusters: {r:?}"
+        );
+    }
+
+    #[test]
+    fn linear_separates_clusters() {
+        // Distinct coordinates everywhere: Guttman's area-based
+        // assignment is blind to growth along a zero-width dimension, so
+        // shared coordinates would let it mix clusters "for free".
+        let mut mbrs = Vec::new();
+        for i in 0..6 {
+            mbrs.push(pt(0.37 * i as f64 + 0.1, i as f64 + 0.5));
+            mbrs.push(pt(0.41 * i as f64 + 0.2, 1000.0 + 1.3 * i as f64));
+        }
+        let r = linear_split(&mbrs, 4);
+        let g1_low = r.group1.iter().filter(|&&i| mbrs[i].lo()[1] < 500.0).count();
+        assert!(
+            g1_low == 0 || g1_low == r.group1.len(),
+            "group1 mixes clusters: {r:?}"
+        );
+    }
+
+    #[test]
+    fn identical_rects_still_split_legally() {
+        let mbrs: Vec<Rect> = (0..10).map(|_| pt(1.0, 1.0)).collect();
+        for policy in [
+            SplitPolicy::GuttmanQuadratic,
+            SplitPolicy::GuttmanLinear,
+        ] {
+            check_split(policy, &mbrs, 4);
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(SplitPolicy::RStar.name(), "rstar");
+        assert_eq!(SplitPolicy::GuttmanQuadratic.name(), "quadratic");
+        assert_eq!(SplitPolicy::GuttmanLinear.name(), "linear");
+        assert_eq!(SplitPolicy::default(), SplitPolicy::RStar);
+    }
+}

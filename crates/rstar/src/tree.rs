@@ -1,0 +1,341 @@
+//! The declustered R\*-tree.
+
+use crate::config::RStarConfig;
+use crate::decluster::{Declusterer, DeclusterContext};
+use crate::entry::{LeafEntry, ObjectId};
+use crate::node::Node;
+use crate::{codec, query};
+use sqda_geom::{GeomError, Point, Rect};
+use sqda_storage::{DiskId, PageId, PageStore, StorageError};
+use std::sync::Arc;
+
+/// Errors from tree operations.
+#[derive(Debug)]
+pub enum RStarError {
+    /// Underlying storage failed.
+    Storage(StorageError),
+    /// Geometry construction failed.
+    Geometry(GeomError),
+    /// A point's dimensionality does not match the tree's.
+    DimensionMismatch {
+        /// The tree's dimensionality.
+        expected: usize,
+        /// The offending point's dimensionality.
+        got: usize,
+    },
+}
+
+impl From<StorageError> for RStarError {
+    fn from(e: StorageError) -> Self {
+        RStarError::Storage(e)
+    }
+}
+
+impl From<GeomError> for RStarError {
+    fn from(e: GeomError) -> Self {
+        RStarError::Geometry(e)
+    }
+}
+
+impl std::fmt::Display for RStarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RStarError::Storage(e) => write!(f, "storage error: {e}"),
+            RStarError::Geometry(e) => write!(f, "geometry error: {e}"),
+            RStarError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: tree is {expected}-d, point is {got}-d")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RStarError {}
+
+/// Convenience alias for tree results.
+pub type Result<T> = std::result::Result<T, RStarError>;
+
+/// Summary statistics of a tree (used by experiments and diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeStats {
+    /// Number of levels (1 = a single leaf).
+    pub height: u32,
+    /// Indexed objects.
+    pub num_objects: u64,
+    /// Node count per level, `[0]` = leaves.
+    pub nodes_per_level: Vec<u64>,
+    /// Mean fill factor over all nodes (entries / capacity).
+    pub avg_fill: f64,
+    /// Pages allocated per disk.
+    pub pages_per_disk: Vec<usize>,
+}
+
+impl TreeStats {
+    /// Total number of nodes.
+    pub fn total_nodes(&self) -> u64 {
+        self.nodes_per_level.iter().sum()
+    }
+}
+
+/// A declustered R\*-tree over a disk-array page store.
+///
+/// Mutating operations (`insert`, `delete`) take `&mut self`; read-only
+/// queries take `&self` and can run concurrently through an `Arc` when the
+/// tree is not being mutated (the experiments build once, then query).
+pub struct RStarTree<S: PageStore> {
+    pub(crate) store: Arc<S>,
+    pub(crate) config: RStarConfig,
+    pub(crate) declusterer: Box<dyn Declusterer>,
+    pub(crate) root: PageId,
+    pub(crate) height: u32,
+    pub(crate) num_objects: u64,
+}
+
+impl<S: PageStore> RStarTree<S> {
+    /// Creates an empty tree: a single empty leaf, placed on disk 0.
+    pub fn create(
+        store: Arc<S>,
+        config: RStarConfig,
+        declusterer: Box<dyn Declusterer>,
+    ) -> Result<Self> {
+        let root = store.allocate(DiskId(0))?;
+        let leaf = Node::empty_leaf();
+        store.write(root, codec::encode_node(&leaf, config.dim))?;
+        Ok(Self {
+            store,
+            config,
+            declusterer,
+            root,
+            height: 1,
+            num_objects: 0,
+        })
+    }
+
+    /// Re-attaches to a tree already present in a (persistent) store.
+    ///
+    /// `root` is the root page id recorded by the caller (e.g. alongside
+    /// a [`sqda_storage::FileStore`]'s superblock); height and object
+    /// count are recovered from the root node itself.
+    pub fn attach(
+        store: Arc<S>,
+        config: RStarConfig,
+        declusterer: Box<dyn Declusterer>,
+        root: PageId,
+    ) -> Result<Self> {
+        let bytes = store.read(root)?;
+        let node = codec::decode_node(bytes, config.dim, root)?;
+        let height = node.level() + 1;
+        let num_objects = node.object_count();
+        Ok(Self {
+            store,
+            config,
+            declusterer,
+            root,
+            height,
+            num_objects,
+        })
+    }
+
+    /// The page id of the root node.
+    pub fn root_page(&self) -> PageId {
+        self.root
+    }
+
+    /// Number of levels (1 = the root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The level of the root node (`height - 1`).
+    pub fn root_level(&self) -> u32 {
+        self.height - 1
+    }
+
+    /// Number of indexed objects.
+    pub fn num_objects(&self) -> u64 {
+        self.num_objects
+    }
+
+    /// The tree's dimensionality.
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    /// The tree configuration.
+    pub fn config(&self) -> &RStarConfig {
+        &self.config
+    }
+
+    /// The underlying page store.
+    pub fn store(&self) -> &Arc<S> {
+        &self.store
+    }
+
+    /// Reads and decodes the node stored at `page`.
+    pub fn read_node(&self, page: PageId) -> Result<Node> {
+        let bytes = self.store.read(page)?;
+        Ok(codec::decode_node(bytes, self.config.dim, page)?)
+    }
+
+    /// Encodes and writes `node` to `page`.
+    pub(crate) fn write_node(&self, page: PageId, node: &Node) -> Result<()> {
+        self.store
+            .write(page, codec::encode_node(node, self.config.dim))?;
+        Ok(())
+    }
+
+    /// Allocates a page for a newly split node, consulting the
+    /// declustering heuristic.
+    ///
+    /// `siblings` are the entries of the parent node (the nodes the new
+    /// node will compete with during queries), given as MBR + hosting
+    /// disk.
+    pub(crate) fn allocate_declustered(
+        &self,
+        new_mbr: &Rect,
+        siblings: &[(Rect, DiskId)],
+    ) -> Result<PageId> {
+        let pages_per_disk = self.pages_per_disk();
+        let ctx = DeclusterContext {
+            new_mbr,
+            siblings,
+            pages_per_disk: &pages_per_disk,
+            num_disks: self.store.num_disks(),
+        };
+        let disk = self.declusterer.assign_disk(&ctx);
+        Ok(self.store.allocate(disk)?)
+    }
+
+    /// Pages currently allocated per disk. Uses the store-wide counter,
+    /// which is equivalent to the tree's own page distribution when the
+    /// store is dedicated to one tree (the case in all experiments).
+    pub(crate) fn pages_per_disk(&self) -> Vec<usize> {
+        self.store.pages_per_disk()
+    }
+
+    /// Validates the tree invariants; see [`crate::validate`].
+    pub fn validate(&self) -> Result<std::result::Result<(), crate::ValidationError>> {
+        crate::validate::validate(self)
+    }
+
+    /// Inserts a point with its object id.
+    pub fn insert(&mut self, point: Point, object: u64) -> Result<()> {
+        if point.dim() != self.config.dim {
+            return Err(RStarError::DimensionMismatch {
+                expected: self.config.dim,
+                got: point.dim(),
+            });
+        }
+        crate::insert::insert_object(self, LeafEntry::new(point, ObjectId(object)))
+    }
+
+    /// Deletes a point/object pair. Returns `true` if it was present.
+    pub fn delete(&mut self, point: &Point, object: u64) -> Result<bool> {
+        if point.dim() != self.config.dim {
+            return Err(RStarError::DimensionMismatch {
+                expected: self.config.dim,
+                got: point.dim(),
+            });
+        }
+        crate::delete::delete_object(self, point, ObjectId(object))
+    }
+
+    /// Returns all objects within `radius` of `center` (a similarity
+    /// *range* query, Definition 1 of the paper).
+    pub fn range_query(&self, center: &Point, radius: f64) -> Result<Vec<LeafEntry>> {
+        if center.dim() != self.config.dim {
+            return Err(RStarError::DimensionMismatch {
+                expected: self.config.dim,
+                got: center.dim(),
+            });
+        }
+        query::range::range_query(self, center, radius)
+    }
+
+    /// Returns all objects whose point lies in `window`.
+    pub fn window_query(&self, window: &Rect) -> Result<Vec<LeafEntry>> {
+        if window.dim() != self.config.dim {
+            return Err(RStarError::DimensionMismatch {
+                expected: self.config.dim,
+                got: window.dim(),
+            });
+        }
+        query::range::window_query(self, window)
+    }
+
+    /// Returns the `k` nearest neighbours of `center` using the optimal
+    /// sequential best-first search (Hjaltason & Samet style). This is the
+    /// library-quality single-disk algorithm; the disk-array algorithms
+    /// (BBSS/FPSS/CRSS/WOPTSS) live in `sqda-core`.
+    pub fn knn(&self, center: &Point, k: usize) -> Result<Vec<query::knn::Neighbor>> {
+        if center.dim() != self.config.dim {
+            return Err(RStarError::DimensionMismatch {
+                expected: self.config.dim,
+                got: center.dim(),
+            });
+        }
+        query::knn::knn(self, center, k)
+    }
+
+    /// Returns a lazy stream of neighbours in increasing distance order —
+    /// best-first search that reads nodes only as the iterator advances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `center`'s dimensionality differs from the tree's.
+    pub fn nn_iter(&self, center: Point) -> query::knn::NnIter<'_, S> {
+        assert_eq!(
+            center.dim(),
+            self.config.dim,
+            "query dimensionality mismatch"
+        );
+        query::knn::NnIter::new(self, center)
+    }
+
+    /// Gathers summary statistics by traversing the whole tree.
+    pub fn stats(&self) -> Result<TreeStats> {
+        let mut nodes_per_level = vec![0u64; self.height as usize];
+        let mut fill_sum = 0.0;
+        let mut node_count = 0u64;
+        let mut pages_per_disk = vec![0usize; self.store.num_disks() as usize];
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            let node = self.read_node(page)?;
+            nodes_per_level[node.level() as usize] += 1;
+            let cap = if node.is_leaf() {
+                self.config.max_leaf_entries
+            } else {
+                self.config.max_internal_entries
+            };
+            fill_sum += node.len() as f64 / cap as f64;
+            node_count += 1;
+            let placement = self.store.placement(page)?;
+            pages_per_disk[placement.disk.index()] += 1;
+            if let Node::Internal { entries, .. } = &node {
+                stack.extend(entries.iter().map(|e| e.child));
+            }
+        }
+        Ok(TreeStats {
+            height: self.height,
+            num_objects: self.num_objects,
+            nodes_per_level,
+            avg_fill: if node_count == 0 {
+                0.0
+            } else {
+                fill_sum / node_count as f64
+            },
+            pages_per_disk,
+        })
+    }
+}
+
+impl<S: PageStore> std::fmt::Debug for RStarTree<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RStarTree")
+            .field("dim", &self.config.dim)
+            .field("height", &self.height)
+            .field("num_objects", &self.num_objects)
+            .field("root", &self.root)
+            .field("declusterer", &self.declusterer.name())
+            .finish()
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests: for arbitrary insert/delete workloads the tree
+//! keeps its invariants and answers queries exactly like brute force.
+
+use proptest::prelude::*;
+use sqda_geom::Point;
+use sqda_rstar::decluster::ProximityIndex;
+use sqda_rstar::{RStarConfig, RStarTree};
+use sqda_storage::ArrayStore;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert([f64; 2]),
+    /// Delete the i-th (mod live count) currently live object.
+    DeleteNth(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (( -50.0..50.0f64), (-50.0..50.0f64)).prop_map(|(x, y)| Op::Insert([x, y])),
+        1 => (0usize..1000).prop_map(Op::DeleteNth),
+    ]
+}
+
+fn build(ops: &[Op], fanout: usize) -> (RStarTree<ArrayStore>, Vec<(Point, u64)>) {
+    let store = Arc::new(ArrayStore::new(4, 1449, 7));
+    let mut tree = RStarTree::create(
+        store,
+        RStarConfig::new(2).with_max_entries(fanout),
+        Box::new(ProximityIndex),
+    )
+    .unwrap();
+    let mut live: Vec<(Point, u64)> = Vec::new();
+    let mut next_id = 0u64;
+    for op in ops {
+        match op {
+            Op::Insert([x, y]) => {
+                let p = Point::new(vec![*x, *y]);
+                tree.insert(p.clone(), next_id).unwrap();
+                live.push((p, next_id));
+                next_id += 1;
+            }
+            Op::DeleteNth(n) => {
+                if !live.is_empty() {
+                    let idx = n % live.len();
+                    let (p, id) = live.swap_remove(idx);
+                    assert!(tree.delete(&p, id).unwrap());
+                }
+            }
+        }
+    }
+    (tree, live)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariants hold after arbitrary workloads.
+    #[test]
+    fn invariants_after_workload(ops in proptest::collection::vec(op_strategy(), 0..300)) {
+        let (tree, live) = build(&ops, 4);
+        tree.validate().unwrap().unwrap();
+        prop_assert_eq!(tree.num_objects() as usize, live.len());
+    }
+
+    /// kNN equals brute force after arbitrary workloads.
+    #[test]
+    fn knn_equals_brute_force(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        qx in -60.0..60.0f64,
+        qy in -60.0..60.0f64,
+        k in 1usize..20,
+    ) {
+        let (tree, live) = build(&ops, 5);
+        let q = Point::new(vec![qx, qy]);
+        let got = tree.knn(&q, k).unwrap();
+        let mut want: Vec<f64> = live.iter().map(|(p, _)| q.dist_sq(p)).collect();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        want.truncate(k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!((g.dist_sq - w).abs() < 1e-9, "got {} want {}", g.dist_sq, w);
+        }
+    }
+
+    /// Range query equals brute force.
+    #[test]
+    fn range_equals_brute_force(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        qx in -60.0..60.0f64,
+        qy in -60.0..60.0f64,
+        radius in 0.0..80.0f64,
+    ) {
+        let (tree, live) = build(&ops, 6);
+        let q = Point::new(vec![qx, qy]);
+        let got: HashSet<u64> = tree
+            .range_query(&q, radius)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.object.0)
+            .collect();
+        let want: HashSet<u64> = live
+            .iter()
+            .filter(|(p, _)| q.dist(p) <= radius)
+            .map(|(_, id)| *id)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Every inserted object is findable at distance ~0 (no lost inserts).
+    #[test]
+    fn no_lost_objects(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        let (tree, live) = build(&ops, 4);
+        for (p, id) in &live {
+            let hits = tree.range_query(p, 1e-9).unwrap();
+            prop_assert!(
+                hits.iter().any(|e| e.object.0 == *id),
+                "object {id} lost"
+            );
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Poisson query arrivals.
+
+use crate::SimTime;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Generates query arrival times following a Poisson process with mean
+/// rate λ arrivals per second (Section 4.1: "Query arrivals follow a
+/// Poisson distribution with mean λ arrivals per second. Therefore, the
+/// query interarrival time interval is a random variable following an
+/// exponential distribution.").
+pub struct PoissonArrivals {
+    lambda: f64,
+    next: SimTime,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with rate `lambda` (> 0) arrivals per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not positive and finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "arrival rate must be positive, got {lambda}"
+        );
+        Self {
+            lambda,
+            next: SimTime::ZERO,
+        }
+    }
+
+    /// The configured rate λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Draws the next arrival time (inverse-CDF exponential sampling).
+    pub fn next_arrival(&mut self, rng: &mut StdRng) -> SimTime {
+        // U in (0,1]: avoid ln(0).
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        let gap = -u.ln() / self.lambda;
+        self.next += SimTime::from_secs_f64(gap);
+        self.next
+    }
+
+    /// Generates the first `n` arrival times.
+    pub fn take(&mut self, n: usize, rng: &mut StdRng) -> Vec<SimTime> {
+        (0..n).map(|_| self.next_arrival(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arrivals_are_increasing() {
+        let mut p = PoissonArrivals::new(5.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let times = p.take(1000, &mut rng);
+        for w in times.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn mean_interarrival_matches_rate() {
+        let lambda = 8.0;
+        let mut p = PoissonArrivals::new(lambda);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let times = p.take(n, &mut rng);
+        let total = times.last().unwrap().as_secs_f64();
+        let observed_rate = n as f64 / total;
+        assert!(
+            (observed_rate - lambda).abs() / lambda < 0.05,
+            "observed rate {observed_rate} vs λ {lambda}"
+        );
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let gen = |seed| {
+            let mut p = PoissonArrivals::new(2.0);
+            let mut rng = StdRng::seed_from_u64(seed);
+            p.take(10, &mut rng)
+        };
+        assert_eq!(gen(7), gen(7));
+        assert_ne!(gen(7), gen(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = PoissonArrivals::new(0.0);
+    }
+}

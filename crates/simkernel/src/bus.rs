@@ -1,0 +1,99 @@
+//! The shared I/O bus.
+
+use crate::{SimTime, UtilizationTracker};
+
+/// The common I/O (SCSI) bus connecting the disks to the processor.
+///
+/// Modelled per the paper as a single FCFS queue with *constant* service
+/// time: the time to push one page from a disk controller to main memory.
+/// Every page read by any disk crosses the bus, so at high arrival rates
+/// the bus can become the bottleneck that punishes algorithms fetching
+/// many pages (FPSS).
+pub struct Bus {
+    transfer_time: SimTime,
+    busy_until: SimTime,
+    transfers: u64,
+    total_wait: SimTime,
+    util: UtilizationTracker,
+}
+
+impl Bus {
+    /// Creates a bus with the given per-page transfer time.
+    pub fn new(transfer_time: SimTime) -> Self {
+        Self {
+            transfer_time,
+            busy_until: SimTime::ZERO,
+            transfers: 0,
+            total_wait: SimTime::ZERO,
+            util: UtilizationTracker::new(),
+        }
+    }
+
+    /// Submits one page for transfer at `now`; returns the time the page
+    /// arrives in main memory.
+    pub fn submit(&mut self, now: SimTime) -> SimTime {
+        let start = now.max(self.busy_until);
+        let completion = start + self.transfer_time;
+        self.util.add_busy(start, completion);
+        self.total_wait += start - now;
+        self.transfers += 1;
+        self.busy_until = completion;
+        completion
+    }
+
+    /// Number of pages transferred.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Mean queueing delay before a transfer starts.
+    pub fn mean_wait_s(&self) -> f64 {
+        if self.transfers == 0 {
+            0.0
+        } else {
+            self.total_wait.as_secs_f64() / self.transfers as f64
+        }
+    }
+
+    /// Fraction of `[0, horizon]` the bus spent transferring.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        self.util.utilization(horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_service_time() {
+        let mut bus = Bus::new(SimTime::from_millis_f64(0.4));
+        let done = bus.submit(SimTime::from_secs_f64(1.0));
+        assert_eq!(done, SimTime::from_secs_f64(1.0) + SimTime::from_millis_f64(0.4));
+    }
+
+    #[test]
+    fn back_to_back_transfers_serialize() {
+        let mut bus = Bus::new(SimTime::from_millis_f64(1.0));
+        let t = SimTime::ZERO;
+        let d1 = bus.submit(t);
+        let d2 = bus.submit(t);
+        let d3 = bus.submit(t);
+        assert_eq!(d1, SimTime::from_millis_f64(1.0));
+        assert_eq!(d2, SimTime::from_millis_f64(2.0));
+        assert_eq!(d3, SimTime::from_millis_f64(3.0));
+        assert_eq!(bus.transfers(), 3);
+        assert!(bus.mean_wait_s() > 0.0);
+        assert!((bus.utilization(d3) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_gaps_lower_utilization() {
+        let mut bus = Bus::new(SimTime::from_millis_f64(1.0));
+        bus.submit(SimTime::ZERO);
+        bus.submit(SimTime::from_millis_f64(9.0));
+        let u = bus.utilization(SimTime::from_millis_f64(10.0));
+        assert!((u - 0.2).abs() < 1e-9, "utilization {u}");
+        assert_eq!(bus.mean_wait_s(), 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! The CPU cost model.
+
+use crate::{SimTime, UtilizationTracker};
+
+/// Instruction count for processing a batch of fetched MBR entries,
+/// following Section 4.1 of the paper:
+///
+/// * scanning `n` fetched entries costs `2·n` instructions (fetch the
+///   operand, compare),
+/// * sorting the `m` surviving entries costs `3·m·log₂m` instructions
+///   (heapsort/mergesort comparisons at 3 instructions each).
+///
+/// ```
+/// use sqda_simkernel::cpu_instructions_for_batch;
+/// assert_eq!(cpu_instructions_for_batch(10, 0), 20);
+/// assert_eq!(cpu_instructions_for_batch(0, 8), 72); // 3 * 8 * 3
+/// ```
+pub fn cpu_instructions_for_batch(scanned: u64, sorted: u64) -> u64 {
+    let scan = 2 * scanned;
+    let sort = if sorted > 1 {
+        // ceil(log2(m)) keeps the count integral and slightly conservative.
+        let log2 = 64 - (sorted - 1).leading_zeros() as u64;
+        3 * sorted * log2
+    } else {
+        0
+    };
+    scan + sort
+}
+
+/// The single processor of the system, modelled as an FCFS server whose
+/// service time is `instructions / MIPS`.
+pub struct Cpu {
+    mips: f64,
+    busy_until: SimTime,
+    jobs: u64,
+    total_instructions: u64,
+    util: UtilizationTracker,
+}
+
+impl Cpu {
+    /// Creates a CPU with the given MIPS rating (Table 1: 100 MIPS).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mips` is not positive.
+    pub fn new(mips: f64) -> Self {
+        assert!(mips > 0.0, "MIPS rate must be positive");
+        Self {
+            mips,
+            busy_until: SimTime::ZERO,
+            jobs: 0,
+            total_instructions: 0,
+            util: UtilizationTracker::new(),
+        }
+    }
+
+    /// Time to execute `instructions` in isolation.
+    pub fn execution_time(&self, instructions: u64) -> SimTime {
+        SimTime::from_secs_f64(instructions as f64 / (self.mips * 1e6))
+    }
+
+    /// Submits a job of `instructions` at time `now`; returns completion.
+    pub fn submit(&mut self, now: SimTime, instructions: u64) -> SimTime {
+        let start = now.max(self.busy_until);
+        let completion = start + self.execution_time(instructions);
+        self.util.add_busy(start, completion);
+        self.jobs += 1;
+        self.total_instructions += instructions;
+        self.busy_until = completion;
+        completion
+    }
+
+    /// Submits a job with a fixed duration (e.g. the constant query
+    /// startup cost of Table 1); returns completion.
+    pub fn submit_duration(&mut self, now: SimTime, duration: SimTime) -> SimTime {
+        let start = now.max(self.busy_until);
+        let completion = start + duration;
+        self.util.add_busy(start, completion);
+        self.jobs += 1;
+        self.busy_until = completion;
+        completion
+    }
+
+    /// Jobs executed.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Total instructions executed.
+    pub fn total_instructions(&self) -> u64 {
+        self.total_instructions
+    }
+
+    /// Fraction of `[0, horizon]` the CPU spent computing.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        self.util.utilization(horizon)
+    }
+
+    /// The time this CPU becomes idle (for least-loaded dispatch in
+    /// multiprocessor configurations).
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_cost_model() {
+        // Scan only.
+        assert_eq!(cpu_instructions_for_batch(100, 0), 200);
+        // m = 1: no sorting work.
+        assert_eq!(cpu_instructions_for_batch(0, 1), 0);
+        // m = 2: 3 * 2 * 1.
+        assert_eq!(cpu_instructions_for_batch(0, 2), 6);
+        // m = 1024: 3 * 1024 * 10.
+        assert_eq!(cpu_instructions_for_batch(0, 1024), 30720);
+        // Combined.
+        assert_eq!(cpu_instructions_for_batch(10, 2), 26);
+    }
+
+    #[test]
+    fn hundred_mips_timing() {
+        let cpu = Cpu::new(100.0);
+        // 1M instructions at 100 MIPS = 10 ms.
+        assert_eq!(
+            cpu.execution_time(1_000_000),
+            SimTime::from_millis_f64(10.0)
+        );
+    }
+
+    #[test]
+    fn fcfs_serialization() {
+        let mut cpu = Cpu::new(100.0);
+        let d1 = cpu.submit(SimTime::ZERO, 1_000_000);
+        let d2 = cpu.submit(SimTime::ZERO, 1_000_000);
+        assert_eq!(d1, SimTime::from_millis_f64(10.0));
+        assert_eq!(d2, SimTime::from_millis_f64(20.0));
+        assert_eq!(cpu.jobs(), 2);
+        assert_eq!(cpu.total_instructions(), 2_000_000);
+        assert!((cpu.utilization(d2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_mips_panics() {
+        let _ = Cpu::new(0.0);
+    }
+}

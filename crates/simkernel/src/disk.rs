@@ -1,0 +1,297 @@
+//! Disk drive model: two-phase non-linear seek, rotational latency,
+//! transfer and controller overhead, behind an FCFS queue.
+
+use crate::{SimTime, UtilizationTracker};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Physical parameters of one disk drive.
+///
+/// Defaults model the HP-C2200A drive used in the paper's simulation
+/// (Table 2; constants from Ruemmler & Wilkes, *An Introduction to Disk
+/// Drive Modeling*, IEEE Computer 1994).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiskParams {
+    /// Number of cylinders (`Cyl` in Table 2).
+    pub num_cylinders: u32,
+    /// Constant term of the short-seek (acceleration) phase, in ms.
+    pub c1_ms: f64,
+    /// √-coefficient of the short-seek phase, in ms per √cylinder.
+    pub c2_ms: f64,
+    /// Constant term of the long-seek (steady) phase, in ms.
+    pub c3_ms: f64,
+    /// Linear coefficient of the long-seek phase, in ms per cylinder.
+    pub c4_ms: f64,
+    /// Seek distance threshold `sdt` separating the two phases.
+    pub seek_distance_threshold: u32,
+    /// Full revolution time in seconds (`T_rev` = 0.0149 s in Table 2).
+    pub revolution_time_s: f64,
+    /// Time to transfer one page off the platters, in ms.
+    pub transfer_ms: f64,
+    /// Constant controller overhead per request, in ms.
+    pub controller_overhead_ms: f64,
+}
+
+impl Default for DiskParams {
+    fn default() -> Self {
+        Self {
+            num_cylinders: 1449,
+            c1_ms: 3.24,
+            c2_ms: 0.400,
+            c3_ms: 8.00,
+            c4_ms: 0.008,
+            seek_distance_threshold: 383,
+            revolution_time_s: 0.0149,
+            transfer_ms: 1.0,
+            controller_overhead_ms: 1.0,
+        }
+    }
+}
+
+impl DiskParams {
+    /// Seek time for a head movement of `distance` cylinders.
+    ///
+    /// ```
+    /// use sqda_simkernel::DiskParams;
+    /// let p = DiskParams::default();
+    /// assert_eq!(p.seek_time_s(0), 0.0);
+    /// assert!(p.seek_time_s(100) < p.seek_time_s(1000));
+    /// ```
+    pub fn seek_time_s(&self, distance: u32) -> f64 {
+        if distance == 0 {
+            0.0
+        } else if distance <= self.seek_distance_threshold {
+            (self.c1_ms + self.c2_ms * (distance as f64).sqrt()) / 1e3
+        } else {
+            (self.c3_ms + self.c4_ms * distance as f64) / 1e3
+        }
+    }
+
+    /// Average rotational latency (half a revolution).
+    pub fn avg_rotational_latency_s(&self) -> f64 {
+        self.revolution_time_s / 2.0
+    }
+
+    /// A worst-case bound on one request's service time (full-stroke seek,
+    /// full revolution, transfer, overhead).
+    pub fn max_service_time_s(&self) -> f64 {
+        self.seek_time_s(self.num_cylinders.saturating_sub(1))
+            + self.revolution_time_s
+            + (self.transfer_ms + self.controller_overhead_ms) / 1e3
+    }
+}
+
+/// One simulated disk: an FCFS queue in front of a single head assembly.
+///
+/// Requests are submitted in simulation-time order; each request's service
+/// time is determined by the seek distance from the head position left by
+/// the previous request, a uniformly random rotational latency, and the
+/// constant transfer/overhead terms. Because the queue is FCFS and
+/// submissions arrive in time order, service order equals submission order
+/// and completion times can be computed at submission.
+pub struct Disk {
+    params: DiskParams,
+    busy_until: SimTime,
+    head_cylinder: u32,
+    requests: u64,
+    util: UtilizationTracker,
+    total_wait: SimTime,
+    total_service: SimTime,
+}
+
+impl Disk {
+    /// Creates an idle disk with its head parked at cylinder 0 (the paper
+    /// initializes all arms at cylinder zero).
+    pub fn new(params: DiskParams) -> Self {
+        Self {
+            params,
+            busy_until: SimTime::ZERO,
+            head_cylinder: 0,
+            requests: 0,
+            util: UtilizationTracker::new(),
+            total_wait: SimTime::ZERO,
+            total_service: SimTime::ZERO,
+        }
+    }
+
+    /// The drive parameters.
+    pub fn params(&self) -> &DiskParams {
+        &self.params
+    }
+
+    /// Submits a page-read request at time `now` targeting `cylinder`.
+    /// Returns the completion time (when the page is ready to go on the
+    /// bus).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cylinder` is outside the drive or if `now` precedes an
+    /// earlier submission (FCFS requires time-ordered submission).
+    pub fn submit(&mut self, now: SimTime, cylinder: u32, rng: &mut StdRng) -> SimTime {
+        assert!(
+            cylinder < self.params.num_cylinders,
+            "cylinder {cylinder} out of range"
+        );
+        let start = now.max(self.busy_until);
+        let distance = self.head_cylinder.abs_diff(cylinder);
+        let rot_latency = rng.gen_range(0.0..self.params.revolution_time_s);
+        let service_s = self.params.seek_time_s(distance)
+            + rot_latency
+            + (self.params.transfer_ms + self.params.controller_overhead_ms) / 1e3;
+        let service = SimTime::from_secs_f64(service_s);
+        let completion = start + service;
+
+        self.util.add_busy(start, completion);
+        self.total_wait += start - now;
+        self.total_service += service;
+        self.requests += 1;
+        self.head_cylinder = cylinder;
+        self.busy_until = completion;
+        completion
+    }
+
+    /// Number of requests served.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Fraction of `[0, horizon]` the disk spent busy.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        self.util.utilization(horizon)
+    }
+
+    /// Mean queueing delay (time between submission and service start).
+    pub fn mean_wait_s(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_wait.as_secs_f64() / self.requests as f64
+        }
+    }
+
+    /// Mean service time.
+    pub fn mean_service_s(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_service.as_secs_f64() / self.requests as f64
+        }
+    }
+
+    /// The time the disk becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Current head position (cylinder of the last serviced request).
+    pub fn head_cylinder(&self) -> u32 {
+        self.head_cylinder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn seek_model_phases() {
+        let p = DiskParams::default();
+        // No seek.
+        assert_eq!(p.seek_time_s(0), 0.0);
+        // Short seek: c1 + c2*sqrt(d).
+        let s100 = p.seek_time_s(100);
+        assert!((s100 - (3.24 + 0.4 * 10.0) / 1e3).abs() < 1e-12);
+        // Boundary is short phase.
+        let sb = p.seek_time_s(383);
+        assert!((sb - (3.24 + 0.4 * (383.0f64).sqrt()) / 1e3).abs() < 1e-12);
+        // Long seek: c3 + c4*d.
+        let s1000 = p.seek_time_s(1000);
+        assert!((s1000 - (8.0 + 0.008 * 1000.0) / 1e3).abs() < 1e-12);
+        // Monotone increasing overall.
+        let mut prev = 0.0;
+        for d in 0..1449 {
+            let s = p.seek_time_s(d);
+            assert!(s >= prev - 1e-9, "seek time decreased at {d}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn idle_disk_services_immediately() {
+        let mut d = Disk::new(DiskParams::default());
+        let mut r = rng();
+        let done = d.submit(SimTime::from_secs_f64(1.0), 0, &mut r);
+        // No seek (head at 0), so service = rotation + transfer + overhead
+        // < 1 revolution + 2 ms.
+        let service = done - SimTime::from_secs_f64(1.0);
+        assert!(service.as_secs_f64() <= 0.0149 + 0.002 + 1e-9);
+        assert!(service.as_secs_f64() >= 0.002);
+        assert_eq!(d.requests(), 1);
+        assert_eq!(d.head_cylinder(), 0);
+    }
+
+    #[test]
+    fn fcfs_queueing_delays_second_request() {
+        let mut d = Disk::new(DiskParams::default());
+        let mut r = rng();
+        let t0 = SimTime::ZERO;
+        let done1 = d.submit(t0, 700, &mut r);
+        let done2 = d.submit(t0, 700, &mut r);
+        assert!(done2 > done1, "second request must wait");
+        assert!(d.mean_wait_s() > 0.0);
+    }
+
+    #[test]
+    fn head_position_tracks_requests() {
+        let mut d = Disk::new(DiskParams::default());
+        let mut r = rng();
+        d.submit(SimTime::ZERO, 1200, &mut r);
+        assert_eq!(d.head_cylinder(), 1200);
+        // Seek back is long (distance 1200 > threshold).
+        let t = d.busy_until();
+        let done = d.submit(t, 0, &mut r);
+        let service = (done - t).as_secs_f64();
+        assert!(service >= (8.0 + 0.008 * 1200.0) / 1e3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_cylinder_panics() {
+        let mut d = Disk::new(DiskParams::default());
+        d.submit(SimTime::ZERO, 9999, &mut rng());
+    }
+
+    #[test]
+    fn utilization_between_zero_and_one() {
+        let mut d = Disk::new(DiskParams::default());
+        let mut r = rng();
+        for i in 0..50 {
+            d.submit(SimTime::from_millis_f64(i as f64 * 5.0), (i * 29) % 1449, &mut r);
+        }
+        let horizon = d.busy_until();
+        let u = d.utilization(horizon);
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+        assert!(d.mean_service_s() > 0.0);
+    }
+
+    #[test]
+    fn max_service_bound_holds() {
+        let p = DiskParams::default();
+        let bound = p.max_service_time_s();
+        let mut d = Disk::new(p);
+        let mut r = rng();
+        let mut prev_done = SimTime::ZERO;
+        for i in 0..200 {
+            // Submit exactly at previous completion: no queueing, pure service.
+            let done = d.submit(prev_done, (i * 977) % 1449, &mut r);
+            assert!((done - prev_done).as_secs_f64() <= bound + 1e-9);
+            prev_done = done;
+        }
+    }
+}

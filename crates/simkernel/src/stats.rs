@@ -1,0 +1,230 @@
+//! Statistics collection for simulation runs.
+
+use crate::SimTime;
+
+/// Collects scalar samples (e.g. per-query response times) and reports
+/// summary statistics.
+///
+/// Samples are stored, so exact percentiles are available; experiment runs
+/// involve at most a few thousand queries, making storage negligible.
+#[derive(Debug, Clone, Default)]
+pub struct SampleStats {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl SampleStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is NaN.
+    pub fn push(&mut self, sample: f64) {
+        assert!(!sample.is_nan(), "NaN sample");
+        self.samples.push(sample);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Sample standard deviation (n−1 denominator); 0 with < 2 samples.
+    pub fn std_dev(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let ss = self
+            .samples
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>();
+        (ss / (n - 1) as f64).sqrt()
+    }
+
+    /// Minimum sample; 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Maximum sample; 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// Exact percentile by nearest-rank (`p` in `[0, 100]`); 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        self.samples[rank.saturating_sub(1).min(self.samples.len() - 1)]
+    }
+
+    /// Half-width of the 95% confidence interval for the mean (normal
+    /// approximation); 0 with < 2 samples.
+    pub fn ci95_half_width(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        1.96 * self.std_dev() / (n as f64).sqrt()
+    }
+}
+
+/// Accumulates busy intervals of a single server to report utilization.
+///
+/// Servers in this kernel are work-conserving FCFS, so busy intervals never
+/// overlap and accumulate monotonically; the tracker only needs a running
+/// sum.
+#[derive(Debug, Clone, Default)]
+pub struct UtilizationTracker {
+    busy: SimTime,
+}
+
+impl UtilizationTracker {
+    /// Creates an idle tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a busy interval `[start, end]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn add_busy(&mut self, start: SimTime, end: SimTime) {
+        self.busy += end - start;
+    }
+
+    /// Total busy time.
+    pub fn total_busy(&self) -> SimTime {
+        self.busy
+    }
+
+    /// Busy fraction of `[0, horizon]`; 0 for a zero horizon.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            0.0
+        } else {
+            (self.busy.as_secs_f64() / horizon.as_secs_f64()).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let mut s = SampleStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.std_dev() - 2.13809).abs() < 1e-4);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let mut s = SampleStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.percentile(50.0), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s = SampleStats::new();
+        for x in 1..=100 {
+            s.push(x as f64);
+        }
+        assert_eq!(s.percentile(50.0), 50.0);
+        assert_eq!(s.percentile(95.0), 95.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+        // Pushing after sorting still works.
+        s.push(1000.0);
+        assert_eq!(s.percentile(100.0), 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_sample_rejected() {
+        SampleStats::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let mut small = SampleStats::new();
+        let mut large = SampleStats::new();
+        for i in 0..10 {
+            small.push((i % 5) as f64);
+        }
+        for i in 0..1000 {
+            large.push((i % 5) as f64);
+        }
+        assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    fn utilization_tracker() {
+        let mut u = UtilizationTracker::new();
+        u.add_busy(SimTime::from_nanos(0), SimTime::from_nanos(50));
+        u.add_busy(SimTime::from_nanos(80), SimTime::from_nanos(100));
+        assert_eq!(u.total_busy(), SimTime::from_nanos(70));
+        assert!((u.utilization(SimTime::from_nanos(100)) - 0.7).abs() < 1e-12);
+        assert_eq!(u.utilization(SimTime::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Simulated time.
+
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in integer nanoseconds since simulation
+/// start.
+///
+/// Integer nanoseconds keep event ordering exact and runs bit-reproducible
+/// across platforms; `f64` seconds appear only at the presentation layer
+/// ([`SimTime::as_secs_f64`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates a time from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative, NaN, or overflows the nanosecond range.
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs >= 0.0 && secs.is_finite(),
+            "time must be finite and non-negative, got {secs}"
+        );
+        let ns = secs * 1e9;
+        assert!(ns <= u64::MAX as f64, "time overflow: {secs} s");
+        SimTime(ns.round() as u64)
+    }
+
+    /// Creates a time from milliseconds.
+    #[inline]
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Self::from_secs_f64(ms / 1e3)
+    }
+
+    /// Raw nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Time in seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating difference: `self - other`, or zero if `other` is later.
+    #[inline]
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("simulated time overflowed u64 nanoseconds"),
+        )
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_sub`] when that can happen.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("negative simulated duration"),
+        )
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
+        assert_eq!(SimTime::from_millis_f64(2.0).as_nanos(), 2_000_000);
+        assert!((SimTime::from_nanos(500).as_secs_f64() - 5e-7).abs() < 1e-18);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_nanos(100);
+        let b = SimTime::from_nanos(40);
+        assert_eq!(a + b, SimTime::from_nanos(140));
+        assert_eq!(a - b, SimTime::from_nanos(60));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a.max(b), a);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_nanos(140));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative simulated duration")]
+    fn negative_duration_panics() {
+        let _ = SimTime::from_nanos(1) - SimTime::from_nanos(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_seconds_panics() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_millis_f64(1.0).to_string(), "0.001000s");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::ZERO < SimTime::from_nanos(1));
+    }
+}

@@ -1,0 +1,78 @@
+//! Analytic validation of the queueing model against known results.
+//!
+//! The bus is a single FCFS server with deterministic service time fed by
+//! Poisson arrivals — an M/D/1 queue. The Pollaczek–Khinchine formula
+//! gives its exact mean waiting time:
+//!
+//! ```text
+//! W_q = ρ·D / (2·(1 − ρ)),   ρ = λ·D
+//! ```
+//!
+//! If the simulator's FCFS bookkeeping were wrong (e.g. work lost or
+//! double-counted), these tests would miss the analytic values.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqda_simkernel::{Bus, PoissonArrivals, SimTime};
+
+fn md1_mean_wait(lambda: f64, service_s: f64, n: usize, seed: u64) -> f64 {
+    let mut arrivals = PoissonArrivals::new(lambda);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bus = Bus::new(SimTime::from_secs_f64(service_s));
+    for _ in 0..n {
+        let t = arrivals.next_arrival(&mut rng);
+        bus.submit(t);
+    }
+    bus.mean_wait_s()
+}
+
+#[test]
+fn md1_wait_matches_pollaczek_khinchine_moderate_load() {
+    let lambda = 50.0;
+    let service = 0.01; // ρ = 0.5
+    let rho: f64 = lambda * service;
+    let analytic = rho * service / (2.0 * (1.0 - rho));
+    let simulated = md1_mean_wait(lambda, service, 200_000, 1);
+    let rel_err = (simulated - analytic).abs() / analytic;
+    assert!(
+        rel_err < 0.05,
+        "M/D/1 wait: simulated {simulated:.6}, analytic {analytic:.6}, err {rel_err:.3}"
+    );
+}
+
+#[test]
+fn md1_wait_matches_at_high_load() {
+    let lambda = 85.0;
+    let service = 0.01; // ρ = 0.85
+    let rho: f64 = lambda * service;
+    let analytic = rho * service / (2.0 * (1.0 - rho));
+    let simulated = md1_mean_wait(lambda, service, 400_000, 2);
+    let rel_err = (simulated - analytic).abs() / analytic;
+    assert!(
+        rel_err < 0.08,
+        "M/D/1 wait at ρ=0.85: simulated {simulated:.6}, analytic {analytic:.6}, err {rel_err:.3}"
+    );
+}
+
+#[test]
+fn md1_wait_negligible_at_low_load() {
+    // ρ = 0.05: waits must be close to zero.
+    let simulated = md1_mean_wait(5.0, 0.01, 100_000, 3);
+    assert!(simulated < 0.0005, "low-load wait {simulated}");
+}
+
+#[test]
+fn utilization_matches_rho() {
+    let lambda = 30.0;
+    let service = 0.02; // ρ = 0.6
+    let mut arrivals = PoissonArrivals::new(lambda);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut bus = Bus::new(SimTime::from_secs_f64(service));
+    let mut last = SimTime::ZERO;
+    for _ in 0..100_000 {
+        let t = arrivals.next_arrival(&mut rng);
+        last = bus.submit(t);
+    }
+    let u = bus.utilization(last);
+    assert!((u - 0.6).abs() < 0.02, "utilization {u} vs ρ=0.6");
+}

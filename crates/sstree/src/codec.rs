@@ -1,0 +1,221 @@
+//! Binary on-page SS-tree node format (mirrors the R\*-tree codec with a
+//! different magic and entry layout).
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "SSTN"
+//! 4       1     version (1)
+//! 5       1     node type (0 = leaf, 1 = internal)
+//! 6       2     dimensionality
+//! 8       4     level
+//! 12      4     number of entries
+//! 16      ...   entries
+//! ```
+//!
+//! Internal entry: `dim` f64 center + f64 radius + u64 child + u64 count.
+//! Leaf entry: `dim` f64 coordinates + u64 object id.
+
+use crate::node::{SsLeafEntry, SsNode, SsSphereEntry};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sqda_geom::Point;
+use sqda_storage::{PageId, StorageError};
+
+/// Fixed header size.
+pub const HEADER_SIZE: usize = 16;
+
+const MAGIC: &[u8; 4] = b"SSTN";
+const VERSION: u8 = 1;
+
+/// Bytes per internal entry.
+pub const fn internal_entry_size(dim: usize) -> usize {
+    dim * 8 + 8 + 8 + 8
+}
+
+/// Bytes per leaf entry.
+pub const fn leaf_entry_size(dim: usize) -> usize {
+    dim * 8 + 8
+}
+
+/// Serializes a node.
+pub fn encode_node(node: &SsNode, dim: usize) -> Bytes {
+    let (ty, level, n) = match node {
+        SsNode::Leaf(e) => (0u8, 0u32, e.len()),
+        SsNode::Internal { level, entries } => (1u8, *level, entries.len()),
+    };
+    let body = match node {
+        SsNode::Leaf(_) => n * leaf_entry_size(dim),
+        SsNode::Internal { .. } => n * internal_entry_size(dim),
+    };
+    let mut buf = BytesMut::with_capacity(HEADER_SIZE + body);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(ty);
+    buf.put_u16_le(dim as u16);
+    buf.put_u32_le(level);
+    buf.put_u32_le(n as u32);
+    match node {
+        SsNode::Leaf(entries) => {
+            for e in entries {
+                assert_eq!(e.point.dim(), dim, "leaf entry dimension mismatch");
+                for c in e.point.coords() {
+                    buf.put_f64_le(*c);
+                }
+                buf.put_u64_le(e.object);
+            }
+        }
+        SsNode::Internal { entries, .. } => {
+            for e in entries {
+                assert_eq!(e.center.dim(), dim, "entry dimension mismatch");
+                for c in e.center.coords() {
+                    buf.put_f64_le(*c);
+                }
+                buf.put_f64_le(e.radius);
+                buf.put_u64_le(e.child.as_raw());
+                buf.put_u64_le(e.count);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+fn corrupt(page: PageId, detail: impl Into<String>) -> StorageError {
+    StorageError::CorruptPage {
+        page,
+        detail: detail.into(),
+    }
+}
+
+/// Deserializes a node.
+pub fn decode_node(mut data: Bytes, dim: usize, page: PageId) -> Result<SsNode, StorageError> {
+    if data.len() < HEADER_SIZE {
+        return Err(corrupt(page, "short page"));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(corrupt(page, "bad magic"));
+    }
+    if data.get_u8() != VERSION {
+        return Err(corrupt(page, "unsupported version"));
+    }
+    let ty = data.get_u8();
+    let file_dim = data.get_u16_le() as usize;
+    if file_dim != dim {
+        return Err(corrupt(page, "dimension mismatch"));
+    }
+    let level = data.get_u32_le();
+    let n = data.get_u32_le() as usize;
+    match ty {
+        0 => {
+            if data.remaining() < n * leaf_entry_size(dim) {
+                return Err(corrupt(page, "truncated leaf entries"));
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let coords: Vec<f64> = (0..dim).map(|_| data.get_f64_le()).collect();
+                let object = data.get_u64_le();
+                entries.push(SsLeafEntry {
+                    point: Point::new(coords),
+                    object,
+                });
+            }
+            Ok(SsNode::Leaf(entries))
+        }
+        1 => {
+            if level == 0 {
+                return Err(corrupt(page, "internal node with level 0"));
+            }
+            if data.remaining() < n * internal_entry_size(dim) {
+                return Err(corrupt(page, "truncated internal entries"));
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let coords: Vec<f64> = (0..dim).map(|_| data.get_f64_le()).collect();
+                let radius = data.get_f64_le();
+                let child = PageId::from_raw(data.get_u64_le());
+                let count = data.get_u64_le();
+                if !radius.is_finite() || radius < 0.0 {
+                    return Err(corrupt(page, format!("bad radius {radius}")));
+                }
+                entries.push(SsSphereEntry {
+                    center: Point::new(coords),
+                    radius,
+                    child,
+                    count,
+                });
+            }
+            Ok(SsNode::Internal { level, entries })
+        }
+        other => Err(corrupt(page, format!("unknown node type {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page() -> PageId {
+        PageId::from_raw(3)
+    }
+
+    #[test]
+    fn roundtrip_both_kinds() {
+        for dim in [1usize, 2, 5, 10] {
+            let leaf = SsNode::Leaf(
+                (0..9)
+                    .map(|i| SsLeafEntry {
+                        point: Point::new((0..dim).map(|d| (i + d) as f64).collect()),
+                        object: i as u64,
+                    })
+                    .collect(),
+            );
+            assert_eq!(decode_node(encode_node(&leaf, dim), dim, page()).unwrap(), leaf);
+            let internal = SsNode::Internal {
+                level: 2,
+                entries: (0..5)
+                    .map(|i| SsSphereEntry {
+                        center: Point::new((0..dim).map(|d| (i * d) as f64).collect()),
+                        radius: i as f64 * 0.5,
+                        child: PageId::from_raw(10 + i as u64),
+                        count: 3 * (i as u64 + 1),
+                    })
+                    .collect(),
+            };
+            assert_eq!(
+                decode_node(encode_node(&internal, dim), dim, page()).unwrap(),
+                internal
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let node = SsNode::Leaf(vec![SsLeafEntry {
+            point: Point::new(vec![1.0, 2.0]),
+            object: 1,
+        }]);
+        let good = encode_node(&node, 2);
+        // Magic.
+        let mut bad = good.to_vec();
+        bad[0] = b'X';
+        assert!(decode_node(Bytes::from(bad), 2, page()).is_err());
+        // Wrong dim.
+        assert!(decode_node(good.clone(), 3, page()).is_err());
+        // Truncation.
+        assert!(decode_node(good.slice(0..10), 2, page()).is_err());
+        // Negative radius.
+        let internal = SsNode::Internal {
+            level: 1,
+            entries: vec![SsSphereEntry {
+                center: Point::new(vec![0.0, 0.0]),
+                radius: 1.0,
+                child: PageId::from_raw(1),
+                count: 1,
+            }],
+        };
+        let mut bytes = encode_node(&internal, 2).to_vec();
+        // Radius field sits after 2 f64 coords: offset 16 + 16.
+        bytes[32..40].copy_from_slice(&(-1.0f64).to_le_bytes());
+        assert!(decode_node(Bytes::from(bytes), 2, page()).is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! SS-tree nodes: sphere-bounded directory entries and point leaves.
+
+use sqda_geom::Point;
+use sqda_storage::PageId;
+
+/// A directory entry: a bounding sphere over a child subtree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SsSphereEntry {
+    /// Sphere center — the weighted centroid of the subtree's points.
+    pub center: Point,
+    /// Sphere radius: every point of the subtree lies within it.
+    pub radius: f64,
+    /// The child page.
+    pub child: PageId,
+    /// Data objects in the child subtree (the count augmentation).
+    pub count: u64,
+}
+
+/// A leaf entry: one data point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SsLeafEntry {
+    /// The indexed point.
+    pub point: Point,
+    /// Raw object id.
+    pub object: u64,
+}
+
+/// One SS-tree node (one page).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SsNode {
+    /// Level 0.
+    Leaf(Vec<SsLeafEntry>),
+    /// Level ≥ 1.
+    Internal {
+        /// Height above the leaves.
+        level: u32,
+        /// Child entries.
+        entries: Vec<SsSphereEntry>,
+    },
+}
+
+impl SsNode {
+    /// Node level (0 = leaf).
+    pub fn level(&self) -> u32 {
+        match self {
+            SsNode::Leaf(_) => 0,
+            SsNode::Internal { level, .. } => *level,
+        }
+    }
+
+    /// `true` for leaves.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, SsNode::Leaf(_))
+    }
+
+    /// Entry count.
+    pub fn len(&self) -> usize {
+        match self {
+            SsNode::Leaf(e) => e.len(),
+            SsNode::Internal { entries, .. } => entries.len(),
+        }
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total objects under the node.
+    pub fn object_count(&self) -> u64 {
+        match self {
+            SsNode::Leaf(e) => e.len() as u64,
+            SsNode::Internal { entries, .. } => entries.iter().map(|e| e.count).sum(),
+        }
+    }
+
+    /// The node's bounding sphere: count-weighted centroid plus the
+    /// smallest radius covering every child sphere / point. `None` for an
+    /// empty node.
+    pub fn bounding_sphere(&self) -> Option<(Point, f64)> {
+        if self.is_empty() {
+            return None;
+        }
+        match self {
+            SsNode::Leaf(entries) => {
+                let dim = entries[0].point.dim();
+                let mut center = vec![0.0f64; dim];
+                for e in entries {
+                    for (c, v) in center.iter_mut().zip(e.point.coords()) {
+                        *c += v;
+                    }
+                }
+                for c in &mut center {
+                    *c /= entries.len() as f64;
+                }
+                let center = Point::new(center);
+                let radius = entries
+                    .iter()
+                    .map(|e| center.dist(&e.point))
+                    .fold(0.0f64, f64::max);
+                Some((center, radius))
+            }
+            SsNode::Internal { entries, .. } => {
+                let dim = entries[0].center.dim();
+                let total: u64 = entries.iter().map(|e| e.count).sum();
+                let mut center = vec![0.0f64; dim];
+                for e in entries {
+                    let w = e.count as f64 / total as f64;
+                    for (c, v) in center.iter_mut().zip(e.center.coords()) {
+                        *c += w * v;
+                    }
+                }
+                let center = Point::new(center);
+                let radius = entries
+                    .iter()
+                    .map(|e| center.dist(&e.center) + e.radius)
+                    .fold(0.0f64, f64::max);
+                Some((center, radius))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_bounding_sphere() {
+        let node = SsNode::Leaf(vec![
+            SsLeafEntry {
+                point: Point::new(vec![0.0, 0.0]),
+                object: 0,
+            },
+            SsLeafEntry {
+                point: Point::new(vec![2.0, 0.0]),
+                object: 1,
+            },
+        ]);
+        let (c, r) = node.bounding_sphere().unwrap();
+        assert_eq!(c, Point::new(vec![1.0, 0.0]));
+        assert!((r - 1.0).abs() < 1e-12);
+        assert_eq!(node.object_count(), 2);
+        assert!(node.is_leaf());
+    }
+
+    #[test]
+    fn internal_weighted_centroid() {
+        let node = SsNode::Internal {
+            level: 1,
+            entries: vec![
+                SsSphereEntry {
+                    center: Point::new(vec![0.0]),
+                    radius: 1.0,
+                    child: PageId::from_raw(1),
+                    count: 3,
+                },
+                SsSphereEntry {
+                    center: Point::new(vec![4.0]),
+                    radius: 0.5,
+                    child: PageId::from_raw(2),
+                    count: 1,
+                },
+            ],
+        };
+        let (c, r) = node.bounding_sphere().unwrap();
+        // Weighted center: (3*0 + 1*4)/4 = 1.
+        assert_eq!(c, Point::new(vec![1.0]));
+        // Radius covers both spheres: max(1+1, 3+0.5) = 3.5.
+        assert!((r - 3.5).abs() < 1e-12);
+        assert_eq!(node.object_count(), 4);
+        assert_eq!(node.level(), 1);
+    }
+
+    #[test]
+    fn empty_node() {
+        let node = SsNode::Leaf(vec![]);
+        assert!(node.bounding_sphere().is_none());
+        assert!(node.is_empty());
+    }
+}

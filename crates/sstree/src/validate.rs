@@ -1,0 +1,176 @@
+//! SS-tree structural invariants.
+
+use crate::node::SsNode;
+use crate::tree::{Result, SsTree};
+use sqda_storage::{PageId, PageStore};
+
+/// A violated SS-tree invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SsValidationError {
+    /// A parent entry's sphere fails to cover the child subtree.
+    SphereTooSmall {
+        /// Parent node.
+        parent: PageId,
+        /// Child node.
+        child: PageId,
+        /// Required radius (from the child contents).
+        required: f64,
+        /// Recorded radius.
+        recorded: f64,
+    },
+    /// A parent entry's count disagrees with the child subtree.
+    WrongCount {
+        /// Parent node.
+        parent: PageId,
+        /// Child node.
+        child: PageId,
+        /// Recorded count.
+        recorded: u64,
+        /// Actual count.
+        actual: u64,
+    },
+    /// Child level is not parent level − 1.
+    BrokenLevel {
+        /// Parent node.
+        parent: PageId,
+    },
+    /// Node fill outside bounds.
+    BadFill {
+        /// The offending node.
+        page: PageId,
+        /// Entries present.
+        len: usize,
+    },
+    /// Recorded totals disagree with the structure.
+    WrongTotal {
+        /// Recorded object count.
+        recorded: u64,
+        /// Actual leaf entries.
+        actual: u64,
+    },
+}
+
+impl std::fmt::Display for SsValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SsValidationError::SphereTooSmall {
+                parent,
+                child,
+                required,
+                recorded,
+            } => write!(
+                f,
+                "sphere in {parent} over {child} too small: {recorded} < required {required}"
+            ),
+            SsValidationError::WrongCount {
+                parent,
+                child,
+                recorded,
+                actual,
+            } => write!(f, "count in {parent} over {child}: {recorded} != {actual}"),
+            SsValidationError::BrokenLevel { parent } => {
+                write!(f, "level mismatch under {parent}")
+            }
+            SsValidationError::BadFill { page, len } => {
+                write!(f, "node {page} has {len} entries (outside bounds)")
+            }
+            SsValidationError::WrongTotal { recorded, actual } => {
+                write!(f, "tree records {recorded} objects, found {actual}")
+            }
+        }
+    }
+}
+
+/// Checks all invariants; returns the first violation.
+pub fn validate<S: PageStore>(
+    tree: &SsTree<S>,
+) -> Result<std::result::Result<(), SsValidationError>> {
+    let mut total = 0u64;
+    let root_page = tree.root_page();
+    let root = tree.read_node(root_page)?;
+    if let Err(e) = check(tree, root_page, &root, true, &mut total)? {
+        return Ok(Err(e));
+    }
+    if total != tree.num_objects() {
+        return Ok(Err(SsValidationError::WrongTotal {
+            recorded: tree.num_objects(),
+            actual: total,
+        }));
+    }
+    Ok(Ok(()))
+}
+
+fn check<S: PageStore>(
+    tree: &SsTree<S>,
+    page: PageId,
+    node: &SsNode,
+    is_root: bool,
+    total: &mut u64,
+) -> Result<std::result::Result<u64, SsValidationError>> {
+    let (min, max) = if node.is_leaf() {
+        (
+            tree.config().min_leaf_entries(),
+            tree.config().max_leaf_entries,
+        )
+    } else {
+        (
+            tree.config().min_internal_entries(),
+            tree.config().max_internal_entries,
+        )
+    };
+    if (!is_root && (node.len() < min || node.len() > max)) || (is_root && node.len() > max) {
+        return Ok(Err(SsValidationError::BadFill {
+            page,
+            len: node.len(),
+        }));
+    }
+    match node {
+        SsNode::Leaf(entries) => {
+            *total += entries.len() as u64;
+            Ok(Ok(entries.len() as u64))
+        }
+        SsNode::Internal { level, entries } => {
+            let mut subtree = 0u64;
+            for e in entries {
+                let child = tree.read_node(e.child)?;
+                if child.level() + 1 != *level {
+                    return Ok(Err(SsValidationError::BrokenLevel { parent: page }));
+                }
+                // Coverage: every point/sphere of the child must lie within
+                // the recorded sphere (with numeric slack).
+                let required = match &child {
+                    SsNode::Leaf(points) => points
+                        .iter()
+                        .map(|le| e.center.dist(&le.point))
+                        .fold(0.0f64, f64::max),
+                    SsNode::Internal { entries, .. } => entries
+                        .iter()
+                        .map(|ce| e.center.dist(&ce.center) + ce.radius)
+                        .fold(0.0f64, f64::max),
+                };
+                if e.radius + 1e-9 * (1.0 + required) < required {
+                    return Ok(Err(SsValidationError::SphereTooSmall {
+                        parent: page,
+                        child: e.child,
+                        required,
+                        recorded: e.radius,
+                    }));
+                }
+                let child_count = match check(tree, e.child, &child, false, total)? {
+                    Ok(c) => c,
+                    Err(err) => return Ok(Err(err)),
+                };
+                if child_count != e.count {
+                    return Ok(Err(SsValidationError::WrongCount {
+                        parent: page,
+                        child: e.child,
+                        recorded: e.count,
+                        actual: child_count,
+                    }));
+                }
+                subtree += child_count;
+            }
+            Ok(Ok(subtree))
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Property-based tests: arbitrary insertion workloads keep the SS-tree
+//! valid and its answers exact.
+
+use proptest::prelude::*;
+use sqda_core::{exec::run_query, AlgorithmKind};
+use sqda_geom::Point;
+use sqda_sstree::{SsConfig, SsTree};
+use sqda_storage::ArrayStore;
+use std::sync::Arc;
+
+fn build(points: &[(f64, f64)]) -> SsTree<ArrayStore> {
+    let store = Arc::new(ArrayStore::new(4, 1449, 11));
+    let mut tree = SsTree::create(store, SsConfig::new(2).with_max_entries(5)).unwrap();
+    for (i, (x, y)) in points.iter().enumerate() {
+        tree.insert(Point::new(vec![*x, *y]), i as u64).unwrap();
+    }
+    tree
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn invariants_hold(
+        points in proptest::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 1..300),
+    ) {
+        let tree = build(&points);
+        prop_assert_eq!(tree.num_objects() as usize, points.len());
+        tree.validate().unwrap().unwrap();
+    }
+
+    #[test]
+    fn algorithms_match_brute_force(
+        points in proptest::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 1..250),
+        qx in -120.0..120.0f64,
+        qy in -120.0..120.0f64,
+        k in 1usize..25,
+    ) {
+        let tree = build(&points);
+        let q = Point::new(vec![qx, qy]);
+        let mut want: Vec<f64> = points
+            .iter()
+            .map(|(x, y)| (qx - x) * (qx - x) + (qy - y) * (qy - y))
+            .collect();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        want.truncate(k);
+        for kind in AlgorithmKind::ALL {
+            let mut algo = kind.build(&tree, q.clone(), k).unwrap();
+            let run = run_query(&tree, algo.as_mut()).unwrap();
+            prop_assert_eq!(run.results.len(), want.len(), "{}", kind);
+            for (g, w) in run.results.iter().zip(want.iter()) {
+                prop_assert!((g.dist_sq - w).abs() < 1e-9, "{}", kind);
+            }
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! A small fixed-capacity LRU page cache.
+//!
+//! The paper's experiments count every node access as a disk access (no
+//! buffer pool), so the experiment harness leaves the cache out. The cache
+//! is provided for library users who want realistic repeated-query
+//! workloads, and for the "cached root" configuration, where the root page
+//! (read by every single query) is pinned in memory.
+
+use crate::PageId;
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// A fixed-capacity least-recently-used page cache.
+///
+/// Uses an intrusive doubly-linked list over a slab, with a `HashMap` index
+/// — O(1) `get` / `insert` / eviction.
+pub struct LruCache {
+    capacity: usize,
+    map: HashMap<PageId, usize>,
+    entries: Vec<EntrySlot>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    free: Vec<usize>,
+    hits: u64,
+    misses: u64,
+}
+
+struct EntrySlot {
+    page: PageId,
+    data: Bytes,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+impl LruCache {
+    /// Creates a cache holding at most `capacity` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached pages.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Cache hits since creation.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses since creation.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; 0 when no lookups have happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.entries[idx].prev, self.entries[idx].next);
+        if prev != NIL {
+            self.entries[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.entries[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.entries[idx].prev = NIL;
+        self.entries[idx].next = self.head;
+        if self.head != NIL {
+            self.entries[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Looks up a page, marking it most-recently-used on a hit.
+    pub fn get(&mut self, page: PageId) -> Option<Bytes> {
+        match self.map.get(&page).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                if self.head != idx {
+                    self.unlink(idx);
+                    self.push_front(idx);
+                }
+                Some(self.entries[idx].data.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a page, evicting the LRU entry if full.
+    /// Returns the evicted page id, if any.
+    pub fn insert(&mut self, page: PageId, data: Bytes) -> Option<PageId> {
+        if let Some(&idx) = self.map.get(&page) {
+            self.entries[idx].data = data;
+            if self.head != idx {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            return None;
+        }
+        let mut evicted = None;
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            let victim = self.entries[lru].page;
+            self.unlink(lru);
+            self.map.remove(&victim);
+            self.free.push(lru);
+            evicted = Some(victim);
+        }
+        let slot = EntrySlot {
+            page,
+            data,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = if let Some(idx) = self.free.pop() {
+            self.entries[idx] = slot;
+            idx
+        } else {
+            self.entries.push(slot);
+            self.entries.len() - 1
+        };
+        self.map.insert(page, idx);
+        self.push_front(idx);
+        evicted
+    }
+
+    /// Removes a page from the cache (e.g. on page free or update).
+    pub fn invalidate(&mut self, page: PageId) -> bool {
+        if let Some(idx) = self.map.remove(&page) {
+            self.unlink(idx);
+            self.free.push(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops all cached pages and resets statistics.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.entries.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(n: u64) -> PageId {
+        PageId::from_raw(n)
+    }
+
+    fn data(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = LruCache::new(2);
+        assert!(c.get(page(1)).is_none());
+        c.insert(page(1), data("a"));
+        assert_eq!(c.get(page(1)).unwrap(), data("a"));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(page(1), data("a"));
+        c.insert(page(2), data("b"));
+        // Touch 1 so 2 becomes LRU.
+        c.get(page(1));
+        let evicted = c.insert(page(3), data("c"));
+        assert_eq!(evicted, Some(page(2)));
+        assert!(c.get(page(2)).is_none());
+        assert!(c.get(page(1)).is_some());
+        assert!(c.get(page(3)).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut c = LruCache::new(2);
+        c.insert(page(1), data("a"));
+        c.insert(page(2), data("b"));
+        assert_eq!(c.insert(page(1), data("a2")), None);
+        assert_eq!(c.get(page(1)).unwrap(), data("a2"));
+        // 2 is now LRU.
+        assert_eq!(c.insert(page(3), data("c")), Some(page(2)));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = LruCache::new(2);
+        c.insert(page(1), data("a"));
+        assert!(c.invalidate(page(1)));
+        assert!(!c.invalidate(page(1)));
+        assert!(c.get(page(1)).is_none());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn capacity_one_cycles() {
+        let mut c = LruCache::new(1);
+        for i in 0..10 {
+            let evicted = c.insert(page(i), data("x"));
+            if i > 0 {
+                assert_eq!(evicted, Some(page(i - 1)));
+            }
+            assert_eq!(c.len(), 1);
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = LruCache::new(4);
+        c.insert(page(1), data("a"));
+        c.get(page(1));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.hits(), 0);
+        // Reusable after clear.
+        c.insert(page(2), data("b"));
+        assert!(c.get(page(2)).is_some());
+    }
+
+    #[test]
+    fn heavy_churn_consistency() {
+        let mut c = LruCache::new(8);
+        for round in 0..1000u64 {
+            c.insert(page(round % 20), Bytes::from(round.to_string()));
+            if round % 3 == 0 {
+                c.get(page(round % 20));
+            }
+            if round % 7 == 0 {
+                c.invalidate(page((round + 3) % 20));
+            }
+            assert!(c.len() <= 8);
+        }
+    }
+}

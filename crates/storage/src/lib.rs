@@ -1,0 +1,33 @@
+//! Paged storage layer for a declustered access method on a disk array.
+//!
+//! The SIGMOD'98 system distributes the pages (nodes) of an R\*-tree over
+//! the disks of a RAID level-0 array, with the striping unit equal to one
+//! disk block (= one tree node = one page). This crate provides:
+//!
+//! * [`PageId`] — stable page identifiers,
+//! * [`Placement`] — which disk a page lives on and at which cylinder
+//!   (the cylinder drives the seek-time model of the simulator),
+//! * the [`PageStore`] trait — allocate / read / write / free pages with
+//!   explicit disk placement, plus per-disk I/O accounting,
+//! * [`ArrayStore`] — the in-memory RAID-0 store used by the simulation
+//!   (contents are held in RAM; *timing* is provided by `sqda-simkernel`),
+//! * [`LruCache`] — an optional fixed-capacity page cache.
+//!
+//! Separating *what is stored where* (this crate) from *how long an access
+//! takes* (the simulator) lets the similarity-search algorithms run either
+//! logically (counting node accesses, Figures 8–9 of the paper) or under
+//! the full event-driven timing model (Figures 10–12, Tables 3–4).
+
+mod cache;
+mod error;
+mod filestore;
+mod page;
+mod placement;
+mod store;
+
+pub use cache::LruCache;
+pub use error::{Result, StorageError};
+pub use filestore::FileStore;
+pub use page::{PageId, DEFAULT_PAGE_SIZE};
+pub use placement::{DiskId, Placement};
+pub use store::{ArrayStore, IoStats, PageStore};

@@ -1,0 +1,72 @@
+//! Quickstart: build a declustered R*-tree on a simulated 8-disk array,
+//! run the same k-NN query through all four algorithms, and compare their
+//! I/O behaviour.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sqda::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // 1. A RAID-0 array of 8 disks (HP-C2200A geometry: 1449 cylinders).
+    let store = Arc::new(ArrayStore::new(8, 1449, 42));
+
+    // 2. An R*-tree for 2-d points, declustered with the Proximity-Index
+    //    heuristic: sibling nodes that are spatially close land on
+    //    different disks so one query can fetch them in parallel.
+    let mut tree = RStarTree::create(
+        store,
+        RStarConfig::new(2),
+        Box::new(ProximityIndex),
+    )
+    .expect("create tree");
+
+    // 3. Index a spiral of 20,000 points.
+    for i in 0..20_000u64 {
+        let t = i as f64 * 0.01;
+        let r = 1.0 + t.sqrt() * 3.0;
+        let p = Point::new(vec![r * t.cos(), r * t.sin()]);
+        tree.insert(p, i).expect("insert");
+    }
+    println!(
+        "indexed {} points; tree height {}, root on page {}",
+        tree.num_objects(),
+        tree.height(),
+        tree.root_page()
+    );
+
+    // 4. Ask for the 10 nearest neighbours of the origin with each
+    //    algorithm. All four return identical answers; they differ in how
+    //    many nodes they touch and how much parallelism they use.
+    let query = Point::new(vec![0.0, 0.0]);
+    println!("\n{:<8} {:>12} {:>10} {:>10}", "algo", "nodes", "batches", "max batch");
+    let mut reference: Option<Vec<u64>> = None;
+    for kind in AlgorithmKind::ALL {
+        let mut algo = kind.build(&tree, query.clone(), 10).expect("build algorithm");
+        let run = run_query(&tree, algo.as_mut()).expect("run query");
+        println!(
+            "{:<8} {:>12} {:>10} {:>10}",
+            kind.name(),
+            run.nodes_visited,
+            run.batches,
+            run.max_batch
+        );
+        let ids: Vec<u64> = run.results.iter().map(|n| n.object.0).collect();
+        match &reference {
+            None => reference = Some(ids),
+            Some(want) => assert_eq!(&ids, want, "{kind} disagreed"),
+        }
+    }
+
+    // 5. The answers themselves.
+    let mut crss = AlgorithmKind::Crss
+        .build(&tree, query, 10)
+        .expect("build CRSS");
+    let run = run_query(&tree, crss.as_mut()).expect("run CRSS");
+    println!("\n10 nearest neighbours of the origin:");
+    for n in &run.results {
+        println!("  {}  at {}  (distance {:.3})", n.object, n.point, n.dist());
+    }
+}
