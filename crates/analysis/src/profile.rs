@@ -63,7 +63,13 @@ impl TreeProfile {
                 nodes: nodes[l],
                 mean_extent: extent_sums[l]
                     .iter()
-                    .map(|s| if nodes[l] == 0 { 0.0 } else { s / nodes[l] as f64 })
+                    .map(|s| {
+                        if nodes[l] == 0 {
+                            0.0
+                        } else {
+                            s / nodes[l] as f64
+                        }
+                    })
                     .collect(),
             })
             .collect();

@@ -174,7 +174,9 @@ mod tests {
             batches: 5.0,
         };
         let rs = estimate_response(&params, serial, 5.0).response_s.unwrap();
-        let rp = estimate_response(&params, parallel, 5.0).response_s.unwrap();
+        let rp = estimate_response(&params, parallel, 5.0)
+            .response_s
+            .unwrap();
         assert!(rp < rs / 2.0, "parallel {rp} vs serial {rs}");
     }
 }

@@ -3,8 +3,7 @@
 //! (response times).
 
 use sqda_analysis::{
-    estimate_response, expected_knn_accesses, expected_range_accesses, QueryIoProfile,
-    TreeProfile,
+    estimate_response, expected_knn_accesses, expected_range_accesses, QueryIoProfile, TreeProfile,
 };
 use sqda_core::{exec::run_query, AlgorithmKind, Simulation, Workload};
 use sqda_datasets::uniform;
@@ -17,12 +16,8 @@ use std::sync::Arc;
 fn build(n: usize, dim: usize, disks: u32) -> (RStarTree<ArrayStore>, sqda_datasets::Dataset) {
     let dataset = uniform(n, dim, 42);
     let store = Arc::new(ArrayStore::new(disks, 1449, 7));
-    let mut tree = RStarTree::create(
-        store,
-        RStarConfig::new(dim),
-        Box::new(ProximityIndex),
-    )
-    .unwrap();
+    let mut tree =
+        RStarTree::create(store, RStarConfig::new(dim), Box::new(ProximityIndex)).unwrap();
     for (i, p) in dataset.points.iter().enumerate() {
         tree.insert(p.clone(), i as u64).unwrap();
     }
@@ -77,7 +72,7 @@ fn response_estimate_tracks_simulation_below_saturation() {
     let (tree, dataset) = build(10_000, 2, 10);
     let queries = dataset.sample_queries(60, 13);
     let params = SystemParams::with_disks(10);
-    let sim = Simulation::new(&tree, params.clone());
+    let sim = Simulation::new(&tree, params.clone()).unwrap();
     let k = 20;
     for lambda in [1.0f64, 5.0] {
         // Measure the CRSS I/O profile once (logical executor).

@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks for the decoded-node cache: the same
+//! best-first k-NN read path with and without a `NodeCache`, driven by a
+//! single thread and by a pool of concurrent readers. The uncached path
+//! decodes every visited page on every query; the cached path should
+//! amortize decoding away once the working set is resident.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqda_bench::build_tree;
+use sqda_datasets::california_like;
+use sqda_rstar::RStarTree;
+use sqda_storage::{ArrayStore, NodeCache};
+use std::sync::Arc;
+
+const READER_THREADS: usize = 4;
+
+fn make_trees() -> (
+    RStarTree<ArrayStore>,
+    RStarTree<ArrayStore>,
+    Vec<sqda_geom::Point>,
+) {
+    let dataset = california_like(20_000, 41);
+    let plain = build_tree(&dataset, 10, 42);
+    let mut cached = build_tree(&dataset, 10, 42);
+    cached.set_node_cache(Arc::new(NodeCache::new(4096)));
+    let queries = dataset.sample_queries(64, 43);
+    // Warm the cache so the benchmark measures the steady state.
+    for q in &queries {
+        cached.knn(q, 20).unwrap();
+    }
+    (plain, cached, queries)
+}
+
+fn bench_single_thread(c: &mut Criterion) {
+    let (plain, cached, queries) = make_trees();
+    let mut group = c.benchmark_group("read_path_single_thread");
+    for (name, tree) in [("uncached", &plain), ("cached", &cached)] {
+        group.bench_with_input(BenchmarkId::new("knn_k20", name), tree, |b, tree| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(tree.knn(q, 20).unwrap().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_multi_thread(c: &mut Criterion) {
+    let (plain, cached, queries) = make_trees();
+    let mut group = c.benchmark_group("read_path_multi_thread");
+    group.sample_size(20);
+    for (name, tree) in [("uncached", &plain), ("cached", &cached)] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("knn_k20_x{READER_THREADS}"), name),
+            tree,
+            |b, tree| {
+                b.iter(|| {
+                    // One batch of queries split over the reader pool;
+                    // the lock-free stats path and the shared cache are
+                    // both under contention here.
+                    std::thread::scope(|scope| {
+                        for t in 0..READER_THREADS {
+                            let queries = &queries;
+                            scope.spawn(move || {
+                                let mut found = 0usize;
+                                for q in queries.iter().skip(t).step_by(READER_THREADS) {
+                                    found += tree.knn(q, 20).unwrap().len();
+                                }
+                                black_box(found)
+                            });
+                        }
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_thread, bench_multi_thread);
+criterion_main!(benches);

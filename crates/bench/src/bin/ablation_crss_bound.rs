@@ -26,7 +26,7 @@ fn main() {
         &["u", "mean resp (s)", "nodes/query", "max batch"],
     );
     let params = SystemParams::with_disks(10);
-    let sim = Simulation::new(&tree, params);
+    let sim = Simulation::new(&tree, params).expect("simulation");
     for u in [1usize, 2, 5, 10, 20, 40] {
         // Response time under the simulator.
         // The simulator builds its own algorithm instances via

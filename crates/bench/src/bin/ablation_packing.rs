@@ -2,9 +2,7 @@
 //! (the paper's dynamic setting) vs STR, Morton-curve, and Hilbert-curve
 //! packed bulk loads, compared on tree quality and CRSS performance.
 
-use sqda_bench::{
-    build_tree, experiment_page_size, f2, f4, simulate, ExpOptions, ResultsTable,
-};
+use sqda_bench::{build_tree, experiment_page_size, f2, f4, simulate, ExpOptions, ResultsTable};
 use sqda_core::AlgorithmKind;
 use sqda_datasets::california_like;
 use sqda_rstar::decluster::ProximityIndex;

@@ -6,9 +6,7 @@
 //! from the M/M/1-style queueing model, against the logical executor and
 //! the event-driven simulator respectively.
 
-use sqda_analysis::{
-    estimate_response, expected_knn_accesses, QueryIoProfile, TreeProfile,
-};
+use sqda_analysis::{estimate_response, expected_knn_accesses, QueryIoProfile, TreeProfile};
 use sqda_bench::{build_tree, f2, f4, mean_nodes, simulate, ExpOptions, ResultsTable};
 use sqda_core::{exec::run_query, AlgorithmKind};
 use sqda_datasets::uniform;
@@ -50,7 +48,9 @@ fn main() {
     let mut accesses = 0.0;
     let mut batches = 0.0;
     for q in &queries {
-        let mut algo = AlgorithmKind::Crss.build(&tree, q.clone(), k).expect("algo");
+        let mut algo = AlgorithmKind::Crss
+            .build(&tree, q.clone(), k)
+            .expect("algo");
         let run = run_query(&tree, algo.as_mut()).expect("query");
         accesses += run.nodes_visited as f64;
         batches += run.batches as f64;

@@ -28,11 +28,17 @@ fn main() {
     // --- Extension 1: shadowed disks ---
     let mut t1 = ResultsTable::new(
         "Extension — shadowed (mirrored) disks, CRSS, 10 disks, k=20",
-        &["lambda", "RAID-0 resp (s)", "mirrored resp (s)", "improvement"],
+        &[
+            "lambda",
+            "RAID-0 resp (s)",
+            "mirrored resp (s)",
+            "improvement",
+        ],
     );
     for lambda in [1.0f64, 5.0, 10.0, 20.0] {
         let w = Workload::poisson(queries.clone(), k, lambda, 1812);
         let plain = Simulation::new(&tree, SystemParams::with_disks(10))
+            .expect("simulation")
             .run(AlgorithmKind::Crss, &w, 1813)
             .expect("simulation");
         let mirrored = Simulation::new(
@@ -42,6 +48,7 @@ fn main() {
                 ..SystemParams::with_disks(10)
             },
         )
+        .expect("simulation")
         .run(AlgorithmKind::Crss, &w, 1813)
         .expect("simulation");
         t1.row(vec![
@@ -70,6 +77,7 @@ fn main() {
             ..SystemParams::with_disks(10)
         };
         let r = Simulation::new(&tree, params)
+            .expect("simulation")
             .run(AlgorithmKind::Fpss, &w, 1815)
             .expect("simulation");
         t2.row(vec![

@@ -17,8 +17,8 @@ use std::sync::Arc;
 fn build_sstree(dataset: &Dataset, disks: u32, seed: u64) -> SsTree<ArrayStore> {
     let page = experiment_page_size(dataset.dim);
     let store = Arc::new(ArrayStore::with_page_size(disks, 1449, page, seed));
-    let mut tree = SsTree::create(store, SsConfig::with_page_size(dataset.dim, page))
-        .expect("create SS-tree");
+    let mut tree =
+        SsTree::create(store, SsConfig::with_page_size(dataset.dim, page)).expect("create SS-tree");
     for (i, p) in dataset.points.iter().enumerate() {
         tree.insert(p.clone(), i as u64).expect("insert");
     }
@@ -26,11 +26,7 @@ fn build_sstree(dataset: &Dataset, disks: u32, seed: u64) -> SsTree<ArrayStore> 
     tree
 }
 
-fn measure(
-    am: &dyn AccessMethod,
-    queries: &[sqda_geom::Point],
-    k: usize,
-) -> (f64, f64, f64) {
+fn measure(am: &dyn AccessMethod, queries: &[sqda_geom::Point], k: usize) -> (f64, f64, f64) {
     let mut crss_nodes = 0u64;
     let mut bbss_nodes = 0u64;
     for q in queries {
@@ -39,7 +35,7 @@ fn measure(
         let mut bbss = AlgorithmKind::Bbss.build(am, q.clone(), k).expect("algo");
         bbss_nodes += run_query(am, bbss.as_mut()).expect("query").nodes_visited;
     }
-    let sim = Simulation::new(am, SystemParams::with_disks(am.num_disks()));
+    let sim = Simulation::new(am, SystemParams::with_disks(am.num_disks())).expect("simulation");
     let w = Workload::poisson(queries.to_vec(), k, 5.0, 2301);
     let resp = sim
         .run(AlgorithmKind::Crss, &w, 2302)

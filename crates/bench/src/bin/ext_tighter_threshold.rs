@@ -37,48 +37,43 @@ fn main() {
         let tree = build_tree(&dataset, 10, 2110);
         let queries = dataset.sample_queries(opts.queries(), 2111);
         for k in [1usize, 2, 5, 20] {
-        let mut stock_nodes = 0u64;
-        let mut tight_nodes = 0u64;
-        for q in &queries {
-            let mut stock = Crss::new(&tree, q.clone(), k);
-            let mut tight = Crss::new(&tree, q.clone(), k).with_minmax_threshold();
-            stock_nodes += run_query(&tree, &mut stock).expect("query").nodes_visited;
-            tight_nodes += run_query(&tree, &mut tight).expect("query").nodes_visited;
-        }
-        let params = SystemParams::with_disks(tree.store().num_disks());
-        let sim = Simulation::new(&tree, params);
-        let w = Workload::poisson(queries.clone(), k, lambda, 2112);
-        let stock_resp = sim
-            .run_with(
-                |p, kk| Box::new(Crss::new(&tree, p, kk)),
-                "CRSS",
-                &w,
-                2113,
-            )
-            .expect("simulation")
-            .mean_response_s;
-        let tight_resp = sim
-            .run_with(
-                |p, kk| Box::new(Crss::new(&tree, p, kk).with_minmax_threshold()),
-                "CRSS+mm",
-                &w,
-                2113,
-            )
-            .expect("simulation")
-            .mean_response_s;
-        let n = queries.len() as f64;
-        table.row(vec![
-            dataset.name.clone(),
-            k.to_string(),
-            f2(stock_nodes as f64 / n),
-            f2(tight_nodes as f64 / n),
-            format!(
-                "{:.1}%",
-                (1.0 - tight_nodes as f64 / stock_nodes as f64) * 100.0
-            ),
-            f4(stock_resp),
-            f4(tight_resp),
-        ]);
+            let mut stock_nodes = 0u64;
+            let mut tight_nodes = 0u64;
+            for q in &queries {
+                let mut stock = Crss::new(&tree, q.clone(), k);
+                let mut tight = Crss::new(&tree, q.clone(), k).with_minmax_threshold();
+                stock_nodes += run_query(&tree, &mut stock).expect("query").nodes_visited;
+                tight_nodes += run_query(&tree, &mut tight).expect("query").nodes_visited;
+            }
+            let params = SystemParams::with_disks(tree.store().num_disks());
+            let sim = Simulation::new(&tree, params).expect("simulation");
+            let w = Workload::poisson(queries.clone(), k, lambda, 2112);
+            let stock_resp = sim
+                .run_with(|p, kk| Box::new(Crss::new(&tree, p, kk)), "CRSS", &w, 2113)
+                .expect("simulation")
+                .mean_response_s;
+            let tight_resp = sim
+                .run_with(
+                    |p, kk| Box::new(Crss::new(&tree, p, kk).with_minmax_threshold()),
+                    "CRSS+mm",
+                    &w,
+                    2113,
+                )
+                .expect("simulation")
+                .mean_response_s;
+            let n = queries.len() as f64;
+            table.row(vec![
+                dataset.name.clone(),
+                k.to_string(),
+                f2(stock_nodes as f64 / n),
+                f2(tight_nodes as f64 / n),
+                format!(
+                    "{:.1}%",
+                    (1.0 - tight_nodes as f64 / stock_nodes as f64) * 100.0
+                ),
+                f4(stock_resp),
+                f4(tight_resp),
+            ]);
         }
     }
     table.print();

@@ -5,7 +5,7 @@
 //! k grows; CRSS overtakes it past a crossover; FPSS visits the most;
 //! WOPTSS is the floor.
 
-use sqda_bench::{build_tree, f2, mean_nodes, ExpOptions, ResultsTable};
+use sqda_bench::{build_tree, f2, mean_nodes, parallel_map, ExpOptions, ResultsTable};
 use sqda_core::AlgorithmKind;
 use sqda_datasets::{california_like, long_beach_like, CP_CARDINALITY, LB_CARDINALITY};
 
@@ -31,11 +31,16 @@ fn main() {
             ),
             &["k", "BBSS", "FPSS", "CRSS", "WOPTSS"],
         );
-        for &k in ks {
+        let points: Vec<(usize, AlgorithmKind)> = ks
+            .iter()
+            .flat_map(|&k| AlgorithmKind::ALL.map(|kind| (k, kind)))
+            .collect();
+        let cells = parallel_map(&points, opts.jobs, |&(k, kind)| {
+            f2(mean_nodes(&tree, &queries, k, kind))
+        });
+        for (i, &k) in ks.iter().enumerate() {
             let mut row = vec![k.to_string()];
-            for kind in AlgorithmKind::ALL {
-                row.push(f2(mean_nodes(&tree, &queries, k, kind)));
-            }
+            row.extend_from_slice(&cells[i * 4..(i + 1) * 4]);
             table.row(row);
         }
         table.print();

@@ -6,7 +6,7 @@
 //! descent degrades with k, and CRSS stays closest to the WOPTSS floor
 //! (ratios within a few percent).
 
-use sqda_bench::{build_tree, mean_nodes, ExpOptions, ResultsTable};
+use sqda_bench::{build_tree, mean_nodes, parallel_map, ExpOptions, ResultsTable};
 use sqda_core::AlgorithmKind;
 use sqda_datasets::{gaussian, uniform};
 
@@ -30,13 +30,27 @@ fn main() {
                 dataset.name,
                 dataset.len()
             ),
-            &["k", "BBSS/WOPTSS", "FPSS/WOPTSS", "CRSS/WOPTSS", "WOPTSS(abs)"],
+            &[
+                "k",
+                "BBSS/WOPTSS",
+                "FPSS/WOPTSS",
+                "CRSS/WOPTSS",
+                "WOPTSS(abs)",
+            ],
         );
-        for &k in ks {
-            let wopt = mean_nodes(&tree, &queries, k, AlgorithmKind::Woptss);
+        // WOPTSS is ALL's last element, so cells[i*4 + 3] is the
+        // normalizer for row i.
+        let points: Vec<(usize, AlgorithmKind)> = ks
+            .iter()
+            .flat_map(|&k| AlgorithmKind::ALL.map(|kind| (k, kind)))
+            .collect();
+        let cells = parallel_map(&points, opts.jobs, |&(k, kind)| {
+            mean_nodes(&tree, &queries, k, kind)
+        });
+        for (i, &k) in ks.iter().enumerate() {
+            let wopt = cells[i * 4 + 3];
             let mut row = vec![k.to_string()];
-            for kind in AlgorithmKind::REAL {
-                let nodes = mean_nodes(&tree, &queries, k, kind);
+            for nodes in &cells[i * 4..i * 4 + 3] {
                 row.push(format!("{:.4}", nodes / wopt));
             }
             row.push(format!("{wopt:.2}"));

@@ -7,7 +7,7 @@
 //! pages); for small loads and many disks it can be marginally better
 //! than CRSS, but degrades fastest as λ grows; WOPTSS is the floor.
 
-use sqda_bench::{build_tree, f4, simulate, ExpOptions, ResultsTable};
+use sqda_bench::{build_tree, f4, parallel_map, simulate, ExpOptions, ResultsTable};
 use sqda_core::AlgorithmKind;
 use sqda_datasets::{california_like, long_beach_like, CP_CARDINALITY, LB_CARDINALITY};
 
@@ -54,12 +54,17 @@ fn main() {
             ),
             &["lambda", "BBSS", "FPSS", "CRSS", "WOPTSS"],
         );
-        for &lambda in &cfg.lambdas {
+        let points: Vec<(f64, AlgorithmKind)> = cfg
+            .lambdas
+            .iter()
+            .flat_map(|&lambda| AlgorithmKind::ALL.map(|kind| (lambda, kind)))
+            .collect();
+        let cells = parallel_map(&points, opts.jobs, |&(lambda, kind)| {
+            f4(simulate(&tree, &queries, cfg.k, lambda, kind, 1012).mean_response_s)
+        });
+        for (i, &lambda) in cfg.lambdas.iter().enumerate() {
             let mut row = vec![format!("{lambda}")];
-            for kind in AlgorithmKind::ALL {
-                let report = simulate(&tree, &queries, cfg.k, lambda, kind, 1012);
-                row.push(f4(report.mean_response_s));
-            }
+            row.extend_from_slice(&cells[i * 4..(i + 1) * 4]);
             table.row(row);
         }
         table.print();

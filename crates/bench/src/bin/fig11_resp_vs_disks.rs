@@ -7,7 +7,7 @@
 //! floor. (FPSS is dropped from this figure in the paper due to its load
 //! sensitivity; we keep it in the CSV for completeness.)
 
-use sqda_bench::{build_tree, f2, f4, simulate, ExpOptions, ResultsTable};
+use sqda_bench::{build_tree, f2, f4, parallel_map, simulate, ExpOptions, ResultsTable};
 use sqda_core::AlgorithmKind;
 use sqda_datasets::gaussian;
 
@@ -19,6 +19,13 @@ fn main() {
         &[5, 10, 15, 20, 25, 30]
     };
     let dataset = gaussian(opts.population(50_000), 5, 1101);
+    // Trees are built up front on the main thread (deterministic build
+    // log) and shared by both k sweeps and all workers.
+    let trees: Vec<_> = disk_counts
+        .iter()
+        .map(|&disks| build_tree(&dataset, disks, 1110 + disks as u64))
+        .collect();
+    let queries = dataset.sample_queries(opts.queries(), 1111);
     for k in [10usize, 100] {
         let mut table = ResultsTable::new(
             format!(
@@ -35,16 +42,20 @@ fn main() {
                 "WOPTSS(s)",
             ],
         );
-        for &disks in disk_counts {
-            let tree = build_tree(&dataset, disks, 1110 + disks as u64);
-            let queries = dataset.sample_queries(opts.queries(), 1111);
-            let wopt = simulate(&tree, &queries, k, 5.0, AlgorithmKind::Woptss, 1112);
+        let points: Vec<(usize, AlgorithmKind)> = (0..trees.len())
+            .flat_map(|t| AlgorithmKind::ALL.map(|kind| (t, kind)))
+            .collect();
+        let cells = parallel_map(&points, opts.jobs, |&(t, kind)| {
+            simulate(&trees[t], &queries, k, 5.0, kind, 1112).mean_response_s
+        });
+        for (t, &disks) in disk_counts.iter().enumerate() {
+            // WOPTSS is ALL's last element: the row's normalizer.
+            let wopt = cells[t * 4 + 3];
             let mut row = vec![disks.to_string()];
-            for kind in AlgorithmKind::REAL {
-                let r = simulate(&tree, &queries, k, 5.0, kind, 1112);
-                row.push(f2(r.mean_response_s / wopt.mean_response_s));
+            for resp in &cells[t * 4..t * 4 + 3] {
+                row.push(f2(resp / wopt));
             }
-            row.push(f4(wopt.mean_response_s));
+            row.push(f4(wopt));
             table.row(row);
         }
         table.print();

@@ -1,10 +1,19 @@
-//! Runs every experiment binary in sequence (same process), producing
-//! the full set of tables and CSVs. Pass `--quick` for a fast smoke run.
+//! Runs every experiment binary, producing the full set of tables and
+//! CSVs. Pass `--quick` for a fast smoke run.
 //!
 //! ```text
 //! cargo run --release -p sqda-bench --bin run_all_experiments [-- --quick]
 //! ```
+//!
+//! Experiments run as child processes fanned across `--jobs <n>` workers
+//! (default: one per core; `--serial` forces one at a time). Each child
+//! gets `--serial` appended so parallelism lives at exactly one level,
+//! and its stdout/stderr are captured and replayed in the fixed
+//! experiment order — the bytes this driver emits are identical whether
+//! the children ran serially or concurrently.
 
+use sqda_bench::parallel_map;
+use std::io::Write;
 use std::process::Command;
 
 const EXPERIMENTS: &[&str] = &[
@@ -26,24 +35,67 @@ const EXPERIMENTS: &[&str] = &[
     "analysis_validation",
 ];
 
+struct Finished {
+    name: &'static str,
+    ok: bool,
+    status: String,
+    stdout: Vec<u8>,
+    stderr: Vec<u8>,
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Strip this driver's own fan-out flags; everything else
+    // (--quick, --out <dir>) passes through to the children.
+    let mut jobs = sqda_bench::default_jobs();
+    let mut pass_through: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .expect("--jobs needs a count")
+                    .parse()
+                    .expect("--jobs needs a positive integer");
+                assert!(jobs > 0, "--jobs needs a positive integer");
+            }
+            "--serial" => jobs = 1,
+            _ => pass_through.push(a),
+        }
+    }
+    // One level of parallelism: this driver fans processes out, so each
+    // child runs its own sweeps serially.
+    pass_through.push("--serial".to_string());
+
     let exe_dir = std::env::current_exe()
         .expect("current exe")
         .parent()
         .expect("exe dir")
         .to_path_buf();
-    let mut failed = Vec::new();
-    for exp in EXPERIMENTS {
-        println!("\n########## {exp} ##########");
+
+    let runs = parallel_map(EXPERIMENTS, jobs, |&exp| {
         let path = exe_dir.join(exp);
-        let status = Command::new(&path)
-            .args(&args)
-            .status()
+        let output = Command::new(&path)
+            .args(&pass_through)
+            .output()
             .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
-        if !status.success() {
-            eprintln!("experiment {exp} FAILED: {status}");
-            failed.push(*exp);
+        Finished {
+            name: exp,
+            ok: output.status.success(),
+            status: output.status.to_string(),
+            stdout: output.stdout,
+            stderr: output.stderr,
+        }
+    });
+
+    let mut failed = Vec::new();
+    for run in &runs {
+        println!("\n########## {} ##########", run.name);
+        std::io::stdout().write_all(&run.stdout).expect("stdout");
+        std::io::stderr().write_all(&run.stderr).expect("stderr");
+        if !run.ok {
+            eprintln!("experiment {} FAILED: {}", run.name, run.status);
+            failed.push(run.name);
         }
     }
     if failed.is_empty() {

@@ -14,7 +14,7 @@
 //! BBSS on average; BBSS *degrades* as the system grows because it cannot
 //! use the added disks within a query.
 
-use sqda_bench::{build_tree, f4, simulate, ExpOptions, ResultsTable};
+use sqda_bench::{build_tree, f4, parallel_map, simulate, ExpOptions, ResultsTable};
 use sqda_core::AlgorithmKind;
 use sqda_datasets::gaussian;
 
@@ -27,20 +27,33 @@ fn main() {
         format!("Table 3 — scale-up with population (gaussian, 5-d, k={k}, λ={lambda})"),
         &["population", "disks", "BBSS", "CRSS", "WOPTSS", "FPSS"],
     );
-    for &(pop, disks) in steps {
-        let dataset = gaussian(opts.population(pop), 5, 1301 + pop as u64);
-        let tree = build_tree(&dataset, disks, 1310 + disks as u64);
-        let queries = dataset.sample_queries(opts.queries(), 1311);
-        let mut row = vec![dataset.len().to_string(), disks.to_string()];
-        for kind in [
-            AlgorithmKind::Bbss,
-            AlgorithmKind::Crss,
-            AlgorithmKind::Woptss,
-            AlgorithmKind::Fpss,
-        ] {
-            let r = simulate(&tree, &queries, k, lambda, kind, 1312);
-            row.push(f4(r.mean_response_s));
-        }
+    const COLUMNS: [AlgorithmKind; 4] = [
+        AlgorithmKind::Bbss,
+        AlgorithmKind::Crss,
+        AlgorithmKind::Woptss,
+        AlgorithmKind::Fpss,
+    ];
+    // Trees are built up front on the main thread (deterministic build
+    // log); the simulation grid fans out over the workers.
+    let setups: Vec<_> = steps
+        .iter()
+        .map(|&(pop, disks)| {
+            let dataset = gaussian(opts.population(pop), 5, 1301 + pop as u64);
+            let tree = build_tree(&dataset, disks, 1310 + disks as u64);
+            let queries = dataset.sample_queries(opts.queries(), 1311);
+            (dataset, tree, queries)
+        })
+        .collect();
+    let points: Vec<(usize, AlgorithmKind)> = (0..setups.len())
+        .flat_map(|s| COLUMNS.map(|kind| (s, kind)))
+        .collect();
+    let cells = parallel_map(&points, opts.jobs, |&(s, kind)| {
+        let (_, tree, queries) = &setups[s];
+        f4(simulate(tree, queries, k, lambda, kind, 1312).mean_response_s)
+    });
+    for (s, &(_, disks)) in steps.iter().enumerate() {
+        let mut row = vec![setups[s].0.len().to_string(), disks.to_string()];
+        row.extend_from_slice(&cells[s * 4..(s + 1) * 4]);
         table.row(row);
     }
     table.print();

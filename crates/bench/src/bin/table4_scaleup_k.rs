@@ -12,7 +12,7 @@
 //!
 //! Paper shape: CRSS is stable and ~4× faster than BBSS on average.
 
-use sqda_bench::{build_tree, f4, simulate, ExpOptions, ResultsTable};
+use sqda_bench::{build_tree, f4, parallel_map, simulate, ExpOptions, ResultsTable};
 use sqda_core::AlgorithmKind;
 use sqda_datasets::gaussian;
 
@@ -28,19 +28,33 @@ fn main() {
         ),
         &["k", "disks", "BBSS", "CRSS", "WOPTSS", "FPSS"],
     );
-    for &(k, disks) in steps {
-        let tree = build_tree(&dataset, disks, 1410 + disks as u64);
-        let queries = dataset.sample_queries(opts.queries(), 1411);
+    const COLUMNS: [AlgorithmKind; 4] = [
+        AlgorithmKind::Bbss,
+        AlgorithmKind::Crss,
+        AlgorithmKind::Woptss,
+        AlgorithmKind::Fpss,
+    ];
+    // Trees are built up front on the main thread (deterministic build
+    // log); the simulation grid fans out over the workers.
+    let setups: Vec<_> = steps
+        .iter()
+        .map(|&(_, disks)| {
+            let tree = build_tree(&dataset, disks, 1410 + disks as u64);
+            let queries = dataset.sample_queries(opts.queries(), 1411);
+            (tree, queries)
+        })
+        .collect();
+    let points: Vec<(usize, AlgorithmKind)> = (0..setups.len())
+        .flat_map(|s| COLUMNS.map(|kind| (s, kind)))
+        .collect();
+    let cells = parallel_map(&points, opts.jobs, |&(s, kind)| {
+        let (tree, queries) = &setups[s];
+        let k = steps[s].0;
+        f4(simulate(tree, queries, k, lambda, kind, 1412).mean_response_s)
+    });
+    for (s, &(k, disks)) in steps.iter().enumerate() {
         let mut row = vec![k.to_string(), disks.to_string()];
-        for kind in [
-            AlgorithmKind::Bbss,
-            AlgorithmKind::Crss,
-            AlgorithmKind::Woptss,
-            AlgorithmKind::Fpss,
-        ] {
-            let r = simulate(&tree, &queries, k, lambda, kind, 1412);
-            row.push(f4(r.mean_response_s));
-        }
+        row.extend_from_slice(&cells[s * 4..(s + 1) * 4]);
         table.row(row);
     }
     table.print();

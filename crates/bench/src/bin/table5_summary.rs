@@ -6,12 +6,16 @@
 //! mean response time under load, speed-up with added disks, scalability
 //! with population, intra-query parallelism, inter-query parallelism.
 
-use sqda_bench::{build_tree, mean_nodes, simulate, ExpOptions, ResultsTable};
+use sqda_bench::{build_tree, mean_nodes, parallel_map, simulate, ExpOptions, ResultsTable};
 use sqda_core::{exec::run_query, AlgorithmKind};
 use sqda_datasets::gaussian;
 
 fn check(good: bool) -> String {
-    if good { "✓".to_string() } else { "—".to_string() }
+    if good {
+        "✓".to_string()
+    } else {
+        "—".to_string()
+    }
 }
 
 fn main() {
@@ -24,55 +28,44 @@ fn main() {
     let queries = dataset.sample_queries(opts.queries(), 1511);
 
     // 1. Disk accesses (logical node counts).
-    let nodes: Vec<f64> = AlgorithmKind::ALL
-        .iter()
-        .map(|&kind| mean_nodes(&tree10, &queries, k, kind))
-        .collect();
+    let nodes: Vec<f64> = parallel_map(&AlgorithmKind::ALL, opts.jobs, |&kind| {
+        mean_nodes(&tree10, &queries, k, kind)
+    });
     let min_real_nodes = nodes[..3].iter().cloned().fold(f64::INFINITY, f64::min);
 
     // 2. Response time under moderate load.
-    let resp: Vec<f64> = AlgorithmKind::ALL
-        .iter()
-        .map(|&kind| simulate(&tree10, &queries, k, 5.0, kind, 1512).mean_response_s)
-        .collect();
+    let resp: Vec<f64> = parallel_map(&AlgorithmKind::ALL, opts.jobs, |&kind| {
+        simulate(&tree10, &queries, k, 5.0, kind, 1512).mean_response_s
+    });
     let min_real_resp = resp[..3].iter().cloned().fold(f64::INFINITY, f64::min);
 
     // 3. Speed-up: response ratio from 5 to 20 disks (smaller = better).
     let tree5 = build_tree(&dataset, 5, 1513);
     let tree20 = build_tree(&dataset, 20, 1514);
-    let speedup: Vec<f64> = AlgorithmKind::ALL
-        .iter()
-        .map(|&kind| {
-            let r5 = simulate(&tree5, &queries, k, 5.0, kind, 1515).mean_response_s;
-            let r20 = simulate(&tree20, &queries, k, 5.0, kind, 1515).mean_response_s;
-            r5 / r20
-        })
-        .collect();
+    let speedup: Vec<f64> = parallel_map(&AlgorithmKind::ALL, opts.jobs, |&kind| {
+        let r5 = simulate(&tree5, &queries, k, 5.0, kind, 1515).mean_response_s;
+        let r20 = simulate(&tree20, &queries, k, 5.0, kind, 1515).mean_response_s;
+        r5 / r20
+    });
 
     // 4. Intra-query parallelism: max batch size > 1.
-    let max_batch: Vec<usize> = AlgorithmKind::ALL
-        .iter()
-        .map(|&kind| {
-            let mut worst = 0usize;
-            for q in queries.iter().take(10) {
-                let mut algo = kind.build(&tree10, q.clone(), k).unwrap();
-                let run = run_query(&tree10, algo.as_mut()).unwrap();
-                worst = worst.max(run.max_batch);
-            }
-            worst
-        })
-        .collect();
+    let max_batch: Vec<usize> = parallel_map(&AlgorithmKind::ALL, opts.jobs, |&kind| {
+        let mut worst = 0usize;
+        for q in queries.iter().take(10) {
+            let mut algo = kind.build(&tree10, q.clone(), k).unwrap();
+            let run = run_query(&tree10, algo.as_mut()).unwrap();
+            worst = worst.max(run.max_batch);
+        }
+        worst
+    });
 
     // 5. Inter-query parallelism under load: response degradation λ=1→20
     //    (FPSS floods the array, limiting concurrent queries).
-    let degradation: Vec<f64> = AlgorithmKind::ALL
-        .iter()
-        .map(|&kind| {
-            let r1 = simulate(&tree10, &queries, k, 1.0, kind, 1516).mean_response_s;
-            let r20 = simulate(&tree10, &queries, k, 20.0, kind, 1516).mean_response_s;
-            r20 / r1
-        })
-        .collect();
+    let degradation: Vec<f64> = parallel_map(&AlgorithmKind::ALL, opts.jobs, |&kind| {
+        let r1 = simulate(&tree10, &queries, k, 1.0, kind, 1516).mean_response_s;
+        let r20 = simulate(&tree10, &queries, k, 20.0, kind, 1516).mean_response_s;
+        r20 / r1
+    });
     let min_real_degradation = degradation[..3]
         .iter()
         .cloned()

@@ -18,6 +18,7 @@ use sqda_simkernel::SystemParams;
 use sqda_storage::{ArrayStore, PageStore};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -32,13 +33,18 @@ pub struct ExpOptions {
     pub quick: bool,
     /// Output directory for CSV files.
     pub out_dir: PathBuf,
+    /// Worker threads for [`parallel_map`] sweeps (1 = serial).
+    pub jobs: usize,
 }
 
 impl ExpOptions {
-    /// Reads `--quick` and `--out <dir>` from `std::env::args`.
+    /// Reads `--quick`, `--out <dir>`, `--jobs <n>` and `--serial` from
+    /// `std::env::args`. `--jobs` defaults to the machine's available
+    /// parallelism; `--serial` is shorthand for `--jobs 1`.
     pub fn from_args() -> Self {
         let mut quick = false;
         let mut out_dir = PathBuf::from("results");
+        let mut jobs = default_jobs();
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -46,10 +52,26 @@ impl ExpOptions {
                 "--out" => {
                     out_dir = PathBuf::from(args.next().expect("--out needs a directory"));
                 }
-                other => panic!("unknown argument {other} (expected --quick / --out <dir>)"),
+                "--jobs" => {
+                    jobs = args
+                        .next()
+                        .expect("--jobs needs a count")
+                        .parse()
+                        .expect("--jobs needs a positive integer");
+                    assert!(jobs > 0, "--jobs needs a positive integer");
+                }
+                "--serial" => jobs = 1,
+                other => panic!(
+                    "unknown argument {other} \
+                     (expected --quick / --out <dir> / --jobs <n> / --serial)"
+                ),
             }
         }
-        Self { quick, out_dir }
+        Self {
+            quick,
+            out_dir,
+            jobs,
+        }
     }
 
     /// Scales a population for quick mode.
@@ -69,6 +91,61 @@ impl ExpOptions {
             QUERIES_PER_POINT
         }
     }
+}
+
+/// Default worker count for sweep fan-out: one per available core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Fans `f` over `items` across `jobs` scoped worker threads, returning
+/// the results **in input order** regardless of completion order.
+///
+/// Workers claim items through a shared atomic cursor (work stealing at
+/// item granularity), so an expensive (algorithm × parameter × seed)
+/// point does not stall the whole sweep behind a fixed chunking. With
+/// `jobs == 1` (or a single item) the closure runs on the caller's
+/// thread — the serial path is byte-identical, which is what the
+/// experiment binaries' `--serial` flag relies on.
+///
+/// Panics in `f` propagate to the caller once all workers have stopped.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    assert!(jobs > 0, "parallel_map needs at least one worker");
+    if jobs == 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let workers = jobs.min(items.len());
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut got = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        got.push((i, f(&items[i])));
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
 }
 
 /// Page size used by the 2-d experiments: 1 KiB, matching the late-90s
@@ -158,7 +235,7 @@ pub fn simulate(
     seed: u64,
 ) -> SimulationReport {
     let params = SystemParams::with_disks(tree.store().num_disks());
-    let sim = Simulation::new(tree, params);
+    let sim = Simulation::new(tree, params).expect("simulation");
     let workload = Workload::poisson(queries.to_vec(), k, lambda, seed);
     sim.run(kind, &workload, seed ^ 0x5eed).expect("simulation")
 }
@@ -238,4 +315,48 @@ pub fn f2(x: f64) -> String {
 /// Formats a float with 4 decimals (response times in seconds).
 pub fn f4(x: f64) -> String {
     format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..137).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let got = parallel_map(&items, jobs, |x| x * x);
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_matches_serial_for_simulation_like_work() {
+        // Uneven per-item cost exercises the work-stealing cursor: late
+        // items finish before early ones, yet output order must hold.
+        let items: Vec<usize> = (0..24).collect();
+        let serial = parallel_map(&items, 1, |&i| {
+            let mut acc = 0u64;
+            for j in 0..(24 - i) * 10_000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(j as u64);
+            }
+            (i, acc)
+        });
+        let fanned = parallel_map(&items, 4, |&i| {
+            let mut acc = 0u64;
+            for j in 0..(24 - i) * 10_000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(j as u64);
+            }
+            (i, acc)
+        });
+        assert_eq!(serial, fanned);
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 8, |x| *x).is_empty());
+        assert_eq!(parallel_map(&[7u32], 8, |x| x + 1), vec![8]);
+    }
 }

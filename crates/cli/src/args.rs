@@ -74,7 +74,9 @@ impl Args {
                 if boolean_flags.contains(&name) {
                     options.insert(name.to_string(), "true".to_string());
                 } else {
-                    let value = it.next().ok_or_else(|| ArgsError::MissingValue(name.into()))?;
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ArgsError::MissingValue(name.into()))?;
                     options.insert(name.to_string(), value);
                 }
             } else {

@@ -18,7 +18,10 @@ use std::sync::Arc;
 
 type CmdResult = Result<(), Box<dyn Error + Send + Sync>>;
 
-fn declusterer_by_name(name: &str, seed: u64) -> Result<Box<dyn Declusterer>, Box<dyn Error + Send + Sync>> {
+fn declusterer_by_name(
+    name: &str,
+    seed: u64,
+) -> Result<Box<dyn Declusterer>, Box<dyn Error + Send + Sync>> {
     Ok(match name {
         "pi" | "proximity-index" => Box::new(ProximityIndex),
         "rr" | "round-robin" => Box::new(RoundRobin::new()),
@@ -48,7 +51,9 @@ fn algo_by_name(name: &str) -> Result<AlgorithmKind, Box<dyn Error + Send + Sync
     })
 }
 
-fn open_tree(store_dir: &str) -> Result<(RStarTree<FileStore>, TreeMeta), Box<dyn Error + Send + Sync>> {
+fn open_tree(
+    store_dir: &str,
+) -> Result<(RStarTree<FileStore>, TreeMeta), Box<dyn Error + Send + Sync>> {
     let dir = Path::new(store_dir);
     let meta = TreeMeta::load(dir)?;
     let store = Arc::new(FileStore::open(dir)?);
@@ -228,14 +233,17 @@ pub fn simulate(args: &Args) -> CmdResult {
     // Queries follow the data distribution: sample indexed points.
     let sample = sample_data_points(&tree, num_queries, seed)?;
     let workload = Workload::poisson(sample, k, lambda, seed ^ 0xABCD);
-    let report = Simulation::new(&tree, params).run(kind, &workload, seed ^ 0x1234)?;
+    let report = Simulation::new(&tree, params)?.run(kind, &workload, seed ^ 0x1234)?;
     println!("algorithm        : {}", report.algorithm);
     println!("queries          : {}", report.completed);
     println!("mean response    : {:.4} s", report.mean_response_s);
     println!("p95 response     : {:.4} s", report.p95_response_s);
     println!("max response     : {:.4} s", report.max_response_s);
     println!("nodes per query  : {:.1}", report.mean_nodes_per_query);
-    println!("disk utilization : {:.1}%", report.mean_disk_utilization * 100.0);
+    println!(
+        "disk utilization : {:.1}%",
+        report.mean_disk_utilization * 100.0
+    );
     println!("bus utilization  : {:.1}%", report.bus_utilization * 100.0);
     println!("cpu utilization  : {:.1}%", report.cpu_utilization * 100.0);
     Ok(())

@@ -129,7 +129,14 @@ fn bulk_build_and_all_algorithms() {
     let csv = dir.join("u.csv");
     let store = dir.join("store");
     stdout(&sqda(&[
-        "generate", "--kind", "uniform", "--n", "2000", "--dim", "3", "--out",
+        "generate",
+        "--kind",
+        "uniform",
+        "--n",
+        "2000",
+        "--dim",
+        "3",
+        "--out",
         csv.to_str().unwrap(),
     ]));
     let out = stdout(&sqda(&[
@@ -170,7 +177,17 @@ fn helpful_errors() {
     assert!(!o.status.success());
     let o = sqda(&["frobnicate"]);
     assert!(!o.status.success());
-    let o = sqda(&["generate", "--kind", "uniform", "--n", "10", "--out", "/tmp/x.csv", "--bogus", "1"]);
+    let o = sqda(&[
+        "generate",
+        "--kind",
+        "uniform",
+        "--n",
+        "10",
+        "--out",
+        "/tmp/x.csv",
+        "--bogus",
+        "1",
+    ]);
     assert!(!o.status.success());
     let help = sqda(&["help"]);
     assert!(String::from_utf8_lossy(&help.stdout).contains("USAGE"));

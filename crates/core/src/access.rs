@@ -10,11 +10,9 @@
 //! CRSS and WOPTSS unchanged. `sqda-rstar` (rectangles) and
 //! `sqda-sstree` (spheres) both implement it.
 
+use crate::error::QueryError;
 use sqda_geom::{Point, Region};
 use sqda_storage::{PageId, Placement};
-
-/// Errors surfaced through the access-method boundary.
-pub type AmError = Box<dyn std::error::Error + Send + Sync>;
 
 /// One directory entry: a bounding region over a child subtree, annotated
 /// with the number of data objects below it (the count augmentation every
@@ -68,10 +66,32 @@ pub trait AccessMethod: Send + Sync {
     fn num_disks(&self) -> u32;
 
     /// Reads and decodes one node.
-    fn read_index_node(&self, page: PageId) -> Result<IndexNode, AmError>;
+    fn read_index_node(&self, page: PageId) -> Result<IndexNode, QueryError>;
 
     /// Physical placement of a page (the simulator's timing input).
-    fn placement(&self, page: PageId) -> Result<Placement, AmError>;
+    fn placement(&self, page: PageId) -> Result<Placement, QueryError>;
+}
+
+/// The one place an R\*-tree node becomes the algorithms' view of it.
+/// (`sqda-sstree` provides the analogous impl for its sphere nodes.)
+impl From<sqda_rstar::Node> for IndexNode {
+    fn from(node: sqda_rstar::Node) -> Self {
+        match node {
+            sqda_rstar::Node::Leaf { entries } => {
+                IndexNode::Leaf(entries.into_iter().map(|e| (e.point, e.object.0)).collect())
+            }
+            sqda_rstar::Node::Internal { entries, .. } => IndexNode::Internal(
+                entries
+                    .into_iter()
+                    .map(|e| RegionEntry {
+                        region: Region::Rect(e.mbr),
+                        child: e.child,
+                        count: e.count,
+                    })
+                    .collect(),
+            ),
+        }
+    }
 }
 
 impl<S: sqda_storage::PageStore> AccessMethod for sqda_rstar::RStarTree<S> {
@@ -83,110 +103,43 @@ impl<S: sqda_storage::PageStore> AccessMethod for sqda_rstar::RStarTree<S> {
         self.store().num_disks()
     }
 
-    fn read_index_node(&self, page: PageId) -> Result<IndexNode, AmError> {
-        let node = self.read_node(page).map_err(Box::new)?;
-        Ok(match node {
-            sqda_rstar::Node::Leaf { entries } => IndexNode::Leaf(
-                entries
-                    .into_iter()
-                    .map(|e| (e.point, e.object.0))
-                    .collect(),
-            ),
-            sqda_rstar::Node::Internal { entries, .. } => IndexNode::Internal(
-                entries
-                    .into_iter()
-                    .map(|e| RegionEntry {
-                        region: Region::Rect(e.mbr),
-                        child: e.child,
-                        count: e.count,
-                    })
-                    .collect(),
-            ),
-        })
+    fn read_index_node(&self, page: PageId) -> Result<IndexNode, QueryError> {
+        Ok(self.read_node(page)?.into())
     }
 
-    fn placement(&self, page: PageId) -> Result<Placement, AmError> {
-        Ok(self.store().placement(page).map_err(Box::new)?)
+    fn placement(&self, page: PageId) -> Result<Placement, QueryError> {
+        Ok(self.store().placement(page)?)
     }
 }
 
 /// Generic best-first k-NN over any access method (Hjaltason–Samet).
 /// Used as the WOPTSS oracle and for ground truth; visits nodes in
 /// increasing `D_min` order.
+///
+/// Delegates to the engine in `sqda_rstar::best_first_search` — the same
+/// heap and tie-breaking the native R\*-tree search uses, with node
+/// expansion routed through [`AccessMethod::read_index_node`].
 pub fn best_first_knn(
     am: &(impl AccessMethod + ?Sized),
     center: &Point,
     k: usize,
-) -> Result<Vec<sqda_rstar::Neighbor>, AmError> {
-    use std::cmp::Ordering;
-    use std::collections::BinaryHeap;
-
-    enum Item {
-        Node(f64, PageId),
-        Object(f64, Point, u64),
-    }
-    impl Item {
-        fn key(&self) -> (f64, u8) {
-            match self {
-                Item::Object(d, ..) => (*d, 0),
-                Item::Node(d, _) => (*d, 1),
-            }
-        }
-    }
-    impl PartialEq for Item {
-        fn eq(&self, other: &Self) -> bool {
-            self.cmp(other) == Ordering::Equal
-        }
-    }
-    impl Eq for Item {}
-    impl PartialOrd for Item {
-        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Item {
-        fn cmp(&self, other: &Self) -> Ordering {
-            let (da, ta) = self.key();
-            let (db, tb) = other.key();
-            db.partial_cmp(&da)
-                .expect("finite distances")
-                .then(tb.cmp(&ta))
-        }
-    }
-
-    let mut out = Vec::new();
-    if k == 0 {
-        return Ok(out);
-    }
-    let mut heap = BinaryHeap::new();
-    heap.push(Item::Node(0.0, am.root_page()));
-    while let Some(item) = heap.pop() {
-        match item {
-            Item::Object(dist_sq, point, id) => {
-                out.push(sqda_rstar::Neighbor {
-                    object: sqda_rstar::ObjectId(id),
-                    point,
-                    dist_sq,
-                });
-                if out.len() == k {
-                    break;
+) -> Result<Vec<sqda_rstar::Neighbor>, QueryError> {
+    let (out, _nodes_read) = sqda_rstar::best_first_search(am.root_page(), k, |page, frontier| {
+        match am.read_index_node(page)? {
+            IndexNode::Leaf(entries) => {
+                for (point, id) in entries {
+                    let d = center.dist_sq(&point);
+                    frontier.push_object(sqda_rstar::ObjectId(id), point, d);
                 }
             }
-            Item::Node(_, page) => match am.read_index_node(page)? {
-                IndexNode::Leaf(entries) => {
-                    for (point, id) in entries {
-                        let d = center.dist_sq(&point);
-                        heap.push(Item::Object(d, point, id));
-                    }
+            IndexNode::Internal(entries) => {
+                for e in entries {
+                    frontier.push_node(e.child, e.region.min_dist_sq(center));
                 }
-                IndexNode::Internal(entries) => {
-                    for e in entries {
-                        heap.push(Item::Node(e.region.min_dist_sq(center), e.child));
-                    }
-                }
-            },
+            }
         }
-    }
+        Ok::<(), QueryError>(())
+    })?;
     Ok(out)
 }
 

@@ -1,6 +1,7 @@
 //! The batch state-machine abstraction shared by all four algorithms.
 
-use crate::access::{AccessMethod, AmError, IndexNode};
+use crate::access::{AccessMethod, IndexNode};
+use crate::error::QueryError;
 use sqda_geom::Point;
 use sqda_rstar::{Neighbor, ObjectId};
 use sqda_storage::PageId;
@@ -124,7 +125,10 @@ impl KBest {
         if self.heap.len() < self.k {
             f64::INFINITY
         } else {
-            self.heap.peek().map(|i| i.0.dist_sq).unwrap_or(f64::INFINITY)
+            self.heap
+                .peek()
+                .map(|i| i.0.dist_sq)
+                .unwrap_or(f64::INFINITY)
         }
     }
 
@@ -201,7 +205,7 @@ impl AlgorithmKind {
         am: &(impl AccessMethod + ?Sized),
         query: Point,
         k: usize,
-    ) -> Result<Box<dyn SimilaritySearch>, AmError> {
+    ) -> Result<Box<dyn SimilaritySearch>, QueryError> {
         Ok(match self {
             AlgorithmKind::Bbss => Box::new(crate::Bbss::new(am, query, k)),
             AlgorithmKind::Fpss => Box::new(crate::Fpss::new(am, query, k)),
@@ -262,7 +266,12 @@ mod tests {
         for (id, d) in [(5, 1.0), (7, 1.0), (3, 1.0)] {
             offer(&mut b, id, d);
         }
-        let ids = |kb: &KBest| kb.to_sorted().iter().map(|n| n.object.0).collect::<Vec<_>>();
+        let ids = |kb: &KBest| {
+            kb.to_sorted()
+                .iter()
+                .map(|n| n.object.0)
+                .collect::<Vec<_>>()
+        };
         assert_eq!(ids(&a), ids(&b));
         assert_eq!(ids(&a), vec![3, 5]);
     }

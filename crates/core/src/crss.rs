@@ -131,8 +131,7 @@ impl Crss {
             if survivors.is_empty() {
                 continue;
             }
-            let (active, saved) =
-                reduce_candidates(survivors, self.d_th_sq, self.k as u64, self.u);
+            let (active, saved) = reduce_candidates(survivors, self.d_th_sq, self.k as u64, self.u);
             if !saved.is_empty() {
                 self.stack.push(saved);
             }
@@ -182,8 +181,11 @@ impl SimilaritySearch for Crss {
                     unreachable!("level-uniform batch")
                 };
                 scanned += entries.len() as u64;
-                candidates
-                    .extend(entries.iter().map(|e| Candidate::from_entry(e, &self.query)));
+                candidates.extend(
+                    entries
+                        .iter()
+                        .map(|e| Candidate::from_entry(e, &self.query)),
+                );
             }
             if self.mode == Mode::Adaptive {
                 // Adapt the threshold from this level's counts (Lemma 1).

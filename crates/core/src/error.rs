@@ -1,0 +1,117 @@
+//! The typed error of the query-engine boundary.
+//!
+//! Everything that crosses the [`crate::AccessMethod`] / executor seam —
+//! the four algorithms, the logical executor and the event-driven
+//! simulator — fails with [`QueryError`], replacing the former
+//! `Box<dyn Error>` alias. Access-method crates convert their own error
+//! types via `From` impls (`sqda-rstar` here, `sqda-sstree` in its own
+//! crate), so `?` works across the boundary without boxing.
+
+use sqda_rstar::RStarError;
+use sqda_storage::StorageError;
+
+/// Why a similarity query could not be answered.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The underlying page store failed (missing page, bad disk, ...).
+    Storage(StorageError),
+    /// A page was fetched but its bytes do not decode into a node.
+    Codec {
+        /// What the decoder rejected.
+        detail: String,
+    },
+    /// An access-method invariant was violated (wrong dimensionality,
+    /// malformed geometry, ...).
+    Invariant(String),
+    /// The caller's configuration is inconsistent with the data it is
+    /// applied to (e.g. a simulation sized for a different disk array).
+    Config(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Storage(e) => write!(f, "storage error: {e}"),
+            QueryError::Codec { detail } => write!(f, "codec error: {detail}"),
+            QueryError::Invariant(msg) => write!(f, "invariant violated: {msg}"),
+            QueryError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for QueryError {
+    fn from(e: StorageError) -> Self {
+        match e {
+            // Undecodable pages are a codec failure, not an I/O failure.
+            StorageError::CorruptPage { .. } => QueryError::Codec {
+                detail: e.to_string(),
+            },
+            other => QueryError::Storage(other),
+        }
+    }
+}
+
+impl From<RStarError> for QueryError {
+    fn from(e: RStarError) -> Self {
+        match e {
+            RStarError::Storage(e) => QueryError::from(e),
+            RStarError::Geometry(_) | RStarError::DimensionMismatch { .. } => {
+                QueryError::Invariant(e.to_string())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqda_storage::PageId;
+
+    #[test]
+    fn storage_errors_split_into_codec_and_storage() {
+        let corrupt = StorageError::CorruptPage {
+            page: PageId::from_raw(3),
+            detail: "truncated header".into(),
+        };
+        assert!(matches!(
+            QueryError::from(corrupt),
+            QueryError::Codec { .. }
+        ));
+        let missing = StorageError::PageNotFound(PageId::from_raw(3));
+        assert!(matches!(
+            QueryError::from(missing),
+            QueryError::Storage(StorageError::PageNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn rstar_errors_map_by_kind() {
+        let dim = RStarError::DimensionMismatch {
+            expected: 2,
+            got: 3,
+        };
+        assert!(matches!(QueryError::from(dim), QueryError::Invariant(_)));
+        let io = RStarError::Storage(StorageError::UninitializedPage(PageId::from_raw(7)));
+        assert!(matches!(QueryError::from(io), QueryError::Storage(_)));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = QueryError::Config("simulation has 10 disks, array has 4".into());
+        assert!(e.to_string().contains("configuration error"));
+        // QueryError satisfies the std error trait with a source chain.
+        let e: Box<dyn std::error::Error> = Box::new(QueryError::from(StorageError::PageNotFound(
+            PageId::from_raw(1),
+        )));
+        assert!(std::error::Error::source(e.as_ref()).is_some());
+    }
+}

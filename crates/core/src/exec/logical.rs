@@ -1,8 +1,9 @@
 //! The logical executor: runs one query to completion, counting node
 //! accesses (the effectiveness metric of Figures 8–9).
 
-use crate::access::{AccessMethod, AmError};
+use crate::access::AccessMethod;
 use crate::algo::{SimilaritySearch, Step};
+use crate::error::QueryError;
 use sqda_rstar::Neighbor;
 
 /// The outcome of one logically executed query.
@@ -28,7 +29,7 @@ pub struct QueryRun {
 pub fn run_query(
     am: &(impl AccessMethod + ?Sized),
     algo: &mut dyn SimilaritySearch,
-) -> Result<QueryRun, AmError> {
+) -> Result<QueryRun, QueryError> {
     let mut step = algo.start();
     let mut nodes_visited = 0u64;
     let mut batches = 0u64;

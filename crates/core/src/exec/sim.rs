@@ -8,8 +8,9 @@
 //! to completion, averaged over all queries — the paper's primary metric
 //! for the multi-user experiments (Figures 10–12, Tables 3–4).
 
-use crate::access::{AccessMethod, AmError, IndexNode};
+use crate::access::{AccessMethod, IndexNode};
 use crate::algo::{AlgorithmKind, SimilaritySearch, Step};
+use crate::error::QueryError;
 use crate::workload::Workload;
 use sqda_simkernel::{Bus, Cpu, Disk, EventQueue, SampleStats, SimTime, SystemParams};
 use sqda_storage::PageId;
@@ -78,17 +79,21 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
     /// Creates a simulation over an access method with the given system
     /// parameters.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `params.num_disks` disagrees with the array backing the
-    /// index — its pages are placed on that array.
-    pub fn new(am: &'t A, params: SystemParams) -> Self {
-        assert_eq!(
-            params.num_disks,
-            am.num_disks(),
-            "simulation disk count must match the store the tree lives on"
-        );
-        Self { am, params }
+    /// Returns [`QueryError::Config`] if `params.num_disks` disagrees
+    /// with the array backing the index — its pages are placed on that
+    /// array, so simulating a differently-sized one would be meaningless.
+    pub fn new(am: &'t A, params: SystemParams) -> Result<Self, QueryError> {
+        if params.num_disks != am.num_disks() {
+            return Err(QueryError::Config(format!(
+                "simulation disk count must match the store the tree lives on \
+                 (simulation has {}, array has {})",
+                params.num_disks,
+                am.num_disks()
+            )));
+        }
+        Ok(Self { am, params })
     }
 
     /// Runs `workload` under `kind`, returning aggregate statistics.
@@ -100,7 +105,7 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
         kind: AlgorithmKind,
         workload: &Workload,
         seed: u64,
-    ) -> Result<SimulationReport, AmError> {
+    ) -> Result<SimulationReport, QueryError> {
         let mut factory = |point: sqda_geom::Point, k: usize| kind.build(self.am, point, k);
         self.run_with_fallible(&mut factory, kind.name(), workload, seed)
     }
@@ -114,12 +119,12 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
         name: &'static str,
         workload: &Workload,
         seed: u64,
-    ) -> Result<SimulationReport, AmError>
+    ) -> Result<SimulationReport, QueryError>
     where
         F: FnMut(sqda_geom::Point, usize) -> Box<dyn SimilaritySearch>,
     {
         let mut fallible =
-            |point: sqda_geom::Point, k: usize| -> Result<Box<dyn SimilaritySearch>, AmError> {
+            |point: sqda_geom::Point, k: usize| -> Result<Box<dyn SimilaritySearch>, QueryError> {
                 Ok(factory(point, k))
             };
         self.run_with_fallible(&mut fallible, name, workload, seed)
@@ -130,11 +135,11 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
         factory: &mut dyn FnMut(
             sqda_geom::Point,
             usize,
-        ) -> Result<Box<dyn SimilaritySearch>, AmError>,
+        ) -> Result<Box<dyn SimilaritySearch>, QueryError>,
         name: &'static str,
         workload: &Workload,
         seed: u64,
-    ) -> Result<SimulationReport, AmError> {
+    ) -> Result<SimulationReport, QueryError> {
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
         let mut disks: Vec<Disk> = (0..self.params.num_disks)
             .map(|_| Disk::new(self.params.disk.clone()))
@@ -195,15 +200,13 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                                     // Shadowed disks: the replica lives
                                     // half the array away; serve the read
                                     // from whichever copy frees up first.
-                                    let partner = (disk
-                                        + self.params.num_disks as usize / 2)
+                                    let partner = (disk + self.params.num_disks as usize / 2)
                                         % self.params.num_disks as usize;
                                     if disks[partner].busy_until() < disks[disk].busy_until() {
                                         disk = partner;
                                     }
                                 }
-                                let done =
-                                    disks[disk].submit(now, placement.cylinder, &mut rng);
+                                let done = disks[disk].submit(now, placement.cylinder, &mut rng);
                                 events.schedule(done, Event::DiskDone { q, page });
                             }
                         }

@@ -72,7 +72,11 @@ impl SimilaritySearch for Fpss {
                 unreachable!("mixed BFS wavefront")
             };
             scanned += entries.len() as u64;
-            candidates.extend(entries.iter().map(|e| Candidate::from_entry(e, &self.query)));
+            candidates.extend(
+                entries
+                    .iter()
+                    .map(|e| Candidate::from_entry(e, &self.query)),
+            );
         }
         // Adapt the threshold over the whole wavefront.
         if let Some(th) = lemma1_threshold_sq(&candidates, self.k as u64) {

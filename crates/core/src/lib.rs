@@ -62,6 +62,7 @@ pub mod access;
 pub mod algo;
 mod bbss;
 mod crss;
+pub mod error;
 pub mod exec;
 mod fpss;
 mod range;
@@ -69,15 +70,16 @@ pub mod threshold;
 mod woptss;
 pub mod workload;
 
-pub use access::{best_first_knn, AccessMethod, AmError, IndexNode, RegionEntry};
+pub use access::{best_first_knn, AccessMethod, IndexNode, RegionEntry};
+pub use error::QueryError;
 // Re-exported so access-method crates can type their answers without a
 // direct dependency on the R*-tree crate.
-pub use sqda_rstar::{Neighbor, ObjectId};
 pub use algo::{AlgorithmKind, BatchResult, KBest, SimilaritySearch, Step};
 pub use bbss::Bbss;
 pub use crss::Crss;
 pub use exec::{run_query, QueryRun, Simulation, SimulationReport};
 pub use fpss::Fpss;
 pub use range::RangeSearch;
+pub use sqda_rstar::{Neighbor, ObjectId};
 pub use woptss::Woptss;
 pub use workload::{Workload, WorkloadQuery};

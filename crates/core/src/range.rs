@@ -139,10 +139,7 @@ mod tests {
         for radius in [0.0, 0.5, 2.0, 20.0] {
             let mut rs = RangeSearch::new(&tree, center.clone(), radius);
             let run = run_query(&tree, &mut rs).unwrap();
-            let want = points
-                .iter()
-                .filter(|p| center.dist(p) <= radius)
-                .count();
+            let want = points.iter().filter(|p| center.dist(p) <= radius).count();
             assert_eq!(run.results.len(), want, "radius {radius}");
             // Agrees with the tree's own sequential implementation.
             let seq = tree.range_query(&center, radius).unwrap();

@@ -240,10 +240,7 @@ mod tests {
     fn minmax_can_tighten_lemma1() {
         // Large counts make Lemma 1 pick the first Dmax; MINMAXDIST can
         // still be far smaller.
-        let cs = vec![
-            cand(1, 100, 0.0, 0.5, 50.0),
-            cand(2, 100, 0.0, 0.6, 60.0),
-        ];
+        let cs = vec![cand(1, 100, 0.0, 0.5, 50.0), cand(2, 100, 0.0, 0.6, 60.0)];
         let lemma = lemma1_threshold_sq(&cs, 2).unwrap();
         let mm = minmax_threshold_sq(&cs, 2).unwrap();
         assert!(mm < lemma, "mm {mm} vs lemma {lemma}");
@@ -261,9 +258,9 @@ mod tests {
     #[test]
     fn reduce_rejects_outside_sphere_and_fills_to_u() {
         let cs = vec![
-            cand(1, 2, 0.0, 0.5, 1.0),  // guaranteed useful (Dth 2 > Dmm .5)
-            cand(2, 2, 1.5, 3.0, 5.0),  // doubtful, still intersects
-            cand(3, 2, 4.0, 6.0, 9.0),  // reject (Dmin 4 > Dth 2)
+            cand(1, 2, 0.0, 0.5, 1.0), // guaranteed useful (Dth 2 > Dmm .5)
+            cand(2, 2, 1.5, 3.0, 5.0), // doubtful, still intersects
+            cand(3, 2, 4.0, 6.0, 9.0), // reject (Dmin 4 > Dth 2)
         ];
         let (active, saved) = reduce_candidates(cs, 2.0, 2, 10);
         // Both survivors fit within u=10 pages: full parallel activation.

@@ -10,8 +10,9 @@
 //! node count and response time are the lower bounds the real algorithms
 //! are measured against (Theorem 2 shows none of them attains it).
 
-use crate::access::{best_first_knn, AccessMethod, AmError, IndexNode};
+use crate::access::{best_first_knn, AccessMethod, IndexNode};
 use crate::algo::{BatchResult, KBest, SimilaritySearch, Step};
+use crate::error::QueryError;
 use sqda_geom::Point;
 use sqda_rstar::{Neighbor, ObjectId};
 use sqda_simkernel::cpu_instructions_for_batch;
@@ -33,7 +34,7 @@ impl Woptss {
         am: &(impl AccessMethod + ?Sized),
         query: Point,
         k: usize,
-    ) -> Result<Self, AmError> {
+    ) -> Result<Self, QueryError> {
         let truth = best_first_knn(am, &query, k)?;
         // Fewer than k objects in the tree: every node is "relevant"
         // (the query must return the whole database).

@@ -11,12 +11,7 @@ use sqda_rstar::{RStarConfig, RStarTree};
 use sqda_storage::ArrayStore;
 use std::sync::Arc;
 
-fn build_tree(
-    points: &[Point],
-    dim: usize,
-    disks: u32,
-    fanout: usize,
-) -> RStarTree<ArrayStore> {
+fn build_tree(points: &[Point], dim: usize, disks: u32, fanout: usize) -> RStarTree<ArrayStore> {
     let store = Arc::new(ArrayStore::new(disks, 1449, 42));
     let mut tree = RStarTree::create(
         store,

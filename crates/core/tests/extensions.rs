@@ -39,6 +39,7 @@ fn mirrored_reads_never_slower() {
     let tree = build_tree(4000, 10, 1);
     let w = Workload::poisson(queries(50, 2), 20, 10.0, 3);
     let plain = Simulation::new(&tree, SystemParams::with_disks(10))
+        .unwrap()
         .run(AlgorithmKind::Crss, &w, 4)
         .unwrap();
     let mirrored = Simulation::new(
@@ -48,6 +49,7 @@ fn mirrored_reads_never_slower() {
             ..SystemParams::with_disks(10)
         },
     )
+    .unwrap()
     .run(AlgorithmKind::Crss, &w, 4)
     .unwrap();
     // Shadowing lets hot disks offload reads; mean response must improve
@@ -68,6 +70,7 @@ fn mirrored_reads_same_answers() {
     let w = Workload::poisson(queries(20, 6), 10, 5.0, 7);
     for kind in AlgorithmKind::ALL {
         let plain = Simulation::new(&tree, SystemParams::with_disks(6))
+            .unwrap()
             .run(kind, &w, 8)
             .unwrap();
         let mirrored = Simulation::new(
@@ -77,6 +80,7 @@ fn mirrored_reads_same_answers() {
                 ..SystemParams::with_disks(6)
             },
         )
+        .unwrap()
         .run(kind, &w, 8)
         .unwrap();
         assert_eq!(
@@ -96,6 +100,7 @@ fn extra_cpus_help_under_cpu_pressure() {
         ..SystemParams::with_disks(10)
     };
     let one = Simulation::new(&tree, slow.clone())
+        .unwrap()
         .run(AlgorithmKind::Fpss, &w, 12)
         .unwrap();
     let four = Simulation::new(
@@ -105,6 +110,7 @@ fn extra_cpus_help_under_cpu_pressure() {
             ..slow
         },
     )
+    .unwrap()
     .run(AlgorithmKind::Fpss, &w, 12)
     .unwrap();
     assert!(

@@ -3,7 +3,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sqda_core::{AlgorithmKind, Simulation, Workload};
+use sqda_core::{AlgorithmKind, QueryError, Simulation, Workload};
 use sqda_geom::Point;
 use sqda_rstar::decluster::ProximityIndex;
 use sqda_rstar::{RStarConfig, RStarTree};
@@ -37,7 +37,7 @@ fn queries(n: usize, dim: usize, seed: u64) -> Vec<Point> {
 #[test]
 fn all_queries_complete_for_every_algorithm() {
     let tree = build_tree(3000, 2, 10, 16, 1);
-    let sim = Simulation::new(&tree, SystemParams::with_disks(10));
+    let sim = Simulation::new(&tree, SystemParams::with_disks(10)).unwrap();
     let w = Workload::poisson(queries(40, 2, 2), 10, 5.0, 3);
     for kind in AlgorithmKind::ALL {
         let report = sim.run(kind, &w, 99).unwrap();
@@ -51,7 +51,7 @@ fn all_queries_complete_for_every_algorithm() {
 #[test]
 fn simulation_is_deterministic() {
     let tree = build_tree(2000, 2, 5, 16, 4);
-    let sim = Simulation::new(&tree, SystemParams::with_disks(5));
+    let sim = Simulation::new(&tree, SystemParams::with_disks(5)).unwrap();
     let w = Workload::poisson(queries(25, 2, 5), 10, 5.0, 6);
     let a = sim.run(AlgorithmKind::Crss, &w, 7).unwrap();
     let b = sim.run(AlgorithmKind::Crss, &w, 7).unwrap();
@@ -67,7 +67,7 @@ fn single_query_latency_is_physical() {
     // A single k=1 query must cost at least: startup + one disk access +
     // one bus transfer per level of the tree.
     let tree = build_tree(2000, 2, 10, 16, 9);
-    let sim = Simulation::new(&tree, SystemParams::with_disks(10));
+    let sim = Simulation::new(&tree, SystemParams::with_disks(10)).unwrap();
     let w = Workload::single(Point::new(vec![0.5, 0.5]), 1);
     let report = sim.run(AlgorithmKind::Crss, &w, 1).unwrap();
     let height = tree.height() as f64;
@@ -85,7 +85,7 @@ fn single_query_latency_is_physical() {
 #[test]
 fn response_time_grows_with_load() {
     let tree = build_tree(4000, 2, 5, 16, 10);
-    let sim = Simulation::new(&tree, SystemParams::with_disks(5));
+    let sim = Simulation::new(&tree, SystemParams::with_disks(5)).unwrap();
     let pts = queries(60, 2, 11);
     let light = sim
         .run(
@@ -112,7 +112,7 @@ fn response_time_grows_with_load() {
 #[test]
 fn woptss_is_fastest_on_average() {
     let tree = build_tree(4000, 2, 10, 16, 13);
-    let sim = Simulation::new(&tree, SystemParams::with_disks(10));
+    let sim = Simulation::new(&tree, SystemParams::with_disks(10)).unwrap();
     let w = Workload::poisson(queries(50, 2, 14), 20, 5.0, 15);
     let wopt = sim.run(AlgorithmKind::Woptss, &w, 3).unwrap();
     for kind in AlgorithmKind::REAL {
@@ -131,7 +131,7 @@ fn crss_beats_bbss_under_load() {
     // The paper's headline result: under a multi-user workload CRSS
     // responds faster than the branch-and-bound search.
     let tree = build_tree(6000, 2, 10, 16, 16);
-    let sim = Simulation::new(&tree, SystemParams::with_disks(10));
+    let sim = Simulation::new(&tree, SystemParams::with_disks(10)).unwrap();
     let w = Workload::poisson(queries(60, 2, 17), 50, 5.0, 18);
     let crss = sim.run(AlgorithmKind::Crss, &w, 4).unwrap();
     let bbss = sim.run(AlgorithmKind::Bbss, &w, 4).unwrap();
@@ -146,7 +146,7 @@ fn crss_beats_bbss_under_load() {
 #[test]
 fn utilizations_are_sane() {
     let tree = build_tree(3000, 2, 5, 16, 19);
-    let sim = Simulation::new(&tree, SystemParams::with_disks(5));
+    let sim = Simulation::new(&tree, SystemParams::with_disks(5)).unwrap();
     let w = Workload::poisson(queries(40, 2, 20), 10, 10.0, 21);
     let r = sim.run(AlgorithmKind::Fpss, &w, 5).unwrap();
     for u in [
@@ -162,17 +162,20 @@ fn utilizations_are_sane() {
 }
 
 #[test]
-#[should_panic(expected = "disk count must match")]
-fn mismatched_disk_count_panics() {
+fn mismatched_disk_count_is_a_config_error() {
     let tree = build_tree(100, 2, 4, 8, 22);
-    let _ = Simulation::new(&tree, SystemParams::with_disks(10));
+    let err = Simulation::new(&tree, SystemParams::with_disks(10))
+        .err()
+        .expect("disk mismatch must be rejected");
+    assert!(matches!(err, QueryError::Config(_)));
+    assert!(err.to_string().contains("disk count must match"));
 }
 
 #[test]
 fn simulated_results_match_logical_results() {
     // Timing must not change the answers.
     let tree = build_tree(2500, 2, 8, 16, 23);
-    let sim = Simulation::new(&tree, SystemParams::with_disks(8));
+    let sim = Simulation::new(&tree, SystemParams::with_disks(8)).unwrap();
     let pts = queries(10, 2, 24);
     for kind in AlgorithmKind::ALL {
         for p in &pts {

@@ -409,7 +409,7 @@ mod tests {
         let r = rect(&[1.0, 1.0], &[3.0, 2.0]);
         let p = Point::new(vec![0.0, 0.0]);
         assert_eq!(r.max_dist_sq(&p), 9.0 + 4.0); // corner (3,2)
-        // Point at center: farthest vertex is any corner.
+                                                  // Point at center: farthest vertex is any corner.
         let c = Point::new(vec![2.0, 1.5]);
         assert_eq!(r.max_dist_sq(&c), 1.0 + 0.25);
     }

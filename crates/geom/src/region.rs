@@ -120,7 +120,7 @@ mod tests {
         assert_eq!(s.min_dist_sq(&p), 4.0); // 3 - 1 = 2
         assert_eq!(s.max_dist_sq(&p), 16.0); // 3 + 1 = 4
         assert_eq!(s.min_max_dist_sq(&p), 16.0); // = Dmax for spheres
-        // Inside the sphere.
+                                                 // Inside the sphere.
         let q = Point::new(vec![0.5, 0.0]);
         assert_eq!(s.min_dist_sq(&q), 0.0);
         assert_eq!(s.max_dist_sq(&q), 2.25); // 0.5 + 1 = 1.5

@@ -101,12 +101,12 @@ impl<S: PageStore> RStarTree<S> {
             PackingOrder::Morton | PackingOrder::Hilbert => {
                 let (lo, hi) = point_bounds(&entries);
                 match order {
-                    PackingOrder::Morton => entries.sort_by_key(|e| {
-                        crate::sfc::morton_key(&e.point, &lo, &hi)
-                    }),
-                    PackingOrder::Hilbert => entries.sort_by_key(|e| {
-                        crate::sfc::hilbert_key_2d(&e.point, &lo, &hi)
-                    }),
+                    PackingOrder::Morton => {
+                        entries.sort_by_key(|e| crate::sfc::morton_key(&e.point, &lo, &hi))
+                    }
+                    PackingOrder::Hilbert => {
+                        entries.sort_by_key(|e| crate::sfc::hilbert_key_2d(&e.point, &lo, &hi))
+                    }
                     PackingOrder::Str => unreachable!(),
                 }
                 if entries.len() <= leaf_cap {
@@ -146,11 +146,14 @@ impl<S: PageStore> RStarTree<S> {
             // STR re-tiles each directory level; curve packing keeps the
             // children's curve order and cuts it into consecutive runs.
             let tiles = match order {
-                PackingOrder::Str => {
-                    str_tile(&mut parent_entries, cap, min, dim, 0, &|e: &InternalEntry| {
-                        e.mbr.center()
-                    })
-                }
+                PackingOrder::Str => str_tile(
+                    &mut parent_entries,
+                    cap,
+                    min,
+                    dim,
+                    0,
+                    &|e: &InternalEntry| e.mbr.center(),
+                ),
                 PackingOrder::Morton | PackingOrder::Hilbert => {
                     if parent_entries.len() <= cap {
                         vec![parent_entries.clone()]
@@ -170,7 +173,7 @@ impl<S: PageStore> RStarTree<S> {
 
         // Swap in the bulk-loaded root (the `create` root leaf is freed).
         let old_root = tree.root;
-        tree.store.free(old_root)?;
+        tree.free_node(old_root)?;
         tree.root = root_page;
         tree.height = height;
         tree.num_objects = num_objects;
@@ -253,7 +256,14 @@ fn str_tile<T: Clone>(
         if tail > 0 && tail < min {
             end = n - min;
         }
-        out.extend(str_tile(&mut items[start..end], cap, min, dim, axis + 1, key));
+        out.extend(str_tile(
+            &mut items[start..end],
+            cap,
+            min,
+            dim,
+            axis + 1,
+            key,
+        ));
         start = end;
     }
     out
@@ -329,13 +339,9 @@ mod tests {
     #[test]
     fn bulk_load_empty() {
         let store = Arc::new(ArrayStore::new(2, 1449, 1));
-        let tree = RStarTree::bulk_load(
-            store,
-            RStarConfig::new(3),
-            Box::new(ProximityIndex),
-            vec![],
-        )
-        .unwrap();
+        let tree =
+            RStarTree::bulk_load(store, RStarConfig::new(3), Box::new(ProximityIndex), vec![])
+                .unwrap();
         assert_eq!(tree.num_objects(), 0);
         assert_eq!(tree.height(), 1);
         assert!(tree.knn(&Point::splat(3, 0.0), 5).unwrap().is_empty());

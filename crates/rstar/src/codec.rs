@@ -153,8 +153,7 @@ pub fn decode_node(mut data: Bytes, dim: usize, page: PageId) -> Result<Node, St
                 let hi: Vec<f64> = (0..dim).map(|_| data.get_f64_le()).collect();
                 let child = PageId::from_raw(data.get_u64_le());
                 let count = data.get_u64_le();
-                let mbr = Rect::new(lo, hi)
-                    .map_err(|e| corrupt(page, format!("bad MBR: {e}")))?;
+                let mbr = Rect::new(lo, hi).map_err(|e| corrupt(page, format!("bad MBR: {e}")))?;
                 entries.push(InternalEntry::new(mbr, child, count));
             }
             Ok(Node::Internal { level, entries })

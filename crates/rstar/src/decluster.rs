@@ -331,7 +331,7 @@ mod tests {
     fn proximity_decreases_with_distance() {
         let eps = 2.0;
         let a = rect(&[0.0], &[1.0]);
-        let close = rect(&[1.5, ], &[2.5]);
+        let close = rect(&[1.5], &[2.5]);
         let farther = rect(&[3.0], &[4.0]);
         let p_close = ProximityIndex::proximity(&a, &close, eps);
         let p_far = ProximityIndex::proximity(&a, &farther, eps);

@@ -72,7 +72,7 @@ pub(crate) fn delete_object<S: PageStore>(
                 Node::Leaf { .. } => unreachable!("parents are internal"),
             }
             tree.write_node(parent_page, &parent)?;
-            tree.store.free(page)?;
+            tree.free_node(page)?;
             // Parent indices of deeper path steps are now stale, but the
             // loop only ever looks at the tail of the path, which we just
             // rebuilt. Continue condensing at the parent.
@@ -93,7 +93,7 @@ pub(crate) fn delete_object<S: PageStore>(
                 let old_root = tree.root;
                 tree.root = entries[0].child;
                 tree.height -= 1;
-                tree.store.free(old_root)?;
+                tree.free_node(old_root)?;
             }
             Node::Internal { ref entries, .. } if entries.is_empty() => {
                 // All objects deleted through condense: reset to empty leaf.
@@ -103,7 +103,7 @@ pub(crate) fn delete_object<S: PageStore>(
                 tree.write_node(page, &leaf)?;
                 tree.root = page;
                 tree.height = 1;
-                tree.store.free(old_root)?;
+                tree.free_node(old_root)?;
             }
             _ => break,
         }
@@ -155,7 +155,7 @@ fn collect_and_free_subtree<S: PageStore>(
                 stack.extend(entries.iter().map(|e| e.child));
             }
         }
-        tree.store.free(p)?;
+        tree.free_node(p)?;
     }
     Ok(out)
 }

@@ -21,7 +21,6 @@ impl EntryToInsert {
             EntryToInsert::Internal(e) => e.mbr.clone(),
         }
     }
-
 }
 
 /// One step of a root-to-node path.
@@ -34,10 +33,7 @@ struct PathStep {
 
 /// Inserts one data object (public entry point, called from
 /// [`RStarTree::insert`]).
-pub(crate) fn insert_object<S: PageStore>(
-    tree: &mut RStarTree<S>,
-    entry: LeafEntry,
-) -> Result<()> {
+pub(crate) fn insert_object<S: PageStore>(tree: &mut RStarTree<S>, entry: LeafEntry) -> Result<()> {
     let mut overflow_done = vec![false; tree.height as usize];
     insert_at_level(tree, EntryToInsert::Leaf(entry), 0, &mut overflow_done)?;
     tree.num_objects += 1;
@@ -269,9 +265,7 @@ fn evict_entries(node: &mut Node, p: usize) -> Vec<EntryToInsert> {
     for idx in sorted {
         let e = match node {
             Node::Leaf { entries } => EntryToInsert::Leaf(entries.swap_remove(idx)),
-            Node::Internal { entries, .. } => {
-                EntryToInsert::Internal(entries.swap_remove(idx))
-            }
+            Node::Internal { entries, .. } => EntryToInsert::Internal(entries.swap_remove(idx)),
         };
         removed_by_index.push((idx, e));
     }
@@ -279,10 +273,15 @@ fn evict_entries(node: &mut Node, p: usize) -> Vec<EntryToInsert> {
     let mut out: Vec<Option<EntryToInsert>> = Vec::new();
     out.resize_with(victims.len(), || None);
     for (idx, e) in removed_by_index {
-        let pos = victims.iter().position(|&v| v == idx).expect("victim index");
+        let pos = victims
+            .iter()
+            .position(|&v| v == idx)
+            .expect("victim index");
         out[pos] = Some(e);
     }
-    out.into_iter().map(|e| e.expect("all victims placed")).collect()
+    out.into_iter()
+        .map(|e| e.expect("all victims placed"))
+        .collect()
 }
 
 /// Splits an overflowing node, returning `(keep, moved)` nodes.
@@ -344,7 +343,9 @@ pub(crate) fn propagate_up<S: PageStore, P: PathStepLike>(
             Node::Internal { entries, .. } => {
                 let e = &mut entries[idx];
                 debug_assert_eq!(e.child, path[i].page());
-                e.mbr = child.mbr().expect("tree nodes below the root are non-empty");
+                e.mbr = child
+                    .mbr()
+                    .expect("tree nodes below the root are non-empty");
                 e.count = child.object_count();
             }
             Node::Leaf { .. } => unreachable!("path interior nodes are internal"),

@@ -50,24 +50,24 @@
 mod bulk;
 pub mod codec;
 pub mod config;
-pub mod sfc;
 pub mod decluster;
 mod delete;
 pub mod entry;
 mod insert;
 pub mod node;
 pub mod query;
+pub mod sfc;
 mod split;
 pub mod split_policy;
 pub mod tree;
 pub mod validate;
 
+pub use bulk::PackingOrder;
 pub use config::RStarConfig;
 pub use decluster::Declusterer;
 pub use entry::{InternalEntry, LeafEntry, ObjectId};
 pub use node::Node;
-pub use bulk::PackingOrder;
-pub use query::knn::Neighbor;
+pub use query::knn::{best_first_search, Frontier, Neighbor};
 pub use split_policy::SplitPolicy;
 pub use tree::{RStarError, RStarTree, TreeStats};
 pub use validate::ValidationError;

@@ -61,9 +61,7 @@ impl Node {
     /// The MBR enclosing all entries; `None` for an empty node.
     pub fn mbr(&self) -> Option<Rect> {
         match self {
-            Node::Internal { entries, .. } => {
-                Rect::union_all(entries.iter().map(|e| &e.mbr))
-            }
+            Node::Internal { entries, .. } => Rect::union_all(entries.iter().map(|e| &e.mbr)),
             Node::Leaf { entries } => {
                 let mut it = entries.iter();
                 let first = Rect::from_point(&it.next()?.point);

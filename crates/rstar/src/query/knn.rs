@@ -77,6 +77,73 @@ impl Ord for QueueItem {
     }
 }
 
+/// The expanding wavefront of a best-first search: candidate objects and
+/// unvisited nodes, ordered by increasing distance with objects winning
+/// ties (a result at distance `d` is emitted before any node that can
+/// only yield ≥ `d`).
+///
+/// Filled by the `expand` callback of [`best_first_search`]; how a node's
+/// page is fetched and decoded is the caller's business, which is what
+/// lets one engine serve both the native R\*-tree search and the generic
+/// access-method search in `sqda-core`.
+pub struct Frontier {
+    heap: BinaryHeap<QueueItem>,
+}
+
+impl Frontier {
+    /// Offers a candidate object at squared distance `dist_sq`.
+    pub fn push_object(&mut self, object: ObjectId, point: Point, dist_sq: f64) {
+        self.heap.push(QueueItem::Object {
+            dist_sq,
+            neighbor: Neighbor {
+                object,
+                point,
+                dist_sq,
+            },
+        });
+    }
+
+    /// Offers an unvisited node at squared minimum distance `dist_sq`.
+    pub fn push_node(&mut self, page: PageId, dist_sq: f64) {
+        self.heap.push(QueueItem::Node { dist_sq, page });
+    }
+}
+
+/// The Hjaltason–Samet best-first k-NN engine, generic over how nodes are
+/// read: `expand` receives the next-closest page and pushes its children
+/// (or data objects) into the [`Frontier`]. Returns up to `k` neighbours
+/// in increasing-distance order plus the number of nodes expanded.
+pub fn best_first_search<E>(
+    root: PageId,
+    k: usize,
+    mut expand: impl FnMut(PageId, &mut Frontier) -> std::result::Result<(), E>,
+) -> std::result::Result<(Vec<Neighbor>, u64), E> {
+    let mut out = Vec::with_capacity(k.min(64));
+    if k == 0 {
+        return Ok((out, 0));
+    }
+    let mut frontier = Frontier {
+        heap: BinaryHeap::new(),
+    };
+    frontier.push_node(root, 0.0);
+    let mut nodes_read = 0u64;
+    while let Some(item) = frontier.heap.pop() {
+        match item {
+            QueueItem::Object { neighbor, .. } => {
+                out.push(neighbor);
+                if out.len() == k {
+                    break;
+                }
+            }
+            QueueItem::Node { page, .. } => {
+                nodes_read += 1;
+                expand(page, &mut frontier)?;
+            }
+        }
+    }
+    Ok((out, nodes_read))
+}
+
 /// Best-first k-NN; returns up to `k` neighbours ordered by increasing
 /// distance.
 pub(crate) fn knn<S: PageStore>(
@@ -171,52 +238,20 @@ pub fn knn_with_stats<S: PageStore>(
     center: &Point,
     k: usize,
 ) -> Result<(Vec<Neighbor>, u64)> {
-    let mut out = Vec::with_capacity(k.min(64));
-    if k == 0 {
-        return Ok((out, 0));
-    }
-    let mut heap = BinaryHeap::new();
-    heap.push(QueueItem::Node {
-        dist_sq: 0.0,
-        page: tree.root_page(),
-    });
-    let mut nodes_read = 0u64;
-    while let Some(item) = heap.pop() {
-        match item {
-            QueueItem::Object { neighbor, .. } => {
-                out.push(neighbor);
-                if out.len() == k {
-                    break;
+    best_first_search(tree.root_page(), k, |page, frontier| {
+        match tree.read_node(page)? {
+            Node::Leaf { entries } => {
+                for e in entries {
+                    let dist_sq = center.dist_sq(&e.point);
+                    frontier.push_object(e.object, e.point, dist_sq);
                 }
             }
-            QueueItem::Node { page, .. } => {
-                nodes_read += 1;
-                let node = tree.read_node(page)?;
-                match node {
-                    Node::Leaf { entries } => {
-                        for e in entries {
-                            let dist_sq = center.dist_sq(&e.point);
-                            heap.push(QueueItem::Object {
-                                dist_sq,
-                                neighbor: Neighbor {
-                                    object: e.object,
-                                    point: e.point,
-                                    dist_sq,
-                                },
-                            });
-                        }
-                    }
-                    Node::Internal { entries, .. } => {
-                        for e in entries {
-                            heap.push(QueueItem::Node {
-                                dist_sq: e.mbr.min_dist_sq(center),
-                                page: e.child,
-                            });
-                        }
-                    }
+            Node::Internal { entries, .. } => {
+                for e in entries {
+                    frontier.push_node(e.child, e.mbr.min_dist_sq(center));
                 }
             }
         }
-    }
-    Ok((out, nodes_read))
+        Ok(())
+    })
 }

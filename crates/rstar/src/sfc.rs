@@ -128,11 +128,7 @@ mod tests {
     #[should_panic(expected = "up to 8 dimensions")]
     fn morton_too_many_dims() {
         let dim = 9;
-        morton_key(
-            &Point::splat(dim, 0.5),
-            &vec![0.0; dim],
-            &vec![1.0; dim],
-        );
+        morton_key(&Point::splat(dim, 0.5), &vec![0.0; dim], &vec![1.0; dim]);
     }
 
     #[test]
@@ -143,11 +139,7 @@ mod tests {
         let mut keys = std::collections::HashSet::new();
         for gx in 0..32 {
             for gy in 0..32 {
-                let k = hilbert_key_2d(
-                    &p2(gx as f64 / 32.0, gy as f64 / 32.0),
-                    &lo,
-                    &hi,
-                );
+                let k = hilbert_key_2d(&p2(gx as f64 / 32.0, gy as f64 / 32.0), &lo, &hi);
                 assert!(keys.insert(k), "duplicate key at ({gx},{gy})");
             }
         }

@@ -183,10 +183,26 @@ mod tests {
             mbrs.push(pt(100.0 + i as f64 * 0.1, 0.0));
         }
         let r = rstar_split(&mbrs, 2);
-        let g1_max = r.group1.iter().map(|&i| mbrs[i].lo()[0]).fold(f64::MIN, f64::max);
-        let g2_min = r.group2.iter().map(|&i| mbrs[i].lo()[0]).fold(f64::MAX, f64::min);
-        let g1_min = r.group1.iter().map(|&i| mbrs[i].lo()[0]).fold(f64::MAX, f64::min);
-        let g2_max = r.group2.iter().map(|&i| mbrs[i].lo()[0]).fold(f64::MIN, f64::max);
+        let g1_max = r
+            .group1
+            .iter()
+            .map(|&i| mbrs[i].lo()[0])
+            .fold(f64::MIN, f64::max);
+        let g2_min = r
+            .group2
+            .iter()
+            .map(|&i| mbrs[i].lo()[0])
+            .fold(f64::MAX, f64::min);
+        let g1_min = r
+            .group1
+            .iter()
+            .map(|&i| mbrs[i].lo()[0])
+            .fold(f64::MAX, f64::min);
+        let g2_max = r
+            .group2
+            .iter()
+            .map(|&i| mbrs[i].lo()[0])
+            .fold(f64::MIN, f64::max);
         // One group entirely below the other.
         assert!(g1_max < g2_min || g2_max < g1_min);
     }
@@ -200,7 +216,8 @@ mod tests {
             mbrs.push(pt((i % 3) as f64, 50.0));
         }
         let r = rstar_split(&mbrs, 3);
-        let y_of = |idx: &Vec<usize>| -> Vec<f64> { idx.iter().map(|&i| mbrs[i].lo()[1]).collect() };
+        let y_of =
+            |idx: &Vec<usize>| -> Vec<f64> { idx.iter().map(|&i| mbrs[i].lo()[1]).collect() };
         let g1 = y_of(&r.group1);
         let g2 = y_of(&r.group2);
         assert!(

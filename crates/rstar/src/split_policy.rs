@@ -123,9 +123,7 @@ fn quadratic_split(mbrs: &[Rect], m: usize) -> SplitResult {
         let to_g1 = match d1.partial_cmp(&d2).expect("finite") {
             std::cmp::Ordering::Less => true,
             std::cmp::Ordering::Greater => false,
-            std::cmp::Ordering::Equal => {
-                (bb1.area(), g1.len()) <= (bb2.area(), g2.len())
-            }
+            std::cmp::Ordering::Equal => (bb1.area(), g1.len()) <= (bb2.area(), g2.len()),
         };
         if to_g1 {
             bb1.union_in_place(&mbrs[i]);
@@ -222,8 +220,16 @@ mod tests {
 
     fn check_split(policy: SplitPolicy, mbrs: &[Rect], m: usize) {
         let r = policy.split(mbrs, m);
-        assert!(r.group1.len() >= m, "{policy:?}: g1 {} < {m}", r.group1.len());
-        assert!(r.group2.len() >= m, "{policy:?}: g2 {} < {m}", r.group2.len());
+        assert!(
+            r.group1.len() >= m,
+            "{policy:?}: g1 {} < {m}",
+            r.group1.len()
+        );
+        assert!(
+            r.group2.len() >= m,
+            "{policy:?}: g2 {} < {m}",
+            r.group2.len()
+        );
         let mut all: Vec<usize> = r.group1.iter().chain(&r.group2).copied().collect();
         all.sort_unstable();
         assert_eq!(all, (0..mbrs.len()).collect::<Vec<_>>(), "{policy:?}");
@@ -274,7 +280,11 @@ mod tests {
             mbrs.push(pt(0.41 * i as f64 + 0.2, 1000.0 + 1.3 * i as f64));
         }
         let r = linear_split(&mbrs, 4);
-        let g1_low = r.group1.iter().filter(|&&i| mbrs[i].lo()[1] < 500.0).count();
+        let g1_low = r
+            .group1
+            .iter()
+            .filter(|&&i| mbrs[i].lo()[1] < 500.0)
+            .count();
         assert!(
             g1_low == 0 || g1_low == r.group1.len(),
             "group1 mixes clusters: {r:?}"
@@ -284,10 +294,7 @@ mod tests {
     #[test]
     fn identical_rects_still_split_legally() {
         let mbrs: Vec<Rect> = (0..10).map(|_| pt(1.0, 1.0)).collect();
-        for policy in [
-            SplitPolicy::GuttmanQuadratic,
-            SplitPolicy::GuttmanLinear,
-        ] {
+        for policy in [SplitPolicy::GuttmanQuadratic, SplitPolicy::GuttmanLinear] {
             check_split(policy, &mbrs, 4);
         }
     }

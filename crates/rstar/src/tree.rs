@@ -1,12 +1,12 @@
 //! The declustered R\*-tree.
 
 use crate::config::RStarConfig;
-use crate::decluster::{Declusterer, DeclusterContext};
+use crate::decluster::{DeclusterContext, Declusterer};
 use crate::entry::{LeafEntry, ObjectId};
 use crate::node::Node;
 use crate::{codec, query};
 use sqda_geom::{GeomError, Point, Rect};
-use sqda_storage::{DiskId, PageId, PageStore, StorageError};
+use sqda_storage::{DiskId, IoStats, NodeCache, PageId, PageStore, StorageError};
 use std::sync::Arc;
 
 /// Errors from tree operations.
@@ -43,7 +43,10 @@ impl std::fmt::Display for RStarError {
             RStarError::Storage(e) => write!(f, "storage error: {e}"),
             RStarError::Geometry(e) => write!(f, "geometry error: {e}"),
             RStarError::DimensionMismatch { expected, got } => {
-                write!(f, "dimension mismatch: tree is {expected}-d, point is {got}-d")
+                write!(
+                    f,
+                    "dimension mismatch: tree is {expected}-d, point is {got}-d"
+                )
             }
         }
     }
@@ -88,6 +91,7 @@ pub struct RStarTree<S: PageStore> {
     pub(crate) root: PageId,
     pub(crate) height: u32,
     pub(crate) num_objects: u64,
+    pub(crate) cache: Option<Arc<NodeCache<Node>>>,
 }
 
 impl<S: PageStore> RStarTree<S> {
@@ -107,6 +111,7 @@ impl<S: PageStore> RStarTree<S> {
             root,
             height: 1,
             num_objects: 0,
+            cache: None,
         })
     }
 
@@ -132,6 +137,7 @@ impl<S: PageStore> RStarTree<S> {
             root,
             height,
             num_objects,
+            cache: None,
         })
     }
 
@@ -170,16 +176,69 @@ impl<S: PageStore> RStarTree<S> {
         &self.store
     }
 
-    /// Reads and decodes the node stored at `page`.
-    pub fn read_node(&self, page: PageId) -> Result<Node> {
-        let bytes = self.store.read(page)?;
-        Ok(codec::decode_node(bytes, self.config.dim, page)?)
+    /// Attaches a decoded-node cache; subsequent `read_node` calls that
+    /// hit it skip both the page read and the decode. The cache may be
+    /// shared with other trees over the same store (page ids are
+    /// store-wide). Builder-style variant of [`Self::set_node_cache`].
+    pub fn with_node_cache(mut self, cache: Arc<NodeCache<Node>>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
-    /// Encodes and writes `node` to `page`.
+    /// Attaches (or replaces) a decoded-node cache.
+    pub fn set_node_cache(&mut self, cache: Arc<NodeCache<Node>>) {
+        self.cache = Some(cache);
+    }
+
+    /// The attached decoded-node cache, if any.
+    pub fn node_cache(&self) -> Option<&Arc<NodeCache<Node>>> {
+        self.cache.as_ref()
+    }
+
+    /// Store I/O counters merged with the node-cache counters: the full
+    /// read-path picture for this tree.
+    pub fn io_stats(&self) -> IoStats {
+        let mut stats = self.store.stats();
+        if let Some(cache) = &self.cache {
+            let c = cache.stats();
+            stats.cache_hits = c.hits;
+            stats.cache_misses = c.misses;
+        }
+        stats
+    }
+
+    /// Reads and decodes the node stored at `page`, consulting the
+    /// decoded-node cache when one is attached.
+    pub fn read_node(&self, page: PageId) -> Result<Node> {
+        let dim = self.config.dim;
+        match &self.cache {
+            Some(cache) => cache.read_through(self.store.as_ref(), page, |bytes| {
+                codec::decode_node(bytes, dim, page).map_err(RStarError::from)
+            }),
+            None => {
+                let bytes = self.store.read(page)?;
+                Ok(codec::decode_node(bytes, dim, page)?)
+            }
+        }
+    }
+
+    /// Encodes and writes `node` to `page`, invalidating any cached
+    /// decode so readers never see a stale node.
     pub(crate) fn write_node(&self, page: PageId, node: &Node) -> Result<()> {
         self.store
             .write(page, codec::encode_node(node, self.config.dim))?;
+        if let Some(cache) = &self.cache {
+            cache.invalidate(page);
+        }
+        Ok(())
+    }
+
+    /// Frees a page and drops any cached decode of it.
+    pub(crate) fn free_node(&self, page: PageId) -> Result<()> {
+        self.store.free(page)?;
+        if let Some(cache) = &self.cache {
+            cache.invalidate(page);
+        }
         Ok(())
     }
 

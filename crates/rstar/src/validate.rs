@@ -165,7 +165,10 @@ fn check_node<S: PageStore>(
     total: &mut u64,
 ) -> Result<std::result::Result<u64, ValidationError>> {
     let (min, max) = if node.is_leaf() {
-        (tree.config().min_leaf_entries(), tree.config().max_leaf_entries)
+        (
+            tree.config().min_leaf_entries(),
+            tree.config().max_leaf_entries,
+        )
     } else {
         (
             tree.config().min_internal_entries(),

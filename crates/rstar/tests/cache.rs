@@ -1,0 +1,101 @@
+//! The decoded-node cache must be invisible to query semantics: answers
+//! are identical with and without it, and a warm cache eliminates
+//! physical reads (and decodes) for repeated queries.
+
+use proptest::prelude::*;
+use sqda_geom::Point;
+use sqda_rstar::decluster::ProximityIndex;
+use sqda_rstar::{RStarConfig, RStarTree};
+use sqda_storage::{ArrayStore, NodeCache, PageStore};
+use std::sync::Arc;
+
+fn build(points: &[(f64, f64)]) -> RStarTree<ArrayStore> {
+    let store = Arc::new(ArrayStore::new(4, 1449, 11));
+    let mut tree = RStarTree::create(
+        store,
+        RStarConfig::new(2).with_max_entries(8),
+        Box::new(ProximityIndex),
+    )
+    .unwrap();
+    for (i, &(x, y)) in points.iter().enumerate() {
+        tree.insert(Point::new(vec![x, y]), i as u64).unwrap();
+    }
+    tree
+}
+
+#[test]
+fn warm_cache_serves_repeated_queries_without_io() {
+    let points: Vec<(f64, f64)> = (0..600)
+        .map(|i| ((i % 37) as f64, (i % 53) as f64))
+        .collect();
+    let mut tree = build(&points);
+    tree.set_node_cache(Arc::new(NodeCache::new(4096)));
+    tree.store().reset_stats();
+
+    let q = Point::new(vec![18.0, 26.0]);
+    let first = tree.knn(&q, 10).unwrap();
+    let cold = tree.io_stats();
+    assert!(cold.reads > 0, "cold query must hit the disks");
+    assert_eq!(cold.cache_hits, 0);
+    assert_eq!(cold.cache_misses, cold.reads);
+
+    for _ in 0..10 {
+        let again = tree.knn(&q, 10).unwrap();
+        assert_eq!(again, first);
+    }
+    let warm = tree.io_stats();
+    // Every node of the repeated queries came out of the cache: zero new
+    // physical reads, zero new decodes.
+    assert_eq!(warm.reads, cold.reads, "warm queries must not touch disks");
+    assert_eq!(warm.cache_misses, cold.cache_misses);
+    assert!(warm.cache_hits >= 10, "repeats must be served by the cache");
+}
+
+#[test]
+fn writes_invalidate_cached_nodes() {
+    let points: Vec<(f64, f64)> = (0..200)
+        .map(|i| ((i % 23) as f64, (i % 29) as f64))
+        .collect();
+    let mut tree = build(&points);
+    tree.set_node_cache(Arc::new(NodeCache::new(4096)));
+
+    // Warm the cache along the path the insert is about to dirty. The
+    // dataset only holds non-negative coordinates, so before the insert
+    // the nearest neighbour of (-1, -1) is some pre-existing object.
+    let q = Point::new(vec![-1.0, -1.0]);
+    let before = tree.knn(&q, 1).unwrap();
+    assert_ne!(before[0].object.0, 10_000);
+    tree.insert(Point::new(vec![-1.0, -1.0]), 10_000).unwrap();
+    let after = tree.knn(&q, 1).unwrap();
+    // The freshly inserted point now sits exactly on the query; a stale
+    // cached leaf would still answer with the old neighbour.
+    assert_eq!(after[0].object.0, 10_000);
+    assert_eq!(after[0].dist_sq, 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// k-NN answers are identical with and without the node cache, even
+    /// with a tiny (thrashing) capacity.
+    #[test]
+    fn cached_knn_matches_uncached(
+        pts in prop::collection::vec((-50.0..50.0f64, -50.0..50.0f64), 1..250),
+        queries in prop::collection::vec((-60.0..60.0f64, -60.0..60.0f64), 1..8),
+        k in 1usize..12,
+        capacity in 1usize..64,
+    ) {
+        let plain = build(&pts);
+        let mut cached = build(&pts);
+        cached.set_node_cache(Arc::new(NodeCache::new(capacity)));
+        for &(x, y) in &queries {
+            let q = Point::new(vec![x, y]);
+            let a = plain.knn(&q, k).unwrap();
+            let b = cached.knn(&q, k).unwrap();
+            prop_assert_eq!(a.len(), b.len());
+            for (u, v) in a.iter().zip(b.iter()) {
+                prop_assert_eq!(u.dist_sq, v.dist_sq);
+            }
+        }
+    }
+}

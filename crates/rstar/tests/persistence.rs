@@ -11,10 +11,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 fn tmpdir(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "sqda-rstar-persist-{name}-{}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("sqda-rstar-persist-{name}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -95,11 +93,10 @@ fn reopened_tree_accepts_mutations() {
     .unwrap();
     // Insert and delete through the reopened handle.
     for i in 150..200u64 {
-        tree.insert(Point::new(vec![i as f64, i as f64]), i).unwrap();
+        tree.insert(Point::new(vec![i as f64, i as f64]), i)
+            .unwrap();
     }
-    assert!(tree
-        .delete(&Point::new(vec![0.0, 0.0]), 0)
-        .unwrap());
+    assert!(tree.delete(&Point::new(vec![0.0, 0.0]), 0).unwrap());
     tree.validate().unwrap().unwrap();
     assert_eq!(tree.num_objects(), 199);
     std::fs::remove_dir_all(&dir).ok();

@@ -69,7 +69,10 @@ mod tests {
     fn constant_service_time() {
         let mut bus = Bus::new(SimTime::from_millis_f64(0.4));
         let done = bus.submit(SimTime::from_secs_f64(1.0));
-        assert_eq!(done, SimTime::from_secs_f64(1.0) + SimTime::from_millis_f64(0.4));
+        assert_eq!(
+            done,
+            SimTime::from_secs_f64(1.0) + SimTime::from_millis_f64(0.4)
+        );
     }
 
     #[test]

@@ -272,7 +272,11 @@ mod tests {
         let mut d = Disk::new(DiskParams::default());
         let mut r = rng();
         for i in 0..50 {
-            d.submit(SimTime::from_millis_f64(i as f64 * 5.0), (i * 29) % 1449, &mut r);
+            d.submit(
+                SimTime::from_millis_f64(i as f64 * 5.0),
+                (i * 29) % 1449,
+                &mut r,
+            );
         }
         let horizon = d.busy_until();
         let u = d.utilization(horizon);

@@ -169,7 +169,10 @@ mod tests {
                     })
                     .collect(),
             );
-            assert_eq!(decode_node(encode_node(&leaf, dim), dim, page()).unwrap(), leaf);
+            assert_eq!(
+                decode_node(encode_node(&leaf, dim), dim, page()).unwrap(),
+                leaf
+            );
             let internal = SsNode::Internal {
                 level: 2,
                 entries: (0..5)

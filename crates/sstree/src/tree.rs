@@ -4,7 +4,7 @@
 use crate::codec;
 use crate::node::{SsLeafEntry, SsNode, SsSphereEntry};
 use sqda_geom::{GeomError, Point, Region};
-use sqda_storage::{DiskId, PageId, PageStore, StorageError};
+use sqda_storage::{DiskId, IoStats, NodeCache, PageId, PageStore, StorageError};
 use std::sync::Arc;
 
 /// Errors from SS-tree operations.
@@ -39,12 +39,28 @@ impl std::fmt::Display for SsError {
             SsError::Storage(e) => write!(f, "storage error: {e}"),
             SsError::Geometry(e) => write!(f, "geometry error: {e}"),
             SsError::DimensionMismatch { expected, got } => {
-                write!(f, "dimension mismatch: tree is {expected}-d, point is {got}-d")
+                write!(
+                    f,
+                    "dimension mismatch: tree is {expected}-d, point is {got}-d"
+                )
             }
         }
     }
 }
 impl std::error::Error for SsError {}
+
+/// SS-tree failures cross the query-engine boundary as [`sqda_core::QueryError`]
+/// like every other access method's.
+impl From<SsError> for sqda_core::QueryError {
+    fn from(e: SsError) -> Self {
+        match e {
+            SsError::Storage(e) => sqda_core::QueryError::from(e),
+            SsError::Geometry(_) | SsError::DimensionMismatch { .. } => {
+                sqda_core::QueryError::Invariant(e.to_string())
+            }
+        }
+    }
+}
 
 /// Convenience alias.
 pub type Result<T> = std::result::Result<T, SsError>;
@@ -131,6 +147,7 @@ pub struct SsTree<S: PageStore> {
     height: u32,
     num_objects: u64,
     next_disk: std::sync::atomic::AtomicU64,
+    cache: Option<Arc<NodeCache<SsNode>>>,
 }
 
 impl<S: PageStore> SsTree<S> {
@@ -145,7 +162,36 @@ impl<S: PageStore> SsTree<S> {
             height: 1,
             num_objects: 0,
             next_disk: std::sync::atomic::AtomicU64::new(1),
+            cache: None,
         })
+    }
+
+    /// Attaches a decoded-node cache; subsequent `read_node` calls that
+    /// hit it skip both the page read and the decode.
+    pub fn with_node_cache(mut self, cache: Arc<NodeCache<SsNode>>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Attaches (or replaces) a decoded-node cache.
+    pub fn set_node_cache(&mut self, cache: Arc<NodeCache<SsNode>>) {
+        self.cache = Some(cache);
+    }
+
+    /// The attached decoded-node cache, if any.
+    pub fn node_cache(&self) -> Option<&Arc<NodeCache<SsNode>>> {
+        self.cache.as_ref()
+    }
+
+    /// Store I/O counters merged with the node-cache counters.
+    pub fn io_stats(&self) -> IoStats {
+        let mut stats = self.store.stats();
+        if let Some(cache) = &self.cache {
+            let c = cache.stats();
+            stats.cache_hits = c.hits;
+            stats.cache_misses = c.misses;
+        }
+        stats
     }
 
     /// The root page.
@@ -178,15 +224,27 @@ impl<S: PageStore> SsTree<S> {
         &self.store
     }
 
-    /// Reads a node.
+    /// Reads a node, consulting the decoded-node cache when one is
+    /// attached.
     pub fn read_node(&self, page: PageId) -> Result<SsNode> {
-        let bytes = self.store.read(page)?;
-        Ok(codec::decode_node(bytes, self.config.dim, page)?)
+        let dim = self.config.dim;
+        match &self.cache {
+            Some(cache) => cache.read_through(self.store.as_ref(), page, |bytes| {
+                codec::decode_node(bytes, dim, page).map_err(SsError::from)
+            }),
+            None => {
+                let bytes = self.store.read(page)?;
+                Ok(codec::decode_node(bytes, dim, page)?)
+            }
+        }
     }
 
     fn write_node(&self, page: PageId, node: &SsNode) -> Result<()> {
         self.store
             .write(page, codec::encode_node(node, self.config.dim))?;
+        if let Some(cache) = &self.cache {
+            cache.invalidate(page);
+        }
         Ok(())
     }
 
@@ -220,7 +278,13 @@ impl<S: PageStore> SsTree<S> {
                 proximity[a]
                     .partial_cmp(&proximity[b])
                     .expect("finite")
-                    .then(pages.get(a).copied().unwrap_or(0).cmp(&pages.get(b).copied().unwrap_or(0)))
+                    .then(
+                        pages
+                            .get(a)
+                            .copied()
+                            .unwrap_or(0)
+                            .cmp(&pages.get(b).copied().unwrap_or(0)),
+                    )
                     .then(a.cmp(&b))
             })
             .unwrap_or(0);
@@ -371,7 +435,7 @@ impl<S: PageStore> SsTree<S> {
         &self,
         center: &Point,
         k: usize,
-    ) -> std::result::Result<Vec<sqda_core::Neighbor>, sqda_core::AmError> {
+    ) -> std::result::Result<Vec<sqda_core::Neighbor>, sqda_core::QueryError> {
         sqda_core::best_first_knn(self, center, k)
     }
 
@@ -466,10 +530,7 @@ fn variance_split(centers: &[&Point], m: usize) -> (Vec<usize>, Vec<usize>) {
             best_cut = cut;
         }
     }
-    (
-        order[..best_cut].to_vec(),
-        order[best_cut..].to_vec(),
-    )
+    (order[..best_cut].to_vec(), order[best_cut..].to_vec())
 }
 
 impl<S: PageStore> sqda_core::AccessMethod for SsTree<S> {
@@ -481,9 +542,29 @@ impl<S: PageStore> sqda_core::AccessMethod for SsTree<S> {
         self.store.num_disks()
     }
 
-    fn read_index_node(&self, page: PageId) -> std::result::Result<sqda_core::IndexNode, sqda_core::AmError> {
-        let node = self.read_node(page).map_err(Box::new)?;
-        Ok(match node {
+    fn read_index_node(
+        &self,
+        page: PageId,
+    ) -> std::result::Result<sqda_core::IndexNode, sqda_core::QueryError> {
+        Ok(self.read_node(page)?.into())
+    }
+
+    fn placement(
+        &self,
+        page: PageId,
+    ) -> std::result::Result<sqda_storage::Placement, sqda_core::QueryError> {
+        Ok(self
+            .store
+            .placement(page)
+            .map_err(sqda_core::QueryError::from)?)
+    }
+}
+
+/// The one place an SS-tree node becomes the algorithms' view of it (the
+/// R\*-tree's counterpart lives in `sqda_core::access`).
+impl From<SsNode> for sqda_core::IndexNode {
+    fn from(node: SsNode) -> Self {
+        match node {
             SsNode::Leaf(entries) => sqda_core::IndexNode::Leaf(
                 entries.into_iter().map(|e| (e.point, e.object)).collect(),
             ),
@@ -497,14 +578,7 @@ impl<S: PageStore> sqda_core::AccessMethod for SsTree<S> {
                     })
                     .collect(),
             ),
-        })
-    }
-
-    fn placement(
-        &self,
-        page: PageId,
-    ) -> std::result::Result<sqda_storage::Placement, sqda_core::AmError> {
-        Ok(self.store.placement(page).map_err(Box::new)?)
+        }
     }
 }
 

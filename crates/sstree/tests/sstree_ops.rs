@@ -111,14 +111,18 @@ fn crss_batches_bounded_over_spheres() {
     let q = Point::splat(2, 50.0);
     let mut algo = AlgorithmKind::Crss.build(&tree, q, 30).unwrap();
     let run = run_query(&tree, algo.as_mut()).unwrap();
-    assert!(run.max_batch <= 5, "batch {} exceeds 5 disks", run.max_batch);
+    assert!(
+        run.max_batch <= 5,
+        "batch {} exceeds 5 disks",
+        run.max_batch
+    );
 }
 
 #[test]
 fn sstree_runs_under_the_simulator() {
     let points = random_points(3000, 5, 10);
     let tree = build(&points, 5, 8, 14);
-    let sim = Simulation::new(&tree, SystemParams::with_disks(8));
+    let sim = Simulation::new(&tree, SystemParams::with_disks(8)).unwrap();
     let queries: Vec<Point> = random_points(20, 5, 11);
     let w = Workload::poisson(queries, 10, 5.0, 12);
     let wopt = sim.run(AlgorithmKind::Woptss, &w, 13).unwrap();

@@ -1,23 +1,26 @@
-//! A small fixed-capacity LRU page cache.
+//! Fixed-capacity LRU caches: raw page bytes ([`LruCache`]) and a
+//! thread-safe decoded-node cache ([`NodeCache`]).
 //!
 //! The paper's experiments count every node access as a disk access (no
-//! buffer pool), so the experiment harness leaves the cache out. The cache
-//! is provided for library users who want realistic repeated-query
-//! workloads, and for the "cached root" configuration, where the root page
-//! (read by every single query) is pinned in memory.
+//! buffer pool), so the experiment harness leaves the caches out. They are
+//! provided for library users who want realistic repeated-query
+//! workloads: a warm [`NodeCache`] serves repeated node lookups without
+//! re-reading *or re-decoding* the page.
 
-use crate::PageId;
+use crate::{PageId, PageStore, StorageError};
 use bytes::Bytes;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 
-/// A fixed-capacity least-recently-used page cache.
+/// A fixed-capacity least-recently-used cache keyed by [`PageId`].
 ///
 /// Uses an intrusive doubly-linked list over a slab, with a `HashMap` index
-/// — O(1) `get` / `insert` / eviction.
-pub struct LruCache {
+/// — O(1) `get` / `insert` / eviction. The value type defaults to raw page
+/// [`Bytes`]; [`NodeCache`] instantiates it with decoded nodes.
+pub struct LruCache<V = Bytes> {
     capacity: usize,
     map: HashMap<PageId, usize>,
-    entries: Vec<EntrySlot>,
+    entries: Vec<EntrySlot<V>>,
     head: usize, // most recently used
     tail: usize, // least recently used
     free: Vec<usize>,
@@ -25,16 +28,16 @@ pub struct LruCache {
     misses: u64,
 }
 
-struct EntrySlot {
+struct EntrySlot<V> {
     page: PageId,
-    data: Bytes,
+    data: V,
     prev: usize,
     next: usize,
 }
 
 const NIL: usize = usize::MAX;
 
-impl LruCache {
+impl<V: Clone> LruCache<V> {
     /// Creates a cache holding at most `capacity` pages.
     ///
     /// # Panics
@@ -111,7 +114,7 @@ impl LruCache {
     }
 
     /// Looks up a page, marking it most-recently-used on a hit.
-    pub fn get(&mut self, page: PageId) -> Option<Bytes> {
+    pub fn get(&mut self, page: PageId) -> Option<V> {
         match self.map.get(&page).copied() {
             Some(idx) => {
                 self.hits += 1;
@@ -130,7 +133,7 @@ impl LruCache {
 
     /// Inserts (or refreshes) a page, evicting the LRU entry if full.
     /// Returns the evicted page id, if any.
-    pub fn insert(&mut self, page: PageId, data: Bytes) -> Option<PageId> {
+    pub fn insert(&mut self, page: PageId, data: V) -> Option<PageId> {
         if let Some(&idx) = self.map.get(&page) {
             self.entries[idx].data = data;
             if self.head != idx {
@@ -187,6 +190,113 @@ impl LruCache {
         self.tail = NIL;
         self.hits = 0;
         self.misses = 0;
+    }
+}
+
+/// A point-in-time snapshot of a [`NodeCache`]'s counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the store.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub len: usize,
+    /// Maximum number of entries.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 when no lookups have happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe, capacity-bounded LRU cache of *decoded* nodes.
+///
+/// Sits between a [`PageStore`] and an access method: on a hit the store
+/// is not touched at all (no page read, no decode); on a miss the caller's
+/// decoder runs once and the result is cached. One `NodeCache` can be
+/// shared by any number of concurrent readers — the interior lock is held
+/// only for the O(1) map/list operations, never across storage I/O or
+/// decoding.
+pub struct NodeCache<T> {
+    inner: Mutex<LruCache<T>>,
+}
+
+impl<T: Clone> NodeCache<T> {
+    /// Creates a cache holding at most `capacity` decoded nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(LruCache::new(capacity)),
+        }
+    }
+
+    /// Looks up a node, marking it most-recently-used on a hit.
+    pub fn get(&self, page: PageId) -> Option<T> {
+        self.inner.lock().get(page)
+    }
+
+    /// Inserts (or refreshes) a node, evicting the LRU entry if full.
+    pub fn insert(&self, page: PageId, node: T) {
+        self.inner.lock().insert(page, node);
+    }
+
+    /// Removes a node (call on page write or free so stale decodes are
+    /// never served). Returns whether the page was cached.
+    pub fn invalidate(&self, page: PageId) -> bool {
+        self.inner.lock().invalidate(page)
+    }
+
+    /// Drops all cached nodes and resets the counters.
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        let c = self.inner.lock();
+        CacheStats {
+            hits: c.hits(),
+            misses: c.misses(),
+            len: c.len(),
+            capacity: c.capacity,
+        }
+    }
+
+    /// The shared decode seam: returns the cached node for `page`, or
+    /// reads the page from `store`, decodes it with `decode`, caches and
+    /// returns the result.
+    ///
+    /// Both trees route their `read_node` through this single function, so
+    /// "fetch bytes, decode, cache" lives in exactly one place.
+    pub fn read_through<E, F>(
+        &self,
+        store: &(impl PageStore + ?Sized),
+        page: PageId,
+        decode: F,
+    ) -> std::result::Result<T, E>
+    where
+        E: From<StorageError>,
+        F: FnOnce(Bytes) -> std::result::Result<T, E>,
+    {
+        if let Some(node) = self.get(page) {
+            return Ok(node);
+        }
+        let bytes = store.read(page).map_err(E::from)?;
+        let node = decode(bytes)?;
+        self.insert(page, node.clone());
+        Ok(node)
     }
 }
 
@@ -271,6 +381,100 @@ mod tests {
         // Reusable after clear.
         c.insert(page(2), data("b"));
         assert!(c.get(page(2)).is_some());
+    }
+
+    #[test]
+    fn node_cache_hit_miss_stats() {
+        let c: NodeCache<String> = NodeCache::new(2);
+        assert!(c.get(page(1)).is_none());
+        c.insert(page(1), "a".into());
+        assert_eq!(c.get(page(1)).unwrap(), "a");
+        let st = c.stats();
+        assert_eq!((st.hits, st.misses, st.len, st.capacity), (1, 1, 1, 2));
+        assert_eq!(st.hit_rate(), 0.5);
+        c.clear();
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                capacity: 2,
+                ..CacheStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn node_cache_eviction_order() {
+        let c: NodeCache<u32> = NodeCache::new(2);
+        c.insert(page(1), 10);
+        c.insert(page(2), 20);
+        // Touch 1 so 2 becomes the LRU victim.
+        c.get(page(1));
+        c.insert(page(3), 30);
+        assert!(c.get(page(2)).is_none());
+        assert_eq!(c.get(page(1)), Some(10));
+        assert_eq!(c.get(page(3)), Some(30));
+    }
+
+    #[test]
+    fn node_cache_capacity_one() {
+        let c: NodeCache<u64> = NodeCache::new(1);
+        for i in 0..10 {
+            c.insert(page(i), i);
+            assert_eq!(c.stats().len, 1);
+            assert_eq!(c.get(page(i)), Some(i));
+            if i > 0 {
+                assert!(c.get(page(i - 1)).is_none());
+            }
+        }
+        assert!(c.invalidate(page(9)));
+        assert_eq!(c.stats().len, 0);
+    }
+
+    #[test]
+    fn read_through_decodes_once_per_resident_page() {
+        use crate::{ArrayStore, DiskId};
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let store = ArrayStore::new(2, 10, 1);
+        let p = store.allocate(DiskId(0)).unwrap();
+        store.write(p, Bytes::from_static(b"42")).unwrap();
+        let cache: NodeCache<u64> = NodeCache::new(4);
+        let decodes = AtomicU64::new(0);
+        for _ in 0..5 {
+            let v: std::result::Result<u64, StorageError> =
+                cache.read_through(&store, p, |bytes| {
+                    decodes.fetch_add(1, Ordering::Relaxed);
+                    Ok(std::str::from_utf8(&bytes).unwrap().parse().unwrap())
+                });
+            assert_eq!(v.unwrap(), 42);
+        }
+        // One miss (read + decode), then pure hits: the store saw one read.
+        assert_eq!(decodes.load(Ordering::Relaxed), 1);
+        assert_eq!(store.stats().reads, 1);
+        let st = cache.stats();
+        assert_eq!((st.hits, st.misses), (4, 1));
+        // Invalidation forces a fresh read + decode.
+        cache.invalidate(p);
+        let _ = cache
+            .read_through::<StorageError, _>(&store, p, |_| {
+                decodes.fetch_add(1, Ordering::Relaxed);
+                Ok(0)
+            })
+            .unwrap();
+        assert_eq!(decodes.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn read_through_propagates_storage_errors() {
+        use crate::ArrayStore;
+        let store = ArrayStore::new(2, 10, 1);
+        let cache: NodeCache<u64> = NodeCache::new(4);
+        let bogus = page(99);
+        let err = cache
+            .read_through::<StorageError, _>(&store, bogus, |_| Ok(1))
+            .unwrap_err();
+        assert_eq!(err, StorageError::PageNotFound(bogus));
+        assert_eq!(cache.stats().len, 0);
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl std::fmt::Display for StorageError {
                 page,
                 len,
                 page_size,
-            } => write!(f, "write of {len} bytes to {page} exceeds page size {page_size}"),
+            } => write!(
+                f,
+                "write of {len} bytes to {page} exceeds page size {page_size}"
+            ),
             StorageError::NoSuchDisk { disk, num_disks } => {
                 write!(f, "disk {disk} out of range (array has {num_disks} disks)")
             }

@@ -95,10 +95,9 @@ impl FileStore {
                 free_pages: Vec::new(),
                 rng: StdRng::seed_from_u64(seed),
                 stats: IoStats {
-                    reads: 0,
-                    writes: 0,
                     reads_per_disk: vec![0; num_disks as usize],
                     writes_per_disk: vec![0; num_disks as usize],
+                    ..IoStats::default()
                 },
             }),
         };
@@ -171,10 +170,9 @@ impl FileStore {
                 free_pages,
                 rng: StdRng::seed_from_u64(rng_seed),
                 stats: IoStats {
-                    reads: 0,
-                    writes: 0,
                     reads_per_disk: vec![0; num_disks as usize],
                     writes_per_disk: vec![0; num_disks as usize],
+                    ..IoStats::default()
                 },
             }),
         })
@@ -243,11 +241,7 @@ impl PageStore for FileStore {
         let mut inner = self.inner.lock();
         let cylinder = inner.rng.gen_range(0..self.num_cylinders);
         // Prefer a freed slot on the target disk.
-        let slot = if let Some(pos) = inner
-            .free_slots
-            .iter()
-            .position(|(d, _)| *d == disk.0)
-        {
+        let slot = if let Some(pos) = inner.free_slots.iter().position(|(d, _)| *d == disk.0) {
             inner.free_slots.swap_remove(pos).1
         } else {
             let s = inner.next_slot[disk.index()];
@@ -285,7 +279,10 @@ impl PageStore for FileStore {
                 .and_then(|s| s.as_mut())
                 .ok_or(StorageError::PageNotFound(page))?;
             info.len = data.len() as u32;
-            (info.placement.disk.index(), info.slot * self.page_size as u64)
+            (
+                info.placement.disk.index(),
+                info.slot * self.page_size as u64,
+            )
         };
         let file = &mut inner.files[disk];
         file.seek(SeekFrom::Start(offset))
@@ -338,9 +335,7 @@ impl PageStore for FileStore {
             .ok_or(StorageError::PageNotFound(page))?
             .take()
             .ok_or(StorageError::PageNotFound(page))?;
-        inner
-            .free_slots
-            .push((info.placement.disk.0, info.slot));
+        inner.free_slots.push((info.placement.disk.0, info.slot));
         inner.free_pages.push(page.as_raw());
         Ok(())
     }
@@ -363,10 +358,9 @@ impl PageStore for FileStore {
         let mut inner = self.inner.lock();
         let n = self.num_disks as usize;
         inner.stats = IoStats {
-            reads: 0,
-            writes: 0,
             reads_per_disk: vec![0; n],
             writes_per_disk: vec![0; n],
+            ..IoStats::default()
         };
     }
 
@@ -385,7 +379,8 @@ mod tests {
     use super::*;
 
     fn tmpdir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("sqda-filestore-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("sqda-filestore-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }

@@ -11,7 +11,9 @@
 //!   explicit disk placement, plus per-disk I/O accounting,
 //! * [`ArrayStore`] — the in-memory RAID-0 store used by the simulation
 //!   (contents are held in RAM; *timing* is provided by `sqda-simkernel`),
-//! * [`LruCache`] — an optional fixed-capacity page cache.
+//! * [`LruCache`] — an optional fixed-capacity page cache,
+//! * [`NodeCache`] — a thread-safe LRU over *decoded* nodes that the
+//!   access methods can share for repeated-query workloads.
 //!
 //! Separating *what is stored where* (this crate) from *how long an access
 //! takes* (the simulator) lets the similarity-search algorithms run either
@@ -25,7 +27,7 @@ mod page;
 mod placement;
 mod store;
 
-pub use cache::LruCache;
+pub use cache::{CacheStats, LruCache, NodeCache};
 pub use error::{Result, StorageError};
 pub use filestore::FileStore;
 pub use page::{PageId, DEFAULT_PAGE_SIZE};

@@ -5,13 +5,16 @@ use bytes::Bytes;
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 /// Cumulative I/O counters for a store.
 ///
 /// The logical executor of the similarity-search algorithms uses these to
 /// report the *number of visited nodes* (Figures 8–9 of the paper); the
 /// per-disk breakdown exposes how well a declustering heuristic balances
-/// load across the array.
+/// load across the array. When a decoded-node cache fronts the store,
+/// `cache_hits`/`cache_misses` record how many node lookups it absorbed
+/// (zero for a bare store).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IoStats {
     /// Total page reads.
@@ -22,6 +25,11 @@ pub struct IoStats {
     pub reads_per_disk: Vec<u64>,
     /// Writes broken down by disk.
     pub writes_per_disk: Vec<u64>,
+    /// Node lookups served from a decoded-node cache without touching
+    /// the store.
+    pub cache_hits: u64,
+    /// Node lookups that fell through the cache to the store.
+    pub cache_misses: u64,
 }
 
 impl IoStats {
@@ -31,6 +39,8 @@ impl IoStats {
             writes: 0,
             reads_per_disk: vec![0; num_disks as usize],
             writes_per_disk: vec![0; num_disks as usize],
+            cache_hits: 0,
+            cache_misses: 0,
         }
     }
 
@@ -112,19 +122,66 @@ struct Inner {
     slots: Vec<Option<Slot>>,
     free_list: Vec<u64>,
     rng: StdRng,
-    stats: IoStats,
+}
+
+/// Lock-free I/O counters, kept outside the slot table's `RwLock` so the
+/// hot read path never needs exclusive access just to do bookkeeping.
+/// Relaxed ordering suffices: the counters are monotonic tallies with no
+/// ordering relationship to the data they count.
+struct Counters {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    reads_per_disk: Vec<AtomicU64>,
+    writes_per_disk: Vec<AtomicU64>,
+}
+
+impl Counters {
+    fn new(num_disks: u32) -> Self {
+        Self {
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            reads_per_disk: (0..num_disks).map(|_| AtomicU64::new(0)).collect(),
+            writes_per_disk: (0..num_disks).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn snapshot(&self, num_disks: u32) -> IoStats {
+        let mut stats = IoStats::new(num_disks);
+        stats.reads = self.reads.load(Relaxed);
+        stats.writes = self.writes.load(Relaxed);
+        for (out, c) in stats.reads_per_disk.iter_mut().zip(&self.reads_per_disk) {
+            *out = c.load(Relaxed);
+        }
+        for (out, c) in stats.writes_per_disk.iter_mut().zip(&self.writes_per_disk) {
+            *out = c.load(Relaxed);
+        }
+        stats
+    }
+
+    fn reset(&self) {
+        self.reads.store(0, Relaxed);
+        self.writes.store(0, Relaxed);
+        for c in &self.reads_per_disk {
+            c.store(0, Relaxed);
+        }
+        for c in &self.writes_per_disk {
+            c.store(0, Relaxed);
+        }
+    }
 }
 
 /// An in-memory RAID level-0 page store.
 ///
 /// Contents live in RAM: this store answers *what* is on each page, while
 /// `sqda-simkernel` models *how long* the access would take on the modelled
-/// hardware. Reads and writes are counted per disk.
+/// hardware. Reads and writes are counted per disk with atomic counters,
+/// so concurrent readers only ever take the shared lock.
 pub struct ArrayStore {
     num_disks: u32,
     num_cylinders: u32,
     page_size: usize,
     inner: RwLock<Inner>,
+    counters: Counters,
 }
 
 impl ArrayStore {
@@ -140,12 +197,7 @@ impl ArrayStore {
     /// # Panics
     ///
     /// Panics if `num_disks`, `num_cylinders` or `page_size` is zero.
-    pub fn with_page_size(
-        num_disks: u32,
-        num_cylinders: u32,
-        page_size: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn with_page_size(num_disks: u32, num_cylinders: u32, page_size: usize, seed: u64) -> Self {
         assert!(num_disks > 0, "array needs at least one disk");
         assert!(num_cylinders > 0, "disks need at least one cylinder");
         assert!(page_size > 0, "page size must be positive");
@@ -157,8 +209,8 @@ impl ArrayStore {
                 slots: Vec::new(),
                 free_list: Vec::new(),
                 rng: StdRng::seed_from_u64(seed),
-                stats: IoStats::new(num_disks),
             }),
+            counters: Counters::new(num_disks),
         }
     }
 
@@ -167,7 +219,6 @@ impl ArrayStore {
         let inner = self.inner.read();
         inner.slots.iter().filter(|s| s.is_some()).count()
     }
-
 }
 
 impl PageStore for ArrayStore {
@@ -223,13 +274,15 @@ impl PageStore for ArrayStore {
             .ok_or(StorageError::PageNotFound(page))?;
         slot.data = Some(data);
         let disk = slot.placement.disk.index();
-        inner.stats.writes += 1;
-        inner.stats.writes_per_disk[disk] += 1;
+        self.counters.writes.fetch_add(1, Relaxed);
+        self.counters.writes_per_disk[disk].fetch_add(1, Relaxed);
         Ok(())
     }
 
     fn read(&self, page: PageId) -> Result<Bytes> {
-        let mut inner = self.inner.write();
+        // Read lock only: the slot table is not mutated, and the I/O
+        // tally lives in atomics — concurrent readers never serialize.
+        let inner = self.inner.read();
         let slot = inner
             .slots
             .get(page.as_raw() as usize)
@@ -240,8 +293,8 @@ impl PageStore for ArrayStore {
             .clone()
             .ok_or(StorageError::UninitializedPage(page))?;
         let disk = slot.placement.disk.index();
-        inner.stats.reads += 1;
-        inner.stats.reads_per_disk[disk] += 1;
+        self.counters.reads.fetch_add(1, Relaxed);
+        self.counters.reads_per_disk[disk].fetch_add(1, Relaxed);
         Ok(data)
     }
 
@@ -270,11 +323,11 @@ impl PageStore for ArrayStore {
     }
 
     fn stats(&self) -> IoStats {
-        self.inner.read().stats.clone()
+        self.counters.snapshot(self.num_disks)
     }
 
     fn reset_stats(&self) {
-        self.inner.write().stats = IoStats::new(self.num_disks);
+        self.counters.reset();
     }
 
     fn pages_per_disk(&self) -> Vec<usize> {
@@ -382,18 +435,52 @@ mod tests {
     fn imbalance_metric() {
         let balanced = IoStats {
             reads: 8,
-            writes: 0,
             reads_per_disk: vec![2, 2, 2, 2],
             writes_per_disk: vec![0; 4],
+            ..IoStats::default()
         };
         assert_eq!(balanced.read_imbalance(), 0.0);
         let skewed = IoStats {
             reads: 8,
-            writes: 0,
             reads_per_disk: vec![8, 0, 0, 0],
             writes_per_disk: vec![0; 4],
+            ..IoStats::default()
         };
         assert!(skewed.read_imbalance() > 1.0);
+    }
+
+    #[test]
+    fn concurrent_readers_see_consistent_stats() {
+        // Many threads hammer the read path at once; the atomic counters
+        // must account for every read, and the per-disk breakdown must
+        // sum to the total.
+        let s = store();
+        let mut pages = Vec::new();
+        for i in 0..16u32 {
+            let p = s.allocate(DiskId(i % 4)).unwrap();
+            s.write(p, Bytes::from(vec![i as u8; 4])).unwrap();
+            pages.push(p);
+        }
+        s.reset_stats();
+        const THREADS: usize = 8;
+        const READS_PER_THREAD: usize = 500;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let s = &s;
+                let pages = &pages;
+                scope.spawn(move || {
+                    for i in 0..READS_PER_THREAD {
+                        let p = pages[(t + i) % pages.len()];
+                        s.read(p).unwrap();
+                    }
+                });
+            }
+        });
+        let st = s.stats();
+        assert_eq!(st.reads, (THREADS * READS_PER_THREAD) as u64);
+        assert_eq!(st.reads_per_disk.iter().sum::<u64>(), st.reads);
+        assert_eq!(st.writes, 0);
+        assert_eq!(st.cache_hits, 0);
     }
 
     #[test]

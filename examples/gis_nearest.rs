@@ -21,12 +21,8 @@ use std::sync::Arc;
 fn main() {
     let dataset = california_like(62_173, 11);
     let store = Arc::new(ArrayStore::new(10, 1449, 12));
-    let mut tree = RStarTree::create(
-        store,
-        RStarConfig::new(2),
-        Box::new(ProximityIndex),
-    )
-    .expect("create tree");
+    let mut tree = RStarTree::create(store, RStarConfig::new(2), Box::new(ProximityIndex))
+        .expect("create tree");
     for (i, p) in dataset.points.iter().enumerate() {
         tree.insert(p.clone(), i as u64).expect("insert");
     }
@@ -52,9 +48,17 @@ fn main() {
         .build(&tree, here.clone(), k)
         .expect("build");
     let run = run_query(&tree, crss.as_mut()).expect("query");
-    println!("\nthe {k} closest places (CRSS, {} node reads):", run.nodes_visited);
+    println!(
+        "\nthe {k} closest places (CRSS, {} node reads):",
+        run.nodes_visited
+    );
     for n in &run.results {
-        println!("  place #{:<6} at {}  distance {:.5}", n.object.0, n.point, n.dist());
+        println!(
+            "  place #{:<6} at {}  distance {:.5}",
+            n.object.0,
+            n.point,
+            n.dist()
+        );
     }
 
     // Transforming the k-NN into a range query with the (now known)
@@ -63,5 +67,8 @@ fn main() {
     let dk = run.results.last().expect("k answers").dist();
     let exact = tree.range_query(&here, dk).expect("range query");
     assert!(exact.len() >= k);
-    println!("\nrange query with the oracle radius ε = D_k = {dk:.5} → {} places", exact.len());
+    println!(
+        "\nrange query with the oracle radius ε = D_k = {dk:.5} → {} places",
+        exact.len()
+    );
 }

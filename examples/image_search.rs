@@ -44,12 +44,8 @@ fn main() {
         .collect();
 
     let store = Arc::new(ArrayStore::new(10, 1449, 7));
-    let mut tree = RStarTree::create(
-        store,
-        RStarConfig::new(DIM),
-        Box::new(ProximityIndex),
-    )
-    .expect("create tree");
+    let mut tree = RStarTree::create(store, RStarConfig::new(DIM), Box::new(ProximityIndex))
+        .expect("create tree");
 
     println!("indexing {LIBRARY} images as {DIM}-d colour histograms...");
     let mut histograms = Vec::with_capacity(LIBRARY);
@@ -76,7 +72,10 @@ fn main() {
     for n in &run.results {
         println!("  image #{:<6} distance {:.4}", n.object.0, n.dist());
     }
-    assert_eq!(run.results[0].object.0 as usize, probe_id, "self-match first");
+    assert_eq!(
+        run.results[0].object.0 as usize, probe_id,
+        "self-match first"
+    );
 
     // Cross-check against exact brute force.
     let mut brute: Vec<(usize, f64)> = histograms
@@ -96,6 +95,11 @@ fn main() {
     for kind in AlgorithmKind::ALL {
         let mut algo = kind.build(&tree, probe.clone(), 8).expect("algorithm");
         let r = run_query(&tree, algo.as_mut()).expect("query");
-        println!("{:<8} {:>8} {:>10}", kind.name(), r.nodes_visited, r.max_batch);
+        println!(
+            "{:<8} {:>8} {:>10}",
+            kind.name(),
+            r.nodes_visited,
+            r.max_batch
+        );
     }
 }

@@ -18,12 +18,8 @@ fn main() {
     // A 5-d Gaussian dataset of 30,000 feature vectors on 10 disks.
     let dataset = gaussian(30_000, 5, 21);
     let store = Arc::new(ArrayStore::new(10, 1449, 22));
-    let mut tree = RStarTree::create(
-        store,
-        RStarConfig::new(5),
-        Box::new(ProximityIndex),
-    )
-    .expect("create tree");
+    let mut tree = RStarTree::create(store, RStarConfig::new(5), Box::new(ProximityIndex))
+        .expect("create tree");
     for (i, p) in dataset.points.iter().enumerate() {
         tree.insert(p.clone(), i as u64).expect("insert");
     }
@@ -37,7 +33,7 @@ fn main() {
     // 100 queries for k=20 neighbours arriving at λ = 8 queries/second.
     let queries = dataset.sample_queries(100, 23);
     let workload = Workload::poisson(queries, 20, 8.0, 24);
-    let sim = Simulation::new(&tree, SystemParams::with_disks(10));
+    let sim = Simulation::new(&tree, SystemParams::with_disks(10)).expect("simulation");
 
     println!(
         "{:<8} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8}",

@@ -16,12 +16,8 @@ fn main() {
     // 2. An R*-tree for 2-d points, declustered with the Proximity-Index
     //    heuristic: sibling nodes that are spatially close land on
     //    different disks so one query can fetch them in parallel.
-    let mut tree = RStarTree::create(
-        store,
-        RStarConfig::new(2),
-        Box::new(ProximityIndex),
-    )
-    .expect("create tree");
+    let mut tree = RStarTree::create(store, RStarConfig::new(2), Box::new(ProximityIndex))
+        .expect("create tree");
 
     // 3. Index a spiral of 20,000 points.
     for i in 0..20_000u64 {
@@ -41,10 +37,15 @@ fn main() {
     //    algorithm. All four return identical answers; they differ in how
     //    many nodes they touch and how much parallelism they use.
     let query = Point::new(vec![0.0, 0.0]);
-    println!("\n{:<8} {:>12} {:>10} {:>10}", "algo", "nodes", "batches", "max batch");
+    println!(
+        "\n{:<8} {:>12} {:>10} {:>10}",
+        "algo", "nodes", "batches", "max batch"
+    );
     let mut reference: Option<Vec<u64>> = None;
     for kind in AlgorithmKind::ALL {
-        let mut algo = kind.build(&tree, query.clone(), 10).expect("build algorithm");
+        let mut algo = kind
+            .build(&tree, query.clone(), 10)
+            .expect("build algorithm");
         let run = run_query(&tree, algo.as_mut()).expect("run query");
         println!(
             "{:<8} {:>12} {:>10} {:>10}",

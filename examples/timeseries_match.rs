@@ -72,12 +72,8 @@ fn main() {
 
     // Index every window's Fourier signature.
     let store = Arc::new(ArrayStore::new(8, 1449, 99));
-    let mut tree = RStarTree::create(
-        store,
-        RStarConfig::new(DIM),
-        Box::new(ProximityIndex),
-    )
-    .expect("create tree");
+    let mut tree = RStarTree::create(store, RStarConfig::new(DIM), Box::new(ProximityIndex))
+        .expect("create tree");
     let windows = len - WINDOW + 1;
     println!("indexing {windows} sliding windows as {DIM}-d Fourier signatures...");
     for start in 0..windows {

@@ -2,9 +2,9 @@
 //! declustered R*-tree on a simulated array → all four algorithms → both
 //! executors.
 
-use sqda::prelude::*;
 use sqda::core::exec::QueryRun;
 use sqda::datasets::{california_like, gaussian, long_beach_like, uniform};
+use sqda::prelude::*;
 use std::sync::Arc;
 
 fn index(dataset: &Dataset, disks: u32) -> RStarTree<ArrayStore> {
@@ -74,7 +74,7 @@ fn sequential_knn_agrees_with_parallel_algorithms() {
 fn full_pipeline_with_simulation() {
     let dataset = california_like(5000, 7);
     let tree = index(&dataset, 5);
-    let sim = Simulation::new(&tree, SystemParams::with_disks(5));
+    let sim = Simulation::new(&tree, SystemParams::with_disks(5)).unwrap();
     let workload = Workload::poisson(dataset.sample_queries(15, 8), 10, 5.0, 9);
     let mut means = Vec::new();
     for kind in AlgorithmKind::ALL {
@@ -89,7 +89,10 @@ fn full_pipeline_with_simulation() {
         .unwrap()
         .1;
     for (kind, m) in &means {
-        assert!(*m >= wopt * 0.999, "{kind} {m} under the WOPTSS floor {wopt}");
+        assert!(
+            *m >= wopt * 0.999,
+            "{kind} {m} under the WOPTSS floor {wopt}"
+        );
     }
 }
 
