@@ -7,7 +7,7 @@
 //! pages); for small loads and many disks it can be marginally better
 //! than CRSS, but degrades fastest as λ grows; WOPTSS is the floor.
 
-use sqda_bench::{build_tree, f4, parallel_map, simulate, ExpOptions, ResultsTable};
+use sqda_bench::{build_tree, f4, parallel_map, simulate_observed, ExpOptions, ResultsTable};
 use sqda_core::AlgorithmKind;
 use sqda_datasets::{california_like, long_beach_like, CP_CARDINALITY, LB_CARDINALITY};
 
@@ -60,7 +60,7 @@ fn main() {
             .flat_map(|&lambda| AlgorithmKind::ALL.map(|kind| (lambda, kind)))
             .collect();
         let cells = parallel_map(&points, opts.jobs, |&(lambda, kind)| {
-            f4(simulate(&tree, &queries, cfg.k, lambda, kind, 1012).mean_response_s)
+            f4(simulate_observed(&tree, &queries, cfg.k, lambda, kind, 1012, &opts).mean_response_s)
         });
         for (i, &lambda) in cfg.lambdas.iter().enumerate() {
             let mut row = vec![format!("{lambda}")];

@@ -7,7 +7,7 @@
 //! floor. (FPSS is dropped from this figure in the paper due to its load
 //! sensitivity; we keep it in the CSV for completeness.)
 
-use sqda_bench::{build_tree, f2, f4, parallel_map, simulate, ExpOptions, ResultsTable};
+use sqda_bench::{build_tree, f2, f4, parallel_map, simulate_observed, ExpOptions, ResultsTable};
 use sqda_core::AlgorithmKind;
 use sqda_datasets::gaussian;
 
@@ -46,7 +46,7 @@ fn main() {
             .flat_map(|t| AlgorithmKind::ALL.map(|kind| (t, kind)))
             .collect();
         let cells = parallel_map(&points, opts.jobs, |&(t, kind)| {
-            simulate(&trees[t], &queries, k, 5.0, kind, 1112).mean_response_s
+            simulate_observed(&trees[t], &queries, k, 5.0, kind, 1112, &opts).mean_response_s
         });
         for (t, &disks) in disk_counts.iter().enumerate() {
             // WOPTSS is ALL's last element: the row's normalizer.

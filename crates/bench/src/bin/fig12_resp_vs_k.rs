@@ -5,7 +5,7 @@
 //! Paper shape: CRSS is the best real algorithm across the whole k range,
 //! outperforming BBSS by 3–4×.
 
-use sqda_bench::{build_tree, f2, f4, parallel_map, simulate, ExpOptions, ResultsTable};
+use sqda_bench::{build_tree, f2, f4, parallel_map, simulate_observed, ExpOptions, ResultsTable};
 use sqda_core::AlgorithmKind;
 use sqda_datasets::uniform;
 
@@ -39,7 +39,7 @@ fn main() {
             .flat_map(|&k| AlgorithmKind::ALL.map(|kind| (k, kind)))
             .collect();
         let cells = parallel_map(&points, opts.jobs, |&(k, kind)| {
-            simulate(&tree, &queries, k, lambda, kind, 1212).mean_response_s
+            simulate_observed(&tree, &queries, k, lambda, kind, 1212, &opts).mean_response_s
         });
         for (i, &k) in ks.iter().enumerate() {
             // WOPTSS is ALL's last element: the row's normalizer.

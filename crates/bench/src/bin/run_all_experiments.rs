@@ -11,10 +11,24 @@
 //! and its stdout/stderr are captured and replayed in the fixed
 //! experiment order — the bytes this driver emits are identical whether
 //! the children ran serially or concurrently.
+//!
+//! After the experiments the driver runs a small canonical simulation
+//! (all four algorithms, gaussian 2-d, 10 disks, λ = 5) and writes
+//! `<out>/BENCH_summary.json`: per-experiment wall-clock and exit
+//! status plus the canonical run's headline metrics, so the performance
+//! trajectory of the repo is machine-readable from run to run. With
+//! `--trace <file>` / `--metrics <file>` the canonical run is recorded
+//! through the observability layer (see `sqda-obs`): `--trace` emits
+//! Chrome/Perfetto `trace_event` JSON (or a raw JSONL event log if the
+//! path ends in `.jsonl`), `--metrics` a metrics snapshot + per-query
+//! profiles. These two flags are consumed here, not passed to children.
 
-use sqda_bench::parallel_map;
+use sqda_bench::{build_tree, parallel_map, simulate_observed, ExpOptions};
+use sqda_core::AlgorithmKind;
 use std::io::Write;
+use std::path::PathBuf;
 use std::process::Command;
+use std::time::Instant;
 
 const EXPERIMENTS: &[&str] = &[
     "fig08_nodes_vs_k",
@@ -39,14 +53,21 @@ struct Finished {
     name: &'static str,
     ok: bool,
     status: String,
+    wall_s: f64,
     stdout: Vec<u8>,
     stderr: Vec<u8>,
 }
 
 fn main() {
-    // Strip this driver's own fan-out flags; everything else
-    // (--quick, --out <dir>) passes through to the children.
+    // Strip this driver's own flags (fan-out control and the
+    // observability sinks, which belong to the canonical run below);
+    // everything else (--quick, --out <dir>) passes through to the
+    // children.
     let mut jobs = sqda_bench::default_jobs();
+    let mut quick = false;
+    let mut out_dir = PathBuf::from("results");
+    let mut trace: Option<PathBuf> = None;
+    let mut metrics: Option<PathBuf> = None;
     let mut pass_through: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -60,6 +81,21 @@ fn main() {
                 assert!(jobs > 0, "--jobs needs a positive integer");
             }
             "--serial" => jobs = 1,
+            "--trace" => {
+                trace = Some(PathBuf::from(args.next().expect("--trace needs a file")));
+            }
+            "--metrics" => {
+                metrics = Some(PathBuf::from(args.next().expect("--metrics needs a file")));
+            }
+            "--quick" => {
+                quick = true;
+                pass_through.push(a);
+            }
+            "--out" => {
+                out_dir = PathBuf::from(args.next().expect("--out needs a directory"));
+                pass_through.push(a);
+                pass_through.push(out_dir.display().to_string());
+            }
             _ => pass_through.push(a),
         }
     }
@@ -73,8 +109,10 @@ fn main() {
         .expect("exe dir")
         .to_path_buf();
 
+    let total_start = Instant::now();
     let runs = parallel_map(EXPERIMENTS, jobs, |&exp| {
         let path = exe_dir.join(exp);
+        let start = Instant::now();
         let output = Command::new(&path)
             .args(&pass_through)
             .output()
@@ -83,10 +121,12 @@ fn main() {
             name: exp,
             ok: output.status.success(),
             status: output.status.to_string(),
+            wall_s: start.elapsed().as_secs_f64(),
             stdout: output.stdout,
             stderr: output.stderr,
         }
     });
+    let total_wall_s = total_start.elapsed().as_secs_f64();
 
     let mut failed = Vec::new();
     for run in &runs {
@@ -98,6 +138,60 @@ fn main() {
             failed.push(run.name);
         }
     }
+
+    // Canonical headline run: small enough to be negligible next to the
+    // experiments, stable enough to track response times across commits.
+    // With --trace / --metrics its first configuration is recorded.
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
+    let demo_opts = ExpOptions {
+        quick: true,
+        out_dir: out_dir.clone(),
+        jobs: 1,
+        trace,
+        metrics,
+    };
+    let dataset = sqda_datasets::gaussian(2000, 2, 4242);
+    let tree = build_tree(&dataset, 10, 4243);
+    let queries = dataset.sample_queries(20, 4244);
+    let headline: Vec<String> = AlgorithmKind::ALL
+        .iter()
+        .map(|&kind| {
+            let start = Instant::now();
+            let r = simulate_observed(&tree, &queries, 10, 5.0, kind, 4245, &demo_opts);
+            format!(
+                "{{\"algorithm\":\"{}\",\"mean_response_s\":{:.6},\"p95_response_s\":{:.6},\
+                 \"mean_nodes_per_query\":{:.2},\"mean_disk_utilization\":{:.4},\
+                 \"sim_wall_s\":{:.4}}}",
+                r.algorithm,
+                r.mean_response_s,
+                r.p95_response_s,
+                r.mean_nodes_per_query,
+                r.mean_disk_utilization,
+                start.elapsed().as_secs_f64()
+            )
+        })
+        .collect();
+
+    let experiments_json: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"name\":\"{}\",\"ok\":{},\"wall_s\":{:.3}}}",
+                r.name, r.ok, r.wall_s
+            )
+        })
+        .collect();
+    let summary = format!(
+        "{{\"quick\":{quick},\"jobs\":{jobs},\"total_wall_s\":{total_wall_s:.3},\
+         \"experiments\":[{}],\"headline\":[{}]}}\n",
+        experiments_json.join(","),
+        headline.join(",")
+    );
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
+    let summary_path = out_dir.join("BENCH_summary.json");
+    std::fs::write(&summary_path, summary).expect("write BENCH_summary.json");
+    eprintln!("  wrote {}", summary_path.display());
+
     if failed.is_empty() {
         println!("\nall {} experiments completed", EXPERIMENTS.len());
     } else {

@@ -14,7 +14,7 @@
 //! BBSS on average; BBSS *degrades* as the system grows because it cannot
 //! use the added disks within a query.
 
-use sqda_bench::{build_tree, f4, parallel_map, simulate, ExpOptions, ResultsTable};
+use sqda_bench::{build_tree, f4, parallel_map, simulate_observed, ExpOptions, ResultsTable};
 use sqda_core::AlgorithmKind;
 use sqda_datasets::gaussian;
 
@@ -49,7 +49,7 @@ fn main() {
         .collect();
     let cells = parallel_map(&points, opts.jobs, |&(s, kind)| {
         let (_, tree, queries) = &setups[s];
-        f4(simulate(tree, queries, k, lambda, kind, 1312).mean_response_s)
+        f4(simulate_observed(tree, queries, k, lambda, kind, 1312, &opts).mean_response_s)
     });
     for (s, &(_, disks)) in steps.iter().enumerate() {
         let mut row = vec![setups[s].0.len().to_string(), disks.to_string()];

@@ -12,7 +12,7 @@
 //!
 //! Paper shape: CRSS is stable and ~4× faster than BBSS on average.
 
-use sqda_bench::{build_tree, f4, parallel_map, simulate, ExpOptions, ResultsTable};
+use sqda_bench::{build_tree, f4, parallel_map, simulate_observed, ExpOptions, ResultsTable};
 use sqda_core::AlgorithmKind;
 use sqda_datasets::gaussian;
 
@@ -50,7 +50,7 @@ fn main() {
     let cells = parallel_map(&points, opts.jobs, |&(s, kind)| {
         let (tree, queries) = &setups[s];
         let k = steps[s].0;
-        f4(simulate(tree, queries, k, lambda, kind, 1412).mean_response_s)
+        f4(simulate_observed(tree, queries, k, lambda, kind, 1412, &opts).mean_response_s)
     });
     for (s, &(k, disks)) in steps.iter().enumerate() {
         let mut row = vec![k.to_string(), disks.to_string()];

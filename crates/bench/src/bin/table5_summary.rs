@@ -6,7 +6,9 @@
 //! mean response time under load, speed-up with added disks, scalability
 //! with population, intra-query parallelism, inter-query parallelism.
 
-use sqda_bench::{build_tree, mean_nodes, parallel_map, simulate, ExpOptions, ResultsTable};
+use sqda_bench::{
+    build_tree, mean_nodes, parallel_map, simulate, simulate_observed, ExpOptions, ResultsTable,
+};
 use sqda_core::{exec::run_query, AlgorithmKind};
 use sqda_datasets::gaussian;
 
@@ -35,7 +37,7 @@ fn main() {
 
     // 2. Response time under moderate load.
     let resp: Vec<f64> = parallel_map(&AlgorithmKind::ALL, opts.jobs, |&kind| {
-        simulate(&tree10, &queries, k, 5.0, kind, 1512).mean_response_s
+        simulate_observed(&tree10, &queries, k, 5.0, kind, 1512, &opts).mean_response_s
     });
     let min_real_resp = resp[..3].iter().cloned().fold(f64::INFINITY, f64::min);
 

@@ -18,7 +18,7 @@ use sqda_simkernel::SystemParams;
 use sqda_storage::{ArrayStore, PageStore};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -35,16 +35,26 @@ pub struct ExpOptions {
     pub out_dir: PathBuf,
     /// Worker threads for [`parallel_map`] sweeps (1 = serial).
     pub jobs: usize,
+    /// Trace sink for the first simulated configuration (see
+    /// [`simulate_observed`]): Chrome/Perfetto `trace_event` JSON, or a
+    /// raw JSONL event log if the path ends in `.jsonl`.
+    pub trace: Option<PathBuf>,
+    /// Metrics sink for the first simulated configuration: JSON
+    /// [`sqda_obs::MetricsSnapshot`] + per-query profiles.
+    pub metrics: Option<PathBuf>,
 }
 
 impl ExpOptions {
-    /// Reads `--quick`, `--out <dir>`, `--jobs <n>` and `--serial` from
-    /// `std::env::args`. `--jobs` defaults to the machine's available
-    /// parallelism; `--serial` is shorthand for `--jobs 1`.
+    /// Reads `--quick`, `--out <dir>`, `--jobs <n>`, `--serial`,
+    /// `--trace <file>` and `--metrics <file>` from `std::env::args`.
+    /// `--jobs` defaults to the machine's available parallelism;
+    /// `--serial` is shorthand for `--jobs 1`.
     pub fn from_args() -> Self {
         let mut quick = false;
         let mut out_dir = PathBuf::from("results");
         let mut jobs = default_jobs();
+        let mut trace = None;
+        let mut metrics = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -61,9 +71,16 @@ impl ExpOptions {
                     assert!(jobs > 0, "--jobs needs a positive integer");
                 }
                 "--serial" => jobs = 1,
+                "--trace" => {
+                    trace = Some(PathBuf::from(args.next().expect("--trace needs a file")));
+                }
+                "--metrics" => {
+                    metrics = Some(PathBuf::from(args.next().expect("--metrics needs a file")));
+                }
                 other => panic!(
                     "unknown argument {other} \
-                     (expected --quick / --out <dir> / --jobs <n> / --serial)"
+                     (expected --quick / --out <dir> / --jobs <n> / --serial \
+                      / --trace <file> / --metrics <file>)"
                 ),
             }
         }
@@ -71,6 +88,8 @@ impl ExpOptions {
             quick,
             out_dir,
             jobs,
+            trace,
+            metrics,
         }
     }
 
@@ -238,6 +257,59 @@ pub fn simulate(
     let sim = Simulation::new(tree, params).expect("simulation");
     let workload = Workload::poisson(queries.to_vec(), k, lambda, seed);
     sim.run(kind, &workload, seed ^ 0x5eed).expect("simulation")
+}
+
+/// Whether [`simulate_observed`] has already written its one trace this
+/// process (sweeps call it once per configuration; only the first is
+/// recorded so the sink files are not silently overwritten).
+static OBSERVED: AtomicBool = AtomicBool::new(false);
+
+/// [`simulate`], wired to the `--trace` / `--metrics` sinks: the first
+/// call in the process with either path set records the run through a
+/// [`sqda_obs::CollectingRecorder`] and writes the requested files;
+/// every other call (and every call without sink paths) is byte-for-byte
+/// [`simulate`]. Recording does not perturb the simulated timing, so a
+/// sweep's numbers are identical with and without the flags.
+pub fn simulate_observed(
+    tree: &RStarTree<ArrayStore>,
+    queries: &[Point],
+    k: usize,
+    lambda: f64,
+    kind: AlgorithmKind,
+    seed: u64,
+    opts: &ExpOptions,
+) -> SimulationReport {
+    let wants_sinks = opts.trace.is_some() || opts.metrics.is_some();
+    if !wants_sinks || OBSERVED.swap(true, Ordering::SeqCst) {
+        return simulate(tree, queries, k, lambda, kind, seed);
+    }
+    let params = SystemParams::with_disks(tree.store().num_disks());
+    let (num_disks, num_cpus) = (params.num_disks, params.num_cpus);
+    let sim = Simulation::new(tree, params).expect("simulation");
+    let workload = Workload::poisson(queries.to_vec(), k, lambda, seed);
+    let mut recorder = sqda_obs::CollectingRecorder::default();
+    let report = sim
+        .run_recorded(kind, &workload, seed ^ 0x5eed, &mut recorder)
+        .expect("simulation");
+    sqda_obs::write_observability(
+        recorder.events(),
+        num_disks,
+        num_cpus,
+        Some(&tree.io_stats()),
+        opts.trace.as_deref(),
+        opts.metrics.as_deref(),
+    )
+    .expect("write trace/metrics sinks");
+    for (label, path) in [("trace", &opts.trace), ("metrics", &opts.metrics)] {
+        if let Some(path) = path {
+            eprintln!(
+                "  wrote {label} of {} λ={lambda} k={k} to {}",
+                kind.name(),
+                path.display()
+            );
+        }
+    }
+    report
 }
 
 /// A printed + CSV'd results table.

@@ -6,6 +6,7 @@ use sqda_analysis::{estimate_response, expected_knn_accesses, QueryIoProfile, Tr
 use sqda_core::{exec::run_query, AlgorithmKind, Simulation, Workload};
 use sqda_datasets::Dataset;
 use sqda_geom::Point;
+use sqda_obs::{metrics_document, trace_document, CollectingRecorder, Event};
 use sqda_rstar::decluster::{
     AreaBalance, DataBalance, Declusterer, ProximityIndex, RandomAssign, RoundRobin,
 };
@@ -157,14 +158,41 @@ pub fn build(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// Writes the `--trace` / `--metrics` sinks shared by `query` and
+/// `simulate`: the trace file is Chrome/Perfetto `trace_event` JSON
+/// (raw JSONL event log instead when the path ends in `.jsonl`), the
+/// metrics file a JSON document with the [`MetricsSnapshot`] and the
+/// per-query [`sqda_obs::QueryProfile`]s.
+fn write_observability(
+    events: &[(u64, Event)],
+    num_disks: u32,
+    num_cpus: u32,
+    io: &sqda_storage::IoStats,
+    trace: Option<&str>,
+    metrics: Option<&str>,
+) -> CmdResult {
+    if let Some(path) = trace {
+        let body = trace_document(Path::new(path), events, num_disks, num_cpus);
+        std::fs::write(path, body)?;
+        println!("trace written    : {path} ({} events)", events.len());
+    }
+    if let Some(path) = metrics {
+        std::fs::write(path, metrics_document(events, Some(io)))?;
+        println!("metrics written  : {path}");
+    }
+    Ok(())
+}
+
 /// `sqda query`
 pub fn query(args: &Args) -> CmdResult {
     let (tree, _) = open_tree(args.required("store")?)?;
     let coords = parse_point(args.required("point")?)?;
     let k: usize = args.get_or("k", 10)?;
     let kind = algo_by_name(args.get("algo").unwrap_or("crss"))?;
+    let trace = args.get("trace").map(str::to_string);
+    let metrics = args.get("metrics").map(str::to_string);
     let point = Point::try_new(coords)?;
-    let mut algo = kind.build(&tree, point, k)?;
+    let mut algo = kind.build(&tree, point.clone(), k)?;
     let run = run_query(&tree, algo.as_mut())?;
     println!(
         "{} found {} neighbours in {} node reads ({} batches, max batch {}):",
@@ -176,6 +204,26 @@ pub fn query(args: &Args) -> CmdResult {
     );
     for n in &run.results {
         println!("  {}  {}  distance {:.6}", n.object, n.point, n.dist());
+    }
+    if trace.is_some() || metrics.is_some() {
+        // Re-run the query as a single-user simulation on the modelled
+        // array so the trace carries the full timing breakdown.
+        let params = SystemParams::with_disks(tree.store().num_disks());
+        let (num_disks, num_cpus) = (params.num_disks, params.num_cpus);
+        let workload = Workload::single(point, k);
+        let seed: u64 = args.get_or("seed", 0)?;
+        let mut recorder = CollectingRecorder::default();
+        let report =
+            Simulation::new(&tree, params)?.run_recorded(kind, &workload, seed, &mut recorder)?;
+        println!("simulated latency: {:.4} s", report.mean_response_s);
+        write_observability(
+            recorder.events(),
+            num_disks,
+            num_cpus,
+            &tree.io_stats(),
+            trace.as_deref(),
+            metrics.as_deref(),
+        )?;
     }
     Ok(())
 }
@@ -230,10 +278,19 @@ pub fn simulate(args: &Args) -> CmdResult {
         num_cpus: args.get_or("cpus", 1)?,
         ..SystemParams::with_disks(tree.store().num_disks())
     };
+    let trace = args.get("trace").map(str::to_string);
+    let metrics = args.get("metrics").map(str::to_string);
+    let (num_disks, num_cpus) = (params.num_disks, params.num_cpus);
     // Queries follow the data distribution: sample indexed points.
     let sample = sample_data_points(&tree, num_queries, seed)?;
     let workload = Workload::poisson(sample, k, lambda, seed ^ 0xABCD);
-    let report = Simulation::new(&tree, params)?.run(kind, &workload, seed ^ 0x1234)?;
+    let sim = Simulation::new(&tree, params)?;
+    let mut recorder = CollectingRecorder::default();
+    let report = if trace.is_some() || metrics.is_some() {
+        sim.run_recorded(kind, &workload, seed ^ 0x1234, &mut recorder)?
+    } else {
+        sim.run(kind, &workload, seed ^ 0x1234)?
+    };
     println!("algorithm        : {}", report.algorithm);
     println!("queries          : {}", report.completed);
     println!("mean response    : {:.4} s", report.mean_response_s);
@@ -246,6 +303,16 @@ pub fn simulate(args: &Args) -> CmdResult {
     );
     println!("bus utilization  : {:.1}%", report.bus_utilization * 100.0);
     println!("cpu utilization  : {:.1}%", report.cpu_utilization * 100.0);
+    if trace.is_some() || metrics.is_some() {
+        write_observability(
+            recorder.events(),
+            num_disks,
+            num_cpus,
+            &tree.io_stats(),
+            trace.as_deref(),
+            metrics.as_deref(),
+        )?;
+    }
     Ok(())
 }
 

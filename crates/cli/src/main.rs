@@ -31,7 +31,8 @@ COMMANDS:
              [--split rstar|quadratic|linear] [--bulk] [--seed <s>=0]
   query      k nearest neighbours
              --store <dir> --point <x,y,...> [--k <k>=10]
-             [--algo bbss|fpss|crss|woptss=crss]
+             [--algo bbss|fpss|crss|woptss=crss] [--seed <s>=0]
+             [--trace <file>] [--metrics <file>]
   range      similarity range query
              --store <dir> --point <x,y,...> --radius <r>
   stats      tree statistics
@@ -40,6 +41,11 @@ COMMANDS:
              --store <dir> [--k <k>=10] [--lambda <q/s>=5]
              [--queries <n>=100] [--algo ...=crss] [--seed <s>=0]
              [--mirrored] [--cpus <n>=1]
+             [--trace <file>] [--metrics <file>]
+  (--trace writes Chrome/Perfetto trace_event JSON — open at
+   https://ui.perfetto.dev — or a raw JSONL event log if the path ends
+   in .jsonl; --metrics writes a JSON metrics snapshot + per-query
+   profiles.)
   estimate   analytical response-time prediction (no simulation)
              --store <dir> [--k <k>=10] [--lambda <q/s>=5]
   help       this text

@@ -28,6 +28,23 @@ pub struct BatchResult {
     pub cpu_instructions: u64,
 }
 
+/// Algorithm-internal telemetry surfaced to the observability layer
+/// after each processed batch (see [`SimilaritySearch::progress`]).
+///
+/// Today this carries CRSS's distinctive state — the threshold-distance
+/// trajectory and candidate-stack occupancy of Section 3.3 — but any
+/// algorithm may report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlgoProgress {
+    /// Current squared pruning threshold (`D_th²` for CRSS; infinite
+    /// until bounded).
+    pub d_th_sq: f64,
+    /// Runs on the candidate stack.
+    pub stack_runs: u32,
+    /// Saved candidates across all runs.
+    pub stack_candidates: u32,
+}
+
 /// A k-NN algorithm expressed as a batch state machine.
 ///
 /// Protocol: call [`SimilaritySearch::start`] once, fetch the requested
@@ -48,6 +65,13 @@ pub trait SimilaritySearch {
 
     /// The algorithm's display name.
     fn name(&self) -> &'static str;
+
+    /// Internal telemetry after the last processed batch, for tracing.
+    /// Queried only when recording is enabled; `None` (the default)
+    /// means the algorithm has nothing distinctive to report.
+    fn progress(&self) -> Option<AlgoProgress> {
+        None
+    }
 }
 
 /// Bounded max-heap of the k best (closest) objects seen so far.

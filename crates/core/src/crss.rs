@@ -231,4 +231,12 @@ impl SimilaritySearch for Crss {
     fn name(&self) -> &'static str {
         "CRSS"
     }
+
+    fn progress(&self) -> Option<crate::algo::AlgoProgress> {
+        Some(crate::algo::AlgoProgress {
+            d_th_sq: self.d_th_sq,
+            stack_runs: self.stack.len() as u32,
+            stack_candidates: self.stack.iter().map(|run| run.len() as u32).sum(),
+        })
+    }
 }

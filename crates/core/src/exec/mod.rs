@@ -5,4 +5,4 @@ mod logical;
 mod sim;
 
 pub use logical::{run_query, QueryRun};
-pub use sim::{Simulation, SimulationReport};
+pub use sim::{mirror_partner, Simulation, SimulationReport};

@@ -7,13 +7,23 @@
 //! workload's (Poisson) schedule. Response time is measured from arrival
 //! to completion, averaged over all queries — the paper's primary metric
 //! for the multi-user experiments (Figures 10–12, Tables 3–4).
+//!
+//! The executor optionally narrates itself through a
+//! [`Recorder`](sqda_obs::Recorder): every arrival, disk service (with
+//! its queue/seek/rotation/transfer breakdown), bus grant, CPU slice and
+//! completion becomes a structured [`sqda_obs::Event`]. With the
+//! default [`NullRecorder`] all observability bookkeeping is skipped —
+//! no per-event heap allocation, and simulated timing is untouched
+//! either way (recording observes, never steers).
 
 use crate::access::{AccessMethod, IndexNode};
 use crate::algo::{AlgorithmKind, SimilaritySearch, Step};
 use crate::error::QueryError;
 use crate::workload::Workload;
+use sqda_obs::{Event as ObsEvent, NullRecorder, Recorder};
 use sqda_simkernel::{Bus, Cpu, Disk, EventQueue, SampleStats, SimTime, SystemParams};
 use sqda_storage::PageId;
+use std::collections::HashMap;
 
 /// Aggregated results of one simulation run.
 #[derive(Debug, Clone)]
@@ -42,6 +52,26 @@ pub struct SimulationReport {
     pub makespan_s: f64,
 }
 
+/// The disk holding the replica of `disk`'s pages under shadowed
+/// (mirrored) operation, or `None` if the disk is unpaired.
+///
+/// Disks are shadowed in pairs `(d, d + n/2)` for `d < n/2`; the pairing
+/// is an involution, so a read is only ever redirected to the one disk
+/// that actually holds the replica. With an odd array the last disk has
+/// no partner and always serves its own reads. (The old `(d + n/2) mod
+/// n` rule was not an involution for odd `n` and could send a read to a
+/// disk without the page.)
+pub fn mirror_partner(disk: usize, num_disks: usize) -> Option<usize> {
+    let half = num_disks / 2;
+    if disk < half {
+        Some(disk + half)
+    } else if disk < 2 * half {
+        Some(disk - half)
+    } else {
+        None
+    }
+}
+
 /// Index of the CPU that frees up first (least-loaded dispatch).
 fn least_busy_cpu(cpus: &[Cpu]) -> usize {
     cpus.iter()
@@ -58,6 +88,21 @@ enum Event {
     CpuDone { q: usize },
 }
 
+/// Per-session response-time component accumulators, filled only while
+/// recording is enabled. All scalars — lives inline in the session.
+#[derive(Debug, Clone, Copy, Default)]
+struct SessionObs {
+    disk_queue_ns: u64,
+    seek_ns: u64,
+    rotation_ns: u64,
+    transfer_ns: u64,
+    bus_queue_ns: u64,
+    bus_ns: u64,
+    cpu_queue_ns: u64,
+    cpu_ns: u64,
+    batches: u32,
+}
+
 struct Session {
     algo: Box<dyn SimilaritySearch>,
     arrival: SimTime,
@@ -66,6 +111,7 @@ struct Session {
     pending: Option<Step>,
     nodes_visited: u64,
     finished_at: Option<SimTime>,
+    obs: SessionObs,
 }
 
 /// An event-driven simulation of the disk-array system executing one
@@ -106,8 +152,21 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
         workload: &Workload,
         seed: u64,
     ) -> Result<SimulationReport, QueryError> {
+        self.run_recorded(kind, workload, seed, &mut NullRecorder)
+    }
+
+    /// Like [`Simulation::run`], but narrates the run through `recorder`
+    /// (see [`sqda_obs`]). Timing and results are identical to an
+    /// unrecorded run with the same seed.
+    pub fn run_recorded(
+        &self,
+        kind: AlgorithmKind,
+        workload: &Workload,
+        seed: u64,
+        recorder: &mut dyn Recorder,
+    ) -> Result<SimulationReport, QueryError> {
         let mut factory = |point: sqda_geom::Point, k: usize| kind.build(self.am, point, k);
-        self.run_with_fallible(&mut factory, kind.name(), workload, seed)
+        self.run_with_fallible(&mut factory, kind.name(), workload, seed, recorder)
     }
 
     /// Runs `workload` with algorithm instances produced by `factory`
@@ -115,10 +174,25 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
     /// ablation, where [`AlgorithmKind`] cannot carry the parameter).
     pub fn run_with<F>(
         &self,
+        factory: F,
+        name: &'static str,
+        workload: &Workload,
+        seed: u64,
+    ) -> Result<SimulationReport, QueryError>
+    where
+        F: FnMut(sqda_geom::Point, usize) -> Box<dyn SimilaritySearch>,
+    {
+        self.run_with_recorded(factory, name, workload, seed, &mut NullRecorder)
+    }
+
+    /// [`Simulation::run_with`] plus a recorder.
+    pub fn run_with_recorded<F>(
+        &self,
         mut factory: F,
         name: &'static str,
         workload: &Workload,
         seed: u64,
+        recorder: &mut dyn Recorder,
     ) -> Result<SimulationReport, QueryError>
     where
         F: FnMut(sqda_geom::Point, usize) -> Box<dyn SimilaritySearch>,
@@ -127,7 +201,7 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
             |point: sqda_geom::Point, k: usize| -> Result<Box<dyn SimilaritySearch>, QueryError> {
                 Ok(factory(point, k))
             };
-        self.run_with_fallible(&mut fallible, name, workload, seed)
+        self.run_with_fallible(&mut fallible, name, workload, seed, recorder)
     }
 
     fn run_with_fallible(
@@ -139,6 +213,7 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
         name: &'static str,
         workload: &Workload,
         seed: u64,
+        recorder: &mut dyn Recorder,
     ) -> Result<SimulationReport, QueryError> {
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
         let mut disks: Vec<Disk> = (0..self.params.num_disks)
@@ -149,6 +224,14 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
             .map(|_| Cpu::new(self.params.cpu_mips))
             .collect();
         let mut events: EventQueue<Event> = EventQueue::new();
+        let recording = recorder.enabled();
+
+        // Tree level of every page seen so far (root = 0), extended as
+        // internal nodes are decoded. Only maintained while recording.
+        let mut levels: HashMap<PageId, u16> = HashMap::new();
+        if recording {
+            levels.insert(self.am.root_page(), 0);
+        }
 
         // Build one session per query. Oracle preparation (WOPTSS) happens
         // here, outside simulated time.
@@ -163,6 +246,7 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                 pending: None,
                 nodes_visited: 0,
                 finished_at: None,
+                obs: SessionObs::default(),
             });
             events.schedule(wq.arrival, Event::Arrive(sessions.len() - 1));
         }
@@ -180,34 +264,103 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                     let step = sessions[q].algo.start();
                     sessions[q].pending = Some(step);
                     let c = least_busy_cpu(&cpus);
-                    let done = cpus[c].submit_duration(now, self.params.query_startup());
+                    let (done, queue) =
+                        cpus[c].submit_duration_detailed(now, self.params.query_startup());
                     events.schedule(done, Event::CpuDone { q });
+                    if recording {
+                        recorder.record(now.as_nanos(), ObsEvent::QueryArrive { query: q as u32 });
+                        let exec = done - now - queue;
+                        sessions[q].obs.cpu_queue_ns += queue.as_nanos();
+                        sessions[q].obs.cpu_ns += exec.as_nanos();
+                        recorder.record(
+                            now.as_nanos(),
+                            ObsEvent::CpuSlice {
+                                query: q as u32,
+                                cpu: c as u16,
+                                queue_ns: queue.as_nanos(),
+                                exec_ns: exec.as_nanos(),
+                                instructions: 0,
+                            },
+                        );
+                    }
                 }
                 Event::CpuDone { q } => {
-                    let step = sessions[q]
-                        .pending
-                        .take()
-                        .expect("CPU completion without a pending step");
+                    let step = sessions[q].pending.take().ok_or_else(|| {
+                        QueryError::Invariant(format!(
+                            "CPU completion for query {q} without a pending step"
+                        ))
+                    })?;
                     match step {
                         Step::Fetch(pages) => {
-                            assert!(!pages.is_empty(), "empty fetch batch");
+                            if pages.is_empty() {
+                                return Err(QueryError::Invariant(format!(
+                                    "query {q} issued an empty fetch batch"
+                                )));
+                            }
                             sessions[q].outstanding = pages.len();
                             sessions[q].nodes_visited += pages.len() as u64;
+                            if recording {
+                                sessions[q].obs.batches += 1;
+                                let level =
+                                    levels.get(&pages[0]).copied().unwrap_or_default();
+                                recorder.record(
+                                    now.as_nanos(),
+                                    ObsEvent::BatchIssued {
+                                        query: q as u32,
+                                        level,
+                                        size: pages.len() as u32,
+                                    },
+                                );
+                            }
                             for page in pages {
                                 let placement = self.am.placement(page)?;
                                 let mut disk = placement.disk.index();
                                 if self.params.mirrored_reads {
-                                    // Shadowed disks: the replica lives
-                                    // half the array away; serve the read
-                                    // from whichever copy frees up first.
-                                    let partner = (disk + self.params.num_disks as usize / 2)
-                                        % self.params.num_disks as usize;
-                                    if disks[partner].busy_until() < disks[disk].busy_until() {
-                                        disk = partner;
+                                    // Shadowed disks: serve the read from
+                                    // whichever replica frees up first.
+                                    if let Some(p) =
+                                        mirror_partner(disk, self.params.num_disks as usize)
+                                    {
+                                        if disks[p].busy_until() < disks[disk].busy_until() {
+                                            disk = p;
+                                        }
                                     }
                                 }
-                                let done = disks[disk].submit(now, placement.cylinder, &mut rng);
-                                events.schedule(done, Event::DiskDone { q, page });
+                                if recording {
+                                    let detail = disks[disk].submit_detailed(
+                                        now,
+                                        placement.cylinder,
+                                        &mut rng,
+                                    );
+                                    let obs = &mut sessions[q].obs;
+                                    obs.disk_queue_ns += detail.queue.as_nanos();
+                                    obs.seek_ns += detail.seek.as_nanos();
+                                    obs.rotation_ns += detail.rotation.as_nanos();
+                                    obs.transfer_ns += detail.transfer.as_nanos();
+                                    recorder.record(
+                                        now.as_nanos(),
+                                        ObsEvent::DiskService {
+                                            query: q as u32,
+                                            disk: disk as u16,
+                                            cylinder: placement.cylinder,
+                                            level: levels
+                                                .get(&page)
+                                                .copied()
+                                                .unwrap_or_default(),
+                                            queue_ns: detail.queue.as_nanos(),
+                                            seek_ns: detail.seek.as_nanos(),
+                                            rotation_ns: detail.rotation.as_nanos(),
+                                            transfer_ns: detail.transfer.as_nanos(),
+                                            queue_depth: detail.queue_depth,
+                                        },
+                                    );
+                                    events
+                                        .schedule(detail.completion, Event::DiskDone { q, page });
+                                } else {
+                                    let done =
+                                        disks[disk].submit(now, placement.cylinder, &mut rng);
+                                    events.schedule(done, Event::DiskDone { q, page });
+                                }
                             }
                         }
                         Step::Done => {
@@ -216,15 +369,57 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                             sessions[q].finished_at = Some(now);
                             total_nodes += sessions[q].nodes_visited;
                             makespan = makespan.max(now);
+                            if recording {
+                                let obs = sessions[q].obs;
+                                recorder.record(
+                                    now.as_nanos(),
+                                    ObsEvent::QueryComplete {
+                                        query: q as u32,
+                                        response_ns: resp.as_nanos(),
+                                        nodes: sessions[q].nodes_visited,
+                                        batches: obs.batches,
+                                        disk_queue_ns: obs.disk_queue_ns,
+                                        seek_ns: obs.seek_ns,
+                                        rotation_ns: obs.rotation_ns,
+                                        transfer_ns: obs.transfer_ns,
+                                        bus_queue_ns: obs.bus_queue_ns,
+                                        bus_ns: obs.bus_ns,
+                                        cpu_queue_ns: obs.cpu_queue_ns,
+                                        cpu_ns: obs.cpu_ns,
+                                    },
+                                );
+                            }
                         }
                     }
                 }
                 Event::DiskDone { q, page } => {
-                    let done = bus.submit(now);
+                    let (done, queue) = bus.submit_detailed(now);
                     events.schedule(done, Event::BusDone { q, page });
+                    if recording {
+                        let transfer = done - now - queue;
+                        sessions[q].obs.bus_queue_ns += queue.as_nanos();
+                        sessions[q].obs.bus_ns += transfer.as_nanos();
+                        recorder.record(
+                            now.as_nanos(),
+                            ObsEvent::BusTransfer {
+                                query: q as u32,
+                                queue_ns: queue.as_nanos(),
+                                transfer_ns: transfer.as_nanos(),
+                            },
+                        );
+                    }
                 }
                 Event::BusDone { q, page } => {
                     let node = self.am.read_index_node(page)?;
+                    if recording {
+                        if let IndexNode::Internal(entries) = &node {
+                            let child_level =
+                                levels.get(&page).copied().unwrap_or_default() + 1;
+                            for entry in entries {
+                                levels.insert(entry.child, child_level);
+                            }
+                        }
+                    }
                     let session = &mut sessions[q];
                     session.fetched.push((page, node));
                     session.outstanding -= 1;
@@ -233,8 +428,38 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                         let result = session.algo.on_fetched(batch);
                         session.pending = Some(result.next);
                         let c = least_busy_cpu(&cpus);
-                        let done = cpus[c].submit(now, result.cpu_instructions);
-                        events.schedule(done, Event::CpuDone { q });
+                        if recording {
+                            let (done, queue) =
+                                cpus[c].submit_detailed(now, result.cpu_instructions);
+                            events.schedule(done, Event::CpuDone { q });
+                            let exec = done - now - queue;
+                            session.obs.cpu_queue_ns += queue.as_nanos();
+                            session.obs.cpu_ns += exec.as_nanos();
+                            recorder.record(
+                                now.as_nanos(),
+                                ObsEvent::CpuSlice {
+                                    query: q as u32,
+                                    cpu: c as u16,
+                                    queue_ns: queue.as_nanos(),
+                                    exec_ns: exec.as_nanos(),
+                                    instructions: result.cpu_instructions,
+                                },
+                            );
+                            if let Some(p) = session.algo.progress() {
+                                recorder.record(
+                                    now.as_nanos(),
+                                    ObsEvent::CrssState {
+                                        query: q as u32,
+                                        d_th_sq: p.d_th_sq,
+                                        stack_runs: p.stack_runs,
+                                        stack_candidates: p.stack_candidates,
+                                    },
+                                );
+                            }
+                        } else {
+                            let done = cpus[c].submit(now, result.cpu_instructions);
+                            events.schedule(done, Event::CpuDone { q });
+                        }
                     }
                 }
             }
@@ -251,13 +476,14 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
         } else {
             disks.iter().map(|d| d.utilization(horizon)).sum::<f64>() / disks.len() as f64
         };
+        let summary = response_times.summary();
         Ok(SimulationReport {
             algorithm: name,
             completed: n,
-            mean_response_s: response_times.mean(),
-            std_response_s: response_times.std_dev(),
-            max_response_s: response_times.max(),
-            p95_response_s: response_times.percentile(95.0),
+            mean_response_s: summary.mean,
+            std_response_s: summary.std_dev,
+            max_response_s: summary.max,
+            p95_response_s: summary.p95,
             mean_nodes_per_query: if n == 0 {
                 0.0
             } else {

@@ -1,0 +1,234 @@
+//! JSONL event-log sink: one JSON object per line, in emission order.
+//!
+//! Line schema: `{"ts":<ns>,"type":"<kind>", ...fields}` — `ts` is
+//! simulated time in integer nanoseconds, fields are the event's scalars
+//! with `_ns` duration suffixes preserved. The rendering is canonical
+//! (fixed field order, shortest float repr), so a deterministic run
+//! produces byte-identical logs — the golden-file tests depend on this.
+
+use crate::event::{Event, Recorder};
+use crate::json::ObjWriter;
+use std::io::Write;
+
+/// Renders one event as its canonical JSONL line (no trailing newline).
+pub fn event_to_json(ts_ns: u64, event: &Event) -> String {
+    let mut o = ObjWriter::new();
+    o.field_u64("ts", ts_ns);
+    o.field_str("type", event.kind());
+    match *event {
+        Event::QueryArrive { query } => {
+            o.field_u64("query", query as u64);
+        }
+        Event::QueryComplete {
+            query,
+            response_ns,
+            nodes,
+            batches,
+            disk_queue_ns,
+            seek_ns,
+            rotation_ns,
+            transfer_ns,
+            bus_queue_ns,
+            bus_ns,
+            cpu_queue_ns,
+            cpu_ns,
+        } => {
+            o.field_u64("query", query as u64);
+            o.field_u64("response_ns", response_ns);
+            o.field_u64("nodes", nodes);
+            o.field_u64("batches", batches as u64);
+            o.field_u64("disk_queue_ns", disk_queue_ns);
+            o.field_u64("seek_ns", seek_ns);
+            o.field_u64("rotation_ns", rotation_ns);
+            o.field_u64("transfer_ns", transfer_ns);
+            o.field_u64("bus_queue_ns", bus_queue_ns);
+            o.field_u64("bus_ns", bus_ns);
+            o.field_u64("cpu_queue_ns", cpu_queue_ns);
+            o.field_u64("cpu_ns", cpu_ns);
+        }
+        Event::BatchIssued { query, level, size } => {
+            o.field_u64("query", query as u64);
+            o.field_u64("level", level as u64);
+            o.field_u64("size", size as u64);
+        }
+        Event::DiskService {
+            query,
+            disk,
+            cylinder,
+            level,
+            queue_ns,
+            seek_ns,
+            rotation_ns,
+            transfer_ns,
+            queue_depth,
+        } => {
+            o.field_u64("query", query as u64);
+            o.field_u64("disk", disk as u64);
+            o.field_u64("cylinder", cylinder as u64);
+            o.field_u64("level", level as u64);
+            o.field_u64("queue_ns", queue_ns);
+            o.field_u64("seek_ns", seek_ns);
+            o.field_u64("rotation_ns", rotation_ns);
+            o.field_u64("transfer_ns", transfer_ns);
+            o.field_u64("queue_depth", queue_depth as u64);
+        }
+        Event::BusTransfer {
+            query,
+            queue_ns,
+            transfer_ns,
+        } => {
+            o.field_u64("query", query as u64);
+            o.field_u64("queue_ns", queue_ns);
+            o.field_u64("transfer_ns", transfer_ns);
+        }
+        Event::CpuSlice {
+            query,
+            cpu,
+            queue_ns,
+            exec_ns,
+            instructions,
+        } => {
+            o.field_u64("query", query as u64);
+            o.field_u64("cpu", cpu as u64);
+            o.field_u64("queue_ns", queue_ns);
+            o.field_u64("exec_ns", exec_ns);
+            o.field_u64("instructions", instructions);
+        }
+        Event::CrssState {
+            query,
+            d_th_sq,
+            stack_runs,
+            stack_candidates,
+        } => {
+            o.field_u64("query", query as u64);
+            o.field_f64("d_th_sq", d_th_sq);
+            o.field_u64("stack_runs", stack_runs as u64);
+            o.field_u64("stack_candidates", stack_candidates as u64);
+        }
+    }
+    o.finish()
+}
+
+/// Renders a whole event stream as a JSONL document.
+pub fn events_to_jsonl(events: &[(u64, Event)]) -> String {
+    let mut out = String::new();
+    for (ts, ev) in events {
+        out.push_str(&event_to_json(*ts, ev));
+        out.push('\n');
+    }
+    out
+}
+
+/// A [`Recorder`] that streams events as JSONL to any writer (a file,
+/// a `Vec<u8>`, ...). Each event is rendered and written immediately;
+/// buffering policy is the writer's.
+pub struct JsonlRecorder<W: Write> {
+    writer: W,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> JsonlRecorder<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer,
+            error: None,
+        }
+    }
+
+    /// Flushes and returns the writer; surfaces any deferred I/O error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first write error encountered while recording, or the
+    /// flush error.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> Recorder for JsonlRecorder<W> {
+    fn record(&mut self, ts_ns: u64, event: Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = event_to_json(ts_ns, &event);
+        if let Err(e) = self
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+        {
+            // Recording must never fail the simulation; the error is
+            // surfaced when the caller finishes the sink.
+            self.error = Some(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn lines_are_valid_json_with_discriminator() {
+        let events = vec![
+            (0, Event::QueryArrive { query: 0 }),
+            (
+                1_000,
+                Event::DiskService {
+                    query: 0,
+                    disk: 3,
+                    cylinder: 77,
+                    level: 1,
+                    queue_ns: 0,
+                    seek_ns: 4_000_000,
+                    rotation_ns: 2_000_000,
+                    transfer_ns: 2_000_000,
+                    queue_depth: 2,
+                },
+            ),
+            (
+                2_000,
+                Event::CrssState {
+                    query: 0,
+                    d_th_sq: f64::INFINITY,
+                    stack_runs: 1,
+                    stack_candidates: 4,
+                },
+            ),
+        ];
+        let text = events_to_jsonl(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let v = parse(lines[1]).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("disk_service"));
+        assert_eq!(v.get("disk").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("seek_ns").unwrap().as_u64(), Some(4_000_000));
+        // Infinite threshold serializes as null.
+        let v2 = parse(lines[2]).unwrap();
+        assert_eq!(v2.get("d_th_sq"), Some(&crate::json::Value::Null));
+    }
+
+    #[test]
+    fn jsonl_recorder_streams_to_writer() {
+        let mut rec = JsonlRecorder::new(Vec::<u8>::new());
+        rec.record(1, Event::QueryArrive { query: 7 });
+        rec.record(
+            2,
+            Event::BusTransfer {
+                query: 7,
+                queue_ns: 5,
+                transfer_ns: 6,
+            },
+        );
+        let bytes = rec.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.starts_with("{\"ts\":1,\"type\":\"query_arrive\",\"query\":7}\n"));
+    }
+}

@@ -1,0 +1,347 @@
+//! Chrome `trace_event` (Perfetto-loadable) export of a recorded run.
+//!
+//! Layout, mirroring the paper's Figure 7 queueing network:
+//!
+//! * **pid 1 "disk array"** — one thread per disk (`tid = disk index`);
+//!   each request is a complete slice (`ph:"X"`) spanning its *service*
+//!   interval (queueing delay is the gap before the slice; the breakdown
+//!   travels in `args`). A per-disk counter track (`ph:"C"`) plots the
+//!   queue depth at every submission.
+//! * **pid 2 "i/o bus"** — tid 0, one slice per page transfer.
+//! * **pid 3 "cpu"** — one thread per processor, one slice per batch.
+//! * **pid 4 "queries"** — one *async span* per query (`ph:"b"`/`"e"`,
+//!   `id` = query index) from arrival to completion, so per-query
+//!   latency is visible above the component tracks.
+//!
+//! Timestamps and durations are microseconds (the `trace_event` unit),
+//! converted from integer simulated nanoseconds; `displayTimeUnit` is ms.
+//!
+//! Load the output at <https://ui.perfetto.dev> or `chrome://tracing`.
+
+use crate::event::Event;
+use crate::json::ObjWriter;
+
+/// pid of the disk-array process in the exported trace.
+pub const PID_DISKS: u64 = 1;
+/// pid of the bus process.
+pub const PID_BUS: u64 = 2;
+/// pid of the CPU process.
+pub const PID_CPU: u64 = 3;
+/// pid of the per-query async track process.
+pub const PID_QUERIES: u64 = 4;
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+fn meta(name: &str, pid: u64, tid: u64, value: &str) -> String {
+    let mut args = ObjWriter::new();
+    args.field_str("name", value);
+    let mut o = ObjWriter::new();
+    o.field_str("name", name);
+    o.field_str("ph", "M");
+    o.field_u64("pid", pid);
+    o.field_u64("tid", tid);
+    o.field_raw("args", &args.finish());
+    o.finish()
+}
+
+/// Converts a recorded event stream into a complete Chrome trace JSON
+/// document: `{"traceEvents":[...],"displayTimeUnit":"ms"}`.
+///
+/// `num_disks` and `num_cpus` size the metadata tracks; disks or CPUs
+/// that never served a request still appear (an idle track is signal).
+pub fn chrome_trace(events: &[(u64, Event)], num_disks: u32, num_cpus: u32) -> String {
+    let mut out: Vec<String> = Vec::new();
+
+    // Track metadata.
+    out.push(meta("process_name", PID_DISKS, 0, "disk array"));
+    for d in 0..num_disks {
+        out.push(meta(
+            "thread_name",
+            PID_DISKS,
+            d as u64,
+            &format!("disk {d}"),
+        ));
+    }
+    out.push(meta("process_name", PID_BUS, 0, "i/o bus"));
+    out.push(meta("thread_name", PID_BUS, 0, "bus"));
+    out.push(meta("process_name", PID_CPU, 0, "cpu"));
+    for c in 0..num_cpus {
+        out.push(meta("thread_name", PID_CPU, c as u64, &format!("cpu {c}")));
+    }
+    out.push(meta("process_name", PID_QUERIES, 0, "queries"));
+
+    for &(ts, ref ev) in events {
+        match *ev {
+            Event::QueryArrive { query } => {
+                let mut o = ObjWriter::new();
+                o.field_str("name", "query");
+                o.field_str("cat", "query");
+                o.field_str("ph", "b");
+                o.field_u64("id", query as u64);
+                o.field_u64("pid", PID_QUERIES);
+                o.field_u64("tid", 0);
+                o.field_f64("ts", us(ts));
+                out.push(o.finish());
+            }
+            Event::QueryComplete {
+                query,
+                response_ns,
+                nodes,
+                batches,
+                ..
+            } => {
+                let mut args = ObjWriter::new();
+                args.field_f64("response_ms", response_ns as f64 / 1e6);
+                args.field_u64("nodes", nodes);
+                args.field_u64("batches", batches as u64);
+                let mut o = ObjWriter::new();
+                o.field_str("name", "query");
+                o.field_str("cat", "query");
+                o.field_str("ph", "e");
+                o.field_u64("id", query as u64);
+                o.field_u64("pid", PID_QUERIES);
+                o.field_u64("tid", 0);
+                o.field_f64("ts", us(ts));
+                o.field_raw("args", &args.finish());
+                out.push(o.finish());
+            }
+            Event::DiskService {
+                query,
+                disk,
+                cylinder,
+                level,
+                queue_ns,
+                seek_ns,
+                rotation_ns,
+                transfer_ns,
+                queue_depth,
+            } => {
+                let service_ns = seek_ns + rotation_ns + transfer_ns;
+                let mut args = ObjWriter::new();
+                args.field_u64("query", query as u64);
+                args.field_u64("cylinder", cylinder as u64);
+                args.field_u64("level", level as u64);
+                args.field_f64("queue_ms", queue_ns as f64 / 1e6);
+                args.field_f64("seek_ms", seek_ns as f64 / 1e6);
+                args.field_f64("rotation_ms", rotation_ns as f64 / 1e6);
+                args.field_f64("transfer_ms", transfer_ns as f64 / 1e6);
+                let mut o = ObjWriter::new();
+                o.field_str("name", "read");
+                o.field_str("cat", "disk");
+                o.field_str("ph", "X");
+                o.field_u64("pid", PID_DISKS);
+                o.field_u64("tid", disk as u64);
+                o.field_f64("ts", us(ts + queue_ns));
+                o.field_f64("dur", us(service_ns));
+                o.field_raw("args", &args.finish());
+                out.push(o.finish());
+
+                let mut cargs = ObjWriter::new();
+                cargs.field_u64("depth", queue_depth as u64);
+                let mut c = ObjWriter::new();
+                c.field_str("name", &format!("disk {disk} queue"));
+                c.field_str("ph", "C");
+                c.field_u64("pid", PID_DISKS);
+                c.field_u64("tid", disk as u64);
+                c.field_f64("ts", us(ts));
+                c.field_raw("args", &cargs.finish());
+                out.push(c.finish());
+            }
+            Event::BusTransfer {
+                query,
+                queue_ns,
+                transfer_ns,
+            } => {
+                let mut args = ObjWriter::new();
+                args.field_u64("query", query as u64);
+                args.field_f64("queue_ms", queue_ns as f64 / 1e6);
+                let mut o = ObjWriter::new();
+                o.field_str("name", "page transfer");
+                o.field_str("cat", "bus");
+                o.field_str("ph", "X");
+                o.field_u64("pid", PID_BUS);
+                o.field_u64("tid", 0);
+                o.field_f64("ts", us(ts + queue_ns));
+                o.field_f64("dur", us(transfer_ns));
+                o.field_raw("args", &args.finish());
+                out.push(o.finish());
+            }
+            Event::CpuSlice {
+                query,
+                cpu,
+                queue_ns,
+                exec_ns,
+                instructions,
+            } => {
+                let mut args = ObjWriter::new();
+                args.field_u64("query", query as u64);
+                args.field_u64("instructions", instructions);
+                args.field_f64("queue_ms", queue_ns as f64 / 1e6);
+                let mut o = ObjWriter::new();
+                o.field_str("name", if instructions == 0 { "startup" } else { "batch" });
+                o.field_str("cat", "cpu");
+                o.field_str("ph", "X");
+                o.field_u64("pid", PID_CPU);
+                o.field_u64("tid", cpu as u64);
+                o.field_f64("ts", us(ts + queue_ns));
+                o.field_f64("dur", us(exec_ns));
+                o.field_raw("args", &args.finish());
+                out.push(o.finish());
+            }
+            Event::BatchIssued { query, level, size } => {
+                let mut args = ObjWriter::new();
+                args.field_u64("level", level as u64);
+                args.field_u64("size", size as u64);
+                let mut o = ObjWriter::new();
+                o.field_str("name", "batch issued");
+                o.field_str("cat", "query");
+                o.field_str("ph", "n");
+                o.field_u64("id", query as u64);
+                o.field_u64("pid", PID_QUERIES);
+                o.field_u64("tid", 0);
+                o.field_f64("ts", us(ts));
+                o.field_raw("args", &args.finish());
+                out.push(o.finish());
+            }
+            Event::CrssState {
+                query,
+                d_th_sq,
+                stack_runs,
+                stack_candidates,
+            } => {
+                let mut args = ObjWriter::new();
+                args.field_f64(
+                    "d_th",
+                    if d_th_sq.is_finite() {
+                        d_th_sq.sqrt()
+                    } else {
+                        f64::INFINITY
+                    },
+                );
+                args.field_u64("stack_runs", stack_runs as u64);
+                args.field_u64("stack_candidates", stack_candidates as u64);
+                let mut o = ObjWriter::new();
+                o.field_str("name", "crss state");
+                o.field_str("cat", "query");
+                o.field_str("ph", "n");
+                o.field_u64("id", query as u64);
+                o.field_u64("pid", PID_QUERIES);
+                o.field_u64("tid", 0);
+                o.field_f64("ts", us(ts));
+                o.field_raw("args", &args.finish());
+                out.push(o.finish());
+            }
+        }
+    }
+
+    let mut doc = String::from("{\"traceEvents\":[\n");
+    for (i, ev) in out.iter().enumerate() {
+        if i > 0 {
+            doc.push_str(",\n");
+        }
+        doc.push_str(ev);
+    }
+    doc.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn sample_events() -> Vec<(u64, Event)> {
+        vec![
+            (0, Event::QueryArrive { query: 0 }),
+            (
+                10_000,
+                Event::DiskService {
+                    query: 0,
+                    disk: 1,
+                    cylinder: 5,
+                    level: 0,
+                    queue_ns: 2_000,
+                    seek_ns: 1_000,
+                    rotation_ns: 3_000,
+                    transfer_ns: 2_000,
+                    queue_depth: 1,
+                },
+            ),
+            (
+                18_000,
+                Event::BusTransfer {
+                    query: 0,
+                    queue_ns: 0,
+                    transfer_ns: 400,
+                },
+            ),
+            (
+                18_400,
+                Event::CpuSlice {
+                    query: 0,
+                    cpu: 0,
+                    queue_ns: 0,
+                    exec_ns: 100,
+                    instructions: 42,
+                },
+            ),
+            (
+                20_000,
+                Event::QueryComplete {
+                    query: 0,
+                    response_ns: 20_000,
+                    nodes: 1,
+                    batches: 1,
+                    disk_queue_ns: 2_000,
+                    seek_ns: 1_000,
+                    rotation_ns: 3_000,
+                    transfer_ns: 2_000,
+                    bus_queue_ns: 0,
+                    bus_ns: 400,
+                    cpu_queue_ns: 0,
+                    cpu_ns: 100,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_expected_tracks() {
+        let text = chrome_trace(&sample_events(), 2, 1);
+        let doc = parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // Metadata: disk array process + 2 disk threads + bus(2) +
+        // cpu process + 1 cpu thread + queries = 8 metadata records.
+        let metas: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .collect();
+        assert_eq!(metas.len(), 8);
+        // The disk slice starts after its queueing delay.
+        let slice = events
+            .iter()
+            .find(|e| e.get("cat").map(|c| c.as_str()) == Some(Some("disk")))
+            .unwrap();
+        assert_eq!(slice.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(slice.get("pid").unwrap().as_u64(), Some(PID_DISKS));
+        assert_eq!(slice.get("tid").unwrap().as_u64(), Some(1));
+        assert_eq!(slice.get("ts").unwrap().as_f64(), Some(12.0)); // (10k+2k) ns → µs
+        assert_eq!(slice.get("dur").unwrap().as_f64(), Some(6.0));
+        // Async span: exactly one b/e pair with matching id.
+        let b = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("b"))
+            .count();
+        let e = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("e"))
+            .count();
+        assert_eq!((b, e), (1, 1));
+        // Queue-depth counter present.
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").unwrap().as_str() == Some("C")));
+    }
+}

@@ -1,0 +1,125 @@
+//! File sinks: assemble and write the `--trace` / `--metrics` documents
+//! shared by the CLI and the experiment binaries.
+
+use crate::event::Event;
+use crate::metrics::MetricsSnapshot;
+use crate::profile::query_profiles;
+use sqda_storage::IoStats;
+use std::io;
+use std::path::Path;
+
+/// Builds the trace document for `path`: the raw JSONL event log when
+/// the file extension is `.jsonl`, Chrome/Perfetto `trace_event` JSON
+/// (loadable at <https://ui.perfetto.dev>) otherwise.
+pub fn trace_document(
+    path: &Path,
+    events: &[(u64, Event)],
+    num_disks: u32,
+    num_cpus: u32,
+) -> String {
+    if path.extension().is_some_and(|e| e == "jsonl") {
+        crate::jsonl::events_to_jsonl(events)
+    } else {
+        crate::perfetto::chrome_trace(events, num_disks, num_cpus)
+    }
+}
+
+/// Builds the metrics document: a JSON object with the aggregate
+/// [`MetricsSnapshot`] under `"snapshot"` and the per-query
+/// [`crate::QueryProfile`]s under `"profiles"`.
+pub fn metrics_document(events: &[(u64, Event)], io: Option<&IoStats>) -> String {
+    let mut snap = MetricsSnapshot::from_events(events);
+    if let Some(io) = io {
+        snap.fold_io_stats(io);
+    }
+    let profiles: Vec<String> = query_profiles(events).iter().map(|p| p.to_json()).collect();
+    format!(
+        "{{\"snapshot\":{},\"profiles\":[{}]}}\n",
+        snap.to_json(),
+        profiles.join(",")
+    )
+}
+
+/// Writes whichever of the two sinks have paths set: `trace` receives
+/// [`trace_document`], `metrics` receives [`metrics_document`].
+pub fn write_observability(
+    events: &[(u64, Event)],
+    num_disks: u32,
+    num_cpus: u32,
+    io: Option<&IoStats>,
+    trace: Option<&Path>,
+    metrics: Option<&Path>,
+) -> io::Result<()> {
+    if let Some(path) = trace {
+        std::fs::write(path, trace_document(path, events, num_disks, num_cpus))?;
+    }
+    if let Some(path) = metrics {
+        std::fs::write(path, metrics_document(events, io))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Value};
+
+    fn sample_events() -> Vec<(u64, Event)> {
+        vec![
+            (0, Event::QueryArrive { query: 0 }),
+            (
+                1_000_000,
+                Event::DiskService {
+                    query: 0,
+                    disk: 0,
+                    cylinder: 3,
+                    level: 0,
+                    queue_ns: 0,
+                    seek_ns: 100,
+                    rotation_ns: 200,
+                    transfer_ns: 300,
+                    queue_depth: 1,
+                },
+            ),
+            (
+                2_000_000,
+                Event::QueryComplete {
+                    query: 0,
+                    response_ns: 2_000_000,
+                    nodes: 1,
+                    batches: 1,
+                    disk_queue_ns: 0,
+                    seek_ns: 100,
+                    rotation_ns: 200,
+                    transfer_ns: 300,
+                    bus_queue_ns: 0,
+                    bus_ns: 400,
+                    cpu_queue_ns: 0,
+                    cpu_ns: 500,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn trace_document_picks_format_by_extension() {
+        let events = sample_events();
+        let jsonl = trace_document(Path::new("t.jsonl"), &events, 2, 1);
+        assert!(jsonl.starts_with("{\"ts\":0,\"type\":\"query_arrive\""));
+        let chrome = trace_document(Path::new("t.json"), &events, 2, 1);
+        let doc = parse(&chrome).expect("valid JSON");
+        assert!(doc.get("traceEvents").is_some());
+    }
+
+    #[test]
+    fn metrics_document_is_valid_json_with_profiles() {
+        let events = sample_events();
+        let doc = parse(metrics_document(&events, None).trim()).expect("valid JSON");
+        assert!(doc.get("snapshot").is_some());
+        let profiles = doc
+            .get("profiles")
+            .and_then(Value::as_arr)
+            .expect("profiles array");
+        assert_eq!(profiles.len(), 1);
+    }
+}

@@ -32,13 +32,25 @@ impl Bus {
     /// Submits one page for transfer at `now`; returns the time the page
     /// arrives in main memory.
     pub fn submit(&mut self, now: SimTime) -> SimTime {
+        self.submit_detailed(now).0
+    }
+
+    /// Like [`Bus::submit`], but also returns the queueing delay the
+    /// page experienced before its transfer started: `(completion,
+    /// queue)`. Timing is identical to `submit`.
+    pub fn submit_detailed(&mut self, now: SimTime) -> (SimTime, SimTime) {
         let start = now.max(self.busy_until);
         let completion = start + self.transfer_time;
         self.util.add_busy(start, completion);
         self.total_wait += start - now;
         self.transfers += 1;
         self.busy_until = completion;
-        completion
+        (completion, start - now)
+    }
+
+    /// The per-page transfer time.
+    pub fn transfer_time(&self) -> SimTime {
+        self.transfer_time
     }
 
     /// Number of pages transferred.
@@ -88,6 +100,17 @@ mod tests {
         assert_eq!(bus.transfers(), 3);
         assert!(bus.mean_wait_s() > 0.0);
         assert!((bus.utilization(d3) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detailed_reports_queueing_delay() {
+        let mut bus = Bus::new(SimTime::from_millis_f64(1.0));
+        let (d1, q1) = bus.submit_detailed(SimTime::ZERO);
+        assert_eq!(q1, SimTime::ZERO);
+        let (d2, q2) = bus.submit_detailed(SimTime::ZERO);
+        assert_eq!(q2, d1);
+        assert_eq!(d2, SimTime::from_millis_f64(2.0));
+        assert_eq!(bus.transfer_time(), SimTime::from_millis_f64(1.0));
     }
 
     #[test]

@@ -61,24 +61,40 @@ impl Cpu {
 
     /// Submits a job of `instructions` at time `now`; returns completion.
     pub fn submit(&mut self, now: SimTime, instructions: u64) -> SimTime {
+        self.submit_detailed(now, instructions).0
+    }
+
+    /// Like [`Cpu::submit`], but also returns the queueing delay before
+    /// execution started: `(completion, queue)`. Timing is identical.
+    pub fn submit_detailed(&mut self, now: SimTime, instructions: u64) -> (SimTime, SimTime) {
         let start = now.max(self.busy_until);
         let completion = start + self.execution_time(instructions);
         self.util.add_busy(start, completion);
         self.jobs += 1;
         self.total_instructions += instructions;
         self.busy_until = completion;
-        completion
+        (completion, start - now)
     }
 
     /// Submits a job with a fixed duration (e.g. the constant query
     /// startup cost of Table 1); returns completion.
     pub fn submit_duration(&mut self, now: SimTime, duration: SimTime) -> SimTime {
+        self.submit_duration_detailed(now, duration).0
+    }
+
+    /// Like [`Cpu::submit_duration`], but also returns the queueing
+    /// delay: `(completion, queue)`. Timing is identical.
+    pub fn submit_duration_detailed(
+        &mut self,
+        now: SimTime,
+        duration: SimTime,
+    ) -> (SimTime, SimTime) {
         let start = now.max(self.busy_until);
         let completion = start + duration;
         self.util.add_busy(start, completion);
         self.jobs += 1;
         self.busy_until = completion;
-        completion
+        (completion, start - now)
     }
 
     /// Jobs executed.
@@ -141,6 +157,19 @@ mod tests {
         assert_eq!(cpu.jobs(), 2);
         assert_eq!(cpu.total_instructions(), 2_000_000);
         assert!((cpu.utilization(d2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detailed_reports_queueing_delay() {
+        let mut cpu = Cpu::new(100.0);
+        let (_, q1) = cpu.submit_detailed(SimTime::ZERO, 1_000_000);
+        assert_eq!(q1, SimTime::ZERO);
+        let (d2, q2) = cpu.submit_detailed(SimTime::ZERO, 1_000_000);
+        assert_eq!(q2, SimTime::from_millis_f64(10.0));
+        assert_eq!(d2, SimTime::from_millis_f64(20.0));
+        let (d3, q3) = cpu.submit_duration_detailed(SimTime::ZERO, SimTime::from_millis_f64(5.0));
+        assert_eq!(q3, SimTime::from_millis_f64(20.0));
+        assert_eq!(d3, SimTime::from_millis_f64(25.0));
     }
 
     #[test]

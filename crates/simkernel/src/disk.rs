@@ -5,6 +5,7 @@ use crate::{SimTime, UtilizationTracker};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// Physical parameters of one disk drive.
 ///
@@ -98,6 +99,31 @@ pub struct Disk {
     util: UtilizationTracker,
     total_wait: SimTime,
     total_service: SimTime,
+    /// Completion times of outstanding requests, oldest first; entries
+    /// at or before the current submission time are drained so the
+    /// remaining length is the queue depth the new request sees.
+    outstanding: VecDeque<SimTime>,
+}
+
+/// The full timing of one disk request, as computed at submission.
+/// The phase components are reported individually for observability;
+/// the authoritative completion time is `completion` (computed from the
+/// summed service like [`Disk::submit`] always has).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskServiceDetail {
+    /// When the page is ready to go on the bus.
+    pub completion: SimTime,
+    /// FCFS queueing delay before service started.
+    pub queue: SimTime,
+    /// Head-movement time.
+    pub seek: SimTime,
+    /// Rotational latency (uniformly drawn).
+    pub rotation: SimTime,
+    /// Platter transfer plus controller overhead.
+    pub transfer: SimTime,
+    /// Requests waiting or in service when this one was submitted
+    /// (this request excluded).
+    pub queue_depth: u32,
 }
 
 impl Disk {
@@ -112,6 +138,7 @@ impl Disk {
             util: UtilizationTracker::new(),
             total_wait: SimTime::ZERO,
             total_service: SimTime::ZERO,
+            outstanding: VecDeque::new(),
         }
     }
 
@@ -129,16 +156,40 @@ impl Disk {
     /// Panics if `cylinder` is outside the drive or if `now` precedes an
     /// earlier submission (FCFS requires time-ordered submission).
     pub fn submit(&mut self, now: SimTime, cylinder: u32, rng: &mut StdRng) -> SimTime {
+        self.submit_detailed(now, cylinder, rng).completion
+    }
+
+    /// Like [`Disk::submit`], but also returns the phase breakdown
+    /// (queue / seek / rotation / transfer) and the queue depth the
+    /// request found — the raw material of the observability layer.
+    /// Timing is identical to `submit`; the extra bookkeeping draws no
+    /// randomness.
+    pub fn submit_detailed(
+        &mut self,
+        now: SimTime,
+        cylinder: u32,
+        rng: &mut StdRng,
+    ) -> DiskServiceDetail {
         assert!(
             cylinder < self.params.num_cylinders,
             "cylinder {cylinder} out of range"
         );
+        while self.outstanding.front().is_some_and(|&done| done <= now) {
+            self.outstanding.pop_front();
+        }
+        let queue_depth = self.outstanding.len() as u32;
         let start = now.max(self.busy_until);
         let distance = self.head_cylinder.abs_diff(cylinder);
-        let rot_latency = rng.gen_range(0.0..self.params.revolution_time_s);
-        let service_s = self.params.seek_time_s(distance)
-            + rot_latency
-            + (self.params.transfer_ms + self.params.controller_overhead_ms) / 1e3;
+        // A zero-revolution drive (used by deterministic tests) has no
+        // latency to draw — and rand panics on an empty range.
+        let rot_latency = if self.params.revolution_time_s > 0.0 {
+            rng.gen_range(0.0..self.params.revolution_time_s)
+        } else {
+            0.0
+        };
+        let seek_s = self.params.seek_time_s(distance);
+        let transfer_s = (self.params.transfer_ms + self.params.controller_overhead_ms) / 1e3;
+        let service_s = seek_s + rot_latency + transfer_s;
         let service = SimTime::from_secs_f64(service_s);
         let completion = start + service;
 
@@ -148,7 +199,15 @@ impl Disk {
         self.requests += 1;
         self.head_cylinder = cylinder;
         self.busy_until = completion;
-        completion
+        self.outstanding.push_back(completion);
+        DiskServiceDetail {
+            completion,
+            queue: start - now,
+            seek: SimTime::from_secs_f64(seek_s),
+            rotation: SimTime::from_secs_f64(rot_latency),
+            transfer: SimTime::from_secs_f64(transfer_s),
+            queue_depth,
+        }
     }
 
     /// Number of requests served.
@@ -282,6 +341,59 @@ mod tests {
         let u = d.utilization(horizon);
         assert!(u > 0.0 && u <= 1.0, "utilization {u}");
         assert!(d.mean_service_s() > 0.0);
+    }
+
+    #[test]
+    fn detailed_breakdown_and_queue_depth() {
+        let mut d = Disk::new(DiskParams::default());
+        let mut r = rng();
+        let t0 = SimTime::ZERO;
+        let d1 = d.submit_detailed(t0, 700, &mut r);
+        assert_eq!(d1.queue_depth, 0);
+        assert_eq!(d1.queue, SimTime::ZERO);
+        // Components reconstruct the service interval exactly (each is
+        // converted from the same f64 terms; allow 1ns per rounding).
+        let service = d1.completion - t0;
+        let sum = d1.seek + d1.rotation + d1.transfer;
+        assert!(service.as_nanos().abs_diff(sum.as_nanos()) <= 2);
+        // Second and third requests at t0 see depths 1 and 2.
+        let d2 = d.submit_detailed(t0, 700, &mut r);
+        assert_eq!(d2.queue_depth, 1);
+        assert_eq!(d2.queue, d1.completion - t0);
+        let d3 = d.submit_detailed(t0, 700, &mut r);
+        assert_eq!(d3.queue_depth, 2);
+        // After everything drains the queue is empty again.
+        let d4 = d.submit_detailed(d3.completion, 700, &mut r);
+        assert_eq!(d4.queue_depth, 0);
+    }
+
+    #[test]
+    fn detailed_matches_plain_submit_timing() {
+        let mut a = Disk::new(DiskParams::default());
+        let mut b = Disk::new(DiskParams::default());
+        let mut ra = rng();
+        let mut rb = rng();
+        for i in 0..100u32 {
+            let t = SimTime::from_millis_f64(i as f64 * 3.0);
+            let cyl = (i * 131) % 1449;
+            let plain = a.submit(t, cyl, &mut ra);
+            let detail = b.submit_detailed(t, cyl, &mut rb);
+            assert_eq!(plain, detail.completion, "divergence at request {i}");
+        }
+    }
+
+    #[test]
+    fn zero_revolution_disk_is_deterministic() {
+        let params = DiskParams {
+            revolution_time_s: 0.0,
+            ..DiskParams::default()
+        };
+        let mut d = Disk::new(params);
+        let mut r = rng();
+        let detail = d.submit_detailed(SimTime::ZERO, 0, &mut r);
+        assert_eq!(detail.rotation, SimTime::ZERO);
+        // No seek, no rotation: service is exactly transfer + overhead.
+        assert_eq!(detail.completion, SimTime::from_millis_f64(2.0));
     }
 
     #[test]

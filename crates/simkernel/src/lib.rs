@@ -37,8 +37,8 @@ mod time;
 pub use arrivals::PoissonArrivals;
 pub use bus::Bus;
 pub use cpu::{cpu_instructions_for_batch, Cpu};
-pub use disk::{Disk, DiskParams};
+pub use disk::{Disk, DiskParams, DiskServiceDetail};
 pub use events::EventQueue;
 pub use params::SystemParams;
-pub use stats::{SampleStats, UtilizationTracker};
+pub use stats::{SampleStats, StatsSummary, UtilizationTracker};
 pub use time::SimTime;

@@ -26,10 +26,11 @@ pub struct SystemParams {
     pub bus_transfer_ms: f64,
     /// Per-drive characteristics (Table 2, HP-C2200A).
     pub disk: DiskParams,
-    /// Shadowed (mirrored) disks: every page also has a replica on disk
-    /// `(d + num_disks/2) mod num_disks`, and each read is served by
-    /// whichever replica's disk frees up first. `false` reproduces the
-    /// paper's RAID-0 system.
+    /// Shadowed (mirrored) disks: disks are paired `(d, d + num_disks/2)`
+    /// for `d < num_disks/2` and every page has a replica on its disk's
+    /// partner; each read is served by whichever disk of the pair frees
+    /// up first (with an odd array the last disk is unpaired). `false`
+    /// reproduces the paper's RAID-0 system.
     pub mirrored_reads: bool,
 }
 

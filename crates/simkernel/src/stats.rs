@@ -113,6 +113,60 @@ impl SampleStats {
         }
         1.96 * self.std_dev() / (n as f64).sqrt()
     }
+
+    /// Absorbs another collector's samples (e.g. merging per-worker
+    /// stats after a parallel sweep).
+    pub fn merge(&mut self, other: &SampleStats) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// Consumes the collector and produces every report field at once,
+    /// sorting the samples a single time (the repeated-`percentile`
+    /// pattern re-checks sortedness per call and needs `&mut` borrows
+    /// at each use site).
+    pub fn summary(mut self) -> StatsSummary {
+        if !self.sorted && !self.samples.is_empty() {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.sorted = true;
+        }
+        StatsSummary {
+            count: self.len(),
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            min: self.min(),
+            max: self.max(),
+            median: self.percentile(50.0),
+            p95: self.percentile(95.0),
+            p99: self.percentile(99.0),
+            ci95_half_width: self.ci95_half_width(),
+        }
+    }
+}
+
+/// All summary fields of a [`SampleStats`], computed in one pass by
+/// [`SampleStats::summary`]. Empty collectors yield all-zero summaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StatsSummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1).
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Nearest-rank median.
+    pub median: f64,
+    /// Nearest-rank 95th percentile.
+    pub p95: f64,
+    /// Nearest-rank 99th percentile.
+    pub p99: f64,
+    /// Half-width of the 95% CI for the mean.
+    pub ci95_half_width: f64,
 }
 
 /// Accumulates busy intervals of a single server to report utilization.
@@ -216,6 +270,46 @@ mod tests {
             large.push((i % 5) as f64);
         }
         assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = SampleStats::new();
+        let mut b = SampleStats::new();
+        for x in [1.0, 2.0, 3.0] {
+            a.push(x);
+        }
+        for x in [4.0, 5.0] {
+            b.push(x);
+        }
+        // Sort a first so merge must clear the sorted flag.
+        let _ = a.percentile(50.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.mean(), 3.0);
+        assert_eq!(a.percentile(100.0), 5.0);
+    }
+
+    #[test]
+    fn summary_matches_individual_accessors() {
+        let mut s = SampleStats::new();
+        for x in 1..=100 {
+            s.push(x as f64);
+        }
+        let mut reference = s.clone();
+        let summary = s.summary();
+        assert_eq!(summary.count, 100);
+        assert_eq!(summary.mean, reference.mean());
+        assert_eq!(summary.std_dev, reference.std_dev());
+        assert_eq!(summary.min, 1.0);
+        assert_eq!(summary.max, 100.0);
+        assert_eq!(summary.median, reference.percentile(50.0));
+        assert_eq!(summary.p95, reference.percentile(95.0));
+        assert_eq!(summary.p99, reference.percentile(99.0));
+        assert_eq!(summary.ci95_half_width, reference.ci95_half_width());
+        // Empty summary is all zeros.
+        let empty = SampleStats::new().summary();
+        assert_eq!(empty, StatsSummary::default());
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! * [`simkernel`] — the event-driven disk-array simulator;
 //! * [`rstar`] — the declustered, count-augmented R\*-tree;
 //! * [`core`] — the BBSS/FPSS/CRSS/WOPTSS algorithms and executors;
+//! * [`obs`] — simulation tracing: recorder seam, JSONL/Perfetto
+//!   exports, metrics snapshots and per-query profiles;
 //! * [`datasets`] — deterministic experiment data generators;
 //! * [`sstree`] — the SS-tree (bounding spheres), running the same
 //!   algorithms through the access-method abstraction;
@@ -45,6 +47,7 @@ pub use sqda_analysis as analysis;
 pub use sqda_core as core;
 pub use sqda_datasets as datasets;
 pub use sqda_geom as geom;
+pub use sqda_obs as obs;
 pub use sqda_rstar as rstar;
 pub use sqda_simkernel as simkernel;
 pub use sqda_sstree as sstree;
