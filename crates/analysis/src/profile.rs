@@ -1,6 +1,6 @@
 //! Per-level geometry statistics of a tree.
 
-use sqda_rstar::{Node, RStarError, RStarTree};
+use sqda_rstar::{RStarError, RStarTree};
 use sqda_storage::PageStore;
 
 /// Statistics of one tree level.
@@ -53,8 +53,8 @@ impl TreeProfile {
                     space_extent = (0..dim).map(|d| mbr.extent(d)).collect();
                 }
             }
-            if let Node::Internal { entries, .. } = node {
-                stack.extend(entries.iter().map(|e| e.child));
+            if !node.is_leaf() {
+                stack.extend(node.internal_iter().map(|e| e.child));
             }
         }
         let levels = (0..height)

@@ -1,0 +1,113 @@
+//! Criterion benchmarks for the zero-copy node hot path: warm-cache
+//! traversal (Arc clone per node, no entry copies), full-page node
+//! decode (two allocations under the flat layout), and end-to-end k-NN
+//! over a warm cache with a reused scratch heap.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sqda_geom::Point;
+use sqda_rstar::decluster::ProximityIndex;
+use sqda_rstar::{codec, knn_with_scratch, BestFirstScratch, RStarConfig, RStarTree};
+use sqda_storage::{ArrayStore, NodeCache, PageStore};
+use std::sync::Arc;
+
+const OBJECTS: usize = 2000;
+
+fn build_tree() -> RStarTree<ArrayStore> {
+    let store = Arc::new(ArrayStore::with_page_size(10, 1449, 1024, 1));
+    let mut tree = RStarTree::create(
+        store,
+        RStarConfig::with_page_size(2, 1024),
+        Box::new(ProximityIndex),
+    )
+    .expect("tree creation");
+    for i in 0..OBJECTS {
+        let x = ((i * 7919) % 2003) as f64 * 0.5;
+        let y = ((i * 104_729) % 1999) as f64 * 0.25;
+        tree.insert(Point::new(vec![x, y]), i as u64)
+            .expect("insert");
+    }
+    tree.set_node_cache(Arc::new(NodeCache::new(8192)));
+    tree
+}
+
+fn traverse(tree: &RStarTree<ArrayStore>) -> u64 {
+    let mut nodes = 0u64;
+    let mut stack = vec![tree.root_page()];
+    while let Some(page) = stack.pop() {
+        let node = tree.read_node(page).expect("read");
+        nodes += 1;
+        if !node.is_leaf() {
+            stack.extend(node.internal_iter().map(|e| e.child));
+        }
+    }
+    nodes
+}
+
+fn bench_warm_traversal(c: &mut Criterion) {
+    let tree = build_tree();
+    traverse(&tree); // warm the cache
+    c.bench_function("hotpath/warm_traversal", |b| {
+        b.iter(|| black_box(traverse(&tree)))
+    });
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let tree = build_tree();
+    let dim = tree.dim();
+    // First leaf on the leftmost path, and its parent as the internal
+    // sample.
+    let mut page = tree.root_page();
+    let mut internal = None;
+    loop {
+        let node = tree.read_node(page).expect("read");
+        if node.is_leaf() {
+            break;
+        }
+        internal = Some(page);
+        page = node.internal_child(0);
+    }
+    let mut group = c.benchmark_group("hotpath/decode");
+    let leaf_bytes = tree.store().read(page).expect("read page");
+    group.bench_function("leaf", |b| {
+        b.iter(|| black_box(codec::decode_node(black_box(leaf_bytes.clone()), dim, page).unwrap()))
+    });
+    if let Some(ipage) = internal {
+        let internal_bytes = tree.store().read(ipage).expect("read page");
+        group.bench_function("internal", |b| {
+            b.iter(|| {
+                black_box(
+                    codec::decode_node(black_box(internal_bytes.clone()), dim, ipage).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_knn_warm(c: &mut Criterion) {
+    let tree = build_tree();
+    let queries: Vec<Point> = (0..20)
+        .map(|i| {
+            Point::new(vec![
+                (i * 53 % 101) as f64 * 9.0,
+                (i * 31 % 97) as f64 * 4.7,
+            ])
+        })
+        .collect();
+    let mut scratch = BestFirstScratch::new();
+    for q in &queries {
+        knn_with_scratch(&tree, q, 10, &mut scratch).expect("knn"); // warm
+    }
+    c.bench_function("hotpath/knn_warm_k10", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            let (out, _) = knn_with_scratch(&tree, q, 10, &mut scratch).unwrap();
+            black_box(out.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_warm_traversal, bench_decode, bench_knn_warm);
+criterion_main!(benches);

@@ -38,16 +38,15 @@ fn bench_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("codec");
     let dim = 2;
     let cfg = RStarConfig::new(dim);
-    let node = Node::Leaf {
-        entries: (0..cfg.max_leaf_entries)
-            .map(|i| {
-                sqda_rstar::LeafEntry::new(
-                    Point::new(vec![i as f64, -(i as f64)]),
-                    sqda_rstar::ObjectId(i as u64),
-                )
-            })
-            .collect(),
-    };
+    let entries: Vec<sqda_rstar::LeafEntry> = (0..cfg.max_leaf_entries)
+        .map(|i| {
+            sqda_rstar::LeafEntry::new(
+                Point::new(vec![i as f64, -(i as f64)]),
+                sqda_rstar::ObjectId(i as u64),
+            )
+        })
+        .collect();
+    let node = Node::from_leaf_entries(&entries);
     group.bench_function("encode_full_leaf_2d", |b| {
         b.iter(|| black_box(codec::encode_node(black_box(&node), dim)))
     });

@@ -1,0 +1,174 @@
+//! Hot-path measurement bin: quantifies the zero-copy node read path.
+//!
+//! Three medians, written to `results/BENCH_hotpath.json`:
+//!
+//! * `decode_leaf_ns` / `decode_internal_ns` — one full-page node decode
+//!   (the flat layout turns this into two allocations);
+//! * `warm_traversal_ns_per_node` — full-tree DFS through `read_node`
+//!   with every page resident in the decoded-node cache (an `Arc` clone
+//!   per node, no entry copies);
+//! * `knn_warm_ns_per_query` — end-to-end k-NN with a reused
+//!   [`BestFirstScratch`] over a warm cache.
+//!
+//! The tree is built deterministically (no RNG), so the byte layout under
+//! measurement is identical across runs and machines; only the timings
+//! vary. Accepts `--out <dir>` (default `results`).
+
+use sqda_geom::Point;
+use sqda_rstar::decluster::ProximityIndex;
+use sqda_rstar::{codec, knn_with_scratch, BestFirstScratch, RStarConfig, RStarTree};
+use sqda_storage::{ArrayStore, NodeCache, PageId, PageStore};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+const OBJECTS: usize = 2000;
+const REPS: usize = 30;
+const DECODES_PER_REP: usize = 1000;
+const KNN_QUERIES: usize = 20;
+const K: usize = 10;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+fn build_tree() -> RStarTree<ArrayStore> {
+    let store = Arc::new(ArrayStore::with_page_size(10, 1449, 1024, 1));
+    let mut tree = RStarTree::create(
+        store,
+        RStarConfig::with_page_size(2, 1024),
+        Box::new(ProximityIndex),
+    )
+    .expect("tree creation");
+    for i in 0..OBJECTS {
+        let x = ((i * 7919) % 2003) as f64 * 0.5;
+        let y = ((i * 104_729) % 1999) as f64 * 0.25;
+        tree.insert(Point::new(vec![x, y]), i as u64)
+            .expect("insert");
+    }
+    tree.set_node_cache(Arc::new(NodeCache::new(8192)));
+    tree
+}
+
+/// DFS over the whole tree through `read_node`; returns nodes touched.
+fn traverse(tree: &RStarTree<ArrayStore>) -> u64 {
+    let mut nodes = 0u64;
+    let mut stack = vec![tree.root_page()];
+    while let Some(page) = stack.pop() {
+        let node = tree.read_node(page).expect("read");
+        nodes += 1;
+        if !node.is_leaf() {
+            stack.extend(node.internal_iter().map(|e| e.child));
+        }
+    }
+    nodes
+}
+
+/// First leaf page and first internal page (when the tree has one).
+fn sample_pages(tree: &RStarTree<ArrayStore>) -> (PageId, Option<PageId>) {
+    let mut page = tree.root_page();
+    let mut internal = None;
+    loop {
+        let node = tree.read_node(page).expect("read");
+        if node.is_leaf() {
+            return (page, internal);
+        }
+        internal = Some(page);
+        page = node.internal_child(0);
+    }
+}
+
+fn main() {
+    let mut out_dir = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_dir = PathBuf::from(args.next().expect("--out needs a directory")),
+            other => panic!("unknown argument {other} (expected --out <dir>)"),
+        }
+    }
+
+    let tree = build_tree();
+    let dim = tree.dim();
+
+    // Decode: median ns per decode_node call on a full page.
+    let (leaf_page, internal_page) = sample_pages(&tree);
+    let time_decode = |page: PageId| -> f64 {
+        let bytes = tree.store().read(page).expect("read page");
+        let mut reps = Vec::with_capacity(REPS);
+        for _ in 0..REPS {
+            let start = Instant::now();
+            for _ in 0..DECODES_PER_REP {
+                let node = codec::decode_node(bytes.clone(), dim, page).expect("decode");
+                std::hint::black_box(&node);
+            }
+            reps.push(start.elapsed().as_nanos() as f64 / DECODES_PER_REP as f64);
+        }
+        median(reps)
+    };
+    let decode_leaf_ns = time_decode(leaf_page);
+    let decode_internal_ns = internal_page.map(time_decode).unwrap_or(0.0);
+
+    // Warm-cache traversal: ns per node over the whole tree.
+    let node_count = traverse(&tree); // warms the cache
+    let mut traversal_reps = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let n = traverse(&tree);
+        traversal_reps.push(start.elapsed().as_nanos() as f64 / n as f64);
+    }
+    let warm_traversal_ns_per_node = median(traversal_reps);
+
+    // Warm end-to-end k-NN with a reused scratch heap.
+    let queries: Vec<Point> = (0..KNN_QUERIES)
+        .map(|i| {
+            Point::new(vec![
+                (i * 53 % 101) as f64 * 9.0,
+                (i * 31 % 97) as f64 * 4.7,
+            ])
+        })
+        .collect();
+    let mut scratch = BestFirstScratch::new();
+    for q in &queries {
+        knn_with_scratch(&tree, q, K, &mut scratch).expect("knn"); // warm
+    }
+    let mut knn_reps = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let start = Instant::now();
+        for q in &queries {
+            let (out, _) = knn_with_scratch(&tree, q, K, &mut scratch).expect("knn");
+            std::hint::black_box(out.len());
+        }
+        knn_reps.push(start.elapsed().as_nanos() as f64 / queries.len() as f64);
+    }
+    let knn_warm_ns_per_query = median(knn_reps);
+
+    println!("hot-path medians over {REPS} reps ({node_count} nodes, {OBJECTS} objects):");
+    println!("  decode_leaf_ns             {decode_leaf_ns:.1}");
+    println!("  decode_internal_ns         {decode_internal_ns:.1}");
+    println!("  warm_traversal_ns_per_node {warm_traversal_ns_per_node:.1}");
+    println!("  knn_warm_ns_per_query      {knn_warm_ns_per_query:.1}");
+
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
+    let path = out_dir.join("BENCH_hotpath.json");
+    let json = format!(
+        "{{\n  \"bench\": \"hotpath\",\n  \"config\": {{\n    \"dim\": {dim},\n    \
+         \"page_size\": 1024,\n    \"objects\": {OBJECTS},\n    \"nodes\": {node_count},\n    \
+         \"cache_pages\": 8192,\n    \"reps\": {REPS}\n  }},\n  \
+         \"decode_leaf_ns\": {decode_leaf_ns:.1},\n  \
+         \"decode_internal_ns\": {decode_internal_ns:.1},\n  \
+         \"warm_traversal_ns_per_node\": {warm_traversal_ns_per_node:.1},\n  \
+         \"knn_warm_ns_per_query\": {knn_warm_ns_per_query:.1}\n}}\n"
+    );
+    std::fs::write(&path, json).expect("write BENCH_hotpath.json");
+    eprintln!("  wrote {}", path.display());
+}

@@ -5,8 +5,8 @@
 //! k grows; CRSS overtakes it past a crossover; FPSS visits the most;
 //! WOPTSS is the floor.
 
-use sqda_bench::{build_tree, f2, mean_nodes, parallel_map, ExpOptions, ResultsTable};
-use sqda_core::AlgorithmKind;
+use sqda_bench::{build_tree, f2, mean_nodes_with, parallel_map_with, ExpOptions, ResultsTable};
+use sqda_core::{AlgorithmKind, QueryScratch};
 use sqda_datasets::{california_like, long_beach_like, CP_CARDINALITY, LB_CARDINALITY};
 
 fn main() {
@@ -35,9 +35,14 @@ fn main() {
             .iter()
             .flat_map(|&k| AlgorithmKind::ALL.map(|kind| (k, kind)))
             .collect();
-        let cells = parallel_map(&points, opts.jobs, |&(k, kind)| {
-            f2(mean_nodes(&tree, &queries, k, kind))
-        });
+        // One query scratch per sweep worker: heaps and batch buffers are
+        // allocated once per thread, not once per (k, algorithm, query).
+        let cells = parallel_map_with(
+            &points,
+            opts.jobs,
+            QueryScratch::new,
+            |scratch, &(k, kind)| f2(mean_nodes_with(&tree, &queries, k, kind, scratch)),
+        );
         for (i, &k) in ks.iter().enumerate() {
             let mut row = vec![k.to_string()];
             row.extend_from_slice(&cells[i * 4..(i + 1) * 4]);

@@ -6,8 +6,8 @@
 //! descent degrades with k, and CRSS stays closest to the WOPTSS floor
 //! (ratios within a few percent).
 
-use sqda_bench::{build_tree, mean_nodes, parallel_map, ExpOptions, ResultsTable};
-use sqda_core::AlgorithmKind;
+use sqda_bench::{build_tree, mean_nodes_with, parallel_map_with, ExpOptions, ResultsTable};
+use sqda_core::{AlgorithmKind, QueryScratch};
 use sqda_datasets::{gaussian, uniform};
 
 fn main() {
@@ -44,9 +44,12 @@ fn main() {
             .iter()
             .flat_map(|&k| AlgorithmKind::ALL.map(|kind| (k, kind)))
             .collect();
-        let cells = parallel_map(&points, opts.jobs, |&(k, kind)| {
-            mean_nodes(&tree, &queries, k, kind)
-        });
+        let cells = parallel_map_with(
+            &points,
+            opts.jobs,
+            QueryScratch::new,
+            |scratch, &(k, kind)| mean_nodes_with(&tree, &queries, k, kind, scratch),
+        );
         for (i, &k) in ks.iter().enumerate() {
             let wopt = cells[i * 4 + 3];
             let mut row = vec![k.to_string()];

@@ -60,7 +60,10 @@ fn main() {
             .flat_map(|&lambda| AlgorithmKind::ALL.map(|kind| (lambda, kind)))
             .collect();
         let cells = parallel_map(&points, opts.jobs, |&(lambda, kind)| {
-            f4(simulate_observed(&tree, &queries, cfg.k, lambda, kind, 1012, &opts).mean_response_s)
+            f4(
+                simulate_observed(&tree, &queries, cfg.k, lambda, kind, 1012, &opts)
+                    .mean_response_s,
+            )
         });
         for (i, &lambda) in cfg.lambdas.iter().enumerate() {
             let mut row = vec![format!("{lambda}")];

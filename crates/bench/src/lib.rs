@@ -9,7 +9,9 @@
 //! (smaller populations, fewer queries) with the same code paths — used
 //! by CI and the smoke tests; the default configuration is paper scale.
 
-use sqda_core::{exec::run_query, AlgorithmKind, Simulation, SimulationReport, Workload};
+use sqda_core::{
+    exec::run_query_with, AlgorithmKind, QueryScratch, Simulation, SimulationReport, Workload,
+};
 use sqda_datasets::Dataset;
 use sqda_geom::Point;
 use sqda_rstar::decluster::ProximityIndex;
@@ -136,9 +138,27 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_with(items, jobs, || (), |_, item| f(item))
+}
+
+/// [`parallel_map`] with per-worker state: `make_state` runs once on each
+/// worker thread (once total on the serial path) and the state is handed
+/// mutably to every item that worker claims. This is how sweeps thread a
+/// reusable [`sqda_core::QueryScratch`] through thousands of queries —
+/// one heap + batch buffer per worker, zero cross-thread sharing — while
+/// keeping the result order and the `jobs == 1` byte-identical serial
+/// path of `parallel_map`.
+pub fn parallel_map_with<T, St, R, M, F>(items: &[T], jobs: usize, make_state: M, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    M: Fn() -> St + Sync,
+    F: Fn(&mut St, &T) -> R + Sync,
+{
     assert!(jobs > 0, "parallel_map needs at least one worker");
     if jobs == 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
+        let mut state = make_state();
+        return items.iter().map(|item| f(&mut state, item)).collect();
     }
     let cursor = AtomicUsize::new(0);
     let workers = jobs.min(items.len());
@@ -146,13 +166,14 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut state = make_state();
                     let mut got = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
-                        got.push((i, f(&items[i])));
+                        got.push((i, f(&mut state, &items[i])));
                     }
                     got
                 })
@@ -235,10 +256,26 @@ pub fn mean_nodes(
     k: usize,
     kind: AlgorithmKind,
 ) -> f64 {
+    let mut scratch = QueryScratch::new();
+    mean_nodes_with(tree, queries, k, kind, &mut scratch)
+}
+
+/// [`mean_nodes`] over a reusable [`QueryScratch`]: a sweep hands each
+/// worker one scratch (via [`parallel_map_with`]) so the best-first heap
+/// and batch buffer are allocated once per worker, not once per query.
+pub fn mean_nodes_with(
+    tree: &RStarTree<ArrayStore>,
+    queries: &[Point],
+    k: usize,
+    kind: AlgorithmKind,
+    scratch: &mut QueryScratch,
+) -> f64 {
     let mut total = 0u64;
     for q in queries {
-        let mut algo = kind.build(tree, q.clone(), k).expect("algorithm");
-        let run = run_query(tree, algo.as_mut()).expect("query");
+        let mut algo = kind
+            .build_with(tree, q.clone(), k, scratch)
+            .expect("algorithm");
+        let run = run_query_with(tree, algo.as_mut(), scratch).expect("query");
         total += run.nodes_visited;
     }
     total as f64 / queries.len() as f64
@@ -423,6 +460,33 @@ mod tests {
             (i, acc)
         });
         assert_eq!(serial, fanned);
+    }
+
+    #[test]
+    fn parallel_map_with_reuses_worker_state() {
+        // Each worker's state counts the items it processed; totals must
+        // cover every item exactly once and results stay in input order.
+        let items: Vec<u64> = (0..61).collect();
+        for jobs in [1, 3, 8] {
+            let got = parallel_map_with(
+                &items,
+                jobs,
+                || 0u64,
+                |seen, &x| {
+                    *seen += 1;
+                    (x * 2, *seen)
+                },
+            );
+            let values: Vec<u64> = got.iter().map(|(v, _)| *v).collect();
+            let expect: Vec<u64> = items.iter().map(|x| x * 2).collect();
+            assert_eq!(values, expect, "jobs={jobs}");
+            // Per-worker counters are monotone along each worker's claim
+            // sequence; in serial mode the counter sweeps 1..=n.
+            if jobs == 1 {
+                let counters: Vec<u64> = got.iter().map(|(_, c)| *c).collect();
+                assert_eq!(counters, (1..=61).collect::<Vec<u64>>());
+            }
+        }
     }
 
     #[test]

@@ -357,19 +357,14 @@ fn sample_data_points<S: PageStore>(
         let mut page = tree.root_page();
         loop {
             let node = tree.read_node(page)?;
-            match node {
-                sqda_rstar::Node::Leaf { entries } => {
-                    if entries.is_empty() {
-                        return Err("tree is empty".into());
-                    }
-                    let e = &entries[rng.gen_range(0..entries.len())];
-                    out.push(e.point.clone());
-                    break;
+            if node.is_leaf() {
+                if node.is_empty() {
+                    return Err("tree is empty".into());
                 }
-                sqda_rstar::Node::Internal { entries, .. } => {
-                    page = entries[rng.gen_range(0..entries.len())].child;
-                }
+                out.push(Point::from(node.leaf_point(rng.gen_range(0..node.len()))));
+                break;
             }
+            page = node.internal_child(rng.gen_range(0..node.len()));
         }
     }
     Ok(out)

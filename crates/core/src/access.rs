@@ -74,23 +74,34 @@ pub trait AccessMethod: Send + Sync {
 
 /// The one place an R\*-tree node becomes the algorithms' view of it.
 /// (`sqda-sstree` provides the analogous impl for its sphere nodes.)
-impl From<sqda_rstar::Node> for IndexNode {
-    fn from(node: sqda_rstar::Node) -> Self {
-        match node {
-            sqda_rstar::Node::Leaf { entries } => {
-                IndexNode::Leaf(entries.into_iter().map(|e| (e.point, e.object.0)).collect())
-            }
-            sqda_rstar::Node::Internal { entries, .. } => IndexNode::Internal(
-                entries
-                    .into_iter()
+/// Borrowing form: the source node usually lives in the shared decoded-node
+/// cache, so conversion materialises owned points/rectangles from the
+/// node's flat coordinate block without consuming the cached value.
+impl From<&sqda_rstar::Node> for IndexNode {
+    fn from(node: &sqda_rstar::Node) -> Self {
+        if node.is_leaf() {
+            IndexNode::Leaf(
+                node.leaf_iter()
+                    .map(|(coords, object)| (Point::from(coords), object.0))
+                    .collect(),
+            )
+        } else {
+            IndexNode::Internal(
+                node.internal_iter()
                     .map(|e| RegionEntry {
-                        region: Region::Rect(e.mbr),
+                        region: Region::Rect(e.mbr.to_rect()),
                         child: e.child,
                         count: e.count,
                     })
                     .collect(),
-            ),
+            )
         }
+    }
+}
+
+impl From<sqda_rstar::Node> for IndexNode {
+    fn from(node: sqda_rstar::Node) -> Self {
+        (&node).into()
     }
 }
 
@@ -104,11 +115,32 @@ impl<S: sqda_storage::PageStore> AccessMethod for sqda_rstar::RStarTree<S> {
     }
 
     fn read_index_node(&self, page: PageId) -> Result<IndexNode, QueryError> {
-        Ok(self.read_node(page)?.into())
+        Ok(self.read_node(page)?.as_ref().into())
     }
 
     fn placement(&self, page: PageId) -> Result<Placement, QueryError> {
         Ok(self.store().placement(page)?)
+    }
+}
+
+/// Reusable per-query workspace: the best-first priority heap and the
+/// fetched-batch buffer survive between queries, so a steady-state query
+/// sweep performs no per-query allocations for either. One scratch per
+/// worker thread; any scratch works with any access method (it carries no
+/// query state between runs).
+#[derive(Default)]
+pub struct QueryScratch {
+    /// Heap storage for [`best_first_knn_with`] (and the WOPTSS oracle).
+    pub best_first: sqda_rstar::BestFirstScratch,
+    /// Staging buffer for fetched `(page, node)` batches; executors fill
+    /// it, algorithms drain it in place.
+    pub batch: Vec<(PageId, IndexNode)>,
+}
+
+impl QueryScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -124,22 +156,39 @@ pub fn best_first_knn(
     center: &Point,
     k: usize,
 ) -> Result<Vec<sqda_rstar::Neighbor>, QueryError> {
-    let (out, _nodes_read) = sqda_rstar::best_first_search(am.root_page(), k, |page, frontier| {
-        match am.read_index_node(page)? {
-            IndexNode::Leaf(entries) => {
-                for (point, id) in entries {
-                    let d = center.dist_sq(&point);
-                    frontier.push_object(sqda_rstar::ObjectId(id), point, d);
+    let mut scratch = QueryScratch::new();
+    best_first_knn_with(am, center, k, &mut scratch)
+}
+
+/// [`best_first_knn`] over a caller-supplied [`QueryScratch`], reusing its
+/// priority heap across queries.
+pub fn best_first_knn_with(
+    am: &(impl AccessMethod + ?Sized),
+    center: &Point,
+    k: usize,
+    scratch: &mut QueryScratch,
+) -> Result<Vec<sqda_rstar::Neighbor>, QueryError> {
+    let (out, _nodes_read) = sqda_rstar::best_first_search_with(
+        &mut scratch.best_first,
+        am.root_page(),
+        k,
+        |page, frontier| {
+            match am.read_index_node(page)? {
+                IndexNode::Leaf(entries) => {
+                    for (point, id) in entries {
+                        let d = center.dist_sq(&point);
+                        frontier.push_object(sqda_rstar::ObjectId(id), point, d);
+                    }
+                }
+                IndexNode::Internal(entries) => {
+                    for e in entries {
+                        frontier.push_node(e.child, e.region.min_dist_sq(center));
+                    }
                 }
             }
-            IndexNode::Internal(entries) => {
-                for e in entries {
-                    frontier.push_node(e.child, e.region.min_dist_sq(center));
-                }
-            }
-        }
-        Ok::<(), QueryError>(())
-    })?;
+            Ok::<(), QueryError>(())
+        },
+    )?;
     Ok(out)
 }
 

@@ -56,8 +56,10 @@ pub trait SimilaritySearch {
     fn start(&mut self) -> Step;
 
     /// Consumes one fetched batch (same order as requested) and decides
-    /// what to do next.
-    fn on_fetched(&mut self, nodes: Vec<(PageId, IndexNode)>) -> BatchResult;
+    /// what to do next. The algorithm drains the buffer, leaving it empty
+    /// but with its capacity intact — executors reuse one batch buffer for
+    /// every round of every query instead of allocating per round.
+    fn on_fetched(&mut self, nodes: &mut Vec<(PageId, IndexNode)>) -> BatchResult;
 
     /// The answers, sorted by increasing distance. Complete only after
     /// `Done`.
@@ -230,11 +232,26 @@ impl AlgorithmKind {
         query: Point,
         k: usize,
     ) -> Result<Box<dyn SimilaritySearch>, QueryError> {
+        let mut scratch = crate::QueryScratch::new();
+        self.build_with(am, query, k, &mut scratch)
+    }
+
+    /// [`AlgorithmKind::build`] over a reusable [`crate::QueryScratch`]:
+    /// the WOPTSS oracle's best-first heap is borrowed from the scratch
+    /// instead of freshly allocated (the other algorithms need no
+    /// build-time scratch).
+    pub fn build_with(
+        self,
+        am: &(impl AccessMethod + ?Sized),
+        query: Point,
+        k: usize,
+        scratch: &mut crate::QueryScratch,
+    ) -> Result<Box<dyn SimilaritySearch>, QueryError> {
         Ok(match self {
             AlgorithmKind::Bbss => Box::new(crate::Bbss::new(am, query, k)),
             AlgorithmKind::Fpss => Box::new(crate::Fpss::new(am, query, k)),
             AlgorithmKind::Crss => Box::new(crate::Crss::new(am, query, k)),
-            AlgorithmKind::Woptss => Box::new(crate::Woptss::new(am, query, k)?),
+            AlgorithmKind::Woptss => Box::new(crate::Woptss::new_with(am, query, k, scratch)?),
         })
     }
 }

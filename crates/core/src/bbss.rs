@@ -58,11 +58,11 @@ impl SimilaritySearch for Bbss {
         Step::Fetch(vec![self.root])
     }
 
-    fn on_fetched(&mut self, nodes: Vec<(PageId, IndexNode)>) -> BatchResult {
+    fn on_fetched(&mut self, nodes: &mut Vec<(PageId, IndexNode)>) -> BatchResult {
         debug_assert_eq!(nodes.len(), 1, "BBSS fetches one node at a time");
         let mut scanned = 0u64;
         let mut sorted = 0u64;
-        for (_, node) in nodes {
+        for (_, node) in nodes.drain(..) {
             match node {
                 IndexNode::Leaf(entries) => {
                     scanned += entries.len() as u64;

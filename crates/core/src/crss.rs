@@ -150,7 +150,7 @@ impl SimilaritySearch for Crss {
         Step::Fetch(vec![self.root])
     }
 
-    fn on_fetched(&mut self, nodes: Vec<(PageId, IndexNode)>) -> BatchResult {
+    fn on_fetched(&mut self, nodes: &mut Vec<(PageId, IndexNode)>) -> BatchResult {
         let mut scanned = 0u64;
         let mut sorted = 0u64;
         // Fetched batches are level-uniform (activation lists never mix
@@ -159,7 +159,7 @@ impl SimilaritySearch for Crss {
 
         let next = if leaf_batch {
             // UPDATE mode: data objects refine the best-k array.
-            for (_, node) in nodes {
+            for (_, node) in nodes.drain(..) {
                 let IndexNode::Leaf(entries) = node else {
                     unreachable!("level-uniform batch")
                 };
@@ -176,7 +176,7 @@ impl SimilaritySearch for Crss {
             self.next_from_stack()
         } else {
             let mut candidates: Vec<Candidate> = Vec::new();
-            for (_, node) in nodes {
+            for (_, node) in nodes.drain(..) {
                 let IndexNode::Internal(entries) = node else {
                     unreachable!("level-uniform batch")
                 };

@@ -30,21 +30,35 @@ pub fn run_query(
     am: &(impl AccessMethod + ?Sized),
     algo: &mut dyn SimilaritySearch,
 ) -> Result<QueryRun, QueryError> {
+    let mut scratch = crate::QueryScratch::new();
+    run_query_with(am, algo, &mut scratch)
+}
+
+/// [`run_query`] over a reusable [`crate::QueryScratch`]: the fetched-batch
+/// buffer is borrowed from the scratch, so a sweep of queries re-fills one
+/// allocation instead of building a fresh `Vec` per batch.
+pub fn run_query_with(
+    am: &(impl AccessMethod + ?Sized),
+    algo: &mut dyn SimilaritySearch,
+    scratch: &mut crate::QueryScratch,
+) -> Result<QueryRun, QueryError> {
     let mut step = algo.start();
     let mut nodes_visited = 0u64;
     let mut batches = 0u64;
     let mut max_batch = 0usize;
     let mut cpu_instructions = 0u64;
+    scratch.batch.clear();
     while let Step::Fetch(pages) = step {
         assert!(!pages.is_empty(), "{}: empty fetch batch", algo.name());
         nodes_visited += pages.len() as u64;
         batches += 1;
         max_batch = max_batch.max(pages.len());
-        let mut batch = Vec::with_capacity(pages.len());
         for page in pages {
-            batch.push((page, am.read_index_node(page)?));
+            scratch.batch.push((page, am.read_index_node(page)?));
         }
-        let result = algo.on_fetched(batch);
+        let result = algo.on_fetched(&mut scratch.batch);
+        debug_assert!(scratch.batch.is_empty(), "algorithms drain the batch");
+        scratch.batch.clear();
         cpu_instructions += result.cpu_instructions;
         step = result.next;
     }

@@ -4,5 +4,5 @@
 mod logical;
 mod sim;
 
-pub use logical::{run_query, QueryRun};
+pub use logical::{run_query, run_query_with, QueryRun};
 pub use sim::{mirror_partner, Simulation, SimulationReport};

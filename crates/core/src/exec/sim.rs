@@ -165,7 +165,11 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
         seed: u64,
         recorder: &mut dyn Recorder,
     ) -> Result<SimulationReport, QueryError> {
-        let mut factory = |point: sqda_geom::Point, k: usize| kind.build(self.am, point, k);
+        // One scratch shared across all of this run's oracle builds: the
+        // WOPTSS precomputation reuses a single best-first heap.
+        let mut scratch = crate::QueryScratch::new();
+        let mut factory =
+            |point: sqda_geom::Point, k: usize| kind.build_with(self.am, point, k, &mut scratch);
         self.run_with_fallible(&mut factory, kind.name(), workload, seed, recorder)
     }
 
@@ -223,7 +227,9 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
         let mut cpus: Vec<Cpu> = (0..self.params.num_cpus.max(1))
             .map(|_| Cpu::new(self.params.cpu_mips))
             .collect();
-        let mut events: EventQueue<Event> = EventQueue::new();
+        // Every query contributes one arrival event up front, so the
+        // workload size is a tight initial-capacity hint.
+        let mut events: EventQueue<Event> = EventQueue::with_capacity(workload.queries.len());
         let recording = recorder.enabled();
 
         // Tree level of every page seen so far (root = 0), extended as
@@ -301,8 +307,7 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                             sessions[q].nodes_visited += pages.len() as u64;
                             if recording {
                                 sessions[q].obs.batches += 1;
-                                let level =
-                                    levels.get(&pages[0]).copied().unwrap_or_default();
+                                let level = levels.get(&pages[0]).copied().unwrap_or_default();
                                 recorder.record(
                                     now.as_nanos(),
                                     ObsEvent::BatchIssued {
@@ -343,10 +348,7 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                                             query: q as u32,
                                             disk: disk as u16,
                                             cylinder: placement.cylinder,
-                                            level: levels
-                                                .get(&page)
-                                                .copied()
-                                                .unwrap_or_default(),
+                                            level: levels.get(&page).copied().unwrap_or_default(),
                                             queue_ns: detail.queue.as_nanos(),
                                             seek_ns: detail.seek.as_nanos(),
                                             rotation_ns: detail.rotation.as_nanos(),
@@ -354,8 +356,7 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                                             queue_depth: detail.queue_depth,
                                         },
                                     );
-                                    events
-                                        .schedule(detail.completion, Event::DiskDone { q, page });
+                                    events.schedule(detail.completion, Event::DiskDone { q, page });
                                 } else {
                                     let done =
                                         disks[disk].submit(now, placement.cylinder, &mut rng);
@@ -413,8 +414,7 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                     let node = self.am.read_index_node(page)?;
                     if recording {
                         if let IndexNode::Internal(entries) = &node {
-                            let child_level =
-                                levels.get(&page).copied().unwrap_or_default() + 1;
+                            let child_level = levels.get(&page).copied().unwrap_or_default() + 1;
                             for entry in entries {
                                 levels.insert(entry.child, child_level);
                             }
@@ -424,8 +424,11 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                     session.fetched.push((page, node));
                     session.outstanding -= 1;
                     if session.outstanding == 0 {
-                        let batch = std::mem::take(&mut session.fetched);
-                        let result = session.algo.on_fetched(batch);
+                        // The algorithm drains `fetched` in place; its
+                        // capacity is reused for the session's next batch.
+                        let result = session.algo.on_fetched(&mut session.fetched);
+                        debug_assert!(session.fetched.is_empty(), "algorithms drain the batch");
+                        session.fetched.clear();
                         session.pending = Some(result.next);
                         let c = least_busy_cpu(&cpus);
                         if recording {

@@ -44,13 +44,13 @@ impl SimilaritySearch for Fpss {
         Step::Fetch(vec![self.root])
     }
 
-    fn on_fetched(&mut self, nodes: Vec<(PageId, IndexNode)>) -> BatchResult {
+    fn on_fetched(&mut self, nodes: &mut Vec<(PageId, IndexNode)>) -> BatchResult {
         let mut scanned = 0u64;
         // The BFS wavefront is level-uniform: either all leaves or all
         // internal nodes.
         let leaf_level = nodes.first().map(|(_, n)| n.is_leaf()).unwrap_or(true);
         if leaf_level {
-            for (_, node) in nodes {
+            for (_, node) in nodes.drain(..) {
                 let IndexNode::Leaf(entries) = node else {
                     unreachable!("mixed BFS wavefront")
                 };
@@ -67,7 +67,7 @@ impl SimilaritySearch for Fpss {
         }
 
         let mut candidates: Vec<Candidate> = Vec::new();
-        for (_, node) in nodes {
+        for (_, node) in nodes.drain(..) {
             let IndexNode::Internal(entries) = node else {
                 unreachable!("mixed BFS wavefront")
             };

@@ -70,14 +70,16 @@ pub mod threshold;
 mod woptss;
 pub mod workload;
 
-pub use access::{best_first_knn, AccessMethod, IndexNode, RegionEntry};
+pub use access::{
+    best_first_knn, best_first_knn_with, AccessMethod, IndexNode, QueryScratch, RegionEntry,
+};
 pub use error::QueryError;
 // Re-exported so access-method crates can type their answers without a
 // direct dependency on the R*-tree crate.
 pub use algo::{AlgoProgress, AlgorithmKind, BatchResult, KBest, SimilaritySearch, Step};
 pub use bbss::Bbss;
 pub use crss::Crss;
-pub use exec::{mirror_partner, run_query, QueryRun, Simulation, SimulationReport};
+pub use exec::{mirror_partner, run_query, run_query_with, QueryRun, Simulation, SimulationReport};
 pub use fpss::Fpss;
 pub use range::RangeSearch;
 pub use sqda_rstar::{Neighbor, ObjectId};

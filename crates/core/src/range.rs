@@ -43,10 +43,10 @@ impl SimilaritySearch for RangeSearch {
         Step::Fetch(vec![self.root])
     }
 
-    fn on_fetched(&mut self, nodes: Vec<(PageId, IndexNode)>) -> BatchResult {
+    fn on_fetched(&mut self, nodes: &mut Vec<(PageId, IndexNode)>) -> BatchResult {
         let mut scanned = 0u64;
         let mut pages = Vec::new();
-        for (_, node) in nodes {
+        for (_, node) in nodes.drain(..) {
             match node {
                 IndexNode::Leaf(entries) => {
                     scanned += entries.len() as u64;

@@ -10,7 +10,7 @@
 //! node count and response time are the lower bounds the real algorithms
 //! are measured against (Theorem 2 shows none of them attains it).
 
-use crate::access::{best_first_knn, AccessMethod, IndexNode};
+use crate::access::{best_first_knn_with, AccessMethod, IndexNode, QueryScratch};
 use crate::algo::{BatchResult, KBest, SimilaritySearch, Step};
 use crate::error::QueryError;
 use sqda_geom::Point;
@@ -35,7 +35,19 @@ impl Woptss {
         query: Point,
         k: usize,
     ) -> Result<Self, QueryError> {
-        let truth = best_first_knn(am, &query, k)?;
+        let mut scratch = QueryScratch::new();
+        Self::new_with(am, query, k, &mut scratch)
+    }
+
+    /// [`Woptss::new`] with the oracle's best-first heap borrowed from a
+    /// reusable [`QueryScratch`].
+    pub fn new_with(
+        am: &(impl AccessMethod + ?Sized),
+        query: Point,
+        k: usize,
+        scratch: &mut QueryScratch,
+    ) -> Result<Self, QueryError> {
+        let truth = best_first_knn_with(am, &query, k, scratch)?;
         // Fewer than k objects in the tree: every node is "relevant"
         // (the query must return the whole database).
         let dk_sq = if truth.len() < k {
@@ -63,10 +75,10 @@ impl SimilaritySearch for Woptss {
         Step::Fetch(vec![self.root])
     }
 
-    fn on_fetched(&mut self, nodes: Vec<(PageId, IndexNode)>) -> BatchResult {
+    fn on_fetched(&mut self, nodes: &mut Vec<(PageId, IndexNode)>) -> BatchResult {
         let mut scanned = 0u64;
         let mut pages: Vec<PageId> = Vec::new();
-        for (_, node) in nodes {
+        for (_, node) in nodes.drain(..) {
             match node {
                 IndexNode::Leaf(entries) => {
                     scanned += entries.len() as u64;

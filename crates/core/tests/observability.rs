@@ -7,8 +7,7 @@
 use sqda_core::{mirror_partner, AlgorithmKind, Simulation, Workload, WorkloadQuery};
 use sqda_geom::Point;
 use sqda_obs::{
-    chrome_trace, events_to_jsonl, json, query_profiles, CollectingRecorder, Event,
-    MetricsSnapshot,
+    chrome_trace, events_to_jsonl, json, query_profiles, CollectingRecorder, Event, MetricsSnapshot,
 };
 use sqda_rstar::decluster::ProximityIndex;
 use sqda_rstar::{RStarConfig, RStarTree};
@@ -163,9 +162,7 @@ fn event_stream_is_internally_consistent() {
     for (query, response_ns, nodes) in &completes {
         let disk_events = events
             .iter()
-            .filter(
-                |(_, e)| matches!(e, Event::DiskService { query: q, .. } if q == query),
-            )
+            .filter(|(_, e)| matches!(e, Event::DiskService { query: q, .. } if q == query))
             .count() as u64;
         assert_eq!(disk_events, *nodes, "query {query}");
         let p = &profiles[*query as usize];
@@ -308,7 +305,8 @@ fn golden_jsonl_log_of_deterministic_run() {
     let golden = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
     assert_eq!(
-        jsonl, golden,
+        jsonl,
+        golden,
         "event log diverged from {} (set UPDATE_GOLDEN=1 to regenerate)",
         path.display()
     );

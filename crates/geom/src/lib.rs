@@ -28,11 +28,13 @@
 
 mod point;
 mod rect;
+mod rectref;
 mod region;
 mod sphere;
 
 pub use point::Point;
 pub use rect::Rect;
+pub use rectref::RectRef;
 pub use region::Region;
 pub use sphere::Sphere;
 

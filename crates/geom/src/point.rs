@@ -89,6 +89,26 @@ impl Point {
         self.dist_sq(other).sqrt()
     }
 
+    /// Squared Euclidean distance to a point given as a coordinate slice
+    /// (e.g. an entry of a flat-layout tree node). Same arithmetic — and
+    /// therefore bit-identical results — as [`Point::dist_sq`].
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the dimensionalities differ.
+    #[inline]
+    pub fn dist_sq_coords(&self, other: &[f64]) -> f64 {
+        debug_assert_eq!(self.dim(), other.len(), "dimension mismatch");
+        self.coords
+            .iter()
+            .zip(other.iter())
+            .map(|(a, b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum()
+    }
+
     /// Returns a point with every coordinate equal to `value`.
     pub fn splat(dim: usize, value: f64) -> Self {
         assert!(dim > 0, "points must have at least 1 dimension");
@@ -162,6 +182,17 @@ mod tests {
         assert_eq!(a.dist_sq(&b), 25.0);
         assert_eq!(a.dist(&b), 5.0);
         assert_eq!(a.dist(&a), 0.0);
+    }
+
+    #[test]
+    fn dist_sq_coords_matches_point_distance() {
+        let a = Point::new(vec![1.5, -2.0, 7.0]);
+        let b = Point::new(vec![-4.0, 0.5, 3.25]);
+        assert_eq!(
+            a.dist_sq_coords(b.coords()).to_bits(),
+            a.dist_sq(&b).to_bits()
+        );
+        assert_eq!(a.dist_sq_coords(a.coords()), 0.0);
     }
 
     #[test]

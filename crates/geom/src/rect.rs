@@ -1,6 +1,6 @@
 //! Minimum bounding rectangles and the three point-to-MBR distance metrics.
 
-use crate::{GeomError, Point, Result};
+use crate::{GeomError, Point, RectRef, Result};
 use serde::{Deserialize, Serialize};
 
 /// An n-dimensional axis-aligned minimum bounding rectangle (MBR).
@@ -56,12 +56,60 @@ impl Rect {
         })
     }
 
+    /// Creates an MBR from corners already known to be valid (e.g. the
+    /// union of existing MBRs, or coordinates decoded from a page that
+    /// was validated at decode time). Skips the finiteness/ordering scan
+    /// of [`Rect::new`]; only shape invariants are debug-checked.
+    pub fn new_unchecked(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        debug_assert!(!lo.is_empty(), "rects must have at least 1 dimension");
+        debug_assert_eq!(lo.len(), hi.len(), "corner dimension mismatch");
+        Self {
+            lo: lo.into_boxed_slice(),
+            hi: hi.into_boxed_slice(),
+        }
+    }
+
     /// Creates a degenerate (zero-extent) MBR covering a single point.
     pub fn from_point(p: &Point) -> Self {
         Self {
             lo: p.coords().to_vec().into_boxed_slice(),
             hi: p.coords().to_vec().into_boxed_slice(),
         }
+    }
+
+    /// Creates the bounding box of the sphere `center ± radius`, building
+    /// both corners in one pass directly into their final storage.
+    ///
+    /// Returns an error if a bound is non-finite (overflowing radius) or
+    /// if `radius` is negative (inverted corners).
+    pub fn around(center: &Point, radius: f64) -> Result<Self> {
+        let n = center.dim();
+        let mut lo = Vec::with_capacity(n);
+        let mut hi = Vec::with_capacity(n);
+        for (dim, c) in center.coords().iter().enumerate() {
+            let l = c - radius;
+            let h = c + radius;
+            if !l.is_finite() || !h.is_finite() {
+                return Err(GeomError::NonFiniteCoordinate);
+            }
+            if l > h {
+                return Err(GeomError::InvertedCorners { dim });
+            }
+            lo.push(l);
+            hi.push(h);
+        }
+        Ok(Self {
+            lo: lo.into_boxed_slice(),
+            hi: hi.into_boxed_slice(),
+        })
+    }
+
+    /// A borrowed view of this rectangle; the metric implementations live
+    /// on [`RectRef`] and `Rect` delegates, so owned and viewed corners
+    /// give bit-identical distances.
+    #[inline]
+    pub fn as_ref(&self) -> RectRef<'_> {
+        RectRef::new(&self.lo, &self.hi)
     }
 
     /// The dimensionality of the MBR.
@@ -147,6 +195,14 @@ impl Rect {
             .all(|((l, h), c)| l <= c && c <= h)
     }
 
+    /// [`Rect::contains_point`] over a raw coordinate slice (an entry of
+    /// a flat-layout tree node).
+    #[inline]
+    pub fn contains_coords(&self, c: &[f64]) -> bool {
+        debug_assert_eq!(self.dim(), c.len());
+        self.as_ref().contains_coords(c)
+    }
+
     /// The volume of the intersection with `other`, 0 if disjoint.
     pub fn intersection_area(&self, other: &Rect) -> f64 {
         debug_assert_eq!(self.dim(), other.dim());
@@ -219,18 +275,7 @@ impl Rect {
     #[inline]
     pub fn min_dist_sq(&self, p: &Point) -> f64 {
         debug_assert_eq!(self.dim(), p.dim());
-        let mut acc = 0.0;
-        for ((l, h), c) in self.lo.iter().zip(self.hi.iter()).zip(p.coords()) {
-            let d = if c < l {
-                l - c
-            } else if c > h {
-                c - h
-            } else {
-                0.0
-            };
-            acc += d * d;
-        }
-        acc
+        self.as_ref().min_dist_sq(p.coords())
     }
 
     /// `D_mm²` (MINMAXDIST, Definition 4): the squared distance within which
@@ -241,29 +286,7 @@ impl Rect {
     /// minimum over `k` of the distance to that face-corner combination.
     pub fn min_max_dist_sq(&self, p: &Point) -> f64 {
         debug_assert_eq!(self.dim(), p.dim());
-        let n = self.dim();
-        // Precompute, per dimension: squared distance to the nearer face
-        // (rm) and to the farther face (rM).
-        let mut near_sq = vec![0.0; n];
-        let mut far_sq = vec![0.0; n];
-        let mut total_far = 0.0;
-        for d in 0..n {
-            let c = p.coord(d);
-            let mid = (self.lo[d] + self.hi[d]) / 2.0;
-            let rm = if c <= mid { self.lo[d] } else { self.hi[d] };
-            let r_m = if c >= mid { self.lo[d] } else { self.hi[d] };
-            near_sq[d] = (c - rm) * (c - rm);
-            far_sq[d] = (c - r_m) * (c - r_m);
-            total_far += far_sq[d];
-        }
-        let mut best = f64::INFINITY;
-        for d in 0..n {
-            let candidate = total_far - far_sq[d] + near_sq[d];
-            if candidate < best {
-                best = candidate;
-            }
-        }
-        best
+        self.as_ref().min_max_dist_sq(p.coords())
     }
 
     /// `D_max²` (Definition 5): squared distance from `p` to the farthest
@@ -271,12 +294,7 @@ impl Rect {
     #[inline]
     pub fn max_dist_sq(&self, p: &Point) -> f64 {
         debug_assert_eq!(self.dim(), p.dim());
-        let mut acc = 0.0;
-        for ((l, h), c) in self.lo.iter().zip(self.hi.iter()).zip(p.coords()) {
-            let d = (c - l).abs().max((c - h).abs());
-            acc += d * d;
-        }
-        acc
+        self.as_ref().max_dist_sq(p.coords())
     }
 }
 
@@ -315,6 +333,34 @@ mod tests {
         assert_eq!(Rect::new(vec![], vec![]), Err(GeomError::ZeroDimensional));
         assert_eq!(
             Rect::new(vec![f64::NAN], vec![1.0]),
+            Err(GeomError::NonFiniteCoordinate)
+        );
+    }
+
+    #[test]
+    fn around_builds_sphere_bounds() {
+        let c = Point::new(vec![1.0, -2.0, 0.5]);
+        let r = Rect::around(&c, 1.5).unwrap();
+        assert_eq!(r.lo(), &[-0.5, -3.5, -1.0]);
+        assert_eq!(r.hi(), &[2.5, -0.5, 2.0]);
+        // Zero radius degenerates to the center point.
+        let z = Rect::around(&c, 0.0).unwrap();
+        assert_eq!(z, Rect::from_point(&c));
+    }
+
+    #[test]
+    fn around_rejects_bad_radius() {
+        let c = Point::new(vec![0.0, 0.0]);
+        assert_eq!(
+            Rect::around(&c, -1.0),
+            Err(GeomError::InvertedCorners { dim: 0 })
+        );
+        assert_eq!(
+            Rect::around(&c, f64::INFINITY),
+            Err(GeomError::NonFiniteCoordinate)
+        );
+        assert_eq!(
+            Rect::around(&c, f64::NAN),
             Err(GeomError::NonFiniteCoordinate)
         );
     }

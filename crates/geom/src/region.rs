@@ -91,9 +91,7 @@ impl Region {
         match self {
             Region::Rect(r) => r.clone(),
             Region::Sphere { center, radius } => {
-                let lo: Vec<f64> = center.coords().iter().map(|c| c - radius).collect();
-                let hi: Vec<f64> = center.coords().iter().map(|c| c + radius).collect();
-                Rect::new(lo, hi).expect("sphere bounds are ordered")
+                Rect::around(center, *radius).expect("sphere bounds are ordered")
             }
         }
     }

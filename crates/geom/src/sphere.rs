@@ -1,6 +1,6 @@
 //! Query hyper-spheres.
 
-use crate::{Point, Rect};
+use crate::{Point, Rect, RectRef};
 
 /// A hyper-sphere, stored as a center point plus a **squared** radius.
 ///
@@ -91,6 +91,19 @@ impl Sphere {
     pub fn contains_rect(&self, r: &Rect) -> bool {
         r.max_dist_sq(&self.center) <= self.radius_sq
     }
+
+    /// [`Sphere::contains_point`] over a raw coordinate slice (an entry of
+    /// a flat-layout tree node).
+    #[inline]
+    pub fn contains_coords(&self, c: &[f64]) -> bool {
+        self.center.dist_sq_coords(c) <= self.radius_sq
+    }
+
+    /// [`Sphere::intersects_rect`] over a borrowed MBR view.
+    #[inline]
+    pub fn intersects_rect_ref(&self, r: &RectRef<'_>) -> bool {
+        r.min_dist_sq(self.center.coords()) <= self.radius_sq
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +142,25 @@ mod tests {
         let s = Sphere::new(Point::new(vec![0.0, 0.0]), 2.0);
         assert!(s.contains_rect(&rect(&[-1.0, -1.0], &[1.0, 1.0]))); // corner dist sqrt2 < 2
         assert!(!s.contains_rect(&rect(&[0.0, 0.0], &[2.0, 2.0]))); // corner dist 2*sqrt2 > 2
+    }
+
+    #[test]
+    fn slice_variants_match_owned() {
+        let s = Sphere::new(Point::new(vec![0.0, 0.0]), 1.0);
+        for (lo, hi) in [
+            ([0.5, 0.5], [2.0, 2.0]),
+            ([1.0, 1.0], [2.0, 2.0]),
+            ([-0.1, -0.1], [0.1, 0.1]),
+        ] {
+            let r = rect(&lo, &hi);
+            assert_eq!(s.intersects_rect_ref(&r.as_ref()), s.intersects_rect(&r));
+        }
+        for p in [[3.0, 4.0], [0.0, 0.0], [3.1, 4.0]] {
+            assert_eq!(
+                s.contains_coords(&p),
+                s.contains_point(&Point::new(p.to_vec()))
+            );
+        }
     }
 
     #[test]

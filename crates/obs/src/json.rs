@@ -316,9 +316,8 @@ impl<'a> Parser<'a> {
                             if self.pos + 4 > self.bytes.len() {
                                 return Err("truncated \\u escape".into());
                             }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                                    .map_err(|e| e.to_string())?;
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|e| e.to_string())?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|e| format!("bad \\u escape {hex:?}: {e}"))?;
                             self.pos += 4;
@@ -338,8 +337,8 @@ impl<'a> Parser<'a> {
                     if end > self.bytes.len() {
                         return Err("truncated UTF-8".into());
                     }
-                    let s = std::str::from_utf8(&self.bytes[start..end])
-                        .map_err(|e| e.to_string())?;
+                    let s =
+                        std::str::from_utf8(&self.bytes[start..end]).map_err(|e| e.to_string())?;
                     out.push_str(s);
                     self.pos = end;
                 }

@@ -323,7 +323,10 @@ impl MetricsSnapshot {
         o.field_u64("cache_hits", self.cache_hits.0);
         o.field_u64("cache_misses", self.cache_misses.0);
         o.field_f64("cache_hit_ratio", self.cache_hit_ratio());
-        o.field_raw("store_reads_per_disk", &u64_array(&self.store_reads_per_disk));
+        o.field_raw(
+            "store_reads_per_disk",
+            &u64_array(&self.store_reads_per_disk),
+        );
         o.field_raw("batch_size", &self.batch_size.to_json());
         o.field_raw("bus_queue_ms", &self.bus_queue_ms.to_json());
         o.field_u64("bus_busy_ns", self.bus_busy_ns.0);

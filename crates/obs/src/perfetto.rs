@@ -180,7 +180,14 @@ pub fn chrome_trace(events: &[(u64, Event)], num_disks: u32, num_cpus: u32) -> S
                 args.field_u64("instructions", instructions);
                 args.field_f64("queue_ms", queue_ns as f64 / 1e6);
                 let mut o = ObjWriter::new();
-                o.field_str("name", if instructions == 0 { "startup" } else { "batch" });
+                o.field_str(
+                    "name",
+                    if instructions == 0 {
+                        "startup"
+                    } else {
+                        "batch"
+                    },
+                );
                 o.field_str("cat", "cpu");
                 o.field_str("ph", "X");
                 o.field_u64("pid", PID_CPU);

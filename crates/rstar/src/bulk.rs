@@ -118,7 +118,7 @@ impl<S: PageStore> RStarTree<S> {
         };
         let mut level_nodes: Vec<Node> = tiles
             .into_iter()
-            .map(|tile| Node::Leaf { entries: tile })
+            .map(|tile| Node::from_leaf_entries(&tile))
             .collect();
         let mut level = 0u32;
 
@@ -164,10 +164,7 @@ impl<S: PageStore> RStarTree<S> {
             };
             level_nodes = tiles
                 .into_iter()
-                .map(|tile| Node::Internal {
-                    level,
-                    entries: tile,
-                })
+                .map(|tile| Node::from_internal_entries(level, &tile))
                 .collect();
         };
 

@@ -16,11 +16,16 @@
 //! Internal entry: `2·dim` little-endian `f64` MBR corners (lo then hi),
 //! `u64` child page id, `u64` subtree object count.
 //! Leaf entry: `dim` `f64` coordinates, `u64` object id.
+//!
+//! The in-memory [`Node`] mirrors this layout (one flat coordinate
+//! buffer, one payload buffer), so decoding a page is two allocations
+//! regardless of how many entries it holds. The bytes themselves are
+//! unchanged from the entry-vector era — pages written by either code
+//! path are interchangeable.
 
-use crate::entry::{InternalEntry, LeafEntry, ObjectId};
 use crate::node::Node;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use sqda_geom::{Point, Rect};
+use sqda_geom::GeomError;
 use sqda_storage::{PageId, StorageError};
 
 /// Size of the fixed node header in bytes.
@@ -45,46 +50,44 @@ pub const fn leaf_entry_size(dim: usize) -> usize {
 ///
 /// # Panics
 ///
-/// Panics if an entry's dimensionality disagrees with `dim` — that is a
+/// Panics if the node's dimensionality disagrees with `dim` — that is a
 /// programming error upstream, not a recoverable condition.
 pub fn encode_node(node: &Node, dim: usize) -> Bytes {
-    let (ty, level, n) = match node {
-        Node::Leaf { entries } => (TYPE_LEAF, 0u32, entries.len()),
-        Node::Internal { level, entries } => (TYPE_INTERNAL, *level, entries.len()),
-    };
-    let body = match node {
-        Node::Leaf { .. } => n * leaf_entry_size(dim),
-        Node::Internal { .. } => n * internal_entry_size(dim),
+    let n = node.len();
+    assert!(
+        node.is_empty() || node.dim() == dim,
+        "node dimension mismatch: node has {}, tree expects {dim}",
+        node.dim()
+    );
+    let (ty, body) = if node.is_leaf() {
+        (TYPE_LEAF, n * leaf_entry_size(dim))
+    } else {
+        (TYPE_INTERNAL, n * internal_entry_size(dim))
     };
     let mut buf = BytesMut::with_capacity(HEADER_SIZE + body);
     buf.put_slice(MAGIC);
     buf.put_u8(VERSION);
     buf.put_u8(ty);
     buf.put_u16_le(dim as u16);
-    buf.put_u32_le(level);
+    buf.put_u32_le(node.level());
     buf.put_u32_le(n as u32);
-    match node {
-        Node::Leaf { entries } => {
-            for e in entries {
-                assert_eq!(e.point.dim(), dim, "leaf entry dimension mismatch");
-                for c in e.point.coords() {
-                    buf.put_f64_le(*c);
-                }
-                buf.put_u64_le(e.object.0);
+    if node.is_leaf() {
+        for (coords, object) in node.leaf_iter() {
+            for c in coords {
+                buf.put_f64_le(*c);
             }
+            buf.put_u64_le(object.0);
         }
-        Node::Internal { entries, .. } => {
-            for e in entries {
-                assert_eq!(e.mbr.dim(), dim, "internal entry dimension mismatch");
-                for c in e.mbr.lo() {
-                    buf.put_f64_le(*c);
-                }
-                for c in e.mbr.hi() {
-                    buf.put_f64_le(*c);
-                }
-                buf.put_u64_le(e.child.as_raw());
-                buf.put_u64_le(e.count);
+    } else {
+        for e in node.internal_iter() {
+            for c in e.mbr.lo() {
+                buf.put_f64_le(*c);
             }
+            for c in e.mbr.hi() {
+                buf.put_f64_le(*c);
+            }
+            buf.put_u64_le(e.child.as_raw());
+            buf.put_u64_le(e.count);
         }
     }
     buf.freeze()
@@ -97,10 +100,25 @@ fn corrupt(page: PageId, detail: impl Into<String>) -> StorageError {
     }
 }
 
+/// Validates one decoded MBR (corner pair) with the same rules — and the
+/// same error values — as `Rect::new`, without building a `Rect`.
+fn validate_mbr(lo: &[f64], hi: &[f64]) -> Result<(), GeomError> {
+    if lo.iter().chain(hi.iter()).any(|c| !c.is_finite()) {
+        return Err(GeomError::NonFiniteCoordinate);
+    }
+    for (dim, (l, h)) in lo.iter().zip(hi.iter()).enumerate() {
+        if l > h {
+            return Err(GeomError::InvertedCorners { dim });
+        }
+    }
+    Ok(())
+}
+
 /// Deserializes page bytes into a node.
 ///
 /// `page` is used only for error reporting. Validates magic, version,
-/// dimensionality and length.
+/// dimensionality and length; internal MBRs are additionally checked for
+/// finiteness and corner ordering, exactly as before the flat layout.
 pub fn decode_node(mut data: Bytes, dim: usize, page: PageId) -> Result<Node, StorageError> {
     if data.len() < HEADER_SIZE {
         return Err(corrupt(page, format!("short page: {} bytes", data.len())));
@@ -132,13 +150,15 @@ pub fn decode_node(mut data: Bytes, dim: usize, page: PageId) -> Result<Node, St
             if data.remaining() < n * leaf_entry_size(dim) {
                 return Err(corrupt(page, "truncated leaf entries"));
             }
-            let mut entries = Vec::with_capacity(n);
+            let mut coords = Vec::with_capacity(n * dim);
+            let mut payload = Vec::with_capacity(n);
             for _ in 0..n {
-                let coords: Vec<f64> = (0..dim).map(|_| data.get_f64_le()).collect();
-                let object = ObjectId(data.get_u64_le());
-                entries.push(LeafEntry::new(Point::new(coords), object));
+                for _ in 0..dim {
+                    coords.push(data.get_f64_le());
+                }
+                payload.push(data.get_u64_le());
             }
-            Ok(Node::Leaf { entries })
+            Ok(Node::from_raw_parts(0, dim as u32, coords, payload))
         }
         TYPE_INTERNAL => {
             if level == 0 {
@@ -147,16 +167,19 @@ pub fn decode_node(mut data: Bytes, dim: usize, page: PageId) -> Result<Node, St
             if data.remaining() < n * internal_entry_size(dim) {
                 return Err(corrupt(page, "truncated internal entries"));
             }
-            let mut entries = Vec::with_capacity(n);
+            let mut coords = Vec::with_capacity(n * 2 * dim);
+            let mut payload = Vec::with_capacity(n * 2);
             for _ in 0..n {
-                let lo: Vec<f64> = (0..dim).map(|_| data.get_f64_le()).collect();
-                let hi: Vec<f64> = (0..dim).map(|_| data.get_f64_le()).collect();
-                let child = PageId::from_raw(data.get_u64_le());
-                let count = data.get_u64_le();
-                let mbr = Rect::new(lo, hi).map_err(|e| corrupt(page, format!("bad MBR: {e}")))?;
-                entries.push(InternalEntry::new(mbr, child, count));
+                let base = coords.len();
+                for _ in 0..2 * dim {
+                    coords.push(data.get_f64_le());
+                }
+                payload.push(data.get_u64_le());
+                payload.push(data.get_u64_le());
+                let (lo, hi) = coords[base..].split_at(dim);
+                validate_mbr(lo, hi).map_err(|e| corrupt(page, format!("bad MBR: {e}")))?;
             }
-            Ok(Node::Internal { level, entries })
+            Ok(Node::from_raw_parts(level, dim as u32, coords, payload))
         }
         other => Err(corrupt(page, format!("unknown node type {other}"))),
     }
@@ -165,28 +188,30 @@ pub fn decode_node(mut data: Bytes, dim: usize, page: PageId) -> Result<Node, St
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::entry::{InternalEntry, LeafEntry, ObjectId};
+    use sqda_geom::{Point, Rect};
 
     fn page() -> PageId {
         PageId::from_raw(9)
     }
 
     fn sample_leaf(dim: usize, n: usize) -> Node {
-        Node::Leaf {
-            entries: (0..n)
+        Node::from_leaf_entries(
+            &(0..n)
                 .map(|i| {
                     LeafEntry::new(
                         Point::new((0..dim).map(|d| (i * dim + d) as f64 * 0.5).collect()),
                         ObjectId(i as u64 * 3),
                     )
                 })
-                .collect(),
-        }
+                .collect::<Vec<_>>(),
+        )
     }
 
     fn sample_internal(dim: usize, n: usize) -> Node {
-        Node::Internal {
-            level: 2,
-            entries: (0..n)
+        Node::from_internal_entries(
+            2,
+            &(0..n)
                 .map(|i| {
                     let lo: Vec<f64> = (0..dim).map(|d| (i + d) as f64).collect();
                     let hi: Vec<f64> = lo.iter().map(|c| c + 1.5).collect();
@@ -196,8 +221,8 @@ mod tests {
                         (i as u64 + 1) * 7,
                     )
                 })
-                .collect(),
-        }
+                .collect::<Vec<_>>(),
+        )
     }
 
     #[test]
@@ -294,5 +319,23 @@ mod tests {
         let mut b = encode_node(&sample_leaf(2, 0), 2).to_vec();
         b[8] = 1; // level byte
         assert!(decode_node(Bytes::from(b), 2, page()).is_err());
+    }
+
+    #[test]
+    fn rejects_inverted_internal_mbr() {
+        // Corrupt the first f64 of the first internal entry (its lo[0])
+        // so lo > hi; the decoder must report a bad MBR.
+        let mut b = encode_node(&sample_internal(2, 3), 2).to_vec();
+        b[HEADER_SIZE..HEADER_SIZE + 8].copy_from_slice(&1e9f64.to_le_bytes());
+        let err = decode_node(Bytes::from(b), 2, page()).unwrap_err();
+        assert!(err.to_string().contains("bad MBR"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_finite_internal_mbr() {
+        let mut b = encode_node(&sample_internal(2, 3), 2).to_vec();
+        b[HEADER_SIZE..HEADER_SIZE + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        let err = decode_node(Bytes::from(b), 2, page()).unwrap_err();
+        assert!(err.to_string().contains("bad MBR"), "{err}");
     }
 }

@@ -1,8 +1,8 @@
 //! Deletion: FindLeaf + CondenseTree with orphan reinsertion.
 
-use crate::entry::ObjectId;
+use crate::entry::{LeafEntry, ObjectId};
 use crate::insert::{insert_at_level, propagate_up, EntryToInsert};
-use crate::node::Node;
+use crate::node::{Node, NodeMut};
 use crate::tree::{RStarTree, Result};
 use sqda_geom::Point;
 use sqda_storage::{PageId, PageStore};
@@ -20,18 +20,18 @@ pub(crate) fn delete_object<S: PageStore>(
 
     // Remove the entry from the leaf.
     let leaf_page = path.last().expect("path reaches a leaf").0;
-    let mut leaf = tree.read_node(leaf_page)?;
+    let mut leaf = tree.read_node(leaf_page)?.to_mut();
     match &mut leaf {
-        Node::Leaf { entries } => {
+        NodeMut::Leaf { entries } => {
             let idx = entries
                 .iter()
                 .position(|e| e.object == object && e.point == *point)
                 .expect("find_leaf located the entry");
             entries.remove(idx);
         }
-        Node::Internal { .. } => unreachable!("path ends at a leaf"),
+        NodeMut::Internal { .. } => unreachable!("path ends at a leaf"),
     }
-    tree.write_node(leaf_page, &leaf)?;
+    tree.write_node(leaf_page, &leaf.freeze())?;
 
     // CondenseTree: walk upward; underfull non-root nodes are dissolved
     // and their entries reinserted.
@@ -49,29 +49,30 @@ pub(crate) fn delete_object<S: PageStore>(
         if !is_root && node.len() < min {
             // Dissolve: remove from parent, orphan the entries.
             let level = node.level();
-            match node {
-                Node::Leaf { entries } => {
-                    orphans.extend(entries.into_iter().map(|e| (level, EntryToInsert::Leaf(e))));
-                }
-                Node::Internal { entries, .. } => {
-                    orphans.extend(
-                        entries
-                            .into_iter()
-                            .map(|e| (level, EntryToInsert::Internal(e))),
-                    );
-                }
+            if node.is_leaf() {
+                orphans.extend(
+                    node.leaf_entries_vec()
+                        .into_iter()
+                        .map(|e| (level, EntryToInsert::Leaf(e))),
+                );
+            } else {
+                orphans.extend(
+                    node.internal_entries_vec()
+                        .into_iter()
+                        .map(|e| (level, EntryToInsert::Internal(e))),
+                );
             }
             let (_, idx_opt) = path.pop().expect("non-root has a parent step");
             let idx = idx_opt.expect("non-root step has parent index");
             let parent_page = path.last().expect("parent exists").0;
-            let mut parent = tree.read_node(parent_page)?;
+            let mut parent = tree.read_node(parent_page)?.to_mut();
             match &mut parent {
-                Node::Internal { entries, .. } => {
+                NodeMut::Internal { entries, .. } => {
                     entries.remove(idx);
                 }
-                Node::Leaf { .. } => unreachable!("parents are internal"),
+                NodeMut::Leaf { .. } => unreachable!("parents are internal"),
             }
-            tree.write_node(parent_page, &parent)?;
+            tree.write_node(parent_page, &parent.freeze())?;
             tree.free_node(page)?;
             // Parent indices of deeper path steps are now stale, but the
             // loop only ever looks at the tail of the path, which we just
@@ -88,24 +89,22 @@ pub(crate) fn delete_object<S: PageStore>(
     // Shrink the root while it is an internal node with a single child.
     loop {
         let root = tree.read_node(tree.root)?;
-        match root {
-            Node::Internal { ref entries, .. } if entries.len() == 1 && tree.height > 1 => {
-                let old_root = tree.root;
-                tree.root = entries[0].child;
-                tree.height -= 1;
-                tree.free_node(old_root)?;
-            }
-            Node::Internal { ref entries, .. } if entries.is_empty() => {
-                // All objects deleted through condense: reset to empty leaf.
-                let old_root = tree.root;
-                let leaf = Node::empty_leaf();
-                let page = tree.store.allocate(sqda_storage::DiskId(0))?;
-                tree.write_node(page, &leaf)?;
-                tree.root = page;
-                tree.height = 1;
-                tree.free_node(old_root)?;
-            }
-            _ => break,
+        if !root.is_leaf() && root.len() == 1 && tree.height > 1 {
+            let old_root = tree.root;
+            tree.root = root.internal_child(0);
+            tree.height -= 1;
+            tree.free_node(old_root)?;
+        } else if !root.is_leaf() && root.is_empty() {
+            // All objects deleted through condense: reset to empty leaf.
+            let old_root = tree.root;
+            let leaf = Node::empty_leaf();
+            let page = tree.store.allocate(sqda_storage::DiskId(0))?;
+            tree.write_node(page, &leaf)?;
+            tree.root = page;
+            tree.height = 1;
+            tree.free_node(old_root)?;
+        } else {
+            break;
         }
     }
 
@@ -144,16 +143,15 @@ pub(crate) fn delete_object<S: PageStore>(
 fn collect_and_free_subtree<S: PageStore>(
     tree: &RStarTree<S>,
     page: PageId,
-) -> Result<Vec<crate::entry::LeafEntry>> {
+) -> Result<Vec<LeafEntry>> {
     let mut out = Vec::new();
     let mut stack = vec![page];
     while let Some(p) = stack.pop() {
         let node = tree.read_node(p)?;
-        match node {
-            Node::Leaf { entries } => out.extend(entries),
-            Node::Internal { entries, .. } => {
-                stack.extend(entries.iter().map(|e| e.child));
-            }
+        if node.is_leaf() {
+            out.extend(node.leaf_iter().map(|(c, o)| LeafEntry::new(c.into(), o)));
+        } else {
+            stack.extend(node.internal_iter().map(|e| e.child));
         }
         tree.free_node(p)?;
     }
@@ -179,22 +177,21 @@ fn find_leaf<S: PageStore>(
         path: &mut Vec<(PageId, Option<usize>)>,
     ) -> Result<bool> {
         let node = tree.read_node(page)?;
-        match node {
-            Node::Leaf { entries } => Ok(entries
-                .iter()
-                .any(|e| e.object == object && e.point == *point)),
-            Node::Internal { entries, .. } => {
-                for (i, e) in entries.iter().enumerate() {
-                    if e.mbr.contains_point(point) {
-                        path.push((e.child, Some(i)));
-                        if rec(tree, e.child, point, object, path)? {
-                            return Ok(true);
-                        }
-                        path.pop();
+        if node.is_leaf() {
+            Ok(node
+                .leaf_iter()
+                .any(|(c, o)| o == object && c == point.coords()))
+        } else {
+            for (i, e) in node.internal_iter().enumerate() {
+                if e.mbr.contains_coords(point.coords()) {
+                    path.push((e.child, Some(i)));
+                    if rec(tree, e.child, point, object, path)? {
+                        return Ok(true);
                     }
+                    path.pop();
                 }
-                Ok(false)
             }
+            Ok(false)
         }
     }
 

@@ -1,8 +1,12 @@
 //! R\*-tree insertion: ChooseSubtree, OverflowTreatment (forced
 //! reinsertion), split propagation and count maintenance.
+//!
+//! Structure modification thaws the flat [`Node`] into its entry-vector
+//! form [`NodeMut`], edits, and freezes back before writing — insertion
+//! is cold next to the query paths, which stay zero-copy.
 
 use crate::entry::{InternalEntry, LeafEntry};
-use crate::node::Node;
+use crate::node::{Node, NodeMut};
 use crate::split::reinsert_victims;
 use crate::tree::{RStarTree, Result};
 use sqda_geom::Rect;
@@ -54,14 +58,14 @@ pub(crate) fn insert_at_level<S: PageStore>(
     let path = choose_path(tree, &entry.mbr(), target_level)?;
     let mut path_idx = path.len() - 1;
     let mut page = path[path_idx].page;
-    let mut node = tree.read_node(page)?;
+    let mut node = tree.read_node(page)?.to_mut();
     add_entry(&mut node, entry);
     let mut level = target_level;
 
     loop {
         let max = node_capacity(tree, &node);
         if node.len() <= max {
-            tree.write_node(page, &node)?;
+            tree.write_node(page, &node.freeze())?;
             propagate_up(tree, &path[..=path_idx])?;
             return Ok(());
         }
@@ -76,7 +80,7 @@ pub(crate) fn insert_at_level<S: PageStore>(
                 tree.config.internal_reinsert_count()
             };
             let removed = evict_entries(&mut node, p);
-            tree.write_node(page, &node)?;
+            tree.write_node(page, &node.freeze())?;
             propagate_up(tree, &path[..=path_idx])?;
             // Close reinsert: victims come in decreasing distance order;
             // reinsert starting from the closest.
@@ -108,10 +112,7 @@ pub(crate) fn insert_at_level<S: PageStore>(
         if is_root {
             // Grow the tree: a new root above the two halves.
             let new_level = level + 1;
-            let root_node = Node::Internal {
-                level: new_level,
-                entries: vec![keep_entry, moved_entry],
-            };
+            let root_node = Node::from_internal_entries(new_level, &[keep_entry, moved_entry]);
             let root_mbr = root_node.mbr().expect("root has entries");
             let root_page = tree.allocate_declustered(&root_mbr, &[])?;
             tree.write_node(root_page, &root_node)?;
@@ -127,13 +128,13 @@ pub(crate) fn insert_at_level<S: PageStore>(
         let child_idx = path[path_idx + 1]
             .index_in_parent
             .expect("non-root path step has a parent index");
-        node = tree.read_node(page)?;
+        node = tree.read_node(page)?.to_mut();
         match &mut node {
-            Node::Internal { entries, .. } => {
+            NodeMut::Internal { entries, .. } => {
                 entries[child_idx] = keep_entry;
                 entries.push(moved_entry);
             }
-            Node::Leaf { .. } => unreachable!("parent of a split node is internal"),
+            NodeMut::Leaf { .. } => unreachable!("parent of a split node is internal"),
         }
         level += 1;
     }
@@ -158,9 +159,9 @@ fn choose_path<S: PageStore>(
         node.level()
     );
     while node.level() > target_level {
-        let entries = node.internal_entries();
-        let idx = choose_subtree(entries, mbr, node.level());
-        page = entries[idx].child;
+        let rects = node.internal_rects();
+        let idx = choose_subtree(&rects, mbr, node.level());
+        page = node.internal_child(idx);
         path.push(PathStep {
             page,
             index_in_parent: Some(idx),
@@ -170,24 +171,25 @@ fn choose_path<S: PageStore>(
     Ok(path)
 }
 
-/// The R\* ChooseSubtree rule. `node_level` is the level of the node whose
-/// entries we are choosing among (children live at `node_level - 1`).
+/// The R\* ChooseSubtree rule over the candidate children's MBRs.
+/// `node_level` is the level of the node whose entries we are choosing
+/// among (children live at `node_level - 1`).
 ///
 /// * Children are leaves → minimize overlap enlargement, ties by area
 ///   enlargement then area. Following the R\* paper, when the node is
 ///   large the overlap test only considers the 32 entries with the least
 ///   area enlargement.
 /// * Otherwise → minimize area enlargement, ties by area.
-fn choose_subtree(entries: &[InternalEntry], mbr: &Rect, node_level: u32) -> usize {
-    debug_assert!(!entries.is_empty());
+fn choose_subtree(rects: &[Rect], mbr: &Rect, node_level: u32) -> usize {
+    debug_assert!(!rects.is_empty());
     if node_level == 1 {
         // Children are leaves: overlap-enlargement rule.
         const CANDIDATES: usize = 32;
-        let mut by_area_enlargement: Vec<usize> = (0..entries.len()).collect();
-        if entries.len() > CANDIDATES {
+        let mut by_area_enlargement: Vec<usize> = (0..rects.len()).collect();
+        if rects.len() > CANDIDATES {
             by_area_enlargement.sort_by(|&a, &b| {
-                let ea = entries[a].mbr.enlargement(mbr);
-                let eb = entries[b].mbr.enlargement(mbr);
+                let ea = rects[a].enlargement(mbr);
+                let eb = rects[b].enlargement(mbr);
                 ea.partial_cmp(&eb).expect("finite").then(a.cmp(&b))
             });
             by_area_enlargement.truncate(CANDIDATES);
@@ -195,20 +197,16 @@ fn choose_subtree(entries: &[InternalEntry], mbr: &Rect, node_level: u32) -> usi
         let mut best = by_area_enlargement[0];
         let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
         for &i in &by_area_enlargement {
-            let enlarged = entries[i].mbr.union(mbr);
+            let enlarged = rects[i].union(mbr);
             let mut overlap_delta = 0.0;
-            for (j, other) in entries.iter().enumerate() {
+            for (j, other) in rects.iter().enumerate() {
                 if j == i {
                     continue;
                 }
-                overlap_delta += enlarged.intersection_area(&other.mbr)
-                    - entries[i].mbr.intersection_area(&other.mbr);
+                overlap_delta +=
+                    enlarged.intersection_area(other) - rects[i].intersection_area(other);
             }
-            let key = (
-                overlap_delta,
-                entries[i].mbr.enlargement(mbr),
-                entries[i].mbr.area(),
-            );
+            let key = (overlap_delta, rects[i].enlargement(mbr), rects[i].area());
             if key < best_key {
                 best_key = key;
                 best = i;
@@ -218,8 +216,8 @@ fn choose_subtree(entries: &[InternalEntry], mbr: &Rect, node_level: u32) -> usi
     } else {
         let mut best = 0;
         let mut best_key = (f64::INFINITY, f64::INFINITY);
-        for (i, e) in entries.iter().enumerate() {
-            let key = (e.mbr.enlargement(mbr), e.mbr.area());
+        for (i, r) in rects.iter().enumerate() {
+            let key = (r.enlargement(mbr), r.area());
             if key < best_key {
                 best_key = key;
                 best = i;
@@ -234,15 +232,15 @@ fn choose_subtree(entries: &[InternalEntry], mbr: &Rect, node_level: u32) -> usi
 /// # Panics
 ///
 /// Panics if the entry kind does not match the node kind.
-fn add_entry(node: &mut Node, entry: EntryToInsert) {
+fn add_entry(node: &mut NodeMut, entry: EntryToInsert) {
     match (node, entry) {
-        (Node::Leaf { entries }, EntryToInsert::Leaf(e)) => entries.push(e),
-        (Node::Internal { entries, .. }, EntryToInsert::Internal(e)) => entries.push(e),
+        (NodeMut::Leaf { entries }, EntryToInsert::Leaf(e)) => entries.push(e),
+        (NodeMut::Internal { entries, .. }, EntryToInsert::Internal(e)) => entries.push(e),
         _ => panic!("entry kind does not match node kind"),
     }
 }
 
-fn node_capacity<S: PageStore>(tree: &RStarTree<S>, node: &Node) -> usize {
+fn node_capacity<S: PageStore>(tree: &RStarTree<S>, node: &NodeMut) -> usize {
     if node.is_leaf() {
         tree.config.max_leaf_entries
     } else {
@@ -252,10 +250,10 @@ fn node_capacity<S: PageStore>(tree: &RStarTree<S>, node: &Node) -> usize {
 
 /// Removes the `p` reinsertion victims from the node, returning them in
 /// decreasing center-distance order.
-fn evict_entries(node: &mut Node, p: usize) -> Vec<EntryToInsert> {
+fn evict_entries(node: &mut NodeMut, p: usize) -> Vec<EntryToInsert> {
     let mbrs: Vec<Rect> = match node {
-        Node::Leaf { entries } => entries.iter().map(|e| e.mbr()).collect(),
-        Node::Internal { entries, .. } => entries.iter().map(|e| e.mbr.clone()).collect(),
+        NodeMut::Leaf { entries } => entries.iter().map(|e| e.mbr()).collect(),
+        NodeMut::Internal { entries, .. } => entries.iter().map(|e| e.mbr.clone()).collect(),
     };
     let victims = reinsert_victims(&mbrs, p);
     // Remove by descending index so earlier removals don't shift later ones.
@@ -264,8 +262,8 @@ fn evict_entries(node: &mut Node, p: usize) -> Vec<EntryToInsert> {
     let mut removed_by_index: Vec<(usize, EntryToInsert)> = Vec::with_capacity(p);
     for idx in sorted {
         let e = match node {
-            Node::Leaf { entries } => EntryToInsert::Leaf(entries.swap_remove(idx)),
-            Node::Internal { entries, .. } => EntryToInsert::Internal(entries.swap_remove(idx)),
+            NodeMut::Leaf { entries } => EntryToInsert::Leaf(entries.swap_remove(idx)),
+            NodeMut::Internal { entries, .. } => EntryToInsert::Internal(entries.swap_remove(idx)),
         };
         removed_by_index.push((idx, e));
     }
@@ -284,8 +282,9 @@ fn evict_entries(node: &mut Node, p: usize) -> Vec<EntryToInsert> {
         .collect()
 }
 
-/// Splits an overflowing node, returning `(keep, moved)` nodes.
-fn split_node<S: PageStore>(tree: &RStarTree<S>, node: &Node) -> (Node, Node) {
+/// Splits an overflowing node, returning `(keep, moved)` nodes in frozen
+/// (flat) form, ready to write.
+fn split_node<S: PageStore>(tree: &RStarTree<S>, node: &NodeMut) -> (Node, Node) {
     let m = if node.is_leaf() {
         tree.config.min_leaf_entries()
     } else {
@@ -293,20 +292,24 @@ fn split_node<S: PageStore>(tree: &RStarTree<S>, node: &Node) -> (Node, Node) {
     };
     let policy = tree.config.split_policy;
     match node {
-        Node::Leaf { entries } => {
+        NodeMut::Leaf { entries } => {
             let mbrs: Vec<Rect> = entries.iter().map(|e| e.mbr()).collect();
             let split = policy.split(&mbrs, m);
-            let pick = |idx: &[usize]| Node::Leaf {
-                entries: idx.iter().map(|&i| entries[i].clone()).collect(),
+            let pick = |idx: &[usize]| {
+                Node::from_leaf_entries(
+                    &idx.iter().map(|&i| entries[i].clone()).collect::<Vec<_>>(),
+                )
             };
             (pick(&split.group1), pick(&split.group2))
         }
-        Node::Internal { level, entries } => {
+        NodeMut::Internal { level, entries } => {
             let mbrs: Vec<Rect> = entries.iter().map(|e| e.mbr.clone()).collect();
             let split = policy.split(&mbrs, m);
-            let pick = |idx: &[usize]| Node::Internal {
-                level: *level,
-                entries: idx.iter().map(|&i| entries[i].clone()).collect(),
+            let pick = |idx: &[usize]| {
+                Node::from_internal_entries(
+                    *level,
+                    &idx.iter().map(|&i| entries[i].clone()).collect::<Vec<_>>(),
+                )
             };
             (pick(&split.group1), pick(&split.group2))
         }
@@ -321,9 +324,9 @@ fn sibling_disks<S: PageStore>(
 ) -> Result<Vec<(Rect, sqda_storage::DiskId)>> {
     let parent = tree.read_node(parent_page)?;
     let mut out = Vec::with_capacity(parent.len());
-    for e in parent.internal_entries() {
+    for e in parent.internal_iter() {
         let placement = tree.store.placement(e.child)?;
-        out.push((e.mbr.clone(), placement.disk));
+        out.push((e.mbr.to_rect(), placement.disk));
     }
     Ok(out)
 }
@@ -337,10 +340,10 @@ pub(crate) fn propagate_up<S: PageStore, P: PathStepLike>(
     for i in (1..path.len()).rev() {
         let child = tree.read_node(path[i].page())?;
         let parent_page = path[i - 1].page();
-        let mut parent = tree.read_node(parent_page)?;
+        let mut parent = tree.read_node(parent_page)?.to_mut();
         let idx = path[i].index_in_parent().expect("non-root step");
         match &mut parent {
-            Node::Internal { entries, .. } => {
+            NodeMut::Internal { entries, .. } => {
                 let e = &mut entries[idx];
                 debug_assert_eq!(e.child, path[i].page());
                 e.mbr = child
@@ -348,9 +351,9 @@ pub(crate) fn propagate_up<S: PageStore, P: PathStepLike>(
                     .expect("tree nodes below the root are non-empty");
                 e.count = child.object_count();
             }
-            Node::Leaf { .. } => unreachable!("path interior nodes are internal"),
+            NodeMut::Leaf { .. } => unreachable!("path interior nodes are internal"),
         }
-        tree.write_node(parent_page, &parent)?;
+        tree.write_node(parent_page, &parent.freeze())?;
     }
     Ok(())
 }

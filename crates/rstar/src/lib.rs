@@ -66,8 +66,11 @@ pub use bulk::PackingOrder;
 pub use config::RStarConfig;
 pub use decluster::Declusterer;
 pub use entry::{InternalEntry, LeafEntry, ObjectId};
-pub use node::Node;
-pub use query::knn::{best_first_search, Frontier, Neighbor};
+pub use node::{InternalRef, Node, NodeMut};
+pub use query::knn::{
+    best_first_search, best_first_search_with, knn_with_scratch, knn_with_stats, BestFirstScratch,
+    Frontier, Neighbor,
+};
 pub use split_policy::SplitPolicy;
 pub use tree::{RStarError, RStarTree, TreeStats};
 pub use validate::ValidationError;

@@ -5,9 +5,13 @@
 //! `D_min` is below the final k-NN distance — the sequential analogue of
 //! the paper's WOPTSS lower bound. The experiments use it both for ground
 //! truth and to derive the oracle radius `D_k` that WOPTSS needs.
+//!
+//! The engine's priority heap can be supplied by the caller through a
+//! [`BestFirstScratch`], so a query-per-iteration workload (the paper's
+//! multi-user experiments sweep thousands of queries) reuses one heap
+//! allocation instead of growing a fresh one per query.
 
 use crate::entry::ObjectId;
-use crate::node::Node;
 use crate::tree::{RStarTree, Result};
 use sqda_geom::Point;
 use sqda_storage::{PageId, PageStore};
@@ -77,6 +81,23 @@ impl Ord for QueueItem {
     }
 }
 
+/// Reusable state of a [`best_first_search_with`] run: the priority heap
+/// survives between queries, so steady-state searches allocate nothing.
+///
+/// A scratch is plain storage — it carries no query state between runs
+/// (the engine clears it on entry) and any scratch works with any tree.
+#[derive(Default)]
+pub struct BestFirstScratch {
+    heap: BinaryHeap<QueueItem>,
+}
+
+impl BestFirstScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The expanding wavefront of a best-first search: candidate objects and
 /// unvisited nodes, ordered by increasing distance with objects winning
 /// ties (a result at distance `d` is emitted before any node that can
@@ -86,11 +107,11 @@ impl Ord for QueueItem {
 /// page is fetched and decoded is the caller's business, which is what
 /// lets one engine serve both the native R\*-tree search and the generic
 /// access-method search in `sqda-core`.
-pub struct Frontier {
-    heap: BinaryHeap<QueueItem>,
+pub struct Frontier<'a> {
+    heap: &'a mut BinaryHeap<QueueItem>,
 }
 
-impl Frontier {
+impl Frontier<'_> {
     /// Offers a candidate object at squared distance `dist_sq`.
     pub fn push_object(&mut self, object: ObjectId, point: Point, dist_sq: f64) {
         self.heap.push(QueueItem::Object {
@@ -113,17 +134,34 @@ impl Frontier {
 /// read: `expand` receives the next-closest page and pushes its children
 /// (or data objects) into the [`Frontier`]. Returns up to `k` neighbours
 /// in increasing-distance order plus the number of nodes expanded.
+///
+/// Allocates a fresh heap per call; hot callers should hold a
+/// [`BestFirstScratch`] and use [`best_first_search_with`].
 pub fn best_first_search<E>(
     root: PageId,
     k: usize,
-    mut expand: impl FnMut(PageId, &mut Frontier) -> std::result::Result<(), E>,
+    expand: impl FnMut(PageId, &mut Frontier<'_>) -> std::result::Result<(), E>,
+) -> std::result::Result<(Vec<Neighbor>, u64), E> {
+    let mut scratch = BestFirstScratch::new();
+    best_first_search_with(&mut scratch, root, k, expand)
+}
+
+/// [`best_first_search`] over a caller-supplied scratch heap. The scratch
+/// is cleared on entry, so stale state from a previous query can never
+/// leak into this one.
+pub fn best_first_search_with<E>(
+    scratch: &mut BestFirstScratch,
+    root: PageId,
+    k: usize,
+    mut expand: impl FnMut(PageId, &mut Frontier<'_>) -> std::result::Result<(), E>,
 ) -> std::result::Result<(Vec<Neighbor>, u64), E> {
     let mut out = Vec::with_capacity(k.min(64));
     if k == 0 {
         return Ok((out, 0));
     }
+    scratch.heap.clear();
     let mut frontier = Frontier {
-        heap: BinaryHeap::new(),
+        heap: &mut scratch.heap,
     };
     frontier.push_node(root, 0.0);
     let mut nodes_read = 0u64;
@@ -202,27 +240,24 @@ impl<'t, S: PageStore> Iterator for NnIter<'t, S> {
                             return Some(Err(e));
                         }
                     };
-                    match node {
-                        Node::Leaf { entries } => {
-                            for e in entries {
-                                let dist_sq = self.center.dist_sq(&e.point);
-                                self.heap.push(QueueItem::Object {
+                    if node.is_leaf() {
+                        for (coords, object) in node.leaf_iter() {
+                            let dist_sq = self.center.dist_sq_coords(coords);
+                            self.heap.push(QueueItem::Object {
+                                dist_sq,
+                                neighbor: Neighbor {
+                                    object,
+                                    point: Point::from(coords),
                                     dist_sq,
-                                    neighbor: Neighbor {
-                                        object: e.object,
-                                        point: e.point,
-                                        dist_sq,
-                                    },
-                                });
-                            }
+                                },
+                            });
                         }
-                        Node::Internal { entries, .. } => {
-                            for e in entries {
-                                self.heap.push(QueueItem::Node {
-                                    dist_sq: e.mbr.min_dist_sq(&self.center),
-                                    page: e.child,
-                                });
-                            }
+                    } else {
+                        for e in node.internal_iter() {
+                            self.heap.push(QueueItem::Node {
+                                dist_sq: e.mbr.min_dist_sq(self.center.coords()),
+                                page: e.child,
+                            });
                         }
                     }
                 }
@@ -238,18 +273,28 @@ pub fn knn_with_stats<S: PageStore>(
     center: &Point,
     k: usize,
 ) -> Result<(Vec<Neighbor>, u64)> {
-    best_first_search(tree.root_page(), k, |page, frontier| {
-        match tree.read_node(page)? {
-            Node::Leaf { entries } => {
-                for e in entries {
-                    let dist_sq = center.dist_sq(&e.point);
-                    frontier.push_object(e.object, e.point, dist_sq);
-                }
+    let mut scratch = BestFirstScratch::new();
+    knn_with_scratch(tree, center, k, &mut scratch)
+}
+
+/// [`knn_with_stats`] over a reusable scratch heap: the allocation-free
+/// steady state for query sweeps.
+pub fn knn_with_scratch<S: PageStore>(
+    tree: &RStarTree<S>,
+    center: &Point,
+    k: usize,
+    scratch: &mut BestFirstScratch,
+) -> Result<(Vec<Neighbor>, u64)> {
+    best_first_search_with(scratch, tree.root_page(), k, |page, frontier| {
+        let node = tree.read_node(page)?;
+        if node.is_leaf() {
+            for (coords, object) in node.leaf_iter() {
+                let dist_sq = center.dist_sq_coords(coords);
+                frontier.push_object(object, Point::from(coords), dist_sq);
             }
-            Node::Internal { entries, .. } => {
-                for e in entries {
-                    frontier.push_node(e.child, e.mbr.min_dist_sq(center));
-                }
+        } else {
+            for e in node.internal_iter() {
+                frontier.push_node(e.child, e.mbr.min_dist_sq(center.coords()));
             }
         }
         Ok(())

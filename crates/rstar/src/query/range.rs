@@ -1,7 +1,6 @@
 //! Similarity range queries and rectangular window queries.
 
 use crate::entry::LeafEntry;
-use crate::node::Node;
 use crate::tree::{RStarTree, Result};
 use sqda_geom::{Point, Rect, Sphere};
 use sqda_storage::PageStore;
@@ -18,22 +17,18 @@ pub(crate) fn range_query<S: PageStore>(
     let mut stack = vec![tree.root_page()];
     while let Some(page) = stack.pop() {
         let node = tree.read_node(page)?;
-        match node {
-            Node::Leaf { entries } => {
-                out.extend(
-                    entries
-                        .into_iter()
-                        .filter(|e| sphere.contains_point(&e.point)),
-                );
-            }
-            Node::Internal { entries, .. } => {
-                stack.extend(
-                    entries
-                        .iter()
-                        .filter(|e| sphere.intersects_rect(&e.mbr))
-                        .map(|e| e.child),
-                );
-            }
+        if node.is_leaf() {
+            out.extend(
+                node.leaf_iter()
+                    .filter(|(coords, _)| sphere.contains_coords(coords))
+                    .map(|(coords, object)| LeafEntry::new(Point::from(coords), object)),
+            );
+        } else {
+            stack.extend(
+                node.internal_iter()
+                    .filter(|e| sphere.intersects_rect_ref(&e.mbr))
+                    .map(|e| e.child),
+            );
         }
     }
     Ok(out)
@@ -48,22 +43,18 @@ pub(crate) fn window_query<S: PageStore>(
     let mut stack = vec![tree.root_page()];
     while let Some(page) = stack.pop() {
         let node = tree.read_node(page)?;
-        match node {
-            Node::Leaf { entries } => {
-                out.extend(
-                    entries
-                        .into_iter()
-                        .filter(|e| window.contains_point(&e.point)),
-                );
-            }
-            Node::Internal { entries, .. } => {
-                stack.extend(
-                    entries
-                        .iter()
-                        .filter(|e| window.intersects(&e.mbr))
-                        .map(|e| e.child),
-                );
-            }
+        if node.is_leaf() {
+            out.extend(
+                node.leaf_iter()
+                    .filter(|(coords, _)| window.contains_coords(coords))
+                    .map(|(coords, object)| LeafEntry::new(Point::from(coords), object)),
+            );
+        } else {
+            stack.extend(
+                node.internal_iter()
+                    .filter(|e| e.mbr.intersects(window))
+                    .map(|e| e.child),
+            );
         }
     }
     Ok(out)

@@ -209,7 +209,10 @@ impl<S: PageStore> RStarTree<S> {
 
     /// Reads and decodes the node stored at `page`, consulting the
     /// decoded-node cache when one is attached.
-    pub fn read_node(&self, page: PageId) -> Result<Node> {
+    ///
+    /// Returns a shared handle: a cache hit is a reference-count bump, no
+    /// entry data is copied or re-decoded.
+    pub fn read_node(&self, page: PageId) -> Result<Arc<Node>> {
         let dim = self.config.dim;
         match &self.cache {
             Some(cache) => cache.read_through(self.store.as_ref(), page, |bytes| {
@@ -217,7 +220,7 @@ impl<S: PageStore> RStarTree<S> {
             }),
             None => {
                 let bytes = self.store.read(page)?;
-                Ok(codec::decode_node(bytes, dim, page)?)
+                Ok(Arc::new(codec::decode_node(bytes, dim, page)?))
             }
         }
     }
@@ -369,8 +372,8 @@ impl<S: PageStore> RStarTree<S> {
             node_count += 1;
             let placement = self.store.placement(page)?;
             pages_per_disk[placement.disk.index()] += 1;
-            if let Node::Internal { entries, .. } = &node {
-                stack.extend(entries.iter().map(|e| e.child));
+            if !node.is_leaf() {
+                stack.extend(node.internal_iter().map(|e| e.child));
             }
         }
         Ok(TreeStats {

@@ -191,44 +191,42 @@ fn check_node<S: PageStore>(
             max,
         }));
     }
-    match node {
-        Node::Leaf { entries } => {
-            *total += entries.len() as u64;
-            Ok(Ok(entries.len() as u64))
-        }
-        Node::Internal { level, entries } => {
-            let mut subtree_total = 0u64;
-            for e in entries {
-                let child = tree.read_node(e.child)?;
-                if child.level() + 1 != *level {
-                    return Ok(Err(ValidationError::BrokenLevel {
-                        parent: page,
-                        parent_level: *level,
-                        child_level: child.level(),
-                    }));
-                }
-                let child_mbr = child.mbr().expect("non-root nodes are non-empty");
-                if child_mbr != e.mbr {
-                    return Ok(Err(ValidationError::LooseMbr {
-                        parent: page,
-                        child: e.child,
-                    }));
-                }
-                let child_count = match check_node(tree, e.child, &child, false, total)? {
-                    Ok(c) => c,
-                    Err(err) => return Ok(Err(err)),
-                };
-                if child_count != e.count {
-                    return Ok(Err(ValidationError::WrongCount {
-                        parent: page,
-                        child: e.child,
-                        recorded: e.count,
-                        actual: child_count,
-                    }));
-                }
-                subtree_total += child_count;
+    if node.is_leaf() {
+        *total += node.len() as u64;
+        Ok(Ok(node.len() as u64))
+    } else {
+        let level = node.level();
+        let mut subtree_total = 0u64;
+        for e in node.internal_iter() {
+            let child = tree.read_node(e.child)?;
+            if child.level() + 1 != level {
+                return Ok(Err(ValidationError::BrokenLevel {
+                    parent: page,
+                    parent_level: level,
+                    child_level: child.level(),
+                }));
             }
-            Ok(Ok(subtree_total))
+            let child_mbr = child.mbr().expect("non-root nodes are non-empty");
+            if child_mbr.lo() != e.mbr.lo() || child_mbr.hi() != e.mbr.hi() {
+                return Ok(Err(ValidationError::LooseMbr {
+                    parent: page,
+                    child: e.child,
+                }));
+            }
+            let child_count = match check_node(tree, e.child, &child, false, total)? {
+                Ok(c) => c,
+                Err(err) => return Ok(Err(err)),
+            };
+            if child_count != e.count {
+                return Ok(Err(ValidationError::WrongCount {
+                    parent: page,
+                    child: e.child,
+                    recorded: e.count,
+                    actual: child_count,
+                }));
+            }
+            subtree_total += child_count;
         }
+        Ok(Ok(subtree_total))
     }
 }

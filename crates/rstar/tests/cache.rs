@@ -76,6 +76,40 @@ fn writes_invalidate_cached_nodes() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
+    /// An `Arc`-cached read observes every invalidation: after an insert
+    /// dirties the root path, re-reading the root yields a *new*
+    /// allocation whose contents match a fresh decode of the on-disk
+    /// bytes, while the previously returned `Arc` keeps the old
+    /// snapshot alive unchanged (readers are never mutated under).
+    #[test]
+    fn invalidated_reads_return_fresh_decodes(
+        pts in prop::collection::vec((-50.0..50.0f64, -50.0..50.0f64), 1..120),
+        extra in prop::collection::vec((-50.0..50.0f64, -50.0..50.0f64), 1..12),
+    ) {
+        let mut tree = build(&pts);
+        tree.set_node_cache(Arc::new(NodeCache::new(4096)));
+        let mut total = pts.len() as u64;
+        for (j, &(x, y)) in extra.iter().enumerate() {
+            let root = tree.root_page();
+            let snapshot = tree.read_node(root).unwrap();
+            prop_assert_eq!(snapshot.object_count(), total);
+            tree.insert(Point::new(vec![x, y]), 100_000 + j as u64).unwrap();
+            total += 1;
+            let root = tree.root_page();
+            let fresh = tree.read_node(root).unwrap();
+            // The stale Arc still holds the pre-insert state; the fresh
+            // read is a different allocation with the new state...
+            prop_assert_eq!(snapshot.object_count(), total - 1);
+            prop_assert_eq!(fresh.object_count(), total);
+            prop_assert!(!Arc::ptr_eq(&snapshot, &fresh));
+            // ...and the cached node is exactly what a cold decode of
+            // the page bytes produces.
+            let bytes = tree.store().read(root).unwrap();
+            let decoded = sqda_rstar::codec::decode_node(bytes, 2, root).unwrap();
+            prop_assert_eq!(fresh.as_ref(), &decoded);
+        }
+    }
+
     /// k-NN answers are identical with and without the node cache, even
     /// with a tiny (thrashing) capacity.
     #[test]

@@ -18,15 +18,11 @@ fn leaf_strategy() -> impl Strategy<Value = (Node, usize)> {
             0..40,
         )
         .prop_map(move |entries| {
-            (
-                Node::Leaf {
-                    entries: entries
-                        .into_iter()
-                        .map(|(coords, id)| LeafEntry::new(Point::new(coords), ObjectId(id)))
-                        .collect(),
-                },
-                dim,
-            )
+            let entries: Vec<LeafEntry> = entries
+                .into_iter()
+                .map(|(coords, id)| LeafEntry::new(Point::new(coords), ObjectId(id)))
+                .collect();
+            (Node::from_leaf_entries(&entries), dim)
         })
     })
 }
@@ -42,24 +38,15 @@ fn internal_strategy() -> impl Strategy<Value = (Node, usize)> {
             1..30,
         )
         .prop_map(move |entries| {
-            (
-                Node::Internal {
-                    level,
-                    entries: entries
-                        .into_iter()
-                        .map(|(corners, child, count)| {
-                            let lo: Vec<f64> = corners.iter().map(|(l, _)| *l).collect();
-                            let hi: Vec<f64> = corners.iter().map(|(l, e)| l + e).collect();
-                            InternalEntry::new(
-                                Rect::new(lo, hi).unwrap(),
-                                PageId::from_raw(child),
-                                count,
-                            )
-                        })
-                        .collect(),
-                },
-                dim,
-            )
+            let entries: Vec<InternalEntry> = entries
+                .into_iter()
+                .map(|(corners, child, count)| {
+                    let lo: Vec<f64> = corners.iter().map(|(l, _)| *l).collect();
+                    let hi: Vec<f64> = corners.iter().map(|(l, e)| l + e).collect();
+                    InternalEntry::new(Rect::new(lo, hi).unwrap(), PageId::from_raw(child), count)
+                })
+                .collect();
+            (Node::from_internal_entries(level, &entries), dim)
         })
     })
 }

@@ -42,8 +42,17 @@ impl<E> Ord for Entry<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue positioned at time zero.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty queue with room for `capacity` pending events
+    /// before the heap reallocates. Callers that know the initial event
+    /// population (e.g. one arrival per workload query) pre-size the heap
+    /// so the scheduling burst at simulation start does not grow it
+    /// repeatedly.
+    pub fn with_capacity(capacity: usize) -> Self {
         Self {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
             seq: 0,
             now: SimTime::ZERO,
         }
@@ -131,6 +140,17 @@ mod tests {
         for i in 0..100 {
             assert_eq!(q.pop().unwrap().1, i);
         }
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(16);
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.schedule(SimTime::from_nanos(2), "b");
+        q.schedule(SimTime::from_nanos(1), "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
     }
 
     #[test]

@@ -226,7 +226,10 @@ impl<S: PageStore> SsTree<S> {
 
     /// Reads a node, consulting the decoded-node cache when one is
     /// attached.
-    pub fn read_node(&self, page: PageId) -> Result<SsNode> {
+    ///
+    /// Returns a shared handle: a cache hit is a reference-count bump, no
+    /// entry data is copied or re-decoded.
+    pub fn read_node(&self, page: PageId) -> Result<Arc<SsNode>> {
         let dim = self.config.dim;
         match &self.cache {
             Some(cache) => cache.read_through(self.store.as_ref(), page, |bytes| {
@@ -234,7 +237,7 @@ impl<S: PageStore> SsTree<S> {
             }),
             None => {
                 let bytes = self.store.read(page)?;
-                Ok(codec::decode_node(bytes, dim, page)?)
+                Ok(Arc::new(codec::decode_node(bytes, dim, page)?))
             }
         }
     }
@@ -299,10 +302,11 @@ impl<S: PageStore> SsTree<S> {
                 got: point.dim(),
             });
         }
-        // Descend by nearest centroid, recording the path.
+        // Descend by nearest centroid, recording the path. The descent
+        // only reads, so it borrows the shared cached nodes.
         let mut path: Vec<(PageId, Option<usize>)> = vec![(self.root, None)];
         let mut node = self.read_node(self.root)?;
-        while let SsNode::Internal { entries, .. } = &node {
+        while let SsNode::Internal { entries, .. } = node.as_ref() {
             let idx = entries
                 .iter()
                 .enumerate()
@@ -319,13 +323,16 @@ impl<S: PageStore> SsTree<S> {
             node = self.read_node(child)?;
         }
         let (leaf_page, _) = *path.last().expect("path non-empty");
-        match &mut node {
+        // Mutation detaches a private copy; the shared cached node stays
+        // untouched for concurrent readers until the write invalidates it.
+        let mut current: SsNode = (*node).clone();
+        drop(node);
+        match &mut current {
             SsNode::Leaf(entries) => entries.push(SsLeafEntry { point, object }),
             SsNode::Internal { .. } => unreachable!("descent ends at a leaf"),
         }
 
         // Ascend, splitting while over capacity.
-        let mut current = node;
         let mut page = leaf_page;
         let mut path_idx = path.len() - 1;
         loop {
@@ -345,7 +352,7 @@ impl<S: PageStore> SsTree<S> {
                 Vec::new()
             } else {
                 let parent = self.read_node(path[path_idx - 1].0)?;
-                match parent {
+                match parent.as_ref() {
                     SsNode::Internal { entries, .. } => entries
                         .iter()
                         .map(|e| {
@@ -393,7 +400,7 @@ impl<S: PageStore> SsTree<S> {
             path_idx -= 1;
             page = path[path_idx].0;
             let child_idx = path[path_idx + 1].1.expect("non-root path step");
-            let mut parent = self.read_node(page)?;
+            let mut parent = (*self.read_node(page)?).clone();
             match &mut parent {
                 SsNode::Internal { entries, .. } => {
                     entries[child_idx] = keep_entry;
@@ -412,7 +419,7 @@ impl<S: PageStore> SsTree<S> {
         for i in (1..path.len()).rev() {
             let child = self.read_node(path[i].0)?;
             let parent_page = path[i - 1].0;
-            let mut parent = self.read_node(parent_page)?;
+            let mut parent = (*self.read_node(parent_page)?).clone();
             let idx = path[i].1.expect("non-root step");
             match &mut parent {
                 SsNode::Internal { entries, .. } => {
@@ -546,7 +553,7 @@ impl<S: PageStore> sqda_core::AccessMethod for SsTree<S> {
         &self,
         page: PageId,
     ) -> std::result::Result<sqda_core::IndexNode, sqda_core::QueryError> {
-        Ok(self.read_node(page)?.into())
+        Ok(self.read_node(page)?.as_ref().into())
     }
 
     fn placement(
@@ -561,24 +568,35 @@ impl<S: PageStore> sqda_core::AccessMethod for SsTree<S> {
 }
 
 /// The one place an SS-tree node becomes the algorithms' view of it (the
-/// R\*-tree's counterpart lives in `sqda_core::access`).
-impl From<SsNode> for sqda_core::IndexNode {
-    fn from(node: SsNode) -> Self {
+/// R\*-tree's counterpart lives in `sqda_core::access`). Borrowing form:
+/// the source node usually lives in the shared cache, so conversion clones
+/// the entries without consuming the cached value.
+impl From<&SsNode> for sqda_core::IndexNode {
+    fn from(node: &SsNode) -> Self {
         match node {
             SsNode::Leaf(entries) => sqda_core::IndexNode::Leaf(
-                entries.into_iter().map(|e| (e.point, e.object)).collect(),
+                entries
+                    .iter()
+                    .map(|e| (e.point.clone(), e.object))
+                    .collect(),
             ),
             SsNode::Internal { entries, .. } => sqda_core::IndexNode::Internal(
                 entries
-                    .into_iter()
+                    .iter()
                     .map(|e| sqda_core::RegionEntry {
-                        region: Region::sphere(e.center, e.radius),
+                        region: Region::sphere(e.center.clone(), e.radius),
                         child: e.child,
                         count: e.count,
                     })
                     .collect(),
             ),
         }
+    }
+}
+
+impl From<SsNode> for sqda_core::IndexNode {
+    fn from(node: SsNode) -> Self {
+        (&node).into()
     }
 }
 

@@ -138,7 +138,7 @@ fn check<S: PageStore>(
                 }
                 // Coverage: every point/sphere of the child must lie within
                 // the recorded sphere (with numeric slack).
-                let required = match &child {
+                let required = match child.as_ref() {
                     SsNode::Leaf(points) => points
                         .iter()
                         .map(|le| e.center.dist(&le.point))

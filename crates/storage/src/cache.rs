@@ -11,6 +11,7 @@ use crate::{PageId, PageStore, StorageError};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A fixed-capacity least-recently-used cache keyed by [`PageId`].
 ///
@@ -226,11 +227,15 @@ impl CacheStats {
 /// shared by any number of concurrent readers — the interior lock is held
 /// only for the O(1) map/list operations, never across storage I/O or
 /// decoding.
+///
+/// Nodes are stored as [`Arc<T>`]: a hit hands out a shared reference at
+/// the cost of one atomic increment, never a deep clone of the node, so
+/// warm traversals are copy-free regardless of fan-out.
 pub struct NodeCache<T> {
-    inner: Mutex<LruCache<T>>,
+    inner: Mutex<LruCache<Arc<T>>>,
 }
 
-impl<T: Clone> NodeCache<T> {
+impl<T> NodeCache<T> {
     /// Creates a cache holding at most `capacity` decoded nodes.
     ///
     /// # Panics
@@ -242,14 +247,16 @@ impl<T: Clone> NodeCache<T> {
         }
     }
 
-    /// Looks up a node, marking it most-recently-used on a hit.
-    pub fn get(&self, page: PageId) -> Option<T> {
+    /// Looks up a node, marking it most-recently-used on a hit. A hit is
+    /// an `Arc` pointer bump — O(1) in the node's size.
+    pub fn get(&self, page: PageId) -> Option<Arc<T>> {
         self.inner.lock().get(page)
     }
 
     /// Inserts (or refreshes) a node, evicting the LRU entry if full.
-    pub fn insert(&self, page: PageId, node: T) {
-        self.inner.lock().insert(page, node);
+    /// Accepts a plain `T` or an already-shared `Arc<T>`.
+    pub fn insert(&self, page: PageId, node: impl Into<Arc<T>>) {
+        self.inner.lock().insert(page, node.into());
     }
 
     /// Removes a node (call on page write or free so stale decodes are
@@ -279,13 +286,15 @@ impl<T: Clone> NodeCache<T> {
     /// returns the result.
     ///
     /// Both trees route their `read_node` through this single function, so
-    /// "fetch bytes, decode, cache" lives in exactly one place.
+    /// "fetch bytes, decode, cache" lives in exactly one place. The decoded
+    /// node is wrapped in an [`Arc`] once; the cache and the caller share
+    /// it without copying the node itself.
     pub fn read_through<E, F>(
         &self,
         store: &(impl PageStore + ?Sized),
         page: PageId,
         decode: F,
-    ) -> std::result::Result<T, E>
+    ) -> std::result::Result<Arc<T>, E>
     where
         E: From<StorageError>,
         F: FnOnce(Bytes) -> std::result::Result<T, E>,
@@ -294,8 +303,8 @@ impl<T: Clone> NodeCache<T> {
             return Ok(node);
         }
         let bytes = store.read(page).map_err(E::from)?;
-        let node = decode(bytes)?;
-        self.insert(page, node.clone());
+        let node = Arc::new(decode(bytes)?);
+        self.insert(page, Arc::clone(&node));
         Ok(node)
     }
 }
@@ -387,8 +396,8 @@ mod tests {
     fn node_cache_hit_miss_stats() {
         let c: NodeCache<String> = NodeCache::new(2);
         assert!(c.get(page(1)).is_none());
-        c.insert(page(1), "a".into());
-        assert_eq!(c.get(page(1)).unwrap(), "a");
+        c.insert(page(1), "a".to_string());
+        assert_eq!(*c.get(page(1)).unwrap(), "a");
         let st = c.stats();
         assert_eq!((st.hits, st.misses, st.len, st.capacity), (1, 1, 1, 2));
         assert_eq!(st.hit_rate(), 0.5);
@@ -411,8 +420,24 @@ mod tests {
         c.get(page(1));
         c.insert(page(3), 30);
         assert!(c.get(page(2)).is_none());
-        assert_eq!(c.get(page(1)), Some(10));
-        assert_eq!(c.get(page(3)), Some(30));
+        assert_eq!(c.get(page(1)).as_deref(), Some(&10));
+        assert_eq!(c.get(page(3)).as_deref(), Some(&30));
+    }
+
+    #[test]
+    fn node_cache_hits_share_one_allocation() {
+        let c: NodeCache<Vec<u64>> = NodeCache::new(2);
+        c.insert(page(1), vec![1, 2, 3]);
+        let a = c.get(page(1)).unwrap();
+        let b = c.get(page(1)).unwrap();
+        // A hit is a pointer bump: both handles alias the cached node.
+        assert!(Arc::ptr_eq(&a, &b));
+        // Re-insertion replaces the shared node; old handles stay valid.
+        c.insert(page(1), vec![9]);
+        let fresh = c.get(page(1)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &fresh));
+        assert_eq!(*a, vec![1, 2, 3]);
+        assert_eq!(*fresh, vec![9]);
     }
 
     #[test]
@@ -421,7 +446,7 @@ mod tests {
         for i in 0..10 {
             c.insert(page(i), i);
             assert_eq!(c.stats().len, 1);
-            assert_eq!(c.get(page(i)), Some(i));
+            assert_eq!(c.get(page(i)).as_deref(), Some(&i));
             if i > 0 {
                 assert!(c.get(page(i - 1)).is_none());
             }
@@ -441,12 +466,12 @@ mod tests {
         let cache: NodeCache<u64> = NodeCache::new(4);
         let decodes = AtomicU64::new(0);
         for _ in 0..5 {
-            let v: std::result::Result<u64, StorageError> =
+            let v: std::result::Result<Arc<u64>, StorageError> =
                 cache.read_through(&store, p, |bytes| {
                     decodes.fetch_add(1, Ordering::Relaxed);
                     Ok(std::str::from_utf8(&bytes).unwrap().parse().unwrap())
                 });
-            assert_eq!(v.unwrap(), 42);
+            assert_eq!(*v.unwrap(), 42);
         }
         // One miss (read + decode), then pure hits: the store saw one read.
         assert_eq!(decodes.load(Ordering::Relaxed), 1);
