@@ -1,0 +1,108 @@
+//! Fault sweep: mean response time vs. number of failed disks for all
+//! four algorithms on a shadowed 10-disk array (λ = 5, k = 10).
+//!
+//! Not a figure from the paper — its Section 2 shadowed-disk
+//! organization motivates it. With disks mirrored in pairs, reads
+//! aimed at a failed disk are served by the shadow partner, so mean
+//! response time should degrade gracefully (roughly the failed disks'
+//! load folded onto their partners) rather than collapse. Queries whose
+//! every replica is gone abort with a typed `Unavailable` error and are
+//! counted in the `aborted` column, not averaged into response times.
+//!
+//! Emits `fault_sweep.csv` plus a machine-readable
+//! `BENCH_fault.json` under `--out` (default `results/`).
+
+use sqda_bench::{build_tree, f4, parallel_map, simulate_faulted, ExpOptions, ResultsTable};
+use sqda_core::AlgorithmKind;
+use sqda_datasets::gaussian;
+use sqda_simkernel::{FaultPlan, SimTime};
+
+/// Even array so every disk has a shadow partner.
+const DISKS: u32 = 10;
+const K: usize = 10;
+const LAMBDA: f64 = 5.0;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let failed_counts: &[usize] = if opts.quick {
+        &[0, 2, 4]
+    } else {
+        &[0, 1, 2, 3, 4]
+    };
+    let dataset = gaussian(opts.population(20_000), 2, 1301);
+    let tree = build_tree(&dataset, DISKS, 1302);
+    let queries = dataset.sample_queries(opts.queries(), 1303);
+
+    let points: Vec<(usize, AlgorithmKind)> = failed_counts
+        .iter()
+        .flat_map(|&c| AlgorithmKind::ALL.map(|kind| (c, kind)))
+        .collect();
+    let reports = parallel_map(&points, opts.jobs, |&(count, kind)| {
+        // A fresh seed per count picks which disks die; count = 0 is
+        // the empty plan, i.e. the fault-free mirrored baseline.
+        let plan = FaultPlan::fail_disks(count, SimTime::ZERO, DISKS, 1304 + count as u64);
+        simulate_faulted(&tree, &queries, K, LAMBDA, kind, 1305, &plan)
+    });
+
+    let mut table = ResultsTable::new(
+        format!(
+            "Fault sweep — mean response time vs failed disks \
+             (set: {}, n={}, {DISKS} shadowed disks, k={K}, λ={LAMBDA})",
+            dataset.name,
+            dataset.len(),
+        ),
+        &[
+            "failed",
+            "BBSS(s)",
+            "FPSS(s)",
+            "CRSS(s)",
+            "WOPTSS(s)",
+            "degraded_reads",
+            "aborted",
+        ],
+    );
+    let mut json_points: Vec<String> = Vec::new();
+    for (c, &count) in failed_counts.iter().enumerate() {
+        let row_reports = &reports[c * 4..(c + 1) * 4];
+        let mut row = vec![count.to_string()];
+        for r in row_reports {
+            row.push(f4(r.mean_response_s));
+        }
+        let degraded: u64 = row_reports.iter().map(|r| r.degraded_reads).sum();
+        let aborted: usize = row_reports.iter().map(|r| r.failed).sum();
+        row.push(degraded.to_string());
+        row.push(aborted.to_string());
+        table.row(row);
+        for r in row_reports {
+            json_points.push(format!(
+                "{{\"failed_disks\":{count},\"algorithm\":\"{}\",\
+                 \"mean_response_s\":{:.6},\"p95_response_s\":{:.6},\
+                 \"completed\":{},\"aborted\":{},\
+                 \"degraded_reads\":{},\"read_retries\":{}}}",
+                r.algorithm,
+                r.mean_response_s,
+                r.p95_response_s,
+                r.completed,
+                r.failed,
+                r.degraded_reads,
+                r.read_retries
+            ));
+        }
+    }
+    table.print();
+    table.write_csv(&opts.out_dir, "fault_sweep");
+
+    std::fs::create_dir_all(&opts.out_dir).expect("create results dir");
+    let path = opts.out_dir.join("BENCH_fault.json");
+    let json = format!(
+        "{{\n  \"bench\": \"fault_sweep\",\n  \"config\": {{\n    \
+         \"disks\": {DISKS},\n    \"k\": {K},\n    \"lambda\": {LAMBDA},\n    \
+         \"population\": {},\n    \"queries\": {},\n    \"mirrored_reads\": true\n  }},\n  \
+         \"points\": [\n    {}\n  ]\n}}\n",
+        dataset.len(),
+        queries.len(),
+        json_points.join(",\n    ")
+    );
+    std::fs::write(&path, json).expect("write BENCH_fault.json");
+    eprintln!("  wrote {}", path.display());
+}

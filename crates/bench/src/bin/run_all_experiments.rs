@@ -47,6 +47,7 @@ const EXPERIMENTS: &[&str] = &[
     "ext_tighter_threshold",
     "ext_sstree",
     "analysis_validation",
+    "fault_sweep",
 ];
 
 struct Finished {

@@ -16,7 +16,7 @@ use sqda_datasets::Dataset;
 use sqda_geom::Point;
 use sqda_rstar::decluster::ProximityIndex;
 use sqda_rstar::{Declusterer, RStarConfig, RStarTree};
-use sqda_simkernel::SystemParams;
+use sqda_simkernel::{FaultPlan, SystemParams};
 use sqda_storage::{ArrayStore, PageStore};
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -294,6 +294,31 @@ pub fn simulate(
     let sim = Simulation::new(tree, params).expect("simulation");
     let workload = Workload::poisson(queries.to_vec(), k, lambda, seed);
     sim.run(kind, &workload, seed ^ 0x5eed).expect("simulation")
+}
+
+/// [`simulate`] on a shadowed (mirrored) array under a fault plan.
+///
+/// Mirrored reads are what make degraded service possible at all — a
+/// failed disk's pages survive on its shadow partner — so this helper
+/// turns them on unconditionally; with the empty plan it is exactly
+/// [`simulate`] with `mirrored_reads: true`. Per-query `Unavailable`
+/// failures land in the report's `failures`/`failed` fields rather
+/// than failing the run.
+pub fn simulate_faulted(
+    tree: &RStarTree<ArrayStore>,
+    queries: &[Point],
+    k: usize,
+    lambda: f64,
+    kind: AlgorithmKind,
+    seed: u64,
+    plan: &FaultPlan,
+) -> SimulationReport {
+    let mut params = SystemParams::with_disks(tree.store().num_disks());
+    params.mirrored_reads = true;
+    let sim = Simulation::new(tree, params).expect("simulation");
+    let workload = Workload::poisson(queries.to_vec(), k, lambda, seed);
+    sim.run_faulted(kind, &workload, seed ^ 0x5eed, plan)
+        .expect("simulation")
 }
 
 /// Whether [`simulate_observed`] has already written its one trace this

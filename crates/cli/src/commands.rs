@@ -11,7 +11,7 @@ use sqda_rstar::decluster::{
     AreaBalance, DataBalance, Declusterer, ProximityIndex, RandomAssign, RoundRobin,
 };
 use sqda_rstar::{RStarConfig, RStarTree, SplitPolicy};
-use sqda_simkernel::SystemParams;
+use sqda_simkernel::{FaultPlan, SimTime, SystemParams};
 use sqda_storage::{FileStore, PageId, PageStore};
 use std::error::Error;
 use std::path::Path;
@@ -281,15 +281,42 @@ pub fn simulate(args: &Args) -> CmdResult {
     let trace = args.get("trace").map(str::to_string);
     let metrics = args.get("metrics").map(str::to_string);
     let (num_disks, num_cpus) = (params.num_disks, params.num_cpus);
+    // Fault injection: --fail-disks picks that many distinct disks
+    // (seed-driven) and fail-stops them at --fail-at seconds. With 0
+    // the plan is empty and the run is byte-identical to fault-free.
+    let fail_disks: usize = args.get_or("fail-disks", 0)?;
+    let fail_at: f64 = args.get_or("fail-at", 0.0)?;
+    if fail_disks > num_disks as usize {
+        return Err(format!(
+            "--fail-disks {fail_disks} exceeds the array's {num_disks} disks"
+        )
+        .into());
+    }
+    if !fail_at.is_finite() || fail_at < 0.0 {
+        return Err(format!("--fail-at must be a non-negative time, got {fail_at}").into());
+    }
+    let plan = FaultPlan::fail_disks(
+        fail_disks,
+        SimTime::from_secs_f64(fail_at),
+        num_disks,
+        seed ^ 0xFA17,
+    );
+    let faulted = !plan.is_empty();
+    if faulted && !params.mirrored_reads {
+        eprintln!(
+            "warning: injecting faults without --mirrored — failed disks \
+             have no shadow replica, so every query touching them aborts"
+        );
+    }
     // Queries follow the data distribution: sample indexed points.
     let sample = sample_data_points(&tree, num_queries, seed)?;
     let workload = Workload::poisson(sample, k, lambda, seed ^ 0xABCD);
     let sim = Simulation::new(&tree, params)?;
     let mut recorder = CollectingRecorder::default();
     let report = if trace.is_some() || metrics.is_some() {
-        sim.run_recorded(kind, &workload, seed ^ 0x1234, &mut recorder)?
+        sim.run_faulted_recorded(kind, &workload, seed ^ 0x1234, &plan, &mut recorder)?
     } else {
-        sim.run(kind, &workload, seed ^ 0x1234)?
+        sim.run_faulted(kind, &workload, seed ^ 0x1234, &plan)?
     };
     println!("algorithm        : {}", report.algorithm);
     println!("queries          : {}", report.completed);
@@ -303,6 +330,21 @@ pub fn simulate(args: &Args) -> CmdResult {
     );
     println!("bus utilization  : {:.1}%", report.bus_utilization * 100.0);
     println!("cpu utilization  : {:.1}%", report.cpu_utilization * 100.0);
+    if faulted {
+        println!(
+            "failed disks     : {:?} at {fail_at} s",
+            plan.failed_disks()
+        );
+        println!("degraded reads   : {}", report.degraded_reads);
+        println!("read retries     : {}", report.read_retries);
+        println!("aborted queries  : {}", report.failed);
+        for (q, err) in report.failures.iter().take(5) {
+            println!("  query {q}: {err}");
+        }
+        if report.failures.len() > 5 {
+            println!("  ... and {} more", report.failures.len() - 5);
+        }
+    }
     if trace.is_some() || metrics.is_some() {
         write_observability(
             recorder.events(),

@@ -41,7 +41,11 @@ COMMANDS:
              --store <dir> [--k <k>=10] [--lambda <q/s>=5]
              [--queries <n>=100] [--algo ...=crss] [--seed <s>=0]
              [--mirrored] [--cpus <n>=1]
+             [--fail-disks <n>=0] [--fail-at <seconds>=0]
              [--trace <file>] [--metrics <file>]
+  (--fail-disks injects seed-driven fail-stop faults: that many disks
+   die at --fail-at; with --mirrored their reads degrade to the shadow
+   partner, without it the touched queries abort with a typed error.)
   (--trace writes Chrome/Perfetto trace_event JSON — open at
    https://ui.perfetto.dev — or a raw JSONL event log if the path ends
    in .jsonl; --metrics writes a JSON metrics snapshot + per-query

@@ -8,10 +8,10 @@
 //! crate), so `?` works across the boundary without boxing.
 
 use sqda_rstar::RStarError;
-use sqda_storage::StorageError;
+use sqda_storage::{PageId, StorageError};
 
 /// Why a similarity query could not be answered.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum QueryError {
     /// The underlying page store failed (missing page, bad disk, ...).
     Storage(StorageError),
@@ -26,6 +26,18 @@ pub enum QueryError {
     /// The caller's configuration is inconsistent with the data it is
     /// applied to (e.g. a simulation sized for a different disk array).
     Config(String),
+    /// A required page had no live replica within the retry budget: its
+    /// disk is failed and either the array is not mirrored or the disk
+    /// is the unpaired one of an odd array. The query degrades to a
+    /// typed error instead of hanging (see the fault-injection layer).
+    Unavailable {
+        /// The page that could not be read.
+        page: PageId,
+        /// The primary disk the page lives on.
+        disk: u32,
+        /// Probes spent before giving up.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for QueryError {
@@ -35,6 +47,15 @@ impl std::fmt::Display for QueryError {
             QueryError::Codec { detail } => write!(f, "codec error: {detail}"),
             QueryError::Invariant(msg) => write!(f, "invariant violated: {msg}"),
             QueryError::Config(msg) => write!(f, "configuration error: {msg}"),
+            QueryError::Unavailable {
+                page,
+                disk,
+                attempts,
+            } => write!(
+                f,
+                "page {page:?} unavailable: disk {disk} failed and no live \
+                 replica answered within {attempts} probes"
+            ),
         }
     }
 }

@@ -21,7 +21,9 @@ use crate::algo::{AlgorithmKind, SimilaritySearch, Step};
 use crate::error::QueryError;
 use crate::workload::Workload;
 use sqda_obs::{Event as ObsEvent, NullRecorder, Recorder};
-use sqda_simkernel::{Bus, Cpu, Disk, EventQueue, SampleStats, SimTime, SystemParams};
+use sqda_simkernel::{
+    Bus, Cpu, Disk, DiskFault, EventQueue, FaultPlan, SampleStats, SimTime, SystemParams,
+};
 use sqda_storage::PageId;
 use std::collections::HashMap;
 
@@ -30,7 +32,8 @@ use std::collections::HashMap;
 pub struct SimulationReport {
     /// Which algorithm ran.
     pub algorithm: &'static str,
-    /// Queries completed (always the full workload).
+    /// Queries completed (the full workload in fault-free runs; under
+    /// fault injection, the queries that were not aborted).
     pub completed: usize,
     /// Mean response time in seconds (the paper's headline metric).
     pub mean_response_s: f64,
@@ -50,6 +53,17 @@ pub struct SimulationReport {
     pub cpu_utilization: f64,
     /// Time the last query completed.
     pub makespan_s: f64,
+    /// Queries aborted with a typed error under fault injection
+    /// (always 0 in fault-free runs).
+    pub failed: usize,
+    /// Reads served by a shadow replica because the primary disk was
+    /// failed at submission time.
+    pub degraded_reads: u64,
+    /// Probes of pages that found no live replica (each probe of each
+    /// retry loop counts once).
+    pub read_retries: u64,
+    /// The typed error of every aborted query, keyed by workload index.
+    pub failures: Vec<(u32, QueryError)>,
 }
 
 /// The disk holding the replica of `disk`'s pages under shadowed
@@ -86,6 +100,120 @@ enum Event {
     DiskDone { q: usize, page: PageId },
     BusDone { q: usize, page: PageId },
     CpuDone { q: usize },
+    /// Re-probe a page whose every replica was unavailable (degraded
+    /// mode only; never scheduled under an empty fault plan).
+    Retry { q: usize, page: PageId, attempt: u32 },
+}
+
+/// Where a page read should be served under the current fault state.
+enum Route {
+    /// Serve from this disk (the healthy path; may already be the
+    /// mirror partner under the earliest-free-replica rule).
+    Serve(usize),
+    /// The primary is failed; its shadow replica serves the read.
+    Degraded { primary: usize, replica: usize },
+    /// No live replica exists right now.
+    Unavailable { primary: usize },
+}
+
+/// Picks the disk to serve a read of a page placed on `primary`,
+/// honouring fail-stop state when `faulted`. The fault-free branch is
+/// the pre-fault routing verbatim, which is what keeps empty-plan runs
+/// byte-identical.
+fn route_read(primary: usize, now: SimTime, disks: &[Disk], mirrored: bool, faulted: bool) -> Route {
+    let partner = if mirrored {
+        mirror_partner(primary, disks.len())
+    } else {
+        None
+    };
+    if !faulted {
+        // Shadowed disks: serve the read from whichever replica frees
+        // up first.
+        if let Some(p) = partner {
+            if disks[p].busy_until() < disks[primary].busy_until() {
+                return Route::Serve(p);
+            }
+        }
+        return Route::Serve(primary);
+    }
+    let primary_up = !disks[primary].is_failed(now);
+    let partner_up = partner.map(|p| !disks[p].is_failed(now));
+    match (primary_up, partner, partner_up) {
+        (true, Some(p), Some(true)) => {
+            // Both replicas alive: the earliest-free rule, as above.
+            if disks[p].busy_until() < disks[primary].busy_until() {
+                Route::Serve(p)
+            } else {
+                Route::Serve(primary)
+            }
+        }
+        (true, _, _) => Route::Serve(primary),
+        (false, Some(p), Some(true)) => Route::Degraded {
+            primary,
+            replica: p,
+        },
+        (false, _, _) => Route::Unavailable { primary },
+    }
+}
+
+/// Decrements a session's outstanding-page count on a `BusDone`.
+///
+/// A duplicate or spurious completion used to wrap the counter around
+/// in release builds (the guarding `debug_assert` compiled out),
+/// leaving a query that never finishes and a silently wrong report;
+/// it now surfaces as a typed invariant error.
+fn settle_outstanding(outstanding: usize, q: usize) -> Result<usize, QueryError> {
+    outstanding.checked_sub(1).ok_or_else(|| {
+        QueryError::Invariant(format!(
+            "spurious BusDone for query {q}: no outstanding pages in flight"
+        ))
+    })
+}
+
+/// Submits a page read to `disk`, scheduling its completion and (while
+/// recording) narrating the service breakdown. Shared by the initial
+/// fetch path and the degraded-mode retry path, so both produce the
+/// same events and the same timing for the same submission.
+#[allow(clippy::too_many_arguments)]
+fn submit_read(
+    disks: &mut [Disk],
+    disk: usize,
+    q: usize,
+    page: PageId,
+    cylinder: u32,
+    level: u16,
+    now: SimTime,
+    rng: &mut rand::rngs::StdRng,
+    events: &mut EventQueue<Event>,
+    recording: bool,
+    recorder: &mut dyn Recorder,
+    obs: &mut SessionObs,
+) {
+    if recording {
+        let detail = disks[disk].submit_detailed(now, cylinder, rng);
+        obs.disk_queue_ns += detail.queue.as_nanos();
+        obs.seek_ns += detail.seek.as_nanos();
+        obs.rotation_ns += detail.rotation.as_nanos();
+        obs.transfer_ns += detail.transfer.as_nanos();
+        recorder.record(
+            now.as_nanos(),
+            ObsEvent::DiskService {
+                query: q as u32,
+                disk: disk as u16,
+                cylinder,
+                level,
+                queue_ns: detail.queue.as_nanos(),
+                seek_ns: detail.seek.as_nanos(),
+                rotation_ns: detail.rotation.as_nanos(),
+                transfer_ns: detail.transfer.as_nanos(),
+                queue_depth: detail.queue_depth,
+            },
+        );
+        events.schedule(detail.completion, Event::DiskDone { q, page });
+    } else {
+        let done = disks[disk].submit(now, cylinder, rng);
+        events.schedule(done, Event::DiskDone { q, page });
+    }
 }
 
 /// Per-session response-time component accumulators, filled only while
@@ -111,6 +239,9 @@ struct Session {
     pending: Option<Step>,
     nodes_visited: u64,
     finished_at: Option<SimTime>,
+    /// Set when the query aborts (degraded mode); the session's
+    /// remaining in-flight events are ignored from then on.
+    failed: bool,
     obs: SessionObs,
 }
 
@@ -170,7 +301,52 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
         let mut scratch = crate::QueryScratch::new();
         let mut factory =
             |point: sqda_geom::Point, k: usize| kind.build_with(self.am, point, k, &mut scratch);
-        self.run_with_fallible(&mut factory, kind.name(), workload, seed, recorder)
+        self.run_with_fallible(
+            &mut factory,
+            kind.name(),
+            workload,
+            seed,
+            &FaultPlan::none(),
+            recorder,
+        )
+    }
+
+    /// Runs `workload` under `kind` with faults injected from `plan`.
+    ///
+    /// With the empty plan this is byte-identical to [`Simulation::run`]
+    /// (same RNG stream, same timing, same report). Under a non-empty
+    /// plan, reads targeting a failed disk are redirected to the shadow
+    /// replica when the array is mirrored; pages with no live replica
+    /// are re-probed under the plan's retry policy and the owning query
+    /// aborts with [`QueryError::Unavailable`] when the budget runs out
+    /// — per-query failures land in
+    /// [`SimulationReport::failures`], they do not fail the run.
+    pub fn run_faulted(
+        &self,
+        kind: AlgorithmKind,
+        workload: &Workload,
+        seed: u64,
+        plan: &FaultPlan,
+    ) -> Result<SimulationReport, QueryError> {
+        self.run_faulted_recorded(kind, workload, seed, plan, &mut NullRecorder)
+    }
+
+    /// [`Simulation::run_faulted`] plus a recorder. Fault transitions
+    /// are narrated as first-class events (`disk_failed`,
+    /// `disk_recovered`, `disk_degraded`, `degraded_read`,
+    /// `read_retry`, `query_abort`).
+    pub fn run_faulted_recorded(
+        &self,
+        kind: AlgorithmKind,
+        workload: &Workload,
+        seed: u64,
+        plan: &FaultPlan,
+        recorder: &mut dyn Recorder,
+    ) -> Result<SimulationReport, QueryError> {
+        let mut scratch = crate::QueryScratch::new();
+        let mut factory =
+            |point: sqda_geom::Point, k: usize| kind.build_with(self.am, point, k, &mut scratch);
+        self.run_with_fallible(&mut factory, kind.name(), workload, seed, plan, recorder)
     }
 
     /// Runs `workload` with algorithm instances produced by `factory`
@@ -205,7 +381,30 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
             |point: sqda_geom::Point, k: usize| -> Result<Box<dyn SimilaritySearch>, QueryError> {
                 Ok(factory(point, k))
             };
-        self.run_with_fallible(&mut fallible, name, workload, seed, recorder)
+        self.run_with_fallible(&mut fallible, name, workload, seed, &FaultPlan::none(), recorder)
+    }
+
+    /// [`Simulation::run_with_recorded`] plus a fault plan — the
+    /// factory-driven twin of [`Simulation::run_faulted_recorded`],
+    /// used by tests that wrap algorithms to observe degraded-mode
+    /// answers.
+    pub fn run_with_faulted_recorded<F>(
+        &self,
+        mut factory: F,
+        name: &'static str,
+        workload: &Workload,
+        seed: u64,
+        plan: &FaultPlan,
+        recorder: &mut dyn Recorder,
+    ) -> Result<SimulationReport, QueryError>
+    where
+        F: FnMut(sqda_geom::Point, usize) -> Box<dyn SimilaritySearch>,
+    {
+        let mut fallible =
+            |point: sqda_geom::Point, k: usize| -> Result<Box<dyn SimilaritySearch>, QueryError> {
+                Ok(factory(point, k))
+            };
+        self.run_with_fallible(&mut fallible, name, workload, seed, plan, recorder)
     }
 
     fn run_with_fallible(
@@ -217,8 +416,17 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
         name: &'static str,
         workload: &Workload,
         seed: u64,
+        plan: &FaultPlan,
         recorder: &mut dyn Recorder,
     ) -> Result<SimulationReport, QueryError> {
+        if let Some(max) = plan.max_disk() {
+            if max >= self.params.num_disks {
+                return Err(QueryError::Config(format!(
+                    "fault plan references disk {max} but the array has only {} disks",
+                    self.params.num_disks
+                )));
+            }
+        }
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
         let mut disks: Vec<Disk> = (0..self.params.num_disks)
             .map(|_| Disk::new(self.params.disk.clone()))
@@ -231,6 +439,79 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
         // workload size is a tight initial-capacity hint.
         let mut events: EventQueue<Event> = EventQueue::with_capacity(workload.queries.len());
         let recording = recorder.enabled();
+
+        // Degraded-mode state. `faulted` gates every fault-path branch:
+        // with an empty plan no profile is installed, no fault event is
+        // emitted and the routing below is the pre-fault logic verbatim,
+        // which keeps empty-plan runs byte-identical to `run`.
+        let faulted = !plan.is_empty();
+        let retry = plan.retry();
+        if faulted {
+            for (d, disk) in disks.iter_mut().enumerate() {
+                let profile = plan.profile_for(d as u32);
+                if !profile.is_clean() {
+                    disk.set_fault_profile(profile);
+                }
+            }
+            if recording {
+                // Narrate the plan's transitions up front: they are
+                // scheduled facts, not simulation outcomes, so they do
+                // not flow through the event queue. Consumers that care
+                // about ordering (metrics, Perfetto) scan the whole
+                // stream first.
+                for fault in plan.faults() {
+                    match *fault {
+                        DiskFault::FailStop {
+                            disk,
+                            at,
+                            recovers_at,
+                        } => {
+                            recorder.record(
+                                at.as_nanos(),
+                                ObsEvent::DiskFailed { disk: disk as u16 },
+                            );
+                            if let Some(rec) = recovers_at {
+                                recorder.record(
+                                    rec.as_nanos(),
+                                    ObsEvent::DiskRecovered { disk: disk as u16 },
+                                );
+                            }
+                        }
+                        DiskFault::SlowWindow {
+                            disk,
+                            from,
+                            until,
+                            multiplier,
+                        } => recorder.record(
+                            from.as_nanos(),
+                            ObsEvent::DiskDegraded {
+                                disk: disk as u16,
+                                until_ns: until.as_nanos(),
+                                multiplier,
+                                extra_ns: 0,
+                            },
+                        ),
+                        DiskFault::HotSpot {
+                            disk,
+                            from,
+                            until,
+                            extra,
+                        } => recorder.record(
+                            from.as_nanos(),
+                            ObsEvent::DiskDegraded {
+                                disk: disk as u16,
+                                until_ns: until.as_nanos(),
+                                multiplier: 1.0,
+                                extra_ns: extra.as_nanos(),
+                            },
+                        ),
+                    }
+                }
+            }
+        }
+        let mut degraded_reads = 0u64;
+        let mut read_retries = 0u64;
+        let mut failures: Vec<(u32, QueryError)> = Vec::new();
 
         // Tree level of every page seen so far (root = 0), extended as
         // internal nodes are decoded. Only maintained while recording.
@@ -252,6 +533,7 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                 pending: None,
                 nodes_visited: 0,
                 finished_at: None,
+                failed: false,
                 obs: SessionObs::default(),
             });
             events.schedule(wq.arrival, Event::Arrive(sessions.len() - 1));
@@ -291,6 +573,9 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                     }
                 }
                 Event::CpuDone { q } => {
+                    if sessions[q].failed {
+                        continue;
+                    }
                     let step = sessions[q].pending.take().ok_or_else(|| {
                         QueryError::Invariant(format!(
                             "CPU completion for query {q} without a pending step"
@@ -307,60 +592,123 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                             sessions[q].nodes_visited += pages.len() as u64;
                             if recording {
                                 sessions[q].obs.batches += 1;
-                                let level = levels.get(&pages[0]).copied().unwrap_or_default();
+                                // A batch can mix levels (CRSS pulls pages
+                                // from several runs at once): record the
+                                // shallowest and deepest, not pages[0]'s,
+                                // which mislabelled mixed batches.
+                                let mut level = u16::MAX;
+                                let mut level_max = 0u16;
+                                for page in &pages {
+                                    let l = levels.get(page).copied().unwrap_or_default();
+                                    level = level.min(l);
+                                    level_max = level_max.max(l);
+                                }
                                 recorder.record(
                                     now.as_nanos(),
                                     ObsEvent::BatchIssued {
                                         query: q as u32,
                                         level,
+                                        level_max,
                                         size: pages.len() as u32,
                                     },
                                 );
                             }
                             for page in pages {
                                 let placement = self.am.placement(page)?;
-                                let mut disk = placement.disk.index();
-                                if self.params.mirrored_reads {
-                                    // Shadowed disks: serve the read from
-                                    // whichever replica frees up first.
-                                    if let Some(p) =
-                                        mirror_partner(disk, self.params.num_disks as usize)
-                                    {
-                                        if disks[p].busy_until() < disks[disk].busy_until() {
-                                            disk = p;
-                                        }
-                                    }
-                                }
-                                if recording {
-                                    let detail = disks[disk].submit_detailed(
-                                        now,
-                                        placement.cylinder,
-                                        &mut rng,
-                                    );
-                                    let obs = &mut sessions[q].obs;
-                                    obs.disk_queue_ns += detail.queue.as_nanos();
-                                    obs.seek_ns += detail.seek.as_nanos();
-                                    obs.rotation_ns += detail.rotation.as_nanos();
-                                    obs.transfer_ns += detail.transfer.as_nanos();
-                                    recorder.record(
-                                        now.as_nanos(),
-                                        ObsEvent::DiskService {
-                                            query: q as u32,
-                                            disk: disk as u16,
-                                            cylinder: placement.cylinder,
-                                            level: levels.get(&page).copied().unwrap_or_default(),
-                                            queue_ns: detail.queue.as_nanos(),
-                                            seek_ns: detail.seek.as_nanos(),
-                                            rotation_ns: detail.rotation.as_nanos(),
-                                            transfer_ns: detail.transfer.as_nanos(),
-                                            queue_depth: detail.queue_depth,
-                                        },
-                                    );
-                                    events.schedule(detail.completion, Event::DiskDone { q, page });
+                                let primary = placement.disk.index();
+                                let level = if recording {
+                                    levels.get(&page).copied().unwrap_or_default()
                                 } else {
-                                    let done =
-                                        disks[disk].submit(now, placement.cylinder, &mut rng);
-                                    events.schedule(done, Event::DiskDone { q, page });
+                                    0
+                                };
+                                match route_read(
+                                    primary,
+                                    now,
+                                    &disks,
+                                    self.params.mirrored_reads,
+                                    faulted,
+                                ) {
+                                    Route::Serve(disk) => submit_read(
+                                        &mut disks,
+                                        disk,
+                                        q,
+                                        page,
+                                        placement.cylinder,
+                                        level,
+                                        now,
+                                        &mut rng,
+                                        &mut events,
+                                        recording,
+                                        recorder,
+                                        &mut sessions[q].obs,
+                                    ),
+                                    Route::Degraded { primary, replica } => {
+                                        degraded_reads += 1;
+                                        if recording {
+                                            recorder.record(
+                                                now.as_nanos(),
+                                                ObsEvent::DegradedRead {
+                                                    query: q as u32,
+                                                    disk: primary as u16,
+                                                    replica: replica as u16,
+                                                },
+                                            );
+                                        }
+                                        submit_read(
+                                            &mut disks,
+                                            replica,
+                                            q,
+                                            page,
+                                            placement.cylinder,
+                                            level,
+                                            now,
+                                            &mut rng,
+                                            &mut events,
+                                            recording,
+                                            recorder,
+                                            &mut sessions[q].obs,
+                                        );
+                                    }
+                                    Route::Unavailable { primary } => {
+                                        read_retries += 1;
+                                        if recording {
+                                            recorder.record(
+                                                now.as_nanos(),
+                                                ObsEvent::ReadRetry {
+                                                    query: q as u32,
+                                                    disk: primary as u16,
+                                                    attempt: 1,
+                                                },
+                                            );
+                                        }
+                                        if retry.max_attempts <= 1 {
+                                            sessions[q].failed = true;
+                                            makespan = makespan.max(now);
+                                            failures.push((
+                                                q as u32,
+                                                QueryError::Unavailable {
+                                                    page,
+                                                    disk: primary as u32,
+                                                    attempts: 1,
+                                                },
+                                            ));
+                                            if recording {
+                                                recorder.record(
+                                                    now.as_nanos(),
+                                                    ObsEvent::QueryAbort {
+                                                        query: q as u32,
+                                                        disk: primary as u16,
+                                                        attempts: 1,
+                                                    },
+                                                );
+                                            }
+                                            break;
+                                        }
+                                        events.schedule(
+                                            now + retry.backoff,
+                                            Event::Retry { q, page, attempt: 2 },
+                                        );
+                                    }
                                 }
                             }
                         }
@@ -394,6 +742,12 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                     }
                 }
                 Event::DiskDone { q, page } => {
+                    if sessions[q].failed {
+                        // The page was read, but its query already
+                        // aborted: drop it instead of crossing the bus.
+                        let _ = page;
+                        continue;
+                    }
                     let (done, queue) = bus.submit_detailed(now);
                     events.schedule(done, Event::BusDone { q, page });
                     if recording {
@@ -411,6 +765,9 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                     }
                 }
                 Event::BusDone { q, page } => {
+                    if sessions[q].failed {
+                        continue;
+                    }
                     let node = self.am.read_index_node(page)?;
                     if recording {
                         if let IndexNode::Internal(entries) = &node {
@@ -422,7 +779,7 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                     }
                     let session = &mut sessions[q];
                     session.fetched.push((page, node));
-                    session.outstanding -= 1;
+                    session.outstanding = settle_outstanding(session.outstanding, q)?;
                     if session.outstanding == 0 {
                         // The algorithm drains `fetched` in place; its
                         // capacity is reused for the session's next batch.
@@ -465,14 +822,116 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                         }
                     }
                 }
+                Event::Retry { q, page, attempt } => {
+                    if sessions[q].failed {
+                        continue;
+                    }
+                    let placement = self.am.placement(page)?;
+                    let primary = placement.disk.index();
+                    let level = if recording {
+                        levels.get(&page).copied().unwrap_or_default()
+                    } else {
+                        0
+                    };
+                    match route_read(primary, now, &disks, self.params.mirrored_reads, faulted) {
+                        Route::Serve(disk) => submit_read(
+                            &mut disks,
+                            disk,
+                            q,
+                            page,
+                            placement.cylinder,
+                            level,
+                            now,
+                            &mut rng,
+                            &mut events,
+                            recording,
+                            recorder,
+                            &mut sessions[q].obs,
+                        ),
+                        Route::Degraded { primary, replica } => {
+                            degraded_reads += 1;
+                            if recording {
+                                recorder.record(
+                                    now.as_nanos(),
+                                    ObsEvent::DegradedRead {
+                                        query: q as u32,
+                                        disk: primary as u16,
+                                        replica: replica as u16,
+                                    },
+                                );
+                            }
+                            submit_read(
+                                &mut disks,
+                                replica,
+                                q,
+                                page,
+                                placement.cylinder,
+                                level,
+                                now,
+                                &mut rng,
+                                &mut events,
+                                recording,
+                                recorder,
+                                &mut sessions[q].obs,
+                            );
+                        }
+                        Route::Unavailable { primary } => {
+                            read_retries += 1;
+                            if recording {
+                                recorder.record(
+                                    now.as_nanos(),
+                                    ObsEvent::ReadRetry {
+                                        query: q as u32,
+                                        disk: primary as u16,
+                                        attempt,
+                                    },
+                                );
+                            }
+                            if attempt >= retry.max_attempts {
+                                // Budget exhausted: degrade to a typed
+                                // per-query failure instead of probing
+                                // (and hence hanging) forever.
+                                sessions[q].failed = true;
+                                makespan = makespan.max(now);
+                                failures.push((
+                                    q as u32,
+                                    QueryError::Unavailable {
+                                        page,
+                                        disk: primary as u32,
+                                        attempts: attempt,
+                                    },
+                                ));
+                                if recording {
+                                    recorder.record(
+                                        now.as_nanos(),
+                                        ObsEvent::QueryAbort {
+                                            query: q as u32,
+                                            disk: primary as u16,
+                                            attempts: attempt,
+                                        },
+                                    );
+                                }
+                            } else {
+                                events.schedule(
+                                    now + retry.backoff,
+                                    Event::Retry {
+                                        q,
+                                        page,
+                                        attempt: attempt + 1,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
             }
         }
 
         debug_assert!(
-            sessions.iter().all(|s| s.finished_at.is_some()),
-            "all queries must complete"
+            sessions.iter().all(|s| s.finished_at.is_some() || s.failed),
+            "all queries must complete or abort"
         );
-        let n = sessions.len();
+        let completed = sessions.iter().filter(|s| s.finished_at.is_some()).count();
         let horizon = makespan;
         let mean_disk_utilization = if disks.is_empty() {
             0.0
@@ -482,21 +941,73 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
         let summary = response_times.summary();
         Ok(SimulationReport {
             algorithm: name,
-            completed: n,
+            completed,
             mean_response_s: summary.mean,
             std_response_s: summary.std_dev,
             max_response_s: summary.max,
             p95_response_s: summary.p95,
-            mean_nodes_per_query: if n == 0 {
+            mean_nodes_per_query: if completed == 0 {
                 0.0
             } else {
-                total_nodes as f64 / n as f64
+                total_nodes as f64 / completed as f64
             },
             mean_disk_utilization,
             bus_utilization: bus.utilization(horizon),
             cpu_utilization: cpus.iter().map(|c| c.utilization(horizon)).sum::<f64>()
                 / cpus.len() as f64,
             makespan_s: makespan.as_secs_f64(),
+            failed: failures.len(),
+            degraded_reads,
+            read_retries,
+            failures,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settle_outstanding_counts_down() {
+        assert!(matches!(settle_outstanding(3, 0), Ok(2)));
+        assert!(matches!(settle_outstanding(1, 0), Ok(0)));
+    }
+
+    #[test]
+    fn spurious_bus_done_is_a_typed_invariant_error() {
+        // Regression: this used to be `outstanding -= 1`, which wraps
+        // to usize::MAX in release builds and leaves the query spinning.
+        let err = settle_outstanding(0, 7).unwrap_err();
+        match err {
+            QueryError::Invariant(msg) => {
+                assert!(msg.contains("spurious BusDone"), "{msg}");
+                assert!(msg.contains('7'), "{msg}");
+            }
+            other => panic!("expected Invariant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mirror_partner_pairs_and_involutes() {
+        // Even array: perfect pairing, involution, no self-pairing.
+        for n in [2usize, 4, 6, 10, 128] {
+            for d in 0..n {
+                let p = mirror_partner(d, n).expect("even arrays pair fully");
+                assert_ne!(p, d, "n={n} d={d}");
+                assert_eq!(mirror_partner(p, n), Some(d), "n={n} d={d}");
+            }
+        }
+        // Odd array: the last disk is unpaired, the rest involute.
+        for n in [3usize, 5, 7, 11] {
+            assert_eq!(mirror_partner(n - 1, n), None, "n={n}");
+            for d in 0..n - 1 {
+                let p = mirror_partner(d, n).expect("non-last disks pair");
+                assert_ne!(p, d, "n={n} d={d}");
+                assert_eq!(mirror_partner(p, n), Some(d), "n={n} d={d}");
+            }
+        }
+        // Degenerate single-disk array: nothing to mirror onto.
+        assert_eq!(mirror_partner(0, 1), None);
     }
 }

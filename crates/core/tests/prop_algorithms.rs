@@ -3,10 +3,11 @@
 //! invariants of each algorithm hold.
 
 use proptest::prelude::*;
-use sqda_core::{exec::run_query, AlgorithmKind};
+use sqda_core::{exec::run_query, mirror_partner, AlgorithmKind, Simulation, Workload, WorkloadQuery};
 use sqda_geom::Point;
 use sqda_rstar::decluster::ProximityIndex;
 use sqda_rstar::{RStarConfig, RStarTree};
+use sqda_simkernel::{FaultPlan, SimTime, SystemParams};
 use sqda_storage::ArrayStore;
 use std::sync::Arc;
 
@@ -102,5 +103,64 @@ proptest! {
             let d8: Vec<f64> = r8.results.iter().map(|n| n.dist_sq).collect();
             prop_assert_eq!(d2, d8, "{} answers changed with disk count", kind);
         }
+    }
+
+    /// `mirror_partner` is a self-inverse pairing with no fixed points;
+    /// only the leftover disk of an odd array is unpaired. (The old
+    /// `(d + n/2) mod n` rule violated the involution for odd `n`,
+    /// redirecting reads to disks that never held the replica.)
+    #[test]
+    fn mirror_partner_properties(n in 1usize..512, d_seed in any::<u64>()) {
+        let d = (d_seed % n as u64) as usize;
+        match mirror_partner(d, n) {
+            Some(p) => {
+                prop_assert!(p < n, "n={} d={} partner {} out of range", n, d, p);
+                prop_assert_ne!(p, d, "n={} d={} self-paired", n, d);
+                prop_assert_eq!(mirror_partner(p, n), Some(d), "n={} d={}", n, d);
+            }
+            None => prop_assert!(
+                n % 2 == 1 && d == n - 1,
+                "n={} d={} lost its partner", n, d
+            ),
+        }
+    }
+
+    /// Degraded-mode execution on a shadowed array: killing any one
+    /// disk never aborts, hangs, or changes the work of a query — the
+    /// shadow partner absorbs the failed disk's reads.
+    #[test]
+    fn degraded_reads_preserve_query_work(
+        (points, (qx, qy), k) in dataset_strategy(),
+        dead_seed in any::<u64>(),
+    ) {
+        let tree = build(&points, 4);
+        let dead = (dead_seed % 4) as u32;
+        let w = Workload {
+            queries: vec![WorkloadQuery {
+                arrival: SimTime::ZERO,
+                point: Point::new(vec![qx, qy]),
+                k,
+            }],
+        };
+        let params = SystemParams {
+            mirrored_reads: true,
+            ..SystemParams::with_disks(4)
+        };
+        let sim = Simulation::new(&tree, params).unwrap();
+        let healthy = sim
+            .run_faulted(AlgorithmKind::Crss, &w, 11, &FaultPlan::none())
+            .unwrap();
+        let plan = FaultPlan::none().fail_stop(dead, SimTime::ZERO);
+        let degraded = sim
+            .run_faulted(AlgorithmKind::Crss, &w, 11, &plan)
+            .unwrap();
+        prop_assert_eq!(degraded.failed, 0, "mirrored loss must not abort");
+        prop_assert_eq!(degraded.completed, 1);
+        // Identical traversal: the same nodes are fetched, only their
+        // serving disk (and hence timing) may differ.
+        prop_assert_eq!(
+            healthy.mean_nodes_per_query,
+            degraded.mean_nodes_per_query
+        );
     }
 }

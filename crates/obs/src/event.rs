@@ -60,9 +60,13 @@ pub enum Event {
     BatchIssued {
         /// Issuing query.
         query: QueryId,
-        /// Tree level of the batch (root = 0); level-uniform for the
-        /// breadth-first algorithms, per-node for BBSS.
+        /// Shallowest tree level in the batch (root = 0). Equal to
+        /// `level_max` for the level-uniform breadth-first algorithms;
+        /// CRSS batches that mix candidate-stack pops with fresh
+        /// expansions span `level..=level_max`.
         level: u16,
+        /// Deepest tree level in the batch.
+        level_max: u16,
         /// Pages in the batch.
         size: u32,
     },
@@ -127,6 +131,63 @@ pub enum Event {
         /// Saved candidates across all runs.
         stack_candidates: u32,
     },
+    /// A disk stopped serving (fail-stop; timestamp = failure instant).
+    /// Emitted from the fault plan when a recorded run starts, so sinks
+    /// see the full failure schedule even if no query ever probes the
+    /// disk.
+    DiskFailed {
+        /// Index of the failed disk.
+        disk: u16,
+    },
+    /// A failed disk came back (timestamp = recovery instant).
+    DiskRecovered {
+        /// Index of the recovered disk.
+        disk: u16,
+    },
+    /// A degraded-performance window opened on a disk (timestamp =
+    /// window start): a slow-disk latency multiplier, a hot-spot
+    /// contention delay, or both.
+    DiskDegraded {
+        /// Index of the degraded disk.
+        disk: u16,
+        /// Window end, absolute simulated ns.
+        until_ns: u64,
+        /// Service-time multiplier in effect over the window.
+        multiplier: f64,
+        /// Additional per-request service time over the window, ns.
+        extra_ns: u64,
+    },
+    /// A read was redirected from a failed primary disk to its shadow
+    /// replica (timestamp = submission).
+    DegradedRead {
+        /// Requesting query.
+        query: QueryId,
+        /// The failed primary the page lives on.
+        disk: u16,
+        /// The mirror partner that served the read instead.
+        replica: u16,
+    },
+    /// No live replica held a requested page; the executor scheduled a
+    /// bounded re-probe (timestamp = the failed probe).
+    ReadRetry {
+        /// Requesting query.
+        query: QueryId,
+        /// The unavailable primary disk.
+        disk: u16,
+        /// Probe number (1 = first attempt).
+        attempt: u32,
+    },
+    /// A query gave up: a page stayed unavailable through the whole
+    /// retry budget (timestamp = abort). The query leaves the system
+    /// with a typed error instead of an answer.
+    QueryAbort {
+        /// Aborting query.
+        query: QueryId,
+        /// The unavailable primary disk.
+        disk: u16,
+        /// Probes spent before giving up.
+        attempts: u32,
+    },
 }
 
 impl Event {
@@ -140,11 +201,18 @@ impl Event {
             Event::BusTransfer { .. } => "bus_transfer",
             Event::CpuSlice { .. } => "cpu_slice",
             Event::CrssState { .. } => "crss_state",
+            Event::DiskFailed { .. } => "disk_failed",
+            Event::DiskRecovered { .. } => "disk_recovered",
+            Event::DiskDegraded { .. } => "disk_degraded",
+            Event::DegradedRead { .. } => "degraded_read",
+            Event::ReadRetry { .. } => "read_retry",
+            Event::QueryAbort { .. } => "query_abort",
         }
     }
 
-    /// The query the event belongs to.
-    pub fn query(&self) -> QueryId {
+    /// The query the event belongs to, or `None` for disk-level fault
+    /// events that no single query owns.
+    pub fn query(&self) -> Option<QueryId> {
         match *self {
             Event::QueryArrive { query }
             | Event::QueryComplete { query, .. }
@@ -152,7 +220,13 @@ impl Event {
             | Event::DiskService { query, .. }
             | Event::BusTransfer { query, .. }
             | Event::CpuSlice { query, .. }
-            | Event::CrssState { query, .. } => query,
+            | Event::CrssState { query, .. }
+            | Event::DegradedRead { query, .. }
+            | Event::ReadRetry { query, .. }
+            | Event::QueryAbort { query, .. } => Some(query),
+            Event::DiskFailed { .. } | Event::DiskRecovered { .. } | Event::DiskDegraded { .. } => {
+                None
+            }
         }
     }
 }
@@ -262,7 +336,7 @@ mod tests {
         assert!(!r.is_empty());
         assert_eq!(r.events()[0].0, 5);
         assert_eq!(r.events()[1].1.kind(), "bus_transfer");
-        assert_eq!(r.events()[1].1.query(), 1);
+        assert_eq!(r.events()[1].1.query(), Some(1));
         let evs = r.into_events();
         assert_eq!(evs.len(), 2);
     }
@@ -274,6 +348,7 @@ mod tests {
             Event::BatchIssued {
                 query: 0,
                 level: 0,
+                level_max: 0,
                 size: 1,
             },
             Event::CrssState {
@@ -282,8 +357,56 @@ mod tests {
                 stack_runs: 0,
                 stack_candidates: 0,
             },
+            Event::DiskFailed { disk: 1 },
+            Event::DiskRecovered { disk: 1 },
+            Event::DiskDegraded {
+                disk: 1,
+                until_ns: 5,
+                multiplier: 2.0,
+                extra_ns: 0,
+            },
+            Event::DegradedRead {
+                query: 0,
+                disk: 1,
+                replica: 3,
+            },
+            Event::ReadRetry {
+                query: 0,
+                disk: 1,
+                attempt: 1,
+            },
+            Event::QueryAbort {
+                query: 0,
+                disk: 1,
+                attempts: 3,
+            },
         ];
         let kinds: std::collections::HashSet<_> = evs.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), evs.len());
+    }
+
+    #[test]
+    fn disk_level_events_have_no_query() {
+        assert_eq!(Event::DiskFailed { disk: 0 }.query(), None);
+        assert_eq!(Event::DiskRecovered { disk: 0 }.query(), None);
+        assert_eq!(
+            Event::DiskDegraded {
+                disk: 0,
+                until_ns: 1,
+                multiplier: 1.5,
+                extra_ns: 0,
+            }
+            .query(),
+            None
+        );
+        assert_eq!(
+            Event::QueryAbort {
+                query: 9,
+                disk: 0,
+                attempts: 2,
+            }
+            .query(),
+            Some(9)
+        );
     }
 }

@@ -46,9 +46,21 @@ pub fn event_to_json(ts_ns: u64, event: &Event) -> String {
             o.field_u64("cpu_queue_ns", cpu_queue_ns);
             o.field_u64("cpu_ns", cpu_ns);
         }
-        Event::BatchIssued { query, level, size } => {
+        Event::BatchIssued {
+            query,
+            level,
+            level_max,
+            size,
+        } => {
             o.field_u64("query", query as u64);
             o.field_u64("level", level as u64);
+            // Level-uniform batches (the overwhelmingly common case, and
+            // the only one the pre-fault schema could express) omit the
+            // redundant field, keeping their lines — and the golden
+            // traces — byte-identical to the old schema.
+            if level_max != level {
+                o.field_u64("level_max", level_max as u64);
+            }
             o.field_u64("size", size as u64);
         }
         Event::DiskService {
@@ -104,6 +116,50 @@ pub fn event_to_json(ts_ns: u64, event: &Event) -> String {
             o.field_f64("d_th_sq", d_th_sq);
             o.field_u64("stack_runs", stack_runs as u64);
             o.field_u64("stack_candidates", stack_candidates as u64);
+        }
+        Event::DiskFailed { disk } => {
+            o.field_u64("disk", disk as u64);
+        }
+        Event::DiskRecovered { disk } => {
+            o.field_u64("disk", disk as u64);
+        }
+        Event::DiskDegraded {
+            disk,
+            until_ns,
+            multiplier,
+            extra_ns,
+        } => {
+            o.field_u64("disk", disk as u64);
+            o.field_u64("until_ns", until_ns);
+            o.field_f64("multiplier", multiplier);
+            o.field_u64("extra_ns", extra_ns);
+        }
+        Event::DegradedRead {
+            query,
+            disk,
+            replica,
+        } => {
+            o.field_u64("query", query as u64);
+            o.field_u64("disk", disk as u64);
+            o.field_u64("replica", replica as u64);
+        }
+        Event::ReadRetry {
+            query,
+            disk,
+            attempt,
+        } => {
+            o.field_u64("query", query as u64);
+            o.field_u64("disk", disk as u64);
+            o.field_u64("attempt", attempt as u64);
+        }
+        Event::QueryAbort {
+            query,
+            disk,
+            attempts,
+        } => {
+            o.field_u64("query", query as u64);
+            o.field_u64("disk", disk as u64);
+            o.field_u64("attempts", attempts as u64);
         }
     }
     o.finish()
@@ -212,6 +268,91 @@ mod tests {
         // Infinite threshold serializes as null.
         let v2 = parse(lines[2]).unwrap();
         assert_eq!(v2.get("d_th_sq"), Some(&crate::json::Value::Null));
+    }
+
+    #[test]
+    fn batch_level_max_serialized_only_when_mixed() {
+        // Level-uniform: byte-identical to the pre-fault schema.
+        let uniform = event_to_json(
+            1_000_000,
+            &Event::BatchIssued {
+                query: 0,
+                level: 1,
+                level_max: 1,
+                size: 3,
+            },
+        );
+        assert_eq!(
+            uniform,
+            "{\"ts\":1000000,\"type\":\"batch_issued\",\"query\":0,\"level\":1,\"size\":3}"
+        );
+        // Mixed-level (CRSS candidate-stack pops): range is explicit.
+        let mixed = event_to_json(
+            1_000_000,
+            &Event::BatchIssued {
+                query: 0,
+                level: 0,
+                level_max: 2,
+                size: 3,
+            },
+        );
+        let v = parse(&mixed).unwrap();
+        assert_eq!(v.get("level").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("level_max").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn fault_events_serialize() {
+        let events = vec![
+            (5, Event::DiskFailed { disk: 2 }),
+            (9, Event::DiskRecovered { disk: 2 }),
+            (
+                10,
+                Event::DiskDegraded {
+                    disk: 1,
+                    until_ns: 99,
+                    multiplier: 2.5,
+                    extra_ns: 7,
+                },
+            ),
+            (
+                11,
+                Event::DegradedRead {
+                    query: 3,
+                    disk: 0,
+                    replica: 2,
+                },
+            ),
+            (
+                12,
+                Event::ReadRetry {
+                    query: 3,
+                    disk: 4,
+                    attempt: 2,
+                },
+            ),
+            (
+                13,
+                Event::QueryAbort {
+                    query: 3,
+                    disk: 4,
+                    attempts: 3,
+                },
+            ),
+        ];
+        let text = events_to_jsonl(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        let v = parse(lines[0]).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("disk_failed"));
+        assert_eq!(v.get("disk").unwrap().as_u64(), Some(2));
+        let v = parse(lines[2]).unwrap();
+        assert_eq!(v.get("until_ns").unwrap().as_u64(), Some(99));
+        assert_eq!(v.get("multiplier").unwrap().as_f64(), Some(2.5));
+        let v = parse(lines[3]).unwrap();
+        assert_eq!(v.get("replica").unwrap().as_u64(), Some(2));
+        let v = parse(lines[5]).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("query_abort"));
+        assert_eq!(v.get("attempts").unwrap().as_u64(), Some(3));
     }
 
     #[test]

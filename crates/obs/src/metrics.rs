@@ -202,6 +202,16 @@ pub struct MetricsSnapshot {
     /// Physical reads per disk as reported by the store (includes
     /// requests the simulator never timed, e.g. tree builds).
     pub store_reads_per_disk: Vec<u64>,
+    /// Reads served by a shadow replica because the primary was failed.
+    pub degraded_reads: Counter,
+    /// Re-probes of pages with no live replica.
+    pub read_retries: Counter,
+    /// Queries aborted after exhausting the retry budget.
+    pub queries_aborted: Counter,
+    /// Per-disk time spent failed or in a degraded window, ns.
+    /// Failure spans without a recorded recovery are closed at the last
+    /// event timestamp in the stream.
+    pub disk_degraded_ns: BTreeMap<u16, u64>,
 }
 
 impl Default for MetricsSnapshot {
@@ -226,13 +236,19 @@ impl MetricsSnapshot {
             cache_hits: Counter::default(),
             cache_misses: Counter::default(),
             store_reads_per_disk: Vec::new(),
+            degraded_reads: Counter::default(),
+            read_retries: Counter::default(),
+            queries_aborted: Counter::default(),
+            disk_degraded_ns: BTreeMap::new(),
         }
     }
 
     /// Folds a recorded event stream into a snapshot.
     pub fn from_events(events: &[(u64, Event)]) -> Self {
         let mut s = Self::new();
-        for &(_ts, ref ev) in events {
+        let max_ts = events.iter().map(|&(ts, _)| ts).max().unwrap_or(0);
+        let mut open_failures: BTreeMap<u16, u64> = BTreeMap::new();
+        for &(ts, ref ev) in events {
             match *ev {
                 Event::QueryArrive { .. } => s.queries_arrived.add(1),
                 Event::QueryComplete { response_ns, .. } => {
@@ -272,7 +288,27 @@ impl MetricsSnapshot {
                     s.cpu_busy_ns.add(exec_ns);
                 }
                 Event::CrssState { .. } => {}
+                Event::DiskFailed { disk } => {
+                    open_failures.entry(disk).or_insert(ts);
+                }
+                Event::DiskRecovered { disk } => {
+                    if let Some(start) = open_failures.remove(&disk) {
+                        *s.disk_degraded_ns.entry(disk).or_insert(0) +=
+                            ts.saturating_sub(start);
+                    }
+                }
+                Event::DiskDegraded { disk, until_ns, .. } => {
+                    *s.disk_degraded_ns.entry(disk).or_insert(0) +=
+                        until_ns.saturating_sub(ts);
+                }
+                Event::DegradedRead { .. } => s.degraded_reads.add(1),
+                Event::ReadRetry { .. } => s.read_retries.add(1),
+                Event::QueryAbort { .. } => s.queries_aborted.add(1),
             }
+        }
+        // Permanent failures stay degraded through the end of the run.
+        for (disk, start) in open_failures {
+            *s.disk_degraded_ns.entry(disk).or_insert(0) += max_ts.saturating_sub(start);
         }
         s
     }
@@ -332,6 +368,18 @@ impl MetricsSnapshot {
         o.field_u64("bus_busy_ns", self.bus_busy_ns.0);
         o.field_raw("cpu_queue_ms", &self.cpu_queue_ms.to_json());
         o.field_u64("cpu_busy_ns", self.cpu_busy_ns.0);
+        o.field_u64("degraded_reads", self.degraded_reads.0);
+        o.field_u64("read_retries", self.read_retries.0);
+        o.field_u64("queries_aborted", self.queries_aborted.0);
+        let mut degraded = String::from("{");
+        for (i, (id, ns)) in self.disk_degraded_ns.iter().enumerate() {
+            if i > 0 {
+                degraded.push(',');
+            }
+            degraded.push_str(&format!("\"{id}\":{ns}"));
+        }
+        degraded.push('}');
+        o.field_raw("disk_degraded_ns", &degraded);
         let mut disks = String::from("{");
         for (i, (id, d)) in self.disks.iter().enumerate() {
             if i > 0 {
@@ -410,6 +458,60 @@ mod tests {
             ss.load_imbalance()
         );
         assert!(ss.load_imbalance() > sb.load_imbalance());
+    }
+
+    #[test]
+    fn snapshot_folds_fault_events() {
+        let events = vec![
+            (1_000, Event::DiskFailed { disk: 0 }),
+            (6_000, Event::DiskRecovered { disk: 0 }),
+            (2_000, Event::DiskFailed { disk: 1 }), // permanent
+            (
+                3_000,
+                Event::DiskDegraded {
+                    disk: 2,
+                    until_ns: 8_000,
+                    multiplier: 2.0,
+                    extra_ns: 0,
+                },
+            ),
+            (
+                4_000,
+                Event::DegradedRead {
+                    query: 0,
+                    disk: 0,
+                    replica: 2,
+                },
+            ),
+            (
+                5_000,
+                Event::ReadRetry {
+                    query: 1,
+                    disk: 1,
+                    attempt: 1,
+                },
+            ),
+            (
+                10_000,
+                Event::QueryAbort {
+                    query: 1,
+                    disk: 1,
+                    attempts: 3,
+                },
+            ),
+        ];
+        let s = MetricsSnapshot::from_events(&events);
+        assert_eq!(s.degraded_reads.0, 1);
+        assert_eq!(s.read_retries.0, 1);
+        assert_eq!(s.queries_aborted.0, 1);
+        assert_eq!(s.disk_degraded_ns.get(&0), Some(&5_000)); // closed by recovery
+        assert_eq!(s.disk_degraded_ns.get(&1), Some(&8_000)); // closed at last ts
+        assert_eq!(s.disk_degraded_ns.get(&2), Some(&5_000)); // window length
+        let doc = parse(&s.to_json()).unwrap();
+        assert_eq!(doc.get("degraded_reads").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("queries_aborted").unwrap().as_u64(), Some(1));
+        let deg = doc.get("disk_degraded_ns").unwrap();
+        assert_eq!(deg.get("1").unwrap().as_u64(), Some(8_000));
     }
 
     #[test]

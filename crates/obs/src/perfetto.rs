@@ -72,6 +72,39 @@ pub fn chrome_trace(events: &[(u64, Event)], num_disks: u32, num_cpus: u32) -> S
     }
     out.push(meta("process_name", PID_QUERIES, 0, "queries"));
 
+    // Derive per-disk failure spans from the fail/recover markers: a
+    // complete slice on the disk's own track from failure to recovery,
+    // or to the end of the trace for permanent failures.
+    let max_ts = events.iter().map(|&(ts, _)| ts).max().unwrap_or(0);
+    let failure_slice = |disk: u16, start: u64, end: u64| -> String {
+        let mut o = ObjWriter::new();
+        o.field_str("name", "FAILED");
+        o.field_str("cat", "fault");
+        o.field_str("ph", "X");
+        o.field_u64("pid", PID_DISKS);
+        o.field_u64("tid", disk as u64);
+        o.field_f64("ts", us(start));
+        o.field_f64("dur", us(end.saturating_sub(start)));
+        o.finish()
+    };
+    let mut open_failures: std::collections::BTreeMap<u16, u64> = std::collections::BTreeMap::new();
+    for &(ts, ref ev) in events {
+        match *ev {
+            Event::DiskFailed { disk } => {
+                open_failures.entry(disk).or_insert(ts);
+            }
+            Event::DiskRecovered { disk } => {
+                if let Some(start) = open_failures.remove(&disk) {
+                    out.push(failure_slice(disk, start, ts));
+                }
+            }
+            _ => {}
+        }
+    }
+    for (disk, start) in open_failures {
+        out.push(failure_slice(disk, start, max_ts.max(start)));
+    }
+
     for &(ts, ref ev) in events {
         match *ev {
             Event::QueryArrive { query } => {
@@ -197,9 +230,17 @@ pub fn chrome_trace(events: &[(u64, Event)], num_disks: u32, num_cpus: u32) -> S
                 o.field_raw("args", &args.finish());
                 out.push(o.finish());
             }
-            Event::BatchIssued { query, level, size } => {
+            Event::BatchIssued {
+                query,
+                level,
+                level_max,
+                size,
+            } => {
                 let mut args = ObjWriter::new();
                 args.field_u64("level", level as u64);
+                if level_max != level {
+                    args.field_u64("level_max", level_max as u64);
+                }
                 args.field_u64("size", size as u64);
                 let mut o = ObjWriter::new();
                 o.field_str("name", "batch issued");
@@ -233,6 +274,88 @@ pub fn chrome_trace(events: &[(u64, Event)], num_disks: u32, num_cpus: u32) -> S
                 o.field_str("name", "crss state");
                 o.field_str("cat", "query");
                 o.field_str("ph", "n");
+                o.field_u64("id", query as u64);
+                o.field_u64("pid", PID_QUERIES);
+                o.field_u64("tid", 0);
+                o.field_f64("ts", us(ts));
+                o.field_raw("args", &args.finish());
+                out.push(o.finish());
+            }
+            // Failure spans were derived in the pre-pass above.
+            Event::DiskFailed { .. } | Event::DiskRecovered { .. } => {}
+            Event::DiskDegraded {
+                disk,
+                until_ns,
+                multiplier,
+                extra_ns,
+            } => {
+                let mut args = ObjWriter::new();
+                args.field_f64("multiplier", multiplier);
+                args.field_f64("extra_ms", extra_ns as f64 / 1e6);
+                let mut o = ObjWriter::new();
+                o.field_str("name", "degraded");
+                o.field_str("cat", "fault");
+                o.field_str("ph", "X");
+                o.field_u64("pid", PID_DISKS);
+                o.field_u64("tid", disk as u64);
+                o.field_f64("ts", us(ts));
+                o.field_f64("dur", us(until_ns.saturating_sub(ts)));
+                o.field_raw("args", &args.finish());
+                out.push(o.finish());
+            }
+            Event::DegradedRead {
+                query,
+                disk,
+                replica,
+            } => {
+                let mut args = ObjWriter::new();
+                args.field_u64("disk", disk as u64);
+                args.field_u64("replica", replica as u64);
+                let mut o = ObjWriter::new();
+                o.field_str("name", "degraded read");
+                o.field_str("cat", "fault");
+                o.field_str("ph", "n");
+                o.field_u64("id", query as u64);
+                o.field_u64("pid", PID_QUERIES);
+                o.field_u64("tid", 0);
+                o.field_f64("ts", us(ts));
+                o.field_raw("args", &args.finish());
+                out.push(o.finish());
+            }
+            Event::ReadRetry {
+                query,
+                disk,
+                attempt,
+            } => {
+                let mut args = ObjWriter::new();
+                args.field_u64("disk", disk as u64);
+                args.field_u64("attempt", attempt as u64);
+                let mut o = ObjWriter::new();
+                o.field_str("name", "read retry");
+                o.field_str("cat", "fault");
+                o.field_str("ph", "n");
+                o.field_u64("id", query as u64);
+                o.field_u64("pid", PID_QUERIES);
+                o.field_u64("tid", 0);
+                o.field_f64("ts", us(ts));
+                o.field_raw("args", &args.finish());
+                out.push(o.finish());
+            }
+            Event::QueryAbort {
+                query,
+                disk,
+                attempts,
+            } => {
+                // Close the async span opened at arrival so aborted
+                // queries do not leave dangling spans in the viewer.
+                let mut args = ObjWriter::new();
+                args.field_str("outcome", "aborted");
+                args.field_u64("disk", disk as u64);
+                args.field_u64("attempts", attempts as u64);
+                let mut o = ObjWriter::new();
+                o.field_str("name", "query");
+                o.field_str("cat", "query");
+                o.field_str("ph", "e");
                 o.field_u64("id", query as u64);
                 o.field_u64("pid", PID_QUERIES);
                 o.field_u64("tid", 0);
@@ -350,5 +473,66 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.get("ph").unwrap().as_str() == Some("C")));
+    }
+
+    #[test]
+    fn failure_spans_appear_on_disk_tracks() {
+        let events = vec![
+            (0, Event::DiskFailed { disk: 1 }),
+            (5_000, Event::DiskRecovered { disk: 1 }),
+            (0, Event::DiskFailed { disk: 0 }), // permanent: runs to trace end
+            (
+                2_000,
+                Event::DiskDegraded {
+                    disk: 1,
+                    until_ns: 4_000,
+                    multiplier: 2.0,
+                    extra_ns: 0,
+                },
+            ),
+            (
+                3_000,
+                Event::DegradedRead {
+                    query: 0,
+                    disk: 0,
+                    replica: 1,
+                },
+            ),
+            (
+                9_000,
+                Event::QueryAbort {
+                    query: 0,
+                    disk: 0,
+                    attempts: 3,
+                },
+            ),
+        ];
+        let text = chrome_trace(&events, 2, 1);
+        let doc = parse(&text).unwrap();
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let failed: Vec<_> = evs
+            .iter()
+            .filter(|e| e.get("name").map(|n| n.as_str()) == Some(Some("FAILED")))
+            .collect();
+        assert_eq!(failed.len(), 2);
+        // Transient failure: closed at the recovery timestamp.
+        let transient = failed
+            .iter()
+            .find(|e| e.get("tid").unwrap().as_u64() == Some(1))
+            .unwrap();
+        assert_eq!(transient.get("dur").unwrap().as_f64(), Some(5.0)); // 5000 ns → µs
+        // Permanent failure: runs to the last event in the trace.
+        let permanent = failed
+            .iter()
+            .find(|e| e.get("tid").unwrap().as_u64() == Some(0))
+            .unwrap();
+        assert_eq!(permanent.get("dur").unwrap().as_f64(), Some(9.0));
+        // Degraded window is a slice; abort closes the async span.
+        assert!(evs
+            .iter()
+            .any(|e| e.get("name").map(|n| n.as_str()) == Some(Some("degraded"))));
+        assert!(evs
+            .iter()
+            .any(|e| e.get("ph").unwrap().as_str() == Some("e")));
     }
 }

@@ -117,7 +117,8 @@ impl QueryProfile {
 pub fn query_profiles(events: &[(u64, Event)]) -> Vec<QueryProfile> {
     let mut map: BTreeMap<QueryId, QueryProfile> = BTreeMap::new();
     for &(ts, ref ev) in events {
-        let q = ev.query();
+        // Disk-level fault events belong to no query.
+        let Some(q) = ev.query() else { continue };
         let p = map.entry(q).or_insert_with(|| QueryProfile {
             query: q,
             ..QueryProfile::default()
@@ -169,7 +170,15 @@ pub fn query_profiles(events: &[(u64, Event)]) -> Vec<QueryProfile> {
                 stack_runs,
                 stack_candidates,
             }),
-            Event::BatchIssued { .. } | Event::BusTransfer { .. } | Event::CpuSlice { .. } => {}
+            Event::BatchIssued { .. }
+            | Event::BusTransfer { .. }
+            | Event::CpuSlice { .. }
+            | Event::DegradedRead { .. }
+            | Event::ReadRetry { .. }
+            | Event::QueryAbort { .. } => {}
+            // Filtered by the query() guard above.
+            Event::DiskFailed { .. } | Event::DiskRecovered { .. } | Event::DiskDegraded { .. } => {
+            }
         }
     }
     map.into_values().collect()

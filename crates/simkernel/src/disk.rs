@@ -1,7 +1,7 @@
 //! Disk drive model: two-phase non-linear seek, rotational latency,
 //! transfer and controller overhead, behind an FCFS queue.
 
-use crate::{SimTime, UtilizationTracker};
+use crate::{DiskFaultProfile, SimTime, UtilizationTracker};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -103,6 +103,10 @@ pub struct Disk {
     /// at or before the current submission time are drained so the
     /// remaining length is the queue depth the new request sees.
     outstanding: VecDeque<SimTime>,
+    /// Latest submission time seen, enforcing the FCFS contract.
+    last_submit: SimTime,
+    /// Injected fault schedule ([`DiskFaultProfile::clean`] by default).
+    fault: DiskFaultProfile,
 }
 
 /// The full timing of one disk request, as computed at submission.
@@ -139,7 +143,28 @@ impl Disk {
             total_wait: SimTime::ZERO,
             total_service: SimTime::ZERO,
             outstanding: VecDeque::new(),
+            last_submit: SimTime::ZERO,
+            fault: DiskFaultProfile::clean(),
         }
+    }
+
+    /// Installs the disk's fault schedule (see
+    /// [`FaultPlan`](crate::FaultPlan)). A clean profile leaves every
+    /// timing computation bit-identical to an un-faulted disk.
+    pub fn set_fault_profile(&mut self, fault: DiskFaultProfile) {
+        self.fault = fault;
+    }
+
+    /// The disk's fault schedule.
+    pub fn fault_profile(&self) -> &DiskFaultProfile {
+        &self.fault
+    }
+
+    /// Whether the disk is failed (fail-stop) at instant `at`. Routing
+    /// around failed disks is the executor's job; the timing model keeps
+    /// serving so a submission that slipped through still completes.
+    pub fn is_failed(&self, at: SimTime) -> bool {
+        self.fault.is_failed(at)
     }
 
     /// The drive parameters.
@@ -174,6 +199,12 @@ impl Disk {
             cylinder < self.params.num_cylinders,
             "cylinder {cylinder} out of range"
         );
+        assert!(
+            now >= self.last_submit,
+            "FCFS contract violated: submission at {now} precedes earlier submission at {}",
+            self.last_submit
+        );
+        self.last_submit = now;
         while self.outstanding.front().is_some_and(|&done| done <= now) {
             self.outstanding.pop_front();
         }
@@ -187,8 +218,21 @@ impl Disk {
         } else {
             0.0
         };
-        let seek_s = self.params.seek_time_s(distance);
-        let transfer_s = (self.params.transfer_ms + self.params.controller_overhead_ms) / 1e3;
+        let mut seek_s = self.params.seek_time_s(distance);
+        let mut rot_latency = rot_latency;
+        let mut transfer_s = (self.params.transfer_ms + self.params.controller_overhead_ms) / 1e3;
+        // Degraded-mode timing, gated so a clean profile leaves the
+        // arithmetic (and thus fault-free runs) bit-identical. The
+        // multiplier scales every phase; hot-spot delay is folded into
+        // the transfer phase so the reported components still sum to
+        // the service interval.
+        if !self.fault.is_clean() {
+            let m = self.fault.multiplier(start);
+            let extra_s = self.fault.extra(start).as_secs_f64();
+            seek_s *= m;
+            rot_latency *= m;
+            transfer_s = transfer_s * m + extra_s;
+        }
         let service_s = seek_s + rot_latency + transfer_s;
         let service = SimTime::from_secs_f64(service_s);
         let completion = start + service;
@@ -394,6 +438,113 @@ mod tests {
         assert_eq!(detail.rotation, SimTime::ZERO);
         // No seek, no rotation: service is exactly transfer + overhead.
         assert_eq!(detail.completion, SimTime::from_millis_f64(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "FCFS contract violated")]
+    fn out_of_order_submission_panics() {
+        // Regression: the doc always promised this panic, but the check
+        // was missing — out-of-order submission silently corrupted the
+        // outstanding-queue draining and utilization accounting.
+        let mut d = Disk::new(DiskParams::default());
+        let mut r = rng();
+        d.submit(SimTime::from_millis_f64(10.0), 0, &mut r);
+        d.submit(SimTime::from_millis_f64(5.0), 0, &mut r);
+    }
+
+    #[test]
+    fn equal_time_submissions_are_allowed() {
+        let mut d = Disk::new(DiskParams::default());
+        let mut r = rng();
+        let t = SimTime::from_millis_f64(3.0);
+        d.submit(t, 0, &mut r);
+        d.submit(t, 0, &mut r); // FIFO tie: not a contract violation
+        assert_eq!(d.requests(), 2);
+    }
+
+    #[test]
+    fn clean_profile_timing_is_bit_identical() {
+        let mut plain = Disk::new(DiskParams::default());
+        let mut profiled = Disk::new(DiskParams::default());
+        profiled.set_fault_profile(DiskFaultProfile::clean());
+        let (mut ra, mut rb) = (rng(), rng());
+        for i in 0..50u32 {
+            let t = SimTime::from_millis_f64(i as f64 * 2.0);
+            let cyl = (i * 211) % 1449;
+            assert_eq!(
+                plain.submit(t, cyl, &mut ra),
+                profiled.submit(t, cyl, &mut rb),
+                "divergence at request {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn slow_window_scales_service_time() {
+        let params = DiskParams {
+            revolution_time_s: 0.0, // deterministic: no rotation draw
+            ..DiskParams::default()
+        };
+        let mut d = Disk::new(params.clone());
+        let mut r = rng();
+        let plan = crate::FaultPlan::none().slow_window(
+            0,
+            SimTime::from_millis_f64(10.0),
+            SimTime::from_millis_f64(20.0),
+            3.0,
+        );
+        d.set_fault_profile(plan.profile_for(0));
+        // Outside the window: nominal transfer + overhead = 2 ms.
+        let d1 = d.submit_detailed(SimTime::ZERO, 0, &mut r);
+        assert_eq!(d1.completion, SimTime::from_millis_f64(2.0));
+        // Inside the window: 3× slower.
+        let d2 = d.submit_detailed(SimTime::from_millis_f64(10.0), 0, &mut r);
+        assert_eq!(
+            d2.completion - SimTime::from_millis_f64(10.0),
+            SimTime::from_millis_f64(6.0)
+        );
+        // Components still reconstruct the service interval.
+        let sum = d2.seek + d2.rotation + d2.transfer;
+        assert!(sum.as_nanos().abs_diff(SimTime::from_millis_f64(6.0).as_nanos()) <= 2);
+        // After the window closes: nominal again.
+        let d3 = d.submit_detailed(SimTime::from_millis_f64(20.0), 0, &mut r);
+        assert_eq!(d3.completion - SimTime::from_millis_f64(20.0), SimTime::from_millis_f64(2.0));
+    }
+
+    #[test]
+    fn hot_spot_adds_constant_delay() {
+        let params = DiskParams {
+            revolution_time_s: 0.0,
+            ..DiskParams::default()
+        };
+        let mut d = Disk::new(params);
+        let mut r = rng();
+        let plan = crate::FaultPlan::none().hot_spot(
+            0,
+            SimTime::ZERO,
+            SimTime::from_millis_f64(5.0),
+            SimTime::from_millis_f64(4.0),
+        );
+        d.set_fault_profile(plan.profile_for(0));
+        let d1 = d.submit_detailed(SimTime::ZERO, 0, &mut r);
+        // 2 ms nominal + 4 ms contention.
+        assert_eq!(d1.completion, SimTime::from_millis_f64(6.0));
+        assert!(!d.is_failed(SimTime::ZERO));
+    }
+
+    #[test]
+    fn failed_state_follows_profile() {
+        let mut d = Disk::new(DiskParams::default());
+        let plan = crate::FaultPlan::none().transient_outage(
+            0,
+            SimTime::from_millis_f64(1.0),
+            SimTime::from_millis_f64(2.0),
+        );
+        d.set_fault_profile(plan.profile_for(0));
+        assert!(!d.is_failed(SimTime::ZERO));
+        assert!(d.is_failed(SimTime::from_millis_f64(1.5)));
+        assert!(!d.is_failed(SimTime::from_millis_f64(2.0)));
+        assert!(!d.fault_profile().is_clean());
     }
 
     #[test]

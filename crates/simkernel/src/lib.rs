@@ -30,6 +30,7 @@ mod bus;
 mod cpu;
 mod disk;
 mod events;
+pub mod fault;
 mod params;
 mod stats;
 mod time;
@@ -38,6 +39,7 @@ pub use arrivals::PoissonArrivals;
 pub use bus::Bus;
 pub use cpu::{cpu_instructions_for_batch, Cpu};
 pub use disk::{Disk, DiskParams, DiskServiceDetail};
+pub use fault::{DiskFault, DiskFaultProfile, FaultPlan, RetryPolicy};
 pub use events::EventQueue;
 pub use params::SystemParams;
 pub use stats::{SampleStats, StatsSummary, UtilizationTracker};

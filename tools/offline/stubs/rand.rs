@@ -1,0 +1,144 @@
+//! Offline stand-in for `rand`: the trait surface the workspace uses
+//! (`SeedableRng::seed_from_u64`, `Rng::{gen, gen_range, gen_bool}`)
+//! over a splitmix64 generator. Deterministic but NOT the real StdRng
+//! stream — good for typechecking and smoke runs only.
+
+pub mod rngs {
+    /// Stand-in for rand's StdRng (splitmix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng {
+            state: seed ^ 0x9e3779b97f4a7c15,
+        }
+    }
+}
+
+fn next_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// What `Rng::gen` can produce.
+pub trait Standard: Sized {
+    fn from_u64(v: u64) -> Self;
+}
+impl Standard for f64 {
+    fn from_u64(v: u64) -> f64 {
+        (v >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+impl Standard for f32 {
+    fn from_u64(v: u64) -> f32 {
+        (v >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+impl Standard for u64 {
+    fn from_u64(v: u64) -> u64 {
+        v
+    }
+}
+impl Standard for u32 {
+    fn from_u64(v: u64) -> u32 {
+        v as u32
+    }
+}
+impl Standard for usize {
+    fn from_u64(v: u64) -> usize {
+        v as usize
+    }
+}
+impl Standard for bool {
+    fn from_u64(v: u64) -> bool {
+        v & 1 == 1
+    }
+}
+
+/// Per-type uniform sampling used by the blanket `SampleRange` impls.
+pub trait SampleUniform: PartialOrd + Copy {
+    fn sample_raw(lo: Self, hi: Self, inclusive: bool, raw: u64) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_raw(lo: $t, hi: $t, inclusive: bool, raw: u64) -> $t {
+                let span = (hi as $wide - lo as $wide) as u128 + inclusive as u128;
+                assert!(span > 0, "empty range");
+                (lo as $wide + (raw as u128 % span) as $wide) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(u8 => u64, u16 => u64, u32 => u64, u64 => u128, usize => u128,
+             i8 => i128, i16 => i128, i32 => i128, i64 => i128, isize => i128);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_raw(lo: $t, hi: $t, _inclusive: bool, raw: u64) -> $t {
+                assert!(lo <= hi, "empty range");
+                let unit = (raw >> 11) as $t / (1u64 << 53) as $t;
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+uniform_float!(f32, f64);
+
+/// Range arguments accepted by `Rng::gen_range`.
+pub trait SampleRange<T> {
+    fn sample(self, raw: u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, raw: u64) -> T {
+        assert!(self.start < self.end, "empty range");
+        T::sample_raw(self.start, self.end, false, raw)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample(self, raw: u64) -> T {
+        T::sample_raw(*self.start(), *self.end(), true, raw)
+    }
+}
+
+pub trait Rng {
+    fn raw_u64(&mut self) -> u64;
+
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64(self.raw_u64())
+    }
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self.raw_u64())
+    }
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl Rng for rngs::StdRng {
+    fn raw_u64(&mut self) -> u64 {
+        next_u64(&mut self.state)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn raw_u64(&mut self) -> u64 {
+        (**self).raw_u64()
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline typecheck stand-in for serde: blanket traits + no-op derives.
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
