@@ -6,17 +6,31 @@
 //! response time and (b) the read-imbalance across disks during query
 //! processing.
 
-use sqda_bench::{build_tree_with, f4, simulate, ExpOptions, ResultsTable};
+use sqda_bench::{
+    build_tree_with, f4, rep_query_sets, rep_seed,
+    report::{BinReport, Direction},
+    simulate, ExpOptions, ResultsTable,
+};
 use sqda_core::AlgorithmKind;
 use sqda_datasets::california_like;
+use sqda_obs::MetricSummary;
 use sqda_rstar::decluster;
 use sqda_storage::PageStore;
 
 fn main() {
     let opts = ExpOptions::from_args();
     let dataset = california_like(opts.population(62_173), 1601);
-    let queries = dataset.sample_queries(opts.queries(), 1611);
+    let query_sets = rep_query_sets(&dataset, &opts, 1611);
     let k = 20;
+    let mut report = BinReport::new("ablation_declustering", &opts);
+    report
+        .param("dataset", dataset.name.clone())
+        .param("disks", 10)
+        .param("k", k)
+        .param("lambda", 5)
+        .param("queries", opts.queries())
+        .param("sim_seed", 1612)
+        .master_seed(1611);
     let mut table = ResultsTable::new(
         format!(
             "Ablation — declustering heuristics (set: {}, n={}, disks: 10, k={k}, λ=5)",
@@ -33,16 +47,41 @@ fn main() {
     for heuristic in decluster::all_heuristics(1620) {
         let name = heuristic.name();
         let tree = build_tree_with(&dataset, 10, 1610, heuristic);
-        let crss = simulate(&tree, &queries, k, 5.0, AlgorithmKind::Crss, 1612);
-        let fpss = simulate(&tree, &queries, k, 5.0, AlgorithmKind::Fpss, 1612);
+        let mut crss_resp = Vec::with_capacity(opts.reps);
+        let mut fpss_resp = Vec::with_capacity(opts.reps);
+        for rep in 0..opts.reps {
+            let seed = rep_seed(1612, rep);
+            let queries = &query_sets[rep];
+            crss_resp.push(simulate(&tree, queries, k, 5.0, AlgorithmKind::Crss, seed).mean_response_s);
+            fpss_resp.push(simulate(&tree, queries, k, 5.0, AlgorithmKind::Fpss, seed).mean_response_s);
+        }
+        // The cv accumulates over every replication's reads: a placement
+        // property of the tree, not a per-rep random variable.
         let imbalance = tree.store().stats().read_imbalance();
+        let crss = MetricSummary::from_samples(&crss_resp);
+        let fpss = MetricSummary::from_samples(&fpss_resp);
+        let labels = |algo: &str| {
+            [
+                ("heuristic", name.to_string()),
+                ("algorithm", algo.to_string()),
+            ]
+        };
+        report.metric("mean_response_s", &labels("CRSS"), crss);
+        report.metric("mean_response_s", &labels("FPSS"), fpss);
+        report.metric_dir(
+            "read_imbalance_cv",
+            &[("heuristic", name.to_string())],
+            MetricSummary::from_samples(&[imbalance]),
+            Direction::Info,
+        );
         table.row(vec![
             name.to_string(),
-            f4(crss.mean_response_s),
-            f4(fpss.mean_response_s),
+            f4(crss.mean),
+            f4(fpss.mean),
             format!("{imbalance:.3}"),
         ]);
     }
     table.print();
     table.write_csv(&opts.out_dir, "ablation_declustering");
+    report.finish(&opts);
 }

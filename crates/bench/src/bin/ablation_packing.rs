@@ -2,20 +2,56 @@
 //! (the paper's dynamic setting) vs STR, Morton-curve, and Hilbert-curve
 //! packed bulk loads, compared on tree quality and CRSS performance.
 
-use sqda_bench::{build_tree, experiment_page_size, f2, f4, simulate, ExpOptions, ResultsTable};
+use sqda_bench::{
+    build_tree, experiment_page_size, f2, f4, rep_query_sets, rep_seed,
+    report::{BinReport, Direction},
+    simulate, ExpOptions, ResultsTable,
+};
 use sqda_core::AlgorithmKind;
 use sqda_datasets::california_like;
+use sqda_obs::MetricSummary;
 use sqda_rstar::decluster::ProximityIndex;
 use sqda_rstar::{PackingOrder, RStarConfig, RStarTree};
 use sqda_storage::{ArrayStore, PageStore};
 use std::sync::Arc;
 
+fn replicated_resp(
+    tree: &RStarTree<ArrayStore>,
+    query_sets: &[Vec<sqda_geom::Point>],
+    k: usize,
+    opts: &ExpOptions,
+) -> MetricSummary {
+    let resp: Vec<f64> = (0..opts.reps)
+        .map(|rep| {
+            simulate(
+                tree,
+                &query_sets[rep],
+                k,
+                5.0,
+                AlgorithmKind::Crss,
+                rep_seed(2212, rep),
+            )
+            .mean_response_s
+        })
+        .collect();
+    MetricSummary::from_samples(&resp)
+}
+
 fn main() {
     let opts = ExpOptions::from_args();
     let dataset = california_like(opts.population(62_173), 2201);
-    let queries = dataset.sample_queries(opts.queries(), 2211);
+    let query_sets = rep_query_sets(&dataset, &opts, 2211);
     let k = 20;
     let page = experiment_page_size(dataset.dim);
+    let mut report = BinReport::new("ablation_packing", &opts);
+    report
+        .param("dataset", dataset.name.clone())
+        .param("disks", 10)
+        .param("k", k)
+        .param("lambda", 5)
+        .param("queries", opts.queries())
+        .param("sim_seed", 2212)
+        .master_seed(2211);
     let mut table = ResultsTable::new(
         format!(
             "Ablation — construction strategies (set: {}, n={}, disks: 10, k={k}, λ=5)",
@@ -25,16 +61,32 @@ fn main() {
         &["construction", "nodes", "avg fill", "CRSS resp (s)"],
     );
 
+    let record = |report: &mut BinReport,
+                      table: &mut ResultsTable,
+                      label: &str,
+                      stats: &sqda_rstar::TreeStats,
+                      resp: MetricSummary| {
+        let labels = [("construction", label.to_string())];
+        report.metric("mean_response_s", &labels, resp);
+        report.metric_dir(
+            "avg_fill",
+            &labels,
+            MetricSummary::from_samples(&[stats.avg_fill]),
+            Direction::Info,
+        );
+        table.row(vec![
+            label.into(),
+            stats.total_nodes().to_string(),
+            f2(stats.avg_fill),
+            f4(resp.mean),
+        ]);
+    };
+
     // Incremental baseline.
     let inc = build_tree(&dataset, 10, 2210);
     let stats = inc.stats().expect("stats");
-    let r = simulate(&inc, &queries, k, 5.0, AlgorithmKind::Crss, 2212);
-    table.row(vec![
-        "incremental-R*".into(),
-        stats.total_nodes().to_string(),
-        f2(stats.avg_fill),
-        f4(r.mean_response_s),
-    ]);
+    let resp = replicated_resp(&inc, &query_sets, k, &opts);
+    record(&mut report, &mut table, "incremental-R*", &stats, resp);
 
     for (label, order) in [
         ("bulk-STR", PackingOrder::Str),
@@ -58,14 +110,10 @@ fn main() {
         .expect("bulk load");
         tree.store().reset_stats();
         let stats = tree.stats().expect("stats");
-        let r = simulate(&tree, &queries, k, 5.0, AlgorithmKind::Crss, 2212);
-        table.row(vec![
-            label.into(),
-            stats.total_nodes().to_string(),
-            f2(stats.avg_fill),
-            f4(r.mean_response_s),
-        ]);
+        let resp = replicated_resp(&tree, &query_sets, k, &opts);
+        record(&mut report, &mut table, label, &stats, resp);
     }
     table.print();
     table.write_csv(&opts.out_dir, "ablation_packing");
+    report.finish(&opts);
 }

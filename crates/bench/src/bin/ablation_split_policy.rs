@@ -2,9 +2,14 @@
 //! split vs Guttman's quadratic and linear splits, measured by tree
 //! quality and CRSS similarity-search performance on the same data.
 
-use sqda_bench::{experiment_page_size, f2, f4, simulate, ExpOptions, ResultsTable};
+use sqda_bench::{
+    experiment_page_size, f2, f4, rep_query_sets, rep_seed,
+    report::{BinReport, Direction},
+    simulate, ExpOptions, ResultsTable,
+};
 use sqda_core::AlgorithmKind;
 use sqda_datasets::california_like;
+use sqda_obs::MetricSummary;
 use sqda_rstar::decluster::ProximityIndex;
 use sqda_rstar::{RStarConfig, RStarTree, SplitPolicy};
 use sqda_storage::{ArrayStore, PageStore};
@@ -13,9 +18,18 @@ use std::sync::Arc;
 fn main() {
     let opts = ExpOptions::from_args();
     let dataset = california_like(opts.population(62_173), 1901);
-    let queries = dataset.sample_queries(opts.queries(), 1911);
+    let query_sets = rep_query_sets(&dataset, &opts, 1911);
     let k = 20;
     let page = experiment_page_size(dataset.dim);
+    let mut report = BinReport::new("ablation_split_policy", &opts);
+    report
+        .param("dataset", dataset.name.clone())
+        .param("disks", 10)
+        .param("k", k)
+        .param("lambda", 5)
+        .param("queries", opts.queries())
+        .param("sim_seed", 1912)
+        .master_seed(1911);
     let mut table = ResultsTable::new(
         format!(
             "Ablation — split policies (set: {}, n={}, disks: 10, k={k}, λ=5)",
@@ -47,15 +61,40 @@ fn main() {
         }
         tree.store().reset_stats();
         let stats = tree.stats().expect("stats");
-        let report = simulate(&tree, &queries, k, 5.0, AlgorithmKind::Crss, 1912);
+        let mut resp = Vec::with_capacity(opts.reps);
+        let mut nodes = Vec::with_capacity(opts.reps);
+        for rep in 0..opts.reps {
+            let r = simulate(
+                &tree,
+                &query_sets[rep],
+                k,
+                5.0,
+                AlgorithmKind::Crss,
+                rep_seed(1912, rep),
+            );
+            resp.push(r.mean_response_s);
+            nodes.push(r.mean_nodes_per_query);
+        }
+        let resp_sum = MetricSummary::from_samples(&resp);
+        let nodes_sum = MetricSummary::from_samples(&nodes);
+        let labels = [("policy", policy.name().to_string())];
+        report.metric("mean_response_s", &labels, resp_sum);
+        report.metric("mean_nodes", &labels, nodes_sum);
+        report.metric_dir(
+            "avg_fill",
+            &labels,
+            MetricSummary::from_samples(&[stats.avg_fill]),
+            Direction::Info,
+        );
         table.row(vec![
             policy.name().to_string(),
             stats.total_nodes().to_string(),
             f2(stats.avg_fill),
-            f2(report.mean_nodes_per_query),
-            f4(report.mean_response_s),
+            f2(nodes_sum.mean),
+            f4(resp_sum.mean),
         ]);
     }
     table.print();
     table.write_csv(&opts.out_dir, "ablation_split_policy");
+    report.finish(&opts);
 }

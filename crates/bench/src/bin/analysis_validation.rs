@@ -7,9 +7,14 @@
 //! the event-driven simulator respectively.
 
 use sqda_analysis::{estimate_response, expected_knn_accesses, QueryIoProfile, TreeProfile};
-use sqda_bench::{build_tree, f2, f4, mean_nodes, simulate, ExpOptions, ResultsTable};
+use sqda_bench::{
+    build_tree, f2, f4, mean_nodes, rep_query_sets, rep_seed,
+    report::{BinReport, Direction},
+    simulate, ExpOptions, ResultsTable,
+};
 use sqda_core::{exec::run_query, AlgorithmKind};
 use sqda_datasets::uniform;
+use sqda_obs::MetricSummary;
 use sqda_simkernel::SystemParams;
 use sqda_storage::PageStore;
 
@@ -17,8 +22,16 @@ fn main() {
     let opts = ExpOptions::from_args();
     let dataset = uniform(opts.population(50_000), 2, 2001);
     let tree = build_tree(&dataset, 10, 2010);
-    let queries = dataset.sample_queries(opts.queries(), 2011);
+    let query_sets = rep_query_sets(&dataset, &opts, 2011);
+    let queries = &query_sets[0];
     let profile = TreeProfile::measure(&tree).expect("profile");
+    let mut report = BinReport::new("analysis_validation", &opts);
+    report
+        .param("dataset", dataset.name.clone())
+        .param("disks", 10)
+        .param("queries", opts.queries())
+        .param("sim_seed", 2012)
+        .master_seed(2011);
 
     // Part 1: node-access prediction vs WOPTSS measurement.
     let mut t1 = ResultsTable::new(
@@ -31,23 +44,36 @@ fn main() {
     );
     for k in [1usize, 10, 50, 100, 400] {
         let predicted = expected_knn_accesses(&profile, k).expect("non-degenerate");
-        let measured = mean_nodes(&tree, &queries, k, AlgorithmKind::Woptss);
+        let measured_reps: Vec<f64> = (0..opts.reps)
+            .map(|rep| mean_nodes(&tree, &query_sets[rep], k, AlgorithmKind::Woptss))
+            .collect();
+        let measured = MetricSummary::from_samples(&measured_reps);
+        let labels = [("k", k.to_string())];
+        report.metric("mean_nodes", &labels, measured);
+        report.metric_dir(
+            "predicted_over_measured",
+            &labels,
+            MetricSummary::from_samples(&[predicted / measured.mean]),
+            Direction::Info,
+        );
         t1.row(vec![
             k.to_string(),
             f2(predicted),
-            f2(measured),
-            f2(predicted / measured),
+            f2(measured.mean),
+            f2(predicted / measured.mean),
         ]);
     }
     t1.print();
     t1.write_csv(&opts.out_dir, "analysis_node_accesses");
 
     // Part 2: response-time prediction vs simulation.
+    // The I/O profile feeds the closed-form model; rep 0's query set keeps
+    // the profile deterministic and comparable across runs.
     let params = SystemParams::with_disks(tree.store().num_disks());
     let k = 20;
     let mut accesses = 0.0;
     let mut batches = 0.0;
-    for q in &queries {
+    for q in queries {
         let mut algo = AlgorithmKind::Crss
             .build(&tree, q.clone(), k)
             .expect("algo");
@@ -68,19 +94,38 @@ fn main() {
     );
     for lambda in [1.0f64, 2.0, 5.0, 10.0, 20.0] {
         let est = estimate_response(&params, io, lambda);
-        let simulated = simulate(&tree, &queries, k, lambda, AlgorithmKind::Crss, 2012);
+        let sim_reps: Vec<f64> = (0..opts.reps)
+            .map(|rep| {
+                simulate(
+                    &tree,
+                    &query_sets[rep],
+                    k,
+                    lambda,
+                    AlgorithmKind::Crss,
+                    rep_seed(2012, rep),
+                )
+                .mean_response_s
+            })
+            .collect();
+        let simulated = MetricSummary::from_samples(&sim_reps);
+        report.metric(
+            "mean_response_s",
+            &[("lambda", lambda.to_string()), ("k", k.to_string())],
+            simulated,
+        );
         let (pred_str, ratio_str) = match est.response_s {
-            Some(p) => (f4(p), f2(p / simulated.mean_response_s)),
+            Some(p) => (f4(p), f2(p / simulated.mean)),
             None => ("unstable".into(), "—".into()),
         };
         t2.row(vec![
             format!("{lambda}"),
             f2(est.utilization),
             pred_str,
-            f4(simulated.mean_response_s),
+            f4(simulated.mean),
             ratio_str,
         ]);
     }
     t2.print();
     t2.write_csv(&opts.out_dir, "analysis_response_time");
+    report.finish(&opts);
 }

@@ -12,9 +12,18 @@
 //!
 //! The tree is built deterministically (no RNG), so the byte layout under
 //! measurement is identical across runs and machines; only the timings
-//! vary. Accepts `--out <dir>` (default `results`).
+//! vary. Accepts `--out <dir>` (default `results`) and `--no-manifest`
+//! (suppress the provenance manifest and schema-v2 fragment; the legacy
+//! `BENCH_hotpath.json` is always written). Timings are reported in the
+//! fragment as informational metrics — machine-dependent, so never
+//! checked for regressions across hosts.
 
+use sqda_bench::{
+    report::{BinReport, Direction},
+    ExpOptions,
+};
 use sqda_geom::Point;
+use sqda_obs::MetricSummary;
 use sqda_rstar::decluster::ProximityIndex;
 use sqda_rstar::{codec, knn_with_scratch, BestFirstScratch, RStarConfig, RStarTree};
 use sqda_storage::{ArrayStore, NodeCache, PageId, PageStore};
@@ -89,11 +98,13 @@ fn sample_pages(tree: &RStarTree<ArrayStore>) -> (PageId, Option<PageId>) {
 
 fn main() {
     let mut out_dir = PathBuf::from("results");
+    let mut manifest = true;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out_dir = PathBuf::from(args.next().expect("--out needs a directory")),
-            other => panic!("unknown argument {other} (expected --out <dir>)"),
+            "--no-manifest" => manifest = false,
+            other => panic!("unknown argument {other} (expected --out <dir> | --no-manifest)"),
         }
     }
 
@@ -102,7 +113,7 @@ fn main() {
 
     // Decode: median ns per decode_node call on a full page.
     let (leaf_page, internal_page) = sample_pages(&tree);
-    let time_decode = |page: PageId| -> f64 {
+    let time_decode = |page: PageId| -> Vec<f64> {
         let bytes = tree.store().read(page).expect("read page");
         let mut reps = Vec::with_capacity(REPS);
         for _ in 0..REPS {
@@ -113,10 +124,12 @@ fn main() {
             }
             reps.push(start.elapsed().as_nanos() as f64 / DECODES_PER_REP as f64);
         }
-        median(reps)
+        reps
     };
-    let decode_leaf_ns = time_decode(leaf_page);
-    let decode_internal_ns = internal_page.map(time_decode).unwrap_or(0.0);
+    let decode_leaf_reps = time_decode(leaf_page);
+    let decode_leaf_ns = median(decode_leaf_reps.clone());
+    let decode_internal_reps = internal_page.map(time_decode).unwrap_or_default();
+    let decode_internal_ns = median(decode_internal_reps.clone());
 
     // Warm-cache traversal: ns per node over the whole tree.
     let node_count = traverse(&tree); // warms the cache
@@ -126,7 +139,7 @@ fn main() {
         let n = traverse(&tree);
         traversal_reps.push(start.elapsed().as_nanos() as f64 / n as f64);
     }
-    let warm_traversal_ns_per_node = median(traversal_reps);
+    let warm_traversal_ns_per_node = median(traversal_reps.clone());
 
     // Warm end-to-end k-NN with a reused scratch heap.
     let queries: Vec<Point> = (0..KNN_QUERIES)
@@ -150,7 +163,7 @@ fn main() {
         }
         knn_reps.push(start.elapsed().as_nanos() as f64 / queries.len() as f64);
     }
-    let knn_warm_ns_per_query = median(knn_reps);
+    let knn_warm_ns_per_query = median(knn_reps.clone());
 
     println!("hot-path medians over {REPS} reps ({node_count} nodes, {OBJECTS} objects):");
     println!("  decode_leaf_ns             {decode_leaf_ns:.1}");
@@ -171,4 +184,40 @@ fn main() {
     );
     std::fs::write(&path, json).expect("write BENCH_hotpath.json");
     eprintln!("  wrote {}", path.display());
+
+    // Provenance manifest + schema-v2 fragment (timings are Info-only:
+    // nanosecond medians are machine facts, not regression targets).
+    let opts = ExpOptions {
+        quick: false,
+        out_dir,
+        jobs: 1,
+        trace: None,
+        metrics: None,
+        reps: REPS,
+        manifest,
+        warmup: 0.0,
+    };
+    let mut report = BinReport::new("bench_hotpath", &opts);
+    report
+        .param("dim", dim)
+        .param("page_size", 1024)
+        .param("objects", OBJECTS)
+        .param("nodes", node_count)
+        .param("cache_pages", 8192)
+        .master_seed(0);
+    let mut timing = |name: &str, reps: &[f64]| {
+        if !reps.is_empty() {
+            report.metric_dir(
+                name,
+                &[],
+                MetricSummary::from_samples(reps),
+                Direction::Info,
+            );
+        }
+    };
+    timing("decode_leaf_ns", &decode_leaf_reps);
+    timing("decode_internal_ns", &decode_internal_reps);
+    timing("warm_traversal_ns_per_node", &traversal_reps);
+    timing("knn_warm_ns_per_query", &knn_reps);
+    report.finish(&opts);
 }

@@ -1,0 +1,110 @@
+//! CI gate: diffs the current `BENCH_summary.json` against the committed
+//! `results/BASELINE.json` with the noise-aware rule from
+//! `sqda_bench::report` — a metric fails only when its 95% confidence
+//! band separates from the baseline's in the bad direction *and* the
+//! relative change clears `--rel-threshold` (default 5%). Point-estimate
+//! jitter inside overlapping bands never fails.
+//!
+//! When the two summaries come from different RNG backends (the
+//! registry-less stub build vs a cargo build — detected via
+//! `rng_fingerprint`), their numbers live in different pseudo-random
+//! universes, so the numeric rules are skipped and only the structure
+//! (every baseline metric still present) is enforced.
+//!
+//! ```text
+//! check_regression [--current results/BENCH_summary.json]
+//!                  [--baseline results/BASELINE.json]
+//!                  [--rel-threshold 0.05]
+//! ```
+//!
+//! Exit status: 0 clean, 1 findings (regressions or missing metrics),
+//! 2 usage/parse errors.
+
+use sqda_bench::report::{compare_summary_text, FindingKind};
+use std::path::PathBuf;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("check_regression: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut current = PathBuf::from("results/BENCH_summary.json");
+    let mut baseline = PathBuf::from("results/BASELINE.json");
+    let mut rel_threshold = 0.05f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--current" => {
+                current = PathBuf::from(
+                    args.next().unwrap_or_else(|| fail("--current needs a path")),
+                )
+            }
+            "--baseline" => {
+                baseline = PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| fail("--baseline needs a path")),
+                )
+            }
+            "--rel-threshold" => {
+                rel_threshold = args
+                    .next()
+                    .unwrap_or_else(|| fail("--rel-threshold needs a fraction"))
+                    .parse()
+                    .unwrap_or_else(|_| fail("--rel-threshold needs a fraction"));
+                if !(0.0..=10.0).contains(&rel_threshold) {
+                    fail("--rel-threshold out of range");
+                }
+            }
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let cur_text = std::fs::read_to_string(&current)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", current.display())));
+    let base_text = std::fs::read_to_string(&baseline)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", baseline.display())));
+    let cmp = compare_summary_text(&cur_text, &base_text, rel_threshold)
+        .unwrap_or_else(|e| fail(&e));
+
+    if !cmp.fingerprints_match {
+        eprintln!(
+            "check_regression: RNG fingerprints differ between current and baseline \
+             (different RNG backend builds); numeric comparison skipped, \
+             structural check only"
+        );
+    }
+    println!(
+        "check_regression: {} metric(s) compared against {}, \
+         {} improvement(s), {} finding(s) [rel-threshold {:.1}%]",
+        cmp.compared,
+        baseline.display(),
+        cmp.improvements,
+        cmp.findings.len(),
+        rel_threshold * 100.0
+    );
+    for f in &cmp.findings {
+        match f.kind {
+            FindingKind::Regression => println!(
+                "  REGRESSION {} :: {} — baseline {:.6} ±{:.6}, current {:.6} ±{:.6} \
+                 ({:+.1}% in the bad direction)",
+                f.bench,
+                f.metric,
+                f.base.mean,
+                f.base.ci95,
+                f.cur.mean,
+                f.cur.ci95,
+                f.rel_change * 100.0
+            ),
+            FindingKind::Missing => println!(
+                "  MISSING    {} :: {} — present in baseline (mean {:.6}), absent now",
+                f.bench, f.metric, f.base.mean
+            ),
+        }
+    }
+    if cmp.findings.is_empty() {
+        println!("check_regression: OK");
+    } else {
+        std::process::exit(1);
+    }
+}

@@ -9,9 +9,14 @@
 //!    the dynamic R\*-tree gives up against a full reorganization (which
 //!    the paper rules out for operational reasons).
 
-use sqda_bench::{build_tree, experiment_page_size, f2, f4, simulate, ExpOptions, ResultsTable};
+use sqda_bench::{
+    build_tree, experiment_page_size, f2, f4, rep_query_sets, rep_seed,
+    report::{BinReport, Direction},
+    simulate, ExpOptions, ResultsTable,
+};
 use sqda_core::{AlgorithmKind, Simulation, Workload};
 use sqda_datasets::gaussian;
+use sqda_obs::MetricSummary;
 use sqda_rstar::decluster::ProximityIndex;
 use sqda_rstar::{RStarConfig, RStarTree};
 use sqda_simkernel::SystemParams;
@@ -22,8 +27,15 @@ fn main() {
     let opts = ExpOptions::from_args();
     let dataset = gaussian(opts.population(50_000), 5, 1801);
     let tree = build_tree(&dataset, 10, 1810);
-    let queries = dataset.sample_queries(opts.queries(), 1811);
+    let query_sets = rep_query_sets(&dataset, &opts, 1811);
     let k = 20;
+    let mut report = BinReport::new("ext_future_work", &opts);
+    report
+        .param("dataset", dataset.name.clone())
+        .param("disks", 10)
+        .param("k", k)
+        .param("queries", opts.queries())
+        .master_seed(1811);
 
     // --- Extension 1: shadowed disks ---
     let mut t1 = ResultsTable::new(
@@ -36,29 +48,53 @@ fn main() {
         ],
     );
     for lambda in [1.0f64, 5.0, 10.0, 20.0] {
-        let w = Workload::poisson(queries.clone(), k, lambda, 1812);
-        let plain = Simulation::new(&tree, SystemParams::with_disks(10))
+        let mut plain_resp = Vec::with_capacity(opts.reps);
+        let mut mirror_resp = Vec::with_capacity(opts.reps);
+        let mut improvement = Vec::with_capacity(opts.reps);
+        for rep in 0..opts.reps {
+            let w = Workload::poisson(query_sets[rep].clone(), k, lambda, rep_seed(1812, rep));
+            let sim_seed = rep_seed(1813, rep);
+            let plain = Simulation::new(&tree, SystemParams::with_disks(10))
+                .expect("simulation")
+                .run(AlgorithmKind::Crss, &w, sim_seed)
+                .expect("simulation");
+            let mirrored = Simulation::new(
+                &tree,
+                SystemParams {
+                    mirrored_reads: true,
+                    ..SystemParams::with_disks(10)
+                },
+            )
             .expect("simulation")
-            .run(AlgorithmKind::Crss, &w, 1813)
+            .run(AlgorithmKind::Crss, &w, sim_seed)
             .expect("simulation");
-        let mirrored = Simulation::new(
-            &tree,
-            SystemParams {
-                mirrored_reads: true,
-                ..SystemParams::with_disks(10)
-            },
-        )
-        .expect("simulation")
-        .run(AlgorithmKind::Crss, &w, 1813)
-        .expect("simulation");
+            plain_resp.push(plain.mean_response_s);
+            mirror_resp.push(mirrored.mean_response_s);
+            improvement
+                .push((1.0 - mirrored.mean_response_s / plain.mean_response_s) * 100.0);
+        }
+        let plain = MetricSummary::from_samples(&plain_resp);
+        let mirrored = MetricSummary::from_samples(&mirror_resp);
+        let improvement = MetricSummary::from_samples(&improvement);
+        let labels = |layout: &str| {
+            [
+                ("lambda", lambda.to_string()),
+                ("layout", layout.to_string()),
+            ]
+        };
+        report.metric("mean_response_s", &labels("raid0"), plain);
+        report.metric("mean_response_s", &labels("mirrored"), mirrored);
+        report.metric_dir(
+            "mirror_improvement_pct",
+            &[("lambda", lambda.to_string())],
+            improvement,
+            Direction::Higher,
+        );
         t1.row(vec![
             format!("{lambda}"),
-            f4(plain.mean_response_s),
-            f4(mirrored.mean_response_s),
-            format!(
-                "{:.1}%",
-                (1.0 - mirrored.mean_response_s / plain.mean_response_s) * 100.0
-            ),
+            f4(plain.mean),
+            f4(mirrored.mean),
+            format!("{:.1}%", improvement.mean),
         ]);
     }
     t1.print();
@@ -69,21 +105,32 @@ fn main() {
         "Extension — number of processors (CPU-bound regime, FPSS, λ=10)",
         &["cpus", "mean resp (s)", "cpu util"],
     );
-    let w = Workload::poisson(queries.clone(), k, 10.0, 1814);
     for cpus in [1u32, 2, 4, 8] {
-        let params = SystemParams {
-            num_cpus: cpus,
-            cpu_mips: 0.05, // scaled down so the CPU is the bottleneck
-            ..SystemParams::with_disks(10)
-        };
-        let r = Simulation::new(&tree, params)
-            .expect("simulation")
-            .run(AlgorithmKind::Fpss, &w, 1815)
-            .expect("simulation");
+        let mut resp = Vec::with_capacity(opts.reps);
+        let mut util = Vec::with_capacity(opts.reps);
+        for rep in 0..opts.reps {
+            let w = Workload::poisson(query_sets[rep].clone(), k, 10.0, rep_seed(1814, rep));
+            let params = SystemParams {
+                num_cpus: cpus,
+                cpu_mips: 0.05, // scaled down so the CPU is the bottleneck
+                ..SystemParams::with_disks(10)
+            };
+            let r = Simulation::new(&tree, params)
+                .expect("simulation")
+                .run(AlgorithmKind::Fpss, &w, rep_seed(1815, rep))
+                .expect("simulation");
+            resp.push(r.mean_response_s);
+            util.push(r.cpu_utilization * 100.0);
+        }
+        let resp = MetricSummary::from_samples(&resp);
+        let util = MetricSummary::from_samples(&util);
+        let labels = [("cpus", cpus.to_string())];
+        report.metric("mean_response_s", &labels, resp);
+        report.metric_dir("cpu_utilization_pct", &labels, util, Direction::Info);
         t2.row(vec![
             cpus.to_string(),
-            f4(r.mean_response_s),
-            format!("{:.1}%", r.cpu_utilization * 100.0),
+            f4(resp.mean),
+            format!("{:.1}%", util.mean),
         ]);
     }
     t2.print();
@@ -116,14 +163,33 @@ fn main() {
     );
     for (label, t) in [("incremental", &tree), ("bulk-loaded", &bulk_tree)] {
         let stats = t.stats().expect("stats");
-        let r = simulate(t, &queries, k, 5.0, AlgorithmKind::Crss, 1817);
+        let resp: Vec<f64> = (0..opts.reps)
+            .map(|rep| {
+                simulate(
+                    t,
+                    &query_sets[rep],
+                    k,
+                    5.0,
+                    AlgorithmKind::Crss,
+                    rep_seed(1817, rep),
+                )
+                .mean_response_s
+            })
+            .collect();
+        let resp = MetricSummary::from_samples(&resp);
+        report.metric(
+            "mean_response_s",
+            &[("tree", label.to_string())],
+            resp,
+        );
         t3.row(vec![
             label.to_string(),
             stats.total_nodes().to_string(),
             f2(stats.avg_fill),
-            f4(r.mean_response_s),
+            f4(resp.mean),
         ]);
     }
     t3.print();
     t3.write_csv(&opts.out_dir, "ext_bulk_vs_incremental");
+    report.finish(&opts);
 }

@@ -6,9 +6,13 @@
 //! method changes: MBRs (R\*-tree) vs bounding spheres (SS-tree, with
 //! nearly double the directory fan-out but no MINMAXDIST guarantee).
 
-use sqda_bench::{build_tree, experiment_page_size, f2, f4, ExpOptions, ResultsTable};
+use sqda_bench::{
+    build_tree, experiment_page_size, f2, f4, rep_query_sets, rep_seed, report::BinReport,
+    ExpOptions, ResultsTable,
+};
 use sqda_core::{exec::run_query, AccessMethod, AlgorithmKind, Simulation, Workload};
 use sqda_datasets::{gaussian, Dataset};
+use sqda_obs::MetricSummary;
 use sqda_simkernel::SystemParams;
 use sqda_sstree::{SsConfig, SsTree};
 use sqda_storage::{ArrayStore, PageStore};
@@ -26,28 +30,61 @@ fn build_sstree(dataset: &Dataset, disks: u32, seed: u64) -> SsTree<ArrayStore> 
     tree
 }
 
-fn measure(am: &dyn AccessMethod, queries: &[sqda_geom::Point], k: usize) -> (f64, f64, f64) {
-    let mut crss_nodes = 0u64;
-    let mut bbss_nodes = 0u64;
-    for q in queries {
-        let mut crss = AlgorithmKind::Crss.build(am, q.clone(), k).expect("algo");
-        crss_nodes += run_query(am, crss.as_mut()).expect("query").nodes_visited;
-        let mut bbss = AlgorithmKind::Bbss.build(am, q.clone(), k).expect("algo");
-        bbss_nodes += run_query(am, bbss.as_mut()).expect("query").nodes_visited;
+struct Measured {
+    crss_nodes: MetricSummary,
+    bbss_nodes: MetricSummary,
+    resp: MetricSummary,
+}
+
+fn measure(
+    am: &dyn AccessMethod,
+    query_sets: &[Vec<sqda_geom::Point>],
+    k: usize,
+    opts: &ExpOptions,
+) -> Measured {
+    let mut crss_means = Vec::with_capacity(opts.reps);
+    let mut bbss_means = Vec::with_capacity(opts.reps);
+    let mut resps = Vec::with_capacity(opts.reps);
+    for rep in 0..opts.reps {
+        let queries = &query_sets[rep];
+        let mut crss_nodes = 0u64;
+        let mut bbss_nodes = 0u64;
+        for q in queries {
+            let mut crss = AlgorithmKind::Crss.build(am, q.clone(), k).expect("algo");
+            crss_nodes += run_query(am, crss.as_mut()).expect("query").nodes_visited;
+            let mut bbss = AlgorithmKind::Bbss.build(am, q.clone(), k).expect("algo");
+            bbss_nodes += run_query(am, bbss.as_mut()).expect("query").nodes_visited;
+        }
+        let sim =
+            Simulation::new(am, SystemParams::with_disks(am.num_disks())).expect("simulation");
+        let w = Workload::poisson(queries.to_vec(), k, 5.0, rep_seed(2301, rep));
+        resps.push(
+            sim.run(AlgorithmKind::Crss, &w, rep_seed(2302, rep))
+                .expect("simulation")
+                .mean_response_s,
+        );
+        let n = queries.len() as f64;
+        crss_means.push(crss_nodes as f64 / n);
+        bbss_means.push(bbss_nodes as f64 / n);
     }
-    let sim = Simulation::new(am, SystemParams::with_disks(am.num_disks())).expect("simulation");
-    let w = Workload::poisson(queries.to_vec(), k, 5.0, 2301);
-    let resp = sim
-        .run(AlgorithmKind::Crss, &w, 2302)
-        .expect("simulation")
-        .mean_response_s;
-    let n = queries.len() as f64;
-    (crss_nodes as f64 / n, bbss_nodes as f64 / n, resp)
+    Measured {
+        crss_nodes: MetricSummary::from_samples(&crss_means),
+        bbss_nodes: MetricSummary::from_samples(&bbss_means),
+        resp: MetricSummary::from_samples(&resps),
+    }
 }
 
 fn main() {
     let opts = ExpOptions::from_args();
     let k = 20;
+    let mut report = BinReport::new("ext_sstree", &opts);
+    report
+        .param("disks", 10)
+        .param("k", k)
+        .param("lambda", 5)
+        .param("queries", opts.queries())
+        .param("sim_seed", 2302)
+        .master_seed(2310);
     let mut table = ResultsTable::new(
         format!("Extension — R*-tree vs SS-tree under CRSS (k={k}, λ=5, 10 disks)"),
         &[
@@ -58,30 +95,42 @@ fn main() {
             "CRSS resp (s)",
         ],
     );
+    let record = |report: &mut BinReport,
+                      table: &mut ResultsTable,
+                      dataset: &Dataset,
+                      index: &str,
+                      m: Measured| {
+        let labels = |metric_algo: &str| {
+            [
+                ("dataset", dataset.name.clone()),
+                ("index", index.to_string()),
+                ("algorithm", metric_algo.to_string()),
+            ]
+        };
+        report.metric("mean_nodes", &labels("CRSS"), m.crss_nodes);
+        report.metric("mean_nodes", &labels("BBSS"), m.bbss_nodes);
+        report.metric("mean_response_s", &labels("CRSS"), m.resp);
+        table.row(vec![
+            dataset.name.clone(),
+            index.into(),
+            f2(m.crss_nodes.mean),
+            f2(m.bbss_nodes.mean),
+            f4(m.resp.mean),
+        ]);
+    };
     for dim in [2usize, 5, 10] {
         let dataset = gaussian(opts.population(50_000), dim, 2300 + dim as u64);
-        let queries = dataset.sample_queries(opts.queries(), 2310);
+        let query_sets = rep_query_sets(&dataset, &opts, 2310);
 
         let rstar = build_tree(&dataset, 10, 2311);
-        let (cn, bn, resp) = measure(&rstar, &queries, k);
-        table.row(vec![
-            dataset.name.clone(),
-            "R*-tree".into(),
-            f2(cn),
-            f2(bn),
-            f4(resp),
-        ]);
+        let m = measure(&rstar, &query_sets, k, &opts);
+        record(&mut report, &mut table, &dataset, "R*-tree", m);
 
         let sstree = build_sstree(&dataset, 10, 2311);
-        let (cn, bn, resp) = measure(&sstree, &queries, k);
-        table.row(vec![
-            dataset.name.clone(),
-            "SS-tree".into(),
-            f2(cn),
-            f2(bn),
-            f4(resp),
-        ]);
+        let m = measure(&sstree, &query_sets, k, &opts);
+        record(&mut report, &mut table, &dataset, "SS-tree", m);
     }
     table.print();
     table.write_csv(&opts.out_dir, "ext_sstree");
+    report.finish(&opts);
 }

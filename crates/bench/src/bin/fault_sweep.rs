@@ -10,11 +10,19 @@
 //! counted in the `aborted` column, not averaged into response times.
 //!
 //! Emits `fault_sweep.csv` plus a machine-readable
-//! `BENCH_fault.json` under `--out` (default `results/`).
+//! `BENCH_fault.json` under `--out` (default `results/`). The
+//! legacy-format `BENCH_fault.json` reports replication 0 (the master
+//! stream) so its counters stay exact integers; replicated means with
+//! confidence intervals go to the schema-v2 fragment.
 
-use sqda_bench::{build_tree, f4, parallel_map, simulate_faulted, ExpOptions, ResultsTable};
+use sqda_bench::{
+    build_tree, f4, parallel_map, rep_query_sets, rep_seed,
+    report::{BinReport, Direction},
+    simulate_faulted, ExpOptions, ResultsTable,
+};
 use sqda_core::AlgorithmKind;
 use sqda_datasets::gaussian;
+use sqda_obs::MetricSummary;
 use sqda_simkernel::{FaultPlan, SimTime};
 
 /// Even array so every disk has a shadow partner.
@@ -31,18 +39,66 @@ fn main() {
     };
     let dataset = gaussian(opts.population(20_000), 2, 1301);
     let tree = build_tree(&dataset, DISKS, 1302);
-    let queries = dataset.sample_queries(opts.queries(), 1303);
+    let query_sets = rep_query_sets(&dataset, &opts, 1303);
+    let mut report = BinReport::new("fault_sweep", &opts);
+    report
+        .param("dataset", dataset.name.clone())
+        .param("disks", DISKS)
+        .param("k", K)
+        .param("lambda", LAMBDA)
+        .param("queries", opts.queries())
+        .param("sim_seed", 1305)
+        .param("mirrored_reads", true)
+        .master_seed(1303);
 
     let points: Vec<(usize, AlgorithmKind)> = failed_counts
         .iter()
         .flat_map(|&c| AlgorithmKind::ALL.map(|kind| (c, kind)))
         .collect();
-    let reports = parallel_map(&points, opts.jobs, |&(count, kind)| {
+    // Each worker folds its point's replications itself: replication 0 is
+    // kept whole (the legacy JSON needs its exact counters), the rest
+    // contribute response-time samples only.
+    let measured = parallel_map(&points, opts.jobs, |&(count, kind)| {
         // A fresh seed per count picks which disks die; count = 0 is
-        // the empty plan, i.e. the fault-free mirrored baseline.
+        // the empty plan, i.e. the fault-free mirrored baseline. The
+        // plan is configuration, not noise, so it is fixed across reps.
         let plan = FaultPlan::fail_disks(count, SimTime::ZERO, DISKS, 1304 + count as u64);
-        simulate_faulted(&tree, &queries, K, LAMBDA, kind, 1305, &plan)
+        let mut responses = Vec::with_capacity(opts.reps);
+        let mut rep0 = None;
+        for rep in 0..opts.reps {
+            let r = simulate_faulted(
+                &tree,
+                &query_sets[rep],
+                K,
+                LAMBDA,
+                kind,
+                rep_seed(1305, rep),
+                &plan,
+            );
+            responses.push(r.mean_response_s);
+            if rep == 0 {
+                rep0 = Some(r);
+            }
+        }
+        (rep0.expect("at least one replication"), responses)
     });
+    for ((count, kind), (r0, responses)) in points.iter().zip(&measured) {
+        let labels = [
+            ("failed", count.to_string()),
+            ("algorithm", kind.name().to_string()),
+        ];
+        report.metric(
+            "mean_response_s",
+            &labels,
+            MetricSummary::from_samples(responses),
+        );
+        report.metric_dir(
+            "aborted_queries",
+            &labels,
+            MetricSummary::from_samples(&[r0.failed as f64]),
+            Direction::Info,
+        );
+    }
 
     let mut table = ResultsTable::new(
         format!(
@@ -63,17 +119,17 @@ fn main() {
     );
     let mut json_points: Vec<String> = Vec::new();
     for (c, &count) in failed_counts.iter().enumerate() {
-        let row_reports = &reports[c * 4..(c + 1) * 4];
+        let row_measured = &measured[c * 4..(c + 1) * 4];
         let mut row = vec![count.to_string()];
-        for r in row_reports {
-            row.push(f4(r.mean_response_s));
+        for (_, responses) in row_measured {
+            row.push(f4(MetricSummary::from_samples(responses).mean));
         }
-        let degraded: u64 = row_reports.iter().map(|r| r.degraded_reads).sum();
-        let aborted: usize = row_reports.iter().map(|r| r.failed).sum();
+        let degraded: u64 = row_measured.iter().map(|(r, _)| r.degraded_reads).sum();
+        let aborted: usize = row_measured.iter().map(|(r, _)| r.failed).sum();
         row.push(degraded.to_string());
         row.push(aborted.to_string());
         table.row(row);
-        for r in row_reports {
+        for (r, _) in row_measured {
             json_points.push(format!(
                 "{{\"failed_disks\":{count},\"algorithm\":\"{}\",\
                  \"mean_response_s\":{:.6},\"p95_response_s\":{:.6},\
@@ -100,9 +156,10 @@ fn main() {
          \"population\": {},\n    \"queries\": {},\n    \"mirrored_reads\": true\n  }},\n  \
          \"points\": [\n    {}\n  ]\n}}\n",
         dataset.len(),
-        queries.len(),
+        query_sets[0].len(),
         json_points.join(",\n    ")
     );
     std::fs::write(&path, json).expect("write BENCH_fault.json");
     eprintln!("  wrote {}", path.display());
+    report.finish(&opts);
 }

@@ -5,7 +5,10 @@
 //! k grows; CRSS overtakes it past a crossover; FPSS visits the most;
 //! WOPTSS is the floor.
 
-use sqda_bench::{build_tree, f2, mean_nodes_with, parallel_map_with, ExpOptions, ResultsTable};
+use sqda_bench::{
+    build_tree, f2, mean_nodes_with, report::BinReport, rep_query_sets, sweep_replicated_with,
+    ExpOptions, ResultsTable,
+};
 use sqda_core::{AlgorithmKind, QueryScratch};
 use sqda_datasets::{california_like, long_beach_like, CP_CARDINALITY, LB_CARDINALITY};
 
@@ -16,13 +19,20 @@ fn main() {
     } else {
         &[1, 50, 100, 200, 300, 400, 500, 600, 700]
     };
+    let mut report = BinReport::new("fig08_nodes_vs_k", &opts);
+    report
+        .param("disks", 10)
+        .param("queries", opts.queries())
+        .master_seed(811);
     let datasets = [
         california_like(opts.population(CP_CARDINALITY), 801),
         long_beach_like(opts.population(LB_CARDINALITY), 802),
     ];
     for dataset in datasets {
         let tree = build_tree(&dataset, 10, 810);
-        let queries = dataset.sample_queries(opts.queries(), 811);
+        // Replication r samples an independent query set; set 0 is the
+        // historical one, so --reps 1 reproduces the single-run numbers.
+        let query_sets = rep_query_sets(&dataset, &opts, 811);
         let mut table = ResultsTable::new(
             format!(
                 "Figure 8 — visited nodes vs k (set: {}, n={}, disks: 10)",
@@ -37,12 +47,24 @@ fn main() {
             .collect();
         // One query scratch per sweep worker: heaps and batch buffers are
         // allocated once per thread, not once per (k, algorithm, query).
-        let cells = parallel_map_with(
+        let sums = sweep_replicated_with(
             &points,
-            opts.jobs,
+            &opts,
             QueryScratch::new,
-            |scratch, &(k, kind)| f2(mean_nodes_with(&tree, &queries, k, kind, scratch)),
+            |scratch, &(k, kind), rep| mean_nodes_with(&tree, &query_sets[rep], k, kind, scratch),
         );
+        for (point, sum) in points.iter().zip(&sums) {
+            report.metric(
+                "mean_nodes",
+                &[
+                    ("dataset", dataset.name.clone()),
+                    ("k", point.0.to_string()),
+                    ("algorithm", point.1.name().to_string()),
+                ],
+                sum.summary,
+            );
+        }
+        let cells: Vec<String> = sums.iter().map(|s| f2(s.mean())).collect();
         for (i, &k) in ks.iter().enumerate() {
             let mut row = vec![k.to_string()];
             row.extend_from_slice(&cells[i * 4..(i + 1) * 4]);
@@ -51,4 +73,5 @@ fn main() {
         table.print();
         table.write_csv(&opts.out_dir, &format!("fig08_{}", dataset.name));
     }
+    report.finish(&opts);
 }

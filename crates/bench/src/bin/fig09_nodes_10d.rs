@@ -6,7 +6,10 @@
 //! descent degrades with k, and CRSS stays closest to the WOPTSS floor
 //! (ratios within a few percent).
 
-use sqda_bench::{build_tree, mean_nodes_with, parallel_map_with, ExpOptions, ResultsTable};
+use sqda_bench::{
+    build_tree, mean_nodes_with, report::BinReport, rep_query_sets, sweep_replicated_with,
+    ExpOptions, ResultsTable,
+};
 use sqda_core::{AlgorithmKind, QueryScratch};
 use sqda_datasets::{gaussian, uniform};
 
@@ -17,13 +20,19 @@ fn main() {
     } else {
         &[1, 50, 100, 200, 300, 400, 500, 600, 700]
     };
+    let mut report = BinReport::new("fig09_nodes_10d", &opts);
+    report
+        .param("disks", 10)
+        .param("dim", 10)
+        .param("queries", opts.queries())
+        .master_seed(911);
     let datasets = [
         gaussian(opts.population(60_030), 10, 901),
         uniform(opts.population(60_000), 10, 902),
     ];
     for dataset in datasets {
         let tree = build_tree(&dataset, 10, 910);
-        let queries = dataset.sample_queries(opts.queries(), 911);
+        let query_sets = rep_query_sets(&dataset, &opts, 911);
         let mut table = ResultsTable::new(
             format!(
                 "Figure 9 — visited nodes normalized to WOPTSS (set: {}, n={}, 10-d, disks: 10)",
@@ -44,12 +53,24 @@ fn main() {
             .iter()
             .flat_map(|&k| AlgorithmKind::ALL.map(|kind| (k, kind)))
             .collect();
-        let cells = parallel_map_with(
+        let sums = sweep_replicated_with(
             &points,
-            opts.jobs,
+            &opts,
             QueryScratch::new,
-            |scratch, &(k, kind)| mean_nodes_with(&tree, &queries, k, kind, scratch),
+            |scratch, &(k, kind), rep| mean_nodes_with(&tree, &query_sets[rep], k, kind, scratch),
         );
+        for (point, sum) in points.iter().zip(&sums) {
+            report.metric(
+                "mean_nodes",
+                &[
+                    ("dataset", dataset.name.clone()),
+                    ("k", point.0.to_string()),
+                    ("algorithm", point.1.name().to_string()),
+                ],
+                sum.summary,
+            );
+        }
+        let cells: Vec<f64> = sums.iter().map(|s| s.mean()).collect();
         for (i, &k) in ks.iter().enumerate() {
             let wopt = cells[i * 4 + 3];
             let mut row = vec![k.to_string()];
@@ -62,4 +83,5 @@ fn main() {
         table.print();
         table.write_csv(&opts.out_dir, &format!("fig09_{}", dataset.name));
     }
+    report.finish(&opts);
 }

@@ -7,7 +7,10 @@
 //! pages); for small loads and many disks it can be marginally better
 //! than CRSS, but degrades fastest as λ grows; WOPTSS is the floor.
 
-use sqda_bench::{build_tree, f4, parallel_map, simulate_observed, ExpOptions, ResultsTable};
+use sqda_bench::{
+    build_tree, f4, mean_response, rep_query_sets, rep_seed, report::BinReport, simulate_observed,
+    sweep_replicated, ExpOptions, ResultsTable,
+};
 use sqda_core::AlgorithmKind;
 use sqda_datasets::{california_like, long_beach_like, CP_CARDINALITY, LB_CARDINALITY};
 
@@ -41,9 +44,14 @@ fn main() {
             },
         },
     ];
+    let mut report = BinReport::new("fig10_resp_vs_lambda", &opts);
+    report
+        .param("queries", opts.queries())
+        .param("sim_seed", 1012)
+        .master_seed(1011);
     for cfg in configs {
         let tree = build_tree(&cfg.dataset, cfg.disks, 1010);
-        let queries = cfg.dataset.sample_queries(opts.queries(), 1011);
+        let query_sets = rep_query_sets(&cfg.dataset, &opts, 1011);
         let mut table = ResultsTable::new(
             format!(
                 "Figure 10 — response time (s) vs λ (set: {}, n={}, disks: {}, k={})",
@@ -59,12 +67,32 @@ fn main() {
             .iter()
             .flat_map(|&lambda| AlgorithmKind::ALL.map(|kind| (lambda, kind)))
             .collect();
-        let cells = parallel_map(&points, opts.jobs, |&(lambda, kind)| {
-            f4(
-                simulate_observed(&tree, &queries, cfg.k, lambda, kind, 1012, &opts)
-                    .mean_response_s,
-            )
+        let sums = sweep_replicated(&points, &opts, |&(lambda, kind), rep| {
+            let r = simulate_observed(
+                &tree,
+                &query_sets[rep],
+                cfg.k,
+                lambda,
+                kind,
+                rep_seed(1012, rep),
+                &opts,
+            );
+            mean_response(&r, &opts)
         });
+        for (point, sum) in points.iter().zip(&sums) {
+            report.metric(
+                "mean_response_s",
+                &[
+                    ("dataset", cfg.dataset.name.clone()),
+                    ("disks", cfg.disks.to_string()),
+                    ("k", cfg.k.to_string()),
+                    ("lambda", point.0.to_string()),
+                    ("algorithm", point.1.name().to_string()),
+                ],
+                sum.summary,
+            );
+        }
+        let cells: Vec<String> = sums.iter().map(|s| f4(s.mean())).collect();
         for (i, &lambda) in cfg.lambdas.iter().enumerate() {
             let mut row = vec![format!("{lambda}")];
             row.extend_from_slice(&cells[i * 4..(i + 1) * 4]);
@@ -76,4 +104,5 @@ fn main() {
             &format!("fig10_{}_{}disks", cfg.dataset.name, cfg.disks),
         );
     }
+    report.finish(&opts);
 }

@@ -7,7 +7,10 @@
 //! floor. (FPSS is dropped from this figure in the paper due to its load
 //! sensitivity; we keep it in the CSV for completeness.)
 
-use sqda_bench::{build_tree, f2, f4, parallel_map, simulate_observed, ExpOptions, ResultsTable};
+use sqda_bench::{
+    build_tree, f2, f4, mean_response, rep_query_sets, rep_seed, report::BinReport,
+    simulate_observed, sweep_replicated, ExpOptions, ResultsTable,
+};
 use sqda_core::AlgorithmKind;
 use sqda_datasets::gaussian;
 
@@ -25,7 +28,14 @@ fn main() {
         .iter()
         .map(|&disks| build_tree(&dataset, disks, 1110 + disks as u64))
         .collect();
-    let queries = dataset.sample_queries(opts.queries(), 1111);
+    let query_sets = rep_query_sets(&dataset, &opts, 1111);
+    let mut report = BinReport::new("fig11_resp_vs_disks", &opts);
+    report
+        .param("dataset", dataset.name.clone())
+        .param("lambda", 5)
+        .param("queries", opts.queries())
+        .param("sim_seed", 1112)
+        .master_seed(1111);
     for k in [10usize, 100] {
         let mut table = ResultsTable::new(
             format!(
@@ -45,9 +55,30 @@ fn main() {
         let points: Vec<(usize, AlgorithmKind)> = (0..trees.len())
             .flat_map(|t| AlgorithmKind::ALL.map(|kind| (t, kind)))
             .collect();
-        let cells = parallel_map(&points, opts.jobs, |&(t, kind)| {
-            simulate_observed(&trees[t], &queries, k, 5.0, kind, 1112, &opts).mean_response_s
+        let sums = sweep_replicated(&points, &opts, |&(t, kind), rep| {
+            let r = simulate_observed(
+                &trees[t],
+                &query_sets[rep],
+                k,
+                5.0,
+                kind,
+                rep_seed(1112, rep),
+                &opts,
+            );
+            mean_response(&r, &opts)
         });
+        for (point, sum) in points.iter().zip(&sums) {
+            report.metric(
+                "mean_response_s",
+                &[
+                    ("disks", disk_counts[point.0].to_string()),
+                    ("k", k.to_string()),
+                    ("algorithm", point.1.name().to_string()),
+                ],
+                sum.summary,
+            );
+        }
+        let cells: Vec<f64> = sums.iter().map(|s| s.mean()).collect();
         for (t, &disks) in disk_counts.iter().enumerate() {
             // WOPTSS is ALL's last element: the row's normalizer.
             let wopt = cells[t * 4 + 3];
@@ -61,4 +92,5 @@ fn main() {
         table.print();
         table.write_csv(&opts.out_dir, &format!("fig11_k{k}"));
     }
+    report.finish(&opts);
 }

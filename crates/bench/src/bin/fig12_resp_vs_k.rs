@@ -5,7 +5,10 @@
 //! Paper shape: CRSS is the best real algorithm across the whole k range,
 //! outperforming BBSS by 3–4×.
 
-use sqda_bench::{build_tree, f2, f4, parallel_map, simulate_observed, ExpOptions, ResultsTable};
+use sqda_bench::{
+    build_tree, f2, f4, mean_response, rep_query_sets, rep_seed, report::BinReport,
+    simulate_observed, sweep_replicated, ExpOptions, ResultsTable,
+};
 use sqda_core::AlgorithmKind;
 use sqda_datasets::uniform;
 
@@ -18,7 +21,14 @@ fn main() {
     };
     let dataset = uniform(opts.population(80_000), 5, 1201);
     let tree = build_tree(&dataset, 10, 1210);
-    let queries = dataset.sample_queries(opts.queries(), 1211);
+    let query_sets = rep_query_sets(&dataset, &opts, 1211);
+    let mut report = BinReport::new("fig12_resp_vs_k", &opts);
+    report
+        .param("dataset", dataset.name.clone())
+        .param("disks", 10)
+        .param("queries", opts.queries())
+        .param("sim_seed", 1212)
+        .master_seed(1211);
     for lambda in [1.0f64, 20.0] {
         let mut table = ResultsTable::new(
             format!(
@@ -38,9 +48,30 @@ fn main() {
             .iter()
             .flat_map(|&k| AlgorithmKind::ALL.map(|kind| (k, kind)))
             .collect();
-        let cells = parallel_map(&points, opts.jobs, |&(k, kind)| {
-            simulate_observed(&tree, &queries, k, lambda, kind, 1212, &opts).mean_response_s
+        let sums = sweep_replicated(&points, &opts, |&(k, kind), rep| {
+            let r = simulate_observed(
+                &tree,
+                &query_sets[rep],
+                k,
+                lambda,
+                kind,
+                rep_seed(1212, rep),
+                &opts,
+            );
+            mean_response(&r, &opts)
         });
+        for (point, sum) in points.iter().zip(&sums) {
+            report.metric(
+                "mean_response_s",
+                &[
+                    ("lambda", lambda.to_string()),
+                    ("k", point.0.to_string()),
+                    ("algorithm", point.1.name().to_string()),
+                ],
+                sum.summary,
+            );
+        }
+        let cells: Vec<f64> = sums.iter().map(|s| s.mean()).collect();
         for (i, &k) in ks.iter().enumerate() {
             // WOPTSS is ALL's last element: the row's normalizer.
             let wopt = cells[i * 4 + 3];
@@ -54,4 +85,5 @@ fn main() {
         table.print();
         table.write_csv(&opts.out_dir, &format!("fig12_lambda{lambda}"));
     }
+    report.finish(&opts);
 }

@@ -14,19 +14,29 @@
 //!
 //! After the experiments the driver runs a small canonical simulation
 //! (all four algorithms, gaussian 2-d, 10 disks, λ = 5) and writes
-//! `<out>/BENCH_summary.json`: per-experiment wall-clock and exit
-//! status plus the canonical run's headline metrics, so the performance
-//! trajectory of the repo is machine-readable from run to run. With
-//! `--trace <file>` / `--metrics <file>` the canonical run is recorded
-//! through the observability layer (see `sqda-obs`): `--trace` emits
-//! Chrome/Perfetto `trace_event` JSON (or a raw JSONL event log if the
-//! path ends in `.jsonl`), `--metrics` a metrics snapshot + per-query
-//! profiles. These two flags are consumed here, not passed to children.
+//! `<out>/BENCH_summary.json`. By default that file is the schema-v2
+//! unified summary: the legacy `experiments` / `headline` keys, plus a
+//! `benches` object merging every per-bin fragment the children wrote
+//! under `<out>/bench/` (each metric as mean ± 95% CI over `--reps`
+//! replications), plus the RNG-backend fingerprint `check_regression`
+//! uses to decide whether numeric comparison is meaningful. With
+//! `--no-manifest` the file keeps the exact pre-fragment legacy shape.
+//! With `--trace <file>` / `--metrics <file>` the canonical run is
+//! recorded through the observability layer (see `sqda-obs`): `--trace`
+//! emits Chrome/Perfetto `trace_event` JSON (or a raw JSONL event log if
+//! the path ends in `.jsonl`), `--metrics` a metrics snapshot +
+//! per-query profiles. These two flags are consumed here, not passed to
+//! children.
 
-use sqda_bench::{build_tree, parallel_map, simulate_observed, ExpOptions};
+use sqda_bench::{
+    build_tree, mean_response, parallel_map, rep_seed, report::BinReport, simulate_observed,
+    ExpOptions, DEFAULT_REPS,
+};
 use sqda_core::AlgorithmKind;
+use sqda_obs::json::parse;
+use sqda_obs::MetricSummary;
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 use std::time::Instant;
 
@@ -59,16 +69,65 @@ struct Finished {
     stderr: Vec<u8>,
 }
 
+/// Merges every fragment under `<out>/bench/` into one deterministic
+/// `"name":{fragment}` JSON object body, sorted by bench name. Fragments
+/// that fail to parse are skipped with a warning rather than corrupting
+/// the summary.
+fn merge_fragments(out_dir: &Path) -> String {
+    let dir = out_dir.join("bench");
+    let mut names: Vec<String> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let name = e.file_name().to_string_lossy().into_owned();
+                name.strip_suffix(".json").map(str::to_string)
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    names.sort();
+    let mut body = String::from("{");
+    let mut first = true;
+    for name in names {
+        let path = dir.join(format!("{name}.json"));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("  skipping unreadable fragment {}: {e}", path.display());
+                continue;
+            }
+        };
+        if let Err(e) = parse(text.trim()) {
+            eprintln!("  skipping malformed fragment {}: {e}", path.display());
+            continue;
+        }
+        if !first {
+            body.push(',');
+        }
+        first = false;
+        sqda_obs::json::write_str(&mut body, &name);
+        body.push(':');
+        body.push_str(text.trim());
+    }
+    body.push('}');
+    body
+}
+
 fn main() {
     // Strip this driver's own flags (fan-out control and the
     // observability sinks, which belong to the canonical run below);
-    // everything else (--quick, --out <dir>) passes through to the
-    // children.
+    // everything else (--quick, --out <dir>, --reps <n>, --warmup <f>,
+    // --no-manifest) passes through to the children — the replication
+    // flags are additionally parsed here because the canonical headline
+    // run and the fragment merge honour them too.
     let mut jobs = sqda_bench::default_jobs();
     let mut quick = false;
     let mut out_dir = PathBuf::from("results");
     let mut trace: Option<PathBuf> = None;
     let mut metrics: Option<PathBuf> = None;
+    let mut reps = DEFAULT_REPS;
+    let mut manifest = true;
+    let mut warmup = 0.0f64;
     let mut pass_through: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -91,6 +150,27 @@ fn main() {
             "--quick" => {
                 quick = true;
                 pass_through.push(a);
+            }
+            "--reps" => {
+                let n = args.next().expect("--reps needs a count");
+                reps = n.parse().expect("--reps needs a positive integer");
+                assert!(reps > 0, "--reps needs a positive integer");
+                pass_through.push(a);
+                pass_through.push(n);
+            }
+            "--no-manifest" => {
+                manifest = false;
+                pass_through.push(a);
+            }
+            "--warmup" => {
+                let f = args.next().expect("--warmup needs a fraction");
+                warmup = f.parse().expect("--warmup needs a fraction in [0, 1)");
+                assert!(
+                    (0.0..1.0).contains(&warmup),
+                    "--warmup needs a fraction in [0, 1)"
+                );
+                pass_through.push(a);
+                pass_through.push(f);
             }
             "--out" => {
                 out_dir = PathBuf::from(args.next().expect("--out needs a directory"));
@@ -150,16 +230,32 @@ fn main() {
         jobs: 1,
         trace,
         metrics,
+        reps,
+        manifest,
+        warmup,
     };
     let dataset = sqda_datasets::gaussian(2000, 2, 4242);
     let tree = build_tree(&dataset, 10, 4243);
-    let queries = dataset.sample_queries(20, 4244);
+    let query_sets: Vec<_> = (0..reps)
+        .map(|rep| dataset.sample_queries(20, rep_seed(4244, rep)))
+        .collect();
+    let mut headline_report = BinReport::new("headline", &demo_opts);
+    headline_report
+        .param("dataset", dataset.name.clone())
+        .param("disks", 10)
+        .param("k", 10)
+        .param("lambda", 5)
+        .param("queries", 20)
+        .param("sim_seed", 4245)
+        .master_seed(4244);
     let headline: Vec<String> = AlgorithmKind::ALL
         .iter()
         .map(|&kind| {
+            // Replication 0 is the legacy canonical run (and the one the
+            // trace/metrics sinks record); further reps feed the CI only.
             let start = Instant::now();
-            let r = simulate_observed(&tree, &queries, 10, 5.0, kind, 4245, &demo_opts);
-            format!(
+            let r = simulate_observed(&tree, &query_sets[0], 10, 5.0, kind, 4245, &demo_opts);
+            let legacy = format!(
                 "{{\"algorithm\":\"{}\",\"mean_response_s\":{:.6},\"p95_response_s\":{:.6},\
                  \"mean_nodes_per_query\":{:.2},\"mean_disk_utilization\":{:.4},\
                  \"sim_wall_s\":{:.4}}}",
@@ -169,9 +265,29 @@ fn main() {
                 r.mean_nodes_per_query,
                 r.mean_disk_utilization,
                 start.elapsed().as_secs_f64()
-            )
+            );
+            let mut responses = vec![mean_response(&r, &demo_opts)];
+            for rep in 1..reps {
+                let rr = simulate_observed(
+                    &tree,
+                    &query_sets[rep],
+                    10,
+                    5.0,
+                    kind,
+                    rep_seed(4245, rep),
+                    &demo_opts,
+                );
+                responses.push(mean_response(&rr, &demo_opts));
+            }
+            headline_report.metric(
+                "mean_response_s",
+                &[("algorithm", kind.name().to_string())],
+                MetricSummary::from_samples(&responses),
+            );
+            legacy
         })
         .collect();
+    headline_report.finish(&demo_opts);
 
     let experiments_json: Vec<String> = runs
         .iter()
@@ -182,12 +298,26 @@ fn main() {
             )
         })
         .collect();
-    let summary = format!(
-        "{{\"quick\":{quick},\"jobs\":{jobs},\"total_wall_s\":{total_wall_s:.3},\
-         \"experiments\":[{}],\"headline\":[{}]}}\n",
-        experiments_json.join(","),
-        headline.join(",")
-    );
+    let summary = if manifest {
+        format!(
+            "{{\"schema\":2,\"quick\":{quick},\"jobs\":{jobs},\"total_wall_s\":{total_wall_s:.3},\
+             \"reps\":{reps},\"warmup_fraction\":{warmup},\
+             \"rng_fingerprint\":\"{}\",\
+             \"experiments\":[{}],\"headline\":[{}],\"benches\":{}}}\n",
+            sqda_bench::report::rng_fingerprint(),
+            experiments_json.join(","),
+            headline.join(","),
+            merge_fragments(&out_dir)
+        )
+    } else {
+        // --no-manifest: the exact legacy summary shape, byte for byte.
+        format!(
+            "{{\"quick\":{quick},\"jobs\":{jobs},\"total_wall_s\":{total_wall_s:.3},\
+             \"experiments\":[{}],\"headline\":[{}]}}\n",
+            experiments_json.join(","),
+            headline.join(",")
+        )
+    };
     std::fs::create_dir_all(&out_dir).expect("create results dir");
     let summary_path = out_dir.join("BENCH_summary.json");
     std::fs::write(&summary_path, summary).expect("write BENCH_summary.json");

@@ -14,7 +14,10 @@
 //! BBSS on average; BBSS *degrades* as the system grows because it cannot
 //! use the added disks within a query.
 
-use sqda_bench::{build_tree, f4, parallel_map, simulate_observed, ExpOptions, ResultsTable};
+use sqda_bench::{
+    build_tree, f4, mean_response, rep_query_sets, rep_seed, report::BinReport, simulate_observed,
+    sweep_replicated, ExpOptions, ResultsTable,
+};
 use sqda_core::AlgorithmKind;
 use sqda_datasets::gaussian;
 
@@ -33,6 +36,13 @@ fn main() {
         AlgorithmKind::Woptss,
         AlgorithmKind::Fpss,
     ];
+    let mut report = BinReport::new("table3_scaleup_population", &opts);
+    report
+        .param("k", k)
+        .param("lambda", lambda)
+        .param("queries", opts.queries())
+        .param("sim_seed", 1312)
+        .master_seed(1311);
     // Trees are built up front on the main thread (deterministic build
     // log); the simulation grid fans out over the workers.
     let setups: Vec<_> = steps
@@ -40,17 +50,38 @@ fn main() {
         .map(|&(pop, disks)| {
             let dataset = gaussian(opts.population(pop), 5, 1301 + pop as u64);
             let tree = build_tree(&dataset, disks, 1310 + disks as u64);
-            let queries = dataset.sample_queries(opts.queries(), 1311);
-            (dataset, tree, queries)
+            let query_sets = rep_query_sets(&dataset, &opts, 1311);
+            (dataset, tree, query_sets)
         })
         .collect();
     let points: Vec<(usize, AlgorithmKind)> = (0..setups.len())
         .flat_map(|s| COLUMNS.map(|kind| (s, kind)))
         .collect();
-    let cells = parallel_map(&points, opts.jobs, |&(s, kind)| {
-        let (_, tree, queries) = &setups[s];
-        f4(simulate_observed(tree, queries, k, lambda, kind, 1312, &opts).mean_response_s)
+    let sums = sweep_replicated(&points, &opts, |&(s, kind), rep| {
+        let (_, tree, query_sets) = &setups[s];
+        let r = simulate_observed(
+            tree,
+            &query_sets[rep],
+            k,
+            lambda,
+            kind,
+            rep_seed(1312, rep),
+            &opts,
+        );
+        mean_response(&r, &opts)
     });
+    for (point, sum) in points.iter().zip(&sums) {
+        report.metric(
+            "mean_response_s",
+            &[
+                ("population", setups[point.0].0.len().to_string()),
+                ("disks", steps[point.0].1.to_string()),
+                ("algorithm", point.1.name().to_string()),
+            ],
+            sum.summary,
+        );
+    }
+    let cells: Vec<String> = sums.iter().map(|s| f4(s.mean())).collect();
     for (s, &(_, disks)) in steps.iter().enumerate() {
         let mut row = vec![setups[s].0.len().to_string(), disks.to_string()];
         row.extend_from_slice(&cells[s * 4..(s + 1) * 4]);
@@ -58,4 +89,5 @@ fn main() {
     }
     table.print();
     table.write_csv(&opts.out_dir, "table3_scaleup_population");
+    report.finish(&opts);
 }

@@ -12,7 +12,10 @@
 //!
 //! Paper shape: CRSS is stable and ~4× faster than BBSS on average.
 
-use sqda_bench::{build_tree, f4, parallel_map, simulate_observed, ExpOptions, ResultsTable};
+use sqda_bench::{
+    build_tree, f4, mean_response, rep_query_sets, rep_seed, report::BinReport, simulate_observed,
+    sweep_replicated, ExpOptions, ResultsTable,
+};
 use sqda_core::AlgorithmKind;
 use sqda_datasets::gaussian;
 
@@ -34,24 +37,53 @@ fn main() {
         AlgorithmKind::Woptss,
         AlgorithmKind::Fpss,
     ];
+    let mut report = BinReport::new("table4_scaleup_k", &opts);
+    report
+        .param("dataset", dataset.name.clone())
+        .param("population", dataset.len())
+        .param("lambda", lambda)
+        .param("queries", opts.queries())
+        .param("sim_seed", 1412)
+        .master_seed(1411);
     // Trees are built up front on the main thread (deterministic build
     // log); the simulation grid fans out over the workers.
     let setups: Vec<_> = steps
         .iter()
         .map(|&(_, disks)| {
             let tree = build_tree(&dataset, disks, 1410 + disks as u64);
-            let queries = dataset.sample_queries(opts.queries(), 1411);
-            (tree, queries)
+            let query_sets = rep_query_sets(&dataset, &opts, 1411);
+            (tree, query_sets)
         })
         .collect();
     let points: Vec<(usize, AlgorithmKind)> = (0..setups.len())
         .flat_map(|s| COLUMNS.map(|kind| (s, kind)))
         .collect();
-    let cells = parallel_map(&points, opts.jobs, |&(s, kind)| {
-        let (tree, queries) = &setups[s];
+    let sums = sweep_replicated(&points, &opts, |&(s, kind), rep| {
+        let (tree, query_sets) = &setups[s];
         let k = steps[s].0;
-        f4(simulate_observed(tree, queries, k, lambda, kind, 1412, &opts).mean_response_s)
+        let r = simulate_observed(
+            tree,
+            &query_sets[rep],
+            k,
+            lambda,
+            kind,
+            rep_seed(1412, rep),
+            &opts,
+        );
+        mean_response(&r, &opts)
     });
+    for (point, sum) in points.iter().zip(&sums) {
+        report.metric(
+            "mean_response_s",
+            &[
+                ("k", steps[point.0].0.to_string()),
+                ("disks", steps[point.0].1.to_string()),
+                ("algorithm", point.1.name().to_string()),
+            ],
+            sum.summary,
+        );
+    }
+    let cells: Vec<String> = sums.iter().map(|s| f4(s.mean())).collect();
     for (s, &(k, disks)) in steps.iter().enumerate() {
         let mut row = vec![k.to_string(), disks.to_string()];
         row.extend_from_slice(&cells[s * 4..(s + 1) * 4]);
@@ -59,4 +91,5 @@ fn main() {
     }
     table.print();
     table.write_csv(&opts.out_dir, "table4_scaleup_k");
+    report.finish(&opts);
 }

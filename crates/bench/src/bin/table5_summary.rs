@@ -7,7 +7,9 @@
 //! with population, intra-query parallelism, inter-query parallelism.
 
 use sqda_bench::{
-    build_tree, mean_nodes, parallel_map, simulate, simulate_observed, ExpOptions, ResultsTable,
+    build_tree, mean_nodes, mean_response, parallel_map, rep_query_sets, rep_seed,
+    report::{BinReport, Direction},
+    simulate, simulate_observed, sweep_replicated, ExpOptions, ResultsTable,
 };
 use sqda_core::{exec::run_query, AlgorithmKind};
 use sqda_datasets::gaussian;
@@ -27,30 +29,52 @@ fn main() {
 
     // Measurements backing the qualitative calls.
     let tree10 = build_tree(&dataset, 10, 1510);
-    let queries = dataset.sample_queries(opts.queries(), 1511);
+    let query_sets = rep_query_sets(&dataset, &opts, 1511);
+    let queries = &query_sets[0];
+
+    let mut report = BinReport::new("table5_summary", &opts);
+    report
+        .param("dataset", dataset.name.clone())
+        .param("k", k)
+        .param("queries", opts.queries())
+        .master_seed(1511);
 
     // 1. Disk accesses (logical node counts).
-    let nodes: Vec<f64> = parallel_map(&AlgorithmKind::ALL, opts.jobs, |&kind| {
-        mean_nodes(&tree10, &queries, k, kind)
+    let nodes_sums = sweep_replicated(&AlgorithmKind::ALL, &opts, |&kind, rep| {
+        mean_nodes(&tree10, &query_sets[rep], k, kind)
     });
+    let nodes: Vec<f64> = nodes_sums.iter().map(|s| s.mean()).collect();
     let min_real_nodes = nodes[..3].iter().cloned().fold(f64::INFINITY, f64::min);
 
     // 2. Response time under moderate load.
-    let resp: Vec<f64> = parallel_map(&AlgorithmKind::ALL, opts.jobs, |&kind| {
-        simulate_observed(&tree10, &queries, k, 5.0, kind, 1512, &opts).mean_response_s
+    let resp_sums = sweep_replicated(&AlgorithmKind::ALL, &opts, |&kind, rep| {
+        let r = simulate_observed(
+            &tree10,
+            &query_sets[rep],
+            k,
+            5.0,
+            kind,
+            rep_seed(1512, rep),
+            &opts,
+        );
+        mean_response(&r, &opts)
     });
+    let resp: Vec<f64> = resp_sums.iter().map(|s| s.mean()).collect();
     let min_real_resp = resp[..3].iter().cloned().fold(f64::INFINITY, f64::min);
 
-    // 3. Speed-up: response ratio from 5 to 20 disks (smaller = better).
+    // 3. Speed-up: response ratio from 5 to 20 disks (larger = better).
     let tree5 = build_tree(&dataset, 5, 1513);
     let tree20 = build_tree(&dataset, 20, 1514);
-    let speedup: Vec<f64> = parallel_map(&AlgorithmKind::ALL, opts.jobs, |&kind| {
-        let r5 = simulate(&tree5, &queries, k, 5.0, kind, 1515).mean_response_s;
-        let r20 = simulate(&tree20, &queries, k, 5.0, kind, 1515).mean_response_s;
+    let speedup_sums = sweep_replicated(&AlgorithmKind::ALL, &opts, |&kind, rep| {
+        let seed = rep_seed(1515, rep);
+        let r5 = simulate(&tree5, &query_sets[rep], k, 5.0, kind, seed).mean_response_s;
+        let r20 = simulate(&tree20, &query_sets[rep], k, 5.0, kind, seed).mean_response_s;
         r5 / r20
     });
+    let speedup: Vec<f64> = speedup_sums.iter().map(|s| s.mean()).collect();
 
-    // 4. Intra-query parallelism: max batch size > 1.
+    // 4. Intra-query parallelism: max batch size > 1 (deterministic on
+    //    the replication-0 query set; no variance to summarize).
     let max_batch: Vec<usize> = parallel_map(&AlgorithmKind::ALL, opts.jobs, |&kind| {
         let mut worst = 0usize;
         for q in queries.iter().take(10) {
@@ -63,17 +87,32 @@ fn main() {
 
     // 5. Inter-query parallelism under load: response degradation λ=1→20
     //    (FPSS floods the array, limiting concurrent queries).
-    let degradation: Vec<f64> = parallel_map(&AlgorithmKind::ALL, opts.jobs, |&kind| {
-        let r1 = simulate(&tree10, &queries, k, 1.0, kind, 1516).mean_response_s;
-        let r20 = simulate(&tree10, &queries, k, 20.0, kind, 1516).mean_response_s;
+    let degradation_sums = sweep_replicated(&AlgorithmKind::ALL, &opts, |&kind, rep| {
+        let seed = rep_seed(1516, rep);
+        let r1 = simulate(&tree10, &query_sets[rep], k, 1.0, kind, seed).mean_response_s;
+        let r20 = simulate(&tree10, &query_sets[rep], k, 20.0, kind, seed).mean_response_s;
         r20 / r1
     });
+    let degradation: Vec<f64> = degradation_sums.iter().map(|s| s.mean()).collect();
     let min_real_degradation = degradation[..3]
         .iter()
         .cloned()
         .fold(f64::INFINITY, f64::min);
 
     let names = ["BBSS", "FPSS", "CRSS", "WOPTSS"];
+    for (i, kind) in AlgorithmKind::ALL.iter().enumerate() {
+        let labels = [("algorithm", kind.name().to_string())];
+        report.metric("mean_nodes", &labels, nodes_sums[i].summary);
+        report.metric("mean_response_s", &labels, resp_sums[i].summary);
+        report.metric_dir(
+            "speedup_5_to_20_disks",
+            &labels,
+            speedup_sums[i].summary,
+            Direction::Higher,
+        );
+        report.metric("degradation_lambda_1_to_20", &labels, degradation_sums[i].summary);
+    }
+
     let mut table = ResultsTable::new(
         "Table 5 — qualitative comparison (✓ = good performance, measured)",
         &["characteristic", "BBSS", "FPSS", "CRSS", "WOPTSS"],
@@ -137,4 +176,5 @@ fn main() {
     raw.row(fmt_row("degradation λ=1→20", &degradation));
     raw.print();
     raw.write_csv(&opts.out_dir, "table5_measurements");
+    report.finish(&opts);
 }

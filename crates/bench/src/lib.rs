@@ -14,9 +14,10 @@ use sqda_core::{
 };
 use sqda_datasets::Dataset;
 use sqda_geom::Point;
+use sqda_obs::{truncate_warmup, MetricSummary};
 use sqda_rstar::decluster::ProximityIndex;
 use sqda_rstar::{Declusterer, RStarConfig, RStarTree};
-use sqda_simkernel::{FaultPlan, SystemParams};
+use sqda_simkernel::{FaultPlan, SeedSequence, SystemParams};
 use sqda_storage::{ArrayStore, PageStore};
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -24,9 +25,16 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+pub mod report;
+
 /// Number of queries per measurement point (the paper executes 100
 /// queries and averages).
 pub const QUERIES_PER_POINT: usize = 100;
+
+/// Default independent replications per data point. Five replications
+/// give a meaningful 95% CI while keeping the full sweep tractable;
+/// override with `--reps`.
+pub const DEFAULT_REPS: usize = 5;
 
 /// Parses the common command-line flags of the experiment binaries.
 #[derive(Debug, Clone)]
@@ -44,19 +52,36 @@ pub struct ExpOptions {
     /// Metrics sink for the first simulated configuration: JSON
     /// [`sqda_obs::MetricsSnapshot`] + per-query profiles.
     pub metrics: Option<PathBuf>,
+    /// Independent replications per data point (default 5). Replication
+    /// 0 reuses the historical seed; `--reps 1` therefore reproduces the
+    /// pre-replication single-run numbers exactly.
+    pub reps: usize,
+    /// Whether to emit a `RunManifest` + `bench/<bin>.json` summary
+    /// fragment next to the CSVs (`--no-manifest` disables; together
+    /// with `--reps 1` that is the byte-identical legacy mode).
+    pub manifest: bool,
+    /// Fraction of each response-time series (in arrival order) deleted
+    /// as warm-up before averaging (default 0 = keep everything).
+    pub warmup: f64,
 }
 
 impl ExpOptions {
     /// Reads `--quick`, `--out <dir>`, `--jobs <n>`, `--serial`,
-    /// `--trace <file>` and `--metrics <file>` from `std::env::args`.
+    /// `--trace <file>`, `--metrics <file>`, `--reps <n>`,
+    /// `--no-manifest` and `--warmup <fraction>` from `std::env::args`.
     /// `--jobs` defaults to the machine's available parallelism;
-    /// `--serial` is shorthand for `--jobs 1`.
+    /// `--serial` is shorthand for `--jobs 1`. `--reps 1 --no-manifest`
+    /// is the legacy mode whose outputs are byte-identical to the
+    /// pre-replication harness.
     pub fn from_args() -> Self {
         let mut quick = false;
         let mut out_dir = PathBuf::from("results");
         let mut jobs = default_jobs();
         let mut trace = None;
         let mut metrics = None;
+        let mut reps = DEFAULT_REPS;
+        let mut manifest = true;
+        let mut warmup = 0.0f64;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -79,10 +104,31 @@ impl ExpOptions {
                 "--metrics" => {
                     metrics = Some(PathBuf::from(args.next().expect("--metrics needs a file")));
                 }
+                "--reps" => {
+                    reps = args
+                        .next()
+                        .expect("--reps needs a count")
+                        .parse()
+                        .expect("--reps needs a positive integer");
+                    assert!(reps > 0, "--reps needs a positive integer");
+                }
+                "--no-manifest" => manifest = false,
+                "--warmup" => {
+                    warmup = args
+                        .next()
+                        .expect("--warmup needs a fraction")
+                        .parse()
+                        .expect("--warmup needs a fraction in [0,1)");
+                    assert!(
+                        (0.0..1.0).contains(&warmup),
+                        "--warmup needs a fraction in [0,1)"
+                    );
+                }
                 other => panic!(
                     "unknown argument {other} \
                      (expected --quick / --out <dir> / --jobs <n> / --serial \
-                      / --trace <file> / --metrics <file>)"
+                      / --trace <file> / --metrics <file> / --reps <n> \
+                      / --no-manifest / --warmup <fraction>)"
                 ),
             }
         }
@@ -92,6 +138,9 @@ impl ExpOptions {
             jobs,
             trace,
             metrics,
+            reps,
+            manifest,
+            warmup,
         }
     }
 
@@ -374,6 +423,100 @@ pub fn simulate_observed(
     report
 }
 
+/// Seed for replication `rep` of a measurement whose historical
+/// single-run seed was `legacy`. Replication 0 **is** the legacy seed
+/// (so `--reps 1` runs draw exactly the pre-replication numbers);
+/// higher replications get independent SplitMix64-derived streams.
+pub fn rep_seed(legacy: u64, rep: usize) -> u64 {
+    SeedSequence::new(legacy).stream(rep as u64)
+}
+
+/// One query set per replication: replication `r` samples with
+/// [`rep_seed`]`(legacy_seed, r)`, so set 0 is the historical set and
+/// the others are independent draws from the same dataset.
+pub fn rep_query_sets(dataset: &Dataset, opts: &ExpOptions, legacy_seed: u64) -> Vec<Vec<Point>> {
+    (0..opts.reps.max(1))
+        .map(|r| dataset.sample_queries(opts.queries(), rep_seed(legacy_seed, r)))
+        .collect()
+}
+
+/// Mean response time of a simulation report under the `--warmup`
+/// policy: with a zero fraction this is exactly the report's own
+/// `mean_response_s` (legacy behaviour); otherwise the first
+/// `⌊n·warmup⌋` responses (arrival order) are deleted before averaging.
+pub fn mean_response(report: &SimulationReport, opts: &ExpOptions) -> f64 {
+    if opts.warmup <= 0.0 {
+        return report.mean_response_s;
+    }
+    let kept = truncate_warmup(&report.responses, opts.warmup);
+    if kept.is_empty() {
+        0.0
+    } else {
+        kept.iter().sum::<f64>() / kept.len() as f64
+    }
+}
+
+/// Per-data-point result of a replicated sweep: the raw value of every
+/// replication plus their `mean ± CI` summary.
+#[derive(Debug, Clone)]
+pub struct RepSummary {
+    /// One value per replication, in replication order.
+    pub values: Vec<f64>,
+    /// Moments over the replications.
+    pub summary: MetricSummary,
+}
+
+impl RepSummary {
+    /// Mean over replications — what the legacy CSV columns carry.
+    pub fn mean(&self) -> f64 {
+        self.summary.mean
+    }
+}
+
+/// Replicated sweep: runs `f(item, rep)` for every item and replication
+/// `0..opts.reps`, fanned over `opts.jobs` workers at (item × rep)
+/// granularity, and folds each item's replications into a [`RepSummary`]
+/// (input order preserved).
+///
+/// With `--reps 1` the call sequence is identical to mapping `f(item,
+/// 0)` over the items — the legacy single-run sweep.
+pub fn sweep_replicated<T, F>(items: &[T], opts: &ExpOptions, f: F) -> Vec<RepSummary>
+where
+    T: Sync,
+    F: Fn(&T, usize) -> f64 + Sync,
+{
+    sweep_replicated_with(items, opts, || (), |_, item, rep| f(item, rep))
+}
+
+/// [`sweep_replicated`] with per-worker scratch state (the replicated
+/// analogue of [`parallel_map_with`]).
+pub fn sweep_replicated_with<T, St, M, F>(
+    items: &[T],
+    opts: &ExpOptions,
+    make_state: M,
+    f: F,
+) -> Vec<RepSummary>
+where
+    T: Sync,
+    M: Fn() -> St + Sync,
+    F: Fn(&mut St, &T, usize) -> f64 + Sync,
+{
+    let reps = opts.reps.max(1);
+    let grid: Vec<(usize, usize)> = (0..items.len())
+        .flat_map(|i| (0..reps).map(move |r| (i, r)))
+        .collect();
+    let values = parallel_map_with(&grid, opts.jobs, make_state, |state, &(i, r)| {
+        f(state, &items[i], r)
+    });
+    values
+        .chunks(reps)
+        .map(|vals| RepSummary {
+            values: vals.to_vec(),
+            summary: MetricSummary::from_samples(vals),
+        })
+        .collect()
+}
+
 /// A printed + CSV'd results table.
 pub struct ResultsTable {
     title: String,
@@ -519,5 +662,108 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(parallel_map(&empty, 8, |x| *x).is_empty());
         assert_eq!(parallel_map(&[7u32], 8, |x| x + 1), vec![8]);
+    }
+
+    fn opts_with(reps: usize, jobs: usize) -> ExpOptions {
+        ExpOptions {
+            quick: true,
+            out_dir: PathBuf::from("results"),
+            jobs,
+            trace: None,
+            metrics: None,
+            reps,
+            manifest: false,
+            warmup: 0.0,
+        }
+    }
+
+    #[test]
+    fn rep_seed_stream_zero_is_legacy() {
+        for legacy in [801u64, 1001, 4242] {
+            assert_eq!(rep_seed(legacy, 0), legacy);
+            let derived: Vec<u64> = (0..8).map(|r| rep_seed(legacy, r)).collect();
+            let mut uniq = derived.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), derived.len(), "seed collision: {derived:?}");
+        }
+    }
+
+    #[test]
+    fn sweep_replicated_folds_reps_in_order() {
+        let items = [10.0f64, 20.0, 30.0];
+        let got = sweep_replicated(&items, &opts_with(3, 1), |&x, rep| x + rep as f64);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].values, vec![10.0, 11.0, 12.0]);
+        assert_eq!(got[2].values, vec![30.0, 31.0, 32.0]);
+        assert!((got[1].mean() - 21.0).abs() < 1e-12);
+        assert_eq!(got[1].summary.count, 3);
+        // Parallel fan-out produces the same per-item replication values.
+        let fanned = sweep_replicated(&items, &opts_with(3, 4), |&x, rep| x + rep as f64);
+        for (a, b) in got.iter().zip(&fanned) {
+            assert_eq!(a.values, b.values);
+        }
+        // reps == 1 degenerates to the single-run sweep.
+        let single = sweep_replicated(&items, &opts_with(1, 1), |&x, rep| {
+            assert_eq!(rep, 0);
+            x
+        });
+        assert_eq!(single.iter().map(RepSummary::mean).collect::<Vec<_>>(), items);
+    }
+
+    #[test]
+    fn replication_is_deterministic_same_master_seed_same_bytes() {
+        // The satellite contract: same master seed → identical summary
+        // bytes. Simulated metrics are pure functions of seeds, so two
+        // fragment serializations of the same sweep must agree exactly.
+        let opts = opts_with(4, 2);
+        let run = || {
+            let sums = sweep_replicated(&[1u64, 2, 3], &opts, |&item, rep| {
+                // Seed-dependent deterministic "measurement".
+                let s = rep_seed(item * 1000, rep);
+                (s % 1_000_003) as f64 / 1_000_003.0
+            });
+            let mut report = report::BinReport::new("determinism_probe", &opts);
+            report.master_seed(1000);
+            for (i, s) in sums.iter().enumerate() {
+                report.metric(
+                    "metric",
+                    &[("item", i.to_string())],
+                    s.summary,
+                );
+            }
+            report.fragment_json()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn mean_response_warmup_policy() {
+        let mut report = SimulationReport {
+            algorithm: "CRSS",
+            completed: 4,
+            mean_response_s: 2.5,
+            std_response_s: 0.0,
+            max_response_s: 4.0,
+            p95_response_s: 4.0,
+            mean_nodes_per_query: 0.0,
+            mean_disk_utilization: 0.0,
+            bus_utilization: 0.0,
+            cpu_utilization: 0.0,
+            makespan_s: 0.0,
+            failed: 0,
+            degraded_reads: 0,
+            read_retries: 0,
+            failures: Vec::new(),
+            responses: vec![1.0, 2.0, 3.0, 4.0],
+        };
+        // warmup 0 returns the report's own (legacy) mean verbatim.
+        report.mean_response_s = 2.5000001;
+        assert_eq!(mean_response(&report, &opts_with(1, 1)), 2.5000001);
+        let mut warm = opts_with(1, 1);
+        warm.warmup = 0.5;
+        assert_eq!(mean_response(&report, &warm), 3.5);
+        report.responses.clear();
+        assert_eq!(mean_response(&report, &warm), 0.0);
     }
 }

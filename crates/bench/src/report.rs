@@ -1,0 +1,562 @@
+//! The unified reporting API every experiment bin writes through.
+//!
+//! Each bin builds one [`BinReport`]: the full parameter set, the master
+//! seed and derived replication seeds, and a list of headline metrics as
+//! `mean ± 95% CI` over replications. `finish` writes two files next to
+//! the CSVs (both suppressed by `--no-manifest`):
+//!
+//! * `<out>/<bench>.manifest.json` — the [`RunManifest`] provenance
+//!   record (git sha, seeds, parameters, wall-clock);
+//! * `<out>/bench/<bench>.json` — a schema-v2 summary *fragment* that
+//!   `run_all_experiments` merges into `results/BENCH_summary.json`.
+//!
+//! [`compare_summaries`] implements the noise-aware regression rule used
+//! by the `check_regression` bin: a metric only counts as regressed when
+//! the 95% confidence bands of baseline and current mean **separate**
+//! *and* the relative change exceeds a floor — point-estimate jitter
+//! inside overlapping bands never fails CI.
+
+use crate::ExpOptions;
+use sqda_obs::json::{parse, u64_array, ObjWriter, Value};
+use sqda_obs::{MetricSummary, RunManifest};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Which direction of change counts as a regression for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Direction {
+    /// Smaller is better (response times, node counts): an increase can
+    /// regress. The default for every metric in this suite.
+    #[default]
+    Lower,
+    /// Larger is better (speedups): a decrease can regress.
+    Higher,
+    /// Informational only — never checked for regressions.
+    Info,
+}
+
+impl Direction {
+    fn as_str(self) -> &'static str {
+        match self {
+            Direction::Lower => "lower",
+            Direction::Higher => "higher",
+            Direction::Info => "info",
+        }
+    }
+
+    fn from_str(s: &str) -> Self {
+        match s {
+            "higher" => Direction::Higher,
+            "info" => Direction::Info,
+            _ => Direction::Lower,
+        }
+    }
+}
+
+struct MetricPoint {
+    name: String,
+    labels: Vec<(String, String)>,
+    direction: Direction,
+    summary: MetricSummary,
+}
+
+/// Collects one experiment bin's provenance and headline metrics.
+pub struct BinReport {
+    bench: String,
+    manifest: RunManifest,
+    metrics: Vec<MetricPoint>,
+    quick: bool,
+    reps: usize,
+    warmup: f64,
+    started: Instant,
+}
+
+impl BinReport {
+    /// Starts a report for `bench` under the given options.
+    pub fn new(bench: &str, opts: &ExpOptions) -> Self {
+        let mut manifest = RunManifest::new(bench);
+        // option_env: the registry-less rustc path builds without cargo.
+        manifest.crate_version = option_env!("CARGO_PKG_VERSION")
+            .unwrap_or("offline")
+            .to_string();
+        manifest.reps = opts.reps as u32;
+        manifest.warmup_fraction = opts.warmup;
+        Self {
+            bench: bench.to_string(),
+            manifest,
+            metrics: Vec::new(),
+            quick: opts.quick,
+            reps: opts.reps,
+            warmup: opts.warmup,
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one parameter into the manifest (builder-style).
+    pub fn param(&mut self, key: &str, value: impl ToString) -> &mut Self {
+        self.manifest.params.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Records the master seed replications are split from, deriving and
+    /// storing the per-replication seed list.
+    pub fn master_seed(&mut self, seed: u64) -> &mut Self {
+        self.manifest.master_seed = seed;
+        self.manifest.rep_seeds = (0..self.reps.max(1))
+            .map(|r| crate::rep_seed(seed, r))
+            .collect();
+        self
+    }
+
+    /// Adds one headline metric (lower-is-better) with its labels, e.g.
+    /// `report.metric("mean_response_s", &[("algorithm", "CRSS".into())], s)`.
+    pub fn metric(&mut self, name: &str, labels: &[(&str, String)], summary: MetricSummary) {
+        self.metric_dir(name, labels, summary, Direction::Lower);
+    }
+
+    /// [`Self::metric`] with an explicit regression [`Direction`].
+    pub fn metric_dir(
+        &mut self,
+        name: &str,
+        labels: &[(&str, String)],
+        summary: MetricSummary,
+        direction: Direction,
+    ) {
+        self.metrics.push(MetricPoint {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            direction,
+            summary,
+        });
+    }
+
+    /// Serializes the schema-v2 summary fragment (deterministic bytes).
+    pub fn fragment_json(&self) -> String {
+        let mut metrics = String::from("[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                metrics.push(',');
+            }
+            let mut labels = String::from("{");
+            for (j, (k, v)) in m.labels.iter().enumerate() {
+                if j > 0 {
+                    labels.push(',');
+                }
+                sqda_obs::json::write_str(&mut labels, k);
+                labels.push(':');
+                sqda_obs::json::write_str(&mut labels, v);
+            }
+            labels.push('}');
+            let mut w = ObjWriter::new();
+            w.field_str("name", &m.name);
+            w.field_raw("labels", &labels);
+            w.field_str("direction", m.direction.as_str());
+            m.summary.write_fields(&mut w);
+            metrics.push_str(&w.finish());
+        }
+        metrics.push(']');
+        let mut w = ObjWriter::new();
+        w.field_u64("schema", 2);
+        w.field_str("bench", &self.bench);
+        w.field_bool("quick", self.quick);
+        w.field_u64("reps", self.reps as u64);
+        w.field_f64("warmup_fraction", self.warmup);
+        w.field_u64("master_seed", self.manifest.master_seed);
+        w.field_raw("rep_seeds", &u64_array(&self.manifest.rep_seeds));
+        w.field_str("rng_fingerprint", &rng_fingerprint());
+        w.field_raw("metrics", &metrics);
+        w.finish()
+    }
+
+    /// Writes the manifest and the summary fragment, honouring
+    /// `--no-manifest`. Returns the fragment path when written.
+    pub fn finish(&mut self, opts: &ExpOptions) -> Option<PathBuf> {
+        if !opts.manifest {
+            return None;
+        }
+        self.manifest.wall_s = self.started.elapsed().as_secs_f64();
+        self.manifest
+            .write(&opts.out_dir)
+            .expect("write run manifest");
+        let dir = opts.out_dir.join("bench");
+        std::fs::create_dir_all(&dir).expect("create bench fragment dir");
+        let path = dir.join(format!("{}.json", self.bench));
+        std::fs::write(&path, self.fragment_json() + "\n").expect("write summary fragment");
+        eprintln!("  wrote {}", path.display());
+        Some(path)
+    }
+}
+
+/// Fingerprint of the RNG backend the binary was built against, as a
+/// 16-hex-digit FNV-1a hash of a canonical `StdRng` draw. Simulated
+/// metrics are deterministic given seeds, so two summaries are exactly
+/// comparable **iff** their fingerprints match; the registry-less stub
+/// build draws a different stream than a cargo build, and
+/// [`compare_summaries`] downgrades to a structural check across that
+/// boundary instead of reporting phantom regressions.
+pub fn rng_fingerprint() -> String {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for _ in 0..8 {
+        let v: u64 = rng.gen();
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// One metric's reading from a summary file.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MetricRead {
+    /// Mean over replications.
+    pub mean: f64,
+    /// 95% CI half-width over replications.
+    pub ci95: f64,
+}
+
+/// Why a metric was flagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingKind {
+    /// CI bands separate in the bad direction beyond the relative floor.
+    Regression,
+    /// Metric present in the baseline but absent from the current run.
+    Missing,
+}
+
+/// One flagged metric from [`compare_summaries`].
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Bench the metric belongs to.
+    pub bench: String,
+    /// Metric identity: `name{label=value,…}`.
+    pub metric: String,
+    /// What went wrong.
+    pub kind: FindingKind,
+    /// Baseline reading.
+    pub base: MetricRead,
+    /// Current reading (zeroed for [`FindingKind::Missing`]).
+    pub cur: MetricRead,
+    /// Signed relative change in the metric's bad direction.
+    pub rel_change: f64,
+}
+
+/// Outcome of diffing a current summary against a baseline.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// Metrics compared numerically.
+    pub compared: usize,
+    /// Regressions + missing metrics (CI should fail when non-empty).
+    pub findings: Vec<Finding>,
+    /// Metrics whose CI bands separated in the *good* direction.
+    pub improvements: usize,
+    /// Whether both summaries were produced by the same RNG backend.
+    /// When `false`, numeric comparison is meaningless (different
+    /// pseudo-random universes) and only structure was checked.
+    pub fingerprints_match: bool,
+}
+
+fn metric_key(bench: &str, name: &str, labels: &[(String, String)]) -> String {
+    let mut key = format!("{bench}/{name}{{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        let _ = write!(key, "{k}={v}");
+    }
+    key.push('}');
+    key
+}
+
+fn collect_metrics(summary: &Value) -> Result<HashMap<String, (MetricRead, Direction)>, String> {
+    let benches = summary
+        .get("benches")
+        .ok_or("summary has no \"benches\" object (schema v2 required)")?;
+    let benches = match benches {
+        Value::Obj(map) => map,
+        _ => return Err("\"benches\" is not an object".into()),
+    };
+    let mut out = HashMap::new();
+    for (bench, frag) in benches {
+        let metrics = match frag.get("metrics").and_then(|m| m.as_arr()) {
+            Some(m) => m,
+            None => continue,
+        };
+        for m in metrics {
+            let name = m
+                .get("name")
+                .and_then(|n| n.as_str())
+                .ok_or_else(|| format!("metric without name in {bench}"))?;
+            let mut labels: Vec<(String, String)> = Vec::new();
+            if let Some(Value::Obj(lab)) = m.get("labels") {
+                for (k, v) in lab {
+                    labels.push((k.clone(), v.as_str().unwrap_or_default().to_string()));
+                }
+            }
+            let read = MetricRead {
+                mean: m.get("mean").and_then(|v| v.as_f64()).unwrap_or(0.0),
+                ci95: m.get("ci95").and_then(|v| v.as_f64()).unwrap_or(0.0),
+            };
+            let dir = Direction::from_str(
+                m.get("direction").and_then(|d| d.as_str()).unwrap_or("lower"),
+            );
+            out.insert(metric_key(bench, name, &labels), (read, dir));
+        }
+    }
+    Ok(out)
+}
+
+fn fingerprint_of(summary: &Value) -> Option<String> {
+    summary
+        .get("rng_fingerprint")
+        .and_then(|f| f.as_str())
+        .map(str::to_string)
+}
+
+/// Diffs `current` against `baseline` (both parsed schema-v2 summaries).
+///
+/// A metric regresses only when **both** hold in its bad direction:
+/// `|Δmean| > ci95(current) + ci95(baseline)` (confidence bands
+/// separate — the difference is signal, not replication noise) and
+/// `|Δmean| / baseline_mean > rel_threshold` (the floor keeps
+/// micro-regressions on near-zero metrics from tripping CI). Metrics in
+/// the baseline that vanished from the current summary are reported as
+/// [`FindingKind::Missing`]. When the RNG fingerprints differ the
+/// numeric rules are skipped (`fingerprints_match = false`) and only
+/// missing metrics are reported.
+pub fn compare_summaries(
+    current: &Value,
+    baseline: &Value,
+    rel_threshold: f64,
+) -> Result<Comparison, String> {
+    let cur = collect_metrics(current)?;
+    let base = collect_metrics(baseline)?;
+    let fingerprints_match = match (fingerprint_of(current), fingerprint_of(baseline)) {
+        (Some(a), Some(b)) => a == b,
+        // A summary without a fingerprint predates the stub/cargo split;
+        // assume comparable rather than silently skipping every check.
+        _ => true,
+    };
+    let mut out = Comparison {
+        fingerprints_match,
+        ..Comparison::default()
+    };
+    let mut keys: Vec<&String> = base.keys().collect();
+    keys.sort();
+    for key in keys {
+        let (b, dir) = base[key];
+        let (bench, metric) = key.split_once('/').unwrap_or(("", key));
+        let Some(&(c, _)) = cur.get(key) else {
+            out.findings.push(Finding {
+                bench: bench.to_string(),
+                metric: metric.to_string(),
+                kind: FindingKind::Missing,
+                base: b,
+                cur: MetricRead::default(),
+                rel_change: 0.0,
+            });
+            continue;
+        };
+        if dir == Direction::Info || !fingerprints_match {
+            continue;
+        }
+        out.compared += 1;
+        // Positive `bad` means the metric moved in its bad direction.
+        let bad = match dir {
+            Direction::Lower => c.mean - b.mean,
+            Direction::Higher => b.mean - c.mean,
+            Direction::Info => unreachable!(),
+        };
+        let bands_separate = bad.abs() > c.ci95 + b.ci95;
+        let rel = if b.mean.abs() > f64::EPSILON {
+            bad / b.mean.abs()
+        } else if bad.abs() > f64::EPSILON {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        if bands_separate && bad > 0.0 && rel > rel_threshold {
+            out.findings.push(Finding {
+                bench: bench.to_string(),
+                metric: metric.to_string(),
+                kind: FindingKind::Regression,
+                base: b,
+                cur: c,
+                rel_change: rel,
+            });
+        } else if bands_separate && bad < 0.0 && -rel > rel_threshold {
+            out.improvements += 1;
+        }
+    }
+    Ok(out)
+}
+
+/// Convenience: parse two summary files' text and compare.
+pub fn compare_summary_text(
+    current: &str,
+    baseline: &str,
+    rel_threshold: f64,
+) -> Result<Comparison, String> {
+    let cur = parse(current.trim()).map_err(|e| format!("current summary: {e}"))?;
+    let base = parse(baseline.trim()).map_err(|e| format!("baseline summary: {e}"))?;
+    compare_summaries(&cur, &base, rel_threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary_with(mean: f64, ci: f64) -> String {
+        format!(
+            "{{\"schema\":2,\"rng_fingerprint\":\"abc\",\"benches\":{{\
+             \"fig10\":{{\"bench\":\"fig10\",\"metrics\":[\
+             {{\"name\":\"mean_response_s\",\
+             \"labels\":{{\"algorithm\":\"CRSS\",\"lambda\":\"5\"}},\
+             \"direction\":\"lower\",\"count\":5,\"mean\":{mean},\
+             \"std_dev\":0.01,\"ci95\":{ci},\"min\":0,\"max\":1}}]}}}}}}"
+        )
+    }
+
+    #[test]
+    fn identical_summaries_have_no_findings() {
+        let s = summary_with(0.1, 0.005);
+        let c = compare_summary_text(&s, &s, 0.02).expect("compare");
+        assert_eq!(c.compared, 1);
+        assert!(c.findings.is_empty(), "{:?}", c.findings);
+        assert!(c.fingerprints_match);
+    }
+
+    #[test]
+    fn synthetic_2x_slowdown_is_flagged() {
+        let base = summary_with(0.1, 0.005);
+        let slow = summary_with(0.2, 0.005);
+        let c = compare_summary_text(&slow, &base, 0.02).expect("compare");
+        assert_eq!(c.findings.len(), 1, "{:?}", c.findings);
+        let f = &c.findings[0];
+        assert_eq!(f.kind, FindingKind::Regression);
+        assert_eq!(f.bench, "fig10");
+        assert!(f.metric.contains("mean_response_s"), "{}", f.metric);
+        assert!((f.rel_change - 1.0).abs() < 1e-9, "{}", f.rel_change);
+    }
+
+    #[test]
+    fn jitter_inside_overlapping_ci_bands_passes() {
+        // +8% shift, but the bands (±0.006) overlap: |Δ|=0.008 < 0.012.
+        let base = summary_with(0.100, 0.006);
+        let cur = summary_with(0.108, 0.006);
+        let c = compare_summary_text(&cur, &base, 0.02).expect("compare");
+        assert!(c.findings.is_empty(), "{:?}", c.findings);
+    }
+
+    #[test]
+    fn relative_floor_suppresses_tiny_but_significant_shifts() {
+        // Bands separate (|Δ|=0.001 > 0.0004) but the change is only 1%.
+        let base = summary_with(0.100, 0.0002);
+        let cur = summary_with(0.101, 0.0002);
+        let c = compare_summary_text(&cur, &base, 0.02).expect("compare");
+        assert!(c.findings.is_empty(), "{:?}", c.findings);
+    }
+
+    #[test]
+    fn improvements_are_counted_not_flagged() {
+        let base = summary_with(0.2, 0.005);
+        let fast = summary_with(0.1, 0.005);
+        let c = compare_summary_text(&fast, &base, 0.02).expect("compare");
+        assert!(c.findings.is_empty(), "{:?}", c.findings);
+        assert_eq!(c.improvements, 1);
+    }
+
+    #[test]
+    fn missing_metric_is_flagged() {
+        let base = summary_with(0.1, 0.005);
+        let empty = "{\"schema\":2,\"rng_fingerprint\":\"abc\",\"benches\":{}}";
+        let c = compare_summary_text(empty, &base, 0.02).expect("compare");
+        assert_eq!(c.findings.len(), 1);
+        assert_eq!(c.findings[0].kind, FindingKind::Missing);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_downgrades_to_structural() {
+        let base = summary_with(0.1, 0.005);
+        let slow = summary_with(0.5, 0.005).replace("\"abc\"", "\"def\"");
+        let c = compare_summary_text(&slow, &base, 0.02).expect("compare");
+        assert!(!c.fingerprints_match);
+        assert!(c.findings.is_empty(), "{:?}", c.findings);
+        assert_eq!(c.compared, 0);
+    }
+
+    #[test]
+    fn higher_is_better_direction_flips_the_rule() {
+        let mk = |mean: f64| {
+            format!(
+                "{{\"schema\":2,\"benches\":{{\"t5\":{{\"metrics\":[\
+                 {{\"name\":\"speedup\",\"labels\":{{}},\"direction\":\"higher\",\
+                 \"count\":5,\"mean\":{mean},\"std_dev\":0.1,\"ci95\":0.1,\
+                 \"min\":0,\"max\":9}}]}}}}}}"
+            )
+        };
+        let dropped = compare_summary_text(&mk(2.0), &mk(3.4), 0.02).expect("compare");
+        assert_eq!(dropped.findings.len(), 1, "{:?}", dropped.findings);
+        let raised = compare_summary_text(&mk(3.4), &mk(2.0), 0.02).expect("compare");
+        assert!(raised.findings.is_empty());
+        assert_eq!(raised.improvements, 1);
+    }
+
+    #[test]
+    fn bin_report_writes_fragment_and_manifest() {
+        let dir = std::env::temp_dir().join("sqda_bin_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = ExpOptions {
+            quick: true,
+            out_dir: dir.clone(),
+            jobs: 1,
+            trace: None,
+            metrics: None,
+            reps: 3,
+            manifest: true,
+            warmup: 0.1,
+        };
+        let mut report = BinReport::new("unit_fragment", &opts);
+        report.param("disks", 10).master_seed(4242);
+        report.metric(
+            "mean_response_s",
+            &[("algorithm", "CRSS".to_string())],
+            MetricSummary::from_samples(&[0.1, 0.11, 0.12]),
+        );
+        let frag = report.finish(&opts).expect("fragment written");
+        let text = std::fs::read_to_string(&frag).expect("fragment readable");
+        let v = parse(text.trim()).expect("fragment parses");
+        assert_eq!(v.get("schema").and_then(|s| s.as_u64()), Some(2));
+        assert_eq!(v.get("reps").and_then(|s| s.as_u64()), Some(3));
+        let seeds = v.get("rep_seeds").and_then(|s| s.as_arr()).expect("seeds");
+        assert_eq!(seeds.len(), 3);
+        assert_eq!(seeds[0].as_u64(), Some(4242), "rep 0 must be the legacy seed");
+        let metrics = v.get("metrics").and_then(|m| m.as_arr()).expect("metrics");
+        assert_eq!(metrics.len(), 1);
+        assert!(dir.join("unit_fragment.manifest.json").exists());
+        // Legacy mode writes nothing.
+        let legacy = ExpOptions {
+            manifest: false,
+            ..opts
+        };
+        let mut quiet = BinReport::new("unit_fragment_legacy", &legacy);
+        assert!(quiet.finish(&legacy).is_none());
+        assert!(!dir.join("unit_fragment_legacy.manifest.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rng_fingerprint_is_stable_within_a_build() {
+        let a = rng_fingerprint();
+        assert_eq!(a, rng_fingerprint());
+        assert_eq!(a.len(), 16);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

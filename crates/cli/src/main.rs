@@ -8,11 +8,13 @@
 //! sqda stats    --store ./mystore
 //! sqda simulate --store ./mystore --k 10 --lambda 5 --queries 100
 //! sqda estimate --store ./mystore --k 10 --lambda 5
+//! sqda report   --results-dir results --out report.html
 //! ```
 
 mod args;
 mod commands;
 mod meta;
+mod report;
 
 use args::Args;
 
@@ -52,6 +54,10 @@ COMMANDS:
    profiles.)
   estimate   analytical response-time prediction (no simulation)
              --store <dir> [--k <k>=10] [--lambda <q/s>=5]
+  report     render a results directory as a self-contained HTML dashboard
+             (per-figure curves with 95% CI bands, fault-sweep and
+             hot-path trends, run manifests, raw tables)
+             [--results-dir <dir>=results] [--out <file>=report.html]
   help       this text
 ";
 
@@ -73,6 +79,7 @@ fn main() {
         "stats" => commands::stats(&args),
         "simulate" => commands::simulate(&args),
         "estimate" => commands::estimate(&args),
+        "report" => report::report(&args),
         other => {
             eprintln!("unknown command {other:?}\n");
             print!("{HELP}");

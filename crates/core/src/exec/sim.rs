@@ -64,6 +64,10 @@ pub struct SimulationReport {
     pub read_retries: u64,
     /// The typed error of every aborted query, keyed by workload index.
     pub failures: Vec<(u32, QueryError)>,
+    /// Response time of every completed query, in workload (= arrival)
+    /// index order. Feeds warm-up truncation and replication statistics;
+    /// aborted queries are skipped.
+    pub responses: Vec<f64>,
 }
 
 /// The disk holding the replica of `disk`'s pages under shadowed
@@ -960,6 +964,10 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
             degraded_reads,
             read_retries,
             failures,
+            responses: sessions
+                .iter()
+                .filter_map(|s| s.finished_at.map(|f| (f - s.arrival).as_secs_f64()))
+                .collect(),
         })
     }
 }

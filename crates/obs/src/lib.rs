@@ -25,14 +25,18 @@
 pub mod event;
 pub mod json;
 pub mod jsonl;
+pub mod manifest;
 pub mod metrics;
 pub mod perfetto;
 pub mod profile;
 pub mod sink;
+pub mod stats;
 
 pub use event::{CollectingRecorder, Event, NullRecorder, QueryId, Recorder};
 pub use jsonl::{event_to_json, events_to_jsonl, JsonlRecorder};
+pub use manifest::{discover_git_sha, RunManifest};
 pub use metrics::{Counter, DiskMetrics, Gauge, Histogram, MetricsSnapshot};
 pub use perfetto::chrome_trace;
 pub use profile::{query_profiles, Breakdown, CrssPoint, QueryProfile};
 pub use sink::{metrics_document, trace_document, write_observability};
+pub use stats::{batch_means, truncate_warmup, MetricSummary, OnlineMoments};

@@ -1,0 +1,195 @@
+//! Run provenance: the `RunManifest` written next to every results file.
+//!
+//! A results CSV/JSON on its own says nothing about how it was produced.
+//! The manifest records everything needed to reproduce it — git revision,
+//! master seed and derived replication seeds, the full parameter set, the
+//! replication count, crate version, and wall-clock — as one small JSON
+//! file named `<bench>.manifest.json` in the same directory.
+
+use crate::json::{u64_array, write_str, ObjWriter};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Provenance record for one experiment-bin invocation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunManifest {
+    /// Bench/bin name, e.g. `fig10_resp_vs_lambda`.
+    pub bench: String,
+    /// Git commit the binary was produced from (`SQDA_GIT_SHA` override,
+    /// else discovered from `.git/HEAD`; `"unknown"` outside a checkout).
+    pub git_sha: String,
+    /// Version of the bench crate (`CARGO_PKG_VERSION` of the caller).
+    pub crate_version: String,
+    /// Master seed the replication streams were derived from.
+    pub master_seed: u64,
+    /// Per-replication seeds actually used (stream 0 first).
+    pub rep_seeds: Vec<u64>,
+    /// Number of replications per data point.
+    pub reps: u32,
+    /// Warm-up fraction deleted from each response-time series.
+    pub warmup_fraction: f64,
+    /// Full parameter set, in insertion order (`key`, `value` pairs).
+    pub params: Vec<(String, String)>,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_s: f64,
+    /// Unix timestamp (seconds) the manifest was written; 0 until then.
+    pub created_unix: u64,
+}
+
+impl RunManifest {
+    /// Starts a manifest for `bench`, discovering the git revision.
+    pub fn new(bench: &str) -> Self {
+        Self {
+            bench: bench.to_string(),
+            git_sha: discover_git_sha(),
+            ..Self::default()
+        }
+    }
+
+    /// Records one parameter (builder-style).
+    pub fn param(mut self, key: &str, value: impl ToString) -> Self {
+        self.params.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Serializes to JSON. Deterministic except for `created_unix`.
+    pub fn to_json(&self) -> String {
+        let mut params = String::from("{");
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            if i > 0 {
+                params.push(',');
+            }
+            write_str(&mut params, k);
+            params.push(':');
+            write_str(&mut params, v);
+        }
+        params.push('}');
+        let mut w = ObjWriter::new();
+        w.field_str("bench", &self.bench);
+        w.field_str("git_sha", &self.git_sha);
+        w.field_str("crate_version", &self.crate_version);
+        w.field_u64("master_seed", self.master_seed);
+        w.field_raw("rep_seeds", &u64_array(&self.rep_seeds));
+        w.field_u64("reps", u64::from(self.reps));
+        w.field_f64("warmup_fraction", self.warmup_fraction);
+        w.field_raw("params", &params);
+        w.field_f64("wall_s", self.wall_s);
+        w.field_u64("created_unix", self.created_unix);
+        w.finish()
+    }
+
+    /// Stamps `created_unix` and writes `<dir>/<bench>.manifest.json`,
+    /// returning the path written.
+    pub fn write(&mut self, dir: &Path) -> io::Result<PathBuf> {
+        self.created_unix = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.manifest.json", self.bench));
+        fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
+    }
+}
+
+/// Best-effort git revision discovery: `SQDA_GIT_SHA` wins (CI sets it
+/// when the checkout is shallow or absent), else walk from the current
+/// directory upward for a `.git/HEAD` and chase one level of symbolic
+/// ref. Returns `"unknown"` when nothing resolves.
+pub fn discover_git_sha() -> String {
+    if let Ok(sha) = std::env::var("SQDA_GIT_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    let mut dir = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(_) => return "unknown".to_string(),
+    };
+    loop {
+        let head = dir.join(".git").join("HEAD");
+        if let Ok(contents) = fs::read_to_string(&head) {
+            let contents = contents.trim();
+            if let Some(r) = contents.strip_prefix("ref: ") {
+                // Plain ref file, then packed-refs.
+                if let Ok(sha) = fs::read_to_string(dir.join(".git").join(r)) {
+                    return sha.trim().to_string();
+                }
+                if let Ok(packed) = fs::read_to_string(dir.join(".git").join("packed-refs")) {
+                    for line in packed.lines() {
+                        if let Some(sha) = line.strip_suffix(r) {
+                            return sha.trim().to_string();
+                        }
+                    }
+                }
+                return "unknown".to_string();
+            }
+            return contents.to_string();
+        }
+        if !dir.pop() {
+            return "unknown".to_string();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_json_shape() {
+        let mut m = RunManifest::new("fig99_demo")
+            .param("disks", 10)
+            .param("dataset", "california-like");
+        m.crate_version = "0.1.0".to_string();
+        m.master_seed = 4242;
+        m.rep_seeds = vec![4242, 7, 8];
+        m.reps = 3;
+        m.warmup_fraction = 0.1;
+        m.wall_s = 1.5;
+        let j = m.to_json();
+        assert!(j.starts_with("{\"bench\":\"fig99_demo\""), "{j}");
+        assert!(j.contains("\"master_seed\":4242"), "{j}");
+        assert!(j.contains("\"rep_seeds\":[4242,7,8]"), "{j}");
+        assert!(j.contains("\"reps\":3"), "{j}");
+        assert!(j.contains("\"warmup_fraction\":0.1"), "{j}");
+        assert!(j.contains("\"params\":{\"disks\":\"10\",\"dataset\":\"california-like\"}"), "{j}");
+        // Round-trips through the in-crate parser.
+        let v = crate::json::parse(&j).expect("valid json");
+        assert_eq!(v.get("bench").and_then(|b| b.as_str()), Some("fig99_demo"));
+        assert_eq!(v.get("reps").and_then(|r| r.as_u64()), Some(3));
+    }
+
+    #[test]
+    fn write_emits_named_file_and_stamps_time() {
+        let dir = std::env::temp_dir().join("sqda_manifest_test");
+        let _ = fs::remove_dir_all(&dir);
+        let mut m = RunManifest::new("unit_test_bench");
+        let path = m.write(&dir).expect("write manifest");
+        assert!(path.ends_with("unit_test_bench.manifest.json"));
+        assert!(m.created_unix > 0);
+        let text = fs::read_to_string(&path).expect("readable");
+        let v = crate::json::parse(text.trim()).expect("valid json");
+        assert_eq!(
+            v.get("bench").and_then(|b| b.as_str()),
+            Some("unit_test_bench")
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn git_sha_resolves_in_this_checkout() {
+        // The repo itself is a git checkout, so discovery should find a
+        // 40-hex sha here (or honour an explicit override).
+        let sha = discover_git_sha();
+        assert!(!sha.is_empty());
+        if sha != "unknown" {
+            assert!(
+                sha.len() >= 7 && sha.chars().all(|c| c.is_ascii_hexdigit()),
+                "suspicious sha {sha}"
+            );
+        }
+    }
+}

@@ -32,6 +32,7 @@ mod disk;
 mod events;
 pub mod fault;
 mod params;
+mod rng;
 mod stats;
 mod time;
 
@@ -42,5 +43,6 @@ pub use disk::{Disk, DiskParams, DiskServiceDetail};
 pub use fault::{DiskFault, DiskFaultProfile, FaultPlan, RetryPolicy};
 pub use events::EventQueue;
 pub use params::SystemParams;
+pub use rng::{splitmix64, SeedSequence};
 pub use stats::{SampleStats, StatsSummary, UtilizationTracker};
 pub use time::SimTime;

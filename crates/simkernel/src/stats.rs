@@ -7,10 +7,16 @@ use crate::SimTime;
 ///
 /// Samples are stored, so exact percentiles are available; experiment runs
 /// involve at most a few thousand queries, making storage negligible.
+/// Moments are maintained online with Welford's algorithm, so the mean and
+/// variance stay accurate even for adversarial inputs (large mean, tiny
+/// variance) where a naive sum-of-squares pass cancels catastrophically.
 #[derive(Debug, Clone, Default)]
 pub struct SampleStats {
     samples: Vec<f64>,
     sorted: bool,
+    // Welford accumulators: running mean and sum of squared deviations.
+    mean: f64,
+    m2: f64,
 }
 
 impl SampleStats {
@@ -28,6 +34,10 @@ impl SampleStats {
         assert!(!sample.is_nan(), "NaN sample");
         self.samples.push(sample);
         self.sorted = false;
+        let n = self.samples.len() as f64;
+        let delta = sample - self.mean;
+        self.mean += delta / n;
+        self.m2 += delta * (sample - self.mean);
     }
 
     /// Number of samples.
@@ -45,7 +55,7 @@ impl SampleStats {
         if self.samples.is_empty() {
             0.0
         } else {
-            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+            self.mean
         }
     }
 
@@ -55,13 +65,9 @@ impl SampleStats {
         if n < 2 {
             return 0.0;
         }
-        let mean = self.mean();
-        let ss = self
-            .samples
-            .iter()
-            .map(|s| (s - mean) * (s - mean))
-            .sum::<f64>();
-        (ss / (n - 1) as f64).sqrt()
+        // m2 is a sum of non-negative terms analytically; clamp the ulp
+        // of negativity rounding can leave behind.
+        (self.m2.max(0.0) / (n - 1) as f64).sqrt()
     }
 
     /// Minimum sample; 0 when empty.
@@ -116,7 +122,23 @@ impl SampleStats {
 
     /// Absorbs another collector's samples (e.g. merging per-worker
     /// stats after a parallel sweep).
+    ///
+    /// Moments are combined with Chan's parallel update, which is exact in
+    /// the same sense as Welford's single-sample update — no re-summation
+    /// over raw samples, no cancellation between large totals.
     pub fn merge(&mut self, other: &SampleStats) {
+        let (na, nb) = (self.samples.len() as f64, other.samples.len() as f64);
+        if nb > 0.0 {
+            if na == 0.0 {
+                self.mean = other.mean;
+                self.m2 = other.m2;
+            } else {
+                let n = na + nb;
+                let delta = other.mean - self.mean;
+                self.mean += delta * nb / n;
+                self.m2 += other.m2 + delta * delta * na * nb / n;
+            }
+        }
         self.samples.extend_from_slice(&other.samples);
         self.sorted = false;
     }
@@ -219,7 +241,7 @@ mod tests {
         for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
             s.push(x);
         }
-        assert_eq!(s.mean(), 5.0);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
         assert!((s.std_dev() - 2.13809).abs() < 1e-4);
         assert_eq!(s.len(), 8);
         assert_eq!(s.min(), 2.0);
@@ -286,8 +308,65 @@ mod tests {
         let _ = a.percentile(50.0);
         a.merge(&b);
         assert_eq!(a.len(), 5);
-        assert_eq!(a.mean(), 3.0);
+        assert!((a.mean() - 3.0).abs() < 1e-12);
         assert_eq!(a.percentile(100.0), 5.0);
+    }
+
+    #[test]
+    fn welford_survives_large_mean_small_variance() {
+        // Samples around 1e9 with unit-scale spread: the naive
+        // E[x²] − E[x]² formulation loses all significant digits here
+        // (1e18 − 1e18); Welford keeps ~12.
+        let mut s = SampleStats::new();
+        let offsets = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+        for o in offsets {
+            s.push(1.0e9 + o);
+        }
+        // The inputs themselves are only representable to ~1.2e-7 at this
+        // magnitude, so agreement to 1e-6 is the best any algorithm can do;
+        // a cancelling sum-of-squares pass would be off by O(1) or produce
+        // a zero/negative variance.
+        let true_mean = 1.0e9 + 0.55;
+        let true_std = 0.302_765_035_409_749_6; // std of 0.1..=1.0 step 0.1
+        assert!((s.mean() - true_mean).abs() < 1e-6, "mean {}", s.mean());
+        assert!(
+            (s.std_dev() - true_std).abs() < 1e-6,
+            "std {} vs {true_std}",
+            s.std_dev()
+        );
+    }
+
+    #[test]
+    fn merge_is_numerically_stable_and_matches_sequential() {
+        // Two large-mean halves merged must agree with pushing the whole
+        // stream into one collector.
+        let mut whole = SampleStats::new();
+        let mut left = SampleStats::new();
+        let mut right = SampleStats::new();
+        for i in 0..1000 {
+            let x = 5.0e8 + (i % 17) as f64 * 0.25;
+            whole.push(x);
+            if i < 400 {
+                left.push(x);
+            } else {
+                right.push(x);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.len(), whole.len());
+        assert!((left.mean() - whole.mean()).abs() < 1e-6);
+        // Same representability bound as above: 5e8 · ε ≈ 6e-8 per term.
+        assert!((left.std_dev() - whole.std_dev()).abs() < 1e-6);
+        assert!(left.std_dev() > 1.0, "variance collapsed: {}", left.std_dev());
+        // Merging into an empty collector adopts the other's moments.
+        let mut empty = SampleStats::new();
+        empty.merge(&whole);
+        assert_eq!(empty.mean(), whole.mean());
+        assert_eq!(empty.std_dev(), whole.std_dev());
+        // Merging an empty collector is a no-op on the moments.
+        let before = (whole.mean(), whole.std_dev());
+        whole.merge(&SampleStats::new());
+        assert_eq!((whole.mean(), whole.std_dev()), before);
     }
 
     #[test]

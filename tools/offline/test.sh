@@ -52,6 +52,8 @@ t datasets_unit crates/datasets/src/lib.rs $EXT_GEOM $EXT_RAND
 t analysis_unit crates/analysis/src/lib.rs $EXT_GEOM $EXT_RSTAR $EXT_STORAGE $EXT_SIM $EXT_RAND
 t bench_unit crates/bench/src/lib.rs $EXT_GEOM $EXT_STORAGE $EXT_SIM $EXT_RSTAR \
   $EXT_CORE $EXT_DATASETS $EXT_ANALYSIS $EXT_SSTREE $EXT_OBS $EXT_RAND
+t cli_unit crates/cli/src/main.rs $EXT_GEOM $EXT_STORAGE $EXT_SIM $EXT_RSTAR \
+  $EXT_CORE $EXT_DATASETS $EXT_ANALYSIS $EXT_OBS $EXT_RAND
 
 # Integration tests (crates/*/tests/*.rs without proptest).
 t simkernel_queueing crates/simkernel/tests/queueing_theory.rs $EXT_SIM $EXT_RAND
