@@ -1,0 +1,200 @@
+//! `bench_serve`: wall-clock throughput and latency of the real-clock
+//! engine — the machinery behind `sqda serve` — against a persisted
+//! `FileStore` tree, swept over client concurrency, side by side with
+//! the event-driven simulator's prediction for the same tree and
+//! queries.
+//!
+//! Not a figure from the paper: the paper's evaluation is entirely
+//! simulated. This run closes the loop on the execution-backend seam by
+//! timing the identical session/batch machinery on real files. The two
+//! columns measure different hardware — the simulator models the
+//! paper's 1998 Seagate-class disks, the real run hits this machine's
+//! (page-cached) filesystem — so the absolute numbers are expected to
+//! differ by orders of magnitude; what they share, pinned by the
+//! backend-parity test, is the *work* (same node fetches, same
+//! answers). All metrics are emitted as `Direction::Info`: wall-clock
+//! numbers depend on the host and must never trip the regression gate.
+//!
+//! Emits `bench_serve.csv` plus `BENCH_serve.json` under `--out`
+//! (default `results/`).
+
+use sqda_bench::{
+    experiment_page_size, f4,
+    report::{BinReport, Direction},
+    ExpOptions, ResultsTable,
+};
+use sqda_core::{AlgorithmKind, RealTimeEngine, Simulation, Workload, WorkloadQuery};
+use sqda_datasets::gaussian;
+use sqda_geom::Point;
+use sqda_obs::MetricSummary;
+use sqda_rstar::decluster::ProximityIndex;
+use sqda_rstar::{Node, RStarConfig, RStarTree};
+use sqda_simkernel::{SimTime, SystemParams};
+use sqda_storage::{FileStore, NodeCache, ThreadedFileBackend};
+use std::sync::Arc;
+
+const DISKS: u32 = 8;
+const K: usize = 10;
+const KIND: AlgorithmKind = AlgorithmKind::Crss;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let concurrencies: &[usize] = if opts.quick {
+        &[1, 4]
+    } else {
+        &[1, 2, 4, 8, 16]
+    };
+    let dim = 2;
+    let page_size = experiment_page_size(dim);
+    let dataset = gaussian(opts.population(20_000), dim, 4501);
+    let n_queries = opts.queries() * 4;
+
+    // Persist the tree: the whole point is reads from real files.
+    let dir = std::env::temp_dir().join(format!("sqda-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store =
+        Arc::new(FileStore::create(&dir, DISKS, 1449, page_size, 4502).expect("create store"));
+    let mut tree = RStarTree::create(
+        store.clone(),
+        RStarConfig::with_page_size(dim, page_size),
+        Box::new(ProximityIndex),
+    )
+    .expect("create tree");
+    for (i, p) in dataset.points.iter().enumerate() {
+        tree.insert(p.clone(), i as u64).expect("insert");
+    }
+    store.sync().expect("sync store");
+    tree.set_node_cache(Arc::new(NodeCache::<Node>::new(4096)));
+
+    // Queries follow the data distribution (stride-sampled points);
+    // arrivals are spaced far apart so the simulated run is effectively
+    // single-user — its mean response is the per-query latency the
+    // paper's array model predicts, and `c / latency` the corresponding
+    // throughput ceiling at concurrency c.
+    let stride = (dataset.len() / n_queries).max(1);
+    let points: Vec<Point> = (0..n_queries)
+        .map(|i| dataset.points[(i * stride) % dataset.len()].clone())
+        .collect();
+    let workload = Workload {
+        queries: points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| WorkloadQuery {
+                arrival: SimTime::from_secs_f64(i as f64),
+                point: p.clone(),
+                k: K,
+            })
+            .collect(),
+    };
+
+    let sim_report = Simulation::new(&tree, SystemParams::with_disks(DISKS))
+        .expect("simulation")
+        .run(KIND, &workload, 4503)
+        .expect("simulated run");
+    let sim_mean_s = sim_report.mean_response_s;
+
+    let mut report = BinReport::new("bench_serve", &opts);
+    report
+        .param("dataset", dataset.name.clone())
+        .param("disks", DISKS)
+        .param("k", K)
+        .param("algorithm", KIND.name())
+        .param("page_size", page_size)
+        .param("queries", n_queries)
+        .param("backend", "file")
+        .master_seed(4501);
+    report.metric_dir(
+        "sim_mean_response_s",
+        &[],
+        MetricSummary::from_samples(&[sim_mean_s]),
+        Direction::Info,
+    );
+
+    let mut table = ResultsTable::new(
+        format!(
+            "bench_serve — wall-clock vs simulated prediction \
+             (set: {}, n={}, {DISKS} disks, k={K}, {}, {n_queries} queries)",
+            dataset.name,
+            dataset.len(),
+            KIND.name(),
+        ),
+        &[
+            "concurrency",
+            "qps",
+            "p50(ms)",
+            "p99(ms)",
+            "mean(ms)",
+            "sim_single_user(ms)",
+            "sim_qps_ceiling",
+        ],
+    );
+    let mut json_points: Vec<String> = Vec::new();
+    let engine = RealTimeEngine::new(&tree, Arc::new(ThreadedFileBackend::new(store.clone())))
+        .expect("real-clock engine");
+    for &c in concurrencies {
+        let r = engine.run(KIND, &workload, c).expect("real-clock run");
+        assert_eq!(r.failed, 0, "real-clock queries failed");
+        let sim_qps_ceiling = c as f64 / sim_mean_s;
+        table.row(vec![
+            c.to_string(),
+            f4(r.qps),
+            f4(r.p50_response_s * 1e3),
+            f4(r.p99_response_s * 1e3),
+            f4(r.mean_response_s * 1e3),
+            f4(sim_mean_s * 1e3),
+            f4(sim_qps_ceiling),
+        ]);
+        let labels = [("concurrency", c.to_string())];
+        report.metric_dir(
+            "qps",
+            &labels,
+            MetricSummary::from_samples(&[r.qps]),
+            Direction::Info,
+        );
+        report.metric_dir(
+            "p50_response_s",
+            &labels,
+            MetricSummary::from_samples(&[r.p50_response_s]),
+            Direction::Info,
+        );
+        report.metric_dir(
+            "p99_response_s",
+            &labels,
+            MetricSummary::from_samples(&[r.p99_response_s]),
+            Direction::Info,
+        );
+        json_points.push(format!(
+            "{{\"concurrency\":{c},\"completed\":{},\"qps\":{:.4},\
+             \"mean_response_s\":{:.6},\"p50_response_s\":{:.6},\
+             \"p95_response_s\":{:.6},\"p99_response_s\":{:.6},\
+             \"sim_mean_response_s\":{:.6},\"sim_qps_ceiling\":{:.4}}}",
+            r.completed,
+            r.qps,
+            r.mean_response_s,
+            r.p50_response_s,
+            r.p95_response_s,
+            r.p99_response_s,
+            sim_mean_s,
+            sim_qps_ceiling
+        ));
+    }
+    table.print();
+    table.write_csv(&opts.out_dir, "bench_serve");
+
+    std::fs::create_dir_all(&opts.out_dir).expect("create results dir");
+    let path = opts.out_dir.join("BENCH_serve.json");
+    let json = format!(
+        "{{\n  \"bench\": \"bench_serve\",\n  \"config\": {{\n    \
+         \"disks\": {DISKS},\n    \"k\": {K},\n    \"algorithm\": \"{}\",\n    \
+         \"page_size\": {page_size},\n    \"population\": {},\n    \
+         \"queries\": {n_queries},\n    \"backend\": \"file\"\n  }},\n  \
+         \"points\": [\n    {}\n  ]\n}}\n",
+        KIND.name(),
+        dataset.len(),
+        json_points.join(",\n    ")
+    );
+    std::fs::write(&path, json).expect("write BENCH_serve.json");
+    eprintln!("  wrote {}", path.display());
+    report.finish(&opts);
+    std::fs::remove_dir_all(&dir).ok();
+}

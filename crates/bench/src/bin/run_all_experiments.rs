@@ -58,6 +58,7 @@ const EXPERIMENTS: &[&str] = &[
     "ext_sstree",
     "analysis_validation",
     "fault_sweep",
+    "bench_serve",
 ];
 
 struct Finished {

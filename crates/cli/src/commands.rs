@@ -42,7 +42,7 @@ fn split_by_name(name: &str) -> Result<SplitPolicy, Box<dyn Error + Send + Sync>
     })
 }
 
-fn algo_by_name(name: &str) -> Result<AlgorithmKind, Box<dyn Error + Send + Sync>> {
+pub(crate) fn algo_by_name(name: &str) -> Result<AlgorithmKind, Box<dyn Error + Send + Sync>> {
     Ok(match name.to_ascii_lowercase().as_str() {
         "bbss" => AlgorithmKind::Bbss,
         "fpss" => AlgorithmKind::Fpss,
@@ -52,7 +52,7 @@ fn algo_by_name(name: &str) -> Result<AlgorithmKind, Box<dyn Error + Send + Sync
     })
 }
 
-fn open_tree(
+pub(crate) fn open_tree(
     store_dir: &str,
 ) -> Result<(RStarTree<FileStore>, TreeMeta), Box<dyn Error + Send + Sync>> {
     let dir = Path::new(store_dir);
@@ -287,10 +287,9 @@ pub fn simulate(args: &Args) -> CmdResult {
     let fail_disks: usize = args.get_or("fail-disks", 0)?;
     let fail_at: f64 = args.get_or("fail-at", 0.0)?;
     if fail_disks > num_disks as usize {
-        return Err(format!(
-            "--fail-disks {fail_disks} exceeds the array's {num_disks} disks"
-        )
-        .into());
+        return Err(
+            format!("--fail-disks {fail_disks} exceeds the array's {num_disks} disks").into(),
+        );
     }
     if !fail_at.is_finite() || fail_at < 0.0 {
         return Err(format!("--fail-at must be a non-negative time, got {fail_at}").into());

@@ -8,6 +8,7 @@
 //! sqda stats    --store ./mystore
 //! sqda simulate --store ./mystore --k 10 --lambda 5 --queries 100
 //! sqda estimate --store ./mystore --k 10 --lambda 5
+//! sqda serve    --store ./mystore --port 7878
 //! sqda report   --results-dir results --out report.html
 //! ```
 
@@ -15,6 +16,7 @@ mod args;
 mod commands;
 mod meta;
 mod report;
+mod serve;
 
 use args::Args;
 
@@ -54,6 +56,12 @@ COMMANDS:
    profiles.)
   estimate   analytical response-time prediction (no simulation)
              --store <dir> [--k <k>=10] [--lambda <q/s>=5]
+  serve      answer k-NN queries over TCP with the real-clock engine
+             --store <dir> [--port <p>=0 (0 = ephemeral)]
+             [--backend file|inline=file] [--cache <pages>=4096]
+  (line protocol, one reply per request line:
+     QUERY <x,y,...> <k> [bbss|fpss|crss|woptss]  ->  OK <n> <id>:<dist>...
+     PING -> PONG   STATS -> counters   QUIT / SHUTDOWN -> BYE)
   report     render a results directory as a self-contained HTML dashboard
              (per-figure curves with 95% CI bands, fault-sweep and
              hot-path trends, run manifests, raw tables)
@@ -79,6 +87,7 @@ fn main() {
         "stats" => commands::stats(&args),
         "simulate" => commands::simulate(&args),
         "estimate" => commands::estimate(&args),
+        "serve" => serve::serve(&args),
         "report" => report::report(&args),
         other => {
             eprintln!("unknown command {other:?}\n");

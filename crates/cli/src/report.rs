@@ -67,7 +67,10 @@ fn stems_with_suffix(dir: &Path, suffix: &str) -> Vec<String> {
 /// table renderer tolerates it.
 fn csv_to_json(name: &str, text: &str) -> String {
     let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-    let header: Vec<&str> = lines.next().map(|h| h.split(',').collect()).unwrap_or_default();
+    let header: Vec<&str> = lines
+        .next()
+        .map(|h| h.split(',').collect())
+        .unwrap_or_default();
     let mut columns = String::from("[");
     for (i, h) in header.iter().enumerate() {
         if i > 0 {

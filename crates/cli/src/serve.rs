@@ -1,0 +1,366 @@
+//! `sqda serve` — a TCP front-end over the real-clock engine.
+//!
+//! The server opens a persisted [`FileStore`] tree once, wraps it in a
+//! [`RealTimeEngine`] over a batched [`IoBackend`], and answers k-NN
+//! queries from concurrent clients, one thread per connection. This is
+//! the "real disks" end of the execution-backend seam: the very same
+//! session machinery the simulator drives with a virtual clock here
+//! runs against real files on the machine's clock.
+//!
+//! # Protocol
+//!
+//! Line-oriented, UTF-8, one request per line, one reply line per
+//! request:
+//!
+//! ```text
+//! -> QUERY <x,y,...> <k> [bbss|fpss|crss|woptss]
+//! <- OK <n> <id>:<dist> <id>:<dist> ...
+//! -> PING
+//! <- PONG
+//! -> STATS
+//! <- STATS queries=<q> reads=<r> cache_hits=<h> cache_misses=<m>
+//! -> QUIT          (close this connection)
+//! <- BYE
+//! -> SHUTDOWN      (stop the whole server)
+//! <- BYE
+//! ```
+//!
+//! Any malformed request gets `ERR <detail>` and the connection stays
+//! open. Distances are Euclidean, printed with six decimals.
+
+use crate::args::{parse_point, Args};
+use crate::commands::{algo_by_name, open_tree};
+use sqda_core::{AlgorithmKind, RealTimeEngine, Workload};
+use sqda_geom::Point;
+use sqda_rstar::{Node, RStarTree};
+use sqda_storage::{
+    FileStore, InlineBackend, IoBackend, NodeCache, PageStore, ThreadedFileBackend,
+};
+use std::error::Error;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+type CmdResult = Result<(), Box<dyn Error + Send + Sync>>;
+
+/// Which [`IoBackend`] the server submits page reads through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Per-disk worker threads with positional reads ([`ThreadedFileBackend`]).
+    File,
+    /// Synchronous reads on the session thread ([`InlineBackend`]).
+    Inline,
+}
+
+impl BackendKind {
+    fn by_name(name: &str) -> Result<Self, Box<dyn Error + Send + Sync>> {
+        match name {
+            "file" | "threaded" => Ok(BackendKind::File),
+            "inline" => Ok(BackendKind::Inline),
+            other => Err(format!("unknown backend {other:?} (want file|inline)").into()),
+        }
+    }
+
+    fn build(self, store: &Arc<FileStore>) -> Arc<dyn IoBackend> {
+        match self {
+            BackendKind::File => Arc::new(ThreadedFileBackend::new(Arc::clone(store))),
+            BackendKind::Inline => Arc::new(InlineBackend::new(Arc::clone(store))),
+        }
+    }
+}
+
+/// `sqda serve`
+pub fn serve(args: &Args) -> CmdResult {
+    let store_dir = args.required("store")?.to_string();
+    let port: u16 = args.get_or("port", 0)?;
+    let backend = BackendKind::by_name(args.get("backend").unwrap_or("file"))?;
+    let cache: usize = args.get_or("cache", 4096)?;
+
+    let (mut tree, meta) = open_tree(&store_dir)?;
+    if cache > 0 {
+        tree.set_node_cache(Arc::new(NodeCache::<Node>::new(cache)));
+    }
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    let addr = listener.local_addr()?;
+    // The exact "listening on" line is the readiness handshake scripts
+    // and the CI smoke job wait for; keep it first and flushed.
+    println!("listening on {addr}");
+    println!(
+        "store {store_dir}: {} objects, dim {}, page size {}, {} disks, backend {}",
+        tree.num_objects(),
+        meta.dim,
+        meta.page_size,
+        tree.store().num_disks(),
+        match backend {
+            BackendKind::File => "file",
+            BackendKind::Inline => "inline",
+        }
+    );
+    std::io::stdout().flush()?;
+    run_server(&tree, backend, listener)
+}
+
+/// Accept loop: one handler thread per connection, shared engine. Returns
+/// once a client sends `SHUTDOWN` and every handler has drained.
+pub fn run_server(
+    tree: &RStarTree<FileStore>,
+    backend: BackendKind,
+    listener: TcpListener,
+) -> CmdResult {
+    let engine = RealTimeEngine::new(tree, backend.build(tree.store()))?;
+    let addr = listener.local_addr()?;
+    let shutdown = AtomicBool::new(false);
+    let served = AtomicU64::new(0);
+    std::thread::scope(|s| -> CmdResult {
+        for conn in listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = conn?;
+            let engine = &engine;
+            let shutdown = &shutdown;
+            let served = &served;
+            s.spawn(move || handle_connection(stream, engine, shutdown, served, addr));
+        }
+        Ok(())
+    })
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    engine: &RealTimeEngine<RStarTree<FileStore>>,
+    shutdown: &AtomicBool,
+    served: &AtomicU64,
+    addr: SocketAddr,
+) {
+    let Ok(reader) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    for line in BufReader::new(reader).lines() {
+        let Ok(line) = line else { break };
+        let request = line.trim();
+        if request.is_empty() {
+            continue;
+        }
+        let reply = respond(request, engine, served);
+        if writeln!(writer, "{}", reply.text)
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        match reply.control {
+            Control::None => {}
+            Control::Quit => break,
+            Control::Shutdown => {
+                shutdown.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so it observes the flag.
+                let _ = TcpStream::connect(addr);
+                break;
+            }
+        }
+    }
+}
+
+enum Control {
+    None,
+    Quit,
+    Shutdown,
+}
+
+struct Reply {
+    text: String,
+    control: Control,
+}
+
+impl Reply {
+    fn line(text: String) -> Self {
+        Reply {
+            text,
+            control: Control::None,
+        }
+    }
+    fn err(detail: impl std::fmt::Display) -> Self {
+        Reply::line(format!("ERR {detail}"))
+    }
+}
+
+/// One protocol request → one reply line (plus connection control).
+fn respond(
+    request: &str,
+    engine: &RealTimeEngine<RStarTree<FileStore>>,
+    served: &AtomicU64,
+) -> Reply {
+    let mut words = request.split_whitespace();
+    match words.next() {
+        Some("PING") => Reply::line("PONG".into()),
+        Some("QUIT") => Reply {
+            text: "BYE".into(),
+            control: Control::Quit,
+        },
+        Some("SHUTDOWN") => Reply {
+            text: "BYE".into(),
+            control: Control::Shutdown,
+        },
+        Some("STATS") => {
+            let io = engine.access_method().io_stats();
+            Reply::line(format!(
+                "STATS queries={} reads={} cache_hits={} cache_misses={}",
+                served.load(Ordering::Relaxed),
+                io.reads,
+                io.cache_hits,
+                io.cache_misses
+            ))
+        }
+        Some("QUERY") => {
+            let (Some(coords), Some(k)) = (words.next(), words.next()) else {
+                return Reply::err("usage: QUERY <x,y,...> <k> [algo]");
+            };
+            let point = match parse_point(coords).map(Point::try_new) {
+                Ok(Ok(p)) => p,
+                Ok(Err(e)) => return Reply::err(e),
+                Err(e) => return Reply::err(e),
+            };
+            let k: usize = match k.parse() {
+                Ok(k) if k > 0 => k,
+                _ => return Reply::err(format!("bad k {k:?}")),
+            };
+            let kind = match words.next() {
+                None => AlgorithmKind::Crss,
+                Some(name) => match algo_by_name(name) {
+                    Ok(kind) => kind,
+                    Err(e) => return Reply::err(e),
+                },
+            };
+            if let Some(extra) = words.next() {
+                return Reply::err(format!("unexpected trailing {extra:?}"));
+            }
+            if point.dim() != engine.access_method().dim() {
+                return Reply::err(format!(
+                    "query dim {} but tree dim {}",
+                    point.dim(),
+                    engine.access_method().dim()
+                ));
+            }
+            match engine.run(kind, &Workload::single(point, k), 1) {
+                Err(e) => Reply::err(e),
+                Ok(report) => {
+                    if let Some((_, e)) = report.failures.first() {
+                        return Reply::err(e);
+                    }
+                    served.fetch_add(1, Ordering::Relaxed);
+                    let answers = &report.answers[0];
+                    let mut text = format!("OK {}", answers.len());
+                    for n in answers {
+                        text.push_str(&format!(" {}:{:.6}", n.object.0, n.dist()));
+                    }
+                    Reply::line(text)
+                }
+            }
+        }
+        Some(other) => Reply::err(format!("unknown request {other:?}")),
+        None => Reply::err("empty request"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::TreeMeta;
+    use sqda_rstar::decluster::ProximityIndex;
+    use sqda_rstar::RStarConfig;
+    use std::io::BufRead;
+    use std::path::PathBuf;
+
+    fn build_store(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sqda-serve-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(FileStore::create(&dir, 4, 100, 1024, 3).unwrap());
+        let mut tree = RStarTree::create(
+            store.clone(),
+            RStarConfig::with_page_size(2, 1024),
+            Box::new(ProximityIndex),
+        )
+        .unwrap();
+        for i in 0..200u64 {
+            tree.insert(Point::new(vec![(i % 19) as f64, (i % 13) as f64]), i)
+                .unwrap();
+        }
+        store.sync().unwrap();
+        TreeMeta {
+            root: tree.root_page().as_raw(),
+            dim: 2,
+            page_size: 1024,
+            decluster: "pi".into(),
+        }
+        .save(&dir)
+        .unwrap();
+        dir
+    }
+
+    fn request_line(
+        stream: &mut TcpStream,
+        reader: &mut BufReader<TcpStream>,
+        req: &str,
+    ) -> String {
+        writeln!(stream, "{req}").unwrap();
+        stream.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    }
+
+    #[test]
+    fn serves_queries_over_tcp_until_shutdown() {
+        let dir = build_store("tcp");
+        let (tree, _) = open_tree(dir.to_str().unwrap()).unwrap();
+        let expected = tree.knn(&Point::new(vec![5.0, 5.0]), 3).unwrap();
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|s| {
+            let server = s.spawn(|| run_server(&tree, BackendKind::File, listener));
+
+            let mut a = TcpStream::connect(addr).unwrap();
+            let mut ra = BufReader::new(a.try_clone().unwrap());
+            assert_eq!(request_line(&mut a, &mut ra, "PING"), "PONG");
+            let ok = request_line(&mut a, &mut ra, "QUERY 5.0,5.0 3 crss");
+            let words: Vec<&str> = ok.split_whitespace().collect();
+            assert_eq!(words[0], "OK");
+            assert_eq!(words[1], "3");
+            for (w, n) in words[2..].iter().zip(&expected) {
+                assert_eq!(
+                    *w,
+                    format!("{}:{:.6}", n.object.0, n.dist()),
+                    "full reply: {ok}"
+                );
+            }
+            // Malformed requests keep the connection alive.
+            assert!(request_line(&mut a, &mut ra, "QUERY 1.0 2").starts_with("ERR"));
+            assert!(request_line(&mut a, &mut ra, "QUERY 1.0,2.0 0").starts_with("ERR"));
+            assert!(request_line(&mut a, &mut ra, "QUERY 1.0,2.0 2 zzz").starts_with("ERR"));
+            assert!(request_line(&mut a, &mut ra, "NONSENSE").starts_with("ERR"));
+            let stats = request_line(&mut a, &mut ra, "STATS");
+            assert!(stats.starts_with("STATS queries=1 "), "{stats}");
+
+            // A second concurrent client.
+            let mut b = TcpStream::connect(addr).unwrap();
+            let mut rb = BufReader::new(b.try_clone().unwrap());
+            assert!(request_line(&mut b, &mut rb, "QUERY 1.0,2.0 5").starts_with("OK 5 "));
+            assert_eq!(request_line(&mut b, &mut rb, "QUIT"), "BYE");
+
+            assert_eq!(request_line(&mut a, &mut ra, "SHUTDOWN"), "BYE");
+            server.join().unwrap().unwrap();
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn backend_kind_parses() {
+        assert_eq!(BackendKind::by_name("file").unwrap(), BackendKind::File);
+        assert_eq!(BackendKind::by_name("threaded").unwrap(), BackendKind::File);
+        assert_eq!(BackendKind::by_name("inline").unwrap(), BackendKind::Inline);
+        assert!(BackendKind::by_name("ramdisk").is_err());
+    }
+}

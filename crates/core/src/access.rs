@@ -70,6 +70,31 @@ pub trait AccessMethod: Send + Sync {
 
     /// Physical placement of a page (the simulator's timing input).
     fn placement(&self, page: PageId) -> Result<Placement, QueryError>;
+
+    /// Probes the access method's decoded-node cache *without* reading
+    /// the page on a miss. Engines that submit page reads through an
+    /// [`sqda_storage::IoBackend`] probe here first, so cache hit/miss
+    /// accounting matches the read-through path of
+    /// [`AccessMethod::read_index_node`] exactly. The default (no cache)
+    /// reports every probe as a miss.
+    fn cached_index_node(&self, page: PageId) -> Result<Option<IndexNode>, QueryError> {
+        let _ = page;
+        Ok(None)
+    }
+
+    /// Decodes page bytes fetched out-of-band (the completion half of a
+    /// batched read), populating the cache so a later probe hits. The
+    /// default ignores the bytes and re-reads through
+    /// [`AccessMethod::read_index_node`] — correct, but paying the page
+    /// read twice; access methods with a codec should override.
+    fn decode_index_node(
+        &self,
+        page: PageId,
+        bytes: sqda_storage::Bytes,
+    ) -> Result<IndexNode, QueryError> {
+        let _ = bytes;
+        self.read_index_node(page)
+    }
 }
 
 /// The one place an R\*-tree node becomes the algorithms' view of it.
@@ -120,6 +145,18 @@ impl<S: sqda_storage::PageStore> AccessMethod for sqda_rstar::RStarTree<S> {
 
     fn placement(&self, page: PageId) -> Result<Placement, QueryError> {
         Ok(self.store().placement(page)?)
+    }
+
+    fn cached_index_node(&self, page: PageId) -> Result<Option<IndexNode>, QueryError> {
+        Ok(self.cached_node(page).map(|node| node.as_ref().into()))
+    }
+
+    fn decode_index_node(
+        &self,
+        page: PageId,
+        bytes: sqda_storage::Bytes,
+    ) -> Result<IndexNode, QueryError> {
+        Ok(self.decode_node_bytes(page, bytes)?.as_ref().into())
     }
 }
 

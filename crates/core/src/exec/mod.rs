@@ -1,8 +1,21 @@
-//! Executors: run the batch state machines either logically (counting
-//! node accesses) or under the full event-driven disk-array timing model.
+//! Executors: run the batch state machines logically (counting node
+//! accesses), under the full event-driven disk-array timing model, or
+//! against real files on the machine's clock.
+//!
+//! The three executors share one session/batch machinery ([`session`])
+//! and one timestamp discipline ([`clock`]): the simulator drives it
+//! with the virtual [`clock::VirtualClock`] advanced by its event
+//! queue, the real-clock engine with [`clock::WallClock`] and an
+//! [`sqda_storage::IoBackend`] for batched reads.
 
+mod clock;
 mod logical;
+mod real;
+mod session;
 mod sim;
 
+pub use clock::{EngineClock, VirtualClock, WallClock};
 pub use logical::{run_query, run_query_with, QueryRun};
-pub use sim::{mirror_partner, Simulation, SimulationReport};
+pub use real::{RealTimeEngine, RealTimeReport};
+pub use session::mirror_partner;
+pub use sim::{Simulation, SimulationReport};

@@ -1,0 +1,471 @@
+//! The real-clock executor: the same session/batch machinery as the
+//! simulator, driven by the machine's clock and a batched I/O backend
+//! instead of the event queue and the disk timing model.
+//!
+//! One k-NN activation round becomes one [`IoBackend::submit_batch`]
+//! call — over a [`ThreadedFileBackend`](sqda_storage::ThreadedFileBackend)
+//! the batch's pages are read concurrently across the per-disk files,
+//! which is the paper's intra-query parallelism on real hardware. The
+//! engine runs a closed-loop workload: `concurrency` workers each drive
+//! one query session at a time to completion, so "arrival" is the
+//! moment a worker picks the query up (the Poisson schedule of a
+//! [`Workload`] only has meaning under the simulator).
+//!
+//! Observability uses the same vocabulary as the simulated engine —
+//! `query_arrive`, `batch_issued`, `disk_service`, `cpu_slice`,
+//! `query_complete` — stamped through [`WallClock`] instead of the
+//! virtual clock. Wall-clock `disk_service` carries measured queue and
+//! transfer times (seek/rotation are not separable on real files), and
+//! there are no `bus_transfer` events: the memory bus is not observable
+//! from user space.
+
+use super::clock::{EngineClock, WallClock};
+use super::session::{settle_outstanding, Session};
+use crate::access::{AccessMethod, IndexNode};
+use crate::algo::{AlgorithmKind, Step};
+use crate::error::QueryError;
+use crate::workload::Workload;
+use sqda_obs::{Event as ObsEvent, NullRecorder, Recorder};
+use sqda_rstar::Neighbor;
+use sqda_storage::{IoBackend, PageId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Aggregated results of one real-clock run.
+#[derive(Debug, Clone)]
+pub struct RealTimeReport {
+    /// Which algorithm ran.
+    pub algorithm: &'static str,
+    /// Which I/O backend served the reads.
+    pub backend: &'static str,
+    /// Concurrent worker sessions.
+    pub concurrency: usize,
+    /// Queries completed.
+    pub completed: usize,
+    /// Queries aborted with a typed error.
+    pub failed: usize,
+    /// Wall-clock duration of the whole run, in seconds.
+    pub wall_s: f64,
+    /// Completed queries per wall-clock second.
+    pub qps: f64,
+    /// Mean response time in seconds (pickup to completion).
+    pub mean_response_s: f64,
+    /// Median response time.
+    pub p50_response_s: f64,
+    /// 95th-percentile response time.
+    pub p95_response_s: f64,
+    /// 99th-percentile response time.
+    pub p99_response_s: f64,
+    /// Maximum response time observed.
+    pub max_response_s: f64,
+    /// Mean nodes fetched per completed query.
+    pub mean_nodes_per_query: f64,
+    /// Response time of every completed query, in workload index order.
+    pub responses: Vec<f64>,
+    /// The k-NN answers of every query, in workload index order
+    /// (empty for aborted queries).
+    pub answers: Vec<Vec<Neighbor>>,
+    /// The typed error of every aborted query, keyed by workload index.
+    pub failures: Vec<(u32, QueryError)>,
+}
+
+/// Linear-interpolated percentile of an ascending-sorted sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+    }
+}
+
+/// Outcome of one driven session, before aggregation.
+struct SessionOutcome {
+    index: u32,
+    result: Result<CompletedSession, QueryError>,
+}
+
+struct CompletedSession {
+    response_s: f64,
+    nodes_visited: u64,
+    answers: Vec<Neighbor>,
+}
+
+/// The wall-clock twin of [`super::Simulation`]: executes a workload
+/// with the same batch state machines, real reads through an
+/// [`IoBackend`], and the machine's clock.
+pub struct RealTimeEngine<'t, A: AccessMethod + ?Sized> {
+    am: &'t A,
+    backend: Arc<dyn IoBackend>,
+}
+
+impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
+    /// Creates an engine over an access method and an I/O backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::Config`] if the backend's array geometry
+    /// disagrees with the one the index is declustered over.
+    pub fn new(am: &'t A, backend: Arc<dyn IoBackend>) -> Result<Self, QueryError> {
+        if backend.num_disks() != am.num_disks() {
+            return Err(QueryError::Config(format!(
+                "backend disk count must match the store the tree lives on \
+                 (backend has {}, array has {})",
+                backend.num_disks(),
+                am.num_disks()
+            )));
+        }
+        Ok(Self { am, backend })
+    }
+
+    /// The access method the engine runs over.
+    pub fn access_method(&self) -> &A {
+        self.am
+    }
+
+    /// Runs `workload` under `kind` with `concurrency` worker sessions.
+    pub fn run(
+        &self,
+        kind: AlgorithmKind,
+        workload: &Workload,
+        concurrency: usize,
+    ) -> Result<RealTimeReport, QueryError> {
+        self.run_recorded(kind, workload, concurrency, &mut NullRecorder)
+    }
+
+    /// Like [`RealTimeEngine::run`], but narrates the run through
+    /// `recorder`. Workers buffer events locally; the merged stream is
+    /// delivered to the recorder in timestamp order after the run.
+    pub fn run_recorded(
+        &self,
+        kind: AlgorithmKind,
+        workload: &Workload,
+        concurrency: usize,
+        recorder: &mut dyn Recorder,
+    ) -> Result<RealTimeReport, QueryError> {
+        let concurrency = concurrency.max(1);
+        let recording = recorder.enabled();
+        let clock = WallClock::new();
+        let started = Instant::now();
+        let cursor = AtomicUsize::new(0);
+
+        // Per-worker results, merged after the scope joins.
+        let mut worker_outcomes: Vec<Vec<SessionOutcome>> = Vec::new();
+        let mut worker_events: Vec<Vec<(u64, ObsEvent)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..concurrency)
+                .map(|worker| {
+                    let cursor = &cursor;
+                    let clock = &clock;
+                    scope.spawn(move || {
+                        let mut outcomes = Vec::new();
+                        let mut events: Vec<(u64, ObsEvent)> = Vec::new();
+                        let mut scratch = crate::QueryScratch::new();
+                        // Tree level of every page this worker has seen
+                        // (root = 0); only maintained while recording.
+                        let mut levels: HashMap<PageId, u16> = HashMap::new();
+                        if recording {
+                            levels.insert(self.am.root_page(), 0);
+                        }
+                        loop {
+                            let q = cursor.fetch_add(1, Ordering::Relaxed);
+                            if q >= workload.queries.len() {
+                                break;
+                            }
+                            let wq = &workload.queries[q];
+                            let result = kind
+                                .build_with(self.am, wq.point.clone(), wq.k, &mut scratch)
+                                .and_then(|algo| {
+                                    self.drive_session(
+                                        algo,
+                                        q as u32,
+                                        worker as u16,
+                                        clock,
+                                        recording,
+                                        &mut events,
+                                        &mut levels,
+                                    )
+                                });
+                            outcomes.push(SessionOutcome {
+                                index: q as u32,
+                                result,
+                            });
+                        }
+                        (outcomes, events)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (outcomes, events) = handle.join().expect("engine worker panicked");
+                worker_outcomes.push(outcomes);
+                worker_events.push(events);
+            }
+        });
+        let wall_s = started.elapsed().as_secs_f64();
+
+        if recording {
+            let mut merged: Vec<(u64, ObsEvent)> = worker_events.into_iter().flatten().collect();
+            merged.sort_by_key(|(ts, _)| *ts);
+            for (ts, event) in merged {
+                recorder.record(ts, event);
+            }
+        }
+
+        let mut outcomes: Vec<SessionOutcome> = worker_outcomes.into_iter().flatten().collect();
+        outcomes.sort_by_key(|o| o.index);
+        let mut responses = Vec::new();
+        let mut answers = vec![Vec::new(); workload.queries.len()];
+        let mut failures = Vec::new();
+        let mut total_nodes = 0u64;
+        for outcome in outcomes {
+            match outcome.result {
+                Ok(done) => {
+                    responses.push(done.response_s);
+                    total_nodes += done.nodes_visited;
+                    answers[outcome.index as usize] = done.answers;
+                }
+                Err(e) => failures.push((outcome.index, e)),
+            }
+        }
+        let completed = responses.len();
+        let mut sorted = responses.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        Ok(RealTimeReport {
+            algorithm: kind.name(),
+            backend: self.backend.name(),
+            concurrency,
+            completed,
+            failed: failures.len(),
+            wall_s,
+            qps: if wall_s > 0.0 {
+                completed as f64 / wall_s
+            } else {
+                0.0
+            },
+            mean_response_s: if completed == 0 {
+                0.0
+            } else {
+                sorted.iter().sum::<f64>() / completed as f64
+            },
+            p50_response_s: percentile(&sorted, 0.50),
+            p95_response_s: percentile(&sorted, 0.95),
+            p99_response_s: percentile(&sorted, 0.99),
+            max_response_s: sorted.last().copied().unwrap_or(0.0),
+            mean_nodes_per_query: if completed == 0 {
+                0.0
+            } else {
+                total_nodes as f64 / completed as f64
+            },
+            responses,
+            answers,
+            failures,
+        })
+    }
+
+    /// Drives one session from `start` to `Done`: probe the node cache,
+    /// submit the misses as one batch, decode completions, feed the
+    /// algorithm — the simulator's Fetch/BusDone/CpuDone cycle with the
+    /// event queue replaced by real completion delivery.
+    #[allow(clippy::too_many_arguments)]
+    fn drive_session(
+        &self,
+        algo: Box<dyn crate::SimilaritySearch>,
+        q: u32,
+        worker: u16,
+        clock: &WallClock,
+        recording: bool,
+        events: &mut Vec<(u64, ObsEvent)>,
+        levels: &mut HashMap<PageId, u16>,
+    ) -> Result<CompletedSession, QueryError> {
+        let arrival = clock.now_ns();
+        let mut session = Session::new(algo, arrival);
+        if recording {
+            events.push((arrival, ObsEvent::QueryArrive { query: q }));
+        }
+        session.pending = Some(session.algo.start());
+        // Completions arrive in finish order; the batch is re-assembled
+        // in request order so algorithms see exactly what the logical
+        // and simulated executors deliver.
+        let mut decoded: HashMap<PageId, IndexNode> = HashMap::new();
+        let mut misses: Vec<PageId> = Vec::new();
+        loop {
+            let step = session
+                .pending
+                .take()
+                .ok_or_else(|| QueryError::Invariant(format!("query {q} lost its pending step")))?;
+            let pages = match step {
+                Step::Done => break,
+                Step::Fetch(pages) => pages,
+            };
+            if pages.is_empty() {
+                return Err(QueryError::Invariant(format!(
+                    "query {q} issued an empty fetch batch"
+                )));
+            }
+            session.outstanding = pages.len();
+            session.nodes_visited += pages.len() as u64;
+            if recording {
+                session.obs.batches += 1;
+                let mut level = u16::MAX;
+                let mut level_max = 0u16;
+                for page in &pages {
+                    let l = levels.get(page).copied().unwrap_or_default();
+                    level = level.min(l);
+                    level_max = level_max.max(l);
+                }
+                events.push((
+                    clock.now_ns(),
+                    ObsEvent::BatchIssued {
+                        query: q,
+                        level,
+                        level_max,
+                        size: pages.len() as u32,
+                    },
+                ));
+            }
+            // Cache probes first (hit/miss accounting identical to the
+            // read-through path), then one batched submission for the
+            // misses: the whole activation round reads in parallel.
+            decoded.clear();
+            misses.clear();
+            for &page in &pages {
+                match self.am.cached_index_node(page)? {
+                    Some(node) => {
+                        decoded.insert(page, node);
+                    }
+                    None => misses.push(page),
+                }
+            }
+            if !misses.is_empty() {
+                let rx = self.backend.submit_batch(&misses);
+                for _ in 0..misses.len() {
+                    let completion = rx.recv().map_err(|_| {
+                        QueryError::Invariant(format!(
+                            "query {q}: I/O backend dropped a batch mid-flight"
+                        ))
+                    })?;
+                    let bytes = completion.result?;
+                    if recording {
+                        session.obs.disk_queue_ns += completion.queue_ns;
+                        session.obs.transfer_ns += completion.service_ns;
+                        let level = levels.get(&completion.page).copied().unwrap_or_default();
+                        events.push((
+                            clock.now_ns(),
+                            ObsEvent::DiskService {
+                                query: q,
+                                disk: completion.disk as u16,
+                                cylinder: completion.cylinder,
+                                level,
+                                queue_ns: completion.queue_ns,
+                                seek_ns: 0,
+                                rotation_ns: 0,
+                                transfer_ns: completion.service_ns,
+                                queue_depth: 0,
+                            },
+                        ));
+                    }
+                    let node = self.am.decode_index_node(completion.page, bytes)?;
+                    decoded.insert(completion.page, node);
+                }
+            }
+            for &page in &pages {
+                let node = decoded.remove(&page).ok_or_else(|| {
+                    QueryError::Invariant(format!(
+                        "query {q}: page {page:?} requested but never delivered"
+                    ))
+                })?;
+                if recording {
+                    if let IndexNode::Internal(entries) = &node {
+                        let child_level = levels.get(&page).copied().unwrap_or_default() + 1;
+                        for entry in entries {
+                            levels.insert(entry.child, child_level);
+                        }
+                    }
+                }
+                session.fetched.push((page, node));
+                session.outstanding = settle_outstanding(session.outstanding, q as usize)?;
+            }
+            debug_assert_eq!(session.outstanding, 0);
+            let cpu_start = Instant::now();
+            let result = session.algo.on_fetched(&mut session.fetched);
+            let cpu_ns = cpu_start.elapsed().as_nanos() as u64;
+            debug_assert!(session.fetched.is_empty(), "algorithms drain the batch");
+            session.fetched.clear();
+            session.pending = Some(result.next);
+            if recording {
+                session.obs.cpu_ns += cpu_ns;
+                events.push((
+                    clock.now_ns(),
+                    ObsEvent::CpuSlice {
+                        query: q,
+                        cpu: worker,
+                        queue_ns: 0,
+                        exec_ns: cpu_ns,
+                        instructions: result.cpu_instructions,
+                    },
+                ));
+                if let Some(p) = session.algo.progress() {
+                    events.push((
+                        clock.now_ns(),
+                        ObsEvent::CrssState {
+                            query: q,
+                            d_th_sq: p.d_th_sq,
+                            stack_runs: p.stack_runs,
+                            stack_candidates: p.stack_candidates,
+                        },
+                    ));
+                }
+            }
+        }
+        let now = clock.now_ns();
+        session.finished_at = Some(now);
+        let response_ns = now.saturating_sub(arrival);
+        if recording {
+            let obs = session.obs;
+            events.push((
+                now,
+                ObsEvent::QueryComplete {
+                    query: q,
+                    response_ns,
+                    nodes: session.nodes_visited,
+                    batches: obs.batches,
+                    disk_queue_ns: obs.disk_queue_ns,
+                    seek_ns: obs.seek_ns,
+                    rotation_ns: obs.rotation_ns,
+                    transfer_ns: obs.transfer_ns,
+                    bus_queue_ns: obs.bus_queue_ns,
+                    bus_ns: obs.bus_ns,
+                    cpu_queue_ns: obs.cpu_queue_ns,
+                    cpu_ns: obs.cpu_ns,
+                },
+            ));
+        }
+        Ok(CompletedSession {
+            response_s: response_ns as f64 / 1e9,
+            nodes_visited: session.nodes_visited,
+            answers: session.algo.results(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 1.0), 4.0);
+        assert_eq!(percentile(&s, 0.5), 2.5);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+}

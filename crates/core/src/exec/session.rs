@@ -1,0 +1,216 @@
+//! Query-session machinery shared by the simulated and real-clock
+//! engines.
+//!
+//! A [`Session`] carries one in-flight query through the engine loop:
+//! the algorithm state machine, its outstanding-page count, the staging
+//! buffer for fetched nodes, and the per-component response-time
+//! accumulators that feed `query_complete` events. The simulator
+//! instantiates it over [`SimTime`](sqda_simkernel::SimTime); the
+//! real-clock engine over wall-clock nanoseconds. Read routing under
+//! fault state ([`route_read`], [`mirror_partner`]) and the
+//! outstanding-count invariant ([`settle_outstanding`]) live here too,
+//! so both engines — and any future one — share one definition of how a
+//! session behaves.
+
+use crate::access::IndexNode;
+use crate::algo::{SimilaritySearch, Step};
+use crate::error::QueryError;
+use sqda_simkernel::{Cpu, Disk, SimTime};
+use sqda_storage::PageId;
+
+/// The disk holding the replica of `disk`'s pages under shadowed
+/// (mirrored) operation, or `None` if the disk is unpaired.
+///
+/// Disks are shadowed in pairs `(d, d + n/2)` for `d < n/2`; the pairing
+/// is an involution, so a read is only ever redirected to the one disk
+/// that actually holds the replica. With an odd array the last disk has
+/// no partner and always serves its own reads. (The old `(d + n/2) mod
+/// n` rule was not an involution for odd `n` and could send a read to a
+/// disk without the page.)
+pub fn mirror_partner(disk: usize, num_disks: usize) -> Option<usize> {
+    let half = num_disks / 2;
+    if disk < half {
+        Some(disk + half)
+    } else if disk < 2 * half {
+        Some(disk - half)
+    } else {
+        None
+    }
+}
+
+/// Index of the CPU that frees up first (least-loaded dispatch).
+pub(crate) fn least_busy_cpu(cpus: &[Cpu]) -> usize {
+    cpus.iter()
+        .enumerate()
+        .min_by_key(|(_, c)| c.busy_until())
+        .map(|(i, _)| i)
+        .expect("at least one CPU")
+}
+
+/// Where a page read should be served under the current fault state.
+pub(crate) enum Route {
+    /// Serve from this disk (the healthy path; may already be the
+    /// mirror partner under the earliest-free-replica rule).
+    Serve(usize),
+    /// The primary is failed; its shadow replica serves the read.
+    Degraded { primary: usize, replica: usize },
+    /// No live replica exists right now.
+    Unavailable { primary: usize },
+}
+
+/// Picks the disk to serve a read of a page placed on `primary`,
+/// honouring fail-stop state when `faulted`. The fault-free branch is
+/// the pre-fault routing verbatim, which is what keeps empty-plan runs
+/// byte-identical.
+pub(crate) fn route_read(
+    primary: usize,
+    now: SimTime,
+    disks: &[Disk],
+    mirrored: bool,
+    faulted: bool,
+) -> Route {
+    let partner = if mirrored {
+        mirror_partner(primary, disks.len())
+    } else {
+        None
+    };
+    if !faulted {
+        // Shadowed disks: serve the read from whichever replica frees
+        // up first.
+        if let Some(p) = partner {
+            if disks[p].busy_until() < disks[primary].busy_until() {
+                return Route::Serve(p);
+            }
+        }
+        return Route::Serve(primary);
+    }
+    let primary_up = !disks[primary].is_failed(now);
+    let partner_up = partner.map(|p| !disks[p].is_failed(now));
+    match (primary_up, partner, partner_up) {
+        (true, Some(p), Some(true)) => {
+            // Both replicas alive: the earliest-free rule, as above.
+            if disks[p].busy_until() < disks[primary].busy_until() {
+                Route::Serve(p)
+            } else {
+                Route::Serve(primary)
+            }
+        }
+        (true, _, _) => Route::Serve(primary),
+        (false, Some(p), Some(true)) => Route::Degraded {
+            primary,
+            replica: p,
+        },
+        (false, _, _) => Route::Unavailable { primary },
+    }
+}
+
+/// Decrements a session's outstanding-page count on a delivery.
+///
+/// A duplicate or spurious completion used to wrap the counter around
+/// in release builds (the guarding `debug_assert` compiled out),
+/// leaving a query that never finishes and a silently wrong report;
+/// it now surfaces as a typed invariant error.
+pub(crate) fn settle_outstanding(outstanding: usize, q: usize) -> Result<usize, QueryError> {
+    outstanding.checked_sub(1).ok_or_else(|| {
+        QueryError::Invariant(format!(
+            "spurious BusDone for query {q}: no outstanding pages in flight"
+        ))
+    })
+}
+
+/// Per-session response-time component accumulators, filled only while
+/// recording is enabled. All scalars — lives inline in the session.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SessionObs {
+    pub(crate) disk_queue_ns: u64,
+    pub(crate) seek_ns: u64,
+    pub(crate) rotation_ns: u64,
+    pub(crate) transfer_ns: u64,
+    pub(crate) bus_queue_ns: u64,
+    pub(crate) bus_ns: u64,
+    pub(crate) cpu_queue_ns: u64,
+    pub(crate) cpu_ns: u64,
+    pub(crate) batches: u32,
+}
+
+/// One in-flight query session, generic over the engine's time instant:
+/// [`SimTime`](sqda_simkernel::SimTime) under the virtual clock,
+/// nanoseconds (`u64`) under the wall clock.
+pub(crate) struct Session<T> {
+    pub(crate) algo: Box<dyn SimilaritySearch>,
+    pub(crate) arrival: T,
+    pub(crate) outstanding: usize,
+    pub(crate) fetched: Vec<(PageId, IndexNode)>,
+    pub(crate) pending: Option<Step>,
+    pub(crate) nodes_visited: u64,
+    pub(crate) finished_at: Option<T>,
+    /// Set when the query aborts (degraded mode); the session's
+    /// remaining in-flight events are ignored from then on.
+    pub(crate) failed: bool,
+    pub(crate) obs: SessionObs,
+}
+
+impl<T> Session<T> {
+    /// A fresh session for a query arriving at `arrival`.
+    pub(crate) fn new(algo: Box<dyn SimilaritySearch>, arrival: T) -> Self {
+        Self {
+            algo,
+            arrival,
+            outstanding: 0,
+            fetched: Vec::new(),
+            pending: None,
+            nodes_visited: 0,
+            finished_at: None,
+            failed: false,
+            obs: SessionObs::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settle_outstanding_counts_down() {
+        assert!(matches!(settle_outstanding(3, 0), Ok(2)));
+        assert!(matches!(settle_outstanding(1, 0), Ok(0)));
+    }
+
+    #[test]
+    fn spurious_bus_done_is_a_typed_invariant_error() {
+        // Regression: this used to be `outstanding -= 1`, which wraps
+        // to usize::MAX in release builds and leaves the query spinning.
+        let err = settle_outstanding(0, 7).unwrap_err();
+        match err {
+            QueryError::Invariant(msg) => {
+                assert!(msg.contains("spurious BusDone"), "{msg}");
+                assert!(msg.contains('7'), "{msg}");
+            }
+            other => panic!("expected Invariant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mirror_partner_pairs_and_involutes() {
+        // Even array: perfect pairing, involution, no self-pairing.
+        for n in [2usize, 4, 6, 10, 128] {
+            for d in 0..n {
+                let p = mirror_partner(d, n).expect("even arrays pair fully");
+                assert_ne!(p, d, "n={n} d={d}");
+                assert_eq!(mirror_partner(p, n), Some(d), "n={n} d={d}");
+            }
+        }
+        // Odd array: the last disk is unpaired, the rest involute.
+        for n in [3usize, 5, 7, 11] {
+            assert_eq!(mirror_partner(n - 1, n), None, "n={n}");
+            for d in 0..n - 1 {
+                let p = mirror_partner(d, n).expect("non-last disks pair");
+                assert_ne!(p, d, "n={n} d={d}");
+                assert_eq!(mirror_partner(p, n), Some(d), "n={n} d={d}");
+            }
+        }
+        // Degenerate single-disk array: nothing to mirror onto.
+        assert_eq!(mirror_partner(0, 1), None);
+    }
+}

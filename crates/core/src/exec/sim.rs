@@ -16,6 +16,8 @@
 //! no per-event heap allocation, and simulated timing is untouched
 //! either way (recording observes, never steers).
 
+use super::clock::{EngineClock, VirtualClock};
+use super::session::{least_busy_cpu, route_read, settle_outstanding, Route, Session, SessionObs};
 use crate::access::{AccessMethod, IndexNode};
 use crate::algo::{AlgorithmKind, SimilaritySearch, Step};
 use crate::error::QueryError;
@@ -70,108 +72,26 @@ pub struct SimulationReport {
     pub responses: Vec<f64>,
 }
 
-/// The disk holding the replica of `disk`'s pages under shadowed
-/// (mirrored) operation, or `None` if the disk is unpaired.
-///
-/// Disks are shadowed in pairs `(d, d + n/2)` for `d < n/2`; the pairing
-/// is an involution, so a read is only ever redirected to the one disk
-/// that actually holds the replica. With an odd array the last disk has
-/// no partner and always serves its own reads. (The old `(d + n/2) mod
-/// n` rule was not an involution for odd `n` and could send a read to a
-/// disk without the page.)
-pub fn mirror_partner(disk: usize, num_disks: usize) -> Option<usize> {
-    let half = num_disks / 2;
-    if disk < half {
-        Some(disk + half)
-    } else if disk < 2 * half {
-        Some(disk - half)
-    } else {
-        None
-    }
-}
-
-/// Index of the CPU that frees up first (least-loaded dispatch).
-fn least_busy_cpu(cpus: &[Cpu]) -> usize {
-    cpus.iter()
-        .enumerate()
-        .min_by_key(|(_, c)| c.busy_until())
-        .map(|(i, _)| i)
-        .expect("at least one CPU")
-}
-
 enum Event {
     Arrive(usize),
-    DiskDone { q: usize, page: PageId },
-    BusDone { q: usize, page: PageId },
-    CpuDone { q: usize },
+    DiskDone {
+        q: usize,
+        page: PageId,
+    },
+    BusDone {
+        q: usize,
+        page: PageId,
+    },
+    CpuDone {
+        q: usize,
+    },
     /// Re-probe a page whose every replica was unavailable (degraded
     /// mode only; never scheduled under an empty fault plan).
-    Retry { q: usize, page: PageId, attempt: u32 },
-}
-
-/// Where a page read should be served under the current fault state.
-enum Route {
-    /// Serve from this disk (the healthy path; may already be the
-    /// mirror partner under the earliest-free-replica rule).
-    Serve(usize),
-    /// The primary is failed; its shadow replica serves the read.
-    Degraded { primary: usize, replica: usize },
-    /// No live replica exists right now.
-    Unavailable { primary: usize },
-}
-
-/// Picks the disk to serve a read of a page placed on `primary`,
-/// honouring fail-stop state when `faulted`. The fault-free branch is
-/// the pre-fault routing verbatim, which is what keeps empty-plan runs
-/// byte-identical.
-fn route_read(primary: usize, now: SimTime, disks: &[Disk], mirrored: bool, faulted: bool) -> Route {
-    let partner = if mirrored {
-        mirror_partner(primary, disks.len())
-    } else {
-        None
-    };
-    if !faulted {
-        // Shadowed disks: serve the read from whichever replica frees
-        // up first.
-        if let Some(p) = partner {
-            if disks[p].busy_until() < disks[primary].busy_until() {
-                return Route::Serve(p);
-            }
-        }
-        return Route::Serve(primary);
-    }
-    let primary_up = !disks[primary].is_failed(now);
-    let partner_up = partner.map(|p| !disks[p].is_failed(now));
-    match (primary_up, partner, partner_up) {
-        (true, Some(p), Some(true)) => {
-            // Both replicas alive: the earliest-free rule, as above.
-            if disks[p].busy_until() < disks[primary].busy_until() {
-                Route::Serve(p)
-            } else {
-                Route::Serve(primary)
-            }
-        }
-        (true, _, _) => Route::Serve(primary),
-        (false, Some(p), Some(true)) => Route::Degraded {
-            primary,
-            replica: p,
-        },
-        (false, _, _) => Route::Unavailable { primary },
-    }
-}
-
-/// Decrements a session's outstanding-page count on a `BusDone`.
-///
-/// A duplicate or spurious completion used to wrap the counter around
-/// in release builds (the guarding `debug_assert` compiled out),
-/// leaving a query that never finishes and a silently wrong report;
-/// it now surfaces as a typed invariant error.
-fn settle_outstanding(outstanding: usize, q: usize) -> Result<usize, QueryError> {
-    outstanding.checked_sub(1).ok_or_else(|| {
-        QueryError::Invariant(format!(
-            "spurious BusDone for query {q}: no outstanding pages in flight"
-        ))
-    })
+    Retry {
+        q: usize,
+        page: PageId,
+        attempt: u32,
+    },
 }
 
 /// Submits a page read to `disk`, scheduling its completion and (while
@@ -187,6 +107,7 @@ fn submit_read(
     cylinder: u32,
     level: u16,
     now: SimTime,
+    clock: &dyn EngineClock,
     rng: &mut rand::rngs::StdRng,
     events: &mut EventQueue<Event>,
     recording: bool,
@@ -200,7 +121,7 @@ fn submit_read(
         obs.rotation_ns += detail.rotation.as_nanos();
         obs.transfer_ns += detail.transfer.as_nanos();
         recorder.record(
-            now.as_nanos(),
+            clock.now_ns(),
             ObsEvent::DiskService {
                 query: q as u32,
                 disk: disk as u16,
@@ -218,35 +139,6 @@ fn submit_read(
         let done = disks[disk].submit(now, cylinder, rng);
         events.schedule(done, Event::DiskDone { q, page });
     }
-}
-
-/// Per-session response-time component accumulators, filled only while
-/// recording is enabled. All scalars — lives inline in the session.
-#[derive(Debug, Clone, Copy, Default)]
-struct SessionObs {
-    disk_queue_ns: u64,
-    seek_ns: u64,
-    rotation_ns: u64,
-    transfer_ns: u64,
-    bus_queue_ns: u64,
-    bus_ns: u64,
-    cpu_queue_ns: u64,
-    cpu_ns: u64,
-    batches: u32,
-}
-
-struct Session {
-    algo: Box<dyn SimilaritySearch>,
-    arrival: SimTime,
-    outstanding: usize,
-    fetched: Vec<(PageId, IndexNode)>,
-    pending: Option<Step>,
-    nodes_visited: u64,
-    finished_at: Option<SimTime>,
-    /// Set when the query aborts (degraded mode); the session's
-    /// remaining in-flight events are ignored from then on.
-    failed: bool,
-    obs: SessionObs,
 }
 
 /// An event-driven simulation of the disk-array system executing one
@@ -385,7 +277,14 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
             |point: sqda_geom::Point, k: usize| -> Result<Box<dyn SimilaritySearch>, QueryError> {
                 Ok(factory(point, k))
             };
-        self.run_with_fallible(&mut fallible, name, workload, seed, &FaultPlan::none(), recorder)
+        self.run_with_fallible(
+            &mut fallible,
+            name,
+            workload,
+            seed,
+            &FaultPlan::none(),
+            recorder,
+        )
     }
 
     /// [`Simulation::run_with_recorded`] plus a fault plan — the
@@ -470,10 +369,8 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                             at,
                             recovers_at,
                         } => {
-                            recorder.record(
-                                at.as_nanos(),
-                                ObsEvent::DiskFailed { disk: disk as u16 },
-                            );
+                            recorder
+                                .record(at.as_nanos(), ObsEvent::DiskFailed { disk: disk as u16 });
                             if let Some(rec) = recovers_at {
                                 recorder.record(
                                     rec.as_nanos(),
@@ -526,20 +423,10 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
 
         // Build one session per query. Oracle preparation (WOPTSS) happens
         // here, outside simulated time.
-        let mut sessions: Vec<Session> = Vec::with_capacity(workload.queries.len());
+        let mut sessions: Vec<Session<SimTime>> = Vec::with_capacity(workload.queries.len());
         for wq in &workload.queries {
             let algo = factory(wq.point.clone(), wq.k)?;
-            sessions.push(Session {
-                algo,
-                arrival: wq.arrival,
-                outstanding: 0,
-                fetched: Vec::new(),
-                pending: None,
-                nodes_visited: 0,
-                finished_at: None,
-                failed: false,
-                obs: SessionObs::default(),
-            });
+            sessions.push(Session::new(algo, wq.arrival));
             events.schedule(wq.arrival, Event::Arrive(sessions.len() - 1));
         }
 
@@ -547,7 +434,12 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
         let mut total_nodes = 0u64;
         let mut makespan = SimTime::ZERO;
 
+        // The virtual clock tracks the event being processed; recorder
+        // timestamps flow through it, exactly as the real-clock engine
+        // stamps through its wall clock.
+        let mut clock = VirtualClock::new();
         while let Some((now, event)) = events.pop() {
+            clock.advance(now);
             match event {
                 Event::Arrive(q) => {
                     // Per the paper, a new query enters the system
@@ -560,12 +452,12 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                         cpus[c].submit_duration_detailed(now, self.params.query_startup());
                     events.schedule(done, Event::CpuDone { q });
                     if recording {
-                        recorder.record(now.as_nanos(), ObsEvent::QueryArrive { query: q as u32 });
+                        recorder.record(clock.now_ns(), ObsEvent::QueryArrive { query: q as u32 });
                         let exec = done - now - queue;
                         sessions[q].obs.cpu_queue_ns += queue.as_nanos();
                         sessions[q].obs.cpu_ns += exec.as_nanos();
                         recorder.record(
-                            now.as_nanos(),
+                            clock.now_ns(),
                             ObsEvent::CpuSlice {
                                 query: q as u32,
                                 cpu: c as u16,
@@ -608,7 +500,7 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                                     level_max = level_max.max(l);
                                 }
                                 recorder.record(
-                                    now.as_nanos(),
+                                    clock.now_ns(),
                                     ObsEvent::BatchIssued {
                                         query: q as u32,
                                         level,
@@ -640,6 +532,7 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                                         placement.cylinder,
                                         level,
                                         now,
+                                        &clock,
                                         &mut rng,
                                         &mut events,
                                         recording,
@@ -650,7 +543,7 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                                         degraded_reads += 1;
                                         if recording {
                                             recorder.record(
-                                                now.as_nanos(),
+                                                clock.now_ns(),
                                                 ObsEvent::DegradedRead {
                                                     query: q as u32,
                                                     disk: primary as u16,
@@ -666,6 +559,7 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                                             placement.cylinder,
                                             level,
                                             now,
+                                            &clock,
                                             &mut rng,
                                             &mut events,
                                             recording,
@@ -677,7 +571,7 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                                         read_retries += 1;
                                         if recording {
                                             recorder.record(
-                                                now.as_nanos(),
+                                                clock.now_ns(),
                                                 ObsEvent::ReadRetry {
                                                     query: q as u32,
                                                     disk: primary as u16,
@@ -698,7 +592,7 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                                             ));
                                             if recording {
                                                 recorder.record(
-                                                    now.as_nanos(),
+                                                    clock.now_ns(),
                                                     ObsEvent::QueryAbort {
                                                         query: q as u32,
                                                         disk: primary as u16,
@@ -710,7 +604,11 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                                         }
                                         events.schedule(
                                             now + retry.backoff,
-                                            Event::Retry { q, page, attempt: 2 },
+                                            Event::Retry {
+                                                q,
+                                                page,
+                                                attempt: 2,
+                                            },
                                         );
                                     }
                                 }
@@ -725,7 +623,7 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                             if recording {
                                 let obs = sessions[q].obs;
                                 recorder.record(
-                                    now.as_nanos(),
+                                    clock.now_ns(),
                                     ObsEvent::QueryComplete {
                                         query: q as u32,
                                         response_ns: resp.as_nanos(),
@@ -759,7 +657,7 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                         sessions[q].obs.bus_queue_ns += queue.as_nanos();
                         sessions[q].obs.bus_ns += transfer.as_nanos();
                         recorder.record(
-                            now.as_nanos(),
+                            clock.now_ns(),
                             ObsEvent::BusTransfer {
                                 query: q as u32,
                                 queue_ns: queue.as_nanos(),
@@ -800,7 +698,7 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                             session.obs.cpu_queue_ns += queue.as_nanos();
                             session.obs.cpu_ns += exec.as_nanos();
                             recorder.record(
-                                now.as_nanos(),
+                                clock.now_ns(),
                                 ObsEvent::CpuSlice {
                                     query: q as u32,
                                     cpu: c as u16,
@@ -811,7 +709,7 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                             );
                             if let Some(p) = session.algo.progress() {
                                 recorder.record(
-                                    now.as_nanos(),
+                                    clock.now_ns(),
                                     ObsEvent::CrssState {
                                         query: q as u32,
                                         d_th_sq: p.d_th_sq,
@@ -846,6 +744,7 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                             placement.cylinder,
                             level,
                             now,
+                            &clock,
                             &mut rng,
                             &mut events,
                             recording,
@@ -856,7 +755,7 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                             degraded_reads += 1;
                             if recording {
                                 recorder.record(
-                                    now.as_nanos(),
+                                    clock.now_ns(),
                                     ObsEvent::DegradedRead {
                                         query: q as u32,
                                         disk: primary as u16,
@@ -872,6 +771,7 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                                 placement.cylinder,
                                 level,
                                 now,
+                                &clock,
                                 &mut rng,
                                 &mut events,
                                 recording,
@@ -883,7 +783,7 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                             read_retries += 1;
                             if recording {
                                 recorder.record(
-                                    now.as_nanos(),
+                                    clock.now_ns(),
                                     ObsEvent::ReadRetry {
                                         query: q as u32,
                                         disk: primary as u16,
@@ -907,7 +807,7 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                                 ));
                                 if recording {
                                     recorder.record(
-                                        now.as_nanos(),
+                                        clock.now_ns(),
                                         ObsEvent::QueryAbort {
                                             query: q as u32,
                                             disk: primary as u16,
@@ -969,53 +869,5 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                 .filter_map(|s| s.finished_at.map(|f| (f - s.arrival).as_secs_f64()))
                 .collect(),
         })
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn settle_outstanding_counts_down() {
-        assert!(matches!(settle_outstanding(3, 0), Ok(2)));
-        assert!(matches!(settle_outstanding(1, 0), Ok(0)));
-    }
-
-    #[test]
-    fn spurious_bus_done_is_a_typed_invariant_error() {
-        // Regression: this used to be `outstanding -= 1`, which wraps
-        // to usize::MAX in release builds and leaves the query spinning.
-        let err = settle_outstanding(0, 7).unwrap_err();
-        match err {
-            QueryError::Invariant(msg) => {
-                assert!(msg.contains("spurious BusDone"), "{msg}");
-                assert!(msg.contains('7'), "{msg}");
-            }
-            other => panic!("expected Invariant, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn mirror_partner_pairs_and_involutes() {
-        // Even array: perfect pairing, involution, no self-pairing.
-        for n in [2usize, 4, 6, 10, 128] {
-            for d in 0..n {
-                let p = mirror_partner(d, n).expect("even arrays pair fully");
-                assert_ne!(p, d, "n={n} d={d}");
-                assert_eq!(mirror_partner(p, n), Some(d), "n={n} d={d}");
-            }
-        }
-        // Odd array: the last disk is unpaired, the rest involute.
-        for n in [3usize, 5, 7, 11] {
-            assert_eq!(mirror_partner(n - 1, n), None, "n={n}");
-            for d in 0..n - 1 {
-                let p = mirror_partner(d, n).expect("non-last disks pair");
-                assert_ne!(p, d, "n={n} d={d}");
-                assert_eq!(mirror_partner(p, n), Some(d), "n={n} d={d}");
-            }
-        }
-        // Degenerate single-disk array: nothing to mirror onto.
-        assert_eq!(mirror_partner(0, 1), None);
     }
 }

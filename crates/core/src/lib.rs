@@ -31,7 +31,11 @@
 //!   (Figures 8–9 of the paper), and
 //! * the [event-driven simulator](exec::Simulation) — measures query
 //!   response times on the modelled disk array under Poisson workloads
-//!   (Figures 10–12, Tables 3–4).
+//!   (Figures 10–12, Tables 3–4), and
+//! * the [real-clock engine](exec::RealTimeEngine) — the same sessions
+//!   against real files through a batched
+//!   [`IoBackend`](sqda_storage::IoBackend), reporting wall-clock
+//!   latencies (`sqda serve`, `bench_serve`).
 //!
 //! # Example: one query, four algorithms
 //!
@@ -79,7 +83,10 @@ pub use error::QueryError;
 pub use algo::{AlgoProgress, AlgorithmKind, BatchResult, KBest, SimilaritySearch, Step};
 pub use bbss::Bbss;
 pub use crss::Crss;
-pub use exec::{mirror_partner, run_query, run_query_with, QueryRun, Simulation, SimulationReport};
+pub use exec::{
+    mirror_partner, run_query, run_query_with, QueryRun, RealTimeEngine, RealTimeReport,
+    Simulation, SimulationReport,
+};
 pub use fpss::Fpss;
 pub use range::RangeSearch;
 pub use sqda_rstar::{Neighbor, ObjectId};

@@ -1,0 +1,287 @@
+//! Execution-backend equivalence: the same persisted tree and query set
+//! must yield byte-identical k-NN answers and identical `IoStats`
+//! (reads, per-disk breakdown, cache hits) under the logical executor,
+//! the simulated engine, and the real-clock engine.
+//!
+//! This is the contract that makes wall-clock measurements from
+//! `sqda serve` / `bench_serve` comparable to the simulator's
+//! predictions: the engines may disagree about *time*, never about
+//! *work* — which pages are read, from which disks, and which of those
+//! reads the shared node cache absorbs.
+
+use sqda_core::{
+    exec::run_query, AlgorithmKind, BatchResult, IndexNode, Neighbor, RealTimeEngine,
+    SimilaritySearch, Simulation, Step, Workload, WorkloadQuery,
+};
+use sqda_geom::Point;
+use sqda_rstar::decluster::ProximityIndex;
+use sqda_rstar::{Node, RStarConfig, RStarTree};
+use sqda_simkernel::{FaultPlan, SimTime, SystemParams};
+use sqda_storage::{
+    FileStore, InlineBackend, IoStats, NodeCache, PageId, PageStore, ThreadedFileBackend,
+};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+const NUM_DISKS: u32 = 4;
+const PAGE_SIZE: usize = 1024;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("sqda-backend-parity-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> RStarConfig {
+    RStarConfig::with_page_size(2, PAGE_SIZE)
+}
+
+/// Persists a deterministic tree and returns its root page.
+fn build_store(dir: &PathBuf) -> PageId {
+    let store = Arc::new(FileStore::create(dir, NUM_DISKS, 100, PAGE_SIZE, 11).unwrap());
+    let mut tree = RStarTree::create(store.clone(), config(), Box::new(ProximityIndex)).unwrap();
+    for i in 0..400u64 {
+        let x = (i % 23) as f64 + (i as f64) * 1e-3;
+        let y = (i % 17) as f64;
+        tree.insert(Point::new(vec![x, y]), i).unwrap();
+    }
+    let root = tree.root_page();
+    store.sync().unwrap();
+    root
+}
+
+/// A fresh handle on the persisted tree with a cold, eviction-free node
+/// cache and zeroed I/O counters — each execution mode starts from the
+/// identical state.
+fn open_tree(dir: &PathBuf, root: PageId) -> RStarTree<FileStore> {
+    let store = Arc::new(FileStore::open(dir).unwrap());
+    let mut tree = RStarTree::attach(store, config(), Box::new(ProximityIndex), root).unwrap();
+    tree.set_node_cache(Arc::new(NodeCache::<Node>::new(4096)));
+    tree.store().reset_stats();
+    tree
+}
+
+fn queries() -> Vec<(Point, usize)> {
+    (0..6)
+        .map(|i| {
+            (
+                Point::new(vec![(i * 3 % 20) as f64 + 0.4, (i * 5 % 15) as f64 + 0.7]),
+                5,
+            )
+        })
+        .collect()
+}
+
+fn workload() -> Workload {
+    Workload {
+        queries: queries()
+            .into_iter()
+            .enumerate()
+            .map(|(i, (point, k))| WorkloadQuery {
+                arrival: SimTime::from_millis_f64(i as f64 * 5.0),
+                point,
+                k,
+            })
+            .collect(),
+    }
+}
+
+/// Answers of every query plus the run's I/O statistics, for one mode.
+struct ModeRun {
+    answers: Vec<Vec<Neighbor>>,
+    io: IoStats,
+}
+
+fn run_logical(dir: &PathBuf, root: PageId, kind: AlgorithmKind) -> ModeRun {
+    let tree = open_tree(dir, root);
+    let answers = queries()
+        .into_iter()
+        .map(|(point, k)| {
+            let mut algo = kind.build(&tree, point, k).unwrap();
+            run_query(&tree, algo.as_mut()).unwrap().results
+        })
+        .collect();
+    ModeRun {
+        answers,
+        io: tree.io_stats(),
+    }
+}
+
+/// Stashes the inner algorithm's answers on `Done`; the simulated
+/// executor never reads answers itself, so this is the capture seam.
+struct Spy {
+    inner: Box<dyn SimilaritySearch>,
+    query: usize,
+    sink: Arc<Mutex<BTreeMap<usize, Vec<Neighbor>>>>,
+}
+
+impl SimilaritySearch for Spy {
+    fn start(&mut self) -> Step {
+        self.inner.start()
+    }
+    fn on_fetched(&mut self, nodes: &mut Vec<(PageId, IndexNode)>) -> BatchResult {
+        let result = self.inner.on_fetched(nodes);
+        if matches!(result.next, Step::Done) {
+            self.sink
+                .lock()
+                .unwrap()
+                .insert(self.query, self.inner.results());
+        }
+        result
+    }
+    fn results(&self) -> Vec<Neighbor> {
+        self.inner.results()
+    }
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+fn run_simulated(dir: &PathBuf, root: PageId, kind: AlgorithmKind) -> ModeRun {
+    let tree = open_tree(dir, root);
+    let sim = Simulation::new(&tree, SystemParams::with_disks(NUM_DISKS)).unwrap();
+    let sink: Arc<Mutex<BTreeMap<usize, Vec<Neighbor>>>> = Arc::default();
+    let mut next_query = 0usize;
+    let factory_sink = Arc::clone(&sink);
+    let report = sim
+        .run_with_faulted_recorded(
+            |point, k| {
+                let spy = Spy {
+                    inner: kind.build(&tree, point, k).unwrap(),
+                    query: next_query,
+                    sink: Arc::clone(&factory_sink),
+                };
+                next_query += 1;
+                Box::new(spy)
+            },
+            kind.name(),
+            &workload(),
+            13,
+            &FaultPlan::none(),
+            &mut sqda_obs::NullRecorder,
+        )
+        .unwrap();
+    assert_eq!(report.failed, 0, "{kind}");
+    let captured = sink.lock().unwrap();
+    let answers = (0..captured.len()).map(|q| captured[&q].clone()).collect();
+    ModeRun {
+        answers,
+        io: tree.io_stats(),
+    }
+}
+
+fn run_real(dir: &PathBuf, root: PageId, kind: AlgorithmKind, threaded: bool) -> ModeRun {
+    let tree = open_tree(dir, root);
+    let backend: Arc<dyn sqda_storage::IoBackend> = if threaded {
+        Arc::new(ThreadedFileBackend::new(Arc::clone(tree.store())))
+    } else {
+        Arc::new(InlineBackend::new(Arc::clone(tree.store())))
+    };
+    let engine = RealTimeEngine::new(&tree, backend).unwrap();
+    let report = engine.run(kind, &workload(), 1).unwrap();
+    assert_eq!(report.failed, 0, "{kind}");
+    assert_eq!(report.completed, queries().len(), "{kind}");
+    ModeRun {
+        answers: report.answers,
+        io: tree.io_stats(),
+    }
+}
+
+fn assert_answers_identical(kind: AlgorithmKind, a: &ModeRun, b: &ModeRun, what: &str) {
+    assert_eq!(a.answers.len(), b.answers.len(), "{kind}: {what}");
+    for (q, (want, got)) in a.answers.iter().zip(&b.answers).enumerate() {
+        assert_eq!(want.len(), got.len(), "{kind} query {q}: {what}");
+        for (x, y) in want.iter().zip(got) {
+            assert_eq!(x.object, y.object, "{kind} query {q}: {what}");
+            // Bit-exact, not approximate: both engines must do the same
+            // arithmetic on the same decoded bytes.
+            assert_eq!(
+                x.dist_sq.to_bits(),
+                y.dist_sq.to_bits(),
+                "{kind} query {q}: {what}"
+            );
+            assert_eq!(
+                x.point.coords(),
+                y.point.coords(),
+                "{kind} query {q}: {what}"
+            );
+        }
+    }
+}
+
+fn assert_io_identical(kind: AlgorithmKind, a: &ModeRun, b: &ModeRun, what: &str) {
+    assert_eq!(a.io.reads, b.io.reads, "{kind} reads: {what}");
+    assert_eq!(
+        a.io.reads_per_disk, b.io.reads_per_disk,
+        "{kind} per-disk reads: {what}"
+    );
+    assert_eq!(
+        a.io.cache_hits, b.io.cache_hits,
+        "{kind} cache hits: {what}"
+    );
+    assert_eq!(
+        a.io.cache_misses, b.io.cache_misses,
+        "{kind} cache misses: {what}"
+    );
+}
+
+/// The acceptance pin: logical, simulated, and real-clock execution
+/// agree bit-for-bit on answers and I/O work for all four algorithms.
+#[test]
+fn three_execution_modes_agree_on_answers_and_io() {
+    let dir = tmpdir("modes");
+    let root = build_store(&dir);
+    for kind in AlgorithmKind::ALL {
+        let logical = run_logical(&dir, root, kind);
+        let simulated = run_simulated(&dir, root, kind);
+        let real = run_real(&dir, root, kind, true);
+        assert!(
+            logical.io.reads > 0 && logical.io.cache_hits > 0,
+            "{kind}: the workload must exercise both the store and the cache"
+        );
+        assert_answers_identical(kind, &logical, &simulated, "logical vs simulated");
+        assert_answers_identical(kind, &logical, &real, "logical vs real");
+        assert_io_identical(kind, &logical, &simulated, "logical vs simulated");
+        assert_io_identical(kind, &logical, &real, "logical vs real");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The inline (synchronous) backend is work-equivalent to the threaded
+/// per-disk backend: same answers, same I/O statistics.
+#[test]
+fn inline_and_threaded_backends_agree() {
+    let dir = tmpdir("backends");
+    let root = build_store(&dir);
+    for kind in [AlgorithmKind::Crss, AlgorithmKind::Bbss] {
+        let inline = run_real(&dir, root, kind, false);
+        let threaded = run_real(&dir, root, kind, true);
+        assert_answers_identical(kind, &inline, &threaded, "inline vs threaded");
+        assert_io_identical(kind, &inline, &threaded, "inline vs threaded");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Concurrent real-clock sessions still return the right answers (I/O
+/// totals may differ: two sessions can race to fault the same page into
+/// the cache, which is benign duplicated work, not wrong work).
+#[test]
+fn concurrent_real_sessions_preserve_answers() {
+    let dir = tmpdir("concurrent");
+    let root = build_store(&dir);
+    let kind = AlgorithmKind::Crss;
+    let sequential = run_real(&dir, root, kind, true);
+    let tree = open_tree(&dir, root);
+    let backend = Arc::new(ThreadedFileBackend::new(Arc::clone(tree.store())));
+    let engine = RealTimeEngine::new(&tree, backend).unwrap();
+    let report = engine.run(kind, &workload(), 4).unwrap();
+    assert_eq!(report.failed, 0);
+    let concurrent = ModeRun {
+        answers: report.answers,
+        io: tree.io_stats(),
+    };
+    assert_answers_identical(kind, &sequential, &concurrent, "sequential vs concurrent");
+    std::fs::remove_dir_all(&dir).ok();
+}

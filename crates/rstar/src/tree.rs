@@ -225,6 +225,28 @@ impl<S: PageStore> RStarTree<S> {
         }
     }
 
+    /// Probes the decoded-node cache alone — no page read on a miss.
+    ///
+    /// The hit/miss counters advance exactly as in [`Self::read_node`],
+    /// so an engine that probes here and completes misses through
+    /// [`Self::decode_node_bytes`] produces the same cache statistics
+    /// as one reading through. Always a miss when no cache is attached.
+    pub fn cached_node(&self, page: PageId) -> Option<Arc<Node>> {
+        self.cache.as_ref().and_then(|cache| cache.get(page))
+    }
+
+    /// Decodes page bytes fetched out-of-band (e.g. by a batched I/O
+    /// backend) and populates the cache, completing the miss path of
+    /// [`Self::cached_node`]. Together the pair is [`Self::read_node`]
+    /// with the page read lifted out.
+    pub fn decode_node_bytes(&self, page: PageId, bytes: bytes::Bytes) -> Result<Arc<Node>> {
+        let node = Arc::new(codec::decode_node(bytes, self.config.dim, page)?);
+        if let Some(cache) = &self.cache {
+            cache.insert(page, Arc::clone(&node));
+        }
+        Ok(node)
+    }
+
     /// Encodes and writes `node` to `page`, invalidating any cached
     /// decode so readers never see a stale node.
     pub(crate) fn write_node(&self, page: PageId, node: &Node) -> Result<()> {

@@ -32,6 +32,15 @@ pub enum StorageError {
         /// Human-readable detail.
         detail: String,
     },
+    /// A store superblock (`meta.sqda`) is unreadable, truncated, or has
+    /// an unsupported version. Opening a damaged store must surface this
+    /// typed error — never a panic or a silent garbage read.
+    Superblock {
+        /// The offending superblock path.
+        path: String,
+        /// Human-readable detail (what was wrong and where).
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for StorageError {
@@ -54,6 +63,9 @@ impl std::fmt::Display for StorageError {
             }
             StorageError::CorruptPage { page, detail } => {
                 write!(f, "page {page} is corrupt: {detail}")
+            }
+            StorageError::Superblock { path, detail } => {
+                write!(f, "bad superblock {path}: {detail}")
             }
         }
     }

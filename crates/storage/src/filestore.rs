@@ -9,18 +9,72 @@
 //!
 //! Reads return exactly the bytes written (lengths are tracked in the
 //! superblock), so any `PageStore` consumer works unchanged.
+//!
+//! # Concurrency
+//!
+//! All I/O is *positional* (`pread`/`pwrite`-style via [`FileExt`]):
+//! every disk has one shared `File` handle with no cursor state, so
+//! concurrent readers — in particular the per-disk worker threads of
+//! [`crate::ThreadedFileBackend`] — never serialize on a lock to reach
+//! the data. The placement table sits behind an `RwLock` taken in read
+//! mode on the read path, and the I/O tallies are atomics, mirroring
+//! [`ArrayStore`](crate::ArrayStore)'s lock-free accounting. Readers on
+//! different disks (and on the same disk) proceed fully in parallel;
+//! only allocate/free/write take the table lock exclusively.
 
+use crate::store::Counters;
 use crate::{DiskId, IoStats, PageId, PageStore, Placement, Result, StorageError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 const META_MAGIC: &[u8; 4] = b"SQDA";
 const META_VERSION: u8 = 1;
+
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    std::os::unix::fs::FileExt::read_exact_at(file, buf, offset)
+}
+
+#[cfg(unix)]
+fn write_all_at(file: &File, buf: &[u8], offset: u64) -> std::io::Result<()> {
+    std::os::unix::fs::FileExt::write_all_at(file, buf, offset)
+}
+
+#[cfg(windows)]
+fn read_exact_at(file: &File, mut buf: &mut [u8], mut offset: u64) -> std::io::Result<()> {
+    use std::os::windows::fs::FileExt;
+    while !buf.is_empty() {
+        match file.seek_read(buf, offset)? {
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "failed to fill whole buffer",
+                ))
+            }
+            n => {
+                buf = &mut buf[n..];
+                offset += n as u64;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(windows)]
+fn write_all_at(file: &File, mut buf: &[u8], mut offset: u64) -> std::io::Result<()> {
+    use std::os::windows::fs::FileExt;
+    while !buf.is_empty() {
+        let n = file.seek_write(buf, offset)?;
+        buf = &buf[n..];
+        offset += n as u64;
+    }
+    Ok(())
+}
 
 struct SlotInfo {
     placement: Placement,
@@ -30,8 +84,10 @@ struct SlotInfo {
     len: u32,
 }
 
-struct Inner {
-    files: Vec<File>,
+/// The placement table and allocator state, behind one `RwLock`. The
+/// read path only ever takes it in shared mode (and drops it before
+/// touching the file), so metadata lookups never serialize readers.
+struct Meta {
     slots: Vec<Option<SlotInfo>>,
     /// Next fresh slot per disk.
     next_slot: Vec<u64>,
@@ -40,19 +96,77 @@ struct Inner {
     /// Freed page ids for reuse.
     free_pages: Vec<u64>,
     rng: StdRng,
-    stats: IoStats,
 }
 
-/// A persistent page store over one file per disk.
+/// A persistent page store over one file per disk, with positional
+/// (`pread`-style) I/O so concurrent readers never contend on a lock.
 pub struct FileStore {
     dir: PathBuf,
     num_disks: u32,
     num_cylinders: u32,
     page_size: usize,
-    inner: Mutex<Inner>,
+    /// One shared handle per disk; accessed exclusively through
+    /// positional I/O, so no cursor state and no guarding lock.
+    files: Vec<File>,
+    meta: RwLock<Meta>,
+    counters: Counters,
 }
 
 const NEVER_WRITTEN: u32 = u32::MAX;
+
+impl std::fmt::Debug for FileStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileStore")
+            .field("dir", &self.dir)
+            .field("num_disks", &self.num_disks)
+            .field("num_cylinders", &self.num_cylinders)
+            .field("page_size", &self.page_size)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A bounds-checked cursor over superblock bytes: every decode states
+/// what it needed, so a truncated `meta.sqda` surfaces as a typed
+/// [`StorageError::Superblock`] instead of a panic deep in `bytes`.
+struct MetaReader<'a> {
+    buf: Bytes,
+    path: &'a Path,
+}
+
+impl<'a> MetaReader<'a> {
+    fn bad(&self, detail: impl Into<String>) -> StorageError {
+        StorageError::Superblock {
+            path: self.path.display().to_string(),
+            detail: detail.into(),
+        }
+    }
+
+    fn need(&self, n: usize, what: &str) -> Result<()> {
+        if self.buf.remaining() < n {
+            Err(self.bad(format!(
+                "truncated: {what} needs {n} bytes, {} left",
+                self.buf.remaining()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8> {
+        self.need(1, what)?;
+        Ok(self.buf.get_u8())
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32> {
+        self.need(4, what)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64> {
+        self.need(8, what)?;
+        Ok(self.buf.get_u64_le())
+    }
+}
 
 impl FileStore {
     /// Creates a fresh store in `dir` (created if missing; must not
@@ -87,19 +201,15 @@ impl FileStore {
             num_disks,
             num_cylinders,
             page_size,
-            inner: Mutex::new(Inner {
-                files,
+            files,
+            meta: RwLock::new(Meta {
                 slots: Vec::new(),
                 next_slot: vec![0; num_disks as usize],
                 free_slots: Vec::new(),
                 free_pages: Vec::new(),
                 rng: StdRng::seed_from_u64(seed),
-                stats: IoStats {
-                    reads_per_disk: vec![0; num_disks as usize],
-                    writes_per_disk: vec![0; num_disks as usize],
-                    ..IoStats::default()
-                },
             }),
+            counters: Counters::new(num_disks),
         };
         store.sync()?;
         Ok(store)
@@ -107,80 +217,127 @@ impl FileStore {
 
     /// Opens an existing store, restoring geometry and placements from
     /// the superblock.
-    pub fn open(dir: &Path) -> std::io::Result<Self> {
-        let mut meta = Vec::new();
-        File::open(dir.join("meta.sqda"))?.read_to_end(&mut meta)?;
-        let mut buf = Bytes::from(meta);
-        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
-        if buf.remaining() < 4 + 1 {
-            return Err(bad("truncated superblock"));
-        }
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Superblock`] — carrying the offending
+    /// path — when `meta.sqda` is missing, unreadable, truncated, has a
+    /// bad magic or an unsupported version, or references disks outside
+    /// its own declared geometry. Damage is never papered over with a
+    /// partial table.
+    pub fn open(dir: &Path) -> Result<Self> {
+        let meta_path = dir.join("meta.sqda");
+        let bad = |detail: String| StorageError::Superblock {
+            path: meta_path.display().to_string(),
+            detail,
+        };
+        let mut meta_bytes = Vec::new();
+        File::open(&meta_path)
+            .and_then(|mut f| f.read_to_end(&mut meta_bytes))
+            .map_err(|e| bad(format!("unreadable: {e}")))?;
+        let mut r = MetaReader {
+            buf: Bytes::from(meta_bytes),
+            path: &meta_path,
+        };
+        r.need(4, "magic")?;
         let mut magic = [0u8; 4];
-        buf.copy_to_slice(&mut magic);
+        r.buf.copy_to_slice(&mut magic);
         if &magic != META_MAGIC {
-            return Err(bad("bad superblock magic"));
+            return Err(r.bad(format!(
+                "bad magic {magic:02x?} (expected {META_MAGIC:02x?})"
+            )));
         }
-        if buf.get_u8() != META_VERSION {
-            return Err(bad("unsupported superblock version"));
+        let version = r.u8("version")?;
+        if version != META_VERSION {
+            return Err(r.bad(format!(
+                "unsupported superblock version {version} (this build reads version \
+                 {META_VERSION})"
+            )));
         }
-        let num_disks = buf.get_u32_le();
-        let num_cylinders = buf.get_u32_le();
-        let page_size = buf.get_u64_le() as usize;
-        let rng_seed = buf.get_u64_le();
-        let n_slots = buf.get_u64_le() as usize;
+        let num_disks = r.u32("disk count")?;
+        if num_disks == 0 {
+            return Err(r.bad("geometry declares zero disks"));
+        }
+        let num_cylinders = r.u32("cylinder count")?;
+        let page_size = r.u64("page size")? as usize;
+        if page_size == 0 {
+            return Err(r.bad("geometry declares zero page size"));
+        }
+        let rng_seed = r.u64("rng seed")?;
+        let n_slots = r.u64("slot count")? as usize;
+        // Each slot record is at least its one tag byte, so a slot count
+        // exceeding the remaining bytes is provably truncation — checked
+        // before reserving memory for the table.
+        r.need(n_slots, "slot table")?;
         let mut slots = Vec::with_capacity(n_slots);
         let mut next_slot = vec![0u64; num_disks as usize];
         let mut free_pages = Vec::new();
         for page in 0..n_slots {
-            let tag = buf.get_u8();
-            if tag == 0 {
-                slots.push(None);
-                free_pages.push(page as u64);
-            } else {
-                let disk = buf.get_u32_le();
-                let cylinder = buf.get_u32_le();
-                let slot = buf.get_u64_le();
-                let len = buf.get_u32_le();
-                next_slot[disk as usize] = next_slot[disk as usize].max(slot + 1);
-                slots.push(Some(SlotInfo {
-                    placement: Placement::new(DiskId(disk), cylinder),
-                    slot,
-                    len,
-                }));
+            let tag = r.u8("slot tag")?;
+            match tag {
+                0 => {
+                    slots.push(None);
+                    free_pages.push(page as u64);
+                }
+                1 => {
+                    let disk = r.u32("slot disk")?;
+                    let cylinder = r.u32("slot cylinder")?;
+                    let slot = r.u64("slot index")?;
+                    let len = r.u32("slot length")?;
+                    if disk >= num_disks {
+                        return Err(r.bad(format!(
+                            "page {page} placed on disk {disk}, but the geometry \
+                             declares only {num_disks} disks"
+                        )));
+                    }
+                    next_slot[disk as usize] = next_slot[disk as usize].max(slot + 1);
+                    slots.push(Some(SlotInfo {
+                        placement: Placement::new(DiskId(disk), cylinder),
+                        slot,
+                        len,
+                    }));
+                }
+                other => {
+                    return Err(r.bad(format!("page {page}: unknown slot tag {other}")));
+                }
             }
+        }
+        if r.buf.remaining() > 0 {
+            return Err(r.bad(format!(
+                "{} trailing bytes after the slot table",
+                r.buf.remaining()
+            )));
         }
         let files = (0..num_disks)
             .map(|d| {
+                let path = dir.join(format!("disk{d:04}.sqda"));
                 OpenOptions::new()
                     .read(true)
                     .write(true)
-                    .open(dir.join(format!("disk{d:04}.sqda")))
+                    .open(&path)
+                    .map_err(|e| bad(format!("disk file {} unreadable: {e}", path.display())))
             })
-            .collect::<std::io::Result<Vec<_>>>()?;
+            .collect::<Result<Vec<_>>>()?;
         Ok(Self {
             dir: dir.to_path_buf(),
             num_disks,
             num_cylinders,
             page_size,
-            inner: Mutex::new(Inner {
-                files,
+            files,
+            meta: RwLock::new(Meta {
                 slots,
                 next_slot,
                 free_slots: Vec::new(),
                 free_pages,
                 rng: StdRng::seed_from_u64(rng_seed),
-                stats: IoStats {
-                    reads_per_disk: vec![0; num_disks as usize],
-                    writes_per_disk: vec![0; num_disks as usize],
-                    ..IoStats::default()
-                },
             }),
+            counters: Counters::new(num_disks),
         })
     }
 
     /// Writes the superblock (placement table) to disk.
     pub fn sync(&self) -> std::io::Result<()> {
-        let inner = self.inner.lock();
+        let meta = self.meta.read();
         let mut buf = BytesMut::new();
         buf.put_slice(META_MAGIC);
         buf.put_u8(META_VERSION);
@@ -190,8 +347,8 @@ impl FileStore {
         // Persist a derived seed so reopened stores keep drawing fresh
         // cylinders (exact stream continuation is not required).
         buf.put_u64_le(0xC0FFEE);
-        buf.put_u64_le(inner.slots.len() as u64);
-        for slot in &inner.slots {
+        buf.put_u64_le(meta.slots.len() as u64);
+        for slot in &meta.slots {
             match slot {
                 None => buf.put_u8(0),
                 Some(info) => {
@@ -216,6 +373,25 @@ impl FileStore {
             detail: format!("file I/O: {e}"),
         }
     }
+
+    /// Looks up the physical location of a readable page: disk index,
+    /// byte offset in the disk file, and stored length.
+    fn read_plan(&self, page: PageId) -> Result<(usize, u64, usize)> {
+        let meta = self.meta.read();
+        let info = meta
+            .slots
+            .get(page.as_raw() as usize)
+            .and_then(|s| s.as_ref())
+            .ok_or(StorageError::PageNotFound(page))?;
+        if info.len == NEVER_WRITTEN {
+            return Err(StorageError::UninitializedPage(page));
+        }
+        Ok((
+            info.placement.disk.index(),
+            info.slot * self.page_size as u64,
+            info.len as usize,
+        ))
+    }
 }
 
 impl PageStore for FileStore {
@@ -238,14 +414,14 @@ impl PageStore for FileStore {
                 num_disks: self.num_disks,
             });
         }
-        let mut inner = self.inner.lock();
-        let cylinder = inner.rng.gen_range(0..self.num_cylinders);
+        let mut meta = self.meta.write();
+        let cylinder = meta.rng.gen_range(0..self.num_cylinders);
         // Prefer a freed slot on the target disk.
-        let slot = if let Some(pos) = inner.free_slots.iter().position(|(d, _)| *d == disk.0) {
-            inner.free_slots.swap_remove(pos).1
+        let slot = if let Some(pos) = meta.free_slots.iter().position(|(d, _)| *d == disk.0) {
+            meta.free_slots.swap_remove(pos).1
         } else {
-            let s = inner.next_slot[disk.index()];
-            inner.next_slot[disk.index()] += 1;
+            let s = meta.next_slot[disk.index()];
+            meta.next_slot[disk.index()] += 1;
             s
         };
         let info = SlotInfo {
@@ -253,12 +429,12 @@ impl PageStore for FileStore {
             slot,
             len: NEVER_WRITTEN,
         };
-        let raw = if let Some(raw) = inner.free_pages.pop() {
-            inner.slots[raw as usize] = Some(info);
+        let raw = if let Some(raw) = meta.free_pages.pop() {
+            meta.slots[raw as usize] = Some(info);
             raw
         } else {
-            inner.slots.push(Some(info));
-            (inner.slots.len() - 1) as u64
+            meta.slots.push(Some(info));
+            (meta.slots.len() - 1) as u64
         };
         Ok(PageId::from_raw(raw))
     }
@@ -271,9 +447,9 @@ impl PageStore for FileStore {
                 page_size: self.page_size,
             });
         }
-        let mut inner = self.inner.lock();
         let (disk, offset) = {
-            let info = inner
+            let mut meta = self.meta.write();
+            let info = meta
                 .slots
                 .get_mut(page.as_raw() as usize)
                 .and_then(|s| s.as_mut())
@@ -284,66 +460,45 @@ impl PageStore for FileStore {
                 info.slot * self.page_size as u64,
             )
         };
-        let file = &mut inner.files[disk];
-        file.seek(SeekFrom::Start(offset))
-            .map_err(|e| Self::io_err(e, page))?;
-        file.write_all(&data).map_err(|e| Self::io_err(e, page))?;
+        let file = &self.files[disk];
+        write_all_at(file, &data, offset).map_err(|e| Self::io_err(e, page))?;
         // Pad to a full page so slots never overlap.
         let pad = self.page_size - data.len();
         if pad > 0 {
-            file.write_all(&vec![0u8; pad])
+            write_all_at(file, &vec![0u8; pad], offset + data.len() as u64)
                 .map_err(|e| Self::io_err(e, page))?;
         }
-        inner.stats.writes += 1;
-        inner.stats.writes_per_disk[disk] += 1;
+        self.counters.tally_write(disk);
         Ok(())
     }
 
     fn read(&self, page: PageId) -> Result<Bytes> {
-        let mut inner = self.inner.lock();
-        let (disk, offset, len) = {
-            let info = inner
-                .slots
-                .get(page.as_raw() as usize)
-                .and_then(|s| s.as_ref())
-                .ok_or(StorageError::PageNotFound(page))?;
-            if info.len == NEVER_WRITTEN {
-                return Err(StorageError::UninitializedPage(page));
-            }
-            (
-                info.placement.disk.index(),
-                info.slot * self.page_size as u64,
-                info.len as usize,
-            )
-        };
-        let file = &mut inner.files[disk];
-        file.seek(SeekFrom::Start(offset))
-            .map_err(|e| Self::io_err(e, page))?;
+        // Shared metadata lock, dropped before the file access; the read
+        // itself is positional on the per-disk handle, so concurrent
+        // readers — same disk or different disks — never serialize.
+        let (disk, offset, len) = self.read_plan(page)?;
         let mut data = vec![0u8; len];
-        file.read_exact(&mut data)
-            .map_err(|e| Self::io_err(e, page))?;
-        inner.stats.reads += 1;
-        inner.stats.reads_per_disk[disk] += 1;
+        read_exact_at(&self.files[disk], &mut data, offset).map_err(|e| Self::io_err(e, page))?;
+        self.counters.tally_read(disk);
         Ok(Bytes::from(data))
     }
 
     fn free(&self, page: PageId) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let info = inner
+        let mut meta = self.meta.write();
+        let info = meta
             .slots
             .get_mut(page.as_raw() as usize)
             .ok_or(StorageError::PageNotFound(page))?
             .take()
             .ok_or(StorageError::PageNotFound(page))?;
-        inner.free_slots.push((info.placement.disk.0, info.slot));
-        inner.free_pages.push(page.as_raw());
+        meta.free_slots.push((info.placement.disk.0, info.slot));
+        meta.free_pages.push(page.as_raw());
         Ok(())
     }
 
     fn placement(&self, page: PageId) -> Result<Placement> {
-        let inner = self.inner.lock();
-        inner
-            .slots
+        let meta = self.meta.read();
+        meta.slots
             .get(page.as_raw() as usize)
             .and_then(|s| s.as_ref())
             .map(|s| s.placement)
@@ -351,23 +506,17 @@ impl PageStore for FileStore {
     }
 
     fn stats(&self) -> IoStats {
-        self.inner.lock().stats.clone()
+        self.counters.snapshot(self.num_disks)
     }
 
     fn reset_stats(&self) {
-        let mut inner = self.inner.lock();
-        let n = self.num_disks as usize;
-        inner.stats = IoStats {
-            reads_per_disk: vec![0; n],
-            writes_per_disk: vec![0; n],
-            ..IoStats::default()
-        };
+        self.counters.reset();
     }
 
     fn pages_per_disk(&self) -> Vec<usize> {
-        let inner = self.inner.lock();
+        let meta = self.meta.read();
         let mut counts = vec![0usize; self.num_disks as usize];
-        for slot in inner.slots.iter().flatten() {
+        for slot in meta.slots.iter().flatten() {
             counts[slot.placement.disk.index()] += 1;
         }
         counts
@@ -475,11 +624,142 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_readers_do_not_contend_or_misread() {
+        // Readers across all disks in parallel: every read returns its
+        // page's exact bytes and the atomic tallies account for all of
+        // them. (Pre-refactor a single global Mutex serialized this.)
+        let dir = tmpdir("concurrent");
+        let s = FileStore::create(&dir, 4, 100, 256, 6).unwrap();
+        let mut pages = Vec::new();
+        for i in 0..32u64 {
+            let p = s.allocate(DiskId((i % 4) as u32)).unwrap();
+            let payload = vec![i as u8; (i as usize % 100) + 1];
+            s.write(p, Bytes::from(payload.clone())).unwrap();
+            pages.push((p, payload));
+        }
+        s.reset_stats();
+        const THREADS: usize = 8;
+        const READS: usize = 200;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let s = &s;
+                let pages = &pages;
+                scope.spawn(move || {
+                    for i in 0..READS {
+                        let (p, payload) = &pages[(t + i) % pages.len()];
+                        assert_eq!(s.read(*p).unwrap(), Bytes::from(payload.clone()));
+                    }
+                });
+            }
+        });
+        let st = s.stats();
+        assert_eq!(st.reads, (THREADS * READS) as u64);
+        assert_eq!(st.reads_per_disk.iter().sum::<u64>(), st.reads);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn open_rejects_garbage_superblock() {
         let dir = tmpdir("garbage");
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("meta.sqda"), b"not a superblock").unwrap();
-        assert!(FileStore::open(&dir).is_err());
+        let err = FileStore::open(&dir).unwrap_err();
+        match &err {
+            StorageError::Superblock { path, detail } => {
+                assert!(path.contains("meta.sqda"), "{err}");
+                assert!(detail.contains("magic"), "{err}");
+            }
+            other => panic!("expected Superblock error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_rejects_unknown_version() {
+        let dir = tmpdir("version");
+        {
+            let s = FileStore::create(&dir, 1, 10, 64, 7).unwrap();
+            s.sync().unwrap();
+        }
+        let path = dir.join("meta.sqda");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4] = 99; // the version byte follows the 4-byte magic
+        std::fs::write(&path, bytes).unwrap();
+        let err = FileStore::open(&dir).unwrap_err();
+        match &err {
+            StorageError::Superblock { path, detail } => {
+                assert!(path.contains("meta.sqda"), "{err}");
+                assert!(detail.contains("version 99"), "{err}");
+            }
+            other => panic!("expected Superblock error, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_rejects_truncated_superblock() {
+        let dir = tmpdir("truncated");
+        {
+            let s = FileStore::create(&dir, 2, 10, 64, 8).unwrap();
+            let p = s.allocate(DiskId(0)).unwrap();
+            s.write(p, Bytes::from_static(b"payload")).unwrap();
+            s.sync().unwrap();
+        }
+        let path = dir.join("meta.sqda");
+        let full = std::fs::read(&path).unwrap();
+        // Every proper prefix must fail with a typed Superblock error —
+        // never a panic, never a silently partial table.
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let err = FileStore::open(&dir).unwrap_err();
+            match &err {
+                StorageError::Superblock { path, .. } => {
+                    assert!(path.contains("meta.sqda"), "cut={cut}: {err}");
+                }
+                other => panic!("cut={cut}: expected Superblock error, got {other:?}"),
+            }
+        }
+        // Restoring the full superblock opens cleanly again.
+        std::fs::write(&path, &full).unwrap();
+        assert!(FileStore::open(&dir).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_rejects_out_of_range_disk() {
+        let dir = tmpdir("baddisk");
+        {
+            let s = FileStore::create(&dir, 2, 10, 64, 9).unwrap();
+            let p = s.allocate(DiskId(1)).unwrap();
+            s.write(p, Bytes::from_static(b"x")).unwrap();
+            s.sync().unwrap();
+        }
+        let path = dir.join("meta.sqda");
+        let mut bytes = std::fs::read(&path).unwrap();
+        // The first slot record starts after the fixed header
+        // (4 magic + 1 version + 4 disks + 4 cylinders + 8 page size +
+        // 8 seed + 8 slot count = 37 bytes); its disk field follows the
+        // tag byte.
+        let disk_field = 37 + 1;
+        bytes[disk_field..disk_field + 4].copy_from_slice(&7u32.to_le_bytes());
+        std::fs::write(&path, bytes).unwrap();
+        let err = FileStore::open(&dir).unwrap_err();
+        match &err {
+            StorageError::Superblock { detail, .. } => {
+                assert!(detail.contains("disk 7"), "{err}");
+            }
+            other => panic!("expected Superblock error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_missing_superblock_is_typed() {
+        let dir = tmpdir("missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = FileStore::open(&dir).unwrap_err();
+        assert!(
+            matches!(&err, StorageError::Superblock { .. }),
+            "expected Superblock error, got {err:?}"
+        );
     }
 }

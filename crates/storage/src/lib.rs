@@ -20,6 +20,7 @@
 //! logically (counting node accesses, Figures 8–9 of the paper) or under
 //! the full event-driven timing model (Figures 10–12, Tables 3–4).
 
+mod backend;
 mod cache;
 mod error;
 mod filestore;
@@ -27,9 +28,15 @@ mod page;
 mod placement;
 mod store;
 
+pub use backend::{InlineBackend, IoBackend, ReadCompletion, ThreadedFileBackend};
 pub use cache::{CacheStats, LruCache, NodeCache};
 pub use error::{Result, StorageError};
 pub use filestore::FileStore;
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use placement::{DiskId, Placement};
 pub use store::{ArrayStore, IoStats, PageStore};
+
+/// Re-exported page byte buffer type, so downstream crates can name the
+/// type `PageStore` and `IoBackend` traffic in without a direct `bytes`
+/// dependency.
+pub use bytes::Bytes;

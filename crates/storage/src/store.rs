@@ -127,16 +127,18 @@ struct Inner {
 /// Lock-free I/O counters, kept outside the slot table's `RwLock` so the
 /// hot read path never needs exclusive access just to do bookkeeping.
 /// Relaxed ordering suffices: the counters are monotonic tallies with no
-/// ordering relationship to the data they count.
-struct Counters {
-    reads: AtomicU64,
-    writes: AtomicU64,
+/// ordering relationship to the data they count. Shared with
+/// [`crate::FileStore`], whose positional read path has the same
+/// no-exclusive-access requirement.
+pub(crate) struct Counters {
+    pub(crate) reads: AtomicU64,
+    pub(crate) writes: AtomicU64,
     reads_per_disk: Vec<AtomicU64>,
     writes_per_disk: Vec<AtomicU64>,
 }
 
 impl Counters {
-    fn new(num_disks: u32) -> Self {
+    pub(crate) fn new(num_disks: u32) -> Self {
         Self {
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
@@ -145,7 +147,17 @@ impl Counters {
         }
     }
 
-    fn snapshot(&self, num_disks: u32) -> IoStats {
+    pub(crate) fn tally_read(&self, disk: usize) {
+        self.reads.fetch_add(1, Relaxed);
+        self.reads_per_disk[disk].fetch_add(1, Relaxed);
+    }
+
+    pub(crate) fn tally_write(&self, disk: usize) {
+        self.writes.fetch_add(1, Relaxed);
+        self.writes_per_disk[disk].fetch_add(1, Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, num_disks: u32) -> IoStats {
         let mut stats = IoStats::new(num_disks);
         stats.reads = self.reads.load(Relaxed);
         stats.writes = self.writes.load(Relaxed);
@@ -158,7 +170,7 @@ impl Counters {
         stats
     }
 
-    fn reset(&self) {
+    pub(crate) fn reset(&self) {
         self.reads.store(0, Relaxed);
         self.writes.store(0, Relaxed);
         for c in &self.reads_per_disk {

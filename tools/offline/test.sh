@@ -69,6 +69,7 @@ t core_concurrency crates/core/tests/concurrency.rs $ALL_EXT
 t core_extensions crates/core/tests/extensions.rs $ALL_EXT
 t core_tighter_threshold crates/core/tests/tighter_threshold.rs $ALL_EXT
 t core_faults crates/core/tests/faults.rs $ALL_EXT
+t core_backend_parity crates/core/tests/backend_parity.rs $ALL_EXT
 t end_to_end tests/end_to_end.rs $ALL_EXT
 
 echo "ALL OFFLINE TESTS PASSED"
