@@ -26,12 +26,13 @@ use sqda_bench::{
 use sqda_core::{AlgorithmKind, RealTimeEngine, Simulation, Workload, WorkloadQuery};
 use sqda_datasets::gaussian;
 use sqda_geom::Point;
-use sqda_obs::MetricSummary;
+use sqda_obs::{trace_document, LiveTelemetry, MetricSummary};
 use sqda_rstar::decluster::ProximityIndex;
 use sqda_rstar::{Node, RStarConfig, RStarTree};
 use sqda_simkernel::{SimTime, SystemParams};
-use sqda_storage::{FileStore, NodeCache, ThreadedFileBackend};
+use sqda_storage::{FileStore, NodeCache, ReadObserver, ThreadedFileBackend};
 use std::sync::Arc;
+use std::time::Instant;
 
 const DISKS: u32 = 8;
 const K: usize = 10;
@@ -92,6 +93,10 @@ fn main() {
         .run(KIND, &workload, 4503)
         .expect("simulated run");
     let sim_mean_s = sim_report.mean_response_s;
+    // The simulated run walked the whole tree through the node cache;
+    // start the real-clock sweep cold so the first concurrency level
+    // actually reads files and the per-disk utilization below is real.
+    tree.set_node_cache(Arc::new(NodeCache::<Node>::new(4096)));
 
     let mut report = BinReport::new("bench_serve", &opts);
     report
@@ -122,25 +127,57 @@ fn main() {
             "concurrency",
             "qps",
             "p50(ms)",
+            "p95(ms)",
             "p99(ms)",
             "mean(ms)",
+            "max_disk_util",
             "sim_single_user(ms)",
             "sim_qps_ceiling",
         ],
     );
     let mut json_points: Vec<String> = Vec::new();
-    let engine = RealTimeEngine::new(&tree, Arc::new(ThreadedFileBackend::new(store.clone())))
-        .expect("real-clock engine");
+    // The engine runs with live telemetry attached — the same registry
+    // `sqda serve` carries — so the bench also reports what the serving
+    // stack would expose: per-disk utilization from the backend's
+    // ReadObserver seam. Parity with the bare engine is pinned by the
+    // backend_parity test.
+    let live = Arc::new(
+        LiveTelemetry::new(DISKS).with_flight_recorder(if opts.trace.is_some() {
+            65_536
+        } else {
+            0
+        }),
+    );
+    let observer: Arc<dyn ReadObserver> = Arc::clone(&live) as _;
+    let backend = Arc::new(ThreadedFileBackend::with_observer(store.clone(), observer));
+    let engine = RealTimeEngine::new(&tree, backend)
+        .expect("real-clock engine")
+        .with_telemetry(Arc::clone(&live))
+        .expect("attach telemetry");
     for &c in concurrencies {
+        // Per-disk busy time is cumulative in the registry; diff it
+        // around the run to get this concurrency's utilization.
+        let busy_before: Vec<u64> = live.disks().iter().map(|d| d.busy_ns.get()).collect();
+        let wall = Instant::now();
         let r = engine.run(KIND, &workload, c).expect("real-clock run");
+        let elapsed_ns = (wall.elapsed().as_nanos() as u64).max(1);
         assert_eq!(r.failed, 0, "real-clock queries failed");
+        let utilization: Vec<f64> = live
+            .disks()
+            .iter()
+            .zip(&busy_before)
+            .map(|(d, &b)| (d.busy_ns.get() - b) as f64 / elapsed_ns as f64)
+            .collect();
+        let max_util = utilization.iter().cloned().fold(0.0f64, f64::max);
         let sim_qps_ceiling = c as f64 / sim_mean_s;
         table.row(vec![
             c.to_string(),
             f4(r.qps),
             f4(r.p50_response_s * 1e3),
+            f4(r.p95_response_s * 1e3),
             f4(r.p99_response_s * 1e3),
             f4(r.mean_response_s * 1e3),
+            f4(max_util),
             f4(sim_mean_s * 1e3),
             f4(sim_qps_ceiling),
         ]);
@@ -158,15 +195,29 @@ fn main() {
             Direction::Info,
         );
         report.metric_dir(
+            "p95_response_s",
+            &labels,
+            MetricSummary::from_samples(&[r.p95_response_s]),
+            Direction::Info,
+        );
+        report.metric_dir(
             "p99_response_s",
             &labels,
             MetricSummary::from_samples(&[r.p99_response_s]),
             Direction::Info,
         );
+        report.metric_dir(
+            "max_disk_utilization",
+            &labels,
+            MetricSummary::from_samples(&[max_util]),
+            Direction::Info,
+        );
+        let util_json: Vec<String> = utilization.iter().map(|u| format!("{u:.6}")).collect();
         json_points.push(format!(
             "{{\"concurrency\":{c},\"completed\":{},\"qps\":{:.4},\
              \"mean_response_s\":{:.6},\"p50_response_s\":{:.6},\
              \"p95_response_s\":{:.6},\"p99_response_s\":{:.6},\
+             \"disk_utilization\":[{}],\
              \"sim_mean_response_s\":{:.6},\"sim_qps_ceiling\":{:.4}}}",
             r.completed,
             r.qps,
@@ -174,12 +225,29 @@ fn main() {
             r.p50_response_s,
             r.p95_response_s,
             r.p99_response_s,
+            util_json.join(","),
             sim_mean_s,
             sim_qps_ceiling
         ));
     }
     table.print();
     table.write_csv(&opts.out_dir, "bench_serve");
+
+    // The --trace / --metrics sinks mirror `sqda serve --trace/--metrics`:
+    // the flight ring becomes a Perfetto trace, the live registry a
+    // metrics snapshot (with the store's cache behaviour folded in).
+    if let Some(path) = &opts.trace {
+        let events = live.flight().map(|f| f.drain()).unwrap_or_default();
+        std::fs::write(path, trace_document(path, &events, DISKS, 1)).expect("write trace");
+        eprintln!("  wrote {} ({} events)", path.display(), events.len());
+    }
+    if let Some(path) = &opts.metrics {
+        let mut snap = live.snapshot();
+        snap.fold_io_stats(&tree.io_stats());
+        std::fs::write(path, format!("{{\"snapshot\":{}}}\n", snap.to_json()))
+            .expect("write metrics");
+        eprintln!("  wrote {}", path.display());
+    }
 
     std::fs::create_dir_all(&opts.out_dir).expect("create results dir");
     let path = opts.out_dir.join("BENCH_serve.json");

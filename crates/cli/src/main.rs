@@ -59,9 +59,19 @@ COMMANDS:
   serve      answer k-NN queries over TCP with the real-clock engine
              --store <dir> [--port <p>=0 (0 = ephemeral)]
              [--backend file|inline=file] [--cache <pages>=4096]
+             [--flight-cap <events>=0] [--slow-query-ms <ms>]
+             [--slow-query-log <file.jsonl>]
+             [--trace <file>] [--metrics <file>]
   (line protocol, one reply per request line:
      QUERY <x,y,...> <k> [bbss|fpss|crss|woptss]  ->  OK <n> <id>:<dist>...
-     PING -> PONG   STATS -> counters   QUIT / SHUTDOWN -> BYE)
+     PING -> PONG   STATS -> counters   QUIT / SHUTDOWN -> BYE
+     METRICS -> Prometheus text exposition, read until the '# EOF' line
+     DUMP-TRACE <file> -> write the flight-recorder ring as a trace file)
+  (--flight-cap arms a bounded in-memory ring of engine events for
+   DUMP-TRACE; --slow-query-ms / --slow-query-log append a JSONL
+   breakdown per query at or over the threshold; --trace implies a
+   flight ring and writes it at shutdown, --metrics writes a JSON
+   metrics snapshot at shutdown.)
   report     render a results directory as a self-contained HTML dashboard
              (per-figure curves with 95% CI bands, fault-sweep and
              hot-path trends, run manifests, raw tables)

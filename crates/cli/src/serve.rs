@@ -9,8 +9,8 @@
 //!
 //! # Protocol
 //!
-//! Line-oriented, UTF-8, one request per line, one reply line per
-//! request:
+//! Line-oriented, UTF-8, one request per line, one reply per request
+//! (all replies are a single line except `METRICS`):
 //!
 //! ```text
 //! -> QUERY <x,y,...> <k> [bbss|fpss|crss|woptss]
@@ -19,6 +19,14 @@
 //! <- PONG
 //! -> STATS
 //! <- STATS queries=<q> reads=<r> cache_hits=<h> cache_misses=<m>
+//!          cache_hit_ratio=<x> degraded_reads=<d> window_qps=<qps>
+//!          window_p50_ms=<p50> window_p99_ms=<p99> reads_per_disk=<a,b,...>
+//! -> METRICS       (Prometheus text exposition; read until the "# EOF" line)
+//! <- # HELP sqda_queries_started_total ...
+//!    ...
+//!    # EOF
+//! -> DUMP-TRACE <path>   (write the flight-recorder ring as a trace file)
+//! <- OK trace events=<n> path=<path>
 //! -> QUIT          (close this connection)
 //! <- BYE
 //! -> SHUTDOWN      (stop the whole server)
@@ -27,18 +35,30 @@
 //!
 //! Any malformed request gets `ERR <detail>` and the connection stays
 //! open. Distances are Euclidean, printed with six decimals.
+//!
+//! # Telemetry
+//!
+//! Every server carries a [`LiveTelemetry`] registry: the engine feeds
+//! per-query component breakdowns and the I/O backend feeds per-disk
+//! service times through the `ReadObserver` seam, all lock-free on the
+//! query path. `--flight-cap` (or `--trace`) arms the bounded
+//! flight-recorder ring that `DUMP-TRACE` and `--trace` export as a
+//! Perfetto trace; `--slow-query-ms` / `--slow-query-log` append a JSONL
+//! breakdown line for every query at or over the threshold.
 
 use crate::args::{parse_point, Args};
 use crate::commands::{algo_by_name, open_tree};
 use sqda_core::{AlgorithmKind, RealTimeEngine, Workload};
 use sqda_geom::Point;
+use sqda_obs::{trace_document, LiveTelemetry};
 use sqda_rstar::{Node, RStarTree};
 use sqda_storage::{
-    FileStore, InlineBackend, IoBackend, NodeCache, PageStore, ThreadedFileBackend,
+    FileStore, InlineBackend, IoBackend, NodeCache, PageStore, ReadObserver, ThreadedFileBackend,
 };
 use std::error::Error;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -62,13 +82,25 @@ impl BackendKind {
         }
     }
 
-    fn build(self, store: &Arc<FileStore>) -> Arc<dyn IoBackend> {
+    fn build(self, store: &Arc<FileStore>, observer: Arc<dyn ReadObserver>) -> Arc<dyn IoBackend> {
         match self {
-            BackendKind::File => Arc::new(ThreadedFileBackend::new(Arc::clone(store))),
-            BackendKind::Inline => Arc::new(InlineBackend::new(Arc::clone(store))),
+            BackendKind::File => {
+                Arc::new(ThreadedFileBackend::with_observer(Arc::clone(store), observer))
+            }
+            BackendKind::Inline => {
+                Arc::new(InlineBackend::with_observer(Arc::clone(store), observer))
+            }
         }
     }
 }
+
+/// Default flight-recorder ring capacity when `--trace` is given
+/// without an explicit `--flight-cap`.
+const DEFAULT_FLIGHT_CAP: usize = 65_536;
+
+/// Default slow-query threshold when `--slow-query-log` is given
+/// without an explicit `--slow-query-ms`.
+const DEFAULT_SLOW_QUERY_MS: f64 = 100.0;
 
 /// `sqda serve`
 pub fn serve(args: &Args) -> CmdResult {
@@ -76,11 +108,28 @@ pub fn serve(args: &Args) -> CmdResult {
     let port: u16 = args.get_or("port", 0)?;
     let backend = BackendKind::by_name(args.get("backend").unwrap_or("file"))?;
     let cache: usize = args.get_or("cache", 4096)?;
+    let trace_path = args.get("trace").map(|s| s.to_string());
+    let metrics_path = args.get("metrics").map(|s| s.to_string());
+    let flight_cap: usize =
+        args.get_or("flight-cap", if trace_path.is_some() { DEFAULT_FLIGHT_CAP } else { 0 })?;
+    let slow_ms: Option<f64> = match args.get("slow-query-ms") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|e| format!("bad --slow-query-ms: {e}"))?),
+    };
+    let slow_log_path = args.get("slow-query-log").map(|s| s.to_string());
 
     let (mut tree, meta) = open_tree(&store_dir)?;
     if cache > 0 {
         tree.set_node_cache(Arc::new(NodeCache::<Node>::new(cache)));
     }
+    let mut live = LiveTelemetry::new(tree.store().num_disks()).with_flight_recorder(flight_cap);
+    if slow_ms.is_some() || slow_log_path.is_some() {
+        let path = slow_log_path.unwrap_or_else(|| "slow-queries.jsonl".to_string());
+        let threshold = slow_ms.unwrap_or(DEFAULT_SLOW_QUERY_MS);
+        live = live.with_slow_query_log(Path::new(&path), threshold)?;
+        println!("slow-query log: {path} (threshold {threshold} ms)");
+    }
+    let live = Arc::new(live);
     let listener = TcpListener::bind(("127.0.0.1", port))?;
     let addr = listener.local_addr()?;
     // The exact "listening on" line is the readiness handshake scripts
@@ -98,17 +147,37 @@ pub fn serve(args: &Args) -> CmdResult {
         }
     );
     std::io::stdout().flush()?;
-    run_server(&tree, backend, listener)
+    run_server(&tree, backend, listener, Arc::clone(&live))?;
+
+    // Shutdown sinks: drain what the live registry retained.
+    if let Some(path) = &trace_path {
+        let events = live.flight().map(|f| f.drain()).unwrap_or_default();
+        std::fs::write(path, trace_document(Path::new(path), &events, live.num_disks(), 1))?;
+        println!("trace: {path} ({} events)", events.len());
+    }
+    if let Some(path) = &metrics_path {
+        let mut snap = live.snapshot();
+        snap.fold_io_stats(&tree.io_stats());
+        std::fs::write(path, format!("{{\"snapshot\":{}}}\n", snap.to_json()))?;
+        println!("metrics: {path}");
+    }
+    Ok(())
 }
 
 /// Accept loop: one handler thread per connection, shared engine. Returns
-/// once a client sends `SHUTDOWN` and every handler has drained.
+/// once a client sends `SHUTDOWN` and every handler has drained. The
+/// `live` registry observes every query (engine side) and every page
+/// read (backend side); the caller keeps its clone to drain trace and
+/// metrics sinks after shutdown.
 pub fn run_server(
     tree: &RStarTree<FileStore>,
     backend: BackendKind,
     listener: TcpListener,
+    live: Arc<LiveTelemetry>,
 ) -> CmdResult {
-    let engine = RealTimeEngine::new(tree, backend.build(tree.store()))?;
+    let observer: Arc<dyn ReadObserver> = Arc::clone(&live) as _;
+    let engine = RealTimeEngine::new(tree, backend.build(tree.store(), observer))?
+        .with_telemetry(live)?;
     let addr = listener.local_addr()?;
     let shutdown = AtomicBool::new(false);
     let served = AtomicU64::new(0);
@@ -206,13 +275,64 @@ fn respond(
         },
         Some("STATS") => {
             let io = engine.access_method().io_stats();
-            Reply::line(format!(
+            // The first four fields are a wire contract (smoke scripts
+            // parse the prefix); new telemetry only appends.
+            let mut text = format!(
                 "STATS queries={} reads={} cache_hits={} cache_misses={}",
                 served.load(Ordering::Relaxed),
                 io.reads,
                 io.cache_hits,
                 io.cache_misses
-            ))
+            );
+            let lookups = io.cache_hits + io.cache_misses;
+            let ratio = if lookups == 0 { 0.0 } else { io.cache_hits as f64 / lookups as f64 };
+            text.push_str(&format!(" cache_hit_ratio={ratio:.4}"));
+            if let Some(live) = engine.telemetry() {
+                let w = live.window_stats();
+                text.push_str(&format!(
+                    " degraded_reads={} window_qps={:.3} window_p50_ms={:.3} window_p99_ms={:.3}",
+                    live.degraded_reads.get(),
+                    w.qps,
+                    w.p50_ms,
+                    w.p99_ms
+                ));
+            }
+            let per_disk: Vec<String> =
+                io.reads_per_disk.iter().map(|r| r.to_string()).collect();
+            text.push_str(&format!(" reads_per_disk={}", per_disk.join(",")));
+            Reply::line(text)
+        }
+        Some("METRICS") => {
+            let Some(live) = engine.telemetry() else {
+                return Reply::err("telemetry disabled");
+            };
+            if let Some(extra) = words.next() {
+                return Reply::err(format!("unexpected trailing {extra:?}"));
+            }
+            let io = engine.access_method().io_stats();
+            // Multi-line reply; the final "# EOF" line doubles as the
+            // exposition-format terminator and the protocol terminator.
+            Reply::line(live.prometheus(Some(&io)).trim_end().to_string())
+        }
+        Some("DUMP-TRACE") => {
+            let Some(path) = words.next() else {
+                return Reply::err("usage: DUMP-TRACE <path>");
+            };
+            if let Some(extra) = words.next() {
+                return Reply::err(format!("unexpected trailing {extra:?}"));
+            }
+            let Some(live) = engine.telemetry() else {
+                return Reply::err("telemetry disabled");
+            };
+            let Some(flight) = live.flight() else {
+                return Reply::err("flight recorder disabled (serve --flight-cap <n>)");
+            };
+            let events = flight.drain();
+            let doc = trace_document(Path::new(path), &events, live.num_disks(), 1);
+            match std::fs::write(path, doc) {
+                Ok(()) => Reply::line(format!("OK trace events={} path={path}", events.len())),
+                Err(e) => Reply::err(format!("cannot write {path}: {e}")),
+            }
         }
         Some("QUERY") => {
             let (Some(coords), Some(k)) = (words.next(), words.next()) else {
@@ -319,8 +439,9 @@ mod tests {
         let expected = tree.knn(&Point::new(vec![5.0, 5.0]), 3).unwrap();
         let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
         let addr = listener.local_addr().unwrap();
+        let live = Arc::new(LiveTelemetry::new(tree.store().num_disks()));
         std::thread::scope(|s| {
-            let server = s.spawn(|| run_server(&tree, BackendKind::File, listener));
+            let server = s.spawn(|| run_server(&tree, BackendKind::File, listener, live.clone()));
 
             let mut a = TcpStream::connect(addr).unwrap();
             let mut ra = BufReader::new(a.try_clone().unwrap());
@@ -343,6 +464,10 @@ mod tests {
             assert!(request_line(&mut a, &mut ra, "NONSENSE").starts_with("ERR"));
             let stats = request_line(&mut a, &mut ra, "STATS");
             assert!(stats.starts_with("STATS queries=1 "), "{stats}");
+            assert!(stats.contains(" cache_hit_ratio="), "{stats}");
+            assert!(stats.contains(" degraded_reads=0 "), "{stats}");
+            assert!(stats.contains(" window_qps="), "{stats}");
+            assert!(stats.contains(" reads_per_disk="), "{stats}");
 
             // A second concurrent client.
             let mut b = TcpStream::connect(addr).unwrap();
@@ -353,6 +478,85 @@ mod tests {
             assert_eq!(request_line(&mut a, &mut ra, "SHUTDOWN"), "BYE");
             server.join().unwrap().unwrap();
         });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Reads a multi-line `METRICS` reply up to and including the
+    /// `# EOF` terminator line.
+    fn request_metrics(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>) -> String {
+        writeln!(stream, "METRICS").unwrap();
+        stream.flush().unwrap();
+        let mut text = String::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let done = line.trim_end() == "# EOF";
+            text.push_str(&line);
+            if done {
+                return text;
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_trace_and_slow_log_over_loopback() {
+        let dir = build_store("metrics");
+        let trace_path = dir.join("flight.json");
+        let slow_path = dir.join("slow.jsonl");
+        let (tree, _) = open_tree(dir.to_str().unwrap()).unwrap();
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let live = Arc::new(
+            LiveTelemetry::new(tree.store().num_disks())
+                .with_flight_recorder(4096)
+                // Threshold 0: every completed query is "slow".
+                .with_slow_query_log(&slow_path, 0.0)
+                .unwrap(),
+        );
+        std::thread::scope(|s| {
+            let server = s.spawn(|| run_server(&tree, BackendKind::File, listener, live.clone()));
+
+            let mut a = TcpStream::connect(addr).unwrap();
+            let mut ra = BufReader::new(a.try_clone().unwrap());
+            assert!(request_line(&mut a, &mut ra, "QUERY 5.0,5.0 3").starts_with("OK 3 "));
+            assert!(request_line(&mut a, &mut ra, "QUERY 1.0,2.0 5").starts_with("OK 5 "));
+
+            // METRICS: a lint-clean Prometheus exposition over live data.
+            let text = request_metrics(&mut a, &mut ra);
+            let problems = sqda_obs::prometheus::lint(&text);
+            assert!(problems.is_empty(), "exposition lint: {problems:?}");
+            assert!(text.contains("sqda_queries_completed_total 2"), "{text}");
+            assert!(text.contains("sqda_response_ms_count 2"), "{text}");
+            assert!(text.contains("sqda_disk_reads_total{disk=\"0\"}"), "{text}");
+            assert!(text.contains("sqda_cache_hits_total"), "{text}");
+
+            // The connection survives a multi-line reply.
+            assert_eq!(request_line(&mut a, &mut ra, "PING"), "PONG");
+
+            // DUMP-TRACE writes a Perfetto document from the flight ring.
+            let reply = request_line(
+                &mut a,
+                &mut ra,
+                &format!("DUMP-TRACE {}", trace_path.display()),
+            );
+            assert!(reply.starts_with("OK trace events="), "{reply}");
+            assert!(!reply.starts_with("OK trace events=0 "), "{reply}");
+
+            assert_eq!(request_line(&mut a, &mut ra, "SHUTDOWN"), "BYE");
+            server.join().unwrap().unwrap();
+        });
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.starts_with("{\"traceEvents\":["), "{trace}");
+        assert!(
+            trace.contains("\"name\":\"query\""),
+            "flight ring kept query spans: {trace}"
+        );
+        let slow = std::fs::read_to_string(&slow_path).unwrap();
+        let lines: Vec<&str> = slow.lines().collect();
+        assert_eq!(lines.len(), 2, "{slow}");
+        let first = sqda_obs::json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("algo").and_then(|v| v.as_str()), Some("CRSS"));
+        assert!(first.get("response_ms").and_then(|v| v.as_f64()).is_some());
         std::fs::remove_dir_all(&dir).ok();
     }
 

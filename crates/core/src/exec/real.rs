@@ -20,12 +20,12 @@
 //! from user space.
 
 use super::clock::{EngineClock, WallClock};
-use super::session::{settle_outstanding, Session};
+use super::session::{settle_outstanding, Session, SessionObs};
 use crate::access::{AccessMethod, IndexNode};
 use crate::algo::{AlgorithmKind, Step};
 use crate::error::QueryError;
 use crate::workload::Workload;
-use sqda_obs::{Event as ObsEvent, NullRecorder, Recorder};
+use sqda_obs::{Event as ObsEvent, LiveTelemetry, NullRecorder, QueryObservation, Recorder};
 use sqda_rstar::Neighbor;
 use sqda_storage::{IoBackend, PageId};
 use std::collections::HashMap;
@@ -93,9 +93,36 @@ struct SessionOutcome {
 }
 
 struct CompletedSession {
-    response_s: f64,
+    response_ns: u64,
     nodes_visited: u64,
     answers: Vec<Neighbor>,
+    /// Component accumulators, populated when recording or live
+    /// telemetry asked for them (zeros otherwise).
+    obs: SessionObs,
+}
+
+/// Rewrites the query id an event is tagged with: recorder streams use
+/// workload indices (what the post-hoc tooling joins on), the shared
+/// flight recorder uses the global serving ids [`LiveTelemetry`] hands
+/// out, so one constructed event serves both.
+fn retag(event: ObsEvent, query: u32) -> ObsEvent {
+    let mut ev = event;
+    match &mut ev {
+        ObsEvent::QueryArrive { query: q }
+        | ObsEvent::QueryComplete { query: q, .. }
+        | ObsEvent::BatchIssued { query: q, .. }
+        | ObsEvent::DiskService { query: q, .. }
+        | ObsEvent::BusTransfer { query: q, .. }
+        | ObsEvent::CpuSlice { query: q, .. }
+        | ObsEvent::CrssState { query: q, .. }
+        | ObsEvent::DegradedRead { query: q, .. }
+        | ObsEvent::ReadRetry { query: q, .. }
+        | ObsEvent::QueryAbort { query: q, .. } => *q = query,
+        ObsEvent::DiskFailed { .. }
+        | ObsEvent::DiskRecovered { .. }
+        | ObsEvent::DiskDegraded { .. } => {}
+    }
+    ev
 }
 
 /// The wall-clock twin of [`super::Simulation`]: executes a workload
@@ -104,6 +131,7 @@ struct CompletedSession {
 pub struct RealTimeEngine<'t, A: AccessMethod + ?Sized> {
     am: &'t A,
     backend: Arc<dyn IoBackend>,
+    live: Option<Arc<LiveTelemetry>>,
 }
 
 impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
@@ -122,7 +150,39 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
                 am.num_disks()
             )));
         }
-        Ok(Self { am, backend })
+        Ok(Self {
+            am,
+            backend,
+            live: None,
+        })
+    }
+
+    /// Attaches a live telemetry registry: every run feeds query
+    /// counters, component histograms, the sliding window, the flight
+    /// recorder and the slow-query log — concurrently, while queries
+    /// are still in flight. Answers and I/O stay byte-identical; the
+    /// registry only observes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::Config`] if the registry's disk count
+    /// disagrees with the backend's array.
+    pub fn with_telemetry(mut self, live: Arc<LiveTelemetry>) -> Result<Self, QueryError> {
+        if live.num_disks() != self.backend.num_disks() {
+            return Err(QueryError::Config(format!(
+                "telemetry disk count must match the I/O backend \
+                 (telemetry has {}, backend has {})",
+                live.num_disks(),
+                self.backend.num_disks()
+            )));
+        }
+        self.live = Some(live);
+        Ok(self)
+    }
+
+    /// The attached live telemetry registry, if any.
+    pub fn telemetry(&self) -> Option<&Arc<LiveTelemetry>> {
+        self.live.as_ref()
     }
 
     /// The access method the engine runs over.
@@ -152,6 +212,10 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
     ) -> Result<RealTimeReport, QueryError> {
         let concurrency = concurrency.max(1);
         let recording = recorder.enabled();
+        let flight_on = self
+            .live
+            .as_ref()
+            .is_some_and(|live| live.flight_enabled());
         let clock = WallClock::new();
         let started = Instant::now();
         let cursor = AtomicUsize::new(0);
@@ -169,9 +233,10 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
                         let mut events: Vec<(u64, ObsEvent)> = Vec::new();
                         let mut scratch = crate::QueryScratch::new();
                         // Tree level of every page this worker has seen
-                        // (root = 0); only maintained while recording.
+                        // (root = 0); only maintained while some event
+                        // consumer (recorder or flight ring) wants it.
                         let mut levels: HashMap<PageId, u16> = HashMap::new();
-                        if recording {
+                        if recording || flight_on {
                             levels.insert(self.am.root_page(), 0);
                         }
                         loop {
@@ -180,12 +245,17 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
                                 break;
                             }
                             let wq = &workload.queries[q];
+                            // Global serving id: counts the pickup and
+                            // tags this query's flight events.
+                            let live_q =
+                                self.live.as_ref().map(|live| live.begin_query());
                             let result = kind
                                 .build_with(self.am, wq.point.clone(), wq.k, &mut scratch)
                                 .and_then(|algo| {
                                     self.drive_session(
                                         algo,
                                         q as u32,
+                                        live_q,
                                         worker as u16,
                                         clock,
                                         recording,
@@ -193,6 +263,40 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
                                         &mut levels,
                                     )
                                 });
+                            if let Some(live) = &self.live {
+                                let query = live_q.unwrap_or(q as u32);
+                                let observation = match &result {
+                                    Ok(done) => QueryObservation {
+                                        query,
+                                        algo: kind.name(),
+                                        k: wq.k,
+                                        answers: done.answers.len(),
+                                        nodes: done.nodes_visited,
+                                        batches: done.obs.batches,
+                                        response_ns: done.response_ns,
+                                        disk_queue_ns: done.obs.disk_queue_ns,
+                                        disk_service_ns: done.obs.seek_ns
+                                            + done.obs.rotation_ns
+                                            + done.obs.transfer_ns,
+                                        cpu_ns: done.obs.cpu_ns,
+                                        failed: false,
+                                    },
+                                    Err(_) => QueryObservation {
+                                        query,
+                                        algo: kind.name(),
+                                        k: wq.k,
+                                        answers: 0,
+                                        nodes: 0,
+                                        batches: 0,
+                                        response_ns: 0,
+                                        disk_queue_ns: 0,
+                                        disk_service_ns: 0,
+                                        cpu_ns: 0,
+                                        failed: true,
+                                    },
+                                };
+                                live.observe_query(&observation);
+                            }
                             outcomes.push(SessionOutcome {
                                 index: q as u32,
                                 result,
@@ -227,7 +331,7 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
         for outcome in outcomes {
             match outcome.result {
                 Ok(done) => {
-                    responses.push(done.response_s);
+                    responses.push(done.response_ns as f64 / 1e9);
                     total_nodes += done.nodes_visited;
                     answers[outcome.index as usize] = done.answers;
                 }
@@ -278,16 +382,29 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
         &self,
         algo: Box<dyn crate::SimilaritySearch>,
         q: u32,
+        live_q: Option<u32>,
         worker: u16,
         clock: &WallClock,
         recording: bool,
         events: &mut Vec<(u64, ObsEvent)>,
         levels: &mut HashMap<PageId, u16>,
     ) -> Result<CompletedSession, QueryError> {
+        // Three independent consumers of this session's observability,
+        // all free to be off: the post-hoc recorder (workload-indexed
+        // events), the flight ring (serving-id events, live clock), and
+        // the live aggregates (which need only the accumulators).
+        let live = self.live.as_deref();
+        let flight = live.filter(|l| l.flight_enabled());
+        let observing = recording || live.is_some();
+        let emitting = recording || flight.is_some();
+        let fq = live_q.unwrap_or(q);
         let arrival = clock.now_ns();
         let mut session = Session::new(algo, arrival);
         if recording {
             events.push((arrival, ObsEvent::QueryArrive { query: q }));
+        }
+        if let Some(l) = flight {
+            l.record_event(l.now_ns(), ObsEvent::QueryArrive { query: fq });
         }
         session.pending = Some(session.algo.start());
         // Completions arrive in finish order; the batch is re-assembled
@@ -311,8 +428,13 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
             }
             session.outstanding = pages.len();
             session.nodes_visited += pages.len() as u64;
-            if recording {
+            if observing {
                 session.obs.batches += 1;
+            }
+            if let Some(l) = live {
+                l.batch_size.observe(pages.len() as f64);
+            }
+            if emitting {
                 let mut level = u16::MAX;
                 let mut level_max = 0u16;
                 for page in &pages {
@@ -320,15 +442,18 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
                     level = level.min(l);
                     level_max = level_max.max(l);
                 }
-                events.push((
-                    clock.now_ns(),
-                    ObsEvent::BatchIssued {
-                        query: q,
-                        level,
-                        level_max,
-                        size: pages.len() as u32,
-                    },
-                ));
+                let ev = ObsEvent::BatchIssued {
+                    query: q,
+                    level,
+                    level_max,
+                    size: pages.len() as u32,
+                };
+                if recording {
+                    events.push((clock.now_ns(), ev));
+                }
+                if let Some(l) = flight {
+                    l.record_event(l.now_ns(), retag(ev, fq));
+                }
             }
             // Cache probes first (hit/miss accounting identical to the
             // read-through path), then one batched submission for the
@@ -352,24 +477,29 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
                         ))
                     })?;
                     let bytes = completion.result?;
-                    if recording {
+                    if observing {
                         session.obs.disk_queue_ns += completion.queue_ns;
                         session.obs.transfer_ns += completion.service_ns;
+                    }
+                    if emitting {
                         let level = levels.get(&completion.page).copied().unwrap_or_default();
-                        events.push((
-                            clock.now_ns(),
-                            ObsEvent::DiskService {
-                                query: q,
-                                disk: completion.disk as u16,
-                                cylinder: completion.cylinder,
-                                level,
-                                queue_ns: completion.queue_ns,
-                                seek_ns: 0,
-                                rotation_ns: 0,
-                                transfer_ns: completion.service_ns,
-                                queue_depth: 0,
-                            },
-                        ));
+                        let ev = ObsEvent::DiskService {
+                            query: q,
+                            disk: completion.disk as u16,
+                            cylinder: completion.cylinder,
+                            level,
+                            queue_ns: completion.queue_ns,
+                            seek_ns: 0,
+                            rotation_ns: 0,
+                            transfer_ns: completion.service_ns,
+                            queue_depth: completion.queue_depth,
+                        };
+                        if recording {
+                            events.push((clock.now_ns(), ev));
+                        }
+                        if let Some(l) = flight {
+                            l.record_event(l.now_ns(), retag(ev, fq));
+                        }
                     }
                     let node = self.am.decode_index_node(completion.page, bytes)?;
                     decoded.insert(completion.page, node);
@@ -381,7 +511,7 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
                         "query {q}: page {page:?} requested but never delivered"
                     ))
                 })?;
-                if recording {
+                if emitting {
                     if let IndexNode::Internal(entries) = &node {
                         let child_level = levels.get(&page).copied().unwrap_or_default() + 1;
                         for entry in entries {
@@ -399,58 +529,70 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
             debug_assert!(session.fetched.is_empty(), "algorithms drain the batch");
             session.fetched.clear();
             session.pending = Some(result.next);
-            if recording {
+            if observing {
                 session.obs.cpu_ns += cpu_ns;
-                events.push((
-                    clock.now_ns(),
-                    ObsEvent::CpuSlice {
-                        query: q,
-                        cpu: worker,
-                        queue_ns: 0,
-                        exec_ns: cpu_ns,
-                        instructions: result.cpu_instructions,
-                    },
-                ));
+            }
+            if emitting {
+                let ev = ObsEvent::CpuSlice {
+                    query: q,
+                    cpu: worker,
+                    queue_ns: 0,
+                    exec_ns: cpu_ns,
+                    instructions: result.cpu_instructions,
+                };
+                if recording {
+                    events.push((clock.now_ns(), ev));
+                }
+                if let Some(l) = flight {
+                    l.record_event(l.now_ns(), retag(ev, fq));
+                }
                 if let Some(p) = session.algo.progress() {
-                    events.push((
-                        clock.now_ns(),
-                        ObsEvent::CrssState {
-                            query: q,
-                            d_th_sq: p.d_th_sq,
-                            stack_runs: p.stack_runs,
-                            stack_candidates: p.stack_candidates,
-                        },
-                    ));
+                    let ev = ObsEvent::CrssState {
+                        query: q,
+                        d_th_sq: p.d_th_sq,
+                        stack_runs: p.stack_runs,
+                        stack_candidates: p.stack_candidates,
+                    };
+                    if recording {
+                        events.push((clock.now_ns(), ev));
+                    }
+                    if let Some(l) = flight {
+                        l.record_event(l.now_ns(), retag(ev, fq));
+                    }
                 }
             }
         }
         let now = clock.now_ns();
         session.finished_at = Some(now);
         let response_ns = now.saturating_sub(arrival);
-        if recording {
+        if emitting {
             let obs = session.obs;
-            events.push((
-                now,
-                ObsEvent::QueryComplete {
-                    query: q,
-                    response_ns,
-                    nodes: session.nodes_visited,
-                    batches: obs.batches,
-                    disk_queue_ns: obs.disk_queue_ns,
-                    seek_ns: obs.seek_ns,
-                    rotation_ns: obs.rotation_ns,
-                    transfer_ns: obs.transfer_ns,
-                    bus_queue_ns: obs.bus_queue_ns,
-                    bus_ns: obs.bus_ns,
-                    cpu_queue_ns: obs.cpu_queue_ns,
-                    cpu_ns: obs.cpu_ns,
-                },
-            ));
+            let ev = ObsEvent::QueryComplete {
+                query: q,
+                response_ns,
+                nodes: session.nodes_visited,
+                batches: obs.batches,
+                disk_queue_ns: obs.disk_queue_ns,
+                seek_ns: obs.seek_ns,
+                rotation_ns: obs.rotation_ns,
+                transfer_ns: obs.transfer_ns,
+                bus_queue_ns: obs.bus_queue_ns,
+                bus_ns: obs.bus_ns,
+                cpu_queue_ns: obs.cpu_queue_ns,
+                cpu_ns: obs.cpu_ns,
+            };
+            if recording {
+                events.push((now, ev));
+            }
+            if let Some(l) = flight {
+                l.record_event(l.now_ns(), retag(ev, fq));
+            }
         }
         Ok(CompletedSession {
-            response_s: response_ns as f64 / 1e9,
+            response_ns,
             nodes_visited: session.nodes_visited,
             answers: session.algo.results(),
+            obs: session.obs,
         })
     }
 }

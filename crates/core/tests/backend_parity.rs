@@ -189,6 +189,35 @@ fn run_real(dir: &PathBuf, root: PageId, kind: AlgorithmKind, threaded: bool) ->
     }
 }
 
+/// Like [`run_real`] (threaded backend), but with the full telemetry
+/// plane armed: a `LiveTelemetry` registry observing the engine, a
+/// `ReadObserver` on the backend's disk workers, a flight-recorder ring
+/// and the sliding window — the configuration `sqda serve` runs with.
+fn run_real_observed(
+    dir: &PathBuf,
+    root: PageId,
+    kind: AlgorithmKind,
+) -> (ModeRun, Arc<sqda_obs::LiveTelemetry>, sqda_core::RealTimeReport) {
+    let tree = open_tree(dir, root);
+    let live = Arc::new(sqda_obs::LiveTelemetry::new(NUM_DISKS).with_flight_recorder(8192));
+    let observer: Arc<dyn sqda_storage::ReadObserver> = Arc::clone(&live) as _;
+    let backend = Arc::new(ThreadedFileBackend::with_observer(
+        Arc::clone(tree.store()),
+        observer,
+    ));
+    let engine = RealTimeEngine::new(&tree, backend)
+        .unwrap()
+        .with_telemetry(Arc::clone(&live))
+        .unwrap();
+    let report = engine.run(kind, &workload(), 1).unwrap();
+    assert_eq!(report.failed, 0, "{kind}");
+    let run = ModeRun {
+        answers: report.answers.clone(),
+        io: tree.io_stats(),
+    };
+    (run, live, report)
+}
+
 fn assert_answers_identical(kind: AlgorithmKind, a: &ModeRun, b: &ModeRun, what: &str) {
     assert_eq!(a.answers.len(), b.answers.len(), "{kind}: {what}");
     for (q, (want, got)) in a.answers.iter().zip(&b.answers).enumerate() {
@@ -260,6 +289,55 @@ fn inline_and_threaded_backends_agree() {
         let threaded = run_real(&dir, root, kind, true);
         assert_answers_identical(kind, &inline, &threaded, "inline vs threaded");
         assert_io_identical(kind, &inline, &threaded, "inline vs threaded");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The telemetry plane observes, never steers: with a live registry,
+/// read observer, and flight recorder all armed, the real-clock engine
+/// produces byte-identical answers and identical `IoStats` to the bare
+/// engine — and the registry's own books agree with the store's.
+#[test]
+fn telemetry_enabled_run_is_work_identical() {
+    let dir = tmpdir("telemetry");
+    let root = build_store(&dir);
+    for kind in [AlgorithmKind::Crss, AlgorithmKind::Bbss] {
+        let bare = run_real(&dir, root, kind, true);
+        let (observed, live, _) = run_real_observed(&dir, root, kind);
+        assert_answers_identical(kind, &bare, &observed, "bare vs telemetry");
+        assert_io_identical(kind, &bare, &observed, "bare vs telemetry");
+        // The registry saw every query and exactly the physical reads.
+        assert_eq!(live.queries_completed.get(), queries().len() as u64, "{kind}");
+        assert_eq!(live.queries_failed.get(), 0, "{kind}");
+        let observed_reads: Vec<u64> = live.disks().iter().map(|d| d.requests.get()).collect();
+        assert_eq!(observed_reads, observed.io.reads_per_disk, "{kind}");
+        assert!(live.flight().unwrap().recorded() > 0, "{kind}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The acceptance pin for the metrics plane: the live response-time
+/// histogram (what `METRICS` exposes) brackets the exact percentiles
+/// the `RealTimeReport` computes from raw samples — the two views of
+/// latency agree within bucket resolution.
+#[test]
+fn live_histogram_brackets_report_percentiles() {
+    let dir = tmpdir("percentiles");
+    let root = build_store(&dir);
+    let (_, live, report) = run_real_observed(&dir, root, AlgorithmKind::Crss);
+    let hist = live.response_ms.snapshot();
+    assert_eq!(hist.count(), report.completed as u64);
+    for (q, exact_s) in [
+        (0.5, report.p50_response_s),
+        (0.95, report.p95_response_s),
+        (0.99, report.p99_response_s),
+    ] {
+        let exact_ms = exact_s * 1e3;
+        let (lo, hi) = hist.quantile_bracket(q);
+        assert!(
+            lo <= exact_ms && exact_ms <= hi,
+            "q={q}: report {exact_ms} ms outside live bracket [{lo}, {hi}]"
+        );
     }
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -25,15 +25,21 @@
 pub mod event;
 pub mod json;
 pub mod jsonl;
+pub mod live;
 pub mod manifest;
 pub mod metrics;
 pub mod perfetto;
 pub mod profile;
+pub mod prometheus;
 pub mod sink;
 pub mod stats;
 
 pub use event::{CollectingRecorder, Event, NullRecorder, QueryId, Recorder};
 pub use jsonl::{event_to_json, events_to_jsonl, JsonlRecorder};
+pub use live::{
+    FlightRecorder, LiveCounter, LiveGauge, LiveHistogram, LiveTelemetry, QueryObservation,
+    SlowQueryLog, WindowStats,
+};
 pub use manifest::{discover_git_sha, RunManifest};
 pub use metrics::{Counter, DiskMetrics, Gauge, Histogram, MetricsSnapshot};
 pub use perfetto::chrome_trace;

@@ -87,9 +87,36 @@ impl Histogram {
         self.max = self.max.max(v);
     }
 
+    /// Assembles a histogram from already-aggregated parts (the
+    /// snapshot path of the live atomic histograms, which count into
+    /// identical buckets and merge shard-by-shard).
+    pub(crate) fn from_raw(
+        bounds: &'static [f64],
+        buckets: Vec<u64>,
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+    ) -> Self {
+        assert_eq!(buckets.len(), bounds.len() + 1, "bucket/bound mismatch");
+        Self {
+            bounds,
+            buckets,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
     }
 
     /// Mean of observations (0 when empty).
@@ -118,6 +145,45 @@ impl Histogram {
     /// Bucket upper bounds.
     pub fn bounds(&self) -> &'static [f64] {
         self.bounds
+    }
+
+    /// The value range the `q`-quantile of the recorded observations is
+    /// guaranteed to lie in, `(lower, upper)`, under the same
+    /// linear-interpolation rank convention the real-clock engine uses
+    /// for its percentiles (`rank = q * (count - 1)`). The interpolated
+    /// percentile sits between the floor-rank and ceil-rank order
+    /// statistics, so the bracket spans from the lower edge of the
+    /// bucket holding the floor rank to the upper edge of the bucket
+    /// holding the ceil rank (tightened by the recorded min/max).
+    /// Returns `(0.0, 0.0)` when empty.
+    pub fn quantile_bracket(&self, q: f64) -> (f64, f64) {
+        if self.count == 0 {
+            return (0.0, 0.0);
+        }
+        let pos = q.clamp(0.0, 1.0) * (self.count - 1) as f64;
+        let bucket_of = |rank: u64| -> usize {
+            let mut cum = 0u64;
+            for (i, &b) in self.buckets.iter().enumerate() {
+                cum += b;
+                if cum > rank {
+                    return i;
+                }
+            }
+            self.buckets.len() - 1
+        };
+        let lo_bucket = bucket_of(pos.floor() as u64);
+        let hi_bucket = bucket_of(pos.ceil() as u64);
+        let lower = if lo_bucket == 0 {
+            self.min
+        } else {
+            self.bounds[lo_bucket - 1]
+        };
+        let upper = if hi_bucket == self.bounds.len() {
+            self.max
+        } else {
+            self.bounds[hi_bucket].min(self.max)
+        };
+        (lower, upper)
     }
 
     /// Adds another histogram's observations into this one. Panics if
@@ -162,7 +228,7 @@ pub struct DiskMetrics {
 }
 
 impl DiskMetrics {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             requests: Counter::default(),
             busy_ns: Counter::default(),
@@ -419,6 +485,13 @@ mod tests {
         h.merge(&h2);
         assert_eq!(h.count(), 4);
         assert_eq!(h.buckets()[0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram bound mismatch")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut h = Histogram::new(TIME_MS_BOUNDS);
+        h.merge(&Histogram::new(DEPTH_BOUNDS));
     }
 
     fn disk_event(disk: u16, queue_ns: u64) -> (u64, Event) {

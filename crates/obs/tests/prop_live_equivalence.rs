@@ -1,0 +1,91 @@
+//! Property: the sharded lock-free [`LiveHistogram`] is *exactly*
+//! equivalent to the single-threaded [`Histogram`] — not statistically,
+//! byte-for-byte. Any partition of a sample set across any number of
+//! writer threads must snapshot to the same bucket counts, count, sum,
+//! min and max as observing the samples sequentially.
+//!
+//! Samples are drawn integer-valued so floating-point addition is exact
+//! under every summation order; with that, `Histogram`'s derived
+//! `PartialEq` pins the whole snapshot.
+//!
+//! (This file needs the `proptest` crate, so it runs under `cargo test`
+//! only — the offline stub runner skips `prop_*.rs` targets.)
+
+use proptest::prelude::*;
+use sqda_obs::metrics::{Histogram, DEPTH_BOUNDS, TIME_MS_BOUNDS};
+use sqda_obs::{LiveCounter, LiveHistogram};
+use std::sync::Arc;
+
+/// Observes `chunks` of samples from one thread per chunk.
+fn observe_threaded(bounds: &'static [f64], chunks: &[Vec<f64>]) -> Histogram {
+    let live = Arc::new(LiveHistogram::new(bounds));
+    std::thread::scope(|s| {
+        for chunk in chunks {
+            let live = Arc::clone(&live);
+            s.spawn(move || {
+                for &v in chunk {
+                    live.observe(v);
+                }
+            });
+        }
+    });
+    live.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn threaded_histogram_equals_sequential(
+        samples in proptest::collection::vec(0u32..6_000_000u32, 1..800),
+        threads in 1usize..8,
+    ) {
+        // Integer-valued ms samples spanning every TIME_MS_BOUNDS
+        // bucket including the overflow bucket (bounds top out at 5000).
+        let samples: Vec<f64> = samples.iter().map(|&v| (v / 1000) as f64).collect();
+        let mut reference = Histogram::new(TIME_MS_BOUNDS);
+        for &v in &samples {
+            reference.observe(v);
+        }
+        let chunk = samples.len().div_ceil(threads);
+        let chunks: Vec<Vec<f64>> = samples.chunks(chunk).map(<[f64]>::to_vec).collect();
+        let live = observe_threaded(TIME_MS_BOUNDS, &chunks);
+        prop_assert_eq!(&live, &reference);
+        prop_assert_eq!(live.count(), samples.len() as u64);
+    }
+
+    #[test]
+    fn partitioning_is_irrelevant(
+        samples in proptest::collection::vec(0u32..64u32, 1..300),
+        split in 1usize..6,
+    ) {
+        // The same samples under two different thread partitions agree
+        // with each other (depth-style small-integer values).
+        let samples: Vec<f64> = samples.iter().map(|&v| v as f64).collect();
+        let one = observe_threaded(DEPTH_BOUNDS, &[samples.clone()]);
+        let chunk = samples.len().div_ceil(split);
+        let chunks: Vec<Vec<f64>> = samples.chunks(chunk).map(<[f64]>::to_vec).collect();
+        let many = observe_threaded(DEPTH_BOUNDS, &chunks);
+        prop_assert_eq!(one, many);
+    }
+
+    #[test]
+    fn concurrent_counter_adds_are_lossless(
+        adds in proptest::collection::vec(0u64..10_000u64, 1..200),
+        threads in 1usize..8,
+    ) {
+        let counter = Arc::new(LiveCounter::new());
+        let chunk = adds.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            for ch in adds.chunks(chunk) {
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for &n in ch {
+                        counter.add(n);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(counter.get(), adds.iter().sum::<u64>());
+    }
+}

@@ -19,6 +19,7 @@
 //! simulator.
 
 use crate::{Bytes, FileStore, PageId, PageStore, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::Instant;
@@ -38,6 +39,24 @@ pub struct ReadCompletion {
     pub queue_ns: u64,
     /// Wall-clock nanoseconds the read itself took.
     pub service_ns: u64,
+    /// Requests already waiting or in service at this disk when the
+    /// read was submitted, this request excluded (always 0 for inline
+    /// backends — there is no queue to wait in).
+    pub queue_depth: u32,
+}
+
+/// Observer of individual disk reads, called from whichever thread
+/// serviced the read the moment it finishes.
+///
+/// This is the seam the live telemetry plane (in `sqda-obs`, which
+/// *depends on* this crate) hooks into: the backend stays free of any
+/// metrics vocabulary, the observer stays free of I/O. Implementations
+/// must be cheap and lock-free — the call sits on the disk workers'
+/// service path.
+pub trait ReadObserver: Send + Sync {
+    /// One read finished on `disk`: it waited `queue_ns` behind
+    /// `queue_depth` earlier requests, then took `service_ns` to read.
+    fn on_disk_read(&self, disk: u32, queue_ns: u64, service_ns: u64, queue_depth: u32);
 }
 
 /// Batched multi-page read submission with asynchronous completion
@@ -73,12 +92,24 @@ fn placement_of<S: PageStore + ?Sized>(store: &S, page: PageId) -> (u32, u32) {
 /// it works over any store, including `FileStore`, as a baseline.
 pub struct InlineBackend<S: PageStore + ?Sized> {
     store: Arc<S>,
+    observer: Option<Arc<dyn ReadObserver>>,
 }
 
 impl<S: PageStore + ?Sized> InlineBackend<S> {
     /// Wraps `store` in an inline (synchronous) backend.
     pub fn new(store: Arc<S>) -> Self {
-        Self { store }
+        Self {
+            store,
+            observer: None,
+        }
+    }
+
+    /// Wraps `store` with a read observer notified after every read.
+    pub fn with_observer(store: Arc<S>, observer: Arc<dyn ReadObserver>) -> Self {
+        Self {
+            store,
+            observer: Some(observer),
+        }
     }
 }
 
@@ -90,6 +121,9 @@ impl<S: PageStore + ?Sized + Send + Sync> IoBackend for InlineBackend<S> {
             let start = Instant::now();
             let result = self.store.read(page);
             let service_ns = start.elapsed().as_nanos() as u64;
+            if let Some(obs) = &self.observer {
+                obs.on_disk_read(disk, 0, service_ns, 0);
+            }
             // The receiver outlives us by construction; a dropped
             // receiver just discards the completion.
             let _ = tx.send(ReadCompletion {
@@ -99,6 +133,7 @@ impl<S: PageStore + ?Sized + Send + Sync> IoBackend for InlineBackend<S> {
                 result,
                 queue_ns: 0,
                 service_ns,
+                queue_depth: 0,
             });
         }
         rx
@@ -117,6 +152,9 @@ struct ReadRequest {
     page: PageId,
     cylinder: u32,
     submitted: Instant,
+    /// Requests already queued or in service at this disk when this one
+    /// was submitted (this request excluded).
+    queue_depth: u32,
     reply: Sender<ReadCompletion>,
 }
 
@@ -127,19 +165,38 @@ pub struct ThreadedFileBackend {
     store: Arc<FileStore>,
     /// Per-disk request queues; dropping these shuts the workers down.
     queues: Vec<Sender<ReadRequest>>,
+    /// Per-disk outstanding-request counts (queued + in service),
+    /// incremented at submission and decremented by the worker when the
+    /// read finishes — the real-path analogue of the simulator's FCFS
+    /// queue-depth accounting.
+    depths: Arc<Vec<AtomicU64>>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ThreadedFileBackend {
     /// Spawns one worker per disk of `store`.
     pub fn new(store: Arc<FileStore>) -> Self {
+        Self::build(store, None)
+    }
+
+    /// Spawns one worker per disk, with a read observer notified from
+    /// each worker thread as its reads finish.
+    pub fn with_observer(store: Arc<FileStore>, observer: Arc<dyn ReadObserver>) -> Self {
+        Self::build(store, Some(observer))
+    }
+
+    fn build(store: Arc<FileStore>, observer: Option<Arc<dyn ReadObserver>>) -> Self {
         let num_disks = store.num_disks();
+        let depths: Arc<Vec<AtomicU64>> =
+            Arc::new((0..num_disks).map(|_| AtomicU64::new(0)).collect());
         let mut queues = Vec::with_capacity(num_disks as usize);
         let mut workers = Vec::with_capacity(num_disks as usize);
         for disk in 0..num_disks {
             let (tx, rx) = std::sync::mpsc::channel::<ReadRequest>();
             queues.push(tx);
             let store = Arc::clone(&store);
+            let depths = Arc::clone(&depths);
+            let observer = observer.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("sqda-disk{disk}"))
@@ -148,13 +205,20 @@ impl ThreadedFileBackend {
                             let start = Instant::now();
                             let result = store.read(req.page);
                             let done = Instant::now();
+                            depths[disk as usize].fetch_sub(1, Ordering::Relaxed);
+                            let queue_ns = (start - req.submitted).as_nanos() as u64;
+                            let service_ns = (done - start).as_nanos() as u64;
+                            if let Some(obs) = &observer {
+                                obs.on_disk_read(disk, queue_ns, service_ns, req.queue_depth);
+                            }
                             let _ = req.reply.send(ReadCompletion {
                                 page: req.page,
                                 disk,
                                 cylinder: req.cylinder,
                                 result,
-                                queue_ns: (start - req.submitted).as_nanos() as u64,
-                                service_ns: (done - start).as_nanos() as u64,
+                                queue_ns,
+                                service_ns,
+                                queue_depth: req.queue_depth,
                             });
                         }
                     })
@@ -164,6 +228,7 @@ impl ThreadedFileBackend {
         Self {
             store,
             queues,
+            depths,
             workers,
         }
     }
@@ -171,6 +236,13 @@ impl ThreadedFileBackend {
     /// The underlying store.
     pub fn store(&self) -> &Arc<FileStore> {
         &self.store
+    }
+
+    /// Requests currently queued or in service at `disk`.
+    pub fn queue_depth(&self, disk: u32) -> u64 {
+        self.depths
+            .get(disk as usize)
+            .map_or(0, |d| d.load(Ordering::Relaxed))
     }
 }
 
@@ -180,10 +252,13 @@ impl IoBackend for ThreadedFileBackend {
         for &page in pages {
             match self.store.placement(page) {
                 Ok(p) => {
+                    let queue_depth =
+                        self.depths[p.disk.index()].fetch_add(1, Ordering::Relaxed) as u32;
                     let req = ReadRequest {
                         page,
                         cylinder: p.cylinder,
                         submitted: Instant::now(),
+                        queue_depth,
                         reply: tx.clone(),
                     };
                     self.queues[p.disk.index()]
@@ -200,6 +275,7 @@ impl IoBackend for ThreadedFileBackend {
                         result: Err(e),
                         queue_ns: 0,
                         service_ns: 0,
+                        queue_depth: 0,
                     });
                 }
             }
@@ -298,6 +374,66 @@ mod tests {
         let out = collect(backend.submit_batch(&[PageId::from_raw(99)]), 1);
         assert!(out[0].result.is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[derive(Default)]
+    struct CountingObserver {
+        reads: AtomicU64,
+        service_ns: AtomicU64,
+        max_depth: AtomicU64,
+    }
+
+    impl ReadObserver for CountingObserver {
+        fn on_disk_read(&self, _disk: u32, _queue_ns: u64, service_ns: u64, queue_depth: u32) {
+            self.reads.fetch_add(1, Ordering::Relaxed);
+            self.service_ns.fetch_add(service_ns, Ordering::Relaxed);
+            self.max_depth
+                .fetch_max(queue_depth as u64, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn threaded_backend_notifies_observer_and_tracks_depth() {
+        let dir = tmpdir("observer");
+        let store = Arc::new(FileStore::create(&dir, 2, 100, 256, 7).unwrap());
+        let mut pages = Vec::new();
+        for i in 0..24u64 {
+            let p = store.allocate(DiskId((i % 2) as u32)).unwrap();
+            store.write(p, Bytes::from(vec![i as u8; 32])).unwrap();
+            pages.push(p);
+        }
+        let obs = Arc::new(CountingObserver::default());
+        let backend =
+            ThreadedFileBackend::with_observer(Arc::clone(&store), Arc::<CountingObserver>::clone(&obs));
+        let out = collect(backend.submit_batch(&pages), pages.len());
+        assert!(out.iter().all(|c| c.result.is_ok()));
+        assert_eq!(obs.reads.load(Ordering::Relaxed), 24);
+        // 12 requests per disk submitted in one burst: some request must
+        // have seen a non-empty queue.
+        assert!(obs.max_depth.load(Ordering::Relaxed) > 0);
+        // All submissions drained: outstanding counts return to zero.
+        assert_eq!(backend.queue_depth(0), 0);
+        assert_eq!(backend.queue_depth(1), 0);
+        assert_eq!(backend.queue_depth(99), 0);
+        drop(backend);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn inline_backend_notifies_observer() {
+        let store = Arc::new(ArrayStore::new(2, 50, 1));
+        let p = store.allocate(DiskId(1)).unwrap();
+        store.write(p, Bytes::from(vec![1u8; 8])).unwrap();
+        let obs = Arc::new(CountingObserver::default());
+        let backend = InlineBackend::with_observer(
+            Arc::clone(&store) as Arc<ArrayStore>,
+            Arc::<CountingObserver>::clone(&obs),
+        );
+        let out = collect(backend.submit_batch(&[p]), 1);
+        assert!(out[0].result.is_ok());
+        assert_eq!(out[0].queue_depth, 0);
+        assert_eq!(obs.reads.load(Ordering::Relaxed), 1);
+        assert_eq!(obs.max_depth.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -28,7 +28,7 @@ mod page;
 mod placement;
 mod store;
 
-pub use backend::{InlineBackend, IoBackend, ReadCompletion, ThreadedFileBackend};
+pub use backend::{InlineBackend, IoBackend, ReadCompletion, ReadObserver, ThreadedFileBackend};
 pub use cache::{CacheStats, LruCache, NodeCache};
 pub use error::{Result, StorageError};
 pub use filestore::FileStore;

@@ -78,6 +78,15 @@ for b in crates/bench/src/bin/*.rs; do
     -L dependency=$OUT $ALL_EXT "$b" --out-dir $OUT/bins
 done
 
+echo "== criterion benches"
+for b in crates/bench/benches/*.rs; do
+  name=$(basename "$b" .rs)
+  echo "  -- $name"
+  rustc --edition 2021 --crate-type bin --crate-name "bench_$name" --emit=metadata \
+    -L dependency=$OUT $ALL_EXT --extern criterion=$OUT/libcriterion.rlib \
+    "$b" --out-dir $OUT/bins
+done
+
 echo "== examples"
 for e in examples/*.rs; do
   name=$(basename "$e" .rs)
