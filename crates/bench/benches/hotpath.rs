@@ -3,8 +3,8 @@
 //! decode (two allocations under the flat layout), and end-to-end k-NN
 //! over a warm cache with a reused scratch heap.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use sqda_geom::Point;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sqda_geom::{kernel, Point};
 use sqda_rstar::decluster::ProximityIndex;
 use sqda_rstar::{codec, knn_with_scratch, BestFirstScratch, RStarConfig, RStarTree};
 use sqda_storage::{ArrayStore, NodeCache, PageStore};
@@ -109,5 +109,74 @@ fn bench_knn_warm(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_warm_traversal, bench_decode, bench_knn_warm);
+/// The batched distance kernels in isolation: ns/entry for `dist_sq`
+/// (leaf filtering) and MINDIST (internal filtering) at the paper's two
+/// dimensionalities, across batch sizes spanning a single entry, one
+/// SIMD lane width, and a large fanout.
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath/kernel");
+    for &dim in &[2usize, 10] {
+        let q: Vec<f64> = (0..dim).map(|d| d as f64 * 0.7 + 0.1).collect();
+        for &batch in &[1usize, 8, 64] {
+            let points: Vec<f64> = (0..batch * dim).map(|i| (i % 131) as f64 * 0.37).collect();
+            let rects: Vec<f64> = (0..batch)
+                .flat_map(|e| {
+                    let lo: Vec<f64> = (0..dim).map(|d| ((e * dim + d) % 97) as f64).collect();
+                    let hi: Vec<f64> = lo.iter().map(|l| l + 3.5).collect();
+                    lo.into_iter().chain(hi)
+                })
+                .collect();
+            let mut out = Vec::new();
+            group.throughput(Throughput::Elements(batch as u64));
+            group.bench_function(format!("dist_sq/dim{dim}/b{batch}"), |b| {
+                b.iter(|| {
+                    kernel::batch_dist_sq(black_box(&q), black_box(&points), &mut out);
+                    black_box(out[batch - 1])
+                })
+            });
+            group.bench_function(format!("min_dist/dim{dim}/b{batch}"), |b| {
+                b.iter(|| {
+                    kernel::batch_min_dist_sq(black_box(&q), black_box(&rects), &mut out);
+                    black_box(out[batch - 1])
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Shared-traversal batch k-NN versus the same queries run solo: the
+/// per-query cost of the wavefront descent when B queries amortize each
+/// node decode.
+fn bench_batch_knn(c: &mut Criterion) {
+    let tree = build_tree();
+    let queries: Vec<Point> = (0..8)
+        .map(|i| {
+            Point::new(vec![
+                (i * 53 % 101) as f64 * 9.0,
+                (i * 31 % 97) as f64 * 4.7,
+            ])
+        })
+        .collect();
+    let mut scratch = sqda_core::BatchScratch::new();
+    sqda_core::batch_knn_with(&tree, &queries, 10, &mut scratch).expect("batch knn"); // warm
+    let mut group = c.benchmark_group("hotpath/batch_knn");
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    group.bench_function("b8_k10", |b| {
+        b.iter(|| {
+            let report = sqda_core::batch_knn_with(&tree, &queries, 10, &mut scratch).unwrap();
+            black_box(report.answers.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_warm_traversal,
+    bench_decode,
+    bench_knn_warm,
+    bench_kernels,
+    bench_batch_knn
+);
 criterion_main!(benches);

@@ -1,6 +1,7 @@
-//! Hot-path measurement bin: quantifies the zero-copy node read path.
+//! Hot-path measurement bin: quantifies the zero-copy node read path and
+//! the batched distance kernels.
 //!
-//! Three medians, written to `results/BENCH_hotpath.json`:
+//! Medians, written to `results/BENCH_hotpath.json`:
 //!
 //! * `decode_leaf_ns` / `decode_internal_ns` — one full-page node decode
 //!   (the flat layout turns this into two allocations);
@@ -8,21 +9,29 @@
 //!   with every page resident in the decoded-node cache (an `Arc` clone
 //!   per node, no entry copies);
 //! * `knn_warm_ns_per_query` — end-to-end k-NN with a reused
-//!   [`BestFirstScratch`] over a warm cache.
+//!   [`BestFirstScratch`] over a warm cache;
+//! * `kernel` — ns/entry for the batched `dist_sq` and MINDIST kernels
+//!   at dim 2 and 10, batch sizes 1/8/64 (one entry, one SIMD lane
+//!   width, a large fanout);
+//! * `batch_knn_b8_ns_per_query` — shared-traversal batch k-NN, plus its
+//!   deterministic fetch-sharing counters.
 //!
 //! The tree is built deterministically (no RNG), so the byte layout under
 //! measurement is identical across runs and machines; only the timings
-//! vary. Accepts `--out <dir>` (default `results`) and `--no-manifest`
+//! vary. Accepts `--out <dir>` (default `results`), `--no-manifest`
 //! (suppress the provenance manifest and schema-v2 fragment; the legacy
-//! `BENCH_hotpath.json` is always written). Timings are reported in the
-//! fragment as informational metrics — machine-dependent, so never
-//! checked for regressions across hosts.
+//! `BENCH_hotpath.json` is always written), `--reps <n>`, and — so it can
+//! run under `run_all_experiments` — ignores `--quick`, `--serial`, and
+//! `--warmup <f>`. Timings are reported in the fragment as informational
+//! metrics (machine-dependent, never compared across hosts); the batch
+//! traversal's fetch counters are exact and Direction-tagged, so the
+//! regression gate catches a sharing or pruning regression numerically.
 
 use sqda_bench::{
     report::{BinReport, Direction},
     ExpOptions,
 };
-use sqda_geom::Point;
+use sqda_geom::{kernel, Point};
 use sqda_obs::MetricSummary;
 use sqda_rstar::decluster::ProximityIndex;
 use sqda_rstar::{codec, knn_with_scratch, BestFirstScratch, RStarConfig, RStarTree};
@@ -32,10 +41,13 @@ use std::sync::Arc;
 use std::time::Instant;
 
 const OBJECTS: usize = 2000;
-const REPS: usize = 30;
+const DEFAULT_REPS: usize = 30;
 const DECODES_PER_REP: usize = 1000;
 const KNN_QUERIES: usize = 20;
 const K: usize = 10;
+const KERNEL_DIMS: [usize; 2] = [2, 10];
+const KERNEL_BATCHES: [usize; 3] = [1, 8, 64];
+const BATCH_B: usize = 8;
 
 fn median(mut xs: Vec<f64>) -> f64 {
     xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
@@ -99,12 +111,30 @@ fn sample_pages(tree: &RStarTree<ArrayStore>) -> (PageId, Option<PageId>) {
 fn main() {
     let mut out_dir = PathBuf::from("results");
     let mut manifest = true;
+    let mut reps = DEFAULT_REPS;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out_dir = PathBuf::from(args.next().expect("--out needs a directory")),
             "--no-manifest" => manifest = false,
-            other => panic!("unknown argument {other} (expected --out <dir> | --no-manifest)"),
+            "--reps" => {
+                reps = args
+                    .next()
+                    .expect("--reps needs a count")
+                    .parse()
+                    .expect("--reps needs a positive integer");
+                assert!(reps > 0, "--reps needs a positive integer");
+            }
+            // Accepted so this bin can run as a run_all_experiments
+            // child; the measurement set is fixed either way.
+            "--quick" | "--serial" => {}
+            "--warmup" => {
+                args.next().expect("--warmup needs a fraction");
+            }
+            other => panic!(
+                "unknown argument {other} (expected --out <dir> | --no-manifest | \
+                 --reps <n> | --quick | --serial | --warmup <f>)"
+            ),
         }
     }
 
@@ -115,16 +145,16 @@ fn main() {
     let (leaf_page, internal_page) = sample_pages(&tree);
     let time_decode = |page: PageId| -> Vec<f64> {
         let bytes = tree.store().read(page).expect("read page");
-        let mut reps = Vec::with_capacity(REPS);
-        for _ in 0..REPS {
+        let mut samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
             let start = Instant::now();
             for _ in 0..DECODES_PER_REP {
                 let node = codec::decode_node(bytes.clone(), dim, page).expect("decode");
                 std::hint::black_box(&node);
             }
-            reps.push(start.elapsed().as_nanos() as f64 / DECODES_PER_REP as f64);
+            samples.push(start.elapsed().as_nanos() as f64 / DECODES_PER_REP as f64);
         }
-        reps
+        samples
     };
     let decode_leaf_reps = time_decode(leaf_page);
     let decode_leaf_ns = median(decode_leaf_reps.clone());
@@ -133,8 +163,8 @@ fn main() {
 
     // Warm-cache traversal: ns per node over the whole tree.
     let node_count = traverse(&tree); // warms the cache
-    let mut traversal_reps = Vec::with_capacity(REPS);
-    for _ in 0..REPS {
+    let mut traversal_reps = Vec::with_capacity(reps);
+    for _ in 0..reps {
         let start = Instant::now();
         let n = traverse(&tree);
         traversal_reps.push(start.elapsed().as_nanos() as f64 / n as f64);
@@ -154,8 +184,8 @@ fn main() {
     for q in &queries {
         knn_with_scratch(&tree, q, K, &mut scratch).expect("knn"); // warm
     }
-    let mut knn_reps = Vec::with_capacity(REPS);
-    for _ in 0..REPS {
+    let mut knn_reps = Vec::with_capacity(reps);
+    for _ in 0..reps {
         let start = Instant::now();
         for q in &queries {
             let (out, _) = knn_with_scratch(&tree, q, K, &mut scratch).expect("knn");
@@ -165,35 +195,148 @@ fn main() {
     }
     let knn_warm_ns_per_query = median(knn_reps.clone());
 
-    println!("hot-path medians over {REPS} reps ({node_count} nodes, {OBJECTS} objects):");
+    // Kernel section: ns/entry for the batched dist_sq and MINDIST
+    // kernels, over deterministic synthetic entries. Each sample times
+    // enough calls to make one rep ≥ tens of microseconds.
+    let mut kernel_medians: Vec<(usize, usize, f64, f64)> = Vec::new(); // (dim, batch, dist, mindist)
+    let mut kernel_samples: Vec<(usize, usize, &'static str, Vec<f64>)> = Vec::new();
+    for &kdim in &KERNEL_DIMS {
+        let q: Vec<f64> = (0..kdim).map(|d| d as f64 * 0.7 + 0.1).collect();
+        for &batch in &KERNEL_BATCHES {
+            let points: Vec<f64> = (0..batch * kdim).map(|i| (i % 131) as f64 * 0.37).collect();
+            let rects: Vec<f64> = (0..batch)
+                .flat_map(|e| {
+                    let lo: Vec<f64> = (0..kdim).map(|d| ((e * kdim + d) % 97) as f64).collect();
+                    let hi: Vec<f64> = lo.iter().map(|l| l + 3.5).collect();
+                    lo.into_iter().chain(hi)
+                })
+                .collect();
+            let calls = (20_000 / batch).max(50);
+            let mut out = Vec::new();
+            let mut time_kernel = |f: &dyn Fn(&mut Vec<f64>)| -> Vec<f64> {
+                let mut samples = Vec::with_capacity(reps);
+                for _ in 0..reps {
+                    let start = Instant::now();
+                    for _ in 0..calls {
+                        f(&mut out);
+                        std::hint::black_box(out.last());
+                    }
+                    samples.push(start.elapsed().as_nanos() as f64 / (calls * batch) as f64);
+                }
+                samples
+            };
+            let dist_samples = time_kernel(&|out| kernel::batch_dist_sq(&q, &points, out));
+            let mindist_samples = time_kernel(&|out| kernel::batch_min_dist_sq(&q, &rects, out));
+            kernel_medians.push((
+                kdim,
+                batch,
+                median(dist_samples.clone()),
+                median(mindist_samples.clone()),
+            ));
+            kernel_samples.push((kdim, batch, "dist_sq", dist_samples));
+            kernel_samples.push((kdim, batch, "min_dist", mindist_samples));
+        }
+    }
+
+    // Shared-traversal batch k-NN: B clustered-ish queries through one
+    // wavefront descent; the fetch counters are exact and deterministic.
+    let batch_queries: Vec<Point> = (0..BATCH_B)
+        .map(|i| {
+            Point::new(vec![
+                (i * 53 % 101) as f64 * 9.0,
+                (i * 31 % 97) as f64 * 4.7,
+            ])
+        })
+        .collect();
+    let mut batch_scratch = sqda_core::BatchScratch::new();
+    let batch_report =
+        sqda_core::batch_knn_with(&tree, &batch_queries, K, &mut batch_scratch).expect("batch");
+    let mut batch_reps = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        let r =
+            sqda_core::batch_knn_with(&tree, &batch_queries, K, &mut batch_scratch).expect("batch");
+        std::hint::black_box(r.answers.len());
+        batch_reps.push(start.elapsed().as_nanos() as f64 / batch_queries.len() as f64);
+    }
+    let batch_knn_ns_per_query = median(batch_reps.clone());
+
+    println!("hot-path medians over {reps} reps ({node_count} nodes, {OBJECTS} objects):");
     println!("  decode_leaf_ns             {decode_leaf_ns:.1}");
     println!("  decode_internal_ns         {decode_internal_ns:.1}");
     println!("  warm_traversal_ns_per_node {warm_traversal_ns_per_node:.1}");
     println!("  knn_warm_ns_per_query      {knn_warm_ns_per_query:.1}");
+    println!(
+        "  batch_knn_b{BATCH_B}_ns_per_query  {batch_knn_ns_per_query:.1} \
+         (fetches {}/{}, sharing {:.2}x)",
+        batch_report.unique_fetches,
+        batch_report.total_interest,
+        batch_report.sharing_factor()
+    );
+    for &(kdim, batch, dist, mindist) in &kernel_medians {
+        println!(
+            "  kernel dim{kdim} b{batch:<2}            dist_sq {dist:.2} ns/entry, \
+             min_dist {mindist:.2} ns/entry"
+        );
+    }
 
     std::fs::create_dir_all(&out_dir).expect("create results dir");
     let path = out_dir.join("BENCH_hotpath.json");
+    // Per-kernel nested block: {"dim2": {"b1": x, "b8": y, "b64": z}, ...}.
+    let kernel_block = |select: &dyn Fn(&(usize, usize, f64, f64)) -> f64| -> String {
+        let mut s = String::from("{");
+        for (di, &kdim) in KERNEL_DIMS.iter().enumerate() {
+            if di > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"dim{kdim}\": {{"));
+            let mut first = true;
+            for m in kernel_medians.iter().filter(|m| m.0 == kdim) {
+                if !first {
+                    s.push_str(", ");
+                }
+                first = false;
+                s.push_str(&format!("\"b{}\": {:.2}", m.1, select(m)));
+            }
+            s.push('}');
+        }
+        s.push('}');
+        s
+    };
+    let kernel_dist = kernel_block(&|m| m.2);
+    let kernel_mindist = kernel_block(&|m| m.3);
     let json = format!(
         "{{\n  \"bench\": \"hotpath\",\n  \"config\": {{\n    \"dim\": {dim},\n    \
          \"page_size\": 1024,\n    \"objects\": {OBJECTS},\n    \"nodes\": {node_count},\n    \
-         \"cache_pages\": 8192,\n    \"reps\": {REPS}\n  }},\n  \
+         \"cache_pages\": 8192,\n    \"reps\": {reps}\n  }},\n  \
          \"decode_leaf_ns\": {decode_leaf_ns:.1},\n  \
          \"decode_internal_ns\": {decode_internal_ns:.1},\n  \
          \"warm_traversal_ns_per_node\": {warm_traversal_ns_per_node:.1},\n  \
-         \"knn_warm_ns_per_query\": {knn_warm_ns_per_query:.1}\n}}\n"
+         \"knn_warm_ns_per_query\": {knn_warm_ns_per_query:.1},\n  \
+         \"kernel_ns_per_entry\": {{\n    \
+         \"dist_sq\": {kernel_dist},\n    \
+         \"min_dist\": {kernel_mindist}\n  }},\n  \
+         \"batch_knn_b{BATCH_B}_ns_per_query\": {batch_knn_ns_per_query:.1},\n  \
+         \"batch_knn_unique_fetches\": {},\n  \
+         \"batch_knn_total_interest\": {},\n  \
+         \"batch_knn_rounds\": {}\n}}\n",
+        batch_report.unique_fetches, batch_report.total_interest, batch_report.rounds
     );
     std::fs::write(&path, json).expect("write BENCH_hotpath.json");
     eprintln!("  wrote {}", path.display());
 
-    // Provenance manifest + schema-v2 fragment (timings are Info-only:
-    // nanosecond medians are machine facts, not regression targets).
+    // Provenance manifest + schema-v2 fragment. Timings are Info-only
+    // (nanosecond medians are machine facts, not regression targets);
+    // the batch traversal's fetch counters are exact over the
+    // deterministic tree and query set, so they carry real directions
+    // and the regression gate compares them numerically.
     let opts = ExpOptions {
         quick: false,
         out_dir,
         jobs: 1,
         trace: None,
         metrics: None,
-        reps: REPS,
+        reps,
         manifest,
         warmup: 0.0,
     };
@@ -219,5 +362,36 @@ fn main() {
     timing("decode_internal_ns", &decode_internal_reps);
     timing("warm_traversal_ns_per_node", &traversal_reps);
     timing("knn_warm_ns_per_query", &knn_reps);
+    timing("batch_knn_ns_per_query", &batch_reps);
+    for (kdim, batch, name, samples) in &kernel_samples {
+        report.metric_dir(
+            "kernel_ns_per_entry",
+            &[
+                ("kernel", name.to_string()),
+                ("dim", kdim.to_string()),
+                ("batch", batch.to_string()),
+            ],
+            MetricSummary::from_samples(samples),
+            Direction::Info,
+        );
+    }
+    report.metric_dir(
+        "batch_knn_unique_fetches",
+        &[],
+        MetricSummary::from_samples(&[batch_report.unique_fetches as f64]),
+        Direction::Lower,
+    );
+    report.metric_dir(
+        "batch_knn_sharing_factor",
+        &[],
+        MetricSummary::from_samples(&[batch_report.sharing_factor()]),
+        Direction::Higher,
+    );
+    report.metric_dir(
+        "batch_knn_rounds",
+        &[],
+        MetricSummary::from_samples(&[batch_report.rounds as f64]),
+        Direction::Lower,
+    );
     report.finish(&opts);
 }

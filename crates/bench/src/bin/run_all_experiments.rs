@@ -59,6 +59,7 @@ const EXPERIMENTS: &[&str] = &[
     "analysis_validation",
     "fault_sweep",
     "bench_serve",
+    "bench_hotpath",
 ];
 
 struct Finished {

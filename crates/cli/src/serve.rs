@@ -15,6 +15,9 @@
 //! ```text
 //! -> QUERY <x,y,...> <k> [bbss|fpss|crss|woptss]
 //! <- OK <n> <id>:<dist> <id>:<dist> ...
+//! -> BATCH <x,y;x,y;...> <k>   (B queries through one shared traversal)
+//! <- OK <B> fetches=<unique>/<interest> rounds=<r> wall_us=<t>
+//!          q0=<id>:<dist>,... q1=...
 //! -> PING
 //! <- PONG
 //! -> STATS
@@ -380,6 +383,62 @@ fn respond(
                 }
             }
         }
+        Some("BATCH") => {
+            // B queries through one shared traversal (FPSS wavefront
+            // semantics): each wavefront page is fetched and decoded
+            // once for every query still interested in it.
+            let (Some(coords), Some(k)) = (words.next(), words.next()) else {
+                return Reply::err("usage: BATCH <x,y;x,y;...> <k>");
+            };
+            let mut queries = Vec::new();
+            for part in coords.split(';') {
+                match parse_point(part).map(Point::try_new) {
+                    Ok(Ok(p)) => queries.push(p),
+                    Ok(Err(e)) => return Reply::err(e),
+                    Err(e) => return Reply::err(e),
+                }
+            }
+            let k: usize = match k.parse() {
+                Ok(k) if k > 0 => k,
+                _ => return Reply::err(format!("bad k {k:?}")),
+            };
+            if let Some(extra) = words.next() {
+                return Reply::err(format!("unexpected trailing {extra:?}"));
+            }
+            if let Some(p) = queries
+                .iter()
+                .find(|p| p.dim() != engine.access_method().dim())
+            {
+                return Reply::err(format!(
+                    "query dim {} but tree dim {}",
+                    p.dim(),
+                    engine.access_method().dim()
+                ));
+            }
+            match engine.run_query_batch(&queries, k) {
+                Err(e) => Reply::err(e),
+                Ok((report, wall_s)) => {
+                    served.fetch_add(queries.len() as u64, Ordering::Relaxed);
+                    let mut text = format!(
+                        "OK {} fetches={}/{} rounds={} wall_us={:.1}",
+                        report.answers.len(),
+                        report.unique_fetches,
+                        report.total_interest,
+                        report.rounds,
+                        wall_s * 1e6
+                    );
+                    for (qi, answers) in report.answers.iter().enumerate() {
+                        text.push_str(&format!(" q{qi}="));
+                        let items: Vec<String> = answers
+                            .iter()
+                            .map(|n| format!("{}:{:.6}", n.object.0, n.dist()))
+                            .collect();
+                        text.push_str(&items.join(","));
+                    }
+                    Reply::line(text)
+                }
+            }
+        }
         Some(other) => Reply::err(format!("unknown request {other:?}")),
         None => Reply::err("empty request"),
     }
@@ -468,6 +527,20 @@ mod tests {
             assert!(stats.contains(" degraded_reads=0 "), "{stats}");
             assert!(stats.contains(" window_qps="), "{stats}");
             assert!(stats.contains(" reads_per_disk="), "{stats}");
+
+            // Shared-traversal batch: two queries through one descent;
+            // q0's answers match the solo ground truth exactly.
+            let batch = request_line(&mut a, &mut ra, "BATCH 5.0,5.0;1.0,2.0 3");
+            assert!(batch.starts_with("OK 2 fetches="), "{batch}");
+            assert!(batch.contains(" rounds="), "{batch}");
+            let q0: Vec<String> = expected
+                .iter()
+                .map(|n| format!("{}:{:.6}", n.object.0, n.dist()))
+                .collect();
+            assert!(batch.contains(&format!(" q0={}", q0.join(","))), "{batch}");
+            assert!(request_line(&mut a, &mut ra, "BATCH 1.0,2.0 0").starts_with("ERR"));
+            assert!(request_line(&mut a, &mut ra, "BATCH 1.0 3").starts_with("ERR"));
+            assert!(request_line(&mut a, &mut ra, "BATCH").starts_with("ERR"));
 
             // A second concurrent client.
             let mut b = TcpStream::connect(addr).unwrap();

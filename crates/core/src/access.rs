@@ -4,36 +4,355 @@
 //! algorithm "supports all variants of the R-tree family as well as
 //! TV-trees, SS-trees, X-trees and SR-trees, with some modifications".
 //! This module is that claim made concrete: the algorithms only ever see
-//! [`IndexNode`]s — leaves of `(point, object-id)` pairs and directories
-//! of count-annotated bounding [`Region`]s — so any hierarchical,
-//! declustered access method that can serve this view runs BBSS, FPSS,
-//! CRSS and WOPTSS unchanged. `sqda-rstar` (rectangles) and
-//! `sqda-sstree` (spheres) both implement it.
+//! [`IndexNode`]s — leaves of data points and directories of
+//! count-annotated bounding regions — so any hierarchical, declustered
+//! access method that can serve this view runs BBSS, FPSS, CRSS and
+//! WOPTSS unchanged. `sqda-rstar` (rectangles) and `sqda-sstree`
+//! (spheres) both implement it.
+//!
+//! Nodes are stored **flat**: one contiguous coordinate block per node
+//! plus parallel id/count arrays, mirroring the on-disk layout of
+//! `sqda_rstar::Node`. The batch distance kernels in
+//! [`sqda_geom::kernel`] run directly over these blocks, so decoding a
+//! node materialises no per-entry `Point`/`Rect` allocations and the hot
+//! paths compute whole-node distance vectors in one call.
 
 use crate::error::QueryError;
-use sqda_geom::{Point, Region};
+use sqda_geom::{kernel, Point, Region};
 use sqda_storage::{PageId, Placement};
 
-/// One directory entry: a bounding region over a child subtree, annotated
-/// with the number of data objects below it (the count augmentation every
-/// supported access method must provide — Lemma 1 depends on it).
+/// A decoded leaf: `len` data points of dimension `dim` stored
+/// back-to-back in one coordinate block, with a parallel object-id array.
 #[derive(Debug, Clone, PartialEq)]
-pub struct RegionEntry {
-    /// The bounding region.
-    pub region: Region,
-    /// The child page.
-    pub child: PageId,
-    /// Data objects in the child subtree.
-    pub count: u64,
+pub struct LeafBlock {
+    dim: usize,
+    coords: Box<[f64]>,
+    ids: Box<[u64]>,
+}
+
+impl LeafBlock {
+    /// Builds a leaf block from flat storage. `coords` holds the points
+    /// back-to-back (entry `i` at `[i*dim .. (i+1)*dim]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords.len() != dim * ids.len()`, or if `dim == 0`
+    /// while entries are present (only an empty node has no
+    /// dimensionality to take from its entries).
+    pub fn new(dim: usize, coords: Box<[f64]>, ids: Box<[u64]>) -> Self {
+        assert!(dim > 0 || ids.is_empty(), "non-empty leaf needs dimensions");
+        assert_eq!(coords.len(), dim * ids.len(), "coords/ids length mismatch");
+        Self { dim, coords, ids }
+    }
+
+    /// Builds a leaf block from `(point, id)` pairs (convenience for
+    /// tests and entry-based access methods).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points disagree on dimensionality or `dim == 0`.
+    pub fn from_pairs(dim: usize, pairs: &[(Point, u64)]) -> Self {
+        let mut coords = Vec::with_capacity(dim * pairs.len());
+        let mut ids = Vec::with_capacity(pairs.len());
+        for (p, id) in pairs {
+            assert_eq!(p.dim(), dim, "point dimensionality mismatch");
+            coords.extend_from_slice(p.coords());
+            ids.push(*id);
+        }
+        Self::new(dim, coords.into_boxed_slice(), ids.into_boxed_slice())
+    }
+
+    /// Number of data points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when the leaf holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Point dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The whole coordinate block (stride [`LeafBlock::dim`]).
+    #[inline]
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Coordinates of point `i`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Raw object id of point `i`.
+    #[inline]
+    pub fn id(&self, i: usize) -> u64 {
+        self.ids[i]
+    }
+
+    /// The object-id array.
+    #[inline]
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Iterates `(coords, id)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], u64)> + '_ {
+        self.coords
+            .chunks_exact(self.dim)
+            .zip(self.ids.iter().copied())
+    }
+
+    /// Squared distance from `q` to **every** point of the leaf in one
+    /// batched kernel call; `out` is a reusable scratch buffer. Results
+    /// are bit-identical to per-entry [`Point::dist_sq`].
+    #[inline]
+    pub fn dist_sq_into(&self, q: &[f64], out: &mut Vec<f64>) {
+        debug_assert!(self.is_empty() || q.len() == self.dim, "query dim mismatch");
+        if self.is_empty() {
+            out.clear();
+            return;
+        }
+        kernel::batch_dist_sq(q, &self.coords, out);
+    }
+}
+
+/// The bounding regions of a directory node, stored flat by shape.
+///
+/// A node's entries are homogeneous (R\*-trees bound with rectangles,
+/// SS-trees with spheres), so one discriminant per node suffices and the
+/// coordinate blocks stay contiguous for the batch kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegionBlock {
+    /// Axis-aligned MBRs: entry `i` occupies `[i*2*dim .. (i+1)*2*dim]`
+    /// of `coords` — `dim` low coordinates then `dim` high coordinates.
+    Rects {
+        /// Rectangle dimensionality.
+        dim: usize,
+        /// Corner block, stride `2 * dim`.
+        coords: Box<[f64]>,
+    },
+    /// Bounding spheres: entry `i`'s center at `[i*dim .. (i+1)*dim]` of
+    /// `centers`, radius in `radii[i]`.
+    Spheres {
+        /// Sphere dimensionality.
+        dim: usize,
+        /// Center block, stride `dim`.
+        centers: Box<[f64]>,
+        /// Per-entry radii.
+        radii: Box<[f64]>,
+    },
+}
+
+/// A decoded directory node: flat region storage plus parallel child-page
+/// and subtree-count arrays (the count augmentation every supported
+/// access method must provide — Lemma 1 depends on it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InternalBlock {
+    children: Box<[u64]>,
+    counts: Box<[u64]>,
+    regions: RegionBlock,
+}
+
+impl InternalBlock {
+    /// Builds a rectangle-bounded directory from flat storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches, or if `dim == 0` while entries are
+    /// present.
+    pub fn from_rects(
+        dim: usize,
+        coords: Box<[f64]>,
+        children: Box<[u64]>,
+        counts: Box<[u64]>,
+    ) -> Self {
+        assert!(
+            dim > 0 || children.is_empty(),
+            "non-empty node needs dimensions"
+        );
+        assert_eq!(
+            coords.len(),
+            2 * dim * children.len(),
+            "corner block length"
+        );
+        assert_eq!(children.len(), counts.len(), "children/counts mismatch");
+        Self {
+            children,
+            counts,
+            regions: RegionBlock::Rects { dim, coords },
+        }
+    }
+
+    /// Builds a sphere-bounded directory from flat storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches, or if `dim == 0` while entries are
+    /// present.
+    pub fn from_spheres(
+        dim: usize,
+        centers: Box<[f64]>,
+        radii: Box<[f64]>,
+        children: Box<[u64]>,
+        counts: Box<[u64]>,
+    ) -> Self {
+        assert!(
+            dim > 0 || children.is_empty(),
+            "non-empty node needs dimensions"
+        );
+        assert_eq!(centers.len(), dim * children.len(), "center block length");
+        assert_eq!(radii.len(), children.len(), "radius per entry");
+        assert_eq!(children.len(), counts.len(), "children/counts mismatch");
+        Self {
+            children,
+            counts,
+            regions: RegionBlock::Spheres {
+                dim,
+                centers,
+                radii,
+            },
+        }
+    }
+
+    /// Number of directory entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// `true` when the directory has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Region dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        match &self.regions {
+            RegionBlock::Rects { dim, .. } => *dim,
+            RegionBlock::Spheres { dim, .. } => *dim,
+        }
+    }
+
+    /// The flat region storage.
+    #[inline]
+    pub fn regions(&self) -> &RegionBlock {
+        &self.regions
+    }
+
+    /// Child page of entry `i`.
+    #[inline]
+    pub fn child(&self, i: usize) -> PageId {
+        PageId::from_raw(self.children[i])
+    }
+
+    /// Subtree object count of entry `i`.
+    #[inline]
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// The subtree-count array.
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Iterates the child pages.
+    pub fn children(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.children.iter().map(|&raw| PageId::from_raw(raw))
+    }
+
+    /// Materialises entry `i`'s bounding region (presentation/debug
+    /// paths; the hot paths use the batch kernels instead).
+    pub fn region(&self, i: usize) -> Region {
+        match &self.regions {
+            RegionBlock::Rects { dim, coords } => {
+                let base = i * 2 * dim;
+                Region::Rect(
+                    sqda_geom::Rect::new(
+                        coords[base..base + dim].to_vec(),
+                        coords[base + dim..base + 2 * dim].to_vec(),
+                    )
+                    .expect("stored corners form a valid rectangle"),
+                )
+            }
+            RegionBlock::Spheres {
+                dim,
+                centers,
+                radii,
+            } => Region::sphere(Point::from(&centers[i * dim..(i + 1) * dim]), radii[i]),
+        }
+    }
+
+    /// `D_min²` from `q` to **every** region in one batched kernel call;
+    /// `out` is a reusable scratch buffer. Bit-identical to per-entry
+    /// [`Region::min_dist_sq`].
+    pub fn min_dist_sq_into(&self, q: &[f64], out: &mut Vec<f64>) {
+        debug_assert!(
+            self.is_empty() || q.len() == self.dim(),
+            "query dim mismatch"
+        );
+        if self.is_empty() {
+            out.clear();
+            return;
+        }
+        match &self.regions {
+            RegionBlock::Rects { coords, .. } => kernel::batch_min_dist_sq(q, coords, out),
+            RegionBlock::Spheres { centers, radii, .. } => {
+                kernel::batch_sphere_min_dist_sq(q, centers, radii, out)
+            }
+        }
+    }
+
+    /// All three metrics (`D_min²`, `D_mm²`, `D_max²`) from `q` to every
+    /// region in one sweep — what CRSS/FPSS candidate construction needs.
+    /// Bit-identical to the per-entry [`Region`] metrics.
+    pub fn metrics_into(
+        &self,
+        q: &[f64],
+        d_min: &mut Vec<f64>,
+        d_mm: &mut Vec<f64>,
+        d_max: &mut Vec<f64>,
+    ) {
+        debug_assert!(
+            self.is_empty() || q.len() == self.dim(),
+            "query dim mismatch"
+        );
+        if self.is_empty() {
+            d_min.clear();
+            d_mm.clear();
+            d_max.clear();
+            return;
+        }
+        match &self.regions {
+            RegionBlock::Rects { coords, .. } => {
+                kernel::batch_rect_metrics(q, coords, d_min, d_mm, d_max)
+            }
+            RegionBlock::Spheres { centers, radii, .. } => {
+                kernel::batch_sphere_metrics(q, centers, radii, d_min, d_mm, d_max)
+            }
+        }
+    }
 }
 
 /// A decoded index node, as the search algorithms see it.
 #[derive(Debug, Clone, PartialEq)]
 pub enum IndexNode {
-    /// A leaf: data points with raw object ids.
-    Leaf(Vec<(Point, u64)>),
-    /// A directory node.
-    Internal(Vec<RegionEntry>),
+    /// A leaf: a flat block of data points with raw object ids.
+    Leaf(LeafBlock),
+    /// A directory node: flat regions plus child pages and counts.
+    Internal(InternalBlock),
 }
 
 impl IndexNode {
@@ -45,8 +364,8 @@ impl IndexNode {
     /// Number of entries.
     pub fn len(&self) -> usize {
         match self {
-            IndexNode::Leaf(e) => e.len(),
-            IndexNode::Internal(e) => e.len(),
+            IndexNode::Leaf(b) => b.len(),
+            IndexNode::Internal(b) => b.len(),
         }
     }
 
@@ -100,26 +419,35 @@ pub trait AccessMethod: Send + Sync {
 /// The one place an R\*-tree node becomes the algorithms' view of it.
 /// (`sqda-sstree` provides the analogous impl for its sphere nodes.)
 /// Borrowing form: the source node usually lives in the shared decoded-node
-/// cache, so conversion materialises owned points/rectangles from the
-/// node's flat coordinate block without consuming the cached value.
+/// cache, so conversion copies the node's flat blocks without consuming
+/// the cached value — straight `memcpy`s of the coordinate/payload
+/// buffers, no per-entry materialisation.
 impl From<&sqda_rstar::Node> for IndexNode {
     fn from(node: &sqda_rstar::Node) -> Self {
         if node.is_leaf() {
-            IndexNode::Leaf(
-                node.leaf_iter()
-                    .map(|(coords, object)| (Point::from(coords), object.0))
-                    .collect(),
-            )
+            IndexNode::Leaf(LeafBlock::new(
+                node.dim(),
+                node.coords().into(),
+                node.payload().into(),
+            ))
         } else {
-            IndexNode::Internal(
-                node.internal_iter()
-                    .map(|e| RegionEntry {
-                        region: Region::Rect(e.mbr.to_rect()),
-                        child: e.child,
-                        count: e.count,
-                    })
-                    .collect(),
-            )
+            // The node's payload interleaves [child, count] pairs;
+            // de-interleave into the parallel arrays the block layout
+            // keeps.
+            let n = node.len();
+            let payload = node.payload();
+            let mut children = Vec::with_capacity(n);
+            let mut counts = Vec::with_capacity(n);
+            for pair in payload.chunks_exact(2) {
+                children.push(pair[0]);
+                counts.push(pair[1]);
+            }
+            IndexNode::Internal(InternalBlock::from_rects(
+                node.dim(),
+                node.coords().into(),
+                children.into_boxed_slice(),
+                counts.into_boxed_slice(),
+            ))
         }
     }
 }
@@ -160,11 +488,12 @@ impl<S: sqda_storage::PageStore> AccessMethod for sqda_rstar::RStarTree<S> {
     }
 }
 
-/// Reusable per-query workspace: the best-first priority heap and the
-/// fetched-batch buffer survive between queries, so a steady-state query
-/// sweep performs no per-query allocations for either. One scratch per
-/// worker thread; any scratch works with any access method (it carries no
-/// query state between runs).
+/// Reusable per-query workspace: the best-first priority heap, the
+/// fetched-batch buffer and the batch-kernel distance buffer survive
+/// between queries, so a steady-state query sweep performs no per-query
+/// allocations for any of them. One scratch per worker thread; any
+/// scratch works with any access method (it carries no query state
+/// between runs).
 #[derive(Default)]
 pub struct QueryScratch {
     /// Heap storage for [`best_first_knn_with`] (and the WOPTSS oracle).
@@ -172,6 +501,8 @@ pub struct QueryScratch {
     /// Staging buffer for fetched `(page, node)` batches; executors fill
     /// it, algorithms drain it in place.
     pub batch: Vec<(PageId, IndexNode)>,
+    /// Per-node distance vector for the batch kernels.
+    pub dists: Vec<f64>,
 }
 
 impl QueryScratch {
@@ -187,7 +518,8 @@ impl QueryScratch {
 ///
 /// Delegates to the engine in `sqda_rstar::best_first_search` — the same
 /// heap and tie-breaking the native R\*-tree search uses, with node
-/// expansion routed through [`AccessMethod::read_index_node`].
+/// expansion routed through [`AccessMethod::read_index_node`] and the
+/// per-node distances computed by the batch kernels.
 pub fn best_first_knn(
     am: &(impl AccessMethod + ?Sized),
     center: &Point,
@@ -198,28 +530,34 @@ pub fn best_first_knn(
 }
 
 /// [`best_first_knn`] over a caller-supplied [`QueryScratch`], reusing its
-/// priority heap across queries.
+/// priority heap and distance buffer across queries.
 pub fn best_first_knn_with(
     am: &(impl AccessMethod + ?Sized),
     center: &Point,
     k: usize,
     scratch: &mut QueryScratch,
 ) -> Result<Vec<sqda_rstar::Neighbor>, QueryError> {
+    let dists = &mut scratch.dists;
     let (out, _nodes_read) = sqda_rstar::best_first_search_with(
         &mut scratch.best_first,
         am.root_page(),
         k,
         |page, frontier| {
             match am.read_index_node(page)? {
-                IndexNode::Leaf(entries) => {
-                    for (point, id) in entries {
-                        let d = center.dist_sq(&point);
-                        frontier.push_object(sqda_rstar::ObjectId(id), point, d);
+                IndexNode::Leaf(leaf) => {
+                    leaf.dist_sq_into(center.coords(), dists);
+                    for (i, (coords, id)) in leaf.iter().enumerate() {
+                        frontier.push_object(
+                            sqda_rstar::ObjectId(id),
+                            Point::from(coords),
+                            dists[i],
+                        );
                     }
                 }
-                IndexNode::Internal(entries) => {
-                    for e in entries {
-                        frontier.push_node(e.child, e.region.min_dist_sq(center));
+                IndexNode::Internal(block) => {
+                    block.min_dist_sq_into(center.coords(), dists);
+                    for (i, &d) in dists.iter().enumerate() {
+                        frontier.push_node(block.child(i), d);
                     }
                 }
             }
@@ -253,9 +591,11 @@ mod tests {
         let root = AccessMethod::read_index_node(&tree, AccessMethod::root_page(&tree)).unwrap();
         assert!(!root.is_leaf());
         assert!(!root.is_empty());
-        if let IndexNode::Internal(entries) = &root {
-            let total: u64 = entries.iter().map(|e| e.count).sum();
+        if let IndexNode::Internal(block) = &root {
+            let total: u64 = block.counts().iter().sum();
             assert_eq!(total, 40);
+            assert_eq!(block.dim(), 2);
+            assert_eq!(block.children().count(), block.len());
         }
         // Generic best-first equals the tree's own knn.
         let q = Point::new(vec![5.0, 5.0]);
@@ -264,6 +604,60 @@ mod tests {
         assert_eq!(generic.len(), native.len());
         for (g, n) in generic.iter().zip(native.iter()) {
             assert_eq!(g.dist_sq, n.dist_sq);
+        }
+    }
+
+    #[test]
+    fn block_conversion_matches_node_accessors() {
+        let store = Arc::new(ArrayStore::new(2, 100, 7));
+        let mut tree = RStarTree::create(
+            store,
+            RStarConfig::new(3).with_max_entries(5),
+            Box::new(ProximityIndex),
+        )
+        .unwrap();
+        for i in 0..60u64 {
+            let f = i as f64;
+            tree.insert(Point::new(vec![f, (f * 0.5).sin(), -f]), i)
+                .unwrap();
+        }
+        // Every node round-trips: the flat block view agrees with the
+        // source node's per-entry accessors, bit for bit.
+        let mut stack = vec![AccessMethod::root_page(&tree)];
+        let q = Point::new(vec![3.0, 0.25, -4.0]);
+        let mut d_min = Vec::new();
+        let mut d_mm = Vec::new();
+        let mut d_max = Vec::new();
+        while let Some(page) = stack.pop() {
+            let node = tree.read_node(page).unwrap();
+            let view: IndexNode = node.as_ref().into();
+            assert_eq!(view.len(), node.len());
+            match &view {
+                IndexNode::Leaf(leaf) => {
+                    leaf.dist_sq_into(q.coords(), &mut d_min);
+                    for (i, (coords, id)) in leaf.iter().enumerate() {
+                        assert_eq!(coords, node.leaf_point(i));
+                        assert_eq!(id, node.leaf_object(i).0);
+                        assert_eq!(
+                            d_min[i].to_bits(),
+                            q.dist_sq_coords(node.leaf_point(i)).to_bits()
+                        );
+                    }
+                }
+                IndexNode::Internal(block) => {
+                    block.metrics_into(q.coords(), &mut d_min, &mut d_mm, &mut d_max);
+                    for i in 0..block.len() {
+                        let r = node.internal_rect(i);
+                        assert_eq!(block.child(i), node.internal_child(i));
+                        assert_eq!(block.count(i), node.internal_count(i));
+                        assert_eq!(d_min[i].to_bits(), r.min_dist_sq(q.coords()).to_bits());
+                        assert_eq!(d_mm[i].to_bits(), r.min_max_dist_sq(q.coords()).to_bits());
+                        assert_eq!(d_max[i].to_bits(), r.max_dist_sq(q.coords()).to_bits());
+                        assert_eq!(block.region(i), Region::Rect(r.to_rect()));
+                        stack.push(block.child(i));
+                    }
+                }
+            }
         }
     }
 }

@@ -27,6 +27,9 @@ pub struct Bbss {
     root: PageId,
     /// DFS stack; the most promising branch (smallest `D_min`) on top.
     stack: Vec<Branch>,
+    /// Batch-kernel scratch: per-node distance vector, reused across
+    /// batches.
+    dists: Vec<f64>,
 }
 
 impl Bbss {
@@ -37,6 +40,7 @@ impl Bbss {
             kbest: KBest::new(k),
             root: am.root_page(),
             stack: Vec::new(),
+            dists: Vec::new(),
         }
     }
 
@@ -64,24 +68,32 @@ impl SimilaritySearch for Bbss {
         let mut sorted = 0u64;
         for (_, node) in nodes.drain(..) {
             match node {
-                IndexNode::Leaf(entries) => {
-                    scanned += entries.len() as u64;
-                    for (point, id) in entries {
-                        let d = self.query.dist_sq(&point);
-                        self.kbest.offer(ObjectId(id), point, d);
+                IndexNode::Leaf(leaf) => {
+                    scanned += leaf.len() as u64;
+                    // One batch-kernel call per node, then a filtered
+                    // bulk push (offers past `dk` are no-ops; ties keep
+                    // the object-id tie-break).
+                    leaf.dist_sq_into(self.query.coords(), &mut self.dists);
+                    for i in 0..leaf.len() {
+                        let d = self.dists[i];
+                        if d <= self.kbest.dk_sq() {
+                            self.kbest
+                                .offer(ObjectId(leaf.id(i)), Point::from(leaf.point(i)), d);
+                        }
                     }
                 }
-                IndexNode::Internal(entries) => {
-                    scanned += entries.len() as u64;
+                IndexNode::Internal(block) => {
+                    scanned += block.len() as u64;
                     let dk_sq = self.kbest.dk_sq();
                     // Build the active branch list in D_min order (the
                     // ordering Roussopoulos et al. recommend), pruning
                     // branches already outside the query sphere (Rule 1/3).
-                    let mut branches: Vec<Branch> = entries
-                        .iter()
-                        .map(|e| Branch {
-                            page: e.child,
-                            d_min_sq: e.region.min_dist_sq(&self.query),
+                    // `D_min²` comes from one batched kernel sweep.
+                    block.min_dist_sq_into(self.query.coords(), &mut self.dists);
+                    let mut branches: Vec<Branch> = (0..block.len())
+                        .map(|i| Branch {
+                            page: block.child(i),
+                            d_min_sq: self.dists[i],
                         })
                         .filter(|b| b.d_min_sq <= dk_sq)
                         .collect();

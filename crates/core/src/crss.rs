@@ -62,6 +62,13 @@ pub struct Crss {
     /// Extension beyond the paper: also bound `D_th` by the k-th smallest
     /// MINMAXDIST of each adaptive-phase wavefront.
     minmax_threshold: bool,
+    /// Batch-kernel scratch: per-node `D_min²` (and leaf distance)
+    /// vector, reused across batches.
+    d_min: Vec<f64>,
+    /// Batch-kernel scratch: per-node `D_mm²` vector.
+    d_mm: Vec<f64>,
+    /// Batch-kernel scratch: per-node `D_max²` vector.
+    d_max: Vec<f64>,
 }
 
 impl Crss {
@@ -95,6 +102,9 @@ impl Crss {
             stack: Vec::new(),
             mode: Mode::Adaptive,
             minmax_threshold: false,
+            d_min: Vec::new(),
+            d_mm: Vec::new(),
+            d_max: Vec::new(),
         }
     }
 
@@ -158,15 +168,22 @@ impl SimilaritySearch for Crss {
         let leaf_batch = nodes.first().map(|(_, n)| n.is_leaf()).unwrap_or(true);
 
         let next = if leaf_batch {
-            // UPDATE mode: data objects refine the best-k array.
+            // UPDATE mode: data objects refine the best-k array. One
+            // batch-kernel call per node, then a filtered bulk push
+            // (offers past `dk` are no-ops; ties keep the object-id
+            // tie-break).
             for (_, node) in nodes.drain(..) {
-                let IndexNode::Leaf(entries) = node else {
+                let IndexNode::Leaf(leaf) = node else {
                     unreachable!("level-uniform batch")
                 };
-                scanned += entries.len() as u64;
-                for (point, id) in entries {
-                    let d = self.query.dist_sq(&point);
-                    self.kbest.offer(ObjectId(id), point, d);
+                scanned += leaf.len() as u64;
+                leaf.dist_sq_into(self.query.coords(), &mut self.d_min);
+                for i in 0..leaf.len() {
+                    let d = self.d_min[i];
+                    if d <= self.kbest.dk_sq() {
+                        self.kbest
+                            .offer(ObjectId(leaf.id(i)), Point::from(leaf.point(i)), d);
+                    }
                 }
             }
             self.absorb_dk();
@@ -177,15 +194,27 @@ impl SimilaritySearch for Crss {
         } else {
             let mut candidates: Vec<Candidate> = Vec::new();
             for (_, node) in nodes.drain(..) {
-                let IndexNode::Internal(entries) = node else {
+                let IndexNode::Internal(block) = node else {
                     unreachable!("level-uniform batch")
                 };
-                scanned += entries.len() as u64;
-                candidates.extend(
-                    entries
-                        .iter()
-                        .map(|e| Candidate::from_entry(e, &self.query)),
+                scanned += block.len() as u64;
+                // All three metrics for the whole node in one batched
+                // kernel sweep.
+                block.metrics_into(
+                    self.query.coords(),
+                    &mut self.d_min,
+                    &mut self.d_mm,
+                    &mut self.d_max,
                 );
+                candidates.extend((0..block.len()).map(|i| {
+                    Candidate::new(
+                        block.child(i),
+                        block.count(i),
+                        self.d_min[i],
+                        self.d_mm[i],
+                        self.d_max[i],
+                    )
+                }));
             }
             if self.mode == Mode::Adaptive {
                 // Adapt the threshold from this level's counts (Lemma 1).

@@ -190,6 +190,24 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
         self.am
     }
 
+    /// Runs `queries` as one shared-traversal k-NN batch (see
+    /// [`crate::batch`]): the batch descends the tree once, decodes each
+    /// wavefront page a single time, and serves every interested query
+    /// from the shared block via the batch distance kernels. Answers are
+    /// bit-identical to running FPSS per query through [`Self::run`];
+    /// reads go through the access method's node cache rather than the
+    /// per-session I/O scheduler. Returns the batch report and the
+    /// wall-clock seconds the batch took.
+    pub fn run_query_batch(
+        &self,
+        queries: &[sqda_geom::Point],
+        k: usize,
+    ) -> Result<(crate::batch::BatchKnnReport, f64), QueryError> {
+        let started = Instant::now();
+        let report = crate::batch::batch_knn(self.am, queries, k)?;
+        Ok((report, started.elapsed().as_secs_f64()))
+    }
+
     /// Runs `workload` under `kind` with `concurrency` worker sessions.
     pub fn run(
         &self,
@@ -512,10 +530,10 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
                     ))
                 })?;
                 if emitting {
-                    if let IndexNode::Internal(entries) = &node {
+                    if let IndexNode::Internal(block) = &node {
                         let child_level = levels.get(&page).copied().unwrap_or_default() + 1;
-                        for entry in entries {
-                            levels.insert(entry.child, child_level);
+                        for child in block.children() {
+                            levels.insert(child, child_level);
                         }
                     }
                 }

@@ -672,10 +672,10 @@ impl<'t, A: AccessMethod + ?Sized> Simulation<'t, A> {
                     }
                     let node = self.am.read_index_node(page)?;
                     if recording {
-                        if let IndexNode::Internal(entries) = &node {
+                        if let IndexNode::Internal(block) = &node {
                             let child_level = levels.get(&page).copied().unwrap_or_default() + 1;
-                            for entry in entries {
-                                levels.insert(entry.child, child_level);
+                            for child in block.children() {
+                                levels.insert(child, child_level);
                             }
                         }
                     }

@@ -24,6 +24,13 @@ pub struct Fpss {
     root: PageId,
     /// Smallest threshold seen so far (squared); pruning radius.
     d_th_sq: f64,
+    /// Batch-kernel scratch: per-node `D_min²` (and leaf distance)
+    /// vector, reused across batches.
+    d_min: Vec<f64>,
+    /// Batch-kernel scratch: per-node `D_mm²` vector.
+    d_mm: Vec<f64>,
+    /// Batch-kernel scratch: per-node `D_max²` vector.
+    d_max: Vec<f64>,
 }
 
 impl Fpss {
@@ -35,6 +42,9 @@ impl Fpss {
             kbest: KBest::new(k),
             root: am.root_page(),
             d_th_sq: f64::INFINITY,
+            d_min: Vec::new(),
+            d_mm: Vec::new(),
+            d_max: Vec::new(),
         }
     }
 }
@@ -51,13 +61,22 @@ impl SimilaritySearch for Fpss {
         let leaf_level = nodes.first().map(|(_, n)| n.is_leaf()).unwrap_or(true);
         if leaf_level {
             for (_, node) in nodes.drain(..) {
-                let IndexNode::Leaf(entries) = node else {
+                let IndexNode::Leaf(leaf) = node else {
                     unreachable!("mixed BFS wavefront")
                 };
-                scanned += entries.len() as u64;
-                for (point, id) in entries {
-                    let d = self.query.dist_sq(&point);
-                    self.kbest.offer(ObjectId(id), point, d);
+                scanned += leaf.len() as u64;
+                // One batch-kernel call per node, then a filtered bulk
+                // push: entries already beyond the current k-th best are
+                // skipped without materialising a Point (an offer past
+                // `dk` is a guaranteed no-op; ties must still be offered
+                // for the object-id tie-break).
+                leaf.dist_sq_into(self.query.coords(), &mut self.d_min);
+                for i in 0..leaf.len() {
+                    let d = self.d_min[i];
+                    if d <= self.kbest.dk_sq() {
+                        self.kbest
+                            .offer(ObjectId(leaf.id(i)), Point::from(leaf.point(i)), d);
+                    }
                 }
             }
             return BatchResult {
@@ -68,15 +87,25 @@ impl SimilaritySearch for Fpss {
 
         let mut candidates: Vec<Candidate> = Vec::new();
         for (_, node) in nodes.drain(..) {
-            let IndexNode::Internal(entries) = node else {
+            let IndexNode::Internal(block) = node else {
                 unreachable!("mixed BFS wavefront")
             };
-            scanned += entries.len() as u64;
-            candidates.extend(
-                entries
-                    .iter()
-                    .map(|e| Candidate::from_entry(e, &self.query)),
+            scanned += block.len() as u64;
+            block.metrics_into(
+                self.query.coords(),
+                &mut self.d_min,
+                &mut self.d_mm,
+                &mut self.d_max,
             );
+            candidates.extend((0..block.len()).map(|i| {
+                Candidate::new(
+                    block.child(i),
+                    block.count(i),
+                    self.d_min[i],
+                    self.d_mm[i],
+                    self.d_max[i],
+                )
+            }));
         }
         // Adapt the threshold over the whole wavefront.
         if let Some(th) = lemma1_threshold_sq(&candidates, self.k as u64) {

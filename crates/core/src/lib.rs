@@ -64,6 +64,7 @@
 
 pub mod access;
 pub mod algo;
+pub mod batch;
 mod bbss;
 mod crss;
 pub mod error;
@@ -75,8 +76,10 @@ mod woptss;
 pub mod workload;
 
 pub use access::{
-    best_first_knn, best_first_knn_with, AccessMethod, IndexNode, QueryScratch, RegionEntry,
+    best_first_knn, best_first_knn_with, AccessMethod, IndexNode, InternalBlock, LeafBlock,
+    QueryScratch, RegionBlock,
 };
+pub use batch::{batch_knn, batch_knn_with, BatchKnnReport, BatchScratch};
 pub use error::QueryError;
 // Re-exported so access-method crates can type their answers without a
 // direct dependency on the R*-tree crate.

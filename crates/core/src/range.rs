@@ -24,6 +24,9 @@ pub struct RangeSearch {
     sphere: Sphere,
     root: PageId,
     hits: Vec<Neighbor>,
+    /// Batch-kernel scratch: per-node distance vector, reused across
+    /// batches.
+    dists: Vec<f64>,
 }
 
 impl RangeSearch {
@@ -34,6 +37,7 @@ impl RangeSearch {
             sphere: Sphere::new(center, radius),
             root: am.root_page(),
             hits: Vec::new(),
+            dists: Vec::new(),
         }
     }
 }
@@ -48,29 +52,29 @@ impl SimilaritySearch for RangeSearch {
         let mut pages = Vec::new();
         for (_, node) in nodes.drain(..) {
             match node {
-                IndexNode::Leaf(entries) => {
-                    scanned += entries.len() as u64;
-                    for (point, id) in entries {
-                        let dist_sq = self.sphere.center().dist_sq(&point);
+                IndexNode::Leaf(leaf) => {
+                    scanned += leaf.len() as u64;
+                    // One batch-kernel call per node; only qualifying
+                    // entries materialise a Point.
+                    leaf.dist_sq_into(self.sphere.center().coords(), &mut self.dists);
+                    for i in 0..leaf.len() {
+                        let dist_sq = self.dists[i];
                         if dist_sq <= self.sphere.radius_sq() {
                             self.hits.push(Neighbor {
-                                object: ObjectId(id),
-                                point,
+                                object: ObjectId(leaf.id(i)),
+                                point: Point::from(leaf.point(i)),
                                 dist_sq,
                             });
                         }
                     }
                 }
-                IndexNode::Internal(entries) => {
-                    scanned += entries.len() as u64;
+                IndexNode::Internal(block) => {
+                    scanned += block.len() as u64;
+                    block.min_dist_sq_into(self.sphere.center().coords(), &mut self.dists);
                     pages.extend(
-                        entries
-                            .iter()
-                            .filter(|e| {
-                                e.region.min_dist_sq(self.sphere.center())
-                                    <= self.sphere.radius_sq()
-                            })
-                            .map(|e| e.child),
+                        (0..block.len())
+                            .filter(|&i| self.dists[i] <= self.sphere.radius_sq())
+                            .map(|i| block.child(i)),
                     );
                 }
             }

@@ -1,18 +1,16 @@
 //! Lemma 1 (the count-based threshold distance) and the candidate
 //! reduction criterion of Section 3.3.
 
-use crate::access::RegionEntry;
-use sqda_geom::{Point, Region};
 use sqda_storage::PageId;
 
 /// A candidate branch: a directory entry annotated with its distances
-/// from the query point. Distances are squared throughout.
+/// from the query point. Distances are squared throughout and come out
+/// of the batch kernels ([`crate::InternalBlock::metrics_into`]) — the
+/// candidate carries no geometry of its own.
 #[derive(Debug, Clone)]
 pub struct Candidate {
     /// The child page the branch points to.
     pub page: PageId,
-    /// The branch's bounding region.
-    pub region: Region,
     /// Objects in the subtree (from the count-augmented entry).
     pub count: u64,
     /// `D_min²` from the query point.
@@ -25,15 +23,14 @@ pub struct Candidate {
 }
 
 impl Candidate {
-    /// Builds a candidate from a directory entry.
-    pub fn from_entry(entry: &RegionEntry, query: &Point) -> Self {
+    /// Builds a candidate from precomputed squared metrics.
+    pub fn new(page: PageId, count: u64, d_min_sq: f64, d_mm_sq: f64, d_max_sq: f64) -> Self {
         Self {
-            page: entry.child,
-            count: entry.count,
-            d_min_sq: entry.region.min_dist_sq(query),
-            d_mm_sq: entry.region.min_max_dist_sq(query),
-            d_max_sq: entry.region.max_dist_sq(query),
-            region: entry.region.clone(),
+            page,
+            count,
+            d_min_sq,
+            d_mm_sq,
+            d_max_sq,
         }
     }
 }
@@ -179,14 +176,7 @@ mod tests {
     use super::*;
 
     fn cand(page: u64, count: u64, d_min: f64, d_mm: f64, d_max: f64) -> Candidate {
-        Candidate {
-            page: PageId::from_raw(page),
-            region: Region::Rect(sqda_geom::Rect::new(vec![0.0], vec![1.0]).unwrap()),
-            count,
-            d_min_sq: d_min,
-            d_mm_sq: d_mm,
-            d_max_sq: d_max,
-        }
+        Candidate::new(PageId::from_raw(page), count, d_min, d_mm, d_max)
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub struct Woptss {
     root: PageId,
     /// The oracle radius: squared distance to the true k-th neighbour.
     dk_sq: f64,
+    /// Batch-kernel scratch: per-node distance vector, reused across
+    /// batches.
+    dists: Vec<f64>,
 }
 
 impl Woptss {
@@ -60,6 +63,7 @@ impl Woptss {
             kbest: KBest::new(k),
             root: am.root_page(),
             dk_sq,
+            dists: Vec::new(),
         })
     }
 
@@ -80,20 +84,28 @@ impl SimilaritySearch for Woptss {
         let mut pages: Vec<PageId> = Vec::new();
         for (_, node) in nodes.drain(..) {
             match node {
-                IndexNode::Leaf(entries) => {
-                    scanned += entries.len() as u64;
-                    for (point, id) in entries {
-                        let d = self.query.dist_sq(&point);
-                        self.kbest.offer(ObjectId(id), point, d);
+                IndexNode::Leaf(leaf) => {
+                    scanned += leaf.len() as u64;
+                    // One batch-kernel call per node, then a filtered
+                    // bulk push (offers past `dk` are no-ops; ties keep
+                    // the object-id tie-break).
+                    leaf.dist_sq_into(self.query.coords(), &mut self.dists);
+                    for i in 0..leaf.len() {
+                        let d = self.dists[i];
+                        if d <= self.kbest.dk_sq() {
+                            self.kbest
+                                .offer(ObjectId(leaf.id(i)), Point::from(leaf.point(i)), d);
+                        }
                     }
                 }
-                IndexNode::Internal(entries) => {
-                    scanned += entries.len() as u64;
+                IndexNode::Internal(block) => {
+                    scanned += block.len() as u64;
+                    // `D_min²` for the whole node in one batched sweep.
+                    block.min_dist_sq_into(self.query.coords(), &mut self.dists);
                     pages.extend(
-                        entries
-                            .iter()
-                            .filter(|e| e.region.min_dist_sq(&self.query) <= self.dk_sq)
-                            .map(|e| e.child),
+                        (0..block.len())
+                            .filter(|&i| self.dists[i] <= self.dk_sq)
+                            .map(|i| block.child(i)),
                     );
                 }
             }

@@ -368,7 +368,7 @@ impl SimilaritySearch for MixedFetcher {
         self.rounds += 1;
         let next = if self.rounds == 1 {
             let child = match &fetched[0].1 {
-                IndexNode::Internal(entries) => entries[0].child,
+                IndexNode::Internal(block) => block.child(0),
                 IndexNode::Leaf(_) => panic!("root of a 25-point tree is internal"),
             };
             // Deeper page FIRST: the old label took pages[0]'s level and

@@ -1,0 +1,534 @@
+//! Shared scalar + batched distance kernels.
+//!
+//! Every distance metric in the crate bottoms out here, so the scalar
+//! API ([`Point::dist_sq`], [`RectRef::min_dist_sq`], sphere metrics on
+//! [`crate::Region`]) and the batched node-at-a-time kernels cannot
+//! drift apart.
+//!
+//! # Bit-exactness contract
+//!
+//! The batched kernels vectorize **across entries**, never within one:
+//! each entry keeps its own accumulator and its per-dimension
+//! accumulation order is exactly the scalar loop's (`acc = 0.0; for d
+//! { acc += t*t }`). IEEE-754 addition is not associative, so this is
+//! the only layout where `batch == scalar` holds bit for bit — the
+//! experiment pipeline's pinned answers and `IoStats` depend on it.
+//! Entries are processed in chunks of [`LANES`]; the tail that does not
+//! fill a chunk runs through the scalar kernel, which is the same
+//! arithmetic.
+//!
+//! # Scratch-buffer ownership
+//!
+//! Batched kernels write into a caller-provided `&mut Vec<f64>`
+//! (cleared and resized to the entry count). Callers own and reuse the
+//! buffers across nodes/queries — the hot path allocates only when a
+//! node is wider than anything seen before.
+//!
+//! With the off-by-default `simd` feature (nightly only) the chunk
+//! bodies of the point and MINDIST kernels use `std::simd` lanes; each
+//! SIMD lane is one entry's accumulator, so results stay bit-identical.
+
+/// Entries per batch chunk. Eight `f64`s fill one AVX-512 register or
+/// two AVX2 registers; the chunked loops below autovectorize well at
+/// this width and the remainder cost is negligible for real node fans.
+pub const LANES: usize = 8;
+
+#[cfg(feature = "simd")]
+use std::simd::{f64x8, num::SimdFloat};
+
+// ---------------------------------------------------------------------
+// Scalar slice kernels: the single source of truth for the arithmetic.
+// ---------------------------------------------------------------------
+
+/// Squared Euclidean distance between two coordinate slices.
+///
+/// Accumulates `(a[d]-b[d])²` in dimension order from `0.0` — the same
+/// sequence of additions as `iter().map(..).sum()`, so the result is
+/// bit-identical to the historical iterator formulation.
+#[inline]
+pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// `D_min²` (MINDIST): squared distance from point `q` to the closest
+/// point of the rectangle `[lo, hi]`.
+#[inline]
+pub fn min_dist_sq(lo: &[f64], hi: &[f64], q: &[f64]) -> f64 {
+    debug_assert_eq!(lo.len(), q.len(), "dimension mismatch");
+    debug_assert_eq!(hi.len(), q.len(), "dimension mismatch");
+    let mut acc = 0.0;
+    for ((l, h), c) in lo.iter().zip(hi.iter()).zip(q.iter()) {
+        let d = if c < l {
+            l - c
+        } else if c > h {
+            c - h
+        } else {
+            0.0
+        };
+        acc += d * d;
+    }
+    acc
+}
+
+/// Per-dimension contribution pair for MINMAXDIST: squared distance to
+/// the *near* face and to the *far* face along dimension `d`.
+#[inline]
+fn face_sq(lo: f64, hi: f64, c: f64) -> (f64, f64) {
+    let mid = (lo + hi) / 2.0;
+    let rm = if c <= mid { lo } else { hi };
+    let r_m = if c >= mid { lo } else { hi };
+    ((c - rm) * (c - rm), (c - r_m) * (c - r_m))
+}
+
+/// `D_mm²` (MINMAXDIST): the squared distance within which at least one
+/// object of a *minimal* MBR is guaranteed to lie.
+///
+/// Two passes over the dimensions, no allocation; bit-identical to the
+/// buffered formulation `total_far - far_sq[d] + near_sq[d]`.
+pub fn min_max_dist_sq(lo: &[f64], hi: &[f64], q: &[f64]) -> f64 {
+    debug_assert_eq!(lo.len(), q.len(), "dimension mismatch");
+    debug_assert_eq!(hi.len(), q.len(), "dimension mismatch");
+    let n = q.len();
+    let mut total_far = 0.0;
+    for d in 0..n {
+        total_far += face_sq(lo[d], hi[d], q[d]).1;
+    }
+    let mut best = f64::INFINITY;
+    for d in 0..n {
+        let (near_sq, far_sq) = face_sq(lo[d], hi[d], q[d]);
+        let candidate = total_far - far_sq + near_sq;
+        if candidate < best {
+            best = candidate;
+        }
+    }
+    best
+}
+
+/// `D_max²`: squared distance from `q` to the farthest point of the
+/// rectangle (always a vertex).
+#[inline]
+pub fn max_dist_sq(lo: &[f64], hi: &[f64], q: &[f64]) -> f64 {
+    debug_assert_eq!(lo.len(), q.len(), "dimension mismatch");
+    debug_assert_eq!(hi.len(), q.len(), "dimension mismatch");
+    let mut acc = 0.0;
+    for ((l, h), c) in lo.iter().zip(hi.iter()).zip(q.iter()) {
+        let d = (c - l).abs().max((c - h).abs());
+        acc += d * d;
+    }
+    acc
+}
+
+/// `D_min²` from `q` to a sphere (0 inside).
+#[inline]
+pub fn sphere_min_dist_sq(center: &[f64], radius: f64, q: &[f64]) -> f64 {
+    let d = dist_sq(center, q).sqrt() - radius;
+    if d <= 0.0 {
+        0.0
+    } else {
+        d * d
+    }
+}
+
+/// `D_max²` from `q` to a sphere. A bounding sphere gives no per-face
+/// guarantee, so this is also its MINMAXDIST.
+#[inline]
+pub fn sphere_max_dist_sq(center: &[f64], radius: f64, q: &[f64]) -> f64 {
+    let d = dist_sq(center, q).sqrt() + radius;
+    d * d
+}
+
+// ---------------------------------------------------------------------
+// Batched kernels: all entries of a node in one call.
+// ---------------------------------------------------------------------
+
+#[inline]
+fn prep_out(out: &mut Vec<f64>, n: usize) {
+    out.clear();
+    out.resize(n, 0.0);
+}
+
+/// Entry count of a flat buffer with the given per-entry stride.
+#[inline]
+fn entry_count(buf: &[f64], stride: usize) -> usize {
+    if stride == 0 {
+        return 0;
+    }
+    debug_assert_eq!(
+        buf.len() % stride,
+        0,
+        "buffer is not a whole number of entries"
+    );
+    buf.len() / stride
+}
+
+/// Squared point-to-point distances from `q` to every entry of a flat
+/// point buffer (`entries × dim`, stride `dim`), written into `out`.
+pub fn batch_dist_sq(q: &[f64], points: &[f64], out: &mut Vec<f64>) {
+    let dim = q.len();
+    let n = entry_count(points, dim);
+    prep_out(out, n);
+    let mut i = 0;
+    while i + LANES <= n {
+        batch_dist_sq_chunk(q, &points[i * dim..], dim, &mut out[i..i + LANES]);
+        i += LANES;
+    }
+    while i < n {
+        out[i] = dist_sq(&points[i * dim..(i + 1) * dim], q);
+        i += 1;
+    }
+}
+
+#[cfg(not(feature = "simd"))]
+#[inline]
+fn batch_dist_sq_chunk(q: &[f64], points: &[f64], dim: usize, out: &mut [f64]) {
+    let mut acc = [0.0f64; LANES];
+    for (d, &c) in q.iter().enumerate().take(dim) {
+        for (lane, a) in acc.iter_mut().enumerate() {
+            let t = points[lane * dim + d] - c;
+            *a += t * t;
+        }
+    }
+    out.copy_from_slice(&acc);
+}
+
+#[cfg(feature = "simd")]
+#[inline]
+fn batch_dist_sq_chunk(q: &[f64], points: &[f64], dim: usize, out: &mut [f64]) {
+    let mut acc = f64x8::splat(0.0);
+    let mut lane_buf = [0.0f64; LANES];
+    for (d, &c) in q.iter().enumerate().take(dim) {
+        for (lane, slot) in lane_buf.iter_mut().enumerate() {
+            *slot = points[lane * dim + d];
+        }
+        let t = f64x8::from_array(lane_buf) - f64x8::splat(c);
+        acc += t * t;
+    }
+    out.copy_from_slice(&acc.to_array());
+}
+
+/// MINDIST² from `q` to every rectangle of a flat rect buffer
+/// (`entries × 2·dim`, each entry `lo[0..dim]` then `hi[0..dim]`).
+pub fn batch_min_dist_sq(q: &[f64], rects: &[f64], out: &mut Vec<f64>) {
+    let dim = q.len();
+    let stride = 2 * dim;
+    let n = entry_count(rects, stride);
+    prep_out(out, n);
+    let mut i = 0;
+    while i + LANES <= n {
+        batch_min_dist_sq_chunk(q, &rects[i * stride..], dim, &mut out[i..i + LANES]);
+        i += LANES;
+    }
+    while i < n {
+        let base = i * stride;
+        out[i] = min_dist_sq(
+            &rects[base..base + dim],
+            &rects[base + dim..base + stride],
+            q,
+        );
+        i += 1;
+    }
+}
+
+#[cfg(not(feature = "simd"))]
+#[inline]
+fn batch_min_dist_sq_chunk(q: &[f64], rects: &[f64], dim: usize, out: &mut [f64]) {
+    let stride = 2 * dim;
+    let mut acc = [0.0f64; LANES];
+    for (d, &c) in q.iter().enumerate().take(dim) {
+        for (lane, a) in acc.iter_mut().enumerate() {
+            let base = lane * stride;
+            let l = rects[base + d];
+            let h = rects[base + dim + d];
+            let t = if c < l {
+                l - c
+            } else if c > h {
+                c - h
+            } else {
+                0.0
+            };
+            *a += t * t;
+        }
+    }
+    out.copy_from_slice(&acc);
+}
+
+#[cfg(feature = "simd")]
+#[inline]
+fn batch_min_dist_sq_chunk(q: &[f64], rects: &[f64], dim: usize, out: &mut [f64]) {
+    let stride = 2 * dim;
+    let mut acc = f64x8::splat(0.0);
+    let mut lo_buf = [0.0f64; LANES];
+    let mut hi_buf = [0.0f64; LANES];
+    for (d, &c) in q.iter().enumerate().take(dim) {
+        for lane in 0..LANES {
+            let base = lane * stride;
+            lo_buf[lane] = rects[base + d];
+            hi_buf[lane] = rects[base + dim + d];
+        }
+        let lo = f64x8::from_array(lo_buf);
+        let hi = f64x8::from_array(hi_buf);
+        let c = f64x8::splat(c);
+        // below = max(lo-c, 0), above = max(c-hi, 0); exactly one is
+        // non-zero (or both zero inside), matching the scalar branches.
+        // No `mul_add`: fusing would round once instead of twice and
+        // change bits relative to the scalar `t*t` product.
+        let t = (lo - c).simd_max(f64x8::splat(0.0)) + (c - hi).simd_max(f64x8::splat(0.0));
+        acc += t * t;
+    }
+    out.copy_from_slice(&acc.to_array());
+}
+
+/// MINMAXDIST² from `q` to every rectangle of a flat rect buffer.
+pub fn batch_min_max_dist_sq(q: &[f64], rects: &[f64], out: &mut Vec<f64>) {
+    let dim = q.len();
+    let stride = 2 * dim;
+    let n = entry_count(rects, stride);
+    prep_out(out, n);
+    let mut i = 0;
+    while i + LANES <= n {
+        let chunk = &rects[i * stride..];
+        let mut total_far = [0.0f64; LANES];
+        for (d, &c) in q.iter().enumerate().take(dim) {
+            for (lane, tf) in total_far.iter_mut().enumerate() {
+                let base = lane * stride;
+                *tf += face_sq(chunk[base + d], chunk[base + dim + d], c).1;
+            }
+        }
+        let mut best = [f64::INFINITY; LANES];
+        for (d, &c) in q.iter().enumerate().take(dim) {
+            for (lane, b) in best.iter_mut().enumerate() {
+                let base = lane * stride;
+                let (near_sq, far_sq) = face_sq(chunk[base + d], chunk[base + dim + d], c);
+                let candidate = total_far[lane] - far_sq + near_sq;
+                if candidate < *b {
+                    *b = candidate;
+                }
+            }
+        }
+        out[i..i + LANES].copy_from_slice(&best);
+        i += LANES;
+    }
+    while i < n {
+        let base = i * stride;
+        out[i] = min_max_dist_sq(
+            &rects[base..base + dim],
+            &rects[base + dim..base + stride],
+            q,
+        );
+        i += 1;
+    }
+}
+
+/// D_max² from `q` to every rectangle of a flat rect buffer.
+pub fn batch_max_dist_sq(q: &[f64], rects: &[f64], out: &mut Vec<f64>) {
+    let dim = q.len();
+    let stride = 2 * dim;
+    let n = entry_count(rects, stride);
+    prep_out(out, n);
+    let mut i = 0;
+    while i + LANES <= n {
+        let chunk = &rects[i * stride..];
+        let mut acc = [0.0f64; LANES];
+        for (d, &c) in q.iter().enumerate().take(dim) {
+            for (lane, a) in acc.iter_mut().enumerate() {
+                let base = lane * stride;
+                let l = chunk[base + d];
+                let h = chunk[base + dim + d];
+                let t = (c - l).abs().max((c - h).abs());
+                *a += t * t;
+            }
+        }
+        out[i..i + LANES].copy_from_slice(&acc);
+        i += LANES;
+    }
+    while i < n {
+        let base = i * stride;
+        out[i] = max_dist_sq(
+            &rects[base..base + dim],
+            &rects[base + dim..base + stride],
+            q,
+        );
+        i += 1;
+    }
+}
+
+/// All three rectangle metrics (`D_min²`, `D_mm²`, `D_max²`) for every
+/// entry in one sweep — what CRSS/FPSS candidate construction needs.
+pub fn batch_rect_metrics(
+    q: &[f64],
+    rects: &[f64],
+    d_min: &mut Vec<f64>,
+    d_mm: &mut Vec<f64>,
+    d_max: &mut Vec<f64>,
+) {
+    batch_min_dist_sq(q, rects, d_min);
+    batch_min_max_dist_sq(q, rects, d_mm);
+    batch_max_dist_sq(q, rects, d_max);
+}
+
+/// Sphere MINDIST² from `q` to every entry of flat `centers` (stride
+/// `dim`) with per-entry `radii`.
+pub fn batch_sphere_min_dist_sq(q: &[f64], centers: &[f64], radii: &[f64], out: &mut Vec<f64>) {
+    batch_dist_sq(q, centers, out);
+    debug_assert_eq!(out.len(), radii.len(), "radius per center required");
+    for (o, &r) in out.iter_mut().zip(radii.iter()) {
+        let d = o.sqrt() - r;
+        *o = if d <= 0.0 { 0.0 } else { d * d };
+    }
+}
+
+/// Sphere D_max² (= MINMAXDIST²) from `q` to every entry.
+pub fn batch_sphere_max_dist_sq(q: &[f64], centers: &[f64], radii: &[f64], out: &mut Vec<f64>) {
+    batch_dist_sq(q, centers, out);
+    debug_assert_eq!(out.len(), radii.len(), "radius per center required");
+    for (o, &r) in out.iter_mut().zip(radii.iter()) {
+        let d = o.sqrt() + r;
+        *o = d * d;
+    }
+}
+
+/// All three sphere metrics for every entry (`D_mm = D_max` for
+/// spheres).
+pub fn batch_sphere_metrics(
+    q: &[f64],
+    centers: &[f64],
+    radii: &[f64],
+    d_min: &mut Vec<f64>,
+    d_mm: &mut Vec<f64>,
+    d_max: &mut Vec<f64>,
+) {
+    batch_dist_sq(q, centers, d_min);
+    debug_assert_eq!(d_min.len(), radii.len(), "radius per center required");
+    prep_out(d_mm, d_min.len());
+    prep_out(d_max, d_min.len());
+    for (i, &r) in radii.iter().enumerate() {
+        let dist = d_min[i].sqrt();
+        let near = dist - r;
+        d_min[i] = if near <= 0.0 { 0.0 } else { near * near };
+        let far = dist + r;
+        d_mm[i] = far * far;
+        d_max[i] = far * far;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random stream (splitmix64) so the tests need
+    /// no RNG dependency at unit-test level.
+    struct Mix(u64);
+    impl Mix {
+        fn next_f64(&mut self) -> f64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64 * 20.0 - 10.0
+        }
+    }
+
+    fn random_rects(mix: &mut Mix, n: usize, dim: usize) -> Vec<f64> {
+        let mut rects = Vec::with_capacity(n * 2 * dim);
+        for _ in 0..n {
+            let a: Vec<f64> = (0..dim).map(|_| mix.next_f64()).collect();
+            let b: Vec<f64> = (0..dim).map(|_| mix.next_f64()).collect();
+            for d in 0..dim {
+                rects.push(a[d].min(b[d]));
+            }
+            for d in 0..dim {
+                rects.push(a[d].max(b[d]));
+            }
+        }
+        rects
+    }
+
+    #[test]
+    fn batch_matches_scalar_bitwise_across_counts() {
+        let mut mix = Mix(7);
+        for dim in [1, 2, 3, 10] {
+            // Counts straddling the lane width, including 0 and exact
+            // multiples.
+            for n in [0usize, 1, 7, 8, 9, 16, 23] {
+                let q: Vec<f64> = (0..dim).map(|_| mix.next_f64()).collect();
+                let rects = random_rects(&mut mix, n, dim);
+                let points: Vec<f64> = (0..n * dim).map(|_| mix.next_f64()).collect();
+                let (mut o_min, mut o_mm, mut o_max, mut o_pt) =
+                    (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+                batch_min_dist_sq(&q, &rects, &mut o_min);
+                batch_min_max_dist_sq(&q, &rects, &mut o_mm);
+                batch_max_dist_sq(&q, &rects, &mut o_max);
+                batch_dist_sq(&q, &points, &mut o_pt);
+                assert_eq!(o_min.len(), n);
+                for i in 0..n {
+                    let base = i * 2 * dim;
+                    let (lo, hi) = (&rects[base..base + dim], &rects[base + dim..base + 2 * dim]);
+                    assert_eq!(o_min[i].to_bits(), min_dist_sq(lo, hi, &q).to_bits());
+                    assert_eq!(o_mm[i].to_bits(), min_max_dist_sq(lo, hi, &q).to_bits());
+                    assert_eq!(o_max[i].to_bits(), max_dist_sq(lo, hi, &q).to_bits());
+                    assert_eq!(
+                        o_pt[i].to_bits(),
+                        dist_sq(&points[i * dim..(i + 1) * dim], &q).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sphere_batch_matches_scalar_bitwise() {
+        let mut mix = Mix(99);
+        for (dim, n) in [(2usize, 11usize), (5, 8), (3, 0)] {
+            let q: Vec<f64> = (0..dim).map(|_| mix.next_f64()).collect();
+            let centers: Vec<f64> = (0..n * dim).map(|_| mix.next_f64()).collect();
+            let radii: Vec<f64> = (0..n).map(|_| mix.next_f64().abs()).collect();
+            let (mut o_min, mut o_mm, mut o_max) = (Vec::new(), Vec::new(), Vec::new());
+            batch_sphere_metrics(&q, &centers, &radii, &mut o_min, &mut o_mm, &mut o_max);
+            let mut solo = Vec::new();
+            batch_sphere_min_dist_sq(&q, &centers, &radii, &mut solo);
+            for i in 0..n {
+                let c = &centers[i * dim..(i + 1) * dim];
+                assert_eq!(
+                    o_min[i].to_bits(),
+                    sphere_min_dist_sq(c, radii[i], &q).to_bits()
+                );
+                assert_eq!(
+                    o_max[i].to_bits(),
+                    sphere_max_dist_sq(c, radii[i], &q).to_bits()
+                );
+                assert_eq!(o_mm[i].to_bits(), o_max[i].to_bits());
+                assert_eq!(solo[i].to_bits(), o_min[i].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_buffers_are_reused_and_resized() {
+        let mut out = vec![99.0; 64];
+        batch_dist_sq(&[0.0, 0.0], &[3.0, 4.0], &mut out);
+        assert_eq!(out, vec![25.0]);
+        batch_dist_sq(&[0.0], &[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn metric_ordering_holds_per_entry() {
+        let mut mix = Mix(3);
+        let dim = 4;
+        let q: Vec<f64> = (0..dim).map(|_| mix.next_f64()).collect();
+        let rects = random_rects(&mut mix, 20, dim);
+        let (mut o_min, mut o_mm, mut o_max) = (Vec::new(), Vec::new(), Vec::new());
+        batch_rect_metrics(&q, &rects, &mut o_min, &mut o_mm, &mut o_max);
+        for i in 0..20 {
+            assert!(o_min[i] <= o_mm[i], "entry {i}: D_min² > D_mm²");
+            assert!(o_mm[i] <= o_max[i], "entry {i}: D_mm² > D_max²");
+        }
+    }
+}

@@ -73,14 +73,7 @@ impl Point {
     #[inline]
     pub fn dist_sq(&self, other: &Point) -> f64 {
         debug_assert_eq!(self.dim(), other.dim(), "dimension mismatch");
-        self.coords
-            .iter()
-            .zip(other.coords.iter())
-            .map(|(a, b)| {
-                let d = a - b;
-                d * d
-            })
-            .sum()
+        crate::kernel::dist_sq(&self.coords, &other.coords)
     }
 
     /// Euclidean distance to another point.
@@ -99,14 +92,7 @@ impl Point {
     #[inline]
     pub fn dist_sq_coords(&self, other: &[f64]) -> f64 {
         debug_assert_eq!(self.dim(), other.len(), "dimension mismatch");
-        self.coords
-            .iter()
-            .zip(other.iter())
-            .map(|(a, b)| {
-                let d = a - b;
-                d * d
-            })
-            .sum()
+        crate::kernel::dist_sq(&self.coords, other)
     }
 
     /// Returns a point with every coordinate equal to `value`.

@@ -97,67 +97,30 @@ impl<'a> RectRef<'a> {
     }
 
     /// `D_min²` (MINDIST): squared distance from the point `q` (coordinate
-    /// slice) to the closest point of the rectangle.
+    /// slice) to the closest point of the rectangle. Delegates to the
+    /// shared [`crate::kernel`] so the scalar and batched paths cannot
+    /// drift.
     #[inline]
     pub fn min_dist_sq(&self, q: &[f64]) -> f64 {
         debug_assert_eq!(self.dim(), q.len());
-        let mut acc = 0.0;
-        for ((l, h), c) in self.lo.iter().zip(self.hi.iter()).zip(q) {
-            let d = if c < l {
-                l - c
-            } else if c > h {
-                c - h
-            } else {
-                0.0
-            };
-            acc += d * d;
-        }
-        acc
+        crate::kernel::min_dist_sq(self.lo, self.hi, q)
     }
 
     /// `D_mm²` (MINMAXDIST): the squared distance within which at least
-    /// one object of a *minimal* MBR is guaranteed to lie.
-    ///
-    /// Runs in two passes over the dimensions instead of buffering
-    /// per-dimension face distances, so it allocates nothing; the
-    /// arithmetic (and thus the result, bit for bit) matches the buffered
-    /// formulation `total_far - far_sq[d] + near_sq[d]`.
+    /// one object of a *minimal* MBR is guaranteed to lie. Delegates to
+    /// the shared [`crate::kernel`].
     pub fn min_max_dist_sq(&self, q: &[f64]) -> f64 {
         debug_assert_eq!(self.dim(), q.len());
-        let n = self.dim();
-        let face_sq = |d: usize| {
-            let c = q[d];
-            let mid = (self.lo[d] + self.hi[d]) / 2.0;
-            let rm = if c <= mid { self.lo[d] } else { self.hi[d] };
-            let r_m = if c >= mid { self.lo[d] } else { self.hi[d] };
-            ((c - rm) * (c - rm), (c - r_m) * (c - r_m))
-        };
-        let mut total_far = 0.0;
-        for d in 0..n {
-            total_far += face_sq(d).1;
-        }
-        let mut best = f64::INFINITY;
-        for d in 0..n {
-            let (near_sq, far_sq) = face_sq(d);
-            let candidate = total_far - far_sq + near_sq;
-            if candidate < best {
-                best = candidate;
-            }
-        }
-        best
+        crate::kernel::min_max_dist_sq(self.lo, self.hi, q)
     }
 
     /// `D_max²`: squared distance from `q` to the farthest point of the
-    /// rectangle (always a vertex).
+    /// rectangle (always a vertex). Delegates to the shared
+    /// [`crate::kernel`].
     #[inline]
     pub fn max_dist_sq(&self, q: &[f64]) -> f64 {
         debug_assert_eq!(self.dim(), q.len());
-        let mut acc = 0.0;
-        for ((l, h), c) in self.lo.iter().zip(self.hi.iter()).zip(q) {
-            let d = (c - l).abs().max((c - h).abs());
-            acc += d * d;
-        }
-        acc
+        crate::kernel::max_dist_sq(self.lo, self.hi, q)
     }
 }
 

@@ -48,12 +48,7 @@ impl Region {
         match self {
             Region::Rect(r) => r.min_dist_sq(p),
             Region::Sphere { center, radius } => {
-                let d = center.dist(p) - radius;
-                if d <= 0.0 {
-                    0.0
-                } else {
-                    d * d
-                }
+                crate::kernel::sphere_min_dist_sq(center.coords(), *radius, p.coords())
             }
         }
     }
@@ -79,8 +74,7 @@ impl Region {
         match self {
             Region::Rect(r) => r.max_dist_sq(p),
             Region::Sphere { center, radius } => {
-                let d = center.dist(p) + radius;
-                d * d
+                crate::kernel::sphere_max_dist_sq(center.coords(), *radius, p.coords())
             }
         }
     }

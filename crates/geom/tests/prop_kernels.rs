@@ -1,0 +1,157 @@
+//! Property tests pinning the batch distance kernels to the scalar ones
+//! **bitwise**.
+//!
+//! The batch kernels are the only arithmetic on the traversal hot path,
+//! and every determinism pin in the repo (layout digests, backend parity,
+//! simulated timings) rests on them producing exactly the scalar results
+//! — not "close", the same `f64::to_bits`. These properties sweep random
+//! dimensions, entry counts (including zero and counts that do not divide
+//! the lane width), coordinates spanning signs and magnitudes, and both
+//! region shapes (rects and spheres).
+
+use proptest::prelude::*;
+use sqda_geom::kernel;
+
+/// Strategy: a dimension, a query point, and `n` flat point entries.
+/// `n` ranges over 0 (empty node) through several lane widths plus
+/// ragged tails.
+fn points_case() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (1usize..=12, 0usize..=40).prop_flat_map(|(dim, n)| {
+        let coord = -1e6..1e6f64;
+        (
+            proptest::collection::vec(coord.clone(), dim),
+            proptest::collection::vec(coord, dim * n),
+        )
+    })
+}
+
+/// Strategy: a query point and `n` flat rect entries (lo then hi per
+/// entry, hi = lo + extent so rects are valid).
+fn rects_case() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (1usize..=10, 0usize..=40).prop_flat_map(|(dim, n)| {
+        let coord = -1e5..1e5f64;
+        let extent = 0.0..1e4f64;
+        (
+            proptest::collection::vec(coord.clone(), dim),
+            proptest::collection::vec((coord, extent), dim * n).prop_map(move |pairs| {
+                // Interleave into [lo.., hi..] per entry.
+                let mut flat = Vec::with_capacity(2 * pairs.len());
+                for entry in pairs.chunks(dim) {
+                    flat.extend(entry.iter().map(|(l, _)| *l));
+                    flat.extend(entry.iter().map(|(l, e)| l + e));
+                }
+                flat
+            }),
+        )
+    })
+}
+
+/// Strategy: a query point, `n` flat centers, and `n` radii.
+fn spheres_case() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, Vec<f64>)> {
+    (1usize..=12, 0usize..=40).prop_flat_map(|(dim, n)| {
+        let coord = -1e5..1e5f64;
+        (
+            proptest::collection::vec(coord.clone(), dim),
+            proptest::collection::vec(coord, dim * n),
+            proptest::collection::vec(0.0..1e4f64, n),
+        )
+    })
+}
+
+fn assert_bits_eq(batch: &[f64], scalar: &[f64]) {
+    assert_eq!(batch.len(), scalar.len());
+    for (i, (b, s)) in batch.iter().zip(scalar.iter()).enumerate() {
+        assert_eq!(
+            b.to_bits(),
+            s.to_bits(),
+            "entry {i}: batch {b:?} != scalar {s:?}"
+        );
+    }
+}
+
+proptest! {
+    /// batch_dist_sq == dist_sq per entry, bit for bit.
+    #[test]
+    fn batch_dist_matches_scalar((q, points) in points_case()) {
+        let mut out = vec![f64::NAN; 3]; // stale content must be overwritten
+        kernel::batch_dist_sq(&q, &points, &mut out);
+        let scalar: Vec<f64> = points.chunks(q.len()).map(|p| kernel::dist_sq(&q, p)).collect();
+        assert_bits_eq(&out, &scalar);
+    }
+
+    /// The three rect batch kernels and the fused metrics kernel all
+    /// match their scalar counterparts bit for bit.
+    #[test]
+    fn batch_rect_kernels_match_scalar((q, rects) in rects_case()) {
+        let dim = q.len();
+        let mut d_min = Vec::new();
+        let mut d_mm = Vec::new();
+        let mut d_max = Vec::new();
+        kernel::batch_min_dist_sq(&q, &rects, &mut d_min);
+        kernel::batch_min_max_dist_sq(&q, &rects, &mut d_mm);
+        kernel::batch_max_dist_sq(&q, &rects, &mut d_max);
+
+        let lo_hi: Vec<(&[f64], &[f64])> = rects
+            .chunks(2 * dim)
+            .map(|e| (&e[..dim], &e[dim..]))
+            .collect();
+        let s_min: Vec<f64> = lo_hi.iter().map(|(l, h)| kernel::min_dist_sq(l, h, &q)).collect();
+        let s_mm: Vec<f64> = lo_hi.iter().map(|(l, h)| kernel::min_max_dist_sq(l, h, &q)).collect();
+        let s_max: Vec<f64> = lo_hi.iter().map(|(l, h)| kernel::max_dist_sq(l, h, &q)).collect();
+        assert_bits_eq(&d_min, &s_min);
+        assert_bits_eq(&d_mm, &s_mm);
+        assert_bits_eq(&d_max, &s_max);
+
+        // The fused kernel returns the same three vectors.
+        let (mut f_min, mut f_mm, mut f_max) = (Vec::new(), Vec::new(), Vec::new());
+        kernel::batch_rect_metrics(&q, &rects, &mut f_min, &mut f_mm, &mut f_max);
+        assert_bits_eq(&f_min, &s_min);
+        assert_bits_eq(&f_mm, &s_mm);
+        assert_bits_eq(&f_max, &s_max);
+    }
+
+    /// Sphere batch kernels (and the fused variant, where D_mm == D_max)
+    /// match the scalar sphere kernels bit for bit.
+    #[test]
+    fn batch_sphere_kernels_match_scalar((q, centers, radii) in spheres_case()) {
+        let dim = q.len();
+        let mut d_min = Vec::new();
+        let mut d_max = Vec::new();
+        kernel::batch_sphere_min_dist_sq(&q, &centers, &radii, &mut d_min);
+        kernel::batch_sphere_max_dist_sq(&q, &centers, &radii, &mut d_max);
+
+        let s_min: Vec<f64> = centers
+            .chunks(dim)
+            .zip(radii.iter())
+            .map(|(c, &r)| kernel::sphere_min_dist_sq(c, r, &q))
+            .collect();
+        let s_max: Vec<f64> = centers
+            .chunks(dim)
+            .zip(radii.iter())
+            .map(|(c, &r)| kernel::sphere_max_dist_sq(c, r, &q))
+            .collect();
+        assert_bits_eq(&d_min, &s_min);
+        assert_bits_eq(&d_max, &s_max);
+
+        let (mut f_min, mut f_mm, mut f_max) = (Vec::new(), Vec::new(), Vec::new());
+        kernel::batch_sphere_metrics(&q, &centers, &radii, &mut f_min, &mut f_mm, &mut f_max);
+        assert_bits_eq(&f_min, &s_min);
+        assert_bits_eq(&f_mm, &s_max); // for spheres the MINMAXDIST bound is D_max
+        assert_bits_eq(&f_max, &s_max);
+    }
+
+    /// Exact lane-width multiples exercise the pure-chunk path with no
+    /// scalar tail; one past the multiple exercises the 1-entry tail.
+    #[test]
+    fn lane_boundary_counts(dim in 1usize..=6, chunks in 1usize..=3, q0 in -100.0..100.0f64) {
+        for extra in [0usize, 1] {
+            let n = chunks * 8 + extra;
+            let q: Vec<f64> = (0..dim).map(|d| q0 + d as f64).collect();
+            let points: Vec<f64> = (0..n * dim).map(|i| (i as f64) * 0.37 - 40.0).collect();
+            let mut out = Vec::new();
+            kernel::batch_dist_sq(&q, &points, &mut out);
+            let scalar: Vec<f64> = points.chunks(dim).map(|p| kernel::dist_sq(&q, p)).collect();
+            assert_bits_eq(&out, &scalar);
+        }
+    }
+}

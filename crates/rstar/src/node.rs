@@ -164,6 +164,24 @@ impl Node {
         self.payload.is_empty()
     }
 
+    /// The whole flat coordinate block: entry stride [`Node::dim`] for
+    /// leaves, `2 * dim` (low corner then high corner) for internal
+    /// nodes. Consumers that keep their own flat views (e.g.
+    /// `sqda_core::IndexNode`) copy this buffer wholesale instead of
+    /// materialising per-entry geometry.
+    #[inline]
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// The whole flat integer payload: one object id per leaf entry, or
+    /// interleaved `[child page, subtree count]` pairs per internal
+    /// entry.
+    #[inline]
+    pub fn payload(&self) -> &[u64] {
+        &self.payload
+    }
+
     /// The coordinates of the `i`-th leaf entry.
     ///
     /// # Panics

@@ -13,7 +13,7 @@
 
 use crate::entry::ObjectId;
 use crate::tree::{RStarTree, Result};
-use sqda_geom::Point;
+use sqda_geom::{kernel, Point};
 use sqda_storage::{PageId, PageStore};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -82,13 +82,16 @@ impl Ord for QueueItem {
 }
 
 /// Reusable state of a [`best_first_search_with`] run: the priority heap
-/// survives between queries, so steady-state searches allocate nothing.
+/// and the batch-kernel distance buffer survive between queries, so
+/// steady-state searches allocate nothing.
 ///
 /// A scratch is plain storage — it carries no query state between runs
 /// (the engine clears it on entry) and any scratch works with any tree.
 #[derive(Default)]
 pub struct BestFirstScratch {
     heap: BinaryHeap<QueueItem>,
+    /// Per-node distance vector for the batch distance kernels.
+    pub dists: Vec<f64>,
 }
 
 impl BestFirstScratch {
@@ -153,16 +156,25 @@ pub fn best_first_search_with<E>(
     scratch: &mut BestFirstScratch,
     root: PageId,
     k: usize,
+    expand: impl FnMut(PageId, &mut Frontier<'_>) -> std::result::Result<(), E>,
+) -> std::result::Result<(Vec<Neighbor>, u64), E> {
+    best_first_search_heap(&mut scratch.heap, root, k, expand)
+}
+
+/// The engine proper, over a bare heap — lets callers that also borrow
+/// other scratch fields (e.g. the distance buffer) split the borrows.
+fn best_first_search_heap<E>(
+    heap: &mut BinaryHeap<QueueItem>,
+    root: PageId,
+    k: usize,
     mut expand: impl FnMut(PageId, &mut Frontier<'_>) -> std::result::Result<(), E>,
 ) -> std::result::Result<(Vec<Neighbor>, u64), E> {
     let mut out = Vec::with_capacity(k.min(64));
     if k == 0 {
         return Ok((out, 0));
     }
-    scratch.heap.clear();
-    let mut frontier = Frontier {
-        heap: &mut scratch.heap,
-    };
+    heap.clear();
+    let mut frontier = Frontier { heap };
     frontier.push_node(root, 0.0);
     let mut nodes_read = 0u64;
     while let Some(item) = frontier.heap.pop() {
@@ -203,6 +215,7 @@ pub struct NnIter<'t, S: PageStore> {
     tree: &'t crate::RStarTree<S>,
     center: Point,
     heap: BinaryHeap<QueueItem>,
+    dists: Vec<f64>,
     failed: bool,
 }
 
@@ -217,6 +230,7 @@ impl<'t, S: PageStore> NnIter<'t, S> {
             tree,
             center,
             heap,
+            dists: Vec::new(),
             failed: false,
         }
     }
@@ -241,8 +255,9 @@ impl<'t, S: PageStore> Iterator for NnIter<'t, S> {
                         }
                     };
                     if node.is_leaf() {
-                        for (coords, object) in node.leaf_iter() {
-                            let dist_sq = self.center.dist_sq_coords(coords);
+                        kernel::batch_dist_sq(self.center.coords(), node.coords(), &mut self.dists);
+                        for (i, (coords, object)) in node.leaf_iter().enumerate() {
+                            let dist_sq = self.dists[i];
                             self.heap.push(QueueItem::Object {
                                 dist_sq,
                                 neighbor: Neighbor {
@@ -253,9 +268,14 @@ impl<'t, S: PageStore> Iterator for NnIter<'t, S> {
                             });
                         }
                     } else {
-                        for e in node.internal_iter() {
+                        kernel::batch_min_dist_sq(
+                            self.center.coords(),
+                            node.coords(),
+                            &mut self.dists,
+                        );
+                        for (i, e) in node.internal_iter().enumerate() {
                             self.heap.push(QueueItem::Node {
-                                dist_sq: e.mbr.min_dist_sq(self.center.coords()),
+                                dist_sq: self.dists[i],
                                 page: e.child,
                             });
                         }
@@ -285,16 +305,20 @@ pub fn knn_with_scratch<S: PageStore>(
     k: usize,
     scratch: &mut BestFirstScratch,
 ) -> Result<(Vec<Neighbor>, u64)> {
-    best_first_search_with(scratch, tree.root_page(), k, |page, frontier| {
+    let BestFirstScratch { heap, dists } = scratch;
+    best_first_search_heap(heap, tree.root_page(), k, |page, frontier| {
         let node = tree.read_node(page)?;
+        // One batch-kernel sweep over the node's flat coordinate block
+        // (bit-identical to the per-entry metrics), then bulk pushes.
         if node.is_leaf() {
-            for (coords, object) in node.leaf_iter() {
-                let dist_sq = center.dist_sq_coords(coords);
-                frontier.push_object(object, Point::from(coords), dist_sq);
+            kernel::batch_dist_sq(center.coords(), node.coords(), dists);
+            for (i, (coords, object)) in node.leaf_iter().enumerate() {
+                frontier.push_object(object, Point::from(coords), dists[i]);
             }
         } else {
-            for e in node.internal_iter() {
-                frontier.push_node(e.child, e.mbr.min_dist_sq(center.coords()));
+            kernel::batch_min_dist_sq(center.coords(), node.coords(), dists);
+            for (i, e) in node.internal_iter().enumerate() {
+                frontier.push_node(e.child, dists[i]);
             }
         }
         Ok(())

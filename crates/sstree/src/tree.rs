@@ -3,7 +3,7 @@
 
 use crate::codec;
 use crate::node::{SsLeafEntry, SsNode, SsSphereEntry};
-use sqda_geom::{GeomError, Point, Region};
+use sqda_geom::{GeomError, Point};
 use sqda_storage::{DiskId, IoStats, NodeCache, PageId, PageStore, StorageError};
 use std::sync::Arc;
 
@@ -569,27 +569,46 @@ impl<S: PageStore> sqda_core::AccessMethod for SsTree<S> {
 
 /// The one place an SS-tree node becomes the algorithms' view of it (the
 /// R\*-tree's counterpart lives in `sqda_core::access`). Borrowing form:
-/// the source node usually lives in the shared cache, so conversion clones
-/// the entries without consuming the cached value.
+/// the source node usually lives in the shared cache, so conversion packs
+/// the entries into the flat block layout the batch distance kernels run
+/// over, without consuming the cached value.
 impl From<&SsNode> for sqda_core::IndexNode {
     fn from(node: &SsNode) -> Self {
         match node {
-            SsNode::Leaf(entries) => sqda_core::IndexNode::Leaf(
-                entries
-                    .iter()
-                    .map(|e| (e.point.clone(), e.object))
-                    .collect(),
-            ),
-            SsNode::Internal { entries, .. } => sqda_core::IndexNode::Internal(
-                entries
-                    .iter()
-                    .map(|e| sqda_core::RegionEntry {
-                        region: Region::sphere(e.center.clone(), e.radius),
-                        child: e.child,
-                        count: e.count,
-                    })
-                    .collect(),
-            ),
+            SsNode::Leaf(entries) => {
+                let dim = entries.first().map_or(0, |e| e.point.dim());
+                let mut coords = Vec::with_capacity(dim * entries.len());
+                let mut ids = Vec::with_capacity(entries.len());
+                for e in entries {
+                    coords.extend_from_slice(e.point.coords());
+                    ids.push(e.object);
+                }
+                sqda_core::IndexNode::Leaf(sqda_core::LeafBlock::new(
+                    dim,
+                    coords.into_boxed_slice(),
+                    ids.into_boxed_slice(),
+                ))
+            }
+            SsNode::Internal { entries, .. } => {
+                let dim = entries.first().map_or(0, |e| e.center.dim());
+                let mut centers = Vec::with_capacity(dim * entries.len());
+                let mut radii = Vec::with_capacity(entries.len());
+                let mut children = Vec::with_capacity(entries.len());
+                let mut counts = Vec::with_capacity(entries.len());
+                for e in entries {
+                    centers.extend_from_slice(e.center.coords());
+                    radii.push(e.radius);
+                    children.push(e.child.as_raw());
+                    counts.push(e.count);
+                }
+                sqda_core::IndexNode::Internal(sqda_core::InternalBlock::from_spheres(
+                    dim,
+                    centers.into_boxed_slice(),
+                    radii.into_boxed_slice(),
+                    children.into_boxed_slice(),
+                    counts.into_boxed_slice(),
+                ))
+            }
         }
     }
 }

@@ -13,14 +13,61 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Multiplicative hasher for [`PageId`] keys (Fibonacci hashing).
+///
+/// Page ids are small dense integers, so SipHash — the `HashMap` default,
+/// built to resist adversarial keys — is pure overhead on the warm-cache
+/// path: the keyed rounds cost ~20 ns per probe, a large slice of the
+/// per-node traversal budget. One multiply by 2⁶⁴/φ spreads sequential
+/// ids across the high bits (which hashbrown uses for its control bytes)
+/// and is a single cycle. Not DoS-resistant; page ids come from the
+/// allocator, not from untrusted input.
+#[derive(Clone, Copy, Default)]
+pub struct PageIdHasher(u64);
+
+impl std::hash::Hasher for PageIdHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        self.0 = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (FNV-1a); `PageId`'s `Hash` impl only calls
+        // `write_u64`.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`PageIdHasher`].
+#[derive(Clone, Copy, Default)]
+pub struct PageIdHashBuilder;
+
+impl std::hash::BuildHasher for PageIdHashBuilder {
+    type Hasher = PageIdHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> PageIdHasher {
+        PageIdHasher(0)
+    }
+}
+
 /// A fixed-capacity least-recently-used cache keyed by [`PageId`].
 ///
 /// Uses an intrusive doubly-linked list over a slab, with a `HashMap` index
 /// — O(1) `get` / `insert` / eviction. The value type defaults to raw page
-/// [`Bytes`]; [`NodeCache`] instantiates it with decoded nodes.
+/// [`Bytes`]; [`NodeCache`] instantiates it with decoded nodes. The index
+/// hashes with [`PageIdHasher`] — on a warm traversal the probe itself is
+/// the hot path, and the multiplicative hash cuts it to a few cycles.
 pub struct LruCache<V = Bytes> {
     capacity: usize,
-    map: HashMap<PageId, usize>,
+    map: HashMap<PageId, usize, PageIdHashBuilder>,
     entries: Vec<EntrySlot<V>>,
     head: usize, // most recently used
     tail: usize, // least recently used
@@ -48,7 +95,7 @@ impl<V: Clone> LruCache<V> {
         assert!(capacity > 0, "cache capacity must be positive");
         Self {
             capacity,
-            map: HashMap::with_capacity(capacity),
+            map: HashMap::with_capacity_and_hasher(capacity, PageIdHashBuilder),
             entries: Vec::with_capacity(capacity),
             head: NIL,
             tail: NIL,

@@ -26,12 +26,20 @@ impl BenchmarkId {
     }
 }
 
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
 pub struct BenchmarkGroup<'a> {
     _c: &'a mut Criterion,
     group: String,
 }
 impl<'a> BenchmarkGroup<'a> {
     pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
         self
     }
     pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
@@ -42,11 +50,11 @@ impl<'a> BenchmarkGroup<'a> {
         f(&mut Bencher, input);
         self
     }
-    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    pub fn bench_function<S: Into<String>, F>(&mut self, name: S, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        eprintln!("bench {}/{}", self.group, name);
+        eprintln!("bench {}/{}", self.group, name.into());
         f(&mut Bencher);
         self
     }
