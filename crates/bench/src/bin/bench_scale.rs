@@ -1,0 +1,329 @@
+//! `bench_scale`: the out-of-core external bulk build at scale — build
+//! wall time plus cold/warm k-NN latency, swept over population.
+//!
+//! Not a figure from the paper: the paper bulk-loads its largest set
+//! (Table 3, 240k objects) in RAM. This run exercises the regime the
+//! external builder exists for — populations whose sort state cannot be
+//! resident — by streaming points from a generator (never materializing
+//! the dataset), spilling bounded sort runs through a scratch store, and
+//! serving k-NN afterwards through a **byte-budgeted** node cache, so
+//! both build and query sides run under a fixed memory cap.
+//!
+//! At the smallest scale the dataset is also built with the in-RAM
+//! `bulk_load` and every query's answers are asserted bit-identical —
+//! the external path must change how the tree is built, never what it
+//! answers.
+//!
+//! Wall-clock numbers are `Direction::Info` (host-dependent); the
+//! deterministic shape of the build and the traversal — spilled pages,
+//! cold reads per query, warm-cache hit ratio, average node fill — are
+//! gated through `check_regression`.
+//!
+//! Emits `bench_scale.csv` plus `BENCH_scale.json` under `--out`
+//! (default `results/`).
+
+use sqda_bench::{
+    experiment_page_size, f2, f4,
+    report::{BinReport, Direction},
+    ExpOptions, ResultsTable,
+};
+use sqda_datasets::uniform_stream;
+use sqda_geom::Point;
+use sqda_obs::MetricSummary;
+use sqda_rstar::decluster::ProximityIndex;
+use sqda_rstar::{ExternalBuildOptions, FnSource, Node, PointSource, RStarConfig, RStarTree};
+use sqda_storage::{FileStore, NodeCache};
+use std::sync::Arc;
+use std::time::Instant;
+
+const DISKS: u32 = 8;
+const K: usize = 10;
+const DIM: usize = 2;
+const SEED: u64 = 7201;
+/// Points per sort run: small enough that every scale point actually
+/// spills, large enough that the merge tree stays shallow.
+const RUN_CAPACITY: usize = 1 << 15;
+/// Resident-node budget for the byte-budgeted cache (2 MiB): a few
+/// thousand 2-d nodes — far below the 1M+ trees, so the cold/warm gap
+/// is real.
+const CACHE_BYTES: usize = 2 << 20;
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+    }
+}
+
+/// Times one k-NN pass over `queries`, returning (sorted latencies in
+/// seconds, answers).
+fn knn_pass(
+    tree: &RStarTree<FileStore>,
+    queries: &[Point],
+) -> (Vec<f64>, Vec<Vec<sqda_rstar::Neighbor>>) {
+    let mut lat = Vec::with_capacity(queries.len());
+    let mut answers = Vec::with_capacity(queries.len());
+    for q in queries {
+        let t = Instant::now();
+        let a = tree.knn(q, K).expect("knn");
+        lat.push(t.elapsed().as_secs_f64());
+        answers.push(a);
+    }
+    let mut sorted = lat;
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    (sorted, answers)
+}
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let scales: &[usize] = if opts.quick {
+        &[50_000, 200_000]
+    } else {
+        &[1_000_000, 10_000_000]
+    };
+    let page_size = experiment_page_size(DIM);
+    let jobs = opts.jobs.clamp(1, 4);
+    let n_queries = opts.queries();
+    let queries: Vec<Point> = uniform_stream(n_queries, DIM, SEED ^ 0x5eed).collect();
+
+    let root = std::env::temp_dir().join(format!("sqda-bench-scale-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let mut report = BinReport::new("bench_scale", &opts);
+    report
+        .param("dataset", format!("uniform-{DIM}d (streamed)"))
+        .param("disks", DISKS)
+        .param("k", K)
+        .param("page_size", page_size)
+        .param("run_capacity", RUN_CAPACITY)
+        .param("cache_bytes", CACHE_BYTES)
+        .param("queries", n_queries)
+        .param("build_jobs", jobs)
+        .master_seed(SEED);
+
+    let mut table = ResultsTable::new(
+        format!(
+            "bench_scale — external build + byte-budget cache \
+             ({DISKS} disks, k={K}, run cap {RUN_CAPACITY}, \
+             cache {} KiB, {n_queries} queries)",
+            CACHE_BYTES / 1024
+        ),
+        &[
+            "n",
+            "build(s)",
+            "runs",
+            "merges",
+            "spilled_pages",
+            "cold_mean(ms)",
+            "cold_p95(ms)",
+            "warm_mean(ms)",
+            "warm_p95(ms)",
+            "warm_hit_ratio",
+            "avg_fill",
+        ],
+    );
+    let mut json_points: Vec<String> = Vec::new();
+
+    for (si, &n) in scales.iter().enumerate() {
+        let dest_dir = root.join(format!("tree-{n}"));
+        let scratch_dir = root.join(format!("scratch-{n}"));
+        let store = Arc::new(
+            FileStore::create(&dest_dir, DISKS, 1449, page_size, SEED).expect("create store"),
+        );
+        let scratch = Arc::new(
+            FileStore::create(&scratch_dir, DISKS, 1449, page_size, SEED ^ 1)
+                .expect("create scratch"),
+        );
+        let source = FnSource::new(n as u64, DIM, move || {
+            uniform_stream(n, DIM, SEED)
+                .enumerate()
+                .map(|(i, p)| (p, i as u64))
+        });
+        let build_opts = ExternalBuildOptions {
+            run_capacity: RUN_CAPACITY,
+            jobs,
+            ..ExternalBuildOptions::default()
+        };
+        let t = Instant::now();
+        let (mut tree, build) = RStarTree::bulk_load_external_stats(
+            store.clone(),
+            RStarConfig::with_page_size(DIM, page_size),
+            Box::new(ProximityIndex),
+            &source,
+            &scratch,
+            &build_opts,
+        )
+        .expect("external build");
+        let build_s = t.elapsed().as_secs_f64();
+        drop(scratch);
+        let _ = std::fs::remove_dir_all(&scratch_dir);
+        store.sync().expect("sync store");
+        eprintln!(
+            "  built n={n} in {build_s:.1}s: {} runs, {} merge passes, \
+             {} scratch pages spilled (peak {})",
+            build.runs, build.merge_passes, build.spilled_pages, build.peak_scratch_pages
+        );
+
+        // Query under a fixed resident-node budget: cold pass (empty
+        // cache, every wavefront page read from file), then the same
+        // queries warm.
+        tree.set_node_cache(Arc::new(NodeCache::<Node>::new_bytes(
+            CACHE_BYTES,
+            Node::heap_bytes,
+        )));
+        let io0 = tree.io_stats();
+        let (cold, cold_answers) = knn_pass(&tree, &queries);
+        let io1 = tree.io_stats();
+        let (warm, warm_answers) = knn_pass(&tree, &queries);
+        let io2 = tree.io_stats();
+
+        // Warm answers never drift from cold ones (the cache is
+        // transparent), and at the smallest scale the external tree
+        // answers bit-identically to the in-RAM bulk loader.
+        assert_eq!(cold_answers.len(), warm_answers.len());
+        for (c, w) in cold_answers.iter().zip(&warm_answers) {
+            assert_eq!(c.len(), w.len(), "warm pass changed an answer set");
+            for (a, b) in c.iter().zip(w) {
+                assert_eq!(a.object, b.object);
+                assert_eq!(a.dist_sq.to_bits(), b.dist_sq.to_bits());
+            }
+        }
+        if si == 0 {
+            let ram_dir = root.join(format!("tree-ram-{n}"));
+            let ram_store = Arc::new(
+                FileStore::create(&ram_dir, DISKS, 1449, page_size, SEED)
+                    .expect("create reference store"),
+            );
+            let points: Vec<(Point, u64)> = source.iter().collect();
+            let ram_tree = RStarTree::bulk_load(
+                ram_store,
+                RStarConfig::with_page_size(DIM, page_size),
+                Box::new(ProximityIndex),
+                points,
+            )
+            .expect("in-memory build");
+            for (q, external) in queries.iter().zip(&cold_answers) {
+                let want = ram_tree.knn(q, K).expect("reference knn");
+                assert_eq!(external.len(), want.len());
+                for (a, b) in external.iter().zip(&want) {
+                    assert_eq!(a.object, b.object, "external build changed an answer");
+                    assert_eq!(a.dist_sq.to_bits(), b.dist_sq.to_bits());
+                }
+            }
+            let _ = std::fs::remove_dir_all(&ram_dir);
+            eprintln!("  n={n}: external answers match the in-memory bulk load");
+        }
+
+        let cold_reads = (io1.reads - io0.reads) as f64 / n_queries as f64;
+        let warm_lookups =
+            (io2.cache_hits - io1.cache_hits) + (io2.cache_misses - io1.cache_misses);
+        let warm_hit_ratio = if warm_lookups == 0 {
+            0.0
+        } else {
+            (io2.cache_hits - io1.cache_hits) as f64 / warm_lookups as f64
+        };
+        let stats = tree.stats().expect("tree stats");
+        let cold_mean = cold.iter().sum::<f64>() / cold.len() as f64;
+        let warm_mean = warm.iter().sum::<f64>() / warm.len() as f64;
+
+        table.row(vec![
+            n.to_string(),
+            f2(build_s),
+            build.runs.to_string(),
+            build.merge_passes.to_string(),
+            build.spilled_pages.to_string(),
+            f4(cold_mean * 1e3),
+            f4(percentile(&cold, 0.95) * 1e3),
+            f4(warm_mean * 1e3),
+            f4(percentile(&warm, 0.95) * 1e3),
+            f4(warm_hit_ratio),
+            f2(stats.avg_fill),
+        ]);
+        let labels = [("n", n.to_string())];
+        report.metric_dir(
+            "build_wall_s",
+            &labels,
+            MetricSummary::from_samples(&[build_s]),
+            Direction::Info,
+        );
+        report.metric_dir(
+            "cold_knn_mean_s",
+            &labels,
+            MetricSummary::from_samples(&[cold_mean]),
+            Direction::Info,
+        );
+        report.metric_dir(
+            "warm_knn_mean_s",
+            &labels,
+            MetricSummary::from_samples(&[warm_mean]),
+            Direction::Info,
+        );
+        report.metric_dir(
+            "spilled_pages",
+            &labels,
+            MetricSummary::from_samples(&[build.spilled_pages as f64]),
+            Direction::Lower,
+        );
+        report.metric_dir(
+            "cold_reads_per_query",
+            &labels,
+            MetricSummary::from_samples(&[cold_reads]),
+            Direction::Lower,
+        );
+        report.metric_dir(
+            "warm_cache_hit_ratio",
+            &labels,
+            MetricSummary::from_samples(&[warm_hit_ratio]),
+            Direction::Higher,
+        );
+        report.metric_dir(
+            "avg_fill",
+            &labels,
+            MetricSummary::from_samples(&[stats.avg_fill]),
+            Direction::Higher,
+        );
+        json_points.push(format!(
+            "{{\"n\":{n},\"build_s\":{build_s:.3},\"runs\":{},\"merge_passes\":{},\
+             \"spilled_pages\":{},\"peak_scratch_pages\":{},\
+             \"cold_mean_s\":{cold_mean:.6},\"cold_p95_s\":{:.6},\
+             \"warm_mean_s\":{warm_mean:.6},\"warm_p95_s\":{:.6},\
+             \"cold_reads_per_query\":{cold_reads:.3},\
+             \"warm_cache_hit_ratio\":{warm_hit_ratio:.4},\
+             \"avg_fill\":{:.4},\"height\":{},\"nodes\":{}}}",
+            build.runs,
+            build.merge_passes,
+            build.spilled_pages,
+            build.peak_scratch_pages,
+            percentile(&cold, 0.95),
+            percentile(&warm, 0.95),
+            stats.avg_fill,
+            tree.height(),
+            stats.total_nodes(),
+        ));
+        drop(tree);
+        let _ = std::fs::remove_dir_all(&dest_dir);
+    }
+
+    table.print();
+    table.write_csv(&opts.out_dir, "bench_scale");
+    std::fs::create_dir_all(&opts.out_dir).expect("create results dir");
+    let path = opts.out_dir.join("BENCH_scale.json");
+    let json = format!(
+        "{{\n  \"bench\": \"bench_scale\",\n  \"config\": {{\n    \
+         \"disks\": {DISKS},\n    \"k\": {K},\n    \"dim\": {DIM},\n    \
+         \"page_size\": {page_size},\n    \"run_capacity\": {RUN_CAPACITY},\n    \
+         \"cache_bytes\": {CACHE_BYTES},\n    \"queries\": {n_queries}\n  }},\n  \
+         \"points\": [\n    {}\n  ]\n}}\n",
+        json_points.join(",\n    ")
+    );
+    std::fs::write(&path, json).expect("write BENCH_scale.json");
+    eprintln!("  wrote {}", path.display());
+    report.finish(&opts);
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -60,6 +60,7 @@ const EXPERIMENTS: &[&str] = &[
     "fault_sweep",
     "bench_serve",
     "bench_hotpath",
+    "bench_scale",
 ];
 
 struct Finished {

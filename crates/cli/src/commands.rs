@@ -10,7 +10,7 @@ use sqda_obs::{metrics_document, trace_document, CollectingRecorder, Event};
 use sqda_rstar::decluster::{
     AreaBalance, DataBalance, Declusterer, ProximityIndex, RandomAssign, RoundRobin,
 };
-use sqda_rstar::{RStarConfig, RStarTree, SplitPolicy};
+use sqda_rstar::{ExternalBuildOptions, PointSource, RStarConfig, RStarTree, SplitPolicy};
 use sqda_simkernel::{FaultPlan, SimTime, SystemParams};
 use sqda_storage::{FileStore, PageId, PageStore};
 use std::error::Error;
@@ -91,6 +91,73 @@ pub fn generate(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// A [`PointSource`] that re-reads a CSV file on every pass, so the
+/// external builder never materializes the dataset: resident memory is
+/// one line buffer plus the builder's bounded sort runs. Object ids are
+/// the zero-based line positions, matching the in-memory build.
+///
+/// Construction scans the file once for the cardinality and the
+/// dimensionality of the first row. A row that fails to parse during a
+/// later pass is skipped, which the builder then reports as a typed
+/// point-count mismatch.
+struct CsvSource {
+    path: std::path::PathBuf,
+    len: u64,
+    dim: usize,
+}
+
+impl CsvSource {
+    fn scan(path: &Path) -> Result<Self, Box<dyn Error + Send + Sync>> {
+        use std::io::BufRead;
+        let reader = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut len = 0u64;
+        let mut dim = 0usize;
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            if dim == 0 {
+                dim = line.split(',').count();
+            }
+            len += 1;
+        }
+        Ok(CsvSource {
+            path: path.to_path_buf(),
+            len,
+            dim,
+        })
+    }
+}
+
+impl PointSource for CsvSource {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = (Point, u64)> + '_> {
+        use std::io::BufRead;
+        let file = std::fs::File::open(&self.path).expect("CSV input vanished between passes");
+        let lines = std::io::BufReader::new(file).lines();
+        Box::new(
+            lines
+                .map_while(|line| line.ok())
+                .filter(|line| !line.trim().is_empty())
+                .filter_map(|line| {
+                    let coords: Result<Vec<f64>, _> =
+                        line.split(',').map(|s| s.trim().parse::<f64>()).collect();
+                    coords.ok().map(Point::new)
+                })
+                .enumerate()
+                .map(|(i, p)| (p, i as u64)),
+        )
+    }
+}
+
 /// `sqda build`
 pub fn build(args: &Args) -> CmdResult {
     let input = args.required("input")?.to_string();
@@ -101,45 +168,100 @@ pub fn build(args: &Args) -> CmdResult {
     let decluster_name = args.get("decluster").unwrap_or("pi").to_string();
     let split = split_by_name(args.get("split").unwrap_or("rstar"))?;
     let bulk = args.flag("bulk");
+    let external = args.flag("external");
+    let run_capacity: usize = args.get_or("run-capacity", 1 << 18)?;
+    let jobs: usize = args.get_or("jobs", 1)?;
 
-    let dataset = Dataset::read_csv("input", Path::new(&input))?;
-    if dataset.is_empty() {
-        return Err("input dataset is empty".into());
-    }
     let declusterer = declusterer_by_name(&decluster_name, seed)?;
-    let store = Arc::new(FileStore::create(
-        Path::new(&store_dir),
-        disks,
-        1449,
-        page_size,
-        seed,
-    )?);
-    let config = RStarConfig::with_page_size(dataset.dim, page_size).with_split_policy(split);
     let start = std::time::Instant::now();
-    let tree = if bulk {
-        RStarTree::bulk_load(
+    let (tree, dim, kind) = if external {
+        // Out-of-core build: stream the CSV per pass, spill bounded sort
+        // runs through a scratch store that lives (and dies) next to the
+        // destination directory.
+        let source = CsvSource::scan(Path::new(&input))?;
+        if source.is_empty() {
+            return Err("input dataset is empty".into());
+        }
+        let store = Arc::new(FileStore::create(
+            Path::new(&store_dir),
+            disks,
+            1449,
+            page_size,
+            seed,
+        )?);
+        let config = RStarConfig::with_page_size(source.dim(), page_size).with_split_policy(split);
+        let scratch_dir = Path::new(&store_dir).join("scratch");
+        let scratch = Arc::new(FileStore::create(
+            &scratch_dir,
+            disks,
+            1449,
+            page_size,
+            seed,
+        )?);
+        let opts = ExternalBuildOptions {
+            run_capacity,
+            jobs,
+            ..ExternalBuildOptions::default()
+        };
+        let (tree, report) = RStarTree::bulk_load_external_stats(
             store.clone(),
             config,
             declusterer,
-            dataset
-                .points
-                .iter()
-                .cloned()
-                .enumerate()
-                .map(|(i, p)| (p, i as u64))
-                .collect(),
-        )?
+            &source,
+            &scratch,
+            &opts,
+        )?;
+        drop(scratch);
+        std::fs::remove_dir_all(&scratch_dir)?;
+        store.sync()?;
+        println!(
+            "external build: {} runs, {} merge passes, {} pages spilled (peak {} resident)",
+            report.runs, report.merge_passes, report.spilled_pages, report.peak_scratch_pages
+        );
+        (tree, source.dim(), "external bulk-loaded")
     } else {
-        let mut tree = RStarTree::create(store.clone(), config, declusterer)?;
-        for (i, p) in dataset.points.iter().enumerate() {
-            tree.insert(p.clone(), i as u64)?;
+        let dataset = Dataset::read_csv("input", Path::new(&input))?;
+        if dataset.is_empty() {
+            return Err("input dataset is empty".into());
         }
-        tree
+        let store = Arc::new(FileStore::create(
+            Path::new(&store_dir),
+            disks,
+            1449,
+            page_size,
+            seed,
+        )?);
+        let config = RStarConfig::with_page_size(dataset.dim, page_size).with_split_policy(split);
+        let tree = if bulk {
+            RStarTree::bulk_load(
+                store.clone(),
+                config,
+                declusterer,
+                dataset
+                    .points
+                    .iter()
+                    .cloned()
+                    .enumerate()
+                    .map(|(i, p)| (p, i as u64))
+                    .collect(),
+            )?
+        } else {
+            let mut tree = RStarTree::create(store.clone(), config, declusterer)?;
+            for (i, p) in dataset.points.iter().enumerate() {
+                tree.insert(p.clone(), i as u64)?;
+            }
+            tree
+        };
+        store.sync()?;
+        (
+            tree,
+            dataset.dim,
+            if bulk { "bulk-loaded" } else { "incremental" },
+        )
     };
-    store.sync()?;
     TreeMeta {
         root: tree.root_page().as_raw(),
-        dim: dataset.dim,
+        dim,
         page_size,
         decluster: decluster_name,
     }
@@ -147,7 +269,7 @@ pub fn build(args: &Args) -> CmdResult {
     let stats = tree.stats()?;
     println!(
         "built {} tree: {} objects, height {}, {} nodes, avg fill {:.2}, {} disks, in {:.1?}",
-        if bulk { "bulk-loaded" } else { "incremental" },
+        kind,
         tree.num_objects(),
         tree.height(),
         stats.total_nodes(),

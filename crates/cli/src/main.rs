@@ -33,6 +33,10 @@ COMMANDS:
              --input <file.csv> --store <dir> [--disks <n>=10]
              [--page-size <bytes>=4096] [--decluster pi|rr|random|data|area]
              [--split rstar|quadratic|linear] [--bulk] [--seed <s>=0]
+             [--external [--run-capacity <pts>=262144] [--jobs <n>=1]]
+  (--external streams the CSV through the out-of-core bulk builder:
+   sort runs spill through a scratch store under <store>/scratch, RAM
+   stays O(run-capacity x jobs) points regardless of input size.)
   query      k nearest neighbours
              --store <dir> --point <x,y,...> [--k <k>=10]
              [--algo bbss|fpss|crss|woptss=crss] [--seed <s>=0]
@@ -59,6 +63,7 @@ COMMANDS:
   serve      answer k-NN queries over TCP with the real-clock engine
              --store <dir> [--port <p>=0 (0 = ephemeral)]
              [--backend file|inline=file] [--cache <pages>=4096]
+             [--cache-bytes <bytes>=0 (overrides --cache: hard byte cap)]
              [--flight-cap <events>=0] [--slow-query-ms <ms>]
              [--slow-query-log <file.jsonl>]
              [--trace <file>] [--metrics <file>]
@@ -85,7 +90,7 @@ fn main() {
         print!("{HELP}");
         return;
     }
-    let args = match Args::parse(argv, &["bulk", "mirrored"]) {
+    let args = match Args::parse(argv, &["bulk", "mirrored", "external"]) {
         Ok(a) => a,
         Err(e) => fail(&e),
     };

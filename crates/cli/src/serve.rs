@@ -87,9 +87,10 @@ impl BackendKind {
 
     fn build(self, store: &Arc<FileStore>, observer: Arc<dyn ReadObserver>) -> Arc<dyn IoBackend> {
         match self {
-            BackendKind::File => {
-                Arc::new(ThreadedFileBackend::with_observer(Arc::clone(store), observer))
-            }
+            BackendKind::File => Arc::new(ThreadedFileBackend::with_observer(
+                Arc::clone(store),
+                observer,
+            )),
             BackendKind::Inline => {
                 Arc::new(InlineBackend::with_observer(Arc::clone(store), observer))
             }
@@ -111,10 +112,17 @@ pub fn serve(args: &Args) -> CmdResult {
     let port: u16 = args.get_or("port", 0)?;
     let backend = BackendKind::by_name(args.get("backend").unwrap_or("file"))?;
     let cache: usize = args.get_or("cache", 4096)?;
+    let cache_bytes: usize = args.get_or("cache-bytes", 0)?;
     let trace_path = args.get("trace").map(|s| s.to_string());
     let metrics_path = args.get("metrics").map(|s| s.to_string());
-    let flight_cap: usize =
-        args.get_or("flight-cap", if trace_path.is_some() { DEFAULT_FLIGHT_CAP } else { 0 })?;
+    let flight_cap: usize = args.get_or(
+        "flight-cap",
+        if trace_path.is_some() {
+            DEFAULT_FLIGHT_CAP
+        } else {
+            0
+        },
+    )?;
     let slow_ms: Option<f64> = match args.get("slow-query-ms") {
         None => None,
         Some(v) => Some(v.parse().map_err(|e| format!("bad --slow-query-ms: {e}"))?),
@@ -122,7 +130,14 @@ pub fn serve(args: &Args) -> CmdResult {
     let slow_log_path = args.get("slow-query-log").map(|s| s.to_string());
 
     let (mut tree, meta) = open_tree(&store_dir)?;
-    if cache > 0 {
+    if cache_bytes > 0 {
+        // Byte-budgeted mode: evict on resident bytes, not entry count,
+        // so a fixed memory cap holds whatever the node fan-out is.
+        tree.set_node_cache(Arc::new(NodeCache::<Node>::new_bytes(
+            cache_bytes,
+            Node::heap_bytes,
+        )));
+    } else if cache > 0 {
         tree.set_node_cache(Arc::new(NodeCache::<Node>::new(cache)));
     }
     let mut live = LiveTelemetry::new(tree.store().num_disks()).with_flight_recorder(flight_cap);
@@ -155,7 +170,10 @@ pub fn serve(args: &Args) -> CmdResult {
     // Shutdown sinks: drain what the live registry retained.
     if let Some(path) = &trace_path {
         let events = live.flight().map(|f| f.drain()).unwrap_or_default();
-        std::fs::write(path, trace_document(Path::new(path), &events, live.num_disks(), 1))?;
+        std::fs::write(
+            path,
+            trace_document(Path::new(path), &events, live.num_disks(), 1),
+        )?;
         println!("trace: {path} ({} events)", events.len());
     }
     if let Some(path) = &metrics_path {
@@ -179,8 +197,8 @@ pub fn run_server(
     live: Arc<LiveTelemetry>,
 ) -> CmdResult {
     let observer: Arc<dyn ReadObserver> = Arc::clone(&live) as _;
-    let engine = RealTimeEngine::new(tree, backend.build(tree.store(), observer))?
-        .with_telemetry(live)?;
+    let engine =
+        RealTimeEngine::new(tree, backend.build(tree.store(), observer))?.with_telemetry(live)?;
     let addr = listener.local_addr()?;
     let shutdown = AtomicBool::new(false);
     let served = AtomicU64::new(0);
@@ -288,7 +306,11 @@ fn respond(
                 io.cache_misses
             );
             let lookups = io.cache_hits + io.cache_misses;
-            let ratio = if lookups == 0 { 0.0 } else { io.cache_hits as f64 / lookups as f64 };
+            let ratio = if lookups == 0 {
+                0.0
+            } else {
+                io.cache_hits as f64 / lookups as f64
+            };
             text.push_str(&format!(" cache_hit_ratio={ratio:.4}"));
             if let Some(live) = engine.telemetry() {
                 let w = live.window_stats();
@@ -300,8 +322,7 @@ fn respond(
                     w.p99_ms
                 ));
             }
-            let per_disk: Vec<String> =
-                io.reads_per_disk.iter().map(|r| r.to_string()).collect();
+            let per_disk: Vec<String> = io.reads_per_disk.iter().map(|r| r.to_string()).collect();
             text.push_str(&format!(" reads_per_disk={}", per_disk.join(",")));
             Reply::line(text)
         }
@@ -551,6 +572,52 @@ mod tests {
             assert_eq!(request_line(&mut a, &mut ra, "SHUTDOWN"), "BYE");
             server.join().unwrap().unwrap();
         });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_replies_identical_across_backends() {
+        // The BATCH verb routes its wavefront reads through the engine's
+        // I/O backend; completions arrive in finish order over the
+        // threaded backend, request order inline. The replies must be
+        // byte-identical either way (modulo the wall-clock field).
+        let dir = build_store("batch-backends");
+        let (tree, _) = open_tree(dir.to_str().unwrap()).unwrap();
+        let strip_wall = |reply: &str| -> String {
+            reply
+                .split_whitespace()
+                .filter(|w| !w.starts_with("wall_us="))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let mut replies: Vec<Vec<String>> = Vec::new();
+        for kind in [BackendKind::File, BackendKind::Inline] {
+            let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            let addr = listener.local_addr().unwrap();
+            let live = Arc::new(LiveTelemetry::new(tree.store().num_disks()));
+            std::thread::scope(|s| {
+                let server = s.spawn(|| run_server(&tree, kind, listener, live.clone()));
+                let mut a = TcpStream::connect(addr).unwrap();
+                let mut ra = BufReader::new(a.try_clone().unwrap());
+                let mut lines = Vec::new();
+                for req in [
+                    "BATCH 5.0,5.0;1.0,2.0;18.0,12.0 4",
+                    "BATCH 0.0,0.0;0.1,0.1;9.0,9.0;3.0,7.0 7",
+                    "BATCH 5.0,5.0 1",
+                ] {
+                    let reply = request_line(&mut a, &mut ra, req);
+                    assert!(reply.starts_with("OK "), "{reply}");
+                    lines.push(strip_wall(&reply));
+                }
+                replies.push(lines);
+                assert_eq!(request_line(&mut a, &mut ra, "SHUTDOWN"), "BYE");
+                server.join().unwrap().unwrap();
+            });
+        }
+        assert_eq!(
+            replies[0], replies[1],
+            "threaded and inline backends must answer BATCH identically"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

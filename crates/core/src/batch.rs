@@ -25,8 +25,8 @@ use crate::error::QueryError;
 use crate::threshold::{lemma1_threshold_sq, Candidate};
 use sqda_geom::Point;
 use sqda_rstar::{Neighbor, ObjectId};
-use sqda_storage::PageId;
-use std::collections::BTreeMap;
+use sqda_storage::{IoBackend, PageId};
+use std::collections::{BTreeMap, HashMap};
 
 /// Results of one shared-traversal batch.
 #[derive(Debug, Clone)]
@@ -92,6 +92,87 @@ pub fn batch_knn_with(
     k: usize,
     scratch: &mut BatchScratch,
 ) -> Result<BatchKnnReport, QueryError> {
+    batch_knn_core(am, queries, k, scratch, &mut |am, pages, out| {
+        for &page in pages {
+            out.push(am.read_index_node(page)?);
+        }
+        Ok(())
+    })
+}
+
+/// [`batch_knn`] with each wavefront read served through an
+/// [`IoBackend`]: cache probes first (hit/miss accounting identical to
+/// the read-through path), then one `submit_batch` call for the misses —
+/// over a [`sqda_storage::ThreadedFileBackend`] the whole round reads
+/// concurrently across the per-disk files. Completions arrive in finish
+/// order, **not** request order; they are re-assembled by page id before
+/// the kernels run, so answers and the report stay bit-identical to
+/// [`batch_knn`].
+pub fn batch_knn_backend(
+    am: &(impl AccessMethod + ?Sized),
+    backend: &dyn IoBackend,
+    queries: &[Point],
+    k: usize,
+) -> Result<BatchKnnReport, QueryError> {
+    let mut scratch = BatchScratch::new();
+    batch_knn_backend_with(am, backend, queries, k, &mut scratch)
+}
+
+/// [`batch_knn_backend`] over a caller-supplied [`BatchScratch`].
+pub fn batch_knn_backend_with(
+    am: &(impl AccessMethod + ?Sized),
+    backend: &dyn IoBackend,
+    queries: &[Point],
+    k: usize,
+    scratch: &mut BatchScratch,
+) -> Result<BatchKnnReport, QueryError> {
+    let mut decoded: HashMap<PageId, IndexNode> = HashMap::new();
+    let mut misses: Vec<PageId> = Vec::new();
+    batch_knn_core(am, queries, k, scratch, &mut |am, pages, out| {
+        decoded.clear();
+        misses.clear();
+        for &page in pages {
+            match am.cached_index_node(page)? {
+                Some(node) => {
+                    decoded.insert(page, node);
+                }
+                None => misses.push(page),
+            }
+        }
+        if !misses.is_empty() {
+            let rx = backend.submit_batch(&misses);
+            for _ in 0..misses.len() {
+                let completion = rx.recv().map_err(|_| {
+                    QueryError::Invariant("I/O backend dropped a batch mid-flight".into())
+                })?;
+                let bytes = completion.result?;
+                let node = am.decode_index_node(completion.page, bytes)?;
+                decoded.insert(completion.page, node);
+            }
+        }
+        for &page in pages {
+            out.push(decoded.remove(&page).ok_or_else(|| {
+                QueryError::Invariant(format!("page {page:?} requested but never delivered"))
+            })?);
+        }
+        Ok(())
+    })
+}
+
+/// Signature of a wavefront reader: append one decoded node per page of
+/// `pages`, in request order, to `out`.
+type FetchWave<'a, A> =
+    dyn FnMut(&A, &[PageId], &mut Vec<IndexNode>) -> Result<(), QueryError> + 'a;
+
+/// The shared-traversal state machine, generic over how each round's
+/// page union is turned into decoded nodes.
+fn batch_knn_core<A: AccessMethod + ?Sized>(
+    am: &A,
+    queries: &[Point],
+    k: usize,
+    scratch: &mut BatchScratch,
+    fetch_wave: &mut FetchWave<'_, A>,
+) -> Result<BatchKnnReport, QueryError> {
     let b = queries.len();
     let mut kbest: Vec<KBest> = (0..b).map(|_| KBest::new(k)).collect();
     let mut d_th = vec![f64::INFINITY; b];
@@ -107,15 +188,27 @@ pub fn batch_knn_with(
     // Per-query candidate accumulators for the current round.
     let mut cands: Vec<Vec<Candidate>> = (0..b).map(|_| Vec::new()).collect();
 
+    let mut nodes: Vec<IndexNode> = Vec::new();
     while !frontier.is_empty() {
         rounds += 1;
         let wave = std::mem::take(&mut frontier);
+        // One fetch call covers the whole round (over an I/O backend the
+        // union reads in parallel); one decode serves every interested
+        // query of a page.
+        let pages: Vec<PageId> = wave.keys().copied().collect();
+        nodes.clear();
+        fetch_wave(am, &pages, &mut nodes)?;
+        if nodes.len() != pages.len() {
+            return Err(QueryError::Invariant(format!(
+                "wavefront reader returned {} nodes for {} pages",
+                nodes.len(),
+                pages.len()
+            )));
+        }
         let mut leaf_round = false;
-        for (page, interested) in wave {
+        for ((_page, interested), node) in wave.into_iter().zip(nodes.drain(..)) {
             unique_fetches += 1;
             total_interest += interested.len() as u64;
-            // One decode serves every interested query.
-            let node = am.read_index_node(page)?;
             match node {
                 IndexNode::Leaf(leaf) => {
                     // Index trees are balanced: a leaf round is a leaf
@@ -279,6 +372,34 @@ mod tests {
         assert_eq!(report.answers[0].len(), 3);
         // A batch of one shares nothing.
         assert_eq!(report.unique_fetches, report.total_interest);
+    }
+
+    #[test]
+    fn backend_routed_batch_is_bit_identical() {
+        use sqda_storage::InlineBackend;
+        let tree = build(1200, 45);
+        let backend = InlineBackend::new(Arc::clone(tree.store()));
+        let mut rng = StdRng::seed_from_u64(7);
+        let queries: Vec<Point> = (0..12)
+            .map(|_| Point::new(vec![rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)]))
+            .collect();
+        for k in [1, 7] {
+            let direct = batch_knn(&tree, &queries, k).unwrap();
+            let routed = batch_knn_backend(&tree, &backend, &queries, k).unwrap();
+            // Identical counters: the backend path fetches the same page
+            // union per round, it only changes who performs the reads.
+            assert_eq!(routed.unique_fetches, direct.unique_fetches);
+            assert_eq!(routed.total_interest, direct.total_interest);
+            assert_eq!(routed.rounds, direct.rounds);
+            assert_eq!(routed.answers.len(), direct.answers.len());
+            for (r, d) in routed.answers.iter().zip(direct.answers.iter()) {
+                assert_eq!(r.len(), d.len());
+                for (a, b) in r.iter().zip(d.iter()) {
+                    assert_eq!(a.object, b.object);
+                    assert_eq!(a.dist_sq.to_bits(), b.dist_sq.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

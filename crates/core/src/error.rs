@@ -85,9 +85,10 @@ impl From<RStarError> for QueryError {
     fn from(e: RStarError) -> Self {
         match e {
             RStarError::Storage(e) => QueryError::from(e),
-            RStarError::Geometry(_) | RStarError::DimensionMismatch { .. } => {
-                QueryError::Invariant(e.to_string())
-            }
+            RStarError::Geometry(_)
+            | RStarError::DimensionMismatch { .. }
+            | RStarError::UnsupportedPacking { .. }
+            | RStarError::InvalidBuild(_) => QueryError::Invariant(e.to_string()),
         }
     }
 }

@@ -194,9 +194,12 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
     /// [`crate::batch`]): the batch descends the tree once, decodes each
     /// wavefront page a single time, and serves every interested query
     /// from the shared block via the batch distance kernels. Answers are
-    /// bit-identical to running FPSS per query through [`Self::run`];
-    /// reads go through the access method's node cache rather than the
-    /// per-session I/O scheduler. Returns the batch report and the
+    /// bit-identical to running FPSS per query through [`Self::run`].
+    /// Each round probes the node cache first, then reads the misses
+    /// through this engine's [`IoBackend`] as one submitted batch — over
+    /// a threaded backend the whole wavefront reads concurrently across
+    /// the per-disk files, the same intra-round parallelism the
+    /// per-session scheduler gets. Returns the batch report and the
     /// wall-clock seconds the batch took.
     pub fn run_query_batch(
         &self,
@@ -204,7 +207,7 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
         k: usize,
     ) -> Result<(crate::batch::BatchKnnReport, f64), QueryError> {
         let started = Instant::now();
-        let report = crate::batch::batch_knn(self.am, queries, k)?;
+        let report = crate::batch::batch_knn_backend(self.am, self.backend.as_ref(), queries, k)?;
         Ok((report, started.elapsed().as_secs_f64()))
     }
 
@@ -230,10 +233,7 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
     ) -> Result<RealTimeReport, QueryError> {
         let concurrency = concurrency.max(1);
         let recording = recorder.enabled();
-        let flight_on = self
-            .live
-            .as_ref()
-            .is_some_and(|live| live.flight_enabled());
+        let flight_on = self.live.as_ref().is_some_and(|live| live.flight_enabled());
         let clock = WallClock::new();
         let started = Instant::now();
         let cursor = AtomicUsize::new(0);
@@ -265,8 +265,7 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
                             let wq = &workload.queries[q];
                             // Global serving id: counts the pickup and
                             // tags this query's flight events.
-                            let live_q =
-                                self.live.as_ref().map(|live| live.begin_query());
+                            let live_q = self.live.as_ref().map(|live| live.begin_query());
                             let result = kind
                                 .build_with(self.am, wq.point.clone(), wq.k, &mut scratch)
                                 .and_then(|algo| {

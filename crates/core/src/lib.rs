@@ -79,7 +79,10 @@ pub use access::{
     best_first_knn, best_first_knn_with, AccessMethod, IndexNode, InternalBlock, LeafBlock,
     QueryScratch, RegionBlock,
 };
-pub use batch::{batch_knn, batch_knn_with, BatchKnnReport, BatchScratch};
+pub use batch::{
+    batch_knn, batch_knn_backend, batch_knn_backend_with, batch_knn_with, BatchKnnReport,
+    BatchScratch,
+};
 pub use error::QueryError;
 // Re-exported so access-method crates can type their answers without a
 // direct dependency on the R*-tree crate.

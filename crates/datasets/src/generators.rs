@@ -13,7 +13,7 @@ pub const LB_CARDINALITY: usize = 53_145;
 /// Draws a standard-normal sample (Box–Muller; `rand` ships no normal
 /// distribution without `rand_distr`, which is outside the approved
 /// dependency set).
-fn normal(rng: &mut StdRng) -> f64 {
+pub(crate) fn normal(rng: &mut StdRng) -> f64 {
     loop {
         let u1: f64 = rng.gen::<f64>();
         let u2: f64 = rng.gen::<f64>();

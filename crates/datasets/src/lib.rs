@@ -24,9 +24,13 @@
 mod dataset;
 mod generators;
 mod queries;
+mod stream;
 
 pub use dataset::Dataset;
 pub use generators::{
     california_like, gaussian, gaussian_clusters, long_beach_like, uniform, CP_CARDINALITY,
     LB_CARDINALITY,
+};
+pub use stream::{
+    gaussian_clusters_stream, gaussian_stream, uniform_stream, GaussianStream, UniformStream,
 };

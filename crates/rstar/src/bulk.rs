@@ -17,7 +17,7 @@ use crate::node::Node;
 use crate::tree::{RStarError, RStarTree, Result};
 use crate::{Declusterer, RStarConfig};
 use sqda_geom::{Point, Rect};
-use sqda_storage::{PageId, PageStore};
+use sqda_storage::{DiskId, PageId, PageStore};
 use std::sync::Arc;
 
 /// How a bulk load linearizes the input before packing.
@@ -30,6 +30,130 @@ pub enum PackingOrder {
     Morton,
     /// Hilbert curve (2-d data only), as in the Hilbert-packed R-tree.
     Hilbert,
+}
+
+/// How bulk-written pages pick their sibling window for declustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementMode {
+    /// Each page is declustered against a trailing window of the most
+    /// recently written pages at its level (packing order is spatial
+    /// order, so recent = nearby) — the classic bulk-load placement.
+    #[default]
+    Trailing,
+    /// Pages are grouped by prospective parent (consecutive groups of
+    /// the directory fan-out) and each page is declustered only against
+    /// the members of its own group placed so far: the tiles of one
+    /// parent land on distinct disks — one stripe — so a traversal that
+    /// expands a parent reads its children in parallel.
+    SiblingStripe,
+}
+
+/// Rejects packing orders the space-filling-curve keys cannot encode.
+pub(crate) fn validate_packing(order: PackingOrder, dim: usize) -> Result<()> {
+    match order {
+        PackingOrder::Hilbert if dim != 2 => Err(RStarError::UnsupportedPacking {
+            order: "Hilbert",
+            dim,
+        }),
+        PackingOrder::Morton if dim > 8 => Err(RStarError::UnsupportedPacking {
+            order: "Morton",
+            dim,
+        }),
+        _ => Ok(()),
+    }
+}
+
+/// Smallest `s ≥ 1` with `s.pow(k) ≥ n`, in exact integer arithmetic.
+///
+/// The float route — `(n as f64).powf(1.0 / k as f64).ceil()` — misses
+/// at perfect powers (`27f64.powf(1.0 / 3.0)` is `3.000…0004`, which
+/// ceils to 4) and drifts further as `n` grows past 2^53; the exact root
+/// keeps slab counts (and therefore tile fill) right at any scale.
+pub(crate) fn ceil_root(n: usize, k: u32) -> usize {
+    if n <= 1 {
+        return n;
+    }
+    if k <= 1 {
+        return n;
+    }
+    // `s^k ≥ n`, saturating on overflow (an overflowing power certainly
+    // exceeds any usize-sized `n`).
+    let at_least =
+        |s: usize| -> bool { (s as u128).checked_pow(k).map_or(true, |p| p >= n as u128) };
+    // Start from the float guess and correct it exactly.
+    let mut s = ((n as f64).powf(1.0 / f64::from(k)).round() as usize).max(1);
+    while s > 1 && at_least(s - 1) {
+        s -= 1;
+    }
+    while !at_least(s) {
+        s += 1;
+    }
+    s
+}
+
+/// Writes one level's nodes incrementally, placing each page with the
+/// declusterer against a sibling window chosen by [`PlacementMode`].
+///
+/// Shared by the in-memory and external builders so both produce the
+/// same placement for the same node sequence.
+pub(crate) struct LevelWriter<'a, S: PageStore> {
+    tree: &'a RStarTree<S>,
+    mode: PlacementMode,
+    group: usize,
+    placed: Vec<(Rect, DiskId)>,
+    pages: Vec<PageId>,
+}
+
+impl<'a, S: PageStore> LevelWriter<'a, S> {
+    pub(crate) fn new(tree: &'a RStarTree<S>, mode: PlacementMode) -> Self {
+        Self {
+            tree,
+            mode,
+            group: tree.config.max_internal_entries.max(1),
+            placed: Vec::new(),
+            pages: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, node: &Node) -> Result<PageId> {
+        let mbr = node
+            .mbr()
+            .ok_or_else(|| RStarError::InvalidBuild("empty node in bulk build".into()))?;
+        let idx = self.placed.len();
+        let start = match self.mode {
+            PlacementMode::Trailing => idx.saturating_sub(16),
+            // Only the already-placed members of this page's own parent
+            // group (still capped at the trailing-16 window size).
+            PlacementMode::SiblingStripe => {
+                ((idx / self.group) * self.group).max(idx.saturating_sub(16))
+            }
+        };
+        let window = &self.placed[start..];
+        let page = self.tree.allocate_declustered(&mbr, window)?;
+        self.tree.write_node(page, node)?;
+        let disk = self.tree.store.placement(page)?.disk;
+        self.placed.push((mbr, disk));
+        self.pages.push(page);
+        Ok(page)
+    }
+
+    pub(crate) fn into_pages(self) -> Vec<PageId> {
+        self.pages
+    }
+}
+
+/// Derives the next level's entries from a written level.
+fn parent_entries(nodes: &[Node], pages: &[PageId]) -> Result<Vec<InternalEntry>> {
+    nodes
+        .iter()
+        .zip(pages.iter())
+        .map(|(node, page)| {
+            let mbr = node
+                .mbr()
+                .ok_or_else(|| RStarError::InvalidBuild("empty node in bulk build".into()))?;
+            Ok(InternalEntry::new(mbr, *page, node.object_count()))
+        })
+        .collect()
 }
 
 impl<S: PageStore> RStarTree<S> {
@@ -56,10 +180,14 @@ impl<S: PageStore> RStarTree<S> {
     /// it into consecutive full leaves — the Hilbert-packed R-tree
     /// construction.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if [`PackingOrder::Hilbert`] is requested for non-2-d data
-    /// or [`PackingOrder::Morton`] beyond 8 dimensions.
+    /// Returns [`RStarError::UnsupportedPacking`] when
+    /// [`PackingOrder::Hilbert`] is requested for non-2-d data or
+    /// [`PackingOrder::Morton`] beyond 8 dimensions,
+    /// [`RStarError::DimensionMismatch`] for points of the wrong
+    /// dimensionality, and [`RStarError::InvalidBuild`] for non-finite
+    /// coordinates — all before any page is written.
     pub fn bulk_load_ordered(
         store: Arc<S>,
         config: RStarConfig,
@@ -67,28 +195,34 @@ impl<S: PageStore> RStarTree<S> {
         points: Vec<(Point, u64)>,
         order: PackingOrder,
     ) -> Result<Self> {
+        validate_packing(order, config.dim)?;
         for (p, _) in &points {
-            if p.dim() != config.dim {
-                return Err(RStarError::DimensionMismatch {
-                    expected: config.dim,
-                    got: p.dim(),
-                });
-            }
+            validate_point(p, config.dim)?;
         }
         let mut tree = Self::create(store, config, declusterer)?;
         if points.is_empty() {
             return Ok(tree);
         }
-        let num_objects = points.len() as u64;
-
-        // ---- Leaf level ----
-        let dim = tree.config.dim;
-        let leaf_cap = tree.config.max_leaf_entries;
-        let min_leaf = tree.config.min_leaf_entries();
-        let mut entries: Vec<LeafEntry> = points
+        let entries: Vec<LeafEntry> = points
             .into_iter()
             .map(|(p, id)| LeafEntry::new(p, ObjectId(id)))
             .collect();
+        tree.bulk_build_from_entries(entries, order, PlacementMode::Trailing)?;
+        Ok(tree)
+    }
+
+    /// Packs validated leaf entries into this (freshly created) tree:
+    /// tiles the leaf level, then builds the directory bottom-up.
+    pub(crate) fn bulk_build_from_entries(
+        &mut self,
+        mut entries: Vec<LeafEntry>,
+        order: PackingOrder,
+        mode: PlacementMode,
+    ) -> Result<()> {
+        let num_objects = entries.len() as u64;
+        let dim = self.config.dim;
+        let leaf_cap = self.config.max_leaf_entries;
+        let min_leaf = self.config.min_leaf_entries();
         let tiles = match order {
             PackingOrder::Str => str_tile(
                 &mut entries,
@@ -116,85 +250,105 @@ impl<S: PageStore> RStarTree<S> {
                 }
             }
         };
-        let mut level_nodes: Vec<Node> = tiles
+        let level_nodes: Vec<Node> = tiles
             .into_iter()
             .map(|tile| Node::from_leaf_entries(&tile))
             .collect();
-        let mut level = 0u32;
+        let pages = self.write_level_with(&level_nodes, mode)?;
+        if level_nodes.len() == 1 {
+            return self.install_bulk_root(pages[0], 1, num_objects);
+        }
+        let parents = parent_entries(&level_nodes, &pages)?;
+        self.finish_bulk_from_entries(parents, 1, order, num_objects, mode)
+    }
 
-        // ---- Upper levels ----
-        // Write each level's nodes and produce the entries of the next.
-        let (root_page, height) = loop {
-            let pages = tree.write_level(&level_nodes)?;
-            if level_nodes.len() == 1 {
-                break (pages[0], level + 1);
-            }
-            let mut parent_entries: Vec<InternalEntry> = level_nodes
-                .iter()
-                .zip(pages.iter())
-                .map(|(node, page)| {
-                    InternalEntry::new(
-                        node.mbr().expect("bulk-loaded nodes are non-empty"),
-                        *page,
-                        node.object_count(),
-                    )
-                })
-                .collect();
-            level += 1;
-            let cap = tree.config.max_internal_entries;
-            let min = tree.config.min_internal_entries();
+    /// Builds the directory levels from the entries of an already
+    /// written level (`level` = the level the first batch of directory
+    /// nodes will live at; leaves are level 0). Shared by the in-memory
+    /// and external builders.
+    pub(crate) fn finish_bulk_from_entries(
+        &mut self,
+        mut entries: Vec<InternalEntry>,
+        mut level: u32,
+        order: PackingOrder,
+        num_objects: u64,
+        mode: PlacementMode,
+    ) -> Result<()> {
+        let dim = self.config.dim;
+        loop {
+            let cap = self.config.max_internal_entries;
+            let min = self.config.min_internal_entries();
             // STR re-tiles each directory level; curve packing keeps the
             // children's curve order and cuts it into consecutive runs.
             let tiles = match order {
-                PackingOrder::Str => str_tile(
-                    &mut parent_entries,
-                    cap,
-                    min,
-                    dim,
-                    0,
-                    &|e: &InternalEntry| e.mbr.center(),
-                ),
+                PackingOrder::Str => {
+                    str_tile(&mut entries, cap, min, dim, 0, &|e: &InternalEntry| {
+                        e.mbr.center()
+                    })
+                }
                 PackingOrder::Morton | PackingOrder::Hilbert => {
-                    if parent_entries.len() <= cap {
-                        vec![parent_entries.clone()]
+                    if entries.len() <= cap {
+                        vec![entries.clone()]
                     } else {
-                        chunk_balanced(&parent_entries, cap, min)
+                        chunk_balanced(&entries, cap, min)
                     }
                 }
             };
-            level_nodes = tiles
+            let level_nodes: Vec<Node> = tiles
                 .into_iter()
                 .map(|tile| Node::from_internal_entries(level, &tile))
                 .collect();
-        };
-
-        // Swap in the bulk-loaded root (the `create` root leaf is freed).
-        let old_root = tree.root;
-        tree.free_node(old_root)?;
-        tree.root = root_page;
-        tree.height = height;
-        tree.num_objects = num_objects;
-        Ok(tree)
-    }
-
-    /// Writes one level of nodes, placing each page with the declusterer
-    /// against the siblings written so far at this level.
-    fn write_level(&self, nodes: &[Node]) -> Result<Vec<PageId>> {
-        let mut pages = Vec::with_capacity(nodes.len());
-        let mut placed: Vec<(Rect, sqda_storage::DiskId)> = Vec::with_capacity(nodes.len());
-        for node in nodes {
-            let mbr = node.mbr().expect("bulk-loaded nodes are non-empty");
-            // Sibling context: the most recent neighbours at this level
-            // (STR order is spatial order, so recent = nearby).
-            let window = &placed[placed.len().saturating_sub(16)..];
-            let page = self.allocate_declustered(&mbr, window)?;
-            self.write_node(page, node)?;
-            let disk = self.store.placement(page)?.disk;
-            placed.push((mbr, disk));
-            pages.push(page);
+            let pages = self.write_level_with(&level_nodes, mode)?;
+            if level_nodes.len() == 1 {
+                return self.install_bulk_root(pages[0], level + 1, num_objects);
+            }
+            entries = parent_entries(&level_nodes, &pages)?;
+            level += 1;
         }
-        Ok(pages)
     }
+
+    /// Swaps the bulk-loaded root in for the `create` root leaf.
+    pub(crate) fn install_bulk_root(
+        &mut self,
+        root: PageId,
+        height: u32,
+        num_objects: u64,
+    ) -> Result<()> {
+        let old_root = self.root;
+        self.free_node(old_root)?;
+        self.root = root;
+        self.height = height;
+        self.num_objects = num_objects;
+        Ok(())
+    }
+
+    /// Writes one level of nodes through a [`LevelWriter`].
+    fn write_level_with(&self, nodes: &[Node], mode: PlacementMode) -> Result<Vec<PageId>> {
+        let mut writer = LevelWriter::new(self, mode);
+        for node in nodes {
+            writer.push(node)?;
+        }
+        Ok(writer.into_pages())
+    }
+}
+
+/// Rejects points the build cannot represent: wrong dimensionality or
+/// non-finite coordinates (which would poison sort keys and MBRs).
+pub(crate) fn validate_point(p: &Point, dim: usize) -> Result<()> {
+    if p.dim() != dim {
+        return Err(RStarError::DimensionMismatch {
+            expected: dim,
+            got: p.dim(),
+        });
+    }
+    for c in p.coords() {
+        if !c.is_finite() {
+            return Err(RStarError::InvalidBuild(format!(
+                "non-finite coordinate {c} in bulk input"
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// The coordinate bounds of a set of leaf entries.
@@ -220,7 +374,7 @@ fn point_bounds(entries: &[LeafEntry]) -> (Vec<f64>, Vec<f64>) {
 /// `axis`, splits into slabs, recurses into the next axis, and emits
 /// groups of at most `cap` (and at least `min`, except when fewer items
 /// exist in total).
-fn str_tile<T: Clone>(
+pub(crate) fn str_tile<T: Clone>(
     items: &mut [T],
     cap: usize,
     min: usize,
@@ -237,10 +391,7 @@ fn str_tile<T: Clone>(
         sort_by_axis(items, axis, key);
         return chunk_balanced(items, cap, min);
     }
-    let pages = n.div_ceil(cap);
-    let remaining_dims = (dim - axis) as f64;
-    let slabs = (pages as f64).powf(1.0 / remaining_dims).ceil() as usize;
-    let slab_size = n.div_ceil(slabs).max(cap);
+    let (slab_size, _) = str_slab_size(n, cap, dim, axis);
     sort_by_axis(items, axis, key);
     let mut out = Vec::new();
     let mut start = 0;
@@ -266,18 +417,25 @@ fn str_tile<T: Clone>(
     out
 }
 
+/// The STR slab width at `axis`: `n` items form `ceil(n/cap)` pages,
+/// spread over the exact integer ceil-`(dim-axis)`-th root of that many
+/// slabs. Returns `(slab_size, slabs)`; the external builder cuts at
+/// the same boundaries so both tilings agree.
+pub(crate) fn str_slab_size(n: usize, cap: usize, dim: usize, axis: usize) -> (usize, usize) {
+    let pages = n.div_ceil(cap);
+    let slabs = ceil_root(pages, (dim - axis) as u32);
+    (n.div_ceil(slabs).max(cap), slabs)
+}
+
 fn sort_by_axis<T>(items: &mut [T], axis: usize, key: &impl Fn(&T) -> Point) {
-    items.sort_by(|a, b| {
-        key(a)
-            .coord(axis)
-            .partial_cmp(&key(b).coord(axis))
-            .expect("finite coordinates")
-    });
+    // Coordinates are validated finite on entry; `total_cmp` keeps the
+    // sort panic-free even if a caller sneaks a NaN past validation.
+    items.sort_by(|a, b| key(a).coord(axis).total_cmp(&key(b).coord(axis)));
 }
 
 /// Chunks a sorted run into groups of `cap`, rebalancing the final two
 /// groups so no group falls below `min` (the R\*-tree fill invariant).
-fn chunk_balanced<T: Clone>(items: &[T], cap: usize, min: usize) -> Vec<Vec<T>> {
+pub(crate) fn chunk_balanced<T: Clone>(items: &[T], cap: usize, min: usize) -> Vec<Vec<T>> {
     let n = items.len();
     debug_assert!(n > cap);
     let mut groups: Vec<Vec<T>> = items.chunks(cap).map(|c| c.to_vec()).collect();
@@ -439,17 +597,97 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "2-d only")]
     fn hilbert_rejects_high_dimensions() {
         let pts = points(100, 3, 23);
         let store = Arc::new(ArrayStore::new(2, 1449, 23));
-        let _ = RStarTree::bulk_load_ordered(
+        let err = RStarTree::bulk_load_ordered(
             store,
             RStarConfig::new(3).with_max_entries(8),
             Box::new(ProximityIndex),
             pts,
             PackingOrder::Hilbert,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RStarError::UnsupportedPacking {
+                    order: "Hilbert",
+                    dim: 3
+                }
+            ),
+            "{err}"
         );
+    }
+
+    #[test]
+    fn morton_rejects_too_many_dimensions() {
+        let pts = points(100, 9, 24);
+        let store = Arc::new(ArrayStore::new(2, 1449, 24));
+        let err = RStarTree::bulk_load_ordered(
+            store,
+            RStarConfig::new(9).with_max_entries(8),
+            Box::new(ProximityIndex),
+            pts,
+            PackingOrder::Morton,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RStarError::UnsupportedPacking {
+                    order: "Morton",
+                    dim: 9
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn bulk_load_rejects_non_finite_coordinates() {
+        let store = Arc::new(ArrayStore::new(2, 1449, 25));
+        let err = RStarTree::bulk_load(
+            store,
+            RStarConfig::new(2),
+            Box::new(ProximityIndex),
+            vec![
+                (Point::new(vec![1.0, 2.0]), 0),
+                (Point::new(vec![f64::NAN, 2.0]), 1),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, RStarError::InvalidBuild(_)), "{err}");
+    }
+
+    #[test]
+    fn ceil_root_is_exact_at_boundaries() {
+        // Perfect powers: the float route ceils 27^(1/3) = 3.000…0004 up
+        // to 4; the exact root must return 3.
+        assert_eq!(ceil_root(27, 3), 3);
+        assert_eq!(ceil_root(28, 3), 4);
+        assert_eq!(ceil_root(26, 3), 3);
+        assert_eq!(ceil_root(1_000_000, 2), 1000);
+        assert_eq!(ceil_root(1_000_001, 2), 1001);
+        assert_eq!(ceil_root(999_999, 2), 1000);
+        assert_eq!(ceil_root(1, 5), 1);
+        assert_eq!(ceil_root(0, 3), 0);
+        assert_eq!(ceil_root(7, 1), 7);
+        // Large counts near 2^53 where f64 loses integer precision.
+        let n = (1usize << 53) + 1;
+        let s = ceil_root(n, 2);
+        assert!(s * s >= n && (s - 1) * (s - 1) < n, "s={s}");
+        // Exhaustive property sweep at small scales.
+        for k in 2u32..=6 {
+            for n in 1usize..2000 {
+                let s = ceil_root(n, k);
+                let p = (s as u128).pow(k);
+                assert!(p >= n as u128, "n={n} k={k} s={s}");
+                if s > 1 {
+                    assert!(((s - 1) as u128).pow(k) < n as u128, "n={n} k={k} s={s}");
+                }
+            }
+        }
     }
 
     #[test]

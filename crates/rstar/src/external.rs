@@ -1,0 +1,867 @@
+//! Out-of-core (external-memory) bulk build.
+//!
+//! [`RStarTree::bulk_load`] holds the whole dataset in RAM, sorts it,
+//! and packs leaves — fine at the paper's scales (tens of thousands of
+//! objects), hopeless at the 10M+ scales where declustering over a disk
+//! array actually pays off. This module builds the same tree while
+//! never holding more than `O(run_capacity × jobs)` points in memory:
+//!
+//! 1. **Run formation** — points stream out of a [`PointSource`], are
+//!    validated, tagged with a sort key (an STR axis coordinate mapped
+//!    to its order-preserving integer image, or a space-filling-curve
+//!    key) and a sequence number, and accumulate into bounded runs.
+//!    Each run is sorted in RAM (`--jobs` runs sort in parallel) and
+//!    spilled as fixed-size records through a caller-provided *scratch*
+//!    page store.
+//! 2. **K-way merge** — runs merge `merge_fanin` at a time on a
+//!    `(key, seq)` min-heap; because `seq` is the record's position in
+//!    the previous order, the merge reproduces a *stable* sort exactly,
+//!    and multiple passes handle any run count. Consumed scratch pages
+//!    are freed (and recycled) as they are read.
+//! 3. **Tiling** — STR recurses per axis: the merged stream is cut at
+//!    the same slab boundaries the in-memory tiler would use
+//!    ([`crate::bulk`]'s exact integer ceil-root), slabs respill and
+//!    recurse on the next axis, and any slab that fits in one run
+//!    finishes with the in-memory tiler. Curve orders cut the single
+//!    merged stream straight into leaves. Leaves are written through
+//!    the same [`LevelWriter`] as the in-memory builder; directory
+//!    levels (a few hundred thousand entries even at 10M objects) are
+//!    built in memory.
+//!
+//! Because runs spill through a **separate** scratch store, the
+//! destination store sees exactly the allocation/write sequence of the
+//! in-memory builder — under [`PlacementMode::Trailing`] the resulting
+//! tree is byte-identical to [`RStarTree::bulk_load_ordered`], spilling
+//! or not. [`PlacementMode::SiblingStripe`] instead declusters each
+//! prospective parent's tiles only against one another, striping
+//! siblings across distinct disks.
+//!
+//! Scratch record format: `[key: u128][seq: u64][id: u64][coords: dim × f64]`,
+//! little-endian, packed whole into scratch pages (no record straddles a
+//! page). On error, not-yet-freed scratch pages are simply abandoned —
+//! the scratch store is throwaway by contract.
+
+use crate::bulk::{
+    str_slab_size, str_tile, validate_packing, validate_point, LevelWriter, PlacementMode,
+};
+use crate::entry::{InternalEntry, LeafEntry, ObjectId};
+use crate::node::Node;
+use crate::tree::{RStarError, RStarTree, Result};
+use crate::{Declusterer, PackingOrder, RStarConfig};
+use sqda_geom::Point;
+use sqda_storage::{Bytes, DiskId, PageId, PageStore};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// A re-iterable stream of `(point, object id)` pairs.
+///
+/// The builder makes multiple passes (curve orders need a bounds pass
+/// before the key pass), so [`PointSource::iter`] must yield the same
+/// sequence every time it is called.
+pub trait PointSource {
+    /// Number of points every pass yields.
+    fn len(&self) -> u64;
+    /// Dimensionality of the points.
+    fn dim(&self) -> usize;
+    /// Starts a fresh pass over the points.
+    fn iter(&self) -> Box<dyn Iterator<Item = (Point, u64)> + '_>;
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A [`PointSource`] over an in-memory slice (testing and small inputs).
+pub struct SliceSource<'a> {
+    points: &'a [(Point, u64)],
+}
+
+impl<'a> SliceSource<'a> {
+    /// Wraps a slice of `(point, id)` pairs.
+    pub fn new(points: &'a [(Point, u64)]) -> Self {
+        Self { points }
+    }
+}
+
+impl PointSource for SliceSource<'_> {
+    fn len(&self) -> u64 {
+        self.points.len() as u64
+    }
+
+    fn dim(&self) -> usize {
+        self.points.first().map_or(0, |(p, _)| p.dim())
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = (Point, u64)> + '_> {
+        Box::new(self.points.iter().map(|(p, id)| (p.clone(), *id)))
+    }
+}
+
+/// A [`PointSource`] over a closure that restarts a generator stream —
+/// the bridge from `sqda-datasets`' streaming generators, which never
+/// materialize the dataset.
+pub struct FnSource<F> {
+    len: u64,
+    dim: usize,
+    make: F,
+}
+
+impl<F, I> FnSource<F>
+where
+    F: Fn() -> I,
+    I: Iterator<Item = (Point, u64)> + 'static,
+{
+    /// Wraps `make`, which must produce the same `len`-point sequence
+    /// of `dim`-dimensional points on every call.
+    pub fn new(len: u64, dim: usize, make: F) -> Self {
+        Self { len, dim, make }
+    }
+}
+
+impl<F, I> PointSource for FnSource<F>
+where
+    F: Fn() -> I,
+    I: Iterator<Item = (Point, u64)> + 'static,
+{
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = (Point, u64)> + '_> {
+        Box::new((self.make)())
+    }
+}
+
+/// Tuning knobs for [`RStarTree::bulk_load_external`].
+#[derive(Debug, Clone)]
+pub struct ExternalBuildOptions {
+    /// Maximum points per sort run — the unit of resident memory.
+    /// Clamped up to twice the leaf capacity so every slab can bottom
+    /// out in the in-memory tiler.
+    pub run_capacity: usize,
+    /// Maximum runs merged per pass (clamped to ≥ 2); more passes
+    /// handle any run count.
+    pub merge_fanin: usize,
+    /// Sort-worker threads. Each holds one run, so resident memory is
+    /// `O(run_capacity × jobs)`.
+    pub jobs: usize,
+    /// Input linearization, as for [`RStarTree::bulk_load_ordered`].
+    pub order: PackingOrder,
+    /// Sibling-window policy for page placement. Defaults to
+    /// [`PlacementMode::SiblingStripe`]; use [`PlacementMode::Trailing`]
+    /// to reproduce the in-memory builder byte for byte.
+    pub placement: PlacementMode,
+}
+
+impl Default for ExternalBuildOptions {
+    fn default() -> Self {
+        Self {
+            run_capacity: 1 << 18,
+            merge_fanin: 64,
+            jobs: 1,
+            order: PackingOrder::Str,
+            placement: PlacementMode::SiblingStripe,
+        }
+    }
+}
+
+/// What an external build did: how much spilled and how hard the merge
+/// worked. All fields are deterministic for a fixed input and options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExternalBuildReport {
+    /// Sort runs formed across all external sorts.
+    pub runs: u64,
+    /// Merge passes over the data (0 when nothing spilled).
+    pub merge_passes: u64,
+    /// Scratch pages written in total.
+    pub spilled_pages: u64,
+    /// High-water mark of live scratch pages — the scratch store's
+    /// actual footprint requirement.
+    pub peak_scratch_pages: u64,
+}
+
+impl<S: PageStore> RStarTree<S> {
+    /// Builds a tree by streaming `source` through an external-memory
+    /// sort, holding at most `O(run_capacity × jobs)` points in RAM;
+    /// sort runs spill through the separate `scratch` store. See the
+    /// [module docs](self) for the pipeline and the equivalence
+    /// guarantee with the in-memory builder.
+    ///
+    /// # Errors
+    ///
+    /// As [`RStarTree::bulk_load_ordered`], plus
+    /// [`RStarError::InvalidBuild`] when the source yields a different
+    /// number of points than [`PointSource::len`] promises or the
+    /// scratch page size cannot hold a single record.
+    pub fn bulk_load_external<T: PageStore>(
+        store: Arc<S>,
+        config: RStarConfig,
+        declusterer: Box<dyn Declusterer>,
+        source: &dyn PointSource,
+        scratch: &Arc<T>,
+        opts: &ExternalBuildOptions,
+    ) -> Result<Self> {
+        Self::bulk_load_external_stats(store, config, declusterer, source, scratch, opts)
+            .map(|(tree, _)| tree)
+    }
+
+    /// [`RStarTree::bulk_load_external`], also returning the build's
+    /// [`ExternalBuildReport`].
+    pub fn bulk_load_external_stats<T: PageStore>(
+        store: Arc<S>,
+        config: RStarConfig,
+        declusterer: Box<dyn Declusterer>,
+        source: &dyn PointSource,
+        scratch: &Arc<T>,
+        opts: &ExternalBuildOptions,
+    ) -> Result<(Self, ExternalBuildReport)> {
+        validate_packing(opts.order, config.dim)?;
+        let dim = config.dim;
+        let mut tree = Self::create(store, config, declusterer)?;
+        let n = source.len() as usize;
+        if n == 0 {
+            return Ok((tree, ExternalBuildReport::default()));
+        }
+        let leaf_cap = tree.config.max_leaf_entries;
+        let run_cap = opts.run_capacity.max(2 * leaf_cap);
+        if n <= run_cap {
+            // Small inputs take the in-memory path outright: same tree,
+            // no scratch traffic.
+            let entries = collect_validated(source, dim, n)?;
+            tree.bulk_build_from_entries(entries, opts.order, opts.placement)?;
+            return Ok((tree, ExternalBuildReport::default()));
+        }
+
+        let rec_size = 32 + dim * 8;
+        let per_page = scratch.page_size() / rec_size;
+        if per_page == 0 {
+            return Err(RStarError::InvalidBuild(format!(
+                "scratch page size {} cannot hold a {rec_size}-byte record",
+                scratch.page_size()
+            )));
+        }
+        let mut ctx = BuildCtx {
+            scratch,
+            dim,
+            rec_size,
+            per_page,
+            run_cap,
+            fanin: opts.merge_fanin.max(2),
+            jobs: opts.jobs.max(1),
+            leaf_cap,
+            min_leaf: tree.config.min_leaf_entries(),
+            next_disk: 0,
+            live_pages: 0,
+            report: ExternalBuildReport::default(),
+        };
+
+        let mut writer = LevelWriter::new(&tree, opts.placement);
+        let mut parents: Vec<InternalEntry> = Vec::new();
+        match opts.order {
+            PackingOrder::Str => {
+                str_build(
+                    &mut ctx,
+                    &mut writer,
+                    &mut parents,
+                    Input::Source(source),
+                    n,
+                    0,
+                )?;
+            }
+            PackingOrder::Morton | PackingOrder::Hilbert => {
+                let (lo, hi) = source_bounds(source, dim, n)?;
+                let key = match opts.order {
+                    PackingOrder::Morton => SortKey::Morton { lo: &lo, hi: &hi },
+                    PackingOrder::Hilbert => SortKey::Hilbert { lo: &lo, hi: &hi },
+                    PackingOrder::Str => unreachable!(),
+                };
+                let sorted = external_sort(&mut ctx, Input::Source(source), n, &key)?;
+                stream_leaves(&mut ctx, &mut writer, &mut parents, sorted, n)?;
+            }
+        }
+        drop(writer);
+
+        let report = ctx.report.clone();
+        if parents.len() == 1 {
+            tree.install_bulk_root(parents[0].child, 1, n as u64)?;
+        } else {
+            tree.finish_bulk_from_entries(parents, 1, opts.order, n as u64, opts.placement)?;
+        }
+        Ok((tree, report))
+    }
+}
+
+/// Shared state of one external build.
+struct BuildCtx<'a, T: PageStore> {
+    scratch: &'a Arc<T>,
+    dim: usize,
+    rec_size: usize,
+    per_page: usize,
+    run_cap: usize,
+    fanin: usize,
+    jobs: usize,
+    leaf_cap: usize,
+    min_leaf: usize,
+    next_disk: u32,
+    live_pages: u64,
+    report: ExternalBuildReport,
+}
+
+impl<T: PageStore> BuildCtx<'_, T> {
+    fn alloc_scratch(&mut self) -> Result<PageId> {
+        // Scratch pages round-robin across the scratch store's disks so
+        // spill bandwidth also spreads over the array.
+        let disk = DiskId(self.next_disk % self.scratch.num_disks());
+        self.next_disk = self.next_disk.wrapping_add(1);
+        let page = self.scratch.allocate(disk)?;
+        self.report.spilled_pages += 1;
+        self.live_pages += 1;
+        self.report.peak_scratch_pages = self.report.peak_scratch_pages.max(self.live_pages);
+        Ok(page)
+    }
+
+    fn free_scratch(&mut self, page: PageId) -> Result<()> {
+        self.scratch.free(page)?;
+        self.live_pages -= 1;
+        Ok(())
+    }
+}
+
+/// Input to one external-sort or load step: the original source (first
+/// axis) or a spilled slab from the previous axis.
+enum Input<'a> {
+    Source(&'a dyn PointSource),
+    Spill(Spill),
+}
+
+/// A spilled record stream: `n` records packed into scratch pages in
+/// order.
+struct Spill {
+    pages: Vec<PageId>,
+    n: usize,
+}
+
+/// The sort key of one pass, computed from a record's coordinates.
+enum SortKey<'k> {
+    /// The axis coordinate, mapped to its order-preserving `u64` image
+    /// (matches `f64::total_cmp`, hence the in-memory stable sort).
+    Axis(usize),
+    Morton {
+        lo: &'k [f64],
+        hi: &'k [f64],
+    },
+    Hilbert {
+        lo: &'k [f64],
+        hi: &'k [f64],
+    },
+}
+
+impl SortKey<'_> {
+    fn key_of(&self, coords: &[f64]) -> u128 {
+        match self {
+            SortKey::Axis(a) => u128::from(f64_order_key(coords[*a])),
+            SortKey::Morton { lo, hi } => crate::sfc::morton_key_slice(coords, lo, hi),
+            SortKey::Hilbert { lo, hi } => {
+                u128::from(crate::sfc::hilbert_key_2d_slice(coords, lo, hi))
+            }
+        }
+    }
+}
+
+/// Maps a float to a `u64` whose unsigned order equals IEEE-754
+/// `totalOrder` (what `f64::total_cmp` implements).
+fn f64_order_key(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | 0x8000_0000_0000_0000
+    }
+}
+
+/// One in-RAM record during streaming; `coords` is reused across reads.
+#[derive(Default, Clone)]
+struct Rec {
+    key: u128,
+    seq: u64,
+    id: u64,
+    coords: Vec<f64>,
+}
+
+/// A sorted-run buffer: record heads over a flat coordinate arena.
+#[derive(Default)]
+struct RunBuf {
+    heads: Vec<Head>,
+    coords: Vec<f64>,
+}
+
+#[derive(Clone, Copy)]
+struct Head {
+    key: u128,
+    seq: u64,
+    id: u64,
+    idx: u32,
+}
+
+impl RunBuf {
+    fn push(&mut self, key: u128, seq: u64, id: u64, coords: &[f64]) {
+        let idx = self.heads.len() as u32;
+        self.heads.push(Head { key, seq, id, idx });
+        self.coords.extend_from_slice(coords);
+    }
+}
+
+/// Packs records into scratch pages; no record straddles a page.
+struct SpillWriter {
+    buf: Vec<u8>,
+    pages: Vec<PageId>,
+    n: usize,
+}
+
+impl SpillWriter {
+    fn new<T: PageStore>(ctx: &BuildCtx<'_, T>) -> Self {
+        Self {
+            buf: Vec::with_capacity(ctx.per_page * ctx.rec_size),
+            pages: Vec::new(),
+            n: 0,
+        }
+    }
+
+    fn push<T: PageStore>(
+        &mut self,
+        ctx: &mut BuildCtx<'_, T>,
+        key: u128,
+        seq: u64,
+        id: u64,
+        coords: &[f64],
+    ) -> Result<()> {
+        self.buf.extend_from_slice(&key.to_le_bytes());
+        self.buf.extend_from_slice(&seq.to_le_bytes());
+        self.buf.extend_from_slice(&id.to_le_bytes());
+        for &c in coords {
+            self.buf.extend_from_slice(&c.to_bits().to_le_bytes());
+        }
+        self.n += 1;
+        if self.buf.len() + ctx.rec_size > ctx.per_page * ctx.rec_size {
+            self.flush(ctx)?;
+        }
+        Ok(())
+    }
+
+    fn flush<T: PageStore>(&mut self, ctx: &mut BuildCtx<'_, T>) -> Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let page = ctx.alloc_scratch()?;
+        ctx.scratch
+            .write(page, Bytes::from(std::mem::take(&mut self.buf)))?;
+        self.pages.push(page);
+        Ok(())
+    }
+
+    fn finish<T: PageStore>(mut self, ctx: &mut BuildCtx<'_, T>) -> Result<Spill> {
+        self.flush(ctx)?;
+        Ok(Spill {
+            pages: self.pages,
+            n: self.n,
+        })
+    }
+}
+
+/// Streams a [`Spill`]'s records back, freeing each scratch page as it
+/// is exhausted.
+struct SpillReader {
+    pages: std::vec::IntoIter<PageId>,
+    buf: Bytes,
+    off: usize,
+    in_page: usize,
+    remaining: usize,
+}
+
+impl SpillReader {
+    fn new(spill: Spill) -> Self {
+        Self {
+            pages: spill.pages.into_iter(),
+            buf: Bytes::new(),
+            off: 0,
+            in_page: 0,
+            remaining: spill.n,
+        }
+    }
+
+    /// Reads the next record into `rec`; returns `false` at the end.
+    fn next<T: PageStore>(&mut self, ctx: &mut BuildCtx<'_, T>, rec: &mut Rec) -> Result<bool> {
+        if self.remaining == 0 {
+            return Ok(false);
+        }
+        if self.in_page == 0 {
+            let page = self.pages.next().ok_or_else(|| {
+                RStarError::InvalidBuild("spill run shorter than its record count".into())
+            })?;
+            self.buf = ctx.scratch.read(page)?;
+            ctx.free_scratch(page)?;
+            self.in_page = self.remaining.min(ctx.per_page);
+            if self.buf.len() < self.in_page * ctx.rec_size {
+                return Err(RStarError::InvalidBuild(
+                    "truncated spill page in scratch store".into(),
+                ));
+            }
+            self.off = 0;
+        }
+        let b = &self.buf[self.off..self.off + ctx.rec_size];
+        rec.key = u128::from_le_bytes(b[0..16].try_into().expect("sized slice"));
+        rec.seq = u64::from_le_bytes(b[16..24].try_into().expect("sized slice"));
+        rec.id = u64::from_le_bytes(b[24..32].try_into().expect("sized slice"));
+        rec.coords.clear();
+        for d in 0..ctx.dim {
+            let o = 32 + d * 8;
+            rec.coords.push(f64::from_bits(u64::from_le_bytes(
+                b[o..o + 8].try_into().expect("sized slice"),
+            )));
+        }
+        self.off += ctx.rec_size;
+        self.in_page -= 1;
+        self.remaining -= 1;
+        Ok(true)
+    }
+}
+
+fn length_mismatch(expected: usize, got: usize) -> RStarError {
+    RStarError::InvalidBuild(format!(
+        "point source yielded {got} points but promised {expected}"
+    ))
+}
+
+/// Collects and validates a whole source (the no-spill path).
+fn collect_validated(source: &dyn PointSource, dim: usize, n: usize) -> Result<Vec<LeafEntry>> {
+    let mut entries = Vec::with_capacity(n);
+    for (p, id) in source.iter() {
+        validate_point(&p, dim)?;
+        entries.push(LeafEntry::new(p, ObjectId(id)));
+        if entries.len() > n {
+            return Err(length_mismatch(n, entries.len()));
+        }
+    }
+    if entries.len() != n {
+        return Err(length_mismatch(n, entries.len()));
+    }
+    Ok(entries)
+}
+
+/// The coordinate bounds of a source (validating pass for curve keys).
+fn source_bounds(source: &dyn PointSource, dim: usize, n: usize) -> Result<(Vec<f64>, Vec<f64>)> {
+    let mut lo = vec![f64::INFINITY; dim];
+    let mut hi = vec![f64::NEG_INFINITY; dim];
+    let mut count = 0usize;
+    for (p, _) in source.iter() {
+        validate_point(&p, dim)?;
+        for d in 0..dim {
+            let c = p.coord(d);
+            if c < lo[d] {
+                lo[d] = c;
+            }
+            if c > hi[d] {
+                hi[d] = c;
+            }
+        }
+        count += 1;
+    }
+    if count != n {
+        return Err(length_mismatch(n, count));
+    }
+    Ok((lo, hi))
+}
+
+/// External merge sort of `input` by `(key, seq)`: bounded sorted runs,
+/// then k-way merge passes. Returns a single sorted spill.
+fn external_sort<T: PageStore>(
+    ctx: &mut BuildCtx<'_, T>,
+    input: Input<'_>,
+    n: usize,
+    key: &SortKey<'_>,
+) -> Result<Spill> {
+    // ---- Run formation ----
+    let mut runs: Vec<Spill> = Vec::new();
+    let mut pending: Vec<RunBuf> = Vec::new();
+    let mut cur = RunBuf::default();
+    let dim = ctx.dim;
+    let flush_pending = |ctx: &mut BuildCtx<'_, T>,
+                         pending: &mut Vec<RunBuf>,
+                         runs: &mut Vec<Spill>|
+     -> Result<()> {
+        sort_bufs(pending, ctx.jobs);
+        for buf in pending.drain(..) {
+            let mut w = SpillWriter::new(ctx);
+            for h in &buf.heads {
+                let c = &buf.coords[h.idx as usize * dim..(h.idx as usize + 1) * dim];
+                w.push(ctx, h.key, h.seq, h.id, c)?;
+            }
+            runs.push(w.finish(ctx)?);
+            ctx.report.runs += 1;
+        }
+        Ok(())
+    };
+    match input {
+        Input::Source(source) => {
+            let mut seq = 0u64;
+            for (p, id) in source.iter() {
+                validate_point(&p, dim)?;
+                cur.push(key.key_of(p.coords()), seq, id, p.coords());
+                seq += 1;
+                if seq as usize > n {
+                    return Err(length_mismatch(n, seq as usize));
+                }
+                if cur.heads.len() == ctx.run_cap {
+                    pending.push(std::mem::take(&mut cur));
+                    if pending.len() == ctx.jobs {
+                        flush_pending(ctx, &mut pending, &mut runs)?;
+                    }
+                }
+            }
+            if seq as usize != n {
+                return Err(length_mismatch(n, seq as usize));
+            }
+        }
+        Input::Spill(spill) => {
+            let mut r = SpillReader::new(spill);
+            let mut rec = Rec::default();
+            while r.next(ctx, &mut rec)? {
+                cur.push(key.key_of(&rec.coords), rec.seq, rec.id, &rec.coords);
+                if cur.heads.len() == ctx.run_cap {
+                    pending.push(std::mem::take(&mut cur));
+                    if pending.len() == ctx.jobs {
+                        flush_pending(ctx, &mut pending, &mut runs)?;
+                    }
+                }
+            }
+        }
+    }
+    if !cur.heads.is_empty() {
+        pending.push(cur);
+    }
+    flush_pending(ctx, &mut pending, &mut runs)?;
+
+    // ---- Merge passes ----
+    while runs.len() > 1 {
+        ctx.report.merge_passes += 1;
+        let groups: Vec<Vec<Spill>> = {
+            let mut gs = Vec::new();
+            let mut it = runs.into_iter().peekable();
+            while it.peek().is_some() {
+                gs.push(it.by_ref().take(ctx.fanin).collect());
+            }
+            gs
+        };
+        let mut next = Vec::with_capacity(groups.len());
+        for group in groups {
+            next.push(merge_group(ctx, group)?);
+        }
+        runs = next;
+    }
+    runs.pop()
+        .ok_or_else(|| RStarError::InvalidBuild("external sort of an empty stream".into()))
+}
+
+/// Sorts each pending run buffer by `(key, seq)`, `jobs` at a time.
+fn sort_bufs(bufs: &mut [RunBuf], jobs: usize) {
+    if jobs <= 1 || bufs.len() <= 1 {
+        for b in bufs.iter_mut() {
+            b.heads.sort_unstable_by_key(|h| (h.key, h.seq));
+        }
+    } else {
+        std::thread::scope(|s| {
+            for b in bufs.iter_mut() {
+                s.spawn(move || b.heads.sort_unstable_by_key(|h| (h.key, h.seq)));
+            }
+        });
+    }
+}
+
+/// Merges sorted runs on a `(key, seq)` min-heap into one sorted spill.
+fn merge_group<T: PageStore>(ctx: &mut BuildCtx<'_, T>, group: Vec<Spill>) -> Result<Spill> {
+    let mut readers: Vec<SpillReader> = group.into_iter().map(SpillReader::new).collect();
+    let mut recs: Vec<Rec> = vec![Rec::default(); readers.len()];
+    let mut heap: BinaryHeap<Reverse<(u128, u64, usize)>> =
+        BinaryHeap::with_capacity(readers.len());
+    for (i, r) in readers.iter_mut().enumerate() {
+        if r.next(ctx, &mut recs[i])? {
+            heap.push(Reverse((recs[i].key, recs[i].seq, i)));
+        }
+    }
+    let mut w = SpillWriter::new(ctx);
+    while let Some(Reverse((key, seq, i))) = heap.pop() {
+        w.push(ctx, key, seq, recs[i].id, &recs[i].coords)?;
+        if readers[i].next(ctx, &mut recs[i])? {
+            heap.push(Reverse((recs[i].key, recs[i].seq, i)));
+        }
+    }
+    w.finish(ctx)
+}
+
+/// Loads a (run-sized) input into leaf entries, preserving its order.
+fn load_entries<T: PageStore>(
+    ctx: &mut BuildCtx<'_, T>,
+    input: Input<'_>,
+    n: usize,
+) -> Result<Vec<LeafEntry>> {
+    match input {
+        Input::Source(source) => collect_validated(source, ctx.dim, n),
+        Input::Spill(spill) => {
+            let mut r = SpillReader::new(spill);
+            let mut rec = Rec::default();
+            let mut out = Vec::with_capacity(n);
+            while r.next(ctx, &mut rec)? {
+                out.push(LeafEntry::new(
+                    Point::new(rec.coords.clone()),
+                    ObjectId(rec.id),
+                ));
+            }
+            if out.len() != n {
+                return Err(length_mismatch(n, out.len()));
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Emits one packed leaf and records its parent entry.
+fn emit_leaf<S: PageStore>(
+    writer: &mut LevelWriter<'_, S>,
+    parents: &mut Vec<InternalEntry>,
+    tile: &[LeafEntry],
+) -> Result<()> {
+    let node = Node::from_leaf_entries(tile);
+    let mbr = node
+        .mbr()
+        .ok_or_else(|| RStarError::InvalidBuild("empty leaf tile".into()))?;
+    let count = node.object_count();
+    let page = writer.push(&node)?;
+    parents.push(InternalEntry::new(mbr, page, count));
+    Ok(())
+}
+
+/// External STR: sorts by `axis`, cuts the in-memory tiler's exact slab
+/// boundaries, and recurses; slabs that fit one run finish in memory.
+fn str_build<S: PageStore, T: PageStore>(
+    ctx: &mut BuildCtx<'_, T>,
+    writer: &mut LevelWriter<'_, S>,
+    parents: &mut Vec<InternalEntry>,
+    input: Input<'_>,
+    n: usize,
+    axis: usize,
+) -> Result<()> {
+    let dim = ctx.dim;
+    if n <= ctx.run_cap {
+        let mut items = load_entries(ctx, input, n)?;
+        let tiles = str_tile(
+            &mut items,
+            ctx.leaf_cap,
+            ctx.min_leaf,
+            dim,
+            axis,
+            &|e: &LeafEntry| e.point.clone(),
+        );
+        for tile in tiles {
+            emit_leaf(writer, parents, &tile)?;
+        }
+        return Ok(());
+    }
+    let sorted = external_sort(ctx, input, n, &SortKey::Axis(axis))?;
+    if axis + 1 >= dim {
+        return stream_leaves(ctx, writer, parents, sorted, n);
+    }
+    let (slab_size, _) = str_slab_size(n, ctx.leaf_cap, dim, axis);
+    let slabs = split_slabs(ctx, sorted, n, slab_size)?;
+    for spill in slabs {
+        let len = spill.n;
+        str_build(ctx, writer, parents, Input::Spill(spill), len, axis + 1)?;
+    }
+    Ok(())
+}
+
+/// Cuts a sorted spill at STR slab boundaries, retagging `seq` with the
+/// record's position in the sorted order so the next axis's merge stays
+/// stable (exactly what the in-memory stable sort preserves).
+fn split_slabs<T: PageStore>(
+    ctx: &mut BuildCtx<'_, T>,
+    sorted: Spill,
+    n: usize,
+    slab_size: usize,
+) -> Result<Vec<Spill>> {
+    let min = ctx.min_leaf;
+    let mut out = Vec::new();
+    let mut r = SpillReader::new(sorted);
+    let mut rec = Rec::default();
+    let mut seq = 0u64;
+    let mut start = 0usize;
+    while start < n {
+        let mut end = (start + slab_size).min(n);
+        // Mirror `str_tile`'s tail guard: never strand a slab smaller
+        // than the minimum fill.
+        let tail = n - end;
+        if tail > 0 && tail < min {
+            end = n - min;
+        }
+        let mut w = SpillWriter::new(ctx);
+        for _ in start..end {
+            if !r.next(ctx, &mut rec)? {
+                return Err(length_mismatch(n, seq as usize));
+            }
+            w.push(ctx, rec.key, seq, rec.id, &rec.coords)?;
+            seq += 1;
+        }
+        out.push(w.finish(ctx)?);
+        start = end;
+    }
+    Ok(out)
+}
+
+/// Cuts one fully sorted stream into consecutive leaves at
+/// `chunk_balanced`'s exact boundaries (`n > leaf_cap` is guaranteed
+/// here because `n > run_capacity ≥ 2 × leaf_cap`).
+fn stream_leaves<S: PageStore, T: PageStore>(
+    ctx: &mut BuildCtx<'_, T>,
+    writer: &mut LevelWriter<'_, S>,
+    parents: &mut Vec<InternalEntry>,
+    sorted: Spill,
+    n: usize,
+) -> Result<()> {
+    let cap = ctx.leaf_cap;
+    let min = ctx.min_leaf;
+    let groups = n.div_ceil(cap);
+    let last = n - cap * (groups - 1);
+    let (penult, final_) = if last < min {
+        (cap - (min - last), min)
+    } else {
+        (cap, last)
+    };
+    let mut r = SpillReader::new(sorted);
+    let mut rec = Rec::default();
+    let mut tile: Vec<LeafEntry> = Vec::with_capacity(cap);
+    for g in 0..groups {
+        let size = if g + 1 == groups {
+            final_
+        } else if g + 2 == groups {
+            penult
+        } else {
+            cap
+        };
+        tile.clear();
+        for _ in 0..size {
+            if !r.next(ctx, &mut rec)? {
+                return Err(length_mismatch(n, g * cap));
+            }
+            tile.push(LeafEntry::new(
+                Point::new(rec.coords.clone()),
+                ObjectId(rec.id),
+            ));
+        }
+        emit_leaf(writer, parents, &tile)?;
+    }
+    Ok(())
+}

@@ -53,6 +53,7 @@ pub mod config;
 pub mod decluster;
 mod delete;
 pub mod entry;
+pub mod external;
 mod insert;
 pub mod node;
 pub mod query;
@@ -62,10 +63,11 @@ pub mod split_policy;
 pub mod tree;
 pub mod validate;
 
-pub use bulk::PackingOrder;
+pub use bulk::{PackingOrder, PlacementMode};
 pub use config::RStarConfig;
 pub use decluster::Declusterer;
 pub use entry::{InternalEntry, LeafEntry, ObjectId};
+pub use external::{ExternalBuildOptions, ExternalBuildReport, FnSource, PointSource, SliceSource};
 pub use node::{InternalRef, Node, NodeMut};
 pub use query::knn::{
     best_first_search, best_first_search_with, knn_with_scratch, knn_with_stats, BestFirstScratch,

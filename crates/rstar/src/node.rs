@@ -136,6 +136,15 @@ impl Node {
         self.level
     }
 
+    /// Resident size in bytes: the struct itself plus its two flat heap
+    /// buffers. This is the entry weight a byte-budgeted node cache
+    /// ([`sqda_storage::NodeCache::new_bytes`]) evicts on.
+    pub fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + std::mem::size_of_val::<[f64]>(&self.coords)
+            + std::mem::size_of_val::<[u64]>(&self.payload)
+    }
+
     /// `true` for leaf nodes.
     #[inline]
     pub fn is_leaf(&self) -> bool {

@@ -30,10 +30,16 @@ fn quantize(value: f64, lo: f64, hi: f64) -> u64 {
 ///
 /// Panics if `dim > 8` (the key would overflow 128 bits).
 pub fn morton_key(point: &Point, lo: &[f64], hi: &[f64]) -> u128 {
-    let dim = point.dim();
+    morton_key_slice(point.coords(), lo, hi)
+}
+
+/// [`morton_key`] over a raw coordinate slice (the external builder's
+/// spill records carry bare coordinates, not [`Point`]s).
+pub(crate) fn morton_key_slice(coords: &[f64], lo: &[f64], hi: &[f64]) -> u128 {
+    let dim = coords.len();
     assert!(dim <= 8, "Morton keys support up to 8 dimensions");
     let quantized: Vec<u64> = (0..dim)
-        .map(|d| quantize(point.coord(d), lo[d], hi[d]))
+        .map(|d| quantize(coords[d], lo[d], hi[d]))
         .collect();
     let mut key: u128 = 0;
     for bit in (0..BITS).rev() {
@@ -51,10 +57,15 @@ pub fn morton_key(point: &Point, lo: &[f64], hi: &[f64]) -> u128 {
 ///
 /// Panics unless the point is 2-dimensional.
 pub fn hilbert_key_2d(point: &Point, lo: &[f64], hi: &[f64]) -> u64 {
-    assert_eq!(point.dim(), 2, "Hilbert keys are 2-d only");
+    hilbert_key_2d_slice(point.coords(), lo, hi)
+}
+
+/// [`hilbert_key_2d`] over a raw coordinate slice.
+pub(crate) fn hilbert_key_2d_slice(coords: &[f64], lo: &[f64], hi: &[f64]) -> u64 {
+    assert_eq!(coords.len(), 2, "Hilbert keys are 2-d only");
     let n: u64 = 1 << BITS;
-    let mut x = quantize(point.coord(0), lo[0], hi[0]);
-    let mut y = quantize(point.coord(1), lo[1], hi[1]);
+    let mut x = quantize(coords[0], lo[0], hi[0]);
+    let mut y = quantize(coords[1], lo[1], hi[1]);
     let mut d: u64 = 0;
     let mut s = n / 2;
     while s > 0 {

@@ -23,6 +23,17 @@ pub enum RStarError {
         /// The offending point's dimensionality.
         got: usize,
     },
+    /// The requested packing order does not support this dimensionality
+    /// (Hilbert is 2-d only; Morton keys stop at 8 dimensions).
+    UnsupportedPacking {
+        /// The packing order's name.
+        order: &'static str,
+        /// The offending dimensionality.
+        dim: usize,
+    },
+    /// A bulk-build invariant was violated (empty slab, non-finite
+    /// coordinate, malformed run file); the build aborts cleanly.
+    InvalidBuild(String),
 }
 
 impl From<StorageError> for RStarError {
@@ -48,6 +59,10 @@ impl std::fmt::Display for RStarError {
                     "dimension mismatch: tree is {expected}-d, point is {got}-d"
                 )
             }
+            RStarError::UnsupportedPacking { order, dim } => {
+                write!(f, "{order} packing does not support {dim}-d data")
+            }
+            RStarError::InvalidBuild(msg) => write!(f, "invalid bulk build: {msg}"),
         }
     }
 }

@@ -1,0 +1,136 @@
+//! Property-based tests: the out-of-core bulk builder is equivalent to
+//! the in-memory one for arbitrary point sets, run capacities and
+//! packing orders — byte-identical pages under trailing placement, and
+//! the same answers as brute force regardless of how many runs the
+//! build spilled.
+
+use proptest::prelude::*;
+use sqda_geom::Point;
+use sqda_rstar::decluster::ProximityIndex;
+use sqda_rstar::{
+    ExternalBuildOptions, PackingOrder, PlacementMode, RStarConfig, RStarTree, SliceSource,
+};
+use sqda_storage::{ArrayStore, PageStore};
+use std::sync::Arc;
+
+const PAGE: usize = 1024;
+
+fn point_strategy() -> impl Strategy<Value = [f64; 2]> {
+    ((-1000.0..1000.0f64), (-1000.0..1000.0f64)).prop_map(|(x, y)| [x, y])
+}
+
+fn order_strategy() -> impl Strategy<Value = PackingOrder> {
+    prop_oneof![
+        Just(PackingOrder::Str),
+        Just(PackingOrder::Morton),
+        Just(PackingOrder::Hilbert),
+    ]
+}
+
+fn to_points(raw: &[[f64; 2]]) -> Vec<(Point, u64)> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, c)| (Point::new(c.to_vec()), i as u64))
+        .collect()
+}
+
+fn build_external(
+    pts: &[(Point, u64)],
+    order: PackingOrder,
+    run_capacity: usize,
+    jobs: usize,
+    placement: PlacementMode,
+) -> RStarTree<ArrayStore> {
+    let scratch = Arc::new(ArrayStore::with_page_size(4, 1449, PAGE, 9));
+    let source = SliceSource::new(pts);
+    let opts = ExternalBuildOptions {
+        run_capacity,
+        merge_fanin: 3,
+        jobs,
+        order,
+        placement,
+    };
+    RStarTree::bulk_load_external(
+        Arc::new(ArrayStore::with_page_size(4, 1449, PAGE, 42)),
+        RStarConfig::with_page_size(2, PAGE),
+        Box::new(ProximityIndex),
+        &source,
+        &scratch,
+        &opts,
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Under trailing placement the external build writes the very same
+    /// bytes as the in-memory build, for any point set, any packing
+    /// order, any run capacity and any parallelism.
+    #[test]
+    fn external_build_matches_in_memory(
+        raw in proptest::collection::vec(point_strategy(), 1..400),
+        order in order_strategy(),
+        run_capacity in 16usize..128,
+        jobs in 1usize..4,
+    ) {
+        let pts = to_points(&raw);
+        let mem = RStarTree::bulk_load_ordered(
+            Arc::new(ArrayStore::with_page_size(4, 1449, PAGE, 42)),
+            RStarConfig::with_page_size(2, PAGE),
+            Box::new(ProximityIndex),
+            pts.clone(),
+            order,
+        )
+        .unwrap();
+        let ext = build_external(&pts, order, run_capacity, jobs, PlacementMode::Trailing);
+
+        prop_assert_eq!(mem.root_page(), ext.root_page());
+        prop_assert_eq!(mem.root_level(), ext.root_level());
+        let mut frontier = vec![mem.root_page()];
+        while let Some(page) = frontier.pop() {
+            prop_assert_eq!(
+                mem.store().read(page).unwrap(),
+                ext.store().read(page).unwrap(),
+                "page {:?} differs", page
+            );
+            let node = mem.read_node(page).unwrap();
+            if !node.is_leaf() {
+                frontier.extend(node.internal_iter().map(|e| e.child));
+            }
+        }
+    }
+
+    /// Whatever the spill pattern or placement mode, the external tree
+    /// answers k-NN exactly like brute force and keeps its invariants.
+    #[test]
+    fn external_tree_answers_like_brute_force(
+        raw in proptest::collection::vec(point_strategy(), 1..300),
+        order in order_strategy(),
+        run_capacity in 16usize..96,
+        stripe in any::<bool>(),
+        qx in -1100.0..1100.0f64,
+        qy in -1100.0..1100.0f64,
+        k in 1usize..15,
+    ) {
+        let pts = to_points(&raw);
+        let placement = if stripe {
+            PlacementMode::SiblingStripe
+        } else {
+            PlacementMode::Trailing
+        };
+        let tree = build_external(&pts, order, run_capacity, 2, placement);
+        tree.validate().unwrap().unwrap();
+        prop_assert_eq!(tree.num_objects() as usize, pts.len());
+
+        let q = Point::new(vec![qx, qy]);
+        let got = tree.knn(&q, k).unwrap();
+        let mut want: Vec<f64> = pts.iter().map(|(p, _)| q.dist_sq(p)).collect();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        want.truncate(k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!((g.dist_sq - w).abs() < 1e-9, "got {} want {}", g.dist_sq, w);
+        }
+    }
+}

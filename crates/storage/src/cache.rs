@@ -74,6 +74,12 @@ pub struct LruCache<V = Bytes> {
     free: Vec<usize>,
     hits: u64,
     misses: u64,
+    // Byte-budget mode: evict on resident bytes instead of entry count,
+    // so cache memory stays bounded regardless of entry size (`None`
+    // weigher = classic entry-count mode, weights all zero).
+    byte_budget: Option<usize>,
+    weigher: Option<Box<dyn Fn(&V) -> usize + Send>>,
+    resident_bytes: usize,
 }
 
 struct EntrySlot<V> {
@@ -81,6 +87,7 @@ struct EntrySlot<V> {
     data: V,
     prev: usize,
     next: usize,
+    weight: usize,
 }
 
 const NIL: usize = usize::MAX;
@@ -102,7 +109,47 @@ impl<V: Clone> LruCache<V> {
             free: Vec::new(),
             hits: 0,
             misses: 0,
+            byte_budget: None,
+            weigher: None,
+            resident_bytes: 0,
         }
+    }
+
+    /// Creates a byte-budgeted cache: entries are weighed by `weigher`
+    /// at insertion, and the LRU tail is evicted until the *resident
+    /// bytes* fit `budget` — the entry count is unbounded. The budget is
+    /// a hard cap, never momentarily exceeded: a single entry heavier
+    /// than the whole budget is not cached at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero.
+    pub fn with_byte_budget(budget: usize, weigher: impl Fn(&V) -> usize + Send + 'static) -> Self {
+        assert!(budget > 0, "cache byte budget must be positive");
+        Self {
+            capacity: usize::MAX,
+            map: HashMap::with_hasher(PageIdHashBuilder),
+            entries: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            hits: 0,
+            misses: 0,
+            byte_budget: Some(budget),
+            weigher: Some(Box::new(weigher)),
+            resident_bytes: 0,
+        }
+    }
+
+    /// Bytes currently resident, as reported by the weigher (always 0
+    /// in entry-count mode).
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// The byte budget, if this cache evicts by bytes.
+    pub fn byte_budget(&self) -> Option<usize> {
+        self.byte_budget
     }
 
     /// Number of cached pages.
@@ -179,32 +226,65 @@ impl<V: Clone> LruCache<V> {
         }
     }
 
-    /// Inserts (or refreshes) a page, evicting the LRU entry if full.
-    /// Returns the evicted page id, if any.
+    /// Evicts the LRU tail slot, returning its page id.
+    fn evict_tail(&mut self) -> PageId {
+        let lru = self.tail;
+        debug_assert_ne!(lru, NIL);
+        let victim = self.entries[lru].page;
+        self.unlink(lru);
+        self.map.remove(&victim);
+        self.free.push(lru);
+        self.resident_bytes -= self.entries[lru].weight;
+        victim
+    }
+
+    /// Inserts (or refreshes) a page, evicting LRU entries as needed —
+    /// one at most in entry-count mode, any number in byte-budget mode.
+    /// Returns the last evicted page id, if any.
     pub fn insert(&mut self, page: PageId, data: V) -> Option<PageId> {
+        let weight = self.weigher.as_ref().map_or(0, |w| w(&data));
+        if let Some(budget) = self.byte_budget {
+            if weight > budget {
+                // Heavier than the whole budget: never cached (and any
+                // stale copy must go — the caller's data superseded it).
+                self.invalidate(page);
+                return None;
+            }
+        }
+        let mut evicted = None;
         if let Some(&idx) = self.map.get(&page) {
+            self.resident_bytes = self.resident_bytes - self.entries[idx].weight + weight;
             self.entries[idx].data = data;
+            self.entries[idx].weight = weight;
             if self.head != idx {
                 self.unlink(idx);
                 self.push_front(idx);
             }
-            return None;
+            if let Some(budget) = self.byte_budget {
+                // A heavier refresh can push the total over budget; the
+                // refreshed entry itself sits at the head, so the loop
+                // terminates within budget at the latest when only it
+                // remains.
+                while self.resident_bytes > budget {
+                    evicted = Some(self.evict_tail());
+                }
+            }
+            return evicted;
         }
-        let mut evicted = None;
         if self.map.len() == self.capacity {
-            let lru = self.tail;
-            debug_assert_ne!(lru, NIL);
-            let victim = self.entries[lru].page;
-            self.unlink(lru);
-            self.map.remove(&victim);
-            self.free.push(lru);
-            evicted = Some(victim);
+            evicted = Some(self.evict_tail());
+        }
+        if let Some(budget) = self.byte_budget {
+            while self.resident_bytes + weight > budget && self.tail != NIL {
+                evicted = Some(self.evict_tail());
+            }
         }
         let slot = EntrySlot {
             page,
             data,
             prev: NIL,
             next: NIL,
+            weight,
         };
         let idx = if let Some(idx) = self.free.pop() {
             self.entries[idx] = slot;
@@ -215,6 +295,7 @@ impl<V: Clone> LruCache<V> {
         };
         self.map.insert(page, idx);
         self.push_front(idx);
+        self.resident_bytes += weight;
         evicted
     }
 
@@ -223,6 +304,7 @@ impl<V: Clone> LruCache<V> {
         if let Some(idx) = self.map.remove(&page) {
             self.unlink(idx);
             self.free.push(idx);
+            self.resident_bytes -= self.entries[idx].weight;
             true
         } else {
             false
@@ -238,6 +320,7 @@ impl<V: Clone> LruCache<V> {
         self.tail = NIL;
         self.hits = 0;
         self.misses = 0;
+        self.resident_bytes = 0;
     }
 }
 
@@ -250,8 +333,13 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently cached.
     pub len: usize,
-    /// Maximum number of entries.
+    /// Maximum number of entries (0 for byte-budgeted caches, whose
+    /// entry count is unbounded).
     pub capacity: usize,
+    /// Bytes currently resident (0 in entry-count mode).
+    pub resident_bytes: usize,
+    /// The byte budget (0 in entry-count mode).
+    pub byte_budget: usize,
 }
 
 impl CacheStats {
@@ -294,6 +382,21 @@ impl<T> NodeCache<T> {
         }
     }
 
+    /// Creates a byte-budgeted cache: `weigher` reports each node's
+    /// resident size and the cache evicts by total bytes instead of
+    /// entry count, so query memory stays `O(budget)` at any tree size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero.
+    pub fn new_bytes(budget: usize, weigher: impl Fn(&T) -> usize + Send + 'static) -> Self {
+        Self {
+            inner: Mutex::new(LruCache::with_byte_budget(budget, move |node: &Arc<T>| {
+                weigher(node)
+            })),
+        }
+    }
+
     /// Looks up a node, marking it most-recently-used on a hit. A hit is
     /// an `Arc` pointer bump — O(1) in the node's size.
     pub fn get(&self, page: PageId) -> Option<Arc<T>> {
@@ -324,7 +427,13 @@ impl<T> NodeCache<T> {
             hits: c.hits(),
             misses: c.misses(),
             len: c.len(),
-            capacity: c.capacity,
+            capacity: if c.byte_budget().is_some() {
+                0
+            } else {
+                c.capacity
+            },
+            resident_bytes: c.resident_bytes(),
+            byte_budget: c.byte_budget().unwrap_or(0),
         }
     }
 
@@ -547,6 +656,98 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, StorageError::PageNotFound(bogus));
         assert_eq!(cache.stats().len, 0);
+    }
+
+    #[test]
+    fn byte_budget_is_a_hard_cap() {
+        let mut c: LruCache<Bytes> = LruCache::with_byte_budget(64, |b: &Bytes| b.len());
+        for i in 0..100u64 {
+            let size = (i % 30 + 1) as usize;
+            c.insert(page(i), Bytes::from(vec![0u8; size]));
+            assert!(
+                c.resident_bytes() <= 64,
+                "budget exceeded after insert {i}: {}",
+                c.resident_bytes()
+            );
+            assert!(c.len() >= 1);
+        }
+        // Touch patterns keep the invariant too.
+        for i in 90..100u64 {
+            c.get(page(i));
+            assert!(c.resident_bytes() <= 64);
+        }
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_first() {
+        let mut c: LruCache<Bytes> = LruCache::with_byte_budget(10, |b: &Bytes| b.len());
+        c.insert(page(1), Bytes::from(vec![0u8; 4]));
+        c.insert(page(2), Bytes::from(vec![0u8; 4]));
+        // Touch 1 so 2 is the LRU victim when 8 more bytes arrive.
+        c.get(page(1));
+        let evicted = c.insert(page(3), Bytes::from(vec![0u8; 6]));
+        assert_eq!(evicted, Some(page(2)));
+        assert!(c.get(page(1)).is_some());
+        assert!(c.get(page(3)).is_some());
+        assert_eq!(c.resident_bytes(), 10);
+    }
+
+    #[test]
+    fn byte_budget_rejects_oversized_entries() {
+        let mut c: LruCache<Bytes> = LruCache::with_byte_budget(8, |b: &Bytes| b.len());
+        c.insert(page(1), Bytes::from(vec![0u8; 8]));
+        assert_eq!(c.len(), 1);
+        // Whole-budget-sized entries fit exactly; larger ones never cache,
+        // and a stale resident copy is dropped rather than served.
+        c.insert(page(1), Bytes::from(vec![0u8; 9]));
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.resident_bytes(), 0);
+        c.insert(page(2), Bytes::from(vec![0u8; 100]));
+        assert!(c.get(page(2)).is_none());
+        assert_eq!(c.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn byte_budget_refresh_adjusts_weight() {
+        let mut c: LruCache<Bytes> = LruCache::with_byte_budget(12, |b: &Bytes| b.len());
+        c.insert(page(1), Bytes::from(vec![0u8; 4]));
+        c.insert(page(2), Bytes::from(vec![0u8; 4]));
+        c.insert(page(3), Bytes::from(vec![0u8; 4]));
+        // Growing page 3 to 10 bytes must push out the two LRU entries.
+        c.insert(page(3), Bytes::from(vec![0u8; 10]));
+        assert_eq!(c.resident_bytes(), 10);
+        assert_eq!(c.len(), 1);
+        assert!(c.get(page(1)).is_none() && c.get(page(2)).is_none());
+        assert_eq!(c.get(page(3)).unwrap().len(), 10);
+        // Shrinking releases budget.
+        c.insert(page(3), Bytes::from(vec![0u8; 2]));
+        assert_eq!(c.resident_bytes(), 2);
+        c.invalidate(page(3));
+        assert_eq!(c.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn node_cache_byte_mode_stats() {
+        let c: NodeCache<Vec<u64>> = NodeCache::new_bytes(64, |v: &Vec<u64>| v.len() * 8);
+        c.insert(page(1), vec![0u64; 4]); // 32 bytes
+        c.insert(page(2), vec![0u64; 4]); // 32 bytes
+        let st = c.stats();
+        assert_eq!(
+            (st.len, st.capacity, st.resident_bytes, st.byte_budget),
+            (2, 0, 64, 64)
+        );
+        // A third node evicts the LRU one to stay within budget.
+        c.insert(page(3), vec![0u64; 4]);
+        let st = c.stats();
+        assert_eq!((st.len, st.resident_bytes), (2, 64));
+        assert!(c.get(page(1)).is_none());
+        c.clear();
+        assert_eq!(c.stats().resident_bytes, 0);
+        // Entry-count caches report zero byte fields.
+        let plain: NodeCache<u64> = NodeCache::new(2);
+        plain.insert(page(1), 7);
+        let st = plain.stats();
+        assert_eq!((st.capacity, st.resident_bytes, st.byte_budget), (2, 0, 0));
     }
 
     #[test]

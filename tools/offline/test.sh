@@ -60,6 +60,7 @@ t simkernel_queueing crates/simkernel/tests/queueing_theory.rs $EXT_SIM $EXT_RAN
 t rstar_tree_ops crates/rstar/tests/tree_ops.rs $ALL_EXT
 t rstar_persistence crates/rstar/tests/persistence.rs $ALL_EXT
 t rstar_layout_equivalence crates/rstar/tests/layout_equivalence.rs $ALL_EXT
+t rstar_external_build crates/rstar/tests/external_build.rs $ALL_EXT
 t sstree_ops crates/sstree/tests/sstree_ops.rs $ALL_EXT
 t analysis_validation crates/analysis/tests/validation.rs $ALL_EXT
 t core_algorithms crates/core/tests/algorithms.rs $ALL_EXT
