@@ -16,7 +16,16 @@
 //! 4. [`DiskServiceModel`] and [`ResponseEstimate`] — an M/M/1-style
 //!    queueing prediction of mean query response time for a given
 //!    algorithm I/O profile (accesses + batch structure) at arrival rate
-//!    λ.
+//!    λ;
+//! 5. [`predict_knn`] — the shared end-to-end k-NN prediction (profile →
+//!    accesses → batches → response) that the CLI, the serve-time
+//!    `EXPLAIN` verb and the validation experiments all funnel through;
+//! 6. [`DeviceCalibration`] — service-time terms fitted from observed
+//!    executions (event traces or live disk totals), persisted as
+//!    `calibration.json` and applied back onto [`SystemParams`] so the
+//!    estimators predict with measured constants.
+//!
+//! [`SystemParams`]: sqda_simkernel::SystemParams
 //!
 //! The estimators are validated against the event-driven simulation in
 //! this crate's tests and the `analysis_validation` experiment binary:
@@ -25,10 +34,14 @@
 //! — the accuracy class such closed forms are known to achieve on
 //! low-dimensional data.
 
+mod calibration;
+mod predict;
 mod profile;
 mod queueing;
 mod selectivity;
 
+pub use calibration::{DeviceCalibration, CALIBRATION_SCHEMA};
+pub use predict::{predict_knn, QueryPrediction};
 pub use profile::{LevelProfile, TreeProfile};
 pub use queueing::{estimate_response, DiskServiceModel, QueryIoProfile, ResponseEstimate};
 pub use selectivity::{expected_knn_accesses, expected_knn_radius, expected_range_accesses};

@@ -42,7 +42,7 @@ impl TreeProfile {
         let mut stack = vec![tree.root_page()];
         let mut space_extent = vec![0.0; dim];
         while let Some(page) = stack.pop() {
-            let node = tree.read_node(page)?;
+            let node = tree.read_node_profiled(page)?;
             let level = node.level() as usize;
             nodes[level] += 1;
             if let Some(mbr) = node.mbr() {
@@ -141,6 +141,11 @@ mod tests {
         // Uniform unit-cube data: density ≈ n.
         let density = p.density().unwrap();
         assert!(density > 2500.0 && density < 3700.0, "density {density}");
+        // Profiling I/O is book-kept separately from query I/O: one
+        // profiled read per node in the tree, none attributed elsewhere.
+        let io = tree.io_stats();
+        let total_nodes: u64 = p.levels.iter().map(|l| l.nodes).sum();
+        assert_eq!(io.profile_reads, total_nodes);
     }
 
     #[test]

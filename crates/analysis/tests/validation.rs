@@ -3,7 +3,8 @@
 //! (response times).
 
 use sqda_analysis::{
-    estimate_response, expected_knn_accesses, expected_range_accesses, QueryIoProfile, TreeProfile,
+    estimate_response, expected_knn_accesses, expected_range_accesses, DeviceCalibration,
+    DiskServiceModel, QueryIoProfile, TreeProfile,
 };
 use sqda_core::{exec::run_query, AlgorithmKind, Simulation, Workload};
 use sqda_datasets::uniform;
@@ -105,6 +106,43 @@ fn response_estimate_tracks_simulation_below_saturation() {
             "λ={lambda}: predicted {predicted:.4}, simulated {simulated:.4}"
         );
     }
+}
+
+#[test]
+fn calibration_recovers_simulated_service_terms() {
+    // The acceptance pin for device calibration: run a workload on the
+    // simulated backend with known `SystemParams`, fit a
+    // `DeviceCalibration` from the recorded trace, and recover the
+    // model's seek / rotation / fixed service terms within 10%. The
+    // sampled means converge on the analytic integrals because both
+    // assume uniformly random cylinder placement.
+    let (tree, dataset) = build(10_000, 2, 5);
+    let params = SystemParams::with_disks(5);
+    let truth = DiskServiceModel::from_params(&params.disk);
+    let sim = Simulation::new(&tree, params.clone()).unwrap();
+    let queries = dataset.sample_queries(60, 23);
+    let workload = Workload::poisson(queries, 20, 2.0, 29);
+    let mut recorder = sqda_obs::CollectingRecorder::default();
+    sim.run_recorded(AlgorithmKind::Crss, &workload, 31, &mut recorder)
+        .unwrap();
+    let cal = DeviceCalibration::fit_from_events(recorder.events()).unwrap();
+    assert!(cal.samples > 200, "need a real sample size, got {}", cal.samples);
+    for (name, fitted, expected) in [
+        ("seek", cal.mean_seek_s, truth.mean_seek_s),
+        ("rotation", cal.mean_rotation_s, truth.mean_rotation_s),
+        ("fixed", cal.fixed_s, truth.fixed_s),
+    ] {
+        let rel = (fitted - expected).abs() / expected;
+        assert!(
+            rel < 0.10,
+            "{name}: fitted {fitted:.6}, model {expected:.6}, off by {:.1}%",
+            rel * 100.0
+        );
+    }
+    // Applying the fit reproduces the fitted terms, closing the loop:
+    // calibrated parameters predict with the measured service time.
+    let applied = DiskServiceModel::from_params(&cal.apply(&params).disk);
+    assert!((applied.mean_service_s() - cal.mean_service_s()).abs() < 1e-9);
 }
 
 #[test]

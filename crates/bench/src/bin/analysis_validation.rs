@@ -1,18 +1,20 @@
 //! Extension — analytical model validation (the paper's future-work item
 //! "estimating the response time of a query" by analysis).
 //!
-//! Predicted vs. measured, side by side: expected WOPTSS node accesses
-//! from the Minkowski-sum selectivity model, and mean CRSS response time
-//! from the M/M/1-style queueing model, against the logical executor and
-//! the event-driven simulator respectively.
+//! Predicted vs. measured, side by side, through the same
+//! [`sqda_analysis::predict_knn`] entry point that powers `sqda
+//! estimate`, `sqda explain` and the serve EXPLAIN verb: expected
+//! WOPTSS node accesses from the Minkowski-sum selectivity model against
+//! the logical executor, and mean CRSS response time from the
+//! M/M/1-style queueing model against the event-driven simulator.
 
-use sqda_analysis::{estimate_response, expected_knn_accesses, QueryIoProfile, TreeProfile};
+use sqda_analysis::{predict_knn, TreeProfile};
 use sqda_bench::{
     build_tree, f2, f4, mean_nodes, rep_query_sets, rep_seed,
     report::{BinReport, Direction},
     simulate, ExpOptions, ResultsTable,
 };
-use sqda_core::{exec::run_query, AlgorithmKind};
+use sqda_core::AlgorithmKind;
 use sqda_datasets::uniform;
 use sqda_obs::MetricSummary;
 use sqda_simkernel::SystemParams;
@@ -23,8 +25,8 @@ fn main() {
     let dataset = uniform(opts.population(50_000), 2, 2001);
     let tree = build_tree(&dataset, 10, 2010);
     let query_sets = rep_query_sets(&dataset, &opts, 2011);
-    let queries = &query_sets[0];
     let profile = TreeProfile::measure(&tree).expect("profile");
+    let params = SystemParams::with_disks(tree.store().num_disks());
     let mut report = BinReport::new("analysis_validation", &opts);
     report
         .param("dataset", dataset.name.clone())
@@ -33,7 +35,8 @@ fn main() {
         .param("sim_seed", 2012)
         .master_seed(2011);
 
-    // Part 1: node-access prediction vs WOPTSS measurement.
+    // Part 1: node-access prediction vs WOPTSS measurement. The λ below
+    // only affects the queueing half of the prediction, not accesses.
     let mut t1 = ResultsTable::new(
         format!(
             "Analysis — predicted vs measured node accesses (set: {}, n={})",
@@ -43,7 +46,9 @@ fn main() {
         &["k", "predicted", "measured (WOPTSS)", "ratio"],
     );
     for k in [1usize, 10, 50, 100, 400] {
-        let predicted = expected_knn_accesses(&profile, k).expect("non-degenerate");
+        let predicted = predict_knn(&profile, &params, tree.height(), k, 1.0)
+            .expect("non-degenerate")
+            .accesses;
         let measured_reps: Vec<f64> = (0..opts.reps)
             .map(|rep| mean_nodes(&tree, &query_sets[rep], k, AlgorithmKind::Woptss))
             .collect();
@@ -66,34 +71,19 @@ fn main() {
     t1.print();
     t1.write_csv(&opts.out_dir, "analysis_node_accesses");
 
-    // Part 2: response-time prediction vs simulation.
-    // The I/O profile feeds the closed-form model; rep 0's query set keeps
-    // the profile deterministic and comparable across runs.
-    let params = SystemParams::with_disks(tree.store().num_disks());
+    // Part 2: response-time prediction vs simulation — fully analytic,
+    // the exact numbers a serve EXPLAIN reply would carry as
+    // `predicted_*` for this tree at each arrival rate.
     let k = 20;
-    let mut accesses = 0.0;
-    let mut batches = 0.0;
-    for q in queries {
-        let mut algo = AlgorithmKind::Crss
-            .build(&tree, q.clone(), k)
-            .expect("algo");
-        let run = run_query(&tree, algo.as_mut()).expect("query");
-        accesses += run.nodes_visited as f64;
-        batches += run.batches as f64;
-    }
-    let io = QueryIoProfile {
-        accesses: accesses / queries.len() as f64,
-        batches: batches / queries.len() as f64,
-    };
     let mut t2 = ResultsTable::new(
         format!(
-            "Analysis — predicted vs simulated CRSS response (k={k}, A={:.1}, B={:.1})",
-            io.accesses, io.batches
+            "Analysis — predicted vs simulated CRSS response (k={k}, analytic model)"
         ),
         &["lambda", "rho", "predicted (s)", "simulated (s)", "ratio"],
     );
     for lambda in [1.0f64, 2.0, 5.0, 10.0, 20.0] {
-        let est = estimate_response(&params, io, lambda);
+        let p = predict_knn(&profile, &params, tree.height(), k, lambda)
+            .expect("non-degenerate");
         let sim_reps: Vec<f64> = (0..opts.reps)
             .map(|rep| {
                 simulate(
@@ -108,18 +98,23 @@ fn main() {
             })
             .collect();
         let simulated = MetricSummary::from_samples(&sim_reps);
-        report.metric(
-            "mean_response_s",
-            &[("lambda", lambda.to_string()), ("k", k.to_string())],
-            simulated,
-        );
-        let (pred_str, ratio_str) = match est.response_s {
-            Some(p) => (f4(p), f2(p / simulated.mean)),
+        let labels = [("lambda", lambda.to_string()), ("k", k.to_string())];
+        report.metric("mean_response_s", &labels, simulated);
+        if let Some(pred) = p.response_s {
+            report.metric_dir(
+                "residual_response_s",
+                &labels,
+                MetricSummary::from_samples(&[pred - simulated.mean]),
+                Direction::Info,
+            );
+        }
+        let (pred_str, ratio_str) = match p.response_s {
+            Some(pred) => (f4(pred), f2(pred / simulated.mean)),
             None => ("unstable".into(), "—".into()),
         };
         t2.row(vec![
             format!("{lambda}"),
-            f2(est.utilization),
+            f2(p.utilization),
             pred_str,
             f4(simulated.mean),
             ratio_str,

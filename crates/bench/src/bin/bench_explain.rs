@@ -1,0 +1,227 @@
+//! `bench_explain`: the introspection loop, measured — per-query
+//! `QueryExplain` records from the real-clock engine against the
+//! analytical predictions (Minkowski-sum access model + M/M/1 service
+//! model), swept over k, plus a replayed device calibration fitted from
+//! a recorded simulated run of the same tree.
+//!
+//! The node-access residuals are deterministic (the engine performs the
+//! same logical work as the executor, pinned by the backend-parity
+//! test), so `mean_observed_accesses` and `mean_abs_residual_accesses`
+//! are regression-gated: a drift between model and implementation fails
+//! CI. Wall-clock latencies depend on the host and stay
+//! `Direction::Info`.
+//!
+//! Emits `bench_explain.csv` plus `BENCH_explain.json` under `--out`
+//! (default `results/`).
+
+use sqda_analysis::{predict_knn, DeviceCalibration, TreeProfile};
+use sqda_bench::{
+    experiment_page_size, f2, rep_query_sets,
+    report::{BinReport, Direction},
+    ExpOptions, ResultsTable,
+};
+use sqda_core::{AlgorithmKind, RealTimeEngine, Simulation, Workload};
+use sqda_datasets::uniform;
+use sqda_obs::{MetricSummary, Prediction};
+use sqda_rstar::decluster::ProximityIndex;
+use sqda_rstar::{Node, RStarConfig, RStarTree};
+use sqda_simkernel::SystemParams;
+use sqda_storage::{FileStore, NodeCache, ThreadedFileBackend};
+use std::sync::Arc;
+
+const DISKS: u32 = 8;
+const KIND: AlgorithmKind = AlgorithmKind::Crss;
+const LAMBDA: f64 = 1.0;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let dim = 2;
+    let page_size = experiment_page_size(dim);
+    let dataset = uniform(opts.population(20_000), dim, 4601);
+    let ks: &[usize] = if opts.quick {
+        &[5, 20]
+    } else {
+        &[1, 5, 20, 50, 100]
+    };
+
+    // Persist the tree: EXPLAIN is a serving-stack feature, so the
+    // records come from the same FileStore + threaded-backend engine
+    // `sqda serve` runs.
+    let dir = std::env::temp_dir().join(format!("sqda-bench-explain-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store =
+        Arc::new(FileStore::create(&dir, DISKS, 1449, page_size, 4602).expect("create store"));
+    let mut tree = RStarTree::create(
+        store.clone(),
+        RStarConfig::with_page_size(dim, page_size),
+        Box::new(ProximityIndex),
+    )
+    .expect("create tree");
+    for (i, p) in dataset.points.iter().enumerate() {
+        tree.insert(p.clone(), i as u64).expect("insert");
+    }
+    store.sync().expect("sync store");
+    tree.set_node_cache(Arc::new(NodeCache::<Node>::new(4096)));
+
+    let query_sets = rep_query_sets(&dataset, &opts, 4603);
+    let profile = TreeProfile::measure(&tree).expect("profile");
+    let params = SystemParams::with_disks(DISKS);
+
+    // Replayed calibration: record a simulated run under known
+    // `SystemParams` and fit the device service terms back out of the
+    // trace — the offline counterpart of the fit `sqda serve` performs
+    // from its live disk counters at shutdown.
+    let mut recorder = sqda_obs::CollectingRecorder::default();
+    Simulation::new(&tree, params.clone())
+        .expect("simulation")
+        .run_recorded(
+            KIND,
+            &Workload::poisson(query_sets[0].clone(), 10, 2.0, 4604),
+            4605,
+            &mut recorder,
+        )
+        .expect("simulated run");
+    let calibration = DeviceCalibration::fit_from_events(recorder.events());
+
+    let mut report = BinReport::new("bench_explain", &opts);
+    report
+        .param("dataset", dataset.name.clone())
+        .param("disks", DISKS)
+        .param("algorithm", KIND.name())
+        .param("page_size", page_size)
+        .param("lambda", LAMBDA)
+        .param("queries", opts.queries())
+        .master_seed(4603);
+    if let Some(cal) = &calibration {
+        report.metric_dir(
+            "calibration_mean_service_ms",
+            &[],
+            MetricSummary::from_samples(&[cal.mean_service_s() * 1e3]),
+            Direction::Info,
+        );
+    }
+
+    let backend = Arc::new(ThreadedFileBackend::new(store.clone()));
+    let engine = RealTimeEngine::new(&tree, backend).expect("real-clock engine");
+
+    let mut table = ResultsTable::new(
+        format!(
+            "bench_explain — predicted vs observed per-query work \
+             (set: {}, n={}, {DISKS} disks, {}, λ={LAMBDA})",
+            dataset.name,
+            dataset.len(),
+            KIND.name(),
+        ),
+        &[
+            "k",
+            "predicted_A",
+            "observed_A",
+            "|residual|",
+            "resid_%",
+            "predicted_ms",
+            "observed_ms",
+        ],
+    );
+    let mut json_points: Vec<String> = Vec::new();
+    let mut sample: Option<String> = None;
+    for &k in ks {
+        let p = predict_knn(&profile, &params, tree.height(), k, LAMBDA)
+            .expect("non-degenerate data space");
+        let pred = Prediction {
+            accesses: p.accesses,
+            batches: p.batches,
+            utilization: p.utilization,
+            response_ms: p.response_s.map(|r| r * 1e3).unwrap_or(f64::INFINITY),
+        };
+        let mut obs_acc_reps = Vec::new();
+        let mut abs_resid_reps = Vec::new();
+        let mut obs_ms_reps = Vec::new();
+        for qs in &query_sets {
+            let mut acc = 0.0;
+            let mut resid = 0.0;
+            let mut ms = 0.0;
+            for q in qs {
+                let (rec, answers) = engine
+                    .explain_query(KIND, q.clone(), k, LAMBDA, false, Some(pred))
+                    .expect("explain query");
+                assert_eq!(rec.answers, answers.len(), "explain answer count");
+                acc += rec.nodes as f64;
+                resid += rec.residual_accesses().expect("prediction attached").abs();
+                ms += rec.response_ms;
+                if sample.is_none() {
+                    sample = Some(rec.to_json());
+                }
+            }
+            let n = qs.len() as f64;
+            obs_acc_reps.push(acc / n);
+            abs_resid_reps.push(resid / n);
+            obs_ms_reps.push(ms / n);
+        }
+        let observed = MetricSummary::from_samples(&obs_acc_reps);
+        let residual = MetricSummary::from_samples(&abs_resid_reps);
+        let obs_ms = MetricSummary::from_samples(&obs_ms_reps);
+        let labels = [("k", k.to_string())];
+        report.metric("mean_observed_accesses", &labels, observed);
+        report.metric("mean_abs_residual_accesses", &labels, residual);
+        report.metric_dir(
+            "predicted_accesses",
+            &labels,
+            MetricSummary::from_samples(&[pred.accesses]),
+            Direction::Info,
+        );
+        report.metric_dir("mean_observed_response_ms", &labels, obs_ms, Direction::Info);
+        let pred_ms_str = if pred.response_ms.is_finite() {
+            format!("{:.4}", pred.response_ms)
+        } else {
+            "null".to_string()
+        };
+        table.row(vec![
+            k.to_string(),
+            f2(pred.accesses),
+            f2(observed.mean),
+            f2(residual.mean),
+            f2(100.0 * residual.mean / pred.accesses),
+            if pred.response_ms.is_finite() {
+                f2(pred.response_ms)
+            } else {
+                "unstable".into()
+            },
+            format!("{:.4}", obs_ms.mean),
+        ]);
+        json_points.push(format!(
+            "{{\"k\":{k},\"predicted_accesses\":{:.4},\"observed_accesses\":{:.4},\
+             \"mean_abs_residual_accesses\":{:.4},\"predicted_batches\":{:.4},\
+             \"utilization\":{:.6},\"predicted_response_ms\":{pred_ms_str},\
+             \"observed_response_ms\":{:.4}}}",
+            pred.accesses, observed.mean, residual.mean, pred.batches, pred.utilization,
+            obs_ms.mean
+        ));
+    }
+    table.print();
+    table.write_csv(&opts.out_dir, "bench_explain");
+
+    std::fs::create_dir_all(&opts.out_dir).expect("create results dir");
+    let path = opts.out_dir.join("BENCH_explain.json");
+    let cal_json = calibration
+        .as_ref()
+        .map(DeviceCalibration::to_json)
+        .unwrap_or_else(|| "null".to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"bench_explain\",\n  \"config\": {{\n    \
+         \"disks\": {DISKS},\n    \"algorithm\": \"{}\",\n    \
+         \"page_size\": {page_size},\n    \"population\": {},\n    \
+         \"queries\": {},\n    \"lambda\": {LAMBDA},\n    \"reps\": {}\n  }},\n  \
+         \"calibration\": {cal_json},\n  \"sample\": {},\n  \
+         \"points\": [\n    {}\n  ]\n}}\n",
+        KIND.name(),
+        dataset.len(),
+        opts.queries(),
+        opts.reps,
+        sample.unwrap_or_else(|| "null".into()),
+        json_points.join(",\n    ")
+    );
+    std::fs::write(&path, json).expect("write BENCH_explain.json");
+    eprintln!("  wrote {}", path.display());
+    report.finish(&opts);
+    std::fs::remove_dir_all(&dir).ok();
+}

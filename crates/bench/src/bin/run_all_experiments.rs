@@ -61,6 +61,7 @@ const EXPERIMENTS: &[&str] = &[
     "bench_serve",
     "bench_hotpath",
     "bench_scale",
+    "bench_explain",
 ];
 
 struct Finished {

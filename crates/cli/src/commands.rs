@@ -2,17 +2,17 @@
 
 use crate::args::{parse_point, Args};
 use crate::meta::TreeMeta;
-use sqda_analysis::{estimate_response, expected_knn_accesses, QueryIoProfile, TreeProfile};
-use sqda_core::{exec::run_query, AlgorithmKind, Simulation, Workload};
+use sqda_analysis::{predict_knn, DeviceCalibration, TreeProfile};
+use sqda_core::{exec::run_query, AlgorithmKind, RealTimeEngine, Simulation, Workload};
 use sqda_datasets::Dataset;
 use sqda_geom::Point;
-use sqda_obs::{metrics_document, trace_document, CollectingRecorder, Event};
+use sqda_obs::{metrics_document, trace_document, CollectingRecorder, Event, Prediction};
 use sqda_rstar::decluster::{
     AreaBalance, DataBalance, Declusterer, ProximityIndex, RandomAssign, RoundRobin,
 };
-use sqda_rstar::{ExternalBuildOptions, PointSource, RStarConfig, RStarTree, SplitPolicy};
+use sqda_rstar::{ExternalBuildOptions, Node, PointSource, RStarConfig, RStarTree, SplitPolicy};
 use sqda_simkernel::{FaultPlan, SimTime, SystemParams};
-use sqda_storage::{FileStore, PageId, PageStore};
+use sqda_storage::{FileStore, NodeCache, PageId, PageStore, ThreadedFileBackend};
 use std::error::Error;
 use std::path::Path;
 use std::sync::Arc;
@@ -50,6 +50,35 @@ pub(crate) fn algo_by_name(name: &str) -> Result<AlgorithmKind, Box<dyn Error + 
         "woptss" => AlgorithmKind::Woptss,
         other => return Err(format!("unknown algorithm {other:?}").into()),
     })
+}
+
+/// Loads `calibration.json` beside the store (unless `--uncalibrated`)
+/// and applies it to the paper-default parameters, so analytical
+/// commands predict with the service terms a previous `sqda serve` run
+/// measured. A malformed file is reported and ignored.
+pub(crate) fn calibrated_params(
+    store_dir: &str,
+    num_disks: u32,
+    args: &Args,
+) -> (SystemParams, Option<DeviceCalibration>) {
+    let base = SystemParams::with_disks(num_disks);
+    if args.flag("uncalibrated") {
+        return (base, None);
+    }
+    let path = DeviceCalibration::path_for(Path::new(store_dir));
+    if !path.exists() {
+        return (base, None);
+    }
+    match DeviceCalibration::load(&path) {
+        Ok(cal) => {
+            let params = cal.apply(&base);
+            (params, Some(cal))
+        }
+        Err(e) => {
+            eprintln!("warning: ignoring calibration: {e}");
+            (base, None)
+        }
+    }
 }
 
 pub(crate) fn open_tree(
@@ -389,16 +418,24 @@ pub fn stats(args: &Args) -> CmdResult {
 
 /// `sqda simulate`
 pub fn simulate(args: &Args) -> CmdResult {
-    let (tree, _) = open_tree(args.required("store")?)?;
+    let store_dir = args.required("store")?.to_string();
+    let (tree, _) = open_tree(&store_dir)?;
     let k: usize = args.get_or("k", 10)?;
     let lambda: f64 = args.get_or("lambda", 5.0)?;
     let num_queries: usize = args.get_or("queries", 100)?;
     let seed: u64 = args.get_or("seed", 0)?;
     let kind = algo_by_name(args.get("algo").unwrap_or("crss"))?;
+    let (base, calibration) = calibrated_params(&store_dir, tree.store().num_disks(), args);
+    if let Some(cal) = &calibration {
+        println!(
+            "calibration      : {} samples ({})",
+            cal.samples, cal.source
+        );
+    }
     let params = SystemParams {
         mirrored_reads: args.flag("mirrored"),
         num_cpus: args.get_or("cpus", 1)?,
-        ..SystemParams::with_disks(tree.store().num_disks())
+        ..base
     };
     let trace = args.get("trace").map(str::to_string);
     let metrics = args.get("metrics").map(str::to_string);
@@ -481,27 +518,66 @@ pub fn simulate(args: &Args) -> CmdResult {
 
 /// `sqda estimate`
 pub fn estimate(args: &Args) -> CmdResult {
-    let (tree, _) = open_tree(args.required("store")?)?;
+    let store_dir = args.required("store")?.to_string();
+    let (tree, _) = open_tree(&store_dir)?;
     let k: usize = args.get_or("k", 10)?;
     let lambda: f64 = args.get_or("lambda", 5.0)?;
     let profile = TreeProfile::measure(&tree)?;
-    let Some(accesses) = expected_knn_accesses(&profile, k) else {
+    let (params, calibration) = calibrated_params(&store_dir, tree.store().num_disks(), args);
+    let Some(p) = predict_knn(&profile, &params, tree.height(), k, lambda) else {
         return Err("degenerate data space; no analytical estimate".into());
     };
-    let params = SystemParams::with_disks(tree.store().num_disks());
-    let u = params.num_disks as f64;
-    let io = QueryIoProfile {
-        accesses,
-        batches: (accesses / u).max(tree.height() as f64),
-    };
-    let est = estimate_response(&params, io, lambda);
-    println!("expected node accesses : {accesses:.1} (weak-optimal)");
-    println!("assumed batches        : {:.1}", io.batches);
-    println!("disk utilization ρ     : {:.3}", est.utilization);
-    match est.response_s {
+    if let Some(cal) = &calibration {
+        println!(
+            "calibration            : {} samples ({})",
+            cal.samples, cal.source
+        );
+    }
+    println!("expected node accesses : {:.1} (weak-optimal)", p.accesses);
+    println!("assumed batches        : {:.1}", p.batches);
+    println!("disk utilization ρ     : {:.3}", p.utilization);
+    match p.response_s {
         Some(r) => println!("predicted response     : {r:.4} s"),
         None => println!("predicted response     : UNSTABLE (ρ ≥ 1)"),
     }
+    Ok(())
+}
+
+/// `sqda explain` — run one k-NN query through the real-clock engine
+/// with the introspection probe armed and print its [`sqda_obs::
+/// QueryExplain`] record as one-line JSON: observed per-level node
+/// accesses, batch sizes, threshold trajectory, per-disk reads, cache
+/// split and timing breakdown next to the analytical prediction
+/// (calibrated when the store carries a `calibration.json`) and the
+/// observed-minus-predicted residuals.
+pub fn explain(args: &Args) -> CmdResult {
+    let store_dir = args.required("store")?.to_string();
+    let (mut tree, _) = open_tree(&store_dir)?;
+    let coords = parse_point(args.required("point")?)?;
+    let k: usize = args.get_or("k", 10)?;
+    let lambda: f64 = args.get_or("lambda", 1.0)?;
+    let kind = algo_by_name(args.get("algo").unwrap_or("crss"))?;
+    let cache: usize = args.get_or("cache", 4096)?;
+    if cache > 0 {
+        tree.set_node_cache(Arc::new(NodeCache::<Node>::new(cache)));
+    }
+    let point = Point::try_new(coords)?;
+    if point.dim() != tree.dim() {
+        return Err(format!("query dim {} but tree dim {}", point.dim(), tree.dim()).into());
+    }
+    let profile = TreeProfile::measure(&tree)?;
+    let (params, calibration) = calibrated_params(&store_dir, tree.store().num_disks(), args);
+    let predicted = predict_knn(&profile, &params, tree.height(), k, lambda).map(|p| Prediction {
+        accesses: p.accesses,
+        batches: p.batches,
+        utilization: p.utilization,
+        response_ms: p.response_s.map(|r| r * 1e3).unwrap_or(f64::INFINITY),
+    });
+    let backend = Arc::new(ThreadedFileBackend::new(Arc::clone(tree.store())));
+    let engine = RealTimeEngine::new(&tree, backend)?;
+    let (record, _) =
+        engine.explain_query(kind, point, k, lambda, calibration.is_some(), predicted)?;
+    println!("{}", record.to_json());
     Ok(())
 }
 

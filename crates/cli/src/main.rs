@@ -8,6 +8,7 @@
 //! sqda stats    --store ./mystore
 //! sqda simulate --store ./mystore --k 10 --lambda 5 --queries 100
 //! sqda estimate --store ./mystore --k 10 --lambda 5
+//! sqda explain  --store ./mystore --point 0.42,0.37 --k 10
 //! sqda serve    --store ./mystore --port 7878
 //! sqda report   --results-dir results --out report.html
 //! ```
@@ -60,15 +61,27 @@ COMMANDS:
    profiles.)
   estimate   analytical response-time prediction (no simulation)
              --store <dir> [--k <k>=10] [--lambda <q/s>=5]
+             [--uncalibrated]
+  explain    run one k-NN query and print a one-line JSON introspection
+             record: observed per-level accesses, batches, threshold
+             trajectory, per-disk reads, cache split and timings next
+             to the analytical prediction and residuals
+             --store <dir> --point <x,y,...> [--k <k>=10]
+             [--algo bbss|fpss|crss|woptss=crss] [--lambda <q/s>=1]
+             [--cache <pages>=4096] [--uncalibrated]
+  (simulate / estimate / explain load <store>/calibration.json when
+   present — fitted device service terms written by a prior serve run —
+   unless --uncalibrated is given.)
   serve      answer k-NN queries over TCP with the real-clock engine
              --store <dir> [--port <p>=0 (0 = ephemeral)]
              [--backend file|inline=file] [--cache <pages>=4096]
              [--cache-bytes <bytes>=0 (overrides --cache: hard byte cap)]
              [--flight-cap <events>=0] [--slow-query-ms <ms>]
-             [--slow-query-log <file.jsonl>]
+             [--slow-query-log <file.jsonl>] [--uncalibrated]
              [--trace <file>] [--metrics <file>]
   (line protocol, one reply per request line:
      QUERY <x,y,...> <k> [bbss|fpss|crss|woptss]  ->  OK <n> <id>:<dist>...
+     EXPLAIN <x,y,...> <k> [algo] -> one-line JSON introspection record
      PING -> PONG   STATS -> counters   QUIT / SHUTDOWN -> BYE
      METRICS -> Prometheus text exposition, read until the '# EOF' line
      DUMP-TRACE <file> -> write the flight-recorder ring as a trace file)
@@ -76,7 +89,9 @@ COMMANDS:
    DUMP-TRACE; --slow-query-ms / --slow-query-log append a JSONL
    breakdown per query at or over the threshold; --trace implies a
    flight ring and writes it at shutdown, --metrics writes a JSON
-   metrics snapshot at shutdown.)
+   metrics snapshot at shutdown; at shutdown serve also refits device
+   service terms from the live disk counters and writes
+   <store>/calibration.json unless --uncalibrated.)
   report     render a results directory as a self-contained HTML dashboard
              (per-figure curves with 95% CI bands, fault-sweep and
              hot-path trends, run manifests, raw tables)
@@ -90,7 +105,7 @@ fn main() {
         print!("{HELP}");
         return;
     }
-    let args = match Args::parse(argv, &["bulk", "mirrored", "external"]) {
+    let args = match Args::parse(argv, &["bulk", "mirrored", "external", "uncalibrated"]) {
         Ok(a) => a,
         Err(e) => fail(&e),
     };
@@ -102,6 +117,7 @@ fn main() {
         "stats" => commands::stats(&args),
         "simulate" => commands::simulate(&args),
         "estimate" => commands::estimate(&args),
+        "explain" => commands::explain(&args),
         "serve" => serve::serve(&args),
         "report" => report::report(&args),
         other => {

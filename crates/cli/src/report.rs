@@ -108,6 +108,7 @@ pub fn build_data_json(dir: &Path) -> Result<String, Box<dyn Error + Send + Sync
     let summary = read_valid_json(&dir.join("BENCH_summary.json"));
     let fault = read_valid_json(&dir.join("BENCH_fault.json"));
     let hotpath = read_valid_json(&dir.join("BENCH_hotpath.json"));
+    let explain = read_valid_json(&dir.join("BENCH_explain.json"));
 
     // Standalone schema-v2 fragments; the dashboard overlays them on the
     // summary's merged `benches` object (same content when both exist).
@@ -160,6 +161,7 @@ pub fn build_data_json(dir: &Path) -> Result<String, Box<dyn Error + Send + Sync
     w.field_raw("csvs", &csvs);
     w.field_raw("fault", fault.as_deref().unwrap_or("null"));
     w.field_raw("hotpath", hotpath.as_deref().unwrap_or("null"));
+    w.field_raw("explain", explain.as_deref().unwrap_or("null"));
     Ok(w.finish())
 }
 
@@ -543,6 +545,40 @@ if (DATA.hotpath) {
   app.appendChild(tiles);
 }
 
+// query introspection: predicted vs observed per-query work, device
+// calibration fitted from the replayed trace
+if (DATA.explain && Array.isArray(DATA.explain.points) && DATA.explain.points.length) {
+  app.appendChild(el("h2", "", "Query introspection — analytical model vs observed execution"));
+  if (DATA.explain.calibration) {
+    const c = DATA.explain.calibration;
+    const tiles = el("div", "tiles");
+    for (const [lbl, v] of [["calibrated seek (ms)", c.mean_seek_s * 1e3],
+                            ["calibrated rotation (ms)", c.mean_rotation_s * 1e3],
+                            ["fixed service (ms)", c.fixed_s * 1e3],
+                            ["calibration samples", c.samples]]) {
+      const t = el("div", "tile");
+      t.appendChild(el("div", "lbl", lbl));
+      t.appendChild(el("div", "val", fmt(v)));
+      tiles.appendChild(t);
+    }
+    app.appendChild(tiles);
+  }
+  const acc = new Map([["predicted", []], ["observed", []]]);
+  const resid = new Map([["abs residual", []]]);
+  for (const p of DATA.explain.points) {
+    acc.get("predicted").push({ x: p.k, y: p.predicted_accesses, ci: 0 });
+    acc.get("observed").push({ x: p.k, y: p.observed_accesses, ci: 0 });
+    resid.get("abs residual").push({ x: p.k, y: p.mean_abs_residual_accesses, ci: 0 });
+  }
+  for (const m of [acc, resid]) for (const sp of m.values()) sp.sort((a, b) => a.x - b.x);
+  const grid = el("div", "grid2");
+  grid.appendChild(chartCard({ bench: "bench_explain", metric: "node_accesses",
+    facet: "", xKey: "k", series: acc }));
+  grid.appendChild(chartCard({ bench: "bench_explain", metric: "abs_residual_accesses",
+    facet: "", xKey: "k", series: resid }));
+  app.appendChild(grid);
+}
+
 // provenance: one row per manifest
 const manifestNames = Object.keys(DATA.manifests || {}).sort();
 if (manifestNames.length) {
@@ -655,7 +691,7 @@ mod tests {
              \"created_unix\":1700000000}}}},\
              \"csvs\":[{{\"name\":\"fig99_demo\",\"columns\":[\"k\",\"BBSS\",\"CRSS\"],\
              \"rows\":[[\"1\",\"0.10\",\"0.05\"],[\"10\",\"0.20\",\"0.08\"]]}}],\
-             \"fault\":null,\"hotpath\":null}}",
+             \"fault\":null,\"hotpath\":null,\"explain\":null}}",
             dir.display()
         );
         assert_eq!(data, golden);

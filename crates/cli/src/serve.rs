@@ -15,6 +15,11 @@
 //! ```text
 //! -> QUERY <x,y,...> <k> [bbss|fpss|crss|woptss]
 //! <- OK <n> <id>:<dist> <id>:<dist> ...
+//! -> EXPLAIN <x,y,...> <k> [bbss|fpss|crss|woptss]
+//! <- {"query":...,"observed_accesses":...,"predicted_accesses":...,...}
+//!    (runs the query and returns its one-line JSON introspection
+//!    record: observed per-level/per-disk work and timing next to the
+//!    analytical prediction and the residuals)
 //! -> BATCH <x,y;x,y;...> <k>   (B queries through one shared traversal)
 //! <- OK <B> fetches=<unique>/<interest> rounds=<r> wall_us=<t>
 //!          q0=<id>:<dist>,... q1=...
@@ -24,6 +29,7 @@
 //! <- STATS queries=<q> reads=<r> cache_hits=<h> cache_misses=<m>
 //!          cache_hit_ratio=<x> degraded_reads=<d> window_qps=<qps>
 //!          window_p50_ms=<p50> window_p99_ms=<p99> reads_per_disk=<a,b,...>
+//!          resident_bytes=<b> byte_budget=<b>
 //! -> METRICS       (Prometheus text exposition; read until the "# EOF" line)
 //! <- # HELP sqda_queries_started_total ...
 //!    ...
@@ -51,10 +57,12 @@
 
 use crate::args::{parse_point, Args};
 use crate::commands::{algo_by_name, open_tree};
+use sqda_analysis::{predict_knn, DeviceCalibration, DiskServiceModel, TreeProfile};
 use sqda_core::{AlgorithmKind, RealTimeEngine, Workload};
 use sqda_geom::Point;
-use sqda_obs::{trace_document, LiveTelemetry};
+use sqda_obs::{trace_document, LiveTelemetry, Prediction};
 use sqda_rstar::{Node, RStarTree};
+use sqda_simkernel::SystemParams;
 use sqda_storage::{
     FileStore, InlineBackend, IoBackend, NodeCache, PageStore, ReadObserver, ThreadedFileBackend,
 };
@@ -106,6 +114,36 @@ const DEFAULT_FLIGHT_CAP: usize = 65_536;
 /// without an explicit `--slow-query-ms`.
 const DEFAULT_SLOW_QUERY_MS: f64 = 100.0;
 
+/// The analytical context behind the `EXPLAIN` verb: a tree profile
+/// measured at store-open plus the (possibly calibrated) system
+/// parameters, so every explained query carries a prediction next to
+/// its observation.
+pub struct ExplainContext {
+    /// Geometry profile of the served tree; `None` when profiling
+    /// failed (the verb then returns observations with null predictions).
+    pub profile: Option<TreeProfile>,
+    /// Parameters the model predicts with.
+    pub params: SystemParams,
+    /// Tree height in levels — the floor on predicted fetch rounds.
+    pub height: u32,
+    /// Whether `params` went through a [`DeviceCalibration`].
+    pub calibrated: bool,
+}
+
+impl ExplainContext {
+    /// Profiles `tree` (through its node cache; the reads are
+    /// book-kept as `IoStats::profile_reads`) and predicts with
+    /// `params` as-is.
+    pub fn measure(tree: &RStarTree<FileStore>, params: SystemParams, calibrated: bool) -> Self {
+        ExplainContext {
+            profile: TreeProfile::measure(tree).ok(),
+            params,
+            height: tree.height(),
+            calibrated,
+        }
+    }
+}
+
 /// `sqda serve`
 pub fn serve(args: &Args) -> CmdResult {
     let store_dir = args.required("store")?.to_string();
@@ -128,6 +166,7 @@ pub fn serve(args: &Args) -> CmdResult {
         Some(v) => Some(v.parse().map_err(|e| format!("bad --slow-query-ms: {e}"))?),
     };
     let slow_log_path = args.get("slow-query-log").map(|s| s.to_string());
+    let uncalibrated = args.flag("uncalibrated");
 
     let (mut tree, meta) = open_tree(&store_dir)?;
     if cache_bytes > 0 {
@@ -148,6 +187,37 @@ pub fn serve(args: &Args) -> CmdResult {
         println!("slow-query log: {path} (threshold {threshold} ms)");
     }
     let live = Arc::new(live);
+
+    // The analytical plane: profile the tree once at open, and predict
+    // with calibrated service terms when a previous run left a
+    // `calibration.json` beside the store (disable with --uncalibrated).
+    let base_params = SystemParams::with_disks(tree.store().num_disks());
+    let calibration_path = DeviceCalibration::path_for(Path::new(&store_dir));
+    let calibration = if uncalibrated || !calibration_path.exists() {
+        None
+    } else {
+        match DeviceCalibration::load(&calibration_path) {
+            Ok(cal) => {
+                println!(
+                    "calibration: {} ({} samples, {})",
+                    calibration_path.display(),
+                    cal.samples,
+                    cal.source
+                );
+                Some(cal)
+            }
+            Err(e) => {
+                eprintln!("warning: ignoring calibration: {e}");
+                None
+            }
+        }
+    };
+    let params = calibration
+        .as_ref()
+        .map(|cal| cal.apply(&base_params))
+        .unwrap_or_else(|| base_params.clone());
+    let explain = ExplainContext::measure(&tree, params, calibration.is_some());
+
     let listener = TcpListener::bind(("127.0.0.1", port))?;
     let addr = listener.local_addr()?;
     // The exact "listening on" line is the readiness handshake scripts
@@ -165,7 +235,27 @@ pub fn serve(args: &Args) -> CmdResult {
         }
     );
     std::io::stdout().flush()?;
-    run_server(&tree, backend, listener, Arc::clone(&live))?;
+    run_server(&tree, backend, listener, Arc::clone(&live), explain)?;
+
+    // Refit the device calibration from what the run's disk workers
+    // actually measured, so the next serve (and `sqda simulate` /
+    // `sqda explain` against this store) predicts with observed service
+    // times. Skipped when no reads were served.
+    if !uncalibrated {
+        let requests: u64 = live.disks().iter().map(|d| d.requests.get()).sum();
+        let busy_ns: u64 = live.disks().iter().map(|d| d.busy_ns.get()).sum();
+        let reference = DiskServiceModel::from_params(&base_params.disk);
+        if let Some(cal) = DeviceCalibration::fit_from_totals(requests, busy_ns, &reference) {
+            cal.save(&calibration_path)?;
+            println!(
+                "calibration written: {} ({} samples)",
+                calibration_path.display(),
+                cal.samples
+            );
+        } else {
+            println!("calibration skipped: no backend reads observed (cache served everything)");
+        }
+    }
 
     // Shutdown sinks: drain what the live registry retained.
     if let Some(path) = &trace_path {
@@ -195,6 +285,7 @@ pub fn run_server(
     backend: BackendKind,
     listener: TcpListener,
     live: Arc<LiveTelemetry>,
+    explain: ExplainContext,
 ) -> CmdResult {
     let observer: Arc<dyn ReadObserver> = Arc::clone(&live) as _;
     let engine =
@@ -211,7 +302,8 @@ pub fn run_server(
             let engine = &engine;
             let shutdown = &shutdown;
             let served = &served;
-            s.spawn(move || handle_connection(stream, engine, shutdown, served, addr));
+            let explain = &explain;
+            s.spawn(move || handle_connection(stream, engine, explain, shutdown, served, addr));
         }
         Ok(())
     })
@@ -220,6 +312,7 @@ pub fn run_server(
 fn handle_connection(
     stream: TcpStream,
     engine: &RealTimeEngine<RStarTree<FileStore>>,
+    explain: &ExplainContext,
     shutdown: &AtomicBool,
     served: &AtomicU64,
     addr: SocketAddr,
@@ -234,7 +327,7 @@ fn handle_connection(
         if request.is_empty() {
             continue;
         }
-        let reply = respond(request, engine, served);
+        let reply = respond(request, engine, explain, served);
         if writeln!(writer, "{}", reply.text)
             .and_then(|()| writer.flush())
             .is_err()
@@ -281,6 +374,7 @@ impl Reply {
 fn respond(
     request: &str,
     engine: &RealTimeEngine<RStarTree<FileStore>>,
+    explain: &ExplainContext,
     served: &AtomicU64,
 ) -> Reply {
     let mut words = request.split_whitespace();
@@ -324,6 +418,10 @@ fn respond(
             }
             let per_disk: Vec<String> = io.reads_per_disk.iter().map(|r| r.to_string()).collect();
             text.push_str(&format!(" reads_per_disk={}", per_disk.join(",")));
+            text.push_str(&format!(
+                " resident_bytes={} byte_budget={}",
+                io.cache_resident_bytes, io.cache_byte_budget
+            ));
             Reply::line(text)
         }
         Some("METRICS") => {
@@ -401,6 +499,61 @@ fn respond(
                         text.push_str(&format!(" {}:{:.6}", n.object.0, n.dist()));
                     }
                     Reply::line(text)
+                }
+            }
+        }
+        Some("EXPLAIN") => {
+            let (Some(coords), Some(k)) = (words.next(), words.next()) else {
+                return Reply::err("usage: EXPLAIN <x,y,...> <k> [algo]");
+            };
+            let point = match parse_point(coords).map(Point::try_new) {
+                Ok(Ok(p)) => p,
+                Ok(Err(e)) => return Reply::err(e),
+                Err(e) => return Reply::err(e),
+            };
+            let k: usize = match k.parse() {
+                Ok(k) if k > 0 => k,
+                _ => return Reply::err(format!("bad k {k:?}")),
+            };
+            let kind = match words.next() {
+                None => AlgorithmKind::Crss,
+                Some(name) => match algo_by_name(name) {
+                    Ok(kind) => kind,
+                    Err(e) => return Reply::err(e),
+                },
+            };
+            if let Some(extra) = words.next() {
+                return Reply::err(format!("unexpected trailing {extra:?}"));
+            }
+            if point.dim() != engine.access_method().dim() {
+                return Reply::err(format!(
+                    "query dim {} but tree dim {}",
+                    point.dim(),
+                    engine.access_method().dim()
+                ));
+            }
+            // λ: the live windowed arrival rate, floored at one query
+            // per second so an idle server still predicts finite waits.
+            let lambda = engine
+                .telemetry()
+                .map(|l| l.window_stats().qps)
+                .unwrap_or(0.0)
+                .max(1.0);
+            let predicted = explain.profile.as_ref().and_then(|profile| {
+                predict_knn(profile, &explain.params, explain.height, k, lambda).map(|p| {
+                    Prediction {
+                        accesses: p.accesses,
+                        batches: p.batches,
+                        utilization: p.utilization,
+                        response_ms: p.response_s.map(|r| r * 1e3).unwrap_or(f64::INFINITY),
+                    }
+                })
+            });
+            match engine.explain_query(kind, point, k, lambda, explain.calibrated, predicted) {
+                Err(e) => Reply::err(e),
+                Ok((record, _)) => {
+                    served.fetch_add(1, Ordering::Relaxed);
+                    Reply::line(record.to_json())
                 }
             }
         }
@@ -500,6 +653,14 @@ mod tests {
         dir
     }
 
+    fn test_context(tree: &RStarTree<FileStore>) -> ExplainContext {
+        ExplainContext::measure(
+            tree,
+            SystemParams::with_disks(tree.store().num_disks()),
+            false,
+        )
+    }
+
     fn request_line(
         stream: &mut TcpStream,
         reader: &mut BufReader<TcpStream>,
@@ -521,7 +682,15 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         let live = Arc::new(LiveTelemetry::new(tree.store().num_disks()));
         std::thread::scope(|s| {
-            let server = s.spawn(|| run_server(&tree, BackendKind::File, listener, live.clone()));
+            let server = s.spawn(|| {
+                run_server(
+                    &tree,
+                    BackendKind::File,
+                    listener,
+                    live.clone(),
+                    test_context(&tree),
+                )
+            });
 
             let mut a = TcpStream::connect(addr).unwrap();
             let mut ra = BufReader::new(a.try_clone().unwrap());
@@ -548,6 +717,41 @@ mod tests {
             assert!(stats.contains(" degraded_reads=0 "), "{stats}");
             assert!(stats.contains(" window_qps="), "{stats}");
             assert!(stats.contains(" reads_per_disk="), "{stats}");
+            // PR 9's byte-budget cache fields append after the per-disk
+            // breakdown (zeros here: the test tree carries no cache).
+            assert!(stats.contains(" resident_bytes=0"), "{stats}");
+            assert!(stats.contains(" byte_budget=0"), "{stats}");
+
+            // EXPLAIN runs the query and replies with its one-line JSON
+            // introspection record: observed work and timing next to
+            // the analytical prediction and the residuals.
+            let reply = request_line(&mut a, &mut ra, "EXPLAIN 5.0,5.0 3 crss");
+            assert!(reply.starts_with('{'), "{reply}");
+            let doc = sqda_obs::json::parse(&reply).unwrap();
+            assert_eq!(doc.get("algo").and_then(|v| v.as_str()), Some("CRSS"));
+            assert_eq!(doc.get("k").and_then(|v| v.as_u64()), Some(3));
+            let observed = doc
+                .get("observed_accesses")
+                .and_then(|v| v.as_u64())
+                .unwrap();
+            assert!(observed > 0, "{reply}");
+            let predicted = doc
+                .get("predicted_accesses")
+                .and_then(|v| v.as_f64())
+                .unwrap();
+            assert!(predicted >= 1.0, "{reply}");
+            let residual = doc
+                .get("residual_accesses")
+                .and_then(|v| v.as_f64())
+                .unwrap();
+            assert!((residual - (observed as f64 - predicted)).abs() < 1e-9, "{reply}");
+            assert_eq!(
+                doc.get("calibrated"),
+                Some(&sqda_obs::json::Value::Bool(false))
+            );
+            assert!(doc.get("level_accesses").and_then(|v| v.as_arr()).is_some());
+            assert!(request_line(&mut a, &mut ra, "EXPLAIN 1.0 2").starts_with("ERR"));
+            assert!(request_line(&mut a, &mut ra, "EXPLAIN").starts_with("ERR"));
 
             // Shared-traversal batch: two queries through one descent;
             // q0's answers match the solo ground truth exactly.
@@ -596,7 +800,9 @@ mod tests {
             let addr = listener.local_addr().unwrap();
             let live = Arc::new(LiveTelemetry::new(tree.store().num_disks()));
             std::thread::scope(|s| {
-                let server = s.spawn(|| run_server(&tree, kind, listener, live.clone()));
+                let server = s.spawn(|| {
+                    run_server(&tree, kind, listener, live.clone(), test_context(&tree))
+                });
                 let mut a = TcpStream::connect(addr).unwrap();
                 let mut ra = BufReader::new(a.try_clone().unwrap());
                 let mut lines = Vec::new();
@@ -654,21 +860,34 @@ mod tests {
                 .unwrap(),
         );
         std::thread::scope(|s| {
-            let server = s.spawn(|| run_server(&tree, BackendKind::File, listener, live.clone()));
+            let server = s.spawn(|| {
+                run_server(
+                    &tree,
+                    BackendKind::File,
+                    listener,
+                    live.clone(),
+                    test_context(&tree),
+                )
+            });
 
             let mut a = TcpStream::connect(addr).unwrap();
             let mut ra = BufReader::new(a.try_clone().unwrap());
             assert!(request_line(&mut a, &mut ra, "QUERY 5.0,5.0 3").starts_with("OK 3 "));
             assert!(request_line(&mut a, &mut ra, "QUERY 1.0,2.0 5").starts_with("OK 5 "));
+            // An explained query feeds the drift windows and, at
+            // threshold 0, writes an explain-enriched slow-log entry.
+            assert!(request_line(&mut a, &mut ra, "EXPLAIN 5.0,5.0 3").starts_with('{'));
 
             // METRICS: a lint-clean Prometheus exposition over live data.
             let text = request_metrics(&mut a, &mut ra);
             let problems = sqda_obs::prometheus::lint(&text);
             assert!(problems.is_empty(), "exposition lint: {problems:?}");
-            assert!(text.contains("sqda_queries_completed_total 2"), "{text}");
-            assert!(text.contains("sqda_response_ms_count 2"), "{text}");
+            assert!(text.contains("sqda_queries_completed_total 3"), "{text}");
+            assert!(text.contains("sqda_response_ms_count 3"), "{text}");
             assert!(text.contains("sqda_disk_reads_total{disk=\"0\"}"), "{text}");
             assert!(text.contains("sqda_cache_hits_total"), "{text}");
+            assert!(text.contains("sqda_model_residual_accesses "), "{text}");
+            assert!(text.contains("sqda_model_residual_latency "), "{text}");
 
             // The connection survives a multi-line reply.
             assert_eq!(request_line(&mut a, &mut ra, "PING"), "PONG");
@@ -693,10 +912,24 @@ mod tests {
         );
         let slow = std::fs::read_to_string(&slow_path).unwrap();
         let lines: Vec<&str> = slow.lines().collect();
-        assert_eq!(lines.len(), 2, "{slow}");
+        assert_eq!(lines.len(), 3, "{slow}");
         let first = sqda_obs::json::parse(lines[0]).unwrap();
         assert_eq!(first.get("algo").and_then(|v| v.as_str()), Some("CRSS"));
         assert!(first.get("response_ms").and_then(|v| v.as_f64()).is_some());
+        assert!(first.get("explain").is_none(), "{slow}");
+        // The explained query's entry embeds its full introspection
+        // record.
+        let explained = sqda_obs::json::parse(lines[2]).unwrap();
+        let record = explained.get("explain").expect("explain-enriched entry");
+        assert!(
+            record
+                .get("observed_accesses")
+                .and_then(|v| v.as_u64())
+                .unwrap()
+                > 0,
+            "{slow}"
+        );
+        assert!(record.get("predicted_accesses").is_some(), "{slow}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -92,6 +92,40 @@ struct SessionOutcome {
     result: Result<CompletedSession, QueryError>,
 }
 
+/// Per-query introspection accumulators behind [`RealTimeEngine::
+/// explain_query`]: everything a [`sqda_obs::QueryExplain`] reports
+/// beyond the [`SessionObs`] timing accumulators. Collected inline in
+/// `drive_session` so an explained query runs the exact same code path
+/// (and produces the exact same answers and I/O) as a bare one.
+struct ExplainProbe {
+    /// Node accesses per tree level, index 0 = root.
+    level_accesses: Vec<u64>,
+    /// Pages per fetch batch, in issue order.
+    batch_sizes: Vec<u32>,
+    /// Lemma-1 threshold (`d_th`) after each batch, when the algorithm
+    /// exposes it.
+    thresholds: Vec<f64>,
+    /// Physical reads per disk for this query.
+    reads_per_disk: Vec<u64>,
+    /// Node lookups served by the decoded-node cache.
+    cache_hits: u64,
+    /// Node lookups that went to the I/O backend.
+    cache_misses: u64,
+}
+
+impl ExplainProbe {
+    fn new(num_disks: u32) -> Self {
+        Self {
+            level_accesses: Vec::new(),
+            batch_sizes: Vec::new(),
+            thresholds: Vec::new(),
+            reads_per_disk: vec![0; num_disks as usize],
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+}
+
 struct CompletedSession {
     response_ns: u64,
     nodes_visited: u64,
@@ -278,6 +312,7 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
                                         recording,
                                         &mut events,
                                         &mut levels,
+                                        None,
                                     )
                                 });
                             if let Some(live) = &self.live {
@@ -390,6 +425,124 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
         })
     }
 
+    /// Runs one k-NN query through the exact per-session machinery of
+    /// [`Self::run`] and returns its introspection record next to its
+    /// answers: per-level node accesses, batch sizes, the lemma-1
+    /// threshold trajectory, the per-disk read distribution, the cache
+    /// hit/miss split and the queue/service/CPU time breakdown.
+    ///
+    /// The query flows through the attached [`LiveTelemetry`] (serving
+    /// id, counters, histograms, flight ring) exactly like a served
+    /// query; the probe only observes, so answers and store `IoStats`
+    /// are identical to an unexplained run. A slow-query-log entry for
+    /// the query carries the full explain record, and when `predicted`
+    /// is given the observed-minus-predicted residuals feed the
+    /// telemetry's drift windows. Callers without an analytical model
+    /// pass `lambda` 0, `calibrated` false and `predicted` `None`; the
+    /// record then reports observations with null predictions.
+    pub fn explain_query(
+        &self,
+        kind: AlgorithmKind,
+        point: sqda_geom::Point,
+        k: usize,
+        lambda: f64,
+        calibrated: bool,
+        predicted: Option<sqda_obs::Prediction>,
+    ) -> Result<(sqda_obs::QueryExplain, Vec<Neighbor>), QueryError> {
+        let clock = WallClock::new();
+        let mut scratch = crate::QueryScratch::new();
+        let mut events: Vec<(u64, ObsEvent)> = Vec::new();
+        let mut levels: HashMap<PageId, u16> = HashMap::new();
+        levels.insert(self.am.root_page(), 0);
+        let live_q = self.live.as_ref().map(|live| live.begin_query());
+        let query = live_q.unwrap_or(0);
+        let mut probe = ExplainProbe::new(self.am.num_disks());
+        let result = kind
+            .build_with(self.am, point, k, &mut scratch)
+            .and_then(|algo| {
+                self.drive_session(
+                    algo,
+                    query,
+                    live_q,
+                    0,
+                    &clock,
+                    false,
+                    &mut events,
+                    &mut levels,
+                    Some(&mut probe),
+                )
+            });
+        let done = match result {
+            Ok(done) => done,
+            Err(e) => {
+                if let Some(live) = &self.live {
+                    live.observe_query(&QueryObservation {
+                        query,
+                        algo: kind.name(),
+                        k,
+                        answers: 0,
+                        nodes: 0,
+                        batches: 0,
+                        response_ns: 0,
+                        disk_queue_ns: 0,
+                        disk_service_ns: 0,
+                        cpu_ns: 0,
+                        failed: true,
+                    });
+                }
+                return Err(e);
+            }
+        };
+        let disk_service_ns = done.obs.seek_ns + done.obs.rotation_ns + done.obs.transfer_ns;
+        let explain = sqda_obs::QueryExplain {
+            query,
+            algo: kind.name().to_string(),
+            k,
+            answers: done.answers.len(),
+            nodes: done.nodes_visited,
+            batches: done.obs.batches,
+            level_accesses: probe.level_accesses,
+            batch_sizes: probe.batch_sizes,
+            threshold_trajectory: probe.thresholds,
+            reads_per_disk: probe.reads_per_disk,
+            cache_hits: probe.cache_hits,
+            cache_misses: probe.cache_misses,
+            response_ms: done.response_ns as f64 / 1e6,
+            disk_queue_ms: done.obs.disk_queue_ns as f64 / 1e6,
+            disk_service_ms: disk_service_ns as f64 / 1e6,
+            cpu_ms: done.obs.cpu_ns as f64 / 1e6,
+            lambda,
+            calibrated,
+            predicted,
+        };
+        if let Some(live) = &self.live {
+            let record = explain.to_json();
+            live.observe_query_explained(
+                &QueryObservation {
+                    query,
+                    algo: kind.name(),
+                    k,
+                    answers: done.answers.len(),
+                    nodes: done.nodes_visited,
+                    batches: done.obs.batches,
+                    response_ns: done.response_ns,
+                    disk_queue_ns: done.obs.disk_queue_ns,
+                    disk_service_ns,
+                    cpu_ns: done.obs.cpu_ns,
+                    failed: false,
+                },
+                Some(&record),
+            );
+            if let Some(accesses) = explain.residual_accesses() {
+                // Saturated predictions have no latency residual; NaN is
+                // dropped by the window, the access residual still lands.
+                let latency = explain.residual_response_ms().unwrap_or(f64::NAN);
+                live.observe_residual(accesses, latency);
+            }
+        }
+        Ok((explain, done.answers))
+    }
+
     /// Drives one session from `start` to `Done`: probe the node cache,
     /// submit the misses as one batch, decode completions, feed the
     /// algorithm — the simulator's Fetch/BusDone/CpuDone cycle with the
@@ -405,15 +558,19 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
         recording: bool,
         events: &mut Vec<(u64, ObsEvent)>,
         levels: &mut HashMap<PageId, u16>,
+        mut probe: Option<&mut ExplainProbe>,
     ) -> Result<CompletedSession, QueryError> {
-        // Three independent consumers of this session's observability,
+        // Four independent consumers of this session's observability,
         // all free to be off: the post-hoc recorder (workload-indexed
-        // events), the flight ring (serving-id events, live clock), and
-        // the live aggregates (which need only the accumulators).
+        // events), the flight ring (serving-id events, live clock), the
+        // live aggregates (which need only the accumulators), and the
+        // EXPLAIN probe (per-level/per-disk/threshold introspection).
         let live = self.live.as_deref();
         let flight = live.filter(|l| l.flight_enabled());
-        let observing = recording || live.is_some();
+        let probing = probe.is_some();
+        let observing = recording || live.is_some() || probing;
         let emitting = recording || flight.is_some();
+        let tracking_levels = emitting || probing;
         let fq = live_q.unwrap_or(q);
         let arrival = clock.now_ns();
         let mut session = Session::new(algo, arrival);
@@ -451,6 +608,16 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
             if let Some(l) = live {
                 l.batch_size.observe(pages.len() as f64);
             }
+            if let Some(p) = probe.as_deref_mut() {
+                p.batch_sizes.push(pages.len() as u32);
+                for page in &pages {
+                    let l = levels.get(page).copied().unwrap_or_default() as usize;
+                    if p.level_accesses.len() <= l {
+                        p.level_accesses.resize(l + 1, 0);
+                    }
+                    p.level_accesses[l] += 1;
+                }
+            }
             if emitting {
                 let mut level = u16::MAX;
                 let mut level_max = 0u16;
@@ -480,9 +647,17 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
             for &page in &pages {
                 match self.am.cached_index_node(page)? {
                     Some(node) => {
+                        if let Some(p) = probe.as_deref_mut() {
+                            p.cache_hits += 1;
+                        }
                         decoded.insert(page, node);
                     }
-                    None => misses.push(page),
+                    None => {
+                        if let Some(p) = probe.as_deref_mut() {
+                            p.cache_misses += 1;
+                        }
+                        misses.push(page);
+                    }
                 }
             }
             if !misses.is_empty() {
@@ -497,6 +672,11 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
                     if observing {
                         session.obs.disk_queue_ns += completion.queue_ns;
                         session.obs.transfer_ns += completion.service_ns;
+                    }
+                    if let Some(p) = probe.as_deref_mut() {
+                        if let Some(slot) = p.reads_per_disk.get_mut(completion.disk as usize) {
+                            *slot += 1;
+                        }
                     }
                     if emitting {
                         let level = levels.get(&completion.page).copied().unwrap_or_default();
@@ -528,7 +708,7 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
                         "query {q}: page {page:?} requested but never delivered"
                     ))
                 })?;
-                if emitting {
+                if tracking_levels {
                     if let IndexNode::Internal(block) = &node {
                         let child_level = levels.get(&page).copied().unwrap_or_default() + 1;
                         for child in block.children() {
@@ -548,6 +728,11 @@ impl<'t, A: AccessMethod + ?Sized> RealTimeEngine<'t, A> {
             session.pending = Some(result.next);
             if observing {
                 session.obs.cpu_ns += cpu_ns;
+            }
+            if let Some(pr) = probe.as_deref_mut() {
+                if let Some(p) = session.algo.progress() {
+                    pr.thresholds.push(p.d_th_sq.sqrt());
+                }
             }
             if emitting {
                 let ev = ObsEvent::CpuSlice {

@@ -316,6 +316,64 @@ fn telemetry_enabled_run_is_work_identical() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The introspection plane observes, never steers: running every query
+/// through [`RealTimeEngine::explain_query`] yields byte-identical
+/// answers and identical `IoStats` to the bare engine, and each
+/// record's internal books are consistent — per-level accesses sum to
+/// the node total, per-disk reads sum to the store's physical reads.
+#[test]
+fn explain_enabled_run_is_work_identical() {
+    let dir = tmpdir("explain");
+    let root = build_store(&dir);
+    for kind in [AlgorithmKind::Crss, AlgorithmKind::Bbss] {
+        let bare = run_real(&dir, root, kind, true);
+        let tree = open_tree(&dir, root);
+        let backend = Arc::new(ThreadedFileBackend::new(Arc::clone(tree.store())));
+        let engine = RealTimeEngine::new(&tree, backend).unwrap();
+        let mut answers = Vec::new();
+        let mut explained_reads = vec![0u64; NUM_DISKS as usize];
+        let mut explained_hits = 0u64;
+        for (point, k) in queries() {
+            let (explain, result) = engine.explain_query(kind, point, k, 0.0, false, None).unwrap();
+            assert_eq!(
+                explain.nodes,
+                explain.level_accesses.iter().sum::<u64>(),
+                "{kind}: per-level accesses must sum to the node total"
+            );
+            assert_eq!(
+                explain.batches as usize,
+                explain.batch_sizes.len(),
+                "{kind}: one recorded size per batch"
+            );
+            assert_eq!(
+                explain.nodes,
+                explain.cache_hits + explain.cache_misses,
+                "{kind}: every access is a hit or a miss"
+            );
+            for (slot, n) in explained_reads.iter_mut().zip(&explain.reads_per_disk) {
+                *slot += n;
+            }
+            explained_hits += explain.cache_hits;
+            answers.push(result);
+        }
+        let explained = ModeRun {
+            answers,
+            io: tree.io_stats(),
+        };
+        assert_answers_identical(kind, &bare, &explained, "bare vs explain");
+        assert_io_identical(kind, &bare, &explained, "bare vs explain");
+        assert_eq!(
+            explained_reads, explained.io.reads_per_disk,
+            "{kind}: per-query disk distributions must sum to the store's"
+        );
+        assert_eq!(
+            explained_hits, explained.io.cache_hits,
+            "{kind}: per-query cache hits must sum to the cache's"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The acceptance pin for the metrics plane: the live response-time
 /// histogram (what `METRICS` exposes) brackets the exact percentiles
 /// the `RealTimeReport` computes from raw samples — the two views of

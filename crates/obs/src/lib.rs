@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod explain;
 pub mod json;
 pub mod jsonl;
 pub mod live;
@@ -35,6 +36,7 @@ pub mod sink;
 pub mod stats;
 
 pub use event::{CollectingRecorder, Event, NullRecorder, QueryId, Recorder};
+pub use explain::{Prediction, QueryExplain};
 pub use jsonl::{event_to_json, events_to_jsonl, JsonlRecorder};
 pub use live::{
     FlightRecorder, LiveCounter, LiveGauge, LiveHistogram, LiveTelemetry, QueryObservation,

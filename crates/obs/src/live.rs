@@ -399,6 +399,22 @@ impl WindowRing {
         self.window_ns
     }
 
+    /// Mean of the values within the window ending at `now_ns`, or
+    /// `None` when the window is empty. Used for the model-residual
+    /// gauges, where a mean is the drift signal of interest.
+    pub fn mean(&self, now_ns: u64) -> Option<f64> {
+        let floor = now_ns.saturating_sub(self.window_ns);
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        for (ts, v) in self.ring.snapshot() {
+            if ts >= floor && ts <= now_ns {
+                sum += v;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
     /// Aggregates the completions within the window ending at `now_ns`.
     ///
     /// qps uses the *effective* window: when the run is younger than
@@ -525,6 +541,13 @@ impl SlowQueryLog {
 
     /// Renders one observation as its JSONL line (without newline).
     pub fn line(ts_ns: u64, o: &QueryObservation<'_>) -> String {
+        Self::line_with_explain(ts_ns, o, None)
+    }
+
+    /// Like [`Self::line`], with the query's rendered
+    /// [`QueryExplain`](crate::explain::QueryExplain) JSON embedded
+    /// under an `explain` key when available.
+    pub fn line_with_explain(ts_ns: u64, o: &QueryObservation<'_>, explain: Option<&str>) -> String {
         let mut w = ObjWriter::new();
         w.field_u64("ts_ns", ts_ns);
         w.field_u64("query", o.query as u64);
@@ -538,11 +561,14 @@ impl SlowQueryLog {
         w.field_f64("disk_service_ms", o.disk_service_ns as f64 / 1e6);
         w.field_f64("cpu_ms", o.cpu_ns as f64 / 1e6);
         w.field_bool("failed", o.failed);
+        if let Some(explain) = explain {
+            w.field_raw("explain", explain);
+        }
         w.finish()
     }
 
-    fn append(&self, ts_ns: u64, o: &QueryObservation<'_>) {
-        let line = Self::line(ts_ns, o);
+    fn append(&self, ts_ns: u64, o: &QueryObservation<'_>, explain: Option<&str>) {
+        let line = Self::line_with_explain(ts_ns, o, explain);
         if let Ok(mut file) = self.file.lock() {
             // Telemetry must never fail the query: drop the line on I/O
             // errors rather than surface them into the serving path.
@@ -621,6 +647,8 @@ pub struct LiveTelemetry {
     pub batch_size: LiveHistogram,
     disks: Box<[LiveDisk]>,
     window: WindowRing,
+    residual_accesses: WindowRing,
+    residual_latency: WindowRing,
     flight: Option<FlightRecorder>,
     slow_log: Option<SlowQueryLog>,
     slow_threshold_ns: u64,
@@ -652,6 +680,8 @@ impl LiveTelemetry {
             batch_size: LiveHistogram::new(DEPTH_BOUNDS),
             disks: (0..num_disks).map(|_| LiveDisk::new()).collect(),
             window: WindowRing::new(DEFAULT_WINDOW_CAP, DEFAULT_WINDOW_NS),
+            residual_accesses: WindowRing::new(DEFAULT_WINDOW_CAP, DEFAULT_WINDOW_NS),
+            residual_latency: WindowRing::new(DEFAULT_WINDOW_CAP, DEFAULT_WINDOW_NS),
             flight: None,
             slow_log: None,
             slow_threshold_ns: u64::MAX,
@@ -666,8 +696,11 @@ impl LiveTelemetry {
     }
 
     /// Overrides the sliding window (length and retained completions).
+    /// The model-residual windows follow the same bounds.
     pub fn with_window(mut self, capacity: usize, window_ns: u64) -> Self {
         self.window = WindowRing::new(capacity, window_ns);
+        self.residual_accesses = WindowRing::new(capacity, window_ns);
+        self.residual_latency = WindowRing::new(capacity, window_ns);
         self
     }
 
@@ -737,6 +770,14 @@ impl LiveTelemetry {
     /// latency/component histograms, the sliding window, and — when the
     /// query ran over the threshold — the slow-query log.
     pub fn observe_query(&self, o: &QueryObservation<'_>) {
+        self.observe_query_explained(o, None);
+    }
+
+    /// [`Self::observe_query`] with the query's rendered
+    /// [`QueryExplain`](crate::explain::QueryExplain) JSON attached:
+    /// when the query lands in the slow-query log, the record is
+    /// embedded in its line under an `explain` key.
+    pub fn observe_query_explained(&self, o: &QueryObservation<'_>, explain_json: Option<&str>) {
         if o.failed {
             self.queries_failed.inc();
             return;
@@ -752,9 +793,35 @@ impl LiveTelemetry {
         if o.response_ns >= self.slow_threshold_ns {
             self.slow_queries.inc();
             if let Some(log) = &self.slow_log {
-                log.append(now, o);
+                log.append(now, o, explain_json);
             }
         }
+    }
+
+    /// Feeds one predicted-vs-observed residual pair into the drift
+    /// windows behind the `sqda_model_residual_*` gauges. Non-finite
+    /// components (no prediction, or a saturated latency estimate) are
+    /// skipped.
+    pub fn observe_residual(&self, accesses: f64, latency_ms: f64) {
+        let now = self.now_ns();
+        if accesses.is_finite() {
+            self.residual_accesses.record(now, accesses);
+        }
+        if latency_ms.is_finite() {
+            self.residual_latency.record(now, latency_ms);
+        }
+    }
+
+    /// Windowed mean observed-minus-predicted node accesses (0 when no
+    /// residuals were observed in the window).
+    pub fn residual_accesses_mean(&self) -> f64 {
+        self.residual_accesses.mean(self.now_ns()).unwrap_or(0.0)
+    }
+
+    /// Windowed mean observed-minus-predicted response time, ms (0
+    /// when no residuals were observed in the window).
+    pub fn residual_latency_mean_ms(&self) -> f64 {
+        self.residual_latency.mean(self.now_ns()).unwrap_or(0.0)
     }
 
     /// Feeds one disk read (called from the I/O backend's worker
@@ -1003,6 +1070,51 @@ mod tests {
         assert_eq!(doc.get("algo").unwrap().as_str(), Some("BBSS"));
         assert_eq!(doc.get("answers").unwrap().as_u64(), Some(3));
         assert!(doc.get("response_ms").unwrap().as_f64().unwrap() >= 2.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn residual_windows_track_drift_means() {
+        let t = LiveTelemetry::new(1);
+        assert_eq!(t.residual_accesses_mean(), 0.0);
+        assert_eq!(t.residual_latency_mean_ms(), 0.0);
+        t.observe_residual(2.0, 0.5);
+        t.observe_residual(4.0, 1.5);
+        // Non-finite components are dropped, not recorded as zeros.
+        t.observe_residual(f64::NAN, f64::INFINITY);
+        assert!((t.residual_accesses_mean() - 3.0).abs() < 1e-9);
+        assert!((t.residual_latency_mean_ms() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_log_embeds_explain_record() {
+        let dir = std::env::temp_dir().join(format!("sqda-slowlog-ex-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("slow.jsonl");
+        let t = LiveTelemetry::new(1)
+            .with_slow_query_log(&path, 0.0)
+            .unwrap();
+        t.begin_query();
+        t.observe_query_explained(
+            &QueryObservation {
+                query: 0,
+                algo: "CRSS",
+                k: 2,
+                answers: 2,
+                nodes: 3,
+                batches: 1,
+                response_ns: 2_000_000,
+                disk_queue_ns: 0,
+                disk_service_ns: 1_000_000,
+                cpu_ns: 100_000,
+                failed: false,
+            },
+            Some(r#"{"observed_accesses":3}"#),
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = crate::json::parse(text.lines().next().unwrap()).unwrap();
+        let explain = doc.get("explain").unwrap();
+        assert_eq!(explain.get("observed_accesses").unwrap().as_u64(), Some(3));
         std::fs::remove_dir_all(&dir).ok();
     }
 

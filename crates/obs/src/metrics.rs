@@ -618,6 +618,7 @@ mod tests {
             writes_per_disk: vec![0],
             cache_hits: 3,
             cache_misses: 7,
+            ..IoStats::default()
         };
         s.fold_io_stats(&io);
         assert_eq!(s.queries_completed.0, 1);

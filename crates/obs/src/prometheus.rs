@@ -157,6 +157,18 @@ pub fn render(t: &LiveTelemetry, io: Option<&IoStats>) -> String {
         "Windowed 99th-percentile response time, ms.",
         w.p99_ms,
     );
+    gauge_f64(
+        &mut out,
+        &format!("{PREFIX}_model_residual_accesses"),
+        "Windowed mean observed-minus-predicted node accesses.",
+        t.residual_accesses_mean(),
+    );
+    gauge_f64(
+        &mut out,
+        &format!("{PREFIX}_model_residual_latency"),
+        "Windowed mean observed-minus-predicted response time, ms.",
+        t.residual_latency_mean_ms(),
+    );
 
     histogram_family(
         &mut out,
@@ -321,6 +333,18 @@ pub fn render(t: &LiveTelemetry, io: Option<&IoStats>) -> String {
             } else {
                 io.cache_hits as f64 / total as f64
             },
+        );
+        gauge_f64(
+            &mut out,
+            &format!("{PREFIX}_cache_resident_bytes"),
+            "Bytes resident in the decoded-node cache.",
+            io.cache_resident_bytes as f64,
+        );
+        gauge_f64(
+            &mut out,
+            &format!("{PREFIX}_cache_byte_budget"),
+            "Byte budget of the decoded-node cache (0 = entry-capped).",
+            io.cache_byte_budget as f64,
         );
         counter_u64(
             &mut out,
@@ -558,12 +582,19 @@ mod tests {
             writes_per_disk: vec![0, 0],
             cache_hits: 40,
             cache_misses: 60,
+            cache_resident_bytes: 12_288,
+            cache_byte_budget: 65_536,
+            ..sqda_storage::IoStats::default()
         };
         let text = render(&t, Some(&io));
         let errors = lint(&text);
         assert!(errors.is_empty(), "lint errors: {errors:#?}");
         assert!(text.ends_with("# EOF\n"));
         assert!(text.contains("sqda_queries_completed_total 5"));
+        assert!(text.contains("sqda_model_residual_accesses 0"));
+        assert!(text.contains("sqda_model_residual_latency 0"));
+        assert!(text.contains("sqda_cache_resident_bytes 12288"));
+        assert!(text.contains("sqda_cache_byte_budget 65536"));
         assert!(text.contains("sqda_response_ms_count 5"));
         assert!(text.contains("sqda_disk_reads_total{disk=\"0\"} 3"));
         assert!(text.contains("sqda_cache_hit_ratio 0.4"));

@@ -7,6 +7,7 @@ use crate::node::Node;
 use crate::{codec, query};
 use sqda_geom::{GeomError, Point, Rect};
 use sqda_storage::{DiskId, IoStats, NodeCache, PageId, PageStore, StorageError};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
 /// Errors from tree operations.
@@ -107,6 +108,7 @@ pub struct RStarTree<S: PageStore> {
     pub(crate) height: u32,
     pub(crate) num_objects: u64,
     pub(crate) cache: Option<Arc<NodeCache<Node>>>,
+    pub(crate) profile_reads: AtomicU64,
 }
 
 impl<S: PageStore> RStarTree<S> {
@@ -127,6 +129,7 @@ impl<S: PageStore> RStarTree<S> {
             height: 1,
             num_objects: 0,
             cache: None,
+            profile_reads: AtomicU64::new(0),
         })
     }
 
@@ -153,6 +156,7 @@ impl<S: PageStore> RStarTree<S> {
             height,
             num_objects,
             cache: None,
+            profile_reads: AtomicU64::new(0),
         })
     }
 
@@ -218,7 +222,10 @@ impl<S: PageStore> RStarTree<S> {
             let c = cache.stats();
             stats.cache_hits = c.hits;
             stats.cache_misses = c.misses;
+            stats.cache_resident_bytes = c.resident_bytes as u64;
+            stats.cache_byte_budget = c.byte_budget as u64;
         }
+        stats.profile_reads = self.profile_reads.load(Relaxed);
         stats
     }
 
@@ -238,6 +245,16 @@ impl<S: PageStore> RStarTree<S> {
                 Ok(Arc::new(codec::decode_node(bytes, dim, page)?))
             }
         }
+    }
+
+    /// Like [`Self::read_node`], but tallies the access under
+    /// `IoStats::profile_reads` so introspection walks (tree profiling,
+    /// diagnostics) can be subtracted from query I/O. Goes through the
+    /// decoded-node cache when one is attached, so profiling a served
+    /// store never double-fetches a page the engine already decoded.
+    pub fn read_node_profiled(&self, page: PageId) -> Result<Arc<Node>> {
+        self.profile_reads.fetch_add(1, Relaxed);
+        self.read_node(page)
     }
 
     /// Probes the decoded-node cache alone — no page read on a miss.

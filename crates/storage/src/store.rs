@@ -30,6 +30,15 @@ pub struct IoStats {
     pub cache_hits: u64,
     /// Node lookups that fell through the cache to the store.
     pub cache_misses: u64,
+    /// Reads issued by tree profiling (`TreeProfile::measure`), counted
+    /// separately so query experiments can subtract introspection I/O.
+    pub profile_reads: u64,
+    /// Bytes currently resident in the decoded-node cache (zero for a
+    /// bare store or an entry-capped cache).
+    pub cache_resident_bytes: u64,
+    /// Byte budget of the decoded-node cache (zero for a bare store or
+    /// an entry-capped cache).
+    pub cache_byte_budget: u64,
 }
 
 impl IoStats {
@@ -41,6 +50,9 @@ impl IoStats {
             writes_per_disk: vec![0; num_disks as usize],
             cache_hits: 0,
             cache_misses: 0,
+            profile_reads: 0,
+            cache_resident_bytes: 0,
+            cache_byte_budget: 0,
         }
     }
 

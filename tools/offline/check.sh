@@ -52,7 +52,7 @@ lib sqda_sstree crates/sstree/src/lib.rs $EXT_GEOM $EXT_STORAGE $EXT_CORE $EXT_B
 EXT_SSTREE="--extern sqda_sstree=$OUT/libsqda_sstree.rlib"
 lib sqda_datasets crates/datasets/src/lib.rs $EXT_GEOM $EXT_RAND
 EXT_DATASETS="--extern sqda_datasets=$OUT/libsqda_datasets.rlib"
-lib sqda_analysis crates/analysis/src/lib.rs $EXT_GEOM $EXT_RSTAR $EXT_STORAGE $EXT_SIM
+lib sqda_analysis crates/analysis/src/lib.rs $EXT_GEOM $EXT_RSTAR $EXT_STORAGE $EXT_SIM $EXT_OBS
 EXT_ANALYSIS="--extern sqda_analysis=$OUT/libsqda_analysis.rlib"
 lib sqda_bench crates/bench/src/lib.rs $EXT_GEOM $EXT_STORAGE $EXT_SIM $EXT_RSTAR \
   $EXT_CORE $EXT_DATASETS $EXT_ANALYSIS $EXT_SSTREE $EXT_OBS $EXT_RAND

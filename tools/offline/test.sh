@@ -49,7 +49,7 @@ t rstar_unit crates/rstar/src/lib.rs $EXT_GEOM $EXT_STORAGE $EXT_BYTES $EXT_PL $
 t core_unit crates/core/src/lib.rs $EXT_GEOM $EXT_STORAGE $EXT_RSTAR $EXT_SIM $EXT_OBS $EXT_RAND
 t sstree_unit crates/sstree/src/lib.rs $EXT_GEOM $EXT_STORAGE $EXT_CORE $EXT_BYTES
 t datasets_unit crates/datasets/src/lib.rs $EXT_GEOM $EXT_RAND
-t analysis_unit crates/analysis/src/lib.rs $EXT_GEOM $EXT_RSTAR $EXT_STORAGE $EXT_SIM $EXT_RAND
+t analysis_unit crates/analysis/src/lib.rs $EXT_GEOM $EXT_RSTAR $EXT_STORAGE $EXT_SIM $EXT_OBS $EXT_RAND
 t bench_unit crates/bench/src/lib.rs $EXT_GEOM $EXT_STORAGE $EXT_SIM $EXT_RSTAR \
   $EXT_CORE $EXT_DATASETS $EXT_ANALYSIS $EXT_SSTREE $EXT_OBS $EXT_RAND
 t cli_unit crates/cli/src/main.rs $EXT_GEOM $EXT_STORAGE $EXT_SIM $EXT_RSTAR \
